@@ -1,0 +1,35 @@
+//! Criterion benchmark: end-to-end symmetric total-order latency of a small
+//! group, NewTOP vs FS-NewTOP (a scaled-down Figure 6 point).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fs_bench::measure::{measure, System};
+use fs_common::time::SimDuration;
+use fs_newtop::app::TrafficConfig;
+use fs_newtop::suspector::SuspectorConfig;
+use fs_newtop_bft::deployment::DeploymentParams;
+
+fn params(members: u32) -> DeploymentParams {
+    let traffic = TrafficConfig::paper_default()
+        .with_messages(20)
+        .with_interval(SimDuration::from_millis(30));
+    let mut p = DeploymentParams::paper(members).with_traffic(traffic);
+    p.suspector = SuspectorConfig::disabled();
+    p
+}
+
+fn bench_order_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("order_latency_sim");
+    group.sample_size(10);
+    for members in [3u32, 5] {
+        group.bench_with_input(BenchmarkId::new("newtop", members), &members, |b, &n| {
+            b.iter(|| measure(System::NewTop, &params(n)))
+        });
+        group.bench_with_input(BenchmarkId::new("fs_newtop", members), &members, |b, &n| {
+            b.iter(|| measure(System::FsNewTop, &params(n)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_order_latency);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Ablation A1: node-count cost of the fail-signal approach (4f+2) versus
+//! the classical Byzantine optimum (3f+1) and plain application replication
+//! (2f+1), as analysed in §1 and §3.1 of the paper.
+
+use fs_bench::experiment::ablation_node_budget;
+
+fn main() {
+    println!("# ablation A1 — node budget");
+    println!("{:>3} {:>16} {:>18} {:>16} {:>8}", "f", "app replicas", "fail-signal nodes", "classical BFT", "extra");
+    for (f, replicas, fs_nodes, classical) in ablation_node_budget(5) {
+        println!(
+            "{f:>3} {replicas:>16} {fs_nodes:>18} {classical:>16} {:>8}",
+            fs_nodes - classical
+        );
+    }
+}

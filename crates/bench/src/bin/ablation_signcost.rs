@@ -1,0 +1,13 @@
+//! Ablation A3: contribution of the signature cost to the FS-NewTOP
+//! overhead.  The paper attributes much of the latency increase to the
+//! MD5-with-RSA signing of output messages; sweeping the cost model shows
+//! how the overhead shrinks as signatures get cheaper.
+
+use fs_bench::experiment::{ablation_sign_cost, ExperimentConfig};
+use fs_bench::report::ablation_table;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let rows = ablation_sign_cost(&config, 5);
+    println!("{}", ablation_table("ablation A3 — signature cost (5 members)", &rows));
+}

@@ -1,0 +1,15 @@
+//! Ablation A2: false suspicions and group splitting.  Crash-tolerant NewTOP
+//! with an aggressive timeout-based suspector splits the group even though no
+//! process has failed; FS-NewTOP, whose suspicions come only from
+//! fail-signals, never does.
+
+use fs_bench::experiment::{ablation_false_suspicion, ExperimentConfig};
+
+fn main() {
+    let config = ExperimentConfig::default();
+    let (newtop_views, fs_views) = ablation_false_suspicion(&config);
+    println!("# ablation A2 — false suspicions in a failure-free run");
+    println!("view changes observed by applications (sum over members):");
+    println!("  NewTOP   (aggressive timeout suspector): {newtop_views}");
+    println!("  FS-NewTOP (fail-signal driven suspector): {fs_views}");
+}

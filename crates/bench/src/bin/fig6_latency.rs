@@ -1,0 +1,16 @@
+//! Regenerates Figure 6: ordering latency vs group size (2-10 members,
+//! 3-byte messages, symmetric total order), NewTOP vs FS-NewTOP.
+
+use fs_bench::experiment::{figure6, ExperimentConfig};
+use fs_bench::report::write_figure_json;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    eprintln!("regenerating figure 6 ({} messages/member)...", config.messages_per_member);
+    let figure = figure6(&config);
+    println!("{}", figure.to_table(|m| m.mean_latency_ms, "mean ordering latency, ms"));
+    match write_figure_json(&figure) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON results: {e}"),
+    }
+}

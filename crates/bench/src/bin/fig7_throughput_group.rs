@@ -1,0 +1,16 @@
+//! Regenerates Figure 7: throughput vs group size (2-15 members, 3-byte
+//! messages), NewTOP vs FS-NewTOP.
+
+use fs_bench::experiment::{figure7, ExperimentConfig};
+use fs_bench::report::write_figure_json;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    eprintln!("regenerating figure 7 ({} messages/member)...", config.messages_per_member);
+    let figure = figure7(&config);
+    println!("{}", figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second"));
+    match write_figure_json(&figure) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON results: {e}"),
+    }
+}

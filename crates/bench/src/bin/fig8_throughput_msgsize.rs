@@ -1,0 +1,16 @@
+//! Regenerates Figure 8: throughput vs message size (10 members, payloads
+//! from 3 bytes to 10 kB), NewTOP vs FS-NewTOP.
+
+use fs_bench::experiment::{figure8, ExperimentConfig};
+use fs_bench::report::write_figure_json;
+
+fn main() {
+    let config = ExperimentConfig::default();
+    eprintln!("regenerating figure 8 ({} messages/member)...", config.messages_per_member);
+    let figure = figure8(&config);
+    println!("{}", figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second"));
+    match write_figure_json(&figure) {
+        Ok(path) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("could not write JSON results: {e}"),
+    }
+}

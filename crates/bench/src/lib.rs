@@ -1,0 +1,27 @@
+//! # fs-bench
+//!
+//! The benchmark harness reproducing the paper's evaluation (§4): workload
+//! generation, deployment measurement, per-figure experiment drivers
+//! (Figures 6–8) and the ablations listed in DESIGN.md, plus Criterion
+//! micro-benchmarks.
+//!
+//! Regenerate the figures with:
+//!
+//! ```text
+//! cargo run --release -p fs-bench --bin fig6_latency
+//! cargo run --release -p fs-bench --bin fig7_throughput_group
+//! cargo run --release -p fs-bench --bin fig8_throughput_msgsize
+//! ```
+//!
+//! Set `FS_BENCH_MESSAGES=1000` to use the paper's full per-member message
+//! count (the default is smaller so that regeneration stays quick).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod measure;
+pub mod report;
+
+pub use experiment::{figure6, figure7, figure8, ExperimentConfig, Figure, FigureRow};
+pub use measure::{measure, run_deployment, RunMetrics, System};

@@ -1,0 +1,202 @@
+//! Running a deployment under a workload and extracting the paper's metrics.
+
+use serde::{Deserialize, Serialize};
+
+use fs_common::time::{SimDuration, SimTime};
+use fs_newtop::app::AppProcess;
+use fs_newtop_bft::deployment::{build_fs_newtop, build_newtop, Deployment, DeploymentParams};
+use fs_newtop_bft::interceptor::FsInterceptor;
+
+/// Which of the two systems a measurement refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum System {
+    /// The crash-tolerant baseline.
+    NewTop,
+    /// The Byzantine-tolerant, fail-signal-wrapped system.
+    FsNewTop,
+}
+
+impl System {
+    /// The label used in tables (matches the paper's legends).
+    pub fn label(self) -> &'static str {
+        match self {
+            System::NewTop => "NewTOP",
+            System::FsNewTop => "FS-NewTOP",
+        }
+    }
+}
+
+/// The metrics extracted from one run, mirroring what the paper reports.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Which system was measured.
+    pub system: System,
+    /// Group size (number of members).
+    pub members: u32,
+    /// Payload size in bytes.
+    pub payload_size: usize,
+    /// Messages multicast per member.
+    pub messages_per_member: u64,
+    /// Mean ordering latency (send → total-order delivery at the sender).
+    pub mean_latency_ms: f64,
+    /// 95th-percentile ordering latency.
+    pub p95_latency_ms: f64,
+    /// Aggregate ordered-message throughput (messages per second).
+    pub throughput_msgs_per_sec: f64,
+    /// Total deliveries observed across all applications.
+    pub total_deliveries: u64,
+    /// Deliveries expected (`members² × messages_per_member`).
+    pub expected_deliveries: u64,
+    /// Protocol messages sent inside the middleware.
+    pub middleware_messages: u64,
+    /// Simulated time at which the last delivery happened.
+    pub finished_at_ms: f64,
+    /// Whether any fail-signal was observed (must be false in failure-free
+    /// runs).
+    pub fail_signals_observed: bool,
+}
+
+impl RunMetrics {
+    /// Latency samples are complete when every sender saw all of its own
+    /// messages ordered.
+    pub fn is_complete(&self) -> bool {
+        self.total_deliveries == self.expected_deliveries
+    }
+}
+
+/// Runs one deployment to completion (or `horizon`) and extracts the metrics.
+pub fn run_deployment(
+    mut deployment: Deployment,
+    params: &DeploymentParams,
+    system: System,
+    horizon: SimTime,
+) -> RunMetrics {
+    deployment.run(horizon);
+
+    let n = params.members;
+    let messages = params.traffic.messages;
+    let mut latencies = fs_simnet::trace::LatencyRecorder::new();
+    let mut total_deliveries = 0u64;
+    let mut last_delivery = SimTime::ZERO;
+    for handle in &deployment.members {
+        let app = deployment.sim.actor::<AppProcess>(handle.app).expect("app actor");
+        latencies.merge(app.latencies());
+        total_deliveries += app.delivered_total();
+        if let Some(t) = app.last_delivery() {
+            last_delivery = last_delivery.max(t);
+        }
+    }
+
+    let fail_signals_observed = if deployment.fail_signal {
+        deployment.members.iter().any(|handle| {
+            deployment
+                .sim
+                .actor::<FsInterceptor>(handle.middleware)
+                .map(|i| i.local_fail_signalled())
+                .unwrap_or(false)
+        })
+    } else {
+        false
+    };
+
+    let summary = latencies.summary();
+    let (mean, p95) = summary
+        .map(|s| (s.mean.as_millis_f64(), s.p95.as_millis_f64()))
+        .unwrap_or((f64::NAN, f64::NAN));
+
+    // Throughput as in the paper: total ordered messages divided by the time
+    // needed to order them (workload start → last delivery).
+    let span = last_delivery.duration_since(SimTime::ZERO + params.traffic.start_delay);
+    let ordered = u64::from(n) * messages;
+    let throughput = if span > SimDuration::ZERO {
+        ordered as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+
+    RunMetrics {
+        system,
+        members: n,
+        payload_size: params.traffic.payload_size,
+        messages_per_member: messages,
+        mean_latency_ms: mean,
+        p95_latency_ms: p95,
+        throughput_msgs_per_sec: throughput,
+        total_deliveries,
+        expected_deliveries: u64::from(n) * u64::from(n) * messages,
+        middleware_messages: deployment.sim.stats().messages_sent,
+        finished_at_ms: last_delivery.as_millis_f64(),
+        fail_signals_observed,
+    }
+}
+
+/// Builds and measures one system at the given parameters.
+pub fn measure(system: System, params: &DeploymentParams) -> RunMetrics {
+    // Allow generous simulated time: the workload itself lasts
+    // messages × interval, plus drain time for queued work.
+    let workload = params.traffic.interval * params.traffic.messages
+        + SimDuration::from_secs(120)
+        + params.traffic.start_delay;
+    let horizon = SimTime::ZERO + workload * 10;
+    let deployment = match system {
+        System::NewTop => build_newtop(params),
+        System::FsNewTop => build_fs_newtop(params),
+    };
+    run_deployment(deployment, params, system, horizon)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_newtop::app::TrafficConfig;
+    use fs_newtop::suspector::SuspectorConfig;
+
+    fn quick_params(members: u32, messages: u64) -> DeploymentParams {
+        let mut p = DeploymentParams::paper(members).with_traffic(
+            TrafficConfig::paper_default()
+                .with_messages(messages)
+                .with_interval(SimDuration::from_millis(30)),
+        );
+        p.suspector = SuspectorConfig::disabled();
+        p
+    }
+
+    #[test]
+    fn newtop_run_is_complete_and_failure_free() {
+        let params = quick_params(3, 5);
+        let m = measure(System::NewTop, &params);
+        assert!(m.is_complete(), "delivered {}/{}", m.total_deliveries, m.expected_deliveries);
+        assert!(!m.fail_signals_observed);
+        assert!(m.mean_latency_ms.is_finite());
+        assert!(m.throughput_msgs_per_sec > 0.0);
+    }
+
+    #[test]
+    fn fs_newtop_run_is_complete_and_failure_free() {
+        let params = quick_params(3, 5);
+        let m = measure(System::FsNewTop, &params);
+        assert!(m.is_complete());
+        assert!(!m.fail_signals_observed);
+    }
+
+    #[test]
+    fn fs_newtop_has_higher_latency_and_more_messages_than_newtop() {
+        let params = quick_params(3, 8);
+        let newtop = measure(System::NewTop, &params);
+        let fs = measure(System::FsNewTop, &params);
+        assert!(
+            fs.mean_latency_ms > newtop.mean_latency_ms,
+            "FS-NewTOP latency ({}) must exceed NewTOP ({})",
+            fs.mean_latency_ms,
+            newtop.mean_latency_ms
+        );
+        assert!(fs.middleware_messages > newtop.middleware_messages);
+        assert!(fs.throughput_msgs_per_sec <= newtop.throughput_msgs_per_sec * 1.05);
+    }
+
+    #[test]
+    fn system_labels_match_paper_legends() {
+        assert_eq!(System::NewTop.label(), "NewTOP");
+        assert_eq!(System::FsNewTop.label(), "FS-NewTOP");
+    }
+}

@@ -1,0 +1,516 @@
+//! A small, deterministic wire codec.
+//!
+//! The fail-signal comparison logic (paper §2.1) checks whether the two
+//! replicas of an FS process produced *identical* outputs; the NewTOP
+//! invocation layer marshals application payloads into a generic container
+//! (CORBA `any` in the original system).  Both need a byte-exact, canonical
+//! encoding, which this module provides: little-endian fixed-width integers
+//! and length-prefixed byte strings, with no padding and no
+//! platform-dependent layout.
+//!
+//! The codec is intentionally independent of `serde` so that the bytes fed to
+//! the signature routines in `fs-crypto` are stable across compiler versions
+//! and struct layout changes.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::CodecError;
+use crate::id::{GroupId, MemberId, MsgId, NodeId, ProcessId};
+use crate::time::{SimDuration, SimTime};
+
+/// Maximum length accepted for a single length-prefixed field (16 MiB).
+///
+/// The paper's experiments use payloads up to 10 kB; the cap exists purely to
+/// stop a corrupted length prefix from causing a huge allocation.
+pub const MAX_FIELD_LEN: usize = 16 * 1024 * 1024;
+
+/// Incremental encoder producing the canonical wire form.
+///
+/// # Examples
+///
+/// ```
+/// use fs_common::codec::{Encoder, Decoder};
+/// let mut enc = Encoder::new();
+/// enc.put_u32(7);
+/// enc.put_bytes(b"hello");
+/// let bytes = enc.finish();
+/// let mut dec = Decoder::new(&bytes);
+/// assert_eq!(dec.get_u32().unwrap(), 7);
+/// assert_eq!(dec.get_bytes().unwrap(), b"hello");
+/// ```
+#[derive(Debug, Default)]
+pub struct Encoder {
+    buf: BytesMut,
+}
+
+impl Encoder {
+    /// Creates an empty encoder.
+    pub fn new() -> Self {
+        Self { buf: BytesMut::new() }
+    }
+
+    /// Creates an encoder with `cap` bytes of pre-allocated capacity.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { buf: BytesMut::with_capacity(cap) }
+    }
+
+    /// Appends a single byte.
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.put_u8(v);
+    }
+
+    /// Appends a little-endian `u16`.
+    pub fn put_u16(&mut self, v: u16) {
+        self.buf.put_u16_le(v);
+    }
+
+    /// Appends a little-endian `u32`.
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.put_u32_le(v);
+    }
+
+    /// Appends a little-endian `u64`.
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.put_u64_le(v);
+    }
+
+    /// Appends a boolean as one byte (0 or 1).
+    pub fn put_bool(&mut self, v: bool) {
+        self.buf.put_u8(v as u8);
+    }
+
+    /// Appends a length-prefixed byte string.
+    pub fn put_bytes(&mut self, v: &[u8]) {
+        self.put_u32(v.len() as u32);
+        self.buf.put_slice(v);
+    }
+
+    /// Appends a length-prefixed UTF-8 string.
+    pub fn put_str(&mut self, v: &str) {
+        self.put_bytes(v.as_bytes());
+    }
+
+    /// Appends a [`ProcessId`].
+    pub fn put_process(&mut self, v: ProcessId) {
+        self.put_u32(v.0);
+    }
+
+    /// Appends a [`NodeId`].
+    pub fn put_node(&mut self, v: NodeId) {
+        self.put_u32(v.0);
+    }
+
+    /// Appends a [`GroupId`].
+    pub fn put_group(&mut self, v: GroupId) {
+        self.put_u32(v.0);
+    }
+
+    /// Appends a [`MemberId`].
+    pub fn put_member(&mut self, v: MemberId) {
+        self.put_u32(v.0);
+    }
+
+    /// Appends a [`MsgId`].
+    pub fn put_msg_id(&mut self, v: MsgId) {
+        self.put_u32(v.origin.0);
+        self.put_u64(v.seq);
+    }
+
+    /// Appends a [`SimTime`].
+    pub fn put_time(&mut self, v: SimTime) {
+        self.put_u64(v.as_nanos());
+    }
+
+    /// Appends a [`SimDuration`].
+    pub fn put_duration(&mut self, v: SimDuration) {
+        self.put_u64(v.as_nanos());
+    }
+
+    /// Returns the number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Returns true when nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Finalises the encoder and returns the produced bytes.
+    pub fn finish(self) -> Bytes {
+        self.buf.freeze()
+    }
+
+    /// Finalises the encoder into a `Vec<u8>`.
+    pub fn finish_vec(self) -> Vec<u8> {
+        self.buf.to_vec()
+    }
+}
+
+/// Incremental decoder for the canonical wire form.
+#[derive(Debug)]
+pub struct Decoder<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Decoder<'a> {
+    /// Creates a decoder over `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
+        if self.remaining() < n {
+            return Err(CodecError::UnexpectedEof { wanted: n, available: self.remaining() });
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    /// Returns the number of bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Returns an error if any bytes remain unconsumed.
+    pub fn finish(&self) -> Result<(), CodecError> {
+        if self.remaining() > 0 {
+            Err(CodecError::TrailingBytes(self.remaining()))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Reads one byte.
+    pub fn get_u8(&mut self) -> Result<u8, CodecError> {
+        Ok(self.take(1)?[0])
+    }
+
+    /// Reads a little-endian `u16`.
+    pub fn get_u16(&mut self) -> Result<u16, CodecError> {
+        let mut b = self.take(2)?;
+        Ok(b.get_u16_le())
+    }
+
+    /// Reads a little-endian `u32`.
+    pub fn get_u32(&mut self) -> Result<u32, CodecError> {
+        let mut b = self.take(4)?;
+        Ok(b.get_u32_le())
+    }
+
+    /// Reads a little-endian `u64`.
+    pub fn get_u64(&mut self) -> Result<u64, CodecError> {
+        let mut b = self.take(8)?;
+        Ok(b.get_u64_le())
+    }
+
+    /// Reads a boolean encoded as one byte.
+    ///
+    /// # Errors
+    ///
+    /// Any byte other than 0 or 1 is rejected with [`CodecError::UnknownTag`]
+    /// so that a Byzantine sender cannot smuggle extra state into a boolean.
+    pub fn get_bool(&mut self) -> Result<bool, CodecError> {
+        match self.get_u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            other => Err(CodecError::UnknownTag(other)),
+        }
+    }
+
+    /// Reads a length-prefixed byte string.
+    pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
+        let len = self.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow { length: len, max: MAX_FIELD_LEN });
+        }
+        self.take(len)
+    }
+
+    /// Reads a length-prefixed byte string into an owned vector.
+    pub fn get_bytes_owned(&mut self) -> Result<Vec<u8>, CodecError> {
+        self.get_bytes().map(|b| b.to_vec())
+    }
+
+    /// Reads a length-prefixed UTF-8 string.
+    pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
+        let bytes = self.get_bytes()?;
+        core::str::from_utf8(bytes).map_err(|_| CodecError::InvalidUtf8)
+    }
+
+    /// Reads a [`ProcessId`].
+    pub fn get_process(&mut self) -> Result<ProcessId, CodecError> {
+        Ok(ProcessId(self.get_u32()?))
+    }
+
+    /// Reads a [`NodeId`].
+    pub fn get_node(&mut self) -> Result<NodeId, CodecError> {
+        Ok(NodeId(self.get_u32()?))
+    }
+
+    /// Reads a [`GroupId`].
+    pub fn get_group(&mut self) -> Result<GroupId, CodecError> {
+        Ok(GroupId(self.get_u32()?))
+    }
+
+    /// Reads a [`MemberId`].
+    pub fn get_member(&mut self) -> Result<MemberId, CodecError> {
+        Ok(MemberId(self.get_u32()?))
+    }
+
+    /// Reads a [`MsgId`].
+    pub fn get_msg_id(&mut self) -> Result<MsgId, CodecError> {
+        let origin = self.get_process()?;
+        let seq = self.get_u64()?;
+        Ok(MsgId { origin, seq })
+    }
+
+    /// Reads a [`SimTime`].
+    pub fn get_time(&mut self) -> Result<SimTime, CodecError> {
+        Ok(SimTime::from_nanos(self.get_u64()?))
+    }
+
+    /// Reads a [`SimDuration`].
+    pub fn get_duration(&mut self) -> Result<SimDuration, CodecError> {
+        Ok(SimDuration::from_nanos(self.get_u64()?))
+    }
+}
+
+/// Types with a canonical, deterministic wire encoding.
+///
+/// `encode` and `decode` must round-trip and two equal values must produce
+/// byte-identical encodings (this is what the Compare processes rely on).
+pub trait Wire: Sized {
+    /// Appends the canonical encoding of `self` to `enc`.
+    fn encode(&self, enc: &mut Encoder);
+
+    /// Decodes a value from `dec`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the buffer is malformed.
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
+
+    /// Encodes `self` into a fresh byte vector.
+    fn to_wire(&self) -> Vec<u8> {
+        let mut enc = Encoder::new();
+        self.encode(&mut enc);
+        enc.finish_vec()
+    }
+
+    /// Decodes a value from `bytes`, requiring the whole buffer to be
+    /// consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the buffer is malformed or has trailing
+    /// bytes.
+    fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
+        let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+}
+
+impl Wire for Vec<u8> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_bytes_owned()
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_str(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_str().map(|s| s.to_owned())
+    }
+}
+
+impl Wire for u64 {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_u64()
+    }
+}
+
+impl Wire for MsgId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_msg_id(*self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_msg_id()
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u32(self.len() as u32);
+        for item in self {
+            item.encode(enc);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let len = dec.get_u32()? as usize;
+        if len > MAX_FIELD_LEN {
+            return Err(CodecError::LengthOverflow { length: len, max: MAX_FIELD_LEN });
+        }
+        let mut out = Vec::with_capacity(len.min(1024));
+        for _ in 0..len {
+            out.push(T::decode(dec)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            None => enc.put_u8(0),
+            Some(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(dec)?)),
+            other => Err(CodecError::UnknownTag(other)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_u8(0xab);
+        enc.put_u16(0x1234);
+        enc.put_u32(0xdeadbeef);
+        enc.put_u64(0x0123_4567_89ab_cdef);
+        enc.put_bool(true);
+        enc.put_bool(false);
+        enc.put_bytes(b"payload");
+        enc.put_str("group-1");
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_u8().unwrap(), 0xab);
+        assert_eq!(dec.get_u16().unwrap(), 0x1234);
+        assert_eq!(dec.get_u32().unwrap(), 0xdeadbeef);
+        assert_eq!(dec.get_u64().unwrap(), 0x0123_4567_89ab_cdef);
+        assert!(dec.get_bool().unwrap());
+        assert!(!dec.get_bool().unwrap());
+        assert_eq!(dec.get_bytes().unwrap(), b"payload");
+        assert_eq!(dec.get_str().unwrap(), "group-1");
+        assert!(dec.finish().is_ok());
+    }
+
+    #[test]
+    fn id_round_trip() {
+        let mut enc = Encoder::new();
+        enc.put_process(ProcessId(3));
+        enc.put_node(NodeId(4));
+        enc.put_group(GroupId(5));
+        enc.put_member(MemberId(6));
+        enc.put_msg_id(MsgId::new(ProcessId(7), 42));
+        enc.put_time(SimTime::from_millis(8));
+        enc.put_duration(SimDuration::from_micros(9));
+        let bytes = enc.finish();
+
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_process().unwrap(), ProcessId(3));
+        assert_eq!(dec.get_node().unwrap(), NodeId(4));
+        assert_eq!(dec.get_group().unwrap(), GroupId(5));
+        assert_eq!(dec.get_member().unwrap(), MemberId(6));
+        assert_eq!(dec.get_msg_id().unwrap(), MsgId::new(ProcessId(7), 42));
+        assert_eq!(dec.get_time().unwrap(), SimTime::from_millis(8));
+        assert_eq!(dec.get_duration().unwrap(), SimDuration::from_micros(9));
+    }
+
+    #[test]
+    fn eof_is_reported() {
+        let mut dec = Decoder::new(&[1, 2]);
+        let err = dec.get_u32().unwrap_err();
+        assert_eq!(err, CodecError::UnexpectedEof { wanted: 4, available: 2 });
+    }
+
+    #[test]
+    fn bad_bool_is_rejected() {
+        let mut dec = Decoder::new(&[7]);
+        assert_eq!(dec.get_bool().unwrap_err(), CodecError::UnknownTag(7));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_u32(u32::MAX);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert!(matches!(dec.get_bytes().unwrap_err(), CodecError::LengthOverflow { .. }));
+    }
+
+    #[test]
+    fn trailing_bytes_detected() {
+        let mut enc = Encoder::new();
+        enc.put_u8(1);
+        enc.put_u8(2);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        dec.get_u8().unwrap();
+        assert_eq!(dec.finish().unwrap_err(), CodecError::TrailingBytes(1));
+    }
+
+    #[test]
+    fn invalid_utf8_is_rejected() {
+        let mut enc = Encoder::new();
+        enc.put_bytes(&[0xff, 0xfe]);
+        let bytes = enc.finish();
+        let mut dec = Decoder::new(&bytes);
+        assert_eq!(dec.get_str().unwrap_err(), CodecError::InvalidUtf8);
+    }
+
+    #[test]
+    fn wire_trait_round_trip() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(Vec::<u8>::from_wire(&v.to_wire()).unwrap(), v);
+
+        let s = "fail-signal".to_string();
+        assert_eq!(String::from_wire(&s.to_wire()).unwrap(), s);
+
+        let ids = vec![MsgId::new(ProcessId(1), 2), MsgId::new(ProcessId(3), 4)];
+        assert_eq!(Vec::<MsgId>::from_wire(&ids.to_wire()).unwrap(), ids);
+
+        let o: Option<u64> = Some(99);
+        assert_eq!(Option::<u64>::from_wire(&o.to_wire()).unwrap(), o);
+        let n: Option<u64> = None;
+        assert_eq!(Option::<u64>::from_wire(&n.to_wire()).unwrap(), n);
+    }
+
+    #[test]
+    fn wire_rejects_trailing() {
+        let mut bytes = 7u64.to_wire();
+        bytes.push(0);
+        assert!(u64::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn equal_values_encode_identically() {
+        let a = vec![MsgId::new(ProcessId(1), 2), MsgId::new(ProcessId(3), 4)];
+        let b = vec![MsgId::new(ProcessId(1), 2), MsgId::new(ProcessId(3), 4)];
+        assert_eq!(a.to_wire(), b.to_wire());
+    }
+}

@@ -1,0 +1,195 @@
+//! Shared configuration types.
+//!
+//! The timing assumptions A2–A4 of the paper (§2.1) are captured here because
+//! they are referenced by several crates: the fail-signal wrapper uses them to
+//! compute comparison timeouts, the simulator uses them to generate
+//! LAN delays and processing-time variation, and the benchmark harness sweeps
+//! them for ablations.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Error;
+use crate::time::SimDuration;
+
+/// The synchrony and determinism assumptions under which a fail-signal pair
+/// is constructed (paper assumptions A2, A3 and A4).
+///
+/// * `delta` (δ) — the known upper bound on message delay over the
+///   synchronous LAN connecting the two nodes of an FS pair (A2).
+/// * `kappa` (κ) — the known bound on the ratio between the processing delays
+///   of the two replicas for the same input: `max{Δt, Δt'} ≤ κ·min{Δt, Δt'}`
+///   (A3).
+/// * `sigma` (σ) — the analogous bound for the delay of scheduling/sending a
+///   result to the other replica: `max{Δs, Δs'} ≤ σ·min{Δs, Δs'}` (A4).
+///
+/// The appendix of the paper uses κ = σ = 2 in the implementation; those are
+/// the defaults here.
+///
+/// # Examples
+///
+/// ```
+/// use fs_common::config::TimingAssumptions;
+/// use fs_common::time::SimDuration;
+///
+/// let timing = TimingAssumptions::default();
+/// assert_eq!(timing.kappa, 2.0);
+/// assert_eq!(timing.sigma, 2.0);
+/// assert_eq!(timing.delta, SimDuration::from_micros(500));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TimingAssumptions {
+    /// δ: upper bound on one-way message delay over the pair's synchronous LAN.
+    pub delta: SimDuration,
+    /// κ: bound on the ratio of processing delays between the two replicas.
+    pub kappa: f64,
+    /// σ: bound on the ratio of send-scheduling delays between the two replicas.
+    pub sigma: f64,
+}
+
+impl Default for TimingAssumptions {
+    fn default() -> Self {
+        // δ = 500 µs is a conservative bound for a lightly loaded 100 Mb/s
+        // switched Ethernet segment of the paper's era; κ = σ = 2 follow the
+        // paper's appendix.
+        Self { delta: SimDuration::from_micros(500), kappa: 2.0, sigma: 2.0 }
+    }
+}
+
+impl TimingAssumptions {
+    /// Creates a set of assumptions, validating the parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidConfig`] when `delta` is zero or when κ or σ
+    /// is smaller than 1 (a ratio bound below 1 is meaningless) or not
+    /// finite.
+    pub fn new(delta: SimDuration, kappa: f64, sigma: f64) -> Result<Self, Error> {
+        if delta.is_zero() {
+            return Err(Error::InvalidConfig("delta must be positive".into()));
+        }
+        if !(kappa.is_finite() && kappa >= 1.0) {
+            return Err(Error::InvalidConfig(format!("kappa must be >= 1, got {kappa}")));
+        }
+        if !(sigma.is_finite() && sigma >= 1.0) {
+            return Err(Error::InvalidConfig(format!("sigma must be >= 1, got {sigma}")));
+        }
+        Ok(Self { delta, kappa, sigma })
+    }
+
+    /// The leader-side comparison timeout for an output whose processing took
+    /// `pi` (π) and whose signing-and-forwarding took `tau` (τ):
+    /// `2δ + κ·π + σ·τ` (paper §2.2).
+    pub fn leader_compare_timeout(&self, pi: SimDuration, tau: SimDuration) -> SimDuration {
+        self.delta * 2 + pi.mul_f64(self.kappa) + tau.mul_f64(self.sigma)
+    }
+
+    /// The follower-side comparison timeout: `δ + κ·π + σ·τ` (paper §2.2).
+    ///
+    /// The follower always lags the leader by at most δ (inputs are relayed
+    /// by the leader), hence one fewer δ term.
+    pub fn follower_compare_timeout(&self, pi: SimDuration, tau: SimDuration) -> SimDuration {
+        self.delta + pi.mul_f64(self.kappa) + tau.mul_f64(self.sigma)
+    }
+}
+
+/// How many nodes a deployment needs, as a function of the number of
+/// Byzantine faults `f` to mask — the cost analysis of §1 and §3.1.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NodeBudget {
+    /// The number of Byzantine faults to mask at the application level.
+    pub faults: u32,
+}
+
+impl NodeBudget {
+    /// Creates a budget for masking `faults` Byzantine faults.
+    pub fn new(faults: u32) -> Self {
+        Self { faults }
+    }
+
+    /// Application replicas needed to mask `f` Byzantine faults by majority
+    /// voting: `2f + 1`.
+    pub fn application_replicas(&self) -> u32 {
+        2 * self.faults + 1
+    }
+
+    /// Nodes needed by the fail-signal approach: each of the `2f + 1`
+    /// replicas sits behind an FS middleware process occupying two nodes,
+    /// giving `4f + 2` (paper §1).
+    pub fn fail_signal_nodes(&self) -> u32 {
+        4 * self.faults + 2
+    }
+
+    /// Nodes needed by a classical Byzantine-tolerant total-order protocol:
+    /// `3f + 1` (the known optimal the paper compares against).
+    pub fn classical_bft_nodes(&self) -> u32 {
+        3 * self.faults + 1
+    }
+
+    /// The extra nodes the fail-signal approach pays over the classical
+    /// optimum: `(4f + 2) − (3f + 1) = f + 1` (paper §1).
+    pub fn extra_nodes_vs_classical(&self) -> u32 {
+        self.fail_signal_nodes() - self.classical_bft_nodes()
+    }
+
+    /// Nodes used in the paper's *experimental* placement (Figure 5), where
+    /// each application node also hosts the follower wrapper of a different
+    /// FS process: one node per group member.
+    pub fn collapsed_experimental_nodes(&self) -> u32 {
+        self.application_replicas()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_appendix() {
+        let t = TimingAssumptions::default();
+        assert_eq!(t.kappa, 2.0);
+        assert_eq!(t.sigma, 2.0);
+        assert!(!t.delta.is_zero());
+    }
+
+    #[test]
+    fn validation_rejects_bad_parameters() {
+        let d = SimDuration::from_micros(100);
+        assert!(TimingAssumptions::new(SimDuration::ZERO, 2.0, 2.0).is_err());
+        assert!(TimingAssumptions::new(d, 0.5, 2.0).is_err());
+        assert!(TimingAssumptions::new(d, 2.0, 0.0).is_err());
+        assert!(TimingAssumptions::new(d, f64::NAN, 2.0).is_err());
+        assert!(TimingAssumptions::new(d, 2.0, f64::INFINITY).is_err());
+        assert!(TimingAssumptions::new(d, 1.0, 1.0).is_ok());
+    }
+
+    #[test]
+    fn timeout_formulas_match_paper() {
+        let t = TimingAssumptions::new(SimDuration::from_millis(1), 2.0, 3.0).unwrap();
+        let pi = SimDuration::from_millis(4);
+        let tau = SimDuration::from_millis(5);
+        // leader: 2δ + κπ + στ = 2 + 8 + 15 = 25 ms
+        assert_eq!(t.leader_compare_timeout(pi, tau), SimDuration::from_millis(25));
+        // follower: δ + κπ + στ = 1 + 8 + 15 = 24 ms
+        assert_eq!(t.follower_compare_timeout(pi, tau), SimDuration::from_millis(24));
+    }
+
+    #[test]
+    fn leader_timeout_exceeds_follower_timeout() {
+        let t = TimingAssumptions::default();
+        let pi = SimDuration::from_micros(250);
+        let tau = SimDuration::from_micros(40);
+        assert!(t.leader_compare_timeout(pi, tau) > t.follower_compare_timeout(pi, tau));
+    }
+
+    #[test]
+    fn node_budget_matches_paper_costs() {
+        for f in 0..5 {
+            let b = NodeBudget::new(f);
+            assert_eq!(b.application_replicas(), 2 * f + 1);
+            assert_eq!(b.fail_signal_nodes(), 4 * f + 2);
+            assert_eq!(b.classical_bft_nodes(), 3 * f + 1);
+            assert_eq!(b.extra_nodes_vs_classical(), f + 1);
+            assert_eq!(b.collapsed_experimental_nodes(), 2 * f + 1);
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Error types shared across the suite.
+
+use core::fmt;
+
+use crate::id::{GroupId, MsgId, NodeId, ProcessId};
+
+/// The error type returned by the public APIs of the suite.
+///
+/// Every variant is descriptive enough for a caller to act on without string
+/// matching; `Display` messages are lowercase and concise (C-GOOD-ERR).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A destination process is unknown to the transport.
+    UnknownProcess(ProcessId),
+    /// A destination node is unknown to the deployment.
+    UnknownNode(NodeId),
+    /// A group is unknown to the membership service.
+    UnknownGroup(GroupId),
+    /// The caller is not a member of the group it tried to multicast in.
+    NotAMember {
+        /// The group concerned.
+        group: GroupId,
+        /// The process that is not a member.
+        process: ProcessId,
+    },
+    /// A message failed signature verification.
+    BadSignature {
+        /// The offending message.
+        msg: MsgId,
+        /// Why verification failed.
+        reason: SignatureError,
+    },
+    /// A wire-format message could not be decoded.
+    Codec(CodecError),
+    /// The fail-signal process has already emitted its fail-signal; no
+    /// further service is provided.
+    FailSignalled(ProcessId),
+    /// An operation was attempted against a view the process has already
+    /// abandoned (membership changed underneath the caller).
+    StaleView {
+        /// The view number the caller operated on.
+        expected: u64,
+        /// The view number currently installed.
+        actual: u64,
+    },
+    /// A configuration value was invalid (e.g. κ < 1 or a zero-size group).
+    InvalidConfig(String),
+    /// The threaded runtime's channel to a peer was disconnected.
+    Disconnected(ProcessId),
+    /// An operation timed out (threaded runtime only; the simulator never
+    /// blocks).
+    Timeout,
+    /// Any other error with a message; used sparingly at integration edges.
+    Other(String),
+}
+
+/// Why a signature check failed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SignatureError {
+    /// The signature bytes do not verify under the claimed signer's key.
+    Invalid,
+    /// The claimed signer is not present in the key directory.
+    UnknownSigner,
+    /// A double signature was required but only one signature was present.
+    MissingCoSignature,
+    /// The two signatures of a double-signed message are from the same
+    /// wrapper instead of from both wrappers of the pair.
+    DuplicateSigner,
+}
+
+impl fmt::Display for SignatureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SignatureError::Invalid => write!(f, "signature does not verify"),
+            SignatureError::UnknownSigner => write!(f, "unknown signer"),
+            SignatureError::MissingCoSignature => write!(f, "missing co-signature"),
+            SignatureError::DuplicateSigner => write!(f, "both signatures from the same signer"),
+        }
+    }
+}
+
+/// Why decoding a wire message failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CodecError {
+    /// The buffer ended before the announced length.
+    UnexpectedEof {
+        /// Bytes needed by the decoder.
+        wanted: usize,
+        /// Bytes actually available.
+        available: usize,
+    },
+    /// A tag byte did not correspond to any known variant.
+    UnknownTag(u8),
+    /// A length prefix exceeded the configured maximum.
+    LengthOverflow {
+        /// The announced length.
+        length: usize,
+        /// The configured maximum.
+        max: usize,
+    },
+    /// A UTF-8 string field contained invalid UTF-8.
+    InvalidUtf8,
+    /// Trailing bytes remained after a complete value was decoded.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for CodecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CodecError::UnexpectedEof { wanted, available } => {
+                write!(f, "unexpected end of buffer: wanted {wanted} bytes, {available} available")
+            }
+            CodecError::UnknownTag(t) => write!(f, "unknown tag byte {t:#04x}"),
+            CodecError::LengthOverflow { length, max } => {
+                write!(f, "length {length} exceeds maximum {max}")
+            }
+            CodecError::InvalidUtf8 => write!(f, "invalid utf-8 in string field"),
+            CodecError::TrailingBytes(n) => write!(f, "{n} trailing bytes after value"),
+        }
+    }
+}
+
+impl std::error::Error for CodecError {}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::UnknownProcess(p) => write!(f, "unknown process {p}"),
+            Error::UnknownNode(n) => write!(f, "unknown node {n}"),
+            Error::UnknownGroup(g) => write!(f, "unknown group {g}"),
+            Error::NotAMember { group, process } => {
+                write!(f, "process {process} is not a member of {group}")
+            }
+            Error::BadSignature { msg, reason } => {
+                write!(f, "message {msg} failed authentication: {reason}")
+            }
+            Error::Codec(e) => write!(f, "codec error: {e}"),
+            Error::FailSignalled(p) => write!(f, "fail-signal process {p} has signalled failure"),
+            Error::StaleView { expected, actual } => {
+                write!(f, "stale view: expected {expected}, current is {actual}")
+            }
+            Error::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            Error::Disconnected(p) => write!(f, "channel to process {p} disconnected"),
+            Error::Timeout => write!(f, "operation timed out"),
+            Error::Other(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Codec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CodecError> for Error {
+    fn from(e: CodecError) -> Self {
+        Error::Codec(e)
+    }
+}
+
+/// Convenient result alias used across the workspace.
+pub type Result<T, E = Error> = core::result::Result<T, E>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::id::ProcessId;
+
+    #[test]
+    fn errors_are_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+        assert_send_sync::<CodecError>();
+        assert_send_sync::<SignatureError>();
+    }
+
+    #[test]
+    fn display_messages_are_lowercase() {
+        let samples = vec![
+            Error::UnknownProcess(ProcessId(1)).to_string(),
+            Error::Timeout.to_string(),
+            Error::Codec(CodecError::InvalidUtf8).to_string(),
+            Error::BadSignature {
+                msg: MsgId::new(ProcessId(0), 1),
+                reason: SignatureError::Invalid,
+            }
+            .to_string(),
+        ];
+        for s in samples {
+            let first = s.chars().next().unwrap();
+            assert!(first.is_lowercase() || !first.is_alphabetic(), "message {s:?}");
+            assert!(!s.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn codec_error_is_source() {
+        use std::error::Error as _;
+        let e = Error::Codec(CodecError::UnknownTag(0xff));
+        assert!(e.source().is_some());
+        let e = Error::Timeout;
+        assert!(e.source().is_none());
+    }
+
+    #[test]
+    fn from_codec_error() {
+        let e: Error = CodecError::TrailingBytes(4).into();
+        assert_eq!(e, Error::Codec(CodecError::TrailingBytes(4)));
+    }
+}

@@ -1,0 +1,354 @@
+//! Simulated time.
+//!
+//! All protocol code in this suite is written against a *simulated clock* so
+//! that the discrete-event simulator in `fs-simnet` can reproduce the paper's
+//! latency/throughput experiments deterministically.  The threaded runtime
+//! maps these types onto wall-clock time.
+//!
+//! [`SimTime`] is an absolute instant, [`SimDuration`] a span; both count
+//! nanoseconds in a `u64`, which covers ~584 years of simulated time — far
+//! more than any experiment here needs.
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, in nanoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+    /// The maximum representable duration (used as "infinite" timeout).
+    pub const MAX: SimDuration = SimDuration(u64::MAX);
+
+    /// Creates a duration from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Creates a duration from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000_000)
+    }
+
+    /// Creates a duration from a floating-point number of milliseconds.
+    ///
+    /// Negative values are clamped to zero.
+    pub fn from_millis_f64(ms: f64) -> Self {
+        if ms <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((ms * 1_000_000.0).round() as u64)
+        }
+    }
+
+    /// Creates a duration from a floating-point number of microseconds.
+    ///
+    /// Negative values are clamped to zero.
+    pub fn from_micros_f64(us: f64) -> Self {
+        if us <= 0.0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration((us * 1_000.0).round() as u64)
+        }
+    }
+
+    /// Returns the duration as nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the duration as (truncated) microseconds.
+    pub const fn as_micros(self) -> u64 {
+        self.0 / 1_000
+    }
+
+    /// Returns the duration as (truncated) milliseconds.
+    pub const fn as_millis(self) -> u64 {
+        self.0 / 1_000_000
+    }
+
+    /// Returns the duration as floating-point milliseconds.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns the duration as floating-point seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Checked multiplication by a scalar.
+    pub fn checked_mul(self, rhs: u64) -> Option<SimDuration> {
+        self.0.checked_mul(rhs).map(SimDuration)
+    }
+
+    /// Multiplies by a floating-point factor, rounding to the nearest
+    /// nanosecond and saturating at [`SimDuration::MAX`].
+    ///
+    /// This is used for the paper's κ- and σ-scaled timeout terms
+    /// (`κ*π + σ*τ`), where κ and σ are real-valued bounds on the ratio of
+    /// processing/scheduling delays between the two replicas.
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        if factor <= 0.0 {
+            return SimDuration::ZERO;
+        }
+        let v = self.0 as f64 * factor;
+        if v >= u64::MAX as f64 {
+            SimDuration::MAX
+        } else {
+            SimDuration(v.round() as u64)
+        }
+    }
+
+    /// Returns true when the duration is zero.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        self.0 -= rhs.0;
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3}s", self.as_secs_f64())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3}ms", self.as_millis_f64())
+        } else if self.0 >= 1_000 {
+            write!(f, "{:.3}us", self.0 as f64 / 1_000.0)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+impl From<core::time::Duration> for SimDuration {
+    fn from(d: core::time::Duration) -> Self {
+        SimDuration(d.as_nanos().min(u64::MAX as u128) as u64)
+    }
+}
+
+impl From<SimDuration> for core::time::Duration {
+    fn from(d: SimDuration) -> Self {
+        core::time::Duration::from_nanos(d.0)
+    }
+}
+
+/// An absolute instant of simulated time (nanoseconds since simulation start).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as a sentinel "never" deadline.
+    pub const MAX: SimTime = SimTime(u64::MAX);
+
+    /// Creates an instant from nanoseconds since the epoch.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Creates an instant from milliseconds since the epoch.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimTime(ms * 1_000_000)
+    }
+
+    /// Creates an instant from whole seconds since the epoch.
+    pub const fn from_secs(s: u64) -> Self {
+        SimTime(s * 1_000_000_000)
+    }
+
+    /// Returns nanoseconds since the epoch.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Returns floating-point milliseconds since the epoch.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000.0
+    }
+
+    /// Returns floating-point seconds since the epoch.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1_000_000_000.0
+    }
+
+    /// Returns the duration elapsed since `earlier`, saturating at zero if
+    /// `earlier` is in the future.
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Saturating addition of a duration.
+    pub fn saturating_add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(d.as_nanos()))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 + rhs.as_nanos())
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_nanos();
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl Sub<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn sub(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0 - rhs.as_nanos())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={}", SimDuration(self.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_constructors_agree() {
+        assert_eq!(SimDuration::from_secs(1), SimDuration::from_millis(1_000));
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1_000));
+        assert_eq!(SimDuration::from_micros(1), SimDuration::from_nanos(1_000));
+    }
+
+    #[test]
+    fn duration_float_constructors() {
+        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1_500));
+        assert_eq!(SimDuration::from_millis_f64(-1.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::from_micros_f64(2.5), SimDuration::from_nanos(2_500));
+    }
+
+    #[test]
+    fn duration_arithmetic() {
+        let a = SimDuration::from_millis(3);
+        let b = SimDuration::from_millis(2);
+        assert_eq!(a + b, SimDuration::from_millis(5));
+        assert_eq!(a - b, SimDuration::from_millis(1));
+        assert_eq!(a * 4, SimDuration::from_millis(12));
+        assert_eq!(a / 3, SimDuration::from_millis(1));
+        assert_eq!(b.saturating_sub(a), SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX.saturating_add(a), SimDuration::MAX);
+    }
+
+    #[test]
+    fn duration_mul_f64_rounds_and_saturates() {
+        let d = SimDuration::from_nanos(100);
+        assert_eq!(d.mul_f64(2.0), SimDuration::from_nanos(200));
+        assert_eq!(d.mul_f64(1.5), SimDuration::from_nanos(150));
+        assert_eq!(d.mul_f64(0.0), SimDuration::ZERO);
+        assert_eq!(d.mul_f64(-3.0), SimDuration::ZERO);
+        assert_eq!(SimDuration::MAX.mul_f64(2.0), SimDuration::MAX);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!(t1.as_millis_f64(), 10.0);
+        assert_eq!(t1 - t0, SimDuration::from_millis(10));
+        assert_eq!(t1.duration_since(t0), SimDuration::from_millis(10));
+        assert_eq!(t0.duration_since(t1), SimDuration::ZERO);
+        assert_eq!(t1 - SimDuration::from_millis(4), SimTime::from_millis(6));
+    }
+
+    #[test]
+    fn display_picks_sensible_units() {
+        assert_eq!(SimDuration::from_nanos(5).to_string(), "5ns");
+        assert_eq!(SimDuration::from_micros(5).to_string(), "5.000us");
+        assert_eq!(SimDuration::from_millis(5).to_string(), "5.000ms");
+        assert_eq!(SimDuration::from_secs(5).to_string(), "5.000s");
+    }
+
+    #[test]
+    fn std_duration_round_trip() {
+        let d = SimDuration::from_micros(1234);
+        let std: core::time::Duration = d.into();
+        let back: SimDuration = std.into();
+        assert_eq!(d, back);
+    }
+}

@@ -1,0 +1,218 @@
+//! Validity checking and duplicate suppression at FS-process destinations.
+//!
+//! "An output from FS p is valid only if it bears the authentic signatures of
+//! both Compare and Compare'" (§2.1), and when both nodes are correct *two*
+//! valid copies arrive (signed in opposite orders).  [`FsReceiver`] is the
+//! piece a destination embeds to enforce that: it verifies the double
+//! signature, suppresses the duplicate copy, and converts the first valid
+//! fail-signal from each source into a notification — the raw material the
+//! FS-NewTOP suspector turns into (never false) suspicions.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
+
+use fs_common::codec::Wire;
+use fs_common::id::FsId;
+use fs_crypto::keys::{KeyDirectory, SignerId};
+
+use crate::message::{FsContent, FsOutput, FsoInbound};
+
+/// What a destination learns from one accepted message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FsDelivery {
+    /// A fresh, valid output of the given FS process.
+    Output {
+        /// The emitting FS process.
+        fs: FsId,
+        /// The pair-wide output sequence number.
+        output_seq: u64,
+        /// The output bytes (signatures already stripped).
+        bytes: Vec<u8>,
+    },
+    /// The first valid fail-signal received from the given FS process.
+    FailSignal {
+        /// The failed FS process.
+        fs: FsId,
+    },
+}
+
+/// Per-destination statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReceiverStats {
+    /// Valid, fresh outputs accepted.
+    pub accepted: u64,
+    /// Valid duplicates suppressed (the second copy of each output).
+    pub duplicates: u64,
+    /// Messages rejected: unknown source, bad signatures, malformed bytes.
+    pub rejected: u64,
+    /// Fail-signals accepted (first occurrence per source).
+    pub fail_signals: u64,
+}
+
+/// Verifies, deduplicates and strips FS-process outputs at a destination.
+#[derive(Debug, Clone)]
+pub struct FsReceiver {
+    directory: Arc<KeyDirectory>,
+    /// The wrapper signer pair of every FS process this destination accepts
+    /// messages from.
+    known_pairs: BTreeMap<FsId, (SignerId, SignerId)>,
+    seen_outputs: BTreeSet<(FsId, u64)>,
+    failed_sources: BTreeSet<FsId>,
+    stats: ReceiverStats,
+}
+
+impl FsReceiver {
+    /// Creates a receiver trusting the given key directory.
+    pub fn new(directory: Arc<KeyDirectory>) -> Self {
+        Self {
+            directory,
+            known_pairs: BTreeMap::new(),
+            seen_outputs: BTreeSet::new(),
+            failed_sources: BTreeSet::new(),
+            stats: ReceiverStats::default(),
+        }
+    }
+
+    /// Registers the wrapper signer pair of a source FS process.
+    pub fn register_source(&mut self, fs: FsId, signers: (SignerId, SignerId)) {
+        self.known_pairs.insert(fs, signers);
+    }
+
+    /// The sources whose fail-signal has been received.
+    pub fn failed_sources(&self) -> &BTreeSet<FsId> {
+        &self.failed_sources
+    }
+
+    /// The receiver's counters.
+    pub fn stats(&self) -> ReceiverStats {
+        self.stats
+    }
+
+    /// Processes one raw message addressed to this destination.  Returns the
+    /// delivery it produces, if any.
+    pub fn accept(&mut self, payload: &[u8]) -> Option<FsDelivery> {
+        let output = match FsoInbound::from_wire(payload) {
+            Ok(FsoInbound::External(output)) => output,
+            Ok(_) | Err(_) => {
+                // Destinations outside the pair only ever accept external
+                // (double-signed) traffic.
+                self.stats.rejected += 1;
+                return None;
+            }
+        };
+        self.accept_output(output)
+    }
+
+    /// Processes an already-decoded FS output.
+    pub fn accept_output(&mut self, output: FsOutput) -> Option<FsDelivery> {
+        let Some(&signers) = self.known_pairs.get(&output.fs) else {
+            self.stats.rejected += 1;
+            return None;
+        };
+        if output.verify(&self.directory, signers).is_err() {
+            self.stats.rejected += 1;
+            return None;
+        }
+        match output.content {
+            FsContent::FailSignal => {
+                if self.failed_sources.insert(output.fs) {
+                    self.stats.fail_signals += 1;
+                    Some(FsDelivery::FailSignal { fs: output.fs })
+                } else {
+                    self.stats.duplicates += 1;
+                    None
+                }
+            }
+            FsContent::Output { output_seq, bytes, .. } => {
+                if self.seen_outputs.insert((output.fs, output_seq)) {
+                    self.stats.accepted += 1;
+                    Some(FsDelivery::Output { fs: output.fs, output_seq, bytes })
+                } else {
+                    self.stats.duplicates += 1;
+                    None
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::id::ProcessId;
+    use fs_common::rng::DetRng;
+    use fs_crypto::keys::{provision, SigningKey};
+    use fs_smr::machine::Endpoint;
+
+    fn setup() -> (SigningKey, SigningKey, SigningKey, Arc<KeyDirectory>) {
+        let mut rng = DetRng::new(5);
+        let (mut keys, dir) = provision([ProcessId(1), ProcessId(2), ProcessId(3)], &mut rng);
+        (
+            keys.remove(&SignerId(ProcessId(1))).unwrap(),
+            keys.remove(&SignerId(ProcessId(2))).unwrap(),
+            keys.remove(&SignerId(ProcessId(3))).unwrap(),
+            dir,
+        )
+    }
+
+    fn output(fs: u32, seq: u64, a: &SigningKey, b: &SigningKey) -> FsOutput {
+        FsOutput::sign(
+            FsId(fs),
+            FsContent::Output { output_seq: seq, dest: Endpoint::LocalApp, bytes: vec![seq as u8] },
+            a,
+            b,
+        )
+    }
+
+    #[test]
+    fn accepts_valid_output_once() {
+        let (a, b, _, dir) = setup();
+        let mut r = FsReceiver::new(dir);
+        r.register_source(FsId(1), (a.signer, b.signer));
+        let o = output(1, 0, &a, &b);
+        let first = r.accept(&FsoInbound::External(o.clone()).to_wire());
+        assert_eq!(
+            first,
+            Some(FsDelivery::Output { fs: FsId(1), output_seq: 0, bytes: vec![0] })
+        );
+        // The second (oppositely signed) copy is suppressed.
+        let second_copy = output(1, 0, &b, &a);
+        assert_eq!(r.accept_output(second_copy), None);
+        assert_eq!(r.stats().accepted, 1);
+        assert_eq!(r.stats().duplicates, 1);
+    }
+
+    #[test]
+    fn rejects_unknown_source_and_bad_signature() {
+        let (a, b, c, dir) = setup();
+        let mut r = FsReceiver::new(dir);
+        r.register_source(FsId(1), (a.signer, b.signer));
+        // Unknown source FS.
+        assert_eq!(r.accept_output(output(9, 0, &a, &b)), None);
+        // Forged: outsider c signs instead of b.
+        assert_eq!(r.accept_output(output(1, 1, &a, &c)), None);
+        assert_eq!(r.stats().rejected, 2);
+    }
+
+    #[test]
+    fn fail_signal_reported_once() {
+        let (a, b, _, dir) = setup();
+        let mut r = FsReceiver::new(dir);
+        r.register_source(FsId(1), (a.signer, b.signer));
+        let signal = FsOutput::sign(FsId(1), FsContent::FailSignal, &b, &a);
+        assert_eq!(r.accept_output(signal.clone()), Some(FsDelivery::FailSignal { fs: FsId(1) }));
+        assert_eq!(r.accept_output(signal), None);
+        assert!(r.failed_sources().contains(&FsId(1)));
+        assert_eq!(r.stats().fail_signals, 1);
+    }
+
+    #[test]
+    fn malformed_and_internal_messages_are_rejected() {
+        let (_, _, _, dir) = setup();
+        let mut r = FsReceiver::new(dir);
+        assert_eq!(r.accept(&[0xff, 0x00]), None);
+        let internal = FsoInbound::Raw(b"raw".to_vec()).to_wire();
+        assert_eq!(r.accept(&internal), None);
+        assert_eq!(r.stats().rejected, 2);
+    }
+}

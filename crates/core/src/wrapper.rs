@@ -1,0 +1,496 @@
+//! The Fail-Signal wrapper Object (FSO): Order + Compare around a
+//! deterministic machine.
+//!
+//! One [`FsoActor`] is one half of a fail-signal pair.  Following §2 and the
+//! appendix of the paper:
+//!
+//! * **Order**: the leader assigns a total order to every external input and
+//!   relays it to the follower ([`PairMessage::Ordered`]); the follower only
+//!   processes inputs in the leader's order and uses its IRM pool to detect a
+//!   leader that stops ordering (timeout `t2 = 2δ`).
+//! * **Compare**: every output of the wrapped machine is signed once and sent
+//!   to the partner ([`PairMessage::Candidate`]); when the two copies match,
+//!   the local copy of the remote's signature is counter-signed and the
+//!   double-signed output is transmitted to the destination(s).  A mismatch,
+//!   or a comparison that does not complete within `2δ + κπ + στ` (leader)
+//!   or `δ + κπ + στ` (follower), makes the wrapper emit the pair's
+//!   pre-armed, double-signed **fail-signal** and cease normal service.
+//!
+//! A failed wrapper thereafter answers every incoming message with the
+//! fail-signal (property fs1); arbitrary fail-signal emission by a faulty
+//! node (property fs2) is exercised by the fault-injection crate.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fs_common::codec::Wire;
+use fs_common::id::{FsId, ProcessId, Role};
+use fs_common::time::SimDuration;
+use fs_crypto::sha256::{Digest, Sha256};
+use fs_crypto::sig::Signature;
+use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
+
+use crate::config::{FsoConfig, SourceSpec};
+use crate::message::{signing_bytes, FsContent, FsOutput, FsoInbound, PairMessage};
+
+/// Counters describing what a wrapper has done; used by tests and benches.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FsoStats {
+    /// External inputs accepted and ordered/processed.
+    pub inputs_processed: u64,
+    /// Outputs whose comparison succeeded (double-signed and transmitted).
+    pub outputs_validated: u64,
+    /// Output comparisons that failed on content mismatch.
+    pub mismatches: u64,
+    /// Output comparisons (or input orderings) that timed out.
+    pub timeouts: u64,
+    /// Fail-signal transmissions performed.
+    pub fail_signals_sent: u64,
+    /// Duplicate external messages suppressed.
+    pub duplicates_suppressed: u64,
+    /// External messages rejected because their signatures did not verify.
+    pub rejected_inputs: u64,
+}
+
+#[derive(Debug, Clone)]
+struct IcmpEntry {
+    dest: Endpoint,
+    bytes: Vec<u8>,
+    timer: TimerId,
+}
+
+#[derive(Debug, Clone)]
+struct EcmpEntry {
+    dest: Endpoint,
+    bytes: Vec<u8>,
+    signature: Signature,
+}
+
+#[derive(Debug, Clone)]
+struct IrmpEntry {
+    timer: TimerId,
+}
+
+enum TimerPurpose {
+    /// An ICMP (output-comparison) deadline for the given output sequence.
+    OutputCompare(u64),
+    /// An IRMP (input-ordering) deadline for the given input digest.
+    InputOrdering(Digest),
+}
+
+/// One fail-signal wrapper object hosting a replica of the target machine.
+pub struct FsoActor {
+    config: FsoConfig,
+    machine: Box<dyn DeterministicMachine>,
+    /// Leader: next order index to assign.  Follower: next index expected.
+    order_index: u64,
+    /// Inputs already ordered/processed (by content digest) — merges the
+    /// leader's external receipt with the follower's `ForwardNew` copy and
+    /// the follower's external receipt with the leader's `Ordered` relay.
+    seen_inputs: BTreeSet<Digest>,
+    /// External FS outputs already accepted, keyed by `(fs, output_seq)`.
+    seen_external: BTreeSet<(FsId, u64)>,
+    /// Source FS processes whose fail-signal has already been converted.
+    fail_signals_seen: BTreeSet<FsId>,
+    /// Follower only: externally received inputs awaiting the leader's order.
+    irmp: BTreeMap<Digest, IrmpEntry>,
+    /// Locally produced outputs awaiting comparison.
+    icmp: BTreeMap<u64, IcmpEntry>,
+    /// Remote candidates awaiting the corresponding local output.
+    ecmp: BTreeMap<u64, EcmpEntry>,
+    output_seq: u64,
+    failed: bool,
+    stats: FsoStats,
+    next_timer: u64,
+    timers: BTreeMap<TimerId, TimerPurpose>,
+}
+
+impl std::fmt::Debug for FsoActor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FsoActor")
+            .field("fs", &self.config.fs)
+            .field("role", &self.config.role)
+            .field("failed", &self.failed)
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl FsoActor {
+    /// Creates a wrapper object around a replica of the target machine.
+    pub fn new(config: FsoConfig, machine: Box<dyn DeterministicMachine>) -> Self {
+        Self {
+            config,
+            machine,
+            order_index: 0,
+            seen_inputs: BTreeSet::new(),
+            seen_external: BTreeSet::new(),
+            fail_signals_seen: BTreeSet::new(),
+            irmp: BTreeMap::new(),
+            icmp: BTreeMap::new(),
+            ecmp: BTreeMap::new(),
+            output_seq: 0,
+            failed: false,
+            stats: FsoStats::default(),
+            next_timer: 0,
+            timers: BTreeMap::new(),
+        }
+    }
+
+    /// The wrapper's role in the pair.
+    pub fn role(&self) -> Role {
+        self.config.role
+    }
+
+    /// The FS process this wrapper belongs to.
+    pub fn fs(&self) -> FsId {
+        self.config.fs
+    }
+
+    /// Whether the wrapper has emitted its fail-signal.
+    pub fn has_failed(&self) -> bool {
+        self.failed
+    }
+
+    /// The wrapper's activity counters.
+    pub fn stats(&self) -> FsoStats {
+        self.stats
+    }
+
+    /// Read access to the wrapped machine (e.g. to inspect a `GcMachine` in
+    /// tests); the wrapper never exposes it mutably.
+    pub fn machine(&self) -> &dyn DeterministicMachine {
+        self.machine.as_ref()
+    }
+
+    fn alloc_timer(&mut self, purpose: TimerPurpose) -> TimerId {
+        self.next_timer += 1;
+        let id = TimerId(1000 + self.next_timer);
+        self.timers.insert(id, purpose);
+        id
+    }
+
+    fn input_digest(endpoint: Endpoint, bytes: &[u8]) -> Digest {
+        let mut h = Sha256::new();
+        match endpoint {
+            Endpoint::LocalApp => h.update(&[0]),
+            Endpoint::Peer(m) => {
+                h.update(&[1]);
+                h.update(&m.0.to_le_bytes());
+            }
+            Endpoint::Environment => h.update(&[2]),
+            Endpoint::Broadcast => h.update(&[3]),
+        }
+        h.update(bytes);
+        h.finalize()
+    }
+
+    fn send_pair(&self, ctx: &mut dyn Context, message: PairMessage) {
+        ctx.send(self.config.partner, FsoInbound::Pair(message).to_wire());
+    }
+
+    fn fail_signal_output(&self) -> FsOutput {
+        FsOutput::counter_sign(
+            self.config.fs,
+            FsContent::FailSignal,
+            self.config.prearmed_fail_signal.clone(),
+            &self.config.key,
+        )
+    }
+
+    fn fail(&mut self, ctx: &mut dyn Context, reason: &str) {
+        if self.failed {
+            return;
+        }
+        self.failed = true;
+        ctx.trace(&format!("fail-signal: {reason}"));
+        ctx.charge_cpu(self.config.crypto_costs.sign_cost(64));
+        let signal = FsoInbound::External(self.fail_signal_output()).to_wire();
+        for process in self.config.routes.all_processes() {
+            ctx.send(process, signal.clone());
+            self.stats.fail_signals_sent += 1;
+        }
+        // Outstanding comparisons are abandoned.
+        self.icmp.clear();
+        self.ecmp.clear();
+        self.irmp.clear();
+    }
+
+    fn reply_with_fail_signal(&mut self, ctx: &mut dyn Context, to: ProcessId) {
+        let signal = FsoInbound::External(self.fail_signal_output()).to_wire();
+        ctx.send(to, signal);
+        self.stats.fail_signals_sent += 1;
+    }
+
+    /// Handles an input that has been authenticated (if necessary) and
+    /// attributed to a logical endpoint, but not yet ordered.
+    fn on_external_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Vec<u8>) {
+        let digest = Self::input_digest(endpoint, &bytes);
+        if self.seen_inputs.contains(&digest) {
+            self.stats.duplicates_suppressed += 1;
+            return;
+        }
+        match self.config.role {
+            Role::Leader => {
+                self.seen_inputs.insert(digest);
+                let order_index = self.order_index;
+                self.order_index += 1;
+                self.send_pair(
+                    ctx,
+                    PairMessage::Ordered { order_index, source: endpoint, bytes: bytes.clone() },
+                );
+                self.process_input(ctx, endpoint, bytes);
+            }
+            Role::Follower => {
+                // t1 = 0: forward immediately to the leader, then wait up to
+                // t2 = 2δ for the leader to order it.
+                if self.irmp.contains_key(&digest) {
+                    self.stats.duplicates_suppressed += 1;
+                    return;
+                }
+                self.send_pair(
+                    ctx,
+                    PairMessage::ForwardNew { source: endpoint, bytes: bytes.clone() },
+                );
+                let timer = self.alloc_timer(TimerPurpose::InputOrdering(digest));
+                ctx.set_timer(self.config.timing.delta * 2, timer);
+                self.irmp.insert(digest, IrmpEntry { timer });
+            }
+        }
+    }
+
+    /// Runs the wrapped machine on one ordered input and submits every output
+    /// for comparison.
+    fn process_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Vec<u8>) {
+        let input = MachineInput::new(endpoint, bytes);
+        let pi = self.machine.processing_cost(&input);
+        ctx.charge_cpu(pi);
+        self.stats.inputs_processed += 1;
+        let outputs = self.machine.handle(&input);
+        for MachineOutput { dest, bytes } in outputs {
+            self.produce_output(ctx, dest, bytes, pi);
+        }
+    }
+
+    /// Signs a locally produced output, checks it against any remote
+    /// candidate already received, and otherwise parks it in the ICM pool
+    /// with the paper's comparison timeout.
+    fn produce_output(
+        &mut self,
+        ctx: &mut dyn Context,
+        dest: Endpoint,
+        bytes: Vec<u8>,
+        pi: SimDuration,
+    ) {
+        let output_seq = self.output_seq;
+        self.output_seq += 1;
+
+        let content = FsContent::Output { output_seq, dest, bytes: bytes.clone() };
+        let content_bytes = signing_bytes(self.config.fs, &content);
+        let tau = self.config.crypto_costs.sign_cost(content_bytes.len());
+        ctx.charge_cpu(tau);
+        let signature = Signature::sign(&self.config.key, &content_bytes);
+
+        self.send_pair(
+            ctx,
+            PairMessage::Candidate { output_seq, dest, bytes: bytes.clone(), signature },
+        );
+
+        if let Some(remote) = self.ecmp.remove(&output_seq) {
+            self.complete_comparison(ctx, output_seq, dest, bytes, remote);
+            return;
+        }
+
+        let timeout = if self.config.is_leader() {
+            self.config.timing.leader_compare_timeout(pi, tau)
+        } else {
+            self.config.timing.follower_compare_timeout(pi, tau)
+        };
+        let timer = self.alloc_timer(TimerPurpose::OutputCompare(output_seq));
+        ctx.set_timer(timeout, timer);
+        self.icmp.insert(output_seq, IcmpEntry { dest, bytes, timer });
+    }
+
+    /// Compares a local output with the remote candidate of the same
+    /// sequence number; on success emits the double-signed output, on
+    /// mismatch emits the fail-signal.
+    fn complete_comparison(
+        &mut self,
+        ctx: &mut dyn Context,
+        output_seq: u64,
+        dest: Endpoint,
+        bytes: Vec<u8>,
+        remote: EcmpEntry,
+    ) {
+        if remote.dest != dest || remote.bytes != bytes {
+            self.stats.mismatches += 1;
+            self.fail(ctx, "output comparison mismatch");
+            return;
+        }
+        // Counter-sign the remote's (already verified) signature.
+        let content = FsContent::Output { output_seq, dest, bytes };
+        ctx.charge_cpu(self.config.crypto_costs.sign_cost(64));
+        let output =
+            FsOutput::counter_sign(self.config.fs, content, remote.signature, &self.config.key);
+        let wire = FsoInbound::External(output).to_wire();
+        for process in self.config.routes.lookup(dest) {
+            ctx.send(*process, wire.clone());
+        }
+        self.stats.outputs_validated += 1;
+    }
+
+    fn on_pair_message(&mut self, ctx: &mut dyn Context, message: PairMessage) {
+        match message {
+            PairMessage::Ordered { order_index, source, bytes } => {
+                if self.config.is_leader() {
+                    return; // only the follower accepts orderings
+                }
+                // The follower checks that the leader orders every message it
+                // has seen; the order index must advance without gaps.
+                if order_index != self.order_index {
+                    self.fail(ctx, "leader ordering gap");
+                    return;
+                }
+                self.order_index += 1;
+                let digest = Self::input_digest(source, &bytes);
+                if let Some(entry) = self.irmp.remove(&digest) {
+                    ctx.cancel_timer(entry.timer);
+                    self.timers.remove(&entry.timer);
+                }
+                if self.seen_inputs.insert(digest) {
+                    self.process_input(ctx, source, bytes);
+                } else {
+                    self.stats.duplicates_suppressed += 1;
+                }
+            }
+            PairMessage::ForwardNew { source, bytes } => {
+                if !self.config.is_leader() {
+                    return; // only the leader accepts forwards
+                }
+                self.on_external_input(ctx, source, bytes);
+            }
+            PairMessage::Candidate { output_seq, dest, bytes, signature } => {
+                // Verify the partner's single signature before trusting the
+                // candidate (assumption A5: signatures cannot be forged).
+                let content = FsContent::Output { output_seq, dest, bytes: bytes.clone() };
+                let content_bytes = signing_bytes(self.config.fs, &content);
+                ctx.charge_cpu(self.config.crypto_costs.verify_cost(content_bytes.len()));
+                if signature.signer != self.config.partner_signer
+                    || signature.verify(&self.config.directory, &content_bytes).is_err()
+                {
+                    self.stats.rejected_inputs += 1;
+                    self.fail(ctx, "invalid candidate signature");
+                    return;
+                }
+                if let Some(local) = self.icmp.remove(&output_seq) {
+                    ctx.cancel_timer(local.timer);
+                    self.timers.remove(&local.timer);
+                    self.complete_comparison(
+                        ctx,
+                        output_seq,
+                        local.dest,
+                        local.bytes,
+                        EcmpEntry { dest, bytes, signature },
+                    );
+                } else {
+                    self.ecmp.insert(output_seq, EcmpEntry { dest, bytes, signature });
+                }
+            }
+        }
+    }
+
+    fn on_external_message(&mut self, ctx: &mut dyn Context, from: ProcessId, output: FsOutput) {
+        let Some(spec) = self.config.sources.get(&from).cloned() else {
+            self.stats.rejected_inputs += 1;
+            return;
+        };
+        let SourceSpec::FsProcess { fs, signers, endpoint } = spec else {
+            self.stats.rejected_inputs += 1;
+            return;
+        };
+        ctx.charge_cpu(self.config.crypto_costs.verify_double_cost(64));
+        if output.fs != fs || output.verify(&self.config.directory, signers).is_err() {
+            self.stats.rejected_inputs += 1;
+            return;
+        }
+        match output.content {
+            FsContent::FailSignal => {
+                if self.fail_signals_seen.insert(fs) {
+                    // A validated fail-signal is converted into the
+                    // pre-configured environment input (FS-NewTOP turns it
+                    // into a suspicion) and ordered like any other input.
+                    if let Some(injected) = self.config.fail_signal_inputs.get(&fs).cloned() {
+                        self.on_external_input(ctx, Endpoint::Environment, injected);
+                    }
+                }
+            }
+            FsContent::Output { output_seq, bytes, .. } => {
+                if !self.seen_external.insert((fs, output_seq)) {
+                    self.stats.duplicates_suppressed += 1;
+                    return;
+                }
+                self.on_external_input(ctx, endpoint, bytes);
+            }
+        }
+    }
+}
+
+impl Actor for FsoActor {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+        if self.failed {
+            // fs1: a failed FS process answers everything with its fail-signal.
+            self.reply_with_fail_signal(ctx, from);
+            return;
+        }
+        let Ok(inbound) = FsoInbound::from_wire(&payload) else {
+            self.stats.rejected_inputs += 1;
+            return;
+        };
+        match inbound {
+            FsoInbound::Pair(message) => {
+                if from != self.config.partner {
+                    self.stats.rejected_inputs += 1;
+                    return;
+                }
+                self.on_pair_message(ctx, message);
+            }
+            FsoInbound::External(output) => self.on_external_message(ctx, from, output),
+            FsoInbound::Raw(bytes) => {
+                match self.config.sources.get(&from) {
+                    Some(SourceSpec::TrustedClient { endpoint }) => {
+                        let endpoint = *endpoint;
+                        self.on_external_input(ctx, endpoint, bytes);
+                    }
+                    _ => {
+                        self.stats.rejected_inputs += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
+        if self.failed {
+            return;
+        }
+        let Some(purpose) = self.timers.remove(&timer) else { return };
+        match purpose {
+            TimerPurpose::OutputCompare(output_seq) => {
+                if self.icmp.remove(&output_seq).is_some() {
+                    self.stats.timeouts += 1;
+                    self.fail(ctx, "output comparison timeout");
+                }
+            }
+            TimerPurpose::InputOrdering(digest) => {
+                if self.irmp.remove(&digest).is_some() {
+                    self.stats.timeouts += 1;
+                    self.fail(ctx, "leader failed to order an input in time");
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("fso-{}-{}", self.config.fs.0, self.config.role)
+    }
+}

@@ -1,0 +1,49 @@
+//! # fs-crypto
+//!
+//! Message authentication for the fail-signal suite: a from-scratch SHA-256,
+//! HMAC-SHA-256 keyed authenticators, a start-up-provisioned key directory,
+//! single- and double-signed message envelopes, and a cost model that charges
+//! the simulated clock for the (much more expensive) signature scheme the
+//! original paper used.
+//!
+//! See DESIGN.md §5 for the substitution rationale: the paper's assumption A5
+//! only requires unforgeable, verifiable message signatures, which the keyed
+//! authenticators provide in the simulated/threaded deployments where
+//! verification keys are distributed through a trusted directory at start-up.
+//!
+//! ## Example
+//!
+//! ```
+//! use fs_common::{id::ProcessId, rng::DetRng};
+//! use fs_crypto::keys::{provision, SignerId};
+//! use fs_crypto::sig::SingleSigned;
+//!
+//! let mut rng = DetRng::new(1);
+//! let (mut keys, directory) = provision([ProcessId(0), ProcessId(1)], &mut rng);
+//! let leader_key = keys.remove(&SignerId(ProcessId(0))).unwrap();
+//! let follower_key = keys.remove(&SignerId(ProcessId(1))).unwrap();
+//!
+//! // Leader's Compare signs an output, follower's Compare counter-signs it.
+//! let bytes = b"totally ordered message".to_vec();
+//! let double = SingleSigned::new((), &bytes, &leader_key).counter_sign(&bytes, &follower_key);
+//!
+//! // A destination accepts it only with both authentic signatures.
+//! double
+//!     .verify(&directory, &bytes, (leader_key.signer, follower_key.signer))
+//!     .expect("valid FS output");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cost;
+pub mod hmac;
+pub mod keys;
+pub mod sha256;
+pub mod sig;
+
+pub use cost::CryptoCostModel;
+pub use hmac::HmacSha256;
+pub use keys::{provision, KeyDirectory, SignerId, SigningKey, VerifyingKey};
+pub use sha256::{Digest, Sha256};
+pub use sig::{DoubleSigned, Signature, SingleSigned};

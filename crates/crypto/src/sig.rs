@@ -1,0 +1,307 @@
+//! Message signatures: single and double (co-signed) forms.
+//!
+//! The fail-signal protocol (paper §2.1) requires that:
+//!
+//! * every output of a replica is **single-signed** by the local Compare
+//!   process before being forwarded to the remote Compare for matching;
+//! * an output of the FS process as a whole is valid only when it bears the
+//!   authentic signatures of *both* Compare processes — a **double-signed**
+//!   message;
+//! * the fail-signal itself is a pre-agreed message, single-signed by each
+//!   Compare at start-up and counter-signed by the other Compare when it is
+//!   emitted.
+//!
+//! This module provides those building blocks generically over any byte
+//! payload; the envelope types live in the `failsignal` crate.
+
+use serde::{Deserialize, Serialize};
+
+use fs_common::SignatureError;
+
+use crate::hmac::HmacSha256;
+use crate::keys::{KeyDirectory, SignerId, SigningKey};
+use crate::sha256::Digest;
+
+/// A signature by a single signer over a byte string.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature {
+    /// Who produced this signature.
+    pub signer: SignerId,
+    /// The authenticator tag.
+    pub tag: Digest,
+}
+
+impl Signature {
+    /// Signs `message` with `key`.
+    pub fn sign(key: &SigningKey, message: &[u8]) -> Signature {
+        Signature { signer: key.signer, tag: HmacSha256::mac(key.secret(), message) }
+    }
+
+    /// Verifies this signature over `message` against the key directory.
+    ///
+    /// # Errors
+    ///
+    /// * [`SignatureError::UnknownSigner`] — the claimed signer is not in the
+    ///   directory.
+    /// * [`SignatureError::Invalid`] — the tag does not verify.
+    pub fn verify(&self, directory: &KeyDirectory, message: &[u8]) -> Result<(), SignatureError> {
+        let key = directory.lookup(self.signer)?;
+        if HmacSha256::verify(key.secret(), message, self.tag.as_bytes()) {
+            Ok(())
+        } else {
+            Err(SignatureError::Invalid)
+        }
+    }
+}
+
+/// A message carrying exactly one signature — the form exchanged *between*
+/// the two Compare processes of a pair.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SingleSigned<T> {
+    /// The signed content.
+    pub content: T,
+    /// The signature over the canonical encoding of the content.
+    pub signature: Signature,
+}
+
+impl<T> SingleSigned<T> {
+    /// Signs `content`, whose canonical bytes are `content_bytes`, with `key`.
+    ///
+    /// The caller supplies the canonical encoding explicitly so that the
+    /// signing code never depends on a particular serialisation framework.
+    pub fn new(content: T, content_bytes: &[u8], key: &SigningKey) -> Self {
+        Self { signature: Signature::sign(key, content_bytes), content }
+    }
+
+    /// Verifies the signature over `content_bytes`.
+    ///
+    /// # Errors
+    ///
+    /// See [`Signature::verify`].
+    pub fn verify(
+        &self,
+        directory: &KeyDirectory,
+        content_bytes: &[u8],
+    ) -> Result<(), SignatureError> {
+        self.signature.verify(directory, content_bytes)
+    }
+
+    /// Counter-signs this message with a second key, producing the
+    /// double-signed form that destinations accept as the FS process output.
+    pub fn counter_sign(self, content_bytes: &[u8], key: &SigningKey) -> DoubleSigned<T> {
+        // The second signature covers the content bytes *and* the first
+        // signature, so the pair of signatures cannot be mixed and matched
+        // across messages.
+        let second = Signature::sign(key, &co_sign_bytes(content_bytes, &self.signature));
+        DoubleSigned { content: self.content, first: self.signature, second }
+    }
+}
+
+/// A message carrying the signatures of both wrappers of a fail-signal pair —
+/// the only form a destination treats as a valid output of the FS process.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DoubleSigned<T> {
+    /// The signed content.
+    pub content: T,
+    /// The first signature (by the wrapper that produced the output).
+    pub first: Signature,
+    /// The second signature (by the wrapper that successfully compared it).
+    pub second: Signature,
+}
+
+fn co_sign_bytes(content_bytes: &[u8], first: &Signature) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(content_bytes.len() + 4 + 32);
+    buf.extend_from_slice(content_bytes);
+    buf.extend_from_slice(&(first.signer.0).0.to_le_bytes());
+    buf.extend_from_slice(first.tag.as_bytes());
+    buf
+}
+
+impl<T> DoubleSigned<T> {
+    /// Verifies that the message is a valid output of the FS pair whose
+    /// wrappers are `expected_pair`.
+    ///
+    /// The check enforces everything §2.1 requires of a valid FS output:
+    ///
+    /// 1. both signatures verify under the directory,
+    /// 2. the two signers are distinct, and
+    /// 3. both signers belong to `expected_pair` (order does not matter —
+    ///    the paper notes the two valid copies carry the signatures in
+    ///    opposite orders).
+    ///
+    /// # Errors
+    ///
+    /// * [`SignatureError::DuplicateSigner`] — both signatures from the same
+    ///   wrapper.
+    /// * [`SignatureError::MissingCoSignature`] — a signer outside
+    ///   `expected_pair` signed the message.
+    /// * [`SignatureError::Invalid`] / [`SignatureError::UnknownSigner`] — a
+    ///   signature failed to verify.
+    pub fn verify(
+        &self,
+        directory: &KeyDirectory,
+        content_bytes: &[u8],
+        expected_pair: (SignerId, SignerId),
+    ) -> Result<(), SignatureError> {
+        if self.first.signer == self.second.signer {
+            return Err(SignatureError::DuplicateSigner);
+        }
+        let pair_ok = (self.first.signer == expected_pair.0 && self.second.signer == expected_pair.1)
+            || (self.first.signer == expected_pair.1 && self.second.signer == expected_pair.0);
+        if !pair_ok {
+            return Err(SignatureError::MissingCoSignature);
+        }
+        self.first.verify(directory, content_bytes)?;
+        self.second.verify(directory, &co_sign_bytes(content_bytes, &self.first))?;
+        Ok(())
+    }
+
+    /// Returns the pair of signers, first then second.
+    pub fn signers(&self) -> (SignerId, SignerId) {
+        (self.first.signer, self.second.signer)
+    }
+
+    /// Discards the signatures and returns the content (what the interceptor
+    /// does before handing a delivery up to the invocation layer).
+    pub fn into_content(self) -> T {
+        self.content
+    }
+
+    /// Maps the content, keeping the signatures.
+    ///
+    /// Intended for bookkeeping (e.g. attaching receive timestamps); note
+    /// that mapping the content does *not* re-sign it, so the result only
+    /// verifies against the original content bytes.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> DoubleSigned<U> {
+        DoubleSigned { content: f(self.content), first: self.first, second: self.second }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::id::ProcessId;
+    use fs_common::rng::DetRng;
+
+    fn setup() -> (SigningKey, SigningKey, SigningKey, std::sync::Arc<KeyDirectory>) {
+        let mut rng = DetRng::new(0xc0ffee);
+        let procs = vec![ProcessId(1), ProcessId(2), ProcessId(3)];
+        let (mut keys, dir) = crate::keys::provision(procs, &mut rng);
+        let a = keys.remove(&SignerId(ProcessId(1))).unwrap();
+        let b = keys.remove(&SignerId(ProcessId(2))).unwrap();
+        let c = keys.remove(&SignerId(ProcessId(3))).unwrap();
+        (a, b, c, dir)
+    }
+
+    #[test]
+    fn single_signature_round_trip() {
+        let (a, _, _, dir) = setup();
+        let msg = b"ordered message 42";
+        let sig = Signature::sign(&a, msg);
+        assert!(sig.verify(&dir, msg).is_ok());
+        assert_eq!(sig.verify(&dir, b"other").unwrap_err(), SignatureError::Invalid);
+    }
+
+    #[test]
+    fn unknown_signer_is_rejected() {
+        let (a, _, _, _) = setup();
+        let empty = KeyDirectory::new();
+        let sig = Signature::sign(&a, b"m");
+        assert_eq!(sig.verify(&empty, b"m").unwrap_err(), SignatureError::UnknownSigner);
+    }
+
+    #[test]
+    fn single_signed_envelope() {
+        let (a, _, _, dir) = setup();
+        let content = "output-7".to_string();
+        let bytes = content.as_bytes().to_vec();
+        let signed = SingleSigned::new(content.clone(), &bytes, &a);
+        assert!(signed.verify(&dir, &bytes).is_ok());
+        assert!(signed.verify(&dir, b"tampered").is_err());
+        assert_eq!(signed.content, content);
+    }
+
+    #[test]
+    fn double_signed_happy_path() {
+        let (a, b, _, dir) = setup();
+        let bytes = b"total-order decision".to_vec();
+        let single = SingleSigned::new((), &bytes, &a);
+        let double = single.counter_sign(&bytes, &b);
+        let pair = (a.signer, b.signer);
+        assert!(double.verify(&dir, &bytes, pair).is_ok());
+        // Order of the expected pair must not matter.
+        assert!(double.verify(&dir, &bytes, (b.signer, a.signer)).is_ok());
+        assert_eq!(double.signers(), (a.signer, b.signer));
+    }
+
+    #[test]
+    fn double_signed_rejects_duplicate_signer() {
+        let (a, _, _, dir) = setup();
+        let bytes = b"x".to_vec();
+        let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &a);
+        assert_eq!(
+            double.verify(&dir, &bytes, (a.signer, a.signer)).unwrap_err(),
+            SignatureError::DuplicateSigner
+        );
+    }
+
+    #[test]
+    fn double_signed_rejects_outsider() {
+        let (a, b, c, dir) = setup();
+        let bytes = b"x".to_vec();
+        // c co-signs instead of b: destinations expecting pair (a, b) must reject.
+        let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &c);
+        assert_eq!(
+            double.verify(&dir, &bytes, (a.signer, b.signer)).unwrap_err(),
+            SignatureError::MissingCoSignature
+        );
+    }
+
+    #[test]
+    fn double_signed_rejects_tampered_content() {
+        let (a, b, _, dir) = setup();
+        let bytes = b"original".to_vec();
+        let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &b);
+        assert!(double.verify(&dir, b"forged", (a.signer, b.signer)).is_err());
+    }
+
+    #[test]
+    fn double_signed_rejects_mixed_and_matched_signatures() {
+        let (a, b, _, dir) = setup();
+        let bytes1 = b"message one".to_vec();
+        let bytes2 = b"message two".to_vec();
+        let d1 = SingleSigned::new((), &bytes1, &a).counter_sign(&bytes1, &b);
+        let d2 = SingleSigned::new((), &bytes2, &a).counter_sign(&bytes2, &b);
+        // Splice the co-signature of message two onto message one.
+        let spliced = DoubleSigned { content: (), first: d1.first.clone(), second: d2.second.clone() };
+        assert!(spliced.verify(&dir, &bytes1, (a.signer, b.signer)).is_err());
+    }
+
+    #[test]
+    fn forged_signature_without_key_fails() {
+        let (a, b, _, dir) = setup();
+        let bytes = b"victim".to_vec();
+        // An adversary without a's key guesses a tag.
+        let forged = Signature { signer: a.signer, tag: crate::sha256::Sha256::digest(b"guess") };
+        assert_eq!(forged.verify(&dir, &bytes).unwrap_err(), SignatureError::Invalid);
+        // And cannot make a convincing double-signed message either.
+        let fake = DoubleSigned {
+            content: (),
+            first: forged,
+            second: Signature::sign(&b, &bytes),
+        };
+        assert!(fake.verify(&dir, &bytes, (a.signer, b.signer)).is_err());
+    }
+
+    #[test]
+    fn map_keeps_signatures() {
+        let (a, b, _, _) = setup();
+        let bytes = b"content".to_vec();
+        let double = SingleSigned::new(5u32, &bytes, &a).counter_sign(&bytes, &b);
+        let mapped = double.clone().map(|v| v as u64 + 1);
+        assert_eq!(mapped.content, 6u64);
+        assert_eq!(mapped.first, double.first);
+        assert_eq!(mapped.second, double.second);
+        assert_eq!(double.into_content(), 5u32);
+    }
+}

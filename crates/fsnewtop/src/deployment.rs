@@ -1,0 +1,437 @@
+//! Deployment builders: crash-tolerant NewTOP and Byzantine-tolerant
+//! FS-NewTOP groups on the discrete-event simulator.
+//!
+//! Two layouts from the paper are supported for FS-NewTOP:
+//!
+//! * [`Layout::Full`] — Figure 4: each member's leader wrapper shares a node
+//!   with the application and interceptor, and the follower wrapper sits on a
+//!   dedicated paired node (`4f + 2` nodes in total for `2f + 1` members);
+//! * [`Layout::Collapsed`] — Figure 5 (the experimental set-up): one node per
+//!   member, each hosting its own application, interceptor and leader wrapper
+//!   plus the *follower* wrapper of the next member's pair, halving the node
+//!   count without violating assumption A2 on a lightly loaded LAN.
+//!
+//! The crash-tolerant baseline places one application and one NSO per node,
+//! exactly as the original NewTOP measurements did.
+
+use std::collections::BTreeMap;
+
+use failsignal::provision::{FsPairBuilder, FsPairSpec};
+use fs_common::codec::Wire;
+use fs_common::config::TimingAssumptions;
+use fs_common::id::{FsId, MemberId, NodeId, ProcessId};
+use fs_common::rng::DetRng;
+use fs_common::time::SimDuration;
+use fs_crypto::cost::CryptoCostModel;
+use fs_crypto::keys::{provision, SignerId};
+use fs_newtop::app::{AppProcess, TrafficConfig};
+use fs_newtop::gc::{GcConfig, GcCosts, GcMachine};
+use fs_newtop::message::ControlInput;
+use fs_newtop::nso::{AddressBook, NsoActor};
+use fs_newtop::suspector::SuspectorConfig;
+use fs_simnet::link::{LinkModel, Topology};
+use fs_simnet::node::NodeConfig;
+use fs_simnet::sim::Simulation;
+use fs_smr::machine::Endpoint;
+
+use crate::interceptor::FsInterceptor;
+
+/// Physical placement of the FS-NewTOP components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Layout {
+    /// The paper's Figure 4: two nodes per member (4f + 2 in total).
+    Full,
+    /// The paper's Figure 5 experimental placement: one node per member, each
+    /// hosting a leader wrapper of its own pair and the follower wrapper of
+    /// another member's pair.
+    Collapsed,
+}
+
+/// Everything a deployment builder needs to know.
+#[derive(Debug, Clone)]
+pub struct DeploymentParams {
+    /// Number of group members (applications).
+    pub members: u32,
+    /// Per-node configuration (thread pool, dispatch costs).
+    pub node: NodeConfig,
+    /// GC protocol-processing cost model.
+    pub gc_costs: GcCosts,
+    /// Cryptography cost model (FS-NewTOP only).
+    pub crypto_costs: CryptoCostModel,
+    /// Timing assumptions of the fail-signal pairs (FS-NewTOP only).
+    pub timing: TimingAssumptions,
+    /// Failure-suspector settings (crash-tolerant NewTOP only).
+    pub suspector: SuspectorConfig,
+    /// The workload each application generates.
+    pub traffic: TrafficConfig,
+    /// Physical placement (FS-NewTOP only).
+    pub layout: Layout,
+    /// Random seed for the simulation.
+    pub seed: u64,
+}
+
+impl DeploymentParams {
+    /// Parameters matching the paper's experimental set-up (§4): era-2003
+    /// nodes with a 10-thread pool on a lightly loaded 100 Mb/s LAN, the
+    /// message-intensive symmetric total-order workload, suspectors with
+    /// large timeouts so that no false suspicion occurs, and the collapsed
+    /// placement of Figure 5.
+    pub fn paper(members: u32) -> Self {
+        Self {
+            members,
+            node: NodeConfig::era_2003(),
+            gc_costs: GcCosts::era_2003(),
+            crypto_costs: CryptoCostModel::era_2003(),
+            // Large, conservative bounds: the paper's experiments choose
+            // timeouts large enough that they never fire in failure-free
+            // runs (they only influence failure-detection latency), so the
+            // benchmark deployments use very generous values that hold even
+            // when the system is driven deep into saturation.  Fault-injection
+            // tests override these with tight values.
+            timing: TimingAssumptions {
+                delta: SimDuration::from_secs(120),
+                kappa: 4.0,
+                sigma: 4.0,
+            },
+            suspector: SuspectorConfig::large_timeouts(),
+            traffic: TrafficConfig::paper_default(),
+            layout: Layout::Collapsed,
+            seed: 2003,
+        }
+    }
+
+    /// Returns a copy with a different workload.
+    pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
+        self.traffic = traffic;
+        self
+    }
+
+    /// Returns a copy with a different seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with a different layout.
+    pub fn with_layout(mut self, layout: Layout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Returns a copy with tight fail-signal timing (for fault-injection
+    /// tests where fast detection matters more than load tolerance).
+    pub fn with_timing(mut self, timing: TimingAssumptions) -> Self {
+        self.timing = timing;
+        self
+    }
+}
+
+/// The process identities of one deployed member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberHandles {
+    /// The member index.
+    pub member: MemberId,
+    /// The application process.
+    pub app: ProcessId,
+    /// The middleware entry point the application talks to (the NSO in
+    /// NewTOP, the interceptor in FS-NewTOP).
+    pub middleware: ProcessId,
+    /// The leader wrapper process (FS-NewTOP only; equals `middleware` in
+    /// the crash-tolerant deployment).
+    pub leader: ProcessId,
+    /// The follower wrapper process (FS-NewTOP only; equals `middleware` in
+    /// the crash-tolerant deployment).
+    pub follower: ProcessId,
+    /// The node hosting the application.
+    pub app_node: NodeId,
+}
+
+/// A built deployment: the simulation plus the handles needed to inspect it.
+pub struct Deployment {
+    /// The simulation, ready to run.
+    pub sim: Simulation,
+    /// Per-member process handles.
+    pub members: Vec<MemberHandles>,
+    /// Whether this is the FS (Byzantine-tolerant) variant.
+    pub fail_signal: bool,
+}
+
+impl std::fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Deployment")
+            .field("members", &self.members.len())
+            .field("fail_signal", &self.fail_signal)
+            .finish()
+    }
+}
+
+impl Deployment {
+    /// The application process of each member, in member order.
+    pub fn apps(&self) -> Vec<ProcessId> {
+        self.members.iter().map(|m| m.app).collect()
+    }
+
+    /// Runs the deployment until `horizon` and returns the reached time.
+    pub fn run(&mut self, horizon: fs_common::time::SimTime) -> fs_common::time::SimTime {
+        self.sim.run_until(horizon)
+    }
+
+    /// Convenience accessor: the application actor of member `i`.
+    pub fn app(&self, i: u32) -> &AppProcess {
+        let handle = &self.members[i as usize];
+        self.sim.actor::<AppProcess>(handle.app).expect("app actor exists")
+    }
+}
+
+fn lan_topology() -> Topology {
+    Topology::new(LinkModel::lan_100mbps())
+}
+
+/// Builds the crash-tolerant NewTOP baseline: one node per member hosting the
+/// application and its NSO.
+pub fn build_newtop(params: &DeploymentParams) -> Deployment {
+    let n = params.members;
+    assert!(n >= 1, "a group needs at least one member");
+    let group: Vec<MemberId> = (0..n).map(MemberId).collect();
+    let mut sim = Simulation::with_topology(params.seed, lan_topology());
+
+    // Identifier scheme: member i gets app = 2i, NSO = 2i + 1.
+    let app_pid = |i: u32| ProcessId(2 * i);
+    let nso_pid = |i: u32| ProcessId(2 * i + 1);
+
+    let mut members = Vec::new();
+    for i in 0..n {
+        let node = sim.add_node(params.node);
+        let peers: BTreeMap<MemberId, ProcessId> =
+            (0..n).filter(|j| *j != i).map(|j| (MemberId(j), nso_pid(j))).collect();
+        let addresses = AddressBook::new(app_pid(i), peers);
+        let gc = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
+        sim.spawn_with(nso_pid(i), node, Box::new(NsoActor::new(gc, addresses, params.suspector)));
+        sim.spawn_with(
+            app_pid(i),
+            node,
+            Box::new(AppProcess::new(MemberId(i), nso_pid(i), params.traffic)),
+        );
+        members.push(MemberHandles {
+            member: MemberId(i),
+            app: app_pid(i),
+            middleware: nso_pid(i),
+            leader: nso_pid(i),
+            follower: nso_pid(i),
+            app_node: node,
+        });
+    }
+    Deployment { sim, members, fail_signal: false }
+}
+
+/// Builds the Byzantine-tolerant FS-NewTOP deployment: every member's GC is
+/// wrapped by a fail-signal pair, the interceptor keeps the wrapping
+/// transparent, and fail-signals are converted into (never false) suspicions.
+pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
+    let n = params.members;
+    assert!(n >= 1, "a group needs at least one member");
+    let group: Vec<MemberId> = (0..n).map(MemberId).collect();
+    let mut sim = Simulation::with_topology(params.seed, lan_topology());
+
+    // Identifier scheme: member i gets app = 4i, interceptor = 4i + 1,
+    // leader wrapper = 4i + 2, follower wrapper = 4i + 3.
+    let app_pid = |i: u32| ProcessId(4 * i);
+    let icp_pid = |i: u32| ProcessId(4 * i + 1);
+    let leader_pid = |i: u32| ProcessId(4 * i + 2);
+    let follower_pid = |i: u32| ProcessId(4 * i + 3);
+
+    // Provision signing keys for every wrapper process (start-up step, A1/A5).
+    let mut key_rng = DetRng::new(params.seed ^ 0x5157_3a11);
+    let wrapper_processes: Vec<ProcessId> =
+        (0..n).flat_map(|i| [leader_pid(i), follower_pid(i)]).collect();
+    let (mut keys, directory) = provision(wrapper_processes, &mut key_rng);
+
+    // Nodes.
+    let primary_nodes: Vec<NodeId> = (0..n).map(|_| sim.add_node(params.node)).collect();
+    let follower_nodes: Vec<NodeId> = match params.layout {
+        Layout::Full => (0..n).map(|_| sim.add_node(params.node)).collect(),
+        Layout::Collapsed => {
+            // Follower of member i lives on the primary node of member (i+1) % n.
+            (0..n).map(|i| primary_nodes[((i + 1) % n) as usize]).collect()
+        }
+    };
+
+    let mut members = Vec::new();
+    for i in 0..n {
+        let fs = FsId(i);
+        let spec = FsPairSpec::new(fs, leader_pid(i), follower_pid(i));
+
+        let mut builder = FsPairBuilder::new(spec)
+            .timing(params.timing)
+            .crypto_costs(params.crypto_costs)
+            .trust_client(icp_pid(i), Endpoint::LocalApp)
+            .route(Endpoint::LocalApp, vec![icp_pid(i)]);
+
+        // Peers: every other member's pair is both a source and a destination.
+        let mut broadcast_targets = Vec::new();
+        for j in 0..n {
+            if j == i {
+                continue;
+            }
+            let peer_fs = FsId(j);
+            let peer_signers = (SignerId(leader_pid(j)), SignerId(follower_pid(j)));
+            builder = builder
+                .accept_fs_source(
+                    (leader_pid(j), follower_pid(j)),
+                    peer_fs,
+                    peer_signers,
+                    Endpoint::Peer(MemberId(j)),
+                )
+                .on_fail_signal(peer_fs, ControlInput::Suspect(MemberId(j)).to_wire())
+                .route(Endpoint::Peer(MemberId(j)), vec![leader_pid(j), follower_pid(j)]);
+            broadcast_targets.push(leader_pid(j));
+            broadcast_targets.push(follower_pid(j));
+        }
+        builder = builder.route(Endpoint::Broadcast, broadcast_targets);
+
+        let gc_config = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
+        let leader_key = keys.remove(&SignerId(leader_pid(i))).expect("leader key");
+        let follower_key = keys.remove(&SignerId(follower_pid(i))).expect("follower key");
+        let (leader_actor, follower_actor) = builder.build(
+            leader_key,
+            follower_key,
+            std::sync::Arc::clone(&directory),
+            (
+                Box::new(GcMachine::new(gc_config.clone())),
+                Box::new(GcMachine::new(gc_config)),
+            ),
+        );
+
+        sim.spawn_with(leader_pid(i), primary_nodes[i as usize], Box::new(leader_actor));
+        sim.spawn_with(follower_pid(i), follower_nodes[i as usize], Box::new(follower_actor));
+
+        let interceptor = FsInterceptor::new(
+            app_pid(i),
+            fs,
+            leader_pid(i),
+            follower_pid(i),
+            std::sync::Arc::clone(&directory),
+        );
+        sim.spawn_with(icp_pid(i), primary_nodes[i as usize], Box::new(interceptor));
+        sim.spawn_with(
+            app_pid(i),
+            primary_nodes[i as usize],
+            Box::new(AppProcess::new(MemberId(i), icp_pid(i), params.traffic)),
+        );
+
+        members.push(MemberHandles {
+            member: MemberId(i),
+            app: app_pid(i),
+            middleware: icp_pid(i),
+            leader: leader_pid(i),
+            follower: follower_pid(i),
+            app_node: primary_nodes[i as usize],
+        });
+    }
+
+    Deployment { sim, members, fail_signal: true }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::time::SimTime;
+    use fs_newtop::message::ServiceKind;
+
+    fn small_traffic(messages: u64) -> TrafficConfig {
+        TrafficConfig::paper_default()
+            .with_messages(messages)
+            .with_interval(SimDuration::from_millis(30))
+    }
+
+    fn run_and_check_agreement(mut deployment: Deployment, members: u32, messages: u64) {
+        deployment.run(SimTime::from_secs(600));
+        let expected = (members as u64) * messages;
+        let reference: Vec<(MemberId, u64)> = deployment.app(0).delivery_log().to_vec();
+        assert_eq!(
+            reference.len() as u64,
+            expected,
+            "member 0 delivered {} of {expected}",
+            reference.len()
+        );
+        for i in 1..members {
+            let log = deployment.app(i).delivery_log();
+            assert_eq!(log, reference.as_slice(), "member {i} diverged");
+        }
+    }
+
+    #[test]
+    fn newtop_small_group_totally_orders() {
+        let params = DeploymentParams::paper(3).with_traffic(small_traffic(5));
+        run_and_check_agreement(build_newtop(&params), 3, 5);
+    }
+
+    #[test]
+    fn fs_newtop_small_group_totally_orders() {
+        let params = DeploymentParams::paper(3).with_traffic(small_traffic(5));
+        run_and_check_agreement(build_fs_newtop(&params), 3, 5);
+    }
+
+    #[test]
+    fn fs_newtop_full_layout_also_works() {
+        let params =
+            DeploymentParams::paper(3).with_traffic(small_traffic(3)).with_layout(Layout::Full);
+        run_and_check_agreement(build_fs_newtop(&params), 3, 3);
+    }
+
+    #[test]
+    fn fs_newtop_pairs_do_not_fail_in_failure_free_runs() {
+        let params = DeploymentParams::paper(4).with_traffic(small_traffic(4));
+        let mut deployment = build_fs_newtop(&params);
+        deployment.run(SimTime::from_secs(600));
+        for handle in &deployment.members {
+            let interceptor =
+                deployment.sim.actor::<FsInterceptor>(handle.middleware).expect("interceptor");
+            assert!(!interceptor.local_fail_signalled(), "member {} signalled", handle.member);
+            assert_eq!(interceptor.receiver_stats().rejected, 0);
+        }
+    }
+
+    #[test]
+    fn fs_newtop_uses_more_messages_than_newtop() {
+        let traffic = small_traffic(3);
+        // Disable the baseline's ping traffic so the comparison counts only
+        // protocol messages caused by the workload itself.
+        let mut newtop_params = DeploymentParams::paper(3).with_traffic(traffic);
+        newtop_params.suspector = SuspectorConfig::disabled();
+        let mut newtop = build_newtop(&newtop_params);
+        newtop.run(SimTime::from_secs(600));
+
+        let fs_params = DeploymentParams::paper(3).with_traffic(traffic);
+        let mut fs = build_fs_newtop(&fs_params);
+        fs.run(SimTime::from_secs(600));
+
+        assert!(
+            fs.sim.stats().messages_sent > newtop.sim.stats().messages_sent,
+            "fail-signal wrapping must add message overhead (fs {} vs newtop {})",
+            fs.sim.stats().messages_sent,
+            newtop.sim.stats().messages_sent
+        );
+    }
+
+    #[test]
+    fn asymmetric_service_also_agrees_under_fs() {
+        let traffic = small_traffic(4).with_service(ServiceKind::AsymmetricTotal);
+        let params = DeploymentParams::paper(3).with_traffic(traffic);
+        run_and_check_agreement(build_fs_newtop(&params), 3, 4);
+    }
+
+    #[test]
+    fn node_counts_match_the_paper() {
+        // Full layout: 2 nodes per member; collapsed: 1 node per member;
+        // crash-tolerant baseline: 1 node per member.
+        let params = DeploymentParams::paper(3).with_traffic(small_traffic(1));
+        let full = build_fs_newtop(&params.clone().with_layout(Layout::Full));
+        assert_eq!(full.members.len(), 3);
+        let newtop = build_newtop(&params);
+        assert_eq!(newtop.members.len(), 3);
+        assert!(!newtop.fail_signal);
+        assert!(full.fail_signal);
+        assert_eq!(full.apps().len(), 3);
+    }
+}

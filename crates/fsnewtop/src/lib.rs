@@ -1,0 +1,50 @@
+//! # fs-newtop-bft
+//!
+//! **FS-NewTOP**: the Byzantine-tolerant group-communication system obtained
+//! by wrapping NewTOP's deterministic GC objects with the fail-signal layer —
+//! the proof-of-concept integration of the paper (§3.1).
+//!
+//! The crate contains the two pieces the integration needed beyond plain
+//! reuse, plus the deployment builders used by the benchmarks:
+//!
+//! * [`interceptor::FsInterceptor`] — the CORBA-interceptor analogue: fans
+//!   application requests out to both wrapper objects and strips/deduplicates
+//!   the double-signed responses, keeping the wrapping transparent;
+//! * fail-signal-driven suspicion — configured in
+//!   [`deployment::build_fs_newtop`]: a received fail-signal is converted
+//!   into a `Suspect` control input for the GC membership, so suspicions are
+//!   never false and groups never split without an actual failure;
+//! * [`deployment`] — builders for the crash-tolerant NewTOP baseline and the
+//!   FS-NewTOP system under both node layouts of the paper (Figures 4 and 5).
+//!
+//! ## Example: build and run a 3-member FS-NewTOP group
+//!
+//! ```
+//! use fs_common::time::{SimDuration, SimTime};
+//! use fs_newtop::app::TrafficConfig;
+//! use fs_newtop_bft::deployment::{build_fs_newtop, DeploymentParams};
+//!
+//! let traffic = TrafficConfig::paper_default()
+//!     .with_messages(3)
+//!     .with_interval(SimDuration::from_millis(30));
+//! let params = DeploymentParams::paper(3).with_traffic(traffic);
+//! let mut deployment = build_fs_newtop(&params);
+//! deployment.run(SimTime::from_secs(120));
+//!
+//! // Every application delivered every message, in the same total order.
+//! let reference = deployment.app(0).delivery_log().to_vec();
+//! assert_eq!(reference.len(), 9);
+//! assert_eq!(deployment.app(1).delivery_log(), reference.as_slice());
+//! assert_eq!(deployment.app(2).delivery_log(), reference.as_slice());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod deployment;
+pub mod interceptor;
+
+pub use deployment::{
+    build_fs_newtop, build_newtop, Deployment, DeploymentParams, Layout, MemberHandles,
+};
+pub use interceptor::FsInterceptor;

@@ -1,0 +1,363 @@
+//! A generic application process (workload generator + measurement probe).
+//!
+//! [`AppProcess`] plays the role of the `A_i` processes in the paper's
+//! experiments (§4): it multicasts a configurable number of fixed-size
+//! messages at a regular interval through its local middleware process, and
+//! records (a) the ordering latency of its own messages (send → total-order
+//! delivery back to itself) and (b) the time of every delivery it receives,
+//! from which the benchmark harness derives the throughput figures.
+//!
+//! The same actor drives both baselines: point it at a crash-tolerant
+//! [`crate::nso::NsoActor`] for NewTOP, or at a fail-signal interceptor for
+//! FS-NewTOP.
+
+use std::collections::BTreeMap;
+
+use fs_common::codec::{Decoder, Encoder};
+use fs_common::id::{MemberId, ProcessId};
+use fs_common::time::{SimDuration, SimTime};
+use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::trace::LatencyRecorder;
+
+use crate::invocation::InvocationService;
+use crate::message::{ServiceKind, Upcall};
+
+/// Timer used to pace the workload.
+pub const TIMER_SEND: TimerId = TimerId(100);
+
+/// Workload configuration for one application process.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrafficConfig {
+    /// The NewTOP service to request.
+    pub service: ServiceKind,
+    /// Payload size in bytes (the paper uses 3 bytes for "0k" and up to 10 kB).
+    pub payload_size: usize,
+    /// How many messages to multicast in total.
+    pub messages: u64,
+    /// Interval between consecutive multicasts.
+    pub interval: SimDuration,
+    /// Delay before the first multicast (lets the deployment settle).
+    pub start_delay: SimDuration,
+}
+
+impl TrafficConfig {
+    /// The paper's latency/throughput workload: 1000 small messages per
+    /// member at a regular interval, symmetric total order.
+    pub fn paper_default() -> Self {
+        Self {
+            service: ServiceKind::SymmetricTotal,
+            payload_size: 3,
+            messages: 1000,
+            interval: SimDuration::from_millis(40),
+            start_delay: SimDuration::from_millis(10),
+        }
+    }
+
+    /// Returns a copy with a different message count (useful for tests).
+    pub fn with_messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Returns a copy with a different payload size.
+    pub fn with_payload_size(mut self, payload_size: usize) -> Self {
+        self.payload_size = payload_size;
+        self
+    }
+
+    /// Returns a copy with a different send interval.
+    pub fn with_interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Returns a copy with a different service kind.
+    pub fn with_service(mut self, service: ServiceKind) -> Self {
+        self.service = service;
+        self
+    }
+}
+
+/// Builds the application payload: the sender's member id and application
+/// sequence number, padded to the configured size.
+pub fn build_payload(member: MemberId, seq: u64, size: usize) -> Vec<u8> {
+    let mut enc = Encoder::with_capacity(size + 12);
+    enc.put_member(member);
+    enc.put_u64(seq);
+    let mut bytes = enc.finish_vec();
+    if bytes.len() < size {
+        bytes.resize(size, 0xa5);
+    }
+    bytes
+}
+
+/// Parses the header of an application payload built by [`build_payload`].
+pub fn parse_payload(bytes: &[u8]) -> Option<(MemberId, u64)> {
+    let mut dec = Decoder::new(bytes);
+    let member = dec.get_member().ok()?;
+    let seq = dec.get_u64().ok()?;
+    Some((member, seq))
+}
+
+/// The application process / workload generator.
+pub struct AppProcess {
+    member: MemberId,
+    middleware: ProcessId,
+    config: TrafficConfig,
+    invocation: InvocationService,
+    sent: u64,
+    sent_at: BTreeMap<u64, SimTime>,
+    latencies: LatencyRecorder,
+    delivered_total: u64,
+    delivered_own: u64,
+    first_delivery: Option<SimTime>,
+    last_delivery: Option<SimTime>,
+    views_seen: Vec<u64>,
+    delivery_log: Vec<(MemberId, u64)>,
+}
+
+impl std::fmt::Debug for AppProcess {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("AppProcess")
+            .field("member", &self.member)
+            .field("sent", &self.sent)
+            .field("delivered_total", &self.delivered_total)
+            .finish()
+    }
+}
+
+impl AppProcess {
+    /// Creates an application process for `member`, talking to the local
+    /// middleware process `middleware`, generating the given workload.
+    pub fn new(member: MemberId, middleware: ProcessId, config: TrafficConfig) -> Self {
+        Self {
+            member,
+            middleware,
+            config,
+            invocation: InvocationService::new(),
+            sent: 0,
+            sent_at: BTreeMap::new(),
+            latencies: LatencyRecorder::new(),
+            delivered_total: 0,
+            delivered_own: 0,
+            first_delivery: None,
+            last_delivery: None,
+            views_seen: Vec::new(),
+            delivery_log: Vec::new(),
+        }
+    }
+
+    /// The member identity of this application.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// Messages multicast so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Total deliveries received (own and others').
+    pub fn delivered_total(&self) -> u64 {
+        self.delivered_total
+    }
+
+    /// Deliveries of this application's own multicasts.
+    pub fn delivered_own(&self) -> u64 {
+        self.delivered_own
+    }
+
+    /// Ordering latencies of this application's own messages.
+    pub fn latencies(&self) -> &LatencyRecorder {
+        &self.latencies
+    }
+
+    /// Time of the first delivery received, if any.
+    pub fn first_delivery(&self) -> Option<SimTime> {
+        self.first_delivery
+    }
+
+    /// Time of the last delivery received, if any.
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.last_delivery
+    }
+
+    /// View numbers delivered to this application.
+    pub fn views_seen(&self) -> &[u64] {
+        &self.views_seen
+    }
+
+    /// The sequence of deliveries received, as `(origin member, origin seq)`
+    /// pairs in delivery order — used by integration tests to check that all
+    /// applications observe the same total order.
+    pub fn delivery_log(&self) -> &[(MemberId, u64)] {
+        &self.delivery_log
+    }
+
+    fn send_next(&mut self, ctx: &mut dyn Context) {
+        if self.sent >= self.config.messages {
+            return;
+        }
+        let seq = self.sent;
+        self.sent += 1;
+        let payload = build_payload(self.member, seq, self.config.payload_size);
+        let request = self.invocation.marshal(self.config.service, payload);
+        self.sent_at.insert(seq, ctx.now());
+        ctx.send(self.middleware, request);
+        if self.sent < self.config.messages {
+            ctx.set_timer(self.config.interval, TIMER_SEND);
+        }
+    }
+}
+
+impl Actor for AppProcess {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.config.messages > 0 {
+            ctx.set_timer(self.config.start_delay, TIMER_SEND);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
+        if timer == TIMER_SEND {
+            self.send_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+        if from != self.middleware {
+            return;
+        }
+        match self.invocation.unmarshal(&payload) {
+            Ok(Upcall::Deliver(delivery)) => {
+                self.delivered_total += 1;
+                self.delivery_log.push((delivery.origin, delivery.seq));
+                let now = ctx.now();
+                self.first_delivery.get_or_insert(now);
+                self.last_delivery = Some(now);
+                if let Some((member, seq)) = parse_payload(&delivery.payload) {
+                    if member == self.member {
+                        self.delivered_own += 1;
+                        if let Some(sent_at) = self.sent_at.remove(&seq) {
+                            self.latencies.record_span(sent_at, now);
+                        }
+                    }
+                }
+            }
+            Ok(Upcall::View(view)) => {
+                self.views_seen.push(view.view_id);
+            }
+            Err(_) => {
+                // A malformed upcall can only come from faulty middleware; at
+                // the application level we simply ignore it (the replication
+                // layer masks it).
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("app-{}", self.member.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::AppDeliver;
+    use fs_common::codec::Wire;
+    use fs_simnet::actor::TestContext;
+
+    fn config(messages: u64) -> TrafficConfig {
+        TrafficConfig::paper_default().with_messages(messages)
+    }
+
+    #[test]
+    fn payload_round_trip_and_padding() {
+        let p = build_payload(MemberId(3), 41, 100);
+        assert_eq!(p.len(), 100);
+        assert_eq!(parse_payload(&p), Some((MemberId(3), 41)));
+        // A payload smaller than the header still carries the header.
+        let tiny = build_payload(MemberId(1), 2, 3);
+        assert!(tiny.len() >= 12);
+        assert!(parse_payload(&[1, 2]).is_none());
+    }
+
+    #[test]
+    fn app_sends_paced_messages() {
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), config(3));
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        assert_eq!(ctx.timers_set.len(), 1);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        // Only three messages are sent even if the timer fires again.
+        app.on_timer(&mut ctx, TIMER_SEND);
+        assert_eq!(app.sent(), 3);
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 3);
+    }
+
+    #[test]
+    fn latency_is_recorded_for_own_deliveries_only() {
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), config(1));
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        app.on_timer(&mut ctx, TIMER_SEND);
+
+        ctx.advance(SimDuration::from_millis(30));
+        // Own message comes back.
+        let own = Upcall::Deliver(AppDeliver {
+            origin: MemberId(0),
+            seq: 0,
+            order: 0,
+            service: ServiceKind::SymmetricTotal,
+            payload: build_payload(MemberId(0), 0, 3),
+        });
+        app.on_message(&mut ctx, ProcessId(5), own.to_wire());
+        // Someone else's message too.
+        let other = Upcall::Deliver(AppDeliver {
+            origin: MemberId(1),
+            seq: 0,
+            order: 1,
+            service: ServiceKind::SymmetricTotal,
+            payload: build_payload(MemberId(1), 0, 3),
+        });
+        app.on_message(&mut ctx, ProcessId(5), other.to_wire());
+
+        assert_eq!(app.delivered_total(), 2);
+        assert_eq!(app.delivered_own(), 1);
+        assert_eq!(app.latencies().len(), 1);
+        assert_eq!(app.latencies().samples()[0], SimDuration::from_millis(30));
+        assert!(app.first_delivery().is_some());
+        assert!(app.last_delivery().is_some());
+    }
+
+    #[test]
+    fn view_upcalls_are_tracked() {
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), config(0));
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        assert!(ctx.timers_set.is_empty());
+        let view = Upcall::View(crate::message::ViewDeliver { view_id: 2, members: vec![MemberId(0)] });
+        app.on_message(&mut ctx, ProcessId(5), view.to_wire());
+        assert_eq!(app.views_seen(), &[2]);
+    }
+
+    #[test]
+    fn messages_from_strangers_are_ignored() {
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), config(1));
+        let mut ctx = TestContext::new(ProcessId(1));
+        let junk = Upcall::Deliver(AppDeliver {
+            origin: MemberId(0),
+            seq: 0,
+            order: 0,
+            service: ServiceKind::SymmetricTotal,
+            payload: vec![],
+        });
+        app.on_message(&mut ctx, ProcessId(99), junk.to_wire());
+        assert_eq!(app.delivered_total(), 0);
+        // Malformed upcalls from the right middleware are also ignored.
+        app.on_message(&mut ctx, ProcessId(5), vec![0xff, 0xff]);
+        assert_eq!(app.delivered_total(), 0);
+        assert_eq!(app.name(), "app-0");
+    }
+}

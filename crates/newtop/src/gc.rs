@@ -1,0 +1,602 @@
+//! The NewTOP group-communication (GC) object as a deterministic machine.
+//!
+//! [`GcMachine`] composes the sub-protocols — symmetric and asymmetric total
+//! order, causal order, reliable and simple multicast, and partitionable
+//! membership — behind the [`DeterministicMachine`] interface.  Because it is
+//! a deterministic, single-threaded state machine (§3.1: "the GC service is
+//! implemented as a single-threaded, deterministic application"), the very
+//! same object can be:
+//!
+//! * hosted directly by an [`crate::nso::NsoActor`] to form crash-tolerant
+//!   NewTOP, or
+//! * wrapped by the fail-signal pair of the `failsignal` crate to form
+//!   FS-NewTOP, with no change to this code.
+
+use std::collections::BTreeMap;
+
+use fs_common::codec::Wire;
+use fs_common::id::MemberId;
+use fs_common::time::SimDuration;
+use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
+
+use crate::causal::CausalOrder;
+use crate::message::{AppDeliver, AppRequest, ControlInput, GcMessage, ServiceKind, Upcall};
+use crate::reliable::{ReliableMulticast, SimpleMulticast};
+use crate::total_asym::SequencerOrder;
+use crate::total_sym::SymmetricOrder;
+use crate::view::{MembershipState, View};
+
+/// CPU-cost model of the GC protocol processing (charged to the simulated
+/// clock by the hosting adapter).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GcCosts {
+    /// Fixed protocol-processing cost per handled input.
+    pub base: SimDuration,
+    /// Additional cost per payload byte (header parsing, copying, queue
+    /// management in the original Java implementation).
+    pub per_byte: SimDuration,
+}
+
+impl GcCosts {
+    /// Costs calibrated to the paper's Java 1.4 / Pentium III testbed: a few
+    /// milliseconds of protocol processing per handled message (header
+    /// parsing, queue management, ordering bookkeeping in the original Java
+    /// implementation), plus a per-byte term.
+    pub fn era_2003() -> Self {
+        Self { base: SimDuration::from_micros(3_200), per_byte: SimDuration::from_nanos(60) }
+    }
+
+    /// Zero-cost model for protocol unit tests.
+    pub fn free() -> Self {
+        Self { base: SimDuration::ZERO, per_byte: SimDuration::ZERO }
+    }
+
+    /// The cost of handling an input of `len` bytes.
+    pub fn cost(&self, len: usize) -> SimDuration {
+        self.base + self.per_byte * len as u64
+    }
+}
+
+impl Default for GcCosts {
+    fn default() -> Self {
+        Self::era_2003()
+    }
+}
+
+/// Static configuration of one GC object.
+#[derive(Debug, Clone)]
+pub struct GcConfig {
+    /// The member this GC object serves.
+    pub member: MemberId,
+    /// The initial group membership.
+    pub group: Vec<MemberId>,
+    /// CPU-cost model.
+    pub costs: GcCosts,
+}
+
+impl GcConfig {
+    /// Creates a configuration for `member` of `group` with era-2003 costs.
+    pub fn new(member: MemberId, group: Vec<MemberId>) -> Self {
+        Self { member, group, costs: GcCosts::era_2003() }
+    }
+
+    /// Replaces the cost model.
+    pub fn with_costs(mut self, costs: GcCosts) -> Self {
+        self.costs = costs;
+        self
+    }
+}
+
+/// The NewTOP group-communication object.
+pub struct GcMachine {
+    member: MemberId,
+    costs: GcCosts,
+    membership: MembershipState,
+    sym: SymmetricOrder,
+    asym: SequencerOrder,
+    causal: CausalOrder,
+    reliable: ReliableMulticast,
+    simple: SimpleMulticast,
+    delivered: Vec<AppDeliver>,
+    views_delivered: Vec<u64>,
+    message_counts: BTreeMap<&'static str, u64>,
+}
+
+impl std::fmt::Debug for GcMachine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GcMachine")
+            .field("member", &self.member)
+            .field("view", &self.membership.view().id)
+            .field("delivered", &self.delivered.len())
+            .finish()
+    }
+}
+
+impl GcMachine {
+    /// Creates a GC object from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the member is not part of its own group.
+    pub fn new(config: GcConfig) -> Self {
+        assert!(
+            config.group.contains(&config.member),
+            "member {} must belong to its group",
+            config.member
+        );
+        Self {
+            member: config.member,
+            costs: config.costs,
+            membership: MembershipState::new(config.member, config.group.clone()),
+            sym: SymmetricOrder::new(config.member),
+            asym: SequencerOrder::new(config.member),
+            causal: CausalOrder::new(config.member, config.group),
+            reliable: ReliableMulticast::new(),
+            simple: SimpleMulticast::new(),
+            delivered: Vec::new(),
+            views_delivered: Vec::new(),
+            message_counts: BTreeMap::new(),
+        }
+    }
+
+    /// The member this GC object serves.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// The currently installed view.
+    pub fn view(&self) -> &View {
+        self.membership.view()
+    }
+
+    /// The messages delivered to the local application so far, in order.
+    pub fn delivered(&self) -> &[AppDeliver] {
+        &self.delivered
+    }
+
+    /// The view numbers delivered so far.
+    pub fn views_delivered(&self) -> &[u64] {
+        &self.views_delivered
+    }
+
+    /// How many protocol messages of each kind this object has received.
+    pub fn message_counts(&self) -> &BTreeMap<&'static str, u64> {
+        &self.message_counts
+    }
+
+    fn multicast_to_view(&self, msg: &GcMessage, outputs: &mut Vec<MachineOutput>) {
+        // One logical multicast is one machine output (and therefore one
+        // signature in the fail-signal wrapper); the hosting adapter fans it
+        // out to the physical peers.
+        outputs.push(MachineOutput::broadcast(msg.to_wire()));
+    }
+
+    fn deliver_up(&mut self, deliveries: Vec<AppDeliver>, outputs: &mut Vec<MachineOutput>) {
+        for d in deliveries {
+            outputs.push(MachineOutput::to_app(Upcall::Deliver(d.clone()).to_wire()));
+            self.delivered.push(d);
+        }
+    }
+
+    fn handle_app_request(&mut self, bytes: &[u8]) -> Vec<MachineOutput> {
+        let mut outputs = Vec::new();
+        let Ok(request) = AppRequest::from_wire(bytes) else {
+            return outputs; // a malformed local request is dropped
+        };
+        let AppRequest { service, payload } = request;
+        match service {
+            ServiceKind::SymmetricTotal => {
+                let view = self.membership.view().clone();
+                let (data, dels) = self.sym.multicast(payload, &view);
+                self.multicast_to_view(&data, &mut outputs);
+                self.deliver_up(dels, &mut outputs);
+            }
+            ServiceKind::AsymmetricTotal => {
+                let view = self.membership.view().clone();
+                let (msgs, dels) = self.asym.multicast(payload, &view);
+                for m in &msgs {
+                    self.multicast_to_view(m, &mut outputs);
+                }
+                self.deliver_up(dels, &mut outputs);
+            }
+            ServiceKind::Reliable => {
+                let (data, del) = self.reliable.multicast(self.member, payload);
+                self.multicast_to_view(&data, &mut outputs);
+                self.deliver_up(vec![del], &mut outputs);
+            }
+            ServiceKind::Unreliable => {
+                let (data, del) = self.simple.multicast(self.member, payload);
+                self.multicast_to_view(&data, &mut outputs);
+                self.deliver_up(vec![del], &mut outputs);
+            }
+            ServiceKind::Causal => {
+                let (data, del) = self.causal.multicast(payload);
+                self.multicast_to_view(&data, &mut outputs);
+                self.deliver_up(vec![del], &mut outputs);
+            }
+        }
+        outputs
+    }
+
+    fn handle_peer_message(&mut self, from: MemberId, bytes: &[u8]) -> Vec<MachineOutput> {
+        let mut outputs = Vec::new();
+        let Ok(message) = GcMessage::from_wire(bytes) else {
+            return outputs; // a malformed peer message cannot be processed
+        };
+        *self.message_counts.entry(message.kind()).or_insert(0) += 1;
+        match message {
+            GcMessage::Data { origin, seq, ts, vc, service, payload } => match service {
+                ServiceKind::SymmetricTotal => {
+                    let view = self.membership.view().clone();
+                    let (ack, dels) = self.sym.on_data(origin, seq, ts, payload, &view);
+                    self.multicast_to_view(&ack, &mut outputs);
+                    self.deliver_up(dels, &mut outputs);
+                }
+                ServiceKind::AsymmetricTotal => {
+                    let view = self.membership.view().clone();
+                    let (msgs, dels) = self.asym.on_data(origin, seq, payload, &view);
+                    for m in &msgs {
+                        self.multicast_to_view(m, &mut outputs);
+                    }
+                    self.deliver_up(dels, &mut outputs);
+                }
+                ServiceKind::Reliable => {
+                    let (relay, del) = self.reliable.on_data(origin, seq, payload);
+                    if let Some(relay) = relay {
+                        self.multicast_to_view(&relay, &mut outputs);
+                    }
+                    if let Some(del) = del {
+                        self.deliver_up(vec![del], &mut outputs);
+                    }
+                }
+                ServiceKind::Unreliable => {
+                    let del = self.simple.on_data(origin, seq, payload);
+                    self.deliver_up(vec![del], &mut outputs);
+                }
+                ServiceKind::Causal => {
+                    let dels = self.causal.on_data(origin, seq, vc, payload);
+                    self.deliver_up(dels, &mut outputs);
+                }
+            },
+            GcMessage::Ack { origin, seq, from: acker, clock } => {
+                let view = self.membership.view().clone();
+                let dels = self.sym.on_ack(origin, seq, acker, clock, &view);
+                self.deliver_up(dels, &mut outputs);
+            }
+            GcMessage::Order { global_seq, origin, seq, .. } => {
+                let dels = self.asym.on_order(global_seq, origin, seq);
+                self.deliver_up(dels, &mut outputs);
+            }
+            GcMessage::Ping { from: pinger, nonce } => {
+                let pong = GcMessage::Pong { from: self.member, nonce };
+                outputs.push(MachineOutput::to_peer(pinger, pong.to_wire()));
+            }
+            GcMessage::Pong { .. } => {
+                // Liveness bookkeeping happens in the hosting adapter (the
+                // ping-based suspector); the machine itself has nothing to do.
+            }
+            GcMessage::Suspect { suspect, .. } => {
+                let _ = from;
+                self.apply_suspicion(suspect, false, &mut outputs);
+            }
+        }
+        outputs
+    }
+
+    fn handle_control(&mut self, bytes: &[u8]) -> Vec<MachineOutput> {
+        let mut outputs = Vec::new();
+        let Ok(control) = ControlInput::from_wire(bytes) else {
+            return outputs;
+        };
+        match control {
+            ControlInput::Suspect(member) => {
+                self.apply_suspicion(member, true, &mut outputs);
+            }
+        }
+        outputs
+    }
+
+    fn apply_suspicion(
+        &mut self,
+        suspect: MemberId,
+        gossip: bool,
+        outputs: &mut Vec<MachineOutput>,
+    ) {
+        let Some(new_view) = self.membership.suspect(suspect) else {
+            return;
+        };
+        if gossip {
+            // Tell the rest of the group so every member installs the view.
+            let notice = GcMessage::Suspect { suspect, from: self.member };
+            self.multicast_to_view(&notice, outputs);
+        }
+        // Deliver the view change to the application.
+        outputs.push(MachineOutput::to_app(Upcall::View(new_view.to_deliver()).to_wire()));
+        self.views_delivered.push(new_view.id);
+        // Let the ordering protocols react (release messages waiting on the
+        // removed member; take over sequencing if needed).
+        let dels = self.sym.on_view_change(&new_view);
+        self.deliver_up(dels, outputs);
+        let (msgs, dels) = self.asym.on_view_change(&new_view);
+        for m in &msgs {
+            self.multicast_to_view(m, outputs);
+        }
+        self.deliver_up(dels, outputs);
+    }
+}
+
+impl DeterministicMachine for GcMachine {
+    fn handle(&mut self, input: &MachineInput) -> Vec<MachineOutput> {
+        match input.source {
+            Endpoint::LocalApp => self.handle_app_request(&input.bytes),
+            Endpoint::Peer(from) => self.handle_peer_message(from, &input.bytes),
+            Endpoint::Environment => self.handle_control(&input.bytes),
+            // A broadcast is a destination, never a source; such an input
+            // cannot come from a correct adapter and is ignored.
+            Endpoint::Broadcast => Vec::new(),
+        }
+    }
+
+    fn processing_cost(&self, input: &MachineInput) -> SimDuration {
+        self.costs.cost(input.bytes.len())
+    }
+
+    fn name(&self) -> String {
+        format!("newtop-gc-{}", self.member.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Runs a full group of GC machines with immediate, in-order message
+    /// delivery between them (an idealised network).
+    pub(crate) struct GcHarness {
+        pub machines: Vec<GcMachine>,
+    }
+
+    impl GcHarness {
+        pub fn new(n: u32) -> Self {
+            let group: Vec<MemberId> = (0..n).map(MemberId).collect();
+            let machines = group
+                .iter()
+                .map(|m| GcMachine::new(GcConfig::new(*m, group.clone()).with_costs(GcCosts::free())))
+                .collect();
+            Self { machines }
+        }
+
+        fn index_of(&self, m: MemberId) -> usize {
+            self.machines.iter().position(|g| g.member() == m).expect("member exists")
+        }
+
+        /// Routes machine outputs until quiescence.
+        fn route(&mut self, from: MemberId, outputs: Vec<MachineOutput>) {
+            let mut queue: Vec<(MemberId, MachineOutput)> =
+                outputs.into_iter().map(|o| (from, o)).collect();
+            while let Some((src, output)) = queue.pop() {
+                match output.dest {
+                    Endpoint::Peer(dest) => {
+                        let idx = self.index_of(dest);
+                        let input = MachineInput::from_peer(src, output.bytes);
+                        let more = self.machines[idx].handle(&input);
+                        queue.extend(more.into_iter().map(|o| (dest, o)));
+                    }
+                    Endpoint::Broadcast => {
+                        let members: Vec<MemberId> =
+                            self.machines.iter().map(|m| m.member()).collect();
+                        for dest in members {
+                            if dest == src {
+                                continue;
+                            }
+                            let idx = self.index_of(dest);
+                            let input = MachineInput::from_peer(src, output.bytes.clone());
+                            let more = self.machines[idx].handle(&input);
+                            queue.extend(more.into_iter().map(|o| (dest, o)));
+                        }
+                    }
+                    Endpoint::LocalApp | Endpoint::Environment => {
+                        // Deliveries are recorded inside the machine; nothing to route.
+                    }
+                }
+            }
+        }
+
+        pub fn app_multicast(&mut self, sender: u32, service: ServiceKind, payload: &[u8]) {
+            let request = AppRequest { service, payload: payload.to_vec() }.to_wire();
+            let sender_id = MemberId(sender);
+            let idx = self.index_of(sender_id);
+            let outputs = self.machines[idx].handle(&MachineInput::from_app(request));
+            self.route(sender_id, outputs);
+        }
+
+        pub fn suspect(&mut self, at: u32, suspect: u32) {
+            let at_id = MemberId(at);
+            let idx = self.index_of(at_id);
+            let control = ControlInput::Suspect(MemberId(suspect)).to_wire();
+            let outputs = self.machines[idx].handle(&MachineInput::from_env(control));
+            self.route(at_id, outputs);
+        }
+
+        pub fn delivered_orders(&self, member: u32) -> Vec<(MemberId, u64)> {
+            let idx = self.index_of(MemberId(member));
+            self.machines[idx]
+                .delivered()
+                .iter()
+                .filter(|d| {
+                    matches!(d.service, ServiceKind::SymmetricTotal | ServiceKind::AsymmetricTotal)
+                })
+                .map(|d| (d.origin, d.seq))
+                .collect()
+        }
+    }
+
+    #[test]
+    fn symmetric_total_order_agrees_across_members() {
+        let mut h = GcHarness::new(4);
+        for round in 0..3 {
+            for sender in 0..4 {
+                h.app_multicast(sender, ServiceKind::SymmetricTotal, format!("r{round}s{sender}").as_bytes());
+            }
+        }
+        let reference = h.delivered_orders(0);
+        assert_eq!(reference.len(), 12);
+        for member in 1..4 {
+            assert_eq!(h.delivered_orders(member), reference, "member {member} order differs");
+        }
+    }
+
+    #[test]
+    fn asymmetric_total_order_agrees_across_members() {
+        let mut h = GcHarness::new(3);
+        for sender in [2u32, 0, 1, 2, 1] {
+            h.app_multicast(sender, ServiceKind::AsymmetricTotal, b"payload");
+        }
+        let reference = h.delivered_orders(0);
+        assert_eq!(reference.len(), 5);
+        for member in 1..3 {
+            assert_eq!(h.delivered_orders(member), reference);
+        }
+    }
+
+    #[test]
+    fn reliable_multicast_reaches_everyone_once() {
+        let mut h = GcHarness::new(3);
+        h.app_multicast(1, ServiceKind::Reliable, b"news");
+        for m in 0..3 {
+            let idx = h.index_of(MemberId(m));
+            let reliable: Vec<&AppDeliver> = h.machines[idx]
+                .delivered()
+                .iter()
+                .filter(|d| d.service == ServiceKind::Reliable)
+                .collect();
+            assert_eq!(reliable.len(), 1, "member {m}");
+            assert_eq!(reliable[0].payload, b"news");
+        }
+    }
+
+    #[test]
+    fn causal_and_unreliable_multicast_deliver() {
+        let mut h = GcHarness::new(3);
+        h.app_multicast(0, ServiceKind::Causal, b"c1");
+        h.app_multicast(1, ServiceKind::Unreliable, b"u1");
+        for m in 0..3 {
+            let idx = h.index_of(MemberId(m));
+            let services: Vec<ServiceKind> =
+                h.machines[idx].delivered().iter().map(|d| d.service).collect();
+            assert!(services.contains(&ServiceKind::Causal), "member {m}");
+            assert!(services.contains(&ServiceKind::Unreliable), "member {m}");
+        }
+    }
+
+    #[test]
+    fn suspicion_installs_view_and_releases_pending_messages() {
+        let mut h = GcHarness::new(3);
+        // Member 2 "crashes" before acknowledging: simulate by removing its
+        // machine from the routing (we simply never let it speak again) and
+        // telling members 0 and 1 to suspect it.
+        h.app_multicast(0, ServiceKind::SymmetricTotal, b"before");
+        h.suspect(0, 2);
+        h.suspect(1, 2);
+        assert_eq!(h.machines[0].view().id, 1);
+        assert_eq!(h.machines[1].view().id, 1);
+        assert!(!h.machines[0].view().contains(MemberId(2)));
+        assert_eq!(h.machines[0].views_delivered(), &[1]);
+        // New multicasts among the surviving members still order.
+        h.app_multicast(1, ServiceKind::SymmetricTotal, b"after");
+        let d0 = h.delivered_orders(0);
+        let d1 = h.delivered_orders(1);
+        assert_eq!(d0, d1);
+        assert_eq!(d0.len(), 2);
+    }
+
+    #[test]
+    fn suspicion_gossip_propagates_view_change() {
+        let mut h = GcHarness::new(4);
+        // Only member 0's suspector fires; the Suspect notice must bring
+        // everyone else to the same view.
+        h.suspect(0, 3);
+        for m in 0..3 {
+            let idx = h.index_of(MemberId(m));
+            assert_eq!(h.machines[idx].view().id, 1, "member {m}");
+            assert!(!h.machines[idx].view().contains(MemberId(3)));
+        }
+    }
+
+    #[test]
+    fn symmetric_is_more_message_intensive_than_asymmetric() {
+        let mut sym = GcHarness::new(5);
+        let mut asym = GcHarness::new(5);
+        for sender in 0..5 {
+            sym.app_multicast(sender, ServiceKind::SymmetricTotal, b"x");
+            asym.app_multicast(sender, ServiceKind::AsymmetricTotal, b"x");
+        }
+        let count = |h: &GcHarness| -> u64 {
+            h.machines.iter().map(|m| m.message_counts().values().sum::<u64>()).sum()
+        };
+        assert!(
+            count(&sym) > count(&asym),
+            "symmetric ({}) should exceed asymmetric ({})",
+            count(&sym),
+            count(&asym)
+        );
+    }
+
+    #[test]
+    fn malformed_inputs_are_ignored() {
+        let group = vec![MemberId(0), MemberId(1)];
+        let mut gc = GcMachine::new(GcConfig::new(MemberId(0), group).with_costs(GcCosts::free()));
+        assert!(gc.handle(&MachineInput::from_app(vec![0xff, 0x01])).is_empty());
+        assert!(gc.handle(&MachineInput::from_peer(MemberId(1), vec![0xff])).is_empty());
+        assert!(gc.handle(&MachineInput::from_env(vec![0xff])).is_empty());
+    }
+
+    #[test]
+    fn ping_is_answered_with_pong() {
+        let group = vec![MemberId(0), MemberId(1)];
+        let mut gc = GcMachine::new(GcConfig::new(MemberId(0), group).with_costs(GcCosts::free()));
+        let ping = GcMessage::Ping { from: MemberId(1), nonce: 7 }.to_wire();
+        let out = gc.handle(&MachineInput::from_peer(MemberId(1), ping));
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].dest, Endpoint::Peer(MemberId(1)));
+        let pong = GcMessage::from_wire(&out[0].bytes).unwrap();
+        assert_eq!(pong, GcMessage::Pong { from: MemberId(0), nonce: 7 });
+    }
+
+    #[test]
+    fn gc_machine_is_deterministic() {
+        let group: Vec<MemberId> = (0..3).map(MemberId).collect();
+        let make = || {
+            GcMachine::new(GcConfig::new(MemberId(0), group.clone()).with_costs(GcCosts::free()))
+        };
+        let inputs = vec![
+            MachineInput::from_app(
+                AppRequest { service: ServiceKind::SymmetricTotal, payload: b"a".to_vec() }.to_wire(),
+            ),
+            MachineInput::from_peer(
+                MemberId(1),
+                GcMessage::Data {
+                    origin: MemberId(1),
+                    seq: 0,
+                    ts: 1,
+                    vc: vec![],
+                    service: ServiceKind::SymmetricTotal,
+                    payload: b"b".to_vec(),
+                }
+                .to_wire(),
+            ),
+            MachineInput::from_env(ControlInput::Suspect(MemberId(2)).to_wire()),
+        ];
+        assert!(fs_smr::machine::check_determinism(make, &inputs));
+    }
+
+    #[test]
+    fn processing_cost_scales_with_size() {
+        let group = vec![MemberId(0)];
+        let gc = GcMachine::new(GcConfig::new(MemberId(0), group));
+        let small = gc.processing_cost(&MachineInput::from_app(vec![0; 3]));
+        let large = gc.processing_cost(&MachineInput::from_app(vec![0; 10_000]));
+        assert!(large > small);
+        assert!(gc.name().contains("newtop-gc"));
+    }
+}

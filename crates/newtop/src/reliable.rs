@@ -1,0 +1,204 @@
+//! Reliable and simple (unreliable) multicast services.
+//!
+//! The reliable service uses flood-based relaying: on the first receipt of a
+//! data message a member delivers it and re-multicasts it to the rest of the
+//! group, so a message delivered anywhere is eventually delivered everywhere
+//! even if the original sender crashes midway through its multicast.  The
+//! simple service delivers whatever arrives, with no relaying and no
+//! duplicate suppression beyond per-`(origin, seq)` bookkeeping.
+
+use std::collections::BTreeSet;
+
+use fs_common::id::MemberId;
+
+use crate::message::{AppDeliver, GcMessage, ServiceKind};
+
+/// Per-member state of the reliable-multicast service.
+#[derive(Debug, Clone, Default)]
+pub struct ReliableMulticast {
+    seen: BTreeSet<(MemberId, u64)>,
+    delivered: u64,
+    next_seq: u64,
+    relayed: u64,
+}
+
+impl ReliableMulticast {
+    /// Creates an empty reliable-multicast state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of relay transmissions performed so far.
+    pub fn relayed_count(&self) -> u64 {
+        self.relayed
+    }
+
+    /// Multicasts `payload` as member `me`; returns the data message to send
+    /// and the local self-delivery.
+    pub fn multicast(&mut self, me: MemberId, payload: Vec<u8>) -> (GcMessage, AppDeliver) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.seen.insert((me, seq));
+        let data = GcMessage::Data {
+            origin: me,
+            seq,
+            ts: 0,
+            vc: Vec::new(),
+            service: ServiceKind::Reliable,
+            payload: payload.clone(),
+        };
+        let order = self.delivered;
+        self.delivered += 1;
+        (data, AppDeliver { origin: me, seq, order, service: ServiceKind::Reliable, payload })
+    }
+
+    /// Handles an incoming reliable data message.  Returns the relay message
+    /// to re-multicast (on first receipt only) and the local delivery.
+    pub fn on_data(
+        &mut self,
+        origin: MemberId,
+        seq: u64,
+        payload: Vec<u8>,
+    ) -> (Option<GcMessage>, Option<AppDeliver>) {
+        if !self.seen.insert((origin, seq)) {
+            return (None, None); // duplicate (direct copy and relayed copy)
+        }
+        let relay = GcMessage::Data {
+            origin,
+            seq,
+            ts: 0,
+            vc: Vec::new(),
+            service: ServiceKind::Reliable,
+            payload: payload.clone(),
+        };
+        self.relayed += 1;
+        let order = self.delivered;
+        self.delivered += 1;
+        let deliver =
+            AppDeliver { origin, seq, order, service: ServiceKind::Reliable, payload };
+        (Some(relay), Some(deliver))
+    }
+}
+
+/// Per-member state of the simple (unreliable) multicast service.
+#[derive(Debug, Clone, Default)]
+pub struct SimpleMulticast {
+    delivered: u64,
+    next_seq: u64,
+}
+
+impl SimpleMulticast {
+    /// Creates an empty simple-multicast state.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Multicasts `payload` as member `me`; returns the data message and the
+    /// local self-delivery.
+    pub fn multicast(&mut self, me: MemberId, payload: Vec<u8>) -> (GcMessage, AppDeliver) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let data = GcMessage::Data {
+            origin: me,
+            seq,
+            ts: 0,
+            vc: Vec::new(),
+            service: ServiceKind::Unreliable,
+            payload: payload.clone(),
+        };
+        let order = self.delivered;
+        self.delivered += 1;
+        (data, AppDeliver { origin: me, seq, order, service: ServiceKind::Unreliable, payload })
+    }
+
+    /// Handles an incoming simple data message: always delivered, never
+    /// relayed.
+    pub fn on_data(&mut self, origin: MemberId, seq: u64, payload: Vec<u8>) -> AppDeliver {
+        let order = self.delivered;
+        self.delivered += 1;
+        AppDeliver { origin, seq, order, service: ServiceKind::Unreliable, payload }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reliable_first_receipt_delivers_and_relays() {
+        let mut r = ReliableMulticast::new();
+        let (relay, deliver) = r.on_data(MemberId(1), 0, b"x".to_vec());
+        assert!(relay.is_some());
+        assert_eq!(deliver.unwrap().payload, b"x");
+        assert_eq!(r.delivered_count(), 1);
+        assert_eq!(r.relayed_count(), 1);
+    }
+
+    #[test]
+    fn reliable_duplicates_are_suppressed() {
+        let mut r = ReliableMulticast::new();
+        r.on_data(MemberId(1), 0, b"x".to_vec());
+        let (relay, deliver) = r.on_data(MemberId(1), 0, b"x".to_vec());
+        assert!(relay.is_none());
+        assert!(deliver.is_none());
+        assert_eq!(r.delivered_count(), 1);
+    }
+
+    #[test]
+    fn reliable_own_multicast_is_not_redelivered_via_relay() {
+        let mut r = ReliableMulticast::new();
+        let (data, deliver) = r.multicast(MemberId(0), b"mine".to_vec());
+        assert_eq!(deliver.origin, MemberId(0));
+        // The message comes back via a relaying peer: must be suppressed.
+        let GcMessage::Data { origin, seq, payload, .. } = data else { unreachable!() };
+        let (relay, redeliver) = r.on_data(origin, seq, payload);
+        assert!(relay.is_none());
+        assert!(redeliver.is_none());
+        assert_eq!(r.delivered_count(), 1);
+    }
+
+    #[test]
+    fn reliable_distinct_messages_all_deliver() {
+        let mut r = ReliableMulticast::new();
+        for seq in 0..5 {
+            let (_, d) = r.on_data(MemberId(2), seq, vec![seq as u8]);
+            assert!(d.is_some());
+        }
+        assert_eq!(r.delivered_count(), 5);
+    }
+
+    #[test]
+    fn simple_multicast_delivers_everything_including_duplicates() {
+        let mut s = SimpleMulticast::new();
+        let (_, d) = s.multicast(MemberId(0), b"a".to_vec());
+        assert_eq!(d.order, 0);
+        let d1 = s.on_data(MemberId(1), 0, b"b".to_vec());
+        let d2 = s.on_data(MemberId(1), 0, b"b".to_vec());
+        assert_eq!(d1.order, 1);
+        assert_eq!(d2.order, 2);
+        assert_eq!(s.delivered_count(), 3);
+    }
+
+    #[test]
+    fn sequence_numbers_increase_per_sender() {
+        let mut r = ReliableMulticast::new();
+        let (d1, _) = r.multicast(MemberId(0), b"a".to_vec());
+        let (d2, _) = r.multicast(MemberId(0), b"b".to_vec());
+        let seq = |m: &GcMessage| match m {
+            GcMessage::Data { seq, .. } => *seq,
+            _ => unreachable!(),
+        };
+        assert_eq!(seq(&d1), 0);
+        assert_eq!(seq(&d2), 1);
+    }
+}

@@ -1,0 +1,367 @@
+//! The symmetric total-order protocol.
+//!
+//! This is NewTOP's "significantly message intensive" service (§4): a message
+//! is ordered *only after it has been logically acknowledged by all members
+//! of the group*.  The implementation is the classic symmetric (sequencer-
+//! less) protocol built on Lamport clocks over FIFO channels:
+//!
+//! * every `Data` message carries its origin's Lamport timestamp;
+//! * every member multicasts an `Ack` (carrying its own, already bumped,
+//!   clock) for every `Data` it receives;
+//! * a message is delivered when it is the pending message with the smallest
+//!   `(timestamp, origin, seq)` key *and* it has been acknowledged by every
+//!   member of the current view.
+//!
+//! With per-sender FIFO channels (the middleware runs over TCP/IIOP) the
+//! all-ack condition guarantees that no message that should be ordered
+//! earlier can still arrive, so delivery order is identical at all correct
+//! members.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use fs_common::id::MemberId;
+
+use crate::message::{AppDeliver, GcMessage, ServiceKind};
+use crate::view::View;
+
+/// The key under which a pending message is ordered.
+type OrderKey = (u64, MemberId, u64); // (lamport timestamp, origin, per-origin seq)
+
+#[derive(Debug, Clone)]
+struct Pending {
+    payload: Vec<u8>,
+    acks: BTreeSet<MemberId>,
+}
+
+/// Per-member state of the symmetric total-order protocol.
+#[derive(Debug, Clone)]
+pub struct SymmetricOrder {
+    me: MemberId,
+    lamport: u64,
+    next_seq: u64,
+    pending: BTreeMap<OrderKey, Pending>,
+    /// Acks received before their data message, keyed by `(origin, seq)`.
+    early_acks: BTreeMap<(MemberId, u64), BTreeSet<MemberId>>,
+    delivered: u64,
+}
+
+impl SymmetricOrder {
+    /// Creates the protocol state for member `me`.
+    pub fn new(me: MemberId) -> Self {
+        Self {
+            me,
+            lamport: 0,
+            next_seq: 0,
+            pending: BTreeMap::new(),
+            early_acks: BTreeMap::new(),
+            delivered: 0,
+        }
+    }
+
+    /// The current Lamport clock (exposed for tests).
+    pub fn clock(&self) -> u64 {
+        self.lamport
+    }
+
+    /// Number of messages delivered so far.
+    pub fn delivered_count(&self) -> u64 {
+        self.delivered
+    }
+
+    /// Number of messages still awaiting order.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Multicasts `payload`: returns the `Data` message to send to every
+    /// other view member, plus any deliveries that become possible
+    /// immediately (e.g. in a singleton view).
+    pub fn multicast(&mut self, payload: Vec<u8>, view: &View) -> (GcMessage, Vec<AppDeliver>) {
+        self.lamport += 1;
+        let ts = self.lamport;
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let mut acks = BTreeSet::new();
+        acks.insert(self.me);
+        self.pending.insert((ts, self.me, seq), Pending { payload: payload.clone(), acks });
+        let data = GcMessage::Data {
+            origin: self.me,
+            seq,
+            ts,
+            vc: Vec::new(),
+            service: ServiceKind::SymmetricTotal,
+            payload,
+        };
+        (data, self.try_deliver(view))
+    }
+
+    /// Handles a `Data` message from `origin`; returns the `Ack` to
+    /// multicast to every view member (including the origin) and any
+    /// deliveries that become possible.
+    pub fn on_data(
+        &mut self,
+        origin: MemberId,
+        seq: u64,
+        ts: u64,
+        payload: Vec<u8>,
+        view: &View,
+    ) -> (GcMessage, Vec<AppDeliver>) {
+        self.lamport = self.lamport.max(ts) + 1;
+        let entry = self
+            .pending
+            .entry((ts, origin, seq))
+            .or_insert_with(|| Pending { payload, acks: BTreeSet::new() });
+        entry.acks.insert(origin); // the data message is the origin's own ack
+        entry.acks.insert(self.me); // our ack, which we are about to multicast
+        let ack = GcMessage::Ack { origin, seq, from: self.me, clock: self.lamport };
+        (ack, self.try_deliver(view))
+    }
+
+    /// Handles an `Ack`; returns any deliveries that become possible.
+    pub fn on_ack(
+        &mut self,
+        origin: MemberId,
+        seq: u64,
+        from: MemberId,
+        clock: u64,
+        view: &View,
+    ) -> Vec<AppDeliver> {
+        self.lamport = self.lamport.max(clock);
+        // Find the pending entry for (origin, seq).  The ack does not carry
+        // the original timestamp, so locate it by origin and seq.
+        if let Some(key) = self
+            .pending
+            .keys()
+            .find(|(_, o, s)| *o == origin && *s == seq)
+            .copied()
+        {
+            self.pending.get_mut(&key).expect("key exists").acks.insert(from);
+        } else {
+            // Ack arrived before the data (possible across different FIFO
+            // channels): remember it by creating a placeholder entry keyed by
+            // the ack's information once data arrives.  We keep it simple and
+            // stash it under a synthetic entry that the data will merge into.
+            // To stay deterministic we simply record nothing: the eventual
+            // data message will be acked by `from` again only if `from`
+            // retransmits.  In practice the all-ack condition is still met
+            // because every member acks every data message it receives, and
+            // FIFO ensures the origin's data precedes any ack of it from the
+            // same sender; acks from third parties may only arrive early when
+            // the data is still in flight, in which case delivery simply
+            // waits for the origin's data and the next ack.
+            //
+            // To avoid losing early acks entirely we buffer them.
+            self.early_acks_insert(origin, seq, from);
+        }
+        self.try_deliver(view)
+    }
+
+    fn early_acks_insert(&mut self, origin: MemberId, seq: u64, from: MemberId) {
+        self.early_acks.entry((origin, seq)).or_default().insert(from);
+    }
+
+    /// Called after a view change: acknowledgements are now required only
+    /// from the surviving members, so some pending messages may become
+    /// deliverable.
+    pub fn on_view_change(&mut self, view: &View) -> Vec<AppDeliver> {
+        self.try_deliver(view)
+    }
+
+    fn try_deliver(&mut self, view: &View) -> Vec<AppDeliver> {
+        let mut out = Vec::new();
+        loop {
+            // Merge any buffered early acks into their pending entries.
+            let keys: Vec<OrderKey> = self.pending.keys().copied().collect();
+            for key in &keys {
+                let (_, origin, seq) = *key;
+                if let Some(early) = self.early_acks.remove(&(origin, seq)) {
+                    self.pending.get_mut(key).expect("key exists").acks.extend(early);
+                }
+            }
+            let Some((key, entry)) = self.pending.iter().next() else { break };
+            let fully_acked = view.members.iter().all(|m| entry.acks.contains(m));
+            if !fully_acked {
+                break;
+            }
+            let (ts, origin, seq) = *key;
+            let payload = entry.payload.clone();
+            self.pending.remove(&(ts, origin, seq));
+            let order = self.delivered;
+            self.delivered += 1;
+            out.push(AppDeliver {
+                origin,
+                seq,
+                order,
+                service: ServiceKind::SymmetricTotal,
+                payload,
+            });
+        }
+        out
+    }
+}
+
+impl SymmetricOrder {
+    #[cfg(test)]
+    fn early_acks_field(&self) -> &BTreeMap<(MemberId, u64), BTreeSet<MemberId>> {
+        &self.early_acks
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn view(n: u32) -> View {
+        View::initial((0..n).map(MemberId))
+    }
+
+    /// Drives a full group of symmetric-order instances by hand, delivering
+    /// every protocol message immediately (no reordering).
+    struct Harness {
+        view: View,
+        members: Vec<SymmetricOrder>,
+        delivered: Vec<Vec<AppDeliver>>,
+    }
+
+    impl Harness {
+        fn new(n: u32) -> Self {
+            Self {
+                view: view(n),
+                members: (0..n).map(|i| SymmetricOrder::new(MemberId(i))).collect(),
+                delivered: (0..n).map(|_| Vec::new()).collect(),
+            }
+        }
+
+        fn multicast(&mut self, sender: usize, payload: &[u8]) {
+            let (data, dels) = self.members[sender].multicast(payload.to_vec(), &self.view);
+            self.delivered[sender].extend(dels);
+            let GcMessage::Data { origin, seq, ts, payload, .. } = data else { unreachable!() };
+            // Deliver the data to every other member; collect their acks.
+            let mut acks = Vec::new();
+            for i in 0..self.members.len() {
+                if i == sender {
+                    continue;
+                }
+                let (ack, dels) =
+                    self.members[i].on_data(origin, seq, ts, payload.clone(), &self.view);
+                self.delivered[i].extend(dels);
+                acks.push(ack);
+            }
+            // Deliver every ack to every member (including the origin).
+            for ack in acks {
+                let GcMessage::Ack { origin, seq, from, clock } = ack else { unreachable!() };
+                for i in 0..self.members.len() {
+                    if MemberId(i as u32) == from {
+                        continue;
+                    }
+                    let dels = self.members[i].on_ack(origin, seq, from, clock, &self.view);
+                    self.delivered[i].extend(dels);
+                }
+            }
+        }
+
+        fn orders(&self) -> Vec<Vec<(MemberId, u64)>> {
+            self.delivered
+                .iter()
+                .map(|d| d.iter().map(|a| (a.origin, a.seq)).collect())
+                .collect()
+        }
+    }
+
+    #[test]
+    fn singleton_group_delivers_immediately() {
+        let mut s = SymmetricOrder::new(MemberId(0));
+        let v = view(1);
+        let (_, dels) = s.multicast(b"solo".to_vec(), &v);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(dels[0].payload, b"solo");
+        assert_eq!(dels[0].order, 0);
+        assert_eq!(s.delivered_count(), 1);
+    }
+
+    #[test]
+    fn two_members_agree_on_order() {
+        let mut h = Harness::new(2);
+        h.multicast(0, b"a");
+        h.multicast(1, b"b");
+        h.multicast(0, b"c");
+        let orders = h.orders();
+        assert_eq!(orders[0].len(), 3);
+        assert_eq!(orders[0], orders[1]);
+    }
+
+    #[test]
+    fn five_members_agree_under_interleaving() {
+        let mut h = Harness::new(5);
+        for round in 0..4 {
+            for sender in 0..5 {
+                h.multicast(sender, format!("m{round}-{sender}").as_bytes());
+            }
+        }
+        let orders = h.orders();
+        for o in &orders[1..] {
+            assert_eq!(o, &orders[0]);
+        }
+        assert_eq!(orders[0].len(), 20);
+        // Order indices are consecutive.
+        let last = h.delivered[0].last().unwrap();
+        assert_eq!(last.order, 19);
+    }
+
+    #[test]
+    fn delivery_waits_for_all_acks() {
+        let v = view(3);
+        let mut a = SymmetricOrder::new(MemberId(0));
+        let (data, dels) = a.multicast(b"x".to_vec(), &v);
+        assert!(dels.is_empty());
+        let GcMessage::Data { origin, seq, ts, .. } = data else { unreachable!() };
+        // Only member 1 acks: still not deliverable.
+        let dels = a.on_ack(origin, seq, MemberId(1), ts + 1, &v);
+        assert!(dels.is_empty());
+        assert_eq!(a.pending_count(), 1);
+        // Member 2 acks: now deliverable.
+        let dels = a.on_ack(origin, seq, MemberId(2), ts + 1, &v);
+        assert_eq!(dels.len(), 1);
+        assert_eq!(a.pending_count(), 0);
+    }
+
+    #[test]
+    fn view_change_releases_messages_waiting_on_the_removed_member() {
+        let v = view(3);
+        let mut a = SymmetricOrder::new(MemberId(0));
+        let (data, _) = a.multicast(b"x".to_vec(), &v);
+        let GcMessage::Data { origin, seq, ts, .. } = data else { unreachable!() };
+        // Member 1 acks; member 2 has crashed and never will.
+        a.on_ack(origin, seq, MemberId(1), ts + 1, &v);
+        assert_eq!(a.delivered_count(), 0);
+        let v1 = v.without(MemberId(2)).unwrap();
+        let dels = a.on_view_change(&v1);
+        assert_eq!(dels.len(), 1);
+    }
+
+    #[test]
+    fn early_ack_before_data_is_not_lost() {
+        let v = view(3);
+        let mut a = SymmetricOrder::new(MemberId(0));
+        // An ack for a message we have not yet received.
+        let dels = a.on_ack(MemberId(1), 0, MemberId(2), 5, &v);
+        assert!(dels.is_empty());
+        assert!(!a.early_acks_field().is_empty());
+        // The data then arrives; together with our own ack and the origin's
+        // implicit ack, the early ack completes the set.
+        let (_ack, dels) = a.on_data(MemberId(1), 0, 3, b"x".to_vec(), &v);
+        assert_eq!(dels.len(), 1);
+        assert!(a.early_acks_field().is_empty());
+    }
+
+    #[test]
+    fn lamport_clock_is_monotone() {
+        let v = view(2);
+        let mut a = SymmetricOrder::new(MemberId(0));
+        let c0 = a.clock();
+        a.multicast(b"x".to_vec(), &v);
+        assert!(a.clock() > c0);
+        a.on_data(MemberId(1), 0, 100, b"y".to_vec(), &v);
+        assert!(a.clock() > 100);
+    }
+}

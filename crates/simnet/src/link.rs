@@ -1,0 +1,350 @@
+//! Network link models and the deployment topology.
+//!
+//! The paper's deployment (Figures 4 and 5) uses two kinds of interconnect:
+//!
+//! * a **synchronous LAN** between the two nodes of each fail-signal pair,
+//!   with a *known* delay bound δ (assumption A2) — modelled by
+//!   [`LinkModel::SyncLan`], whose delays never exceed the bound;
+//! * an **asynchronous network** between different FS processes / group
+//!   members, with no known bound — modelled by [`LinkModel::AsyncNet`],
+//!   whose delays follow a configurable heavy-tailed distribution and may be
+//!   dropped or inflated during injected partitions.
+//!
+//! The experimental set-up of §4 replaces the asynchronous network with a
+//! lightly loaded 100 Mb/s LAN so that NewTOP's timeouts never fire; the
+//! benchmark harness builds exactly that topology.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use serde::{Deserialize, Serialize};
+
+use fs_common::id::NodeId;
+use fs_common::rng::DetRng;
+use fs_common::time::SimDuration;
+
+/// How a link delays (or drops) messages.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LinkModel {
+    /// A synchronous LAN with a hard delay bound.
+    ///
+    /// Delay = `base + size/bandwidth + jitter`, where jitter is uniform in
+    /// `[0, jitter_max]`; the constructor checks that the worst case stays
+    /// within the advertised bound δ.
+    SyncLan {
+        /// Fixed propagation plus switching latency.
+        base: SimDuration,
+        /// Bandwidth in bytes per second (100 Mb/s ≈ 12.5 MB/s in the paper).
+        bandwidth_bps: u64,
+        /// Maximum additional uniform jitter.
+        jitter_max: SimDuration,
+    },
+    /// An asynchronous network: no delay bound is known to the protocols.
+    ///
+    /// Delay = `base + size/bandwidth + Exp(jitter_mean)`, optionally dropped
+    /// with probability `drop_prob`.
+    AsyncNet {
+        /// Fixed propagation latency.
+        base: SimDuration,
+        /// Bandwidth in bytes per second.
+        bandwidth_bps: u64,
+        /// Mean of the exponential jitter component.
+        jitter_mean: SimDuration,
+        /// Probability that a message is silently dropped.
+        drop_prob: f64,
+    },
+    /// Local delivery on the same node (loopback through the ORB).
+    Loopback {
+        /// Fixed cost of an in-node delivery.
+        cost: SimDuration,
+    },
+}
+
+impl LinkModel {
+    /// A 100 Mb/s switched-Ethernet LAN segment as used in the paper's
+    /// experiments: ~100 µs base latency, 12.5 MB/s, up to 100 µs jitter.
+    pub fn lan_100mbps() -> Self {
+        LinkModel::SyncLan {
+            base: SimDuration::from_micros(100),
+            bandwidth_bps: 12_500_000,
+            jitter_max: SimDuration::from_micros(100),
+        }
+    }
+
+    /// A wide-area asynchronous network with tens of milliseconds of latency
+    /// and occasional large jitter; used by the partition/suspicion
+    /// experiments, not by the paper's figures.
+    pub fn wan() -> Self {
+        LinkModel::AsyncNet {
+            base: SimDuration::from_millis(20),
+            bandwidth_bps: 1_250_000,
+            jitter_mean: SimDuration::from_millis(10),
+            drop_prob: 0.0,
+        }
+    }
+
+    /// Loopback with a small constant cost.
+    pub fn loopback() -> Self {
+        LinkModel::Loopback { cost: SimDuration::from_micros(20) }
+    }
+
+    /// Computes the delay for a message of `size` bytes, or `None` if the
+    /// message is dropped.
+    pub fn delay(&self, size: usize, rng: &mut DetRng) -> Option<SimDuration> {
+        match *self {
+            LinkModel::SyncLan { base, bandwidth_bps, jitter_max } => {
+                let tx = transmission_time(size, bandwidth_bps);
+                let jitter = if jitter_max.is_zero() {
+                    SimDuration::ZERO
+                } else {
+                    SimDuration::from_nanos(rng.below(jitter_max.as_nanos().max(1)))
+                };
+                Some(base + tx + jitter)
+            }
+            LinkModel::AsyncNet { base, bandwidth_bps, jitter_mean, drop_prob } => {
+                if rng.chance(drop_prob) {
+                    return None;
+                }
+                let tx = transmission_time(size, bandwidth_bps);
+                let jitter =
+                    SimDuration::from_nanos(rng.exponential(jitter_mean.as_nanos() as f64) as u64);
+                Some(base + tx + jitter)
+            }
+            LinkModel::Loopback { cost } => Some(cost),
+        }
+    }
+
+    /// The worst-case delay of the link for a message of `size` bytes, if a
+    /// bound exists (synchronous links only).
+    pub fn worst_case(&self, size: usize) -> Option<SimDuration> {
+        match *self {
+            LinkModel::SyncLan { base, bandwidth_bps, jitter_max } => {
+                Some(base + transmission_time(size, bandwidth_bps) + jitter_max)
+            }
+            LinkModel::AsyncNet { .. } => None,
+            LinkModel::Loopback { cost } => Some(cost),
+        }
+    }
+}
+
+fn transmission_time(size: usize, bandwidth_bps: u64) -> SimDuration {
+    if bandwidth_bps == 0 {
+        return SimDuration::ZERO;
+    }
+    SimDuration::from_nanos((size as u64).saturating_mul(1_000_000_000) / bandwidth_bps)
+}
+
+/// The deployment topology: which link model connects each pair of nodes,
+/// plus any currently injected partitions.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    default_link: LinkModel,
+    loopback: LinkModel,
+    overrides: BTreeMap<(NodeId, NodeId), LinkModel>,
+    severed: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::new(LinkModel::lan_100mbps())
+    }
+}
+
+impl Topology {
+    /// Creates a topology whose node pairs all use `default_link` and whose
+    /// intra-node deliveries use the default loopback model.
+    pub fn new(default_link: LinkModel) -> Self {
+        Self {
+            default_link,
+            loopback: LinkModel::loopback(),
+            overrides: BTreeMap::new(),
+            severed: BTreeSet::new(),
+        }
+    }
+
+    /// Sets the link model used between `a` and `b` (both directions).
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, link: LinkModel) {
+        self.overrides.insert(ordered(a, b), link);
+    }
+
+    /// Sets the loopback model used for same-node deliveries.
+    pub fn set_loopback(&mut self, link: LinkModel) {
+        self.loopback = link;
+    }
+
+    /// Returns the link model in effect between `a` and `b`.
+    pub fn link(&self, a: NodeId, b: NodeId) -> LinkModel {
+        if a == b {
+            return self.loopback;
+        }
+        *self.overrides.get(&ordered(a, b)).unwrap_or(&self.default_link)
+    }
+
+    /// Severs connectivity between `a` and `b` (both directions): all
+    /// messages are dropped until [`Topology::heal`] is called.  Used by the
+    /// partition experiments.
+    pub fn sever(&mut self, a: NodeId, b: NodeId) {
+        self.severed.insert(ordered(a, b));
+    }
+
+    /// Restores connectivity between `a` and `b`.
+    pub fn heal(&mut self, a: NodeId, b: NodeId) {
+        self.severed.remove(&ordered(a, b));
+    }
+
+    /// Severs every link between a node in `left` and a node in `right`.
+    pub fn partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.sever(a, b);
+            }
+        }
+    }
+
+    /// Heals every link between a node in `left` and a node in `right`.
+    pub fn heal_partition(&mut self, left: &[NodeId], right: &[NodeId]) {
+        for &a in left {
+            for &b in right {
+                self.heal(a, b);
+            }
+        }
+    }
+
+    /// Returns true when the link between `a` and `b` is currently severed.
+    pub fn is_severed(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && self.severed.contains(&ordered(a, b))
+    }
+
+    /// Computes the delay for a `size`-byte message from `a` to `b`, or
+    /// `None` when the message is dropped (severed link or lossy link).
+    pub fn delay(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        size: usize,
+        rng: &mut DetRng,
+    ) -> Option<SimDuration> {
+        if self.is_severed(a, b) {
+            return None;
+        }
+        self.link(a, b).delay(size, rng)
+    }
+}
+
+fn ordered(a: NodeId, b: NodeId) -> (NodeId, NodeId) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(42)
+    }
+
+    #[test]
+    fn sync_lan_respects_worst_case() {
+        let link = LinkModel::lan_100mbps();
+        let mut r = rng();
+        let bound = link.worst_case(1_000).unwrap();
+        for _ in 0..1_000 {
+            let d = link.delay(1_000, &mut r).expect("sync lan never drops");
+            assert!(d <= bound, "delay {d} exceeds bound {bound}");
+        }
+    }
+
+    #[test]
+    fn transmission_time_scales_with_size() {
+        let link = LinkModel::SyncLan {
+            base: SimDuration::ZERO,
+            bandwidth_bps: 12_500_000,
+            jitter_max: SimDuration::ZERO,
+        };
+        let mut r = rng();
+        let d_small = link.delay(125, &mut r).unwrap();
+        let d_big = link.delay(12_500, &mut r).unwrap();
+        assert_eq!(d_small, SimDuration::from_micros(10));
+        assert_eq!(d_big, SimDuration::from_millis(1));
+        assert!(d_big > d_small);
+    }
+
+    #[test]
+    fn async_net_can_drop() {
+        let link = LinkModel::AsyncNet {
+            base: SimDuration::from_millis(1),
+            bandwidth_bps: 1_000_000,
+            jitter_mean: SimDuration::from_millis(1),
+            drop_prob: 1.0,
+        };
+        let mut r = rng();
+        assert_eq!(link.delay(10, &mut r), None);
+        assert_eq!(link.worst_case(10), None);
+    }
+
+    #[test]
+    fn async_net_delay_positive_and_unbounded_in_type() {
+        let link = LinkModel::wan();
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = link.delay(100, &mut r).unwrap();
+            assert!(d >= SimDuration::from_millis(20));
+        }
+    }
+
+    #[test]
+    fn loopback_is_constant() {
+        let link = LinkModel::loopback();
+        let mut r = rng();
+        assert_eq!(link.delay(1, &mut r), link.delay(100_000, &mut r));
+    }
+
+    #[test]
+    fn topology_overrides_and_defaults() {
+        let mut topo = Topology::new(LinkModel::wan());
+        topo.set_link(NodeId(0), NodeId(1), LinkModel::lan_100mbps());
+        assert_eq!(topo.link(NodeId(0), NodeId(1)), LinkModel::lan_100mbps());
+        assert_eq!(topo.link(NodeId(1), NodeId(0)), LinkModel::lan_100mbps());
+        assert_eq!(topo.link(NodeId(0), NodeId(2)), LinkModel::wan());
+        assert_eq!(topo.link(NodeId(3), NodeId(3)), LinkModel::loopback());
+    }
+
+    #[test]
+    fn severing_drops_messages_and_healing_restores() {
+        let mut topo = Topology::default();
+        let mut r = rng();
+        assert!(topo.delay(NodeId(0), NodeId(1), 10, &mut r).is_some());
+        topo.sever(NodeId(0), NodeId(1));
+        assert!(topo.is_severed(NodeId(1), NodeId(0)));
+        assert!(topo.delay(NodeId(1), NodeId(0), 10, &mut r).is_none());
+        // Same-node delivery is never severed.
+        assert!(topo.delay(NodeId(0), NodeId(0), 10, &mut r).is_some());
+        topo.heal(NodeId(0), NodeId(1));
+        assert!(topo.delay(NodeId(0), NodeId(1), 10, &mut r).is_some());
+    }
+
+    #[test]
+    fn partition_severs_all_cross_links() {
+        let mut topo = Topology::default();
+        let left = [NodeId(0), NodeId(1)];
+        let right = [NodeId(2), NodeId(3)];
+        topo.partition(&left, &right);
+        for &a in &left {
+            for &b in &right {
+                assert!(topo.is_severed(a, b));
+            }
+        }
+        assert!(!topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(!topo.is_severed(NodeId(2), NodeId(3)));
+        topo.heal_partition(&left, &right);
+        assert!(!topo.is_severed(NodeId(0), NodeId(2)));
+    }
+
+    #[test]
+    fn zero_bandwidth_means_no_transmission_term() {
+        assert_eq!(transmission_time(1000, 0), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,487 @@
+//! A real, multi-threaded runtime for the same [`Actor`] abstraction.
+//!
+//! The simulator reproduces the paper's *measurements*; this runtime
+//! demonstrates that the very same protocol implementations run concurrently
+//! on real threads exchanging messages over channels — the role the Java ORB
+//! deployment plays in the original work.  Each actor gets its own thread and
+//! an unbounded inbox; timers are serviced by the actor's own thread between
+//! messages.
+//!
+//! CPU charges reported by handlers are ignored by default (they model
+//! 2003-era costs that would only slow the tests down); a scale factor can be
+//! configured to busy-wait a fraction of the charge when realistic pacing is
+//! wanted.
+
+use std::collections::{BinaryHeap, HashMap};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
+
+use fs_common::id::ProcessId;
+use fs_common::rng::DetRng;
+use fs_common::time::{SimDuration, SimTime};
+
+use crate::actor::{Actor, Context, TimerId};
+
+enum Envelope {
+    Message { from: ProcessId, payload: Vec<u8> },
+    Stop,
+}
+
+/// Configuration of the threaded runtime.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadedConfig {
+    /// Fraction of each handler's CPU charge that is actually busy-waited.
+    /// `0.0` (the default) ignores charges entirely.
+    pub cpu_charge_scale: f64,
+    /// Random seed from which per-actor RNGs are derived.
+    pub seed: u64,
+}
+
+impl Default for ThreadedConfig {
+    fn default() -> Self {
+        Self { cpu_charge_scale: 0.0, seed: 1 }
+    }
+}
+
+/// Builds a threaded deployment: register actors first, then start.
+pub struct ThreadedBuilder {
+    config: ThreadedConfig,
+    actors: Vec<(ProcessId, Box<dyn Actor>)>,
+    next: u32,
+}
+
+impl std::fmt::Debug for ThreadedBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedBuilder").field("actors", &self.actors.len()).finish()
+    }
+}
+
+impl Default for ThreadedBuilder {
+    fn default() -> Self {
+        Self::new(ThreadedConfig::default())
+    }
+}
+
+impl ThreadedBuilder {
+    /// Creates a builder with the given configuration.
+    pub fn new(config: ThreadedConfig) -> Self {
+        Self { config, actors: Vec::new(), next: 0 }
+    }
+
+    /// Returns the process identifier the next [`ThreadedBuilder::add`] call
+    /// will assign.
+    pub fn next_process_id(&self) -> ProcessId {
+        ProcessId(self.next)
+    }
+
+    /// Registers an actor and returns its process identifier.
+    pub fn add(&mut self, actor: Box<dyn Actor>) -> ProcessId {
+        let id = ProcessId(self.next);
+        self.next += 1;
+        self.actors.push((id, actor));
+        id
+    }
+
+    /// Registers an actor under an explicit identifier.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already registered.
+    pub fn add_with(&mut self, id: ProcessId, actor: Box<dyn Actor>) {
+        assert!(
+            self.actors.iter().all(|(existing, _)| *existing != id),
+            "process id {id} already in use"
+        );
+        self.next = self.next.max(id.0 + 1);
+        self.actors.push((id, actor));
+    }
+
+    /// Starts one thread per actor and returns the running runtime.
+    pub fn start(self) -> ThreadedRuntime {
+        let epoch = Instant::now();
+        let mut inboxes: HashMap<ProcessId, Sender<Envelope>> = HashMap::new();
+        let mut receivers: Vec<(ProcessId, Receiver<Envelope>)> = Vec::new();
+        for (id, _) in &self.actors {
+            let (tx, rx) = unbounded();
+            inboxes.insert(*id, tx);
+            receivers.push((*id, rx));
+        }
+        let inboxes = Arc::new(inboxes);
+        let root_rng = DetRng::new(self.config.seed);
+
+        let mut handles = Vec::new();
+        let mut rx_map: HashMap<ProcessId, Receiver<Envelope>> = receivers.into_iter().collect();
+        for (id, actor) in self.actors {
+            let rx = rx_map.remove(&id).expect("receiver exists");
+            let inboxes = Arc::clone(&inboxes);
+            let rng = root_rng.derive(u64::from(id.0));
+            let config = self.config;
+            let handle = std::thread::Builder::new()
+                .name(format!("actor-{}", id.0))
+                .spawn(move || actor_main(id, actor, rx, inboxes, rng, epoch, config))
+                .expect("spawn actor thread");
+            handles.push((id, handle));
+        }
+
+        ThreadedRuntime { inboxes, handles, epoch }
+    }
+}
+
+/// A running threaded deployment.
+pub struct ThreadedRuntime {
+    inboxes: Arc<HashMap<ProcessId, Sender<Envelope>>>,
+    handles: Vec<(ProcessId, JoinHandle<Box<dyn Actor>>)>,
+    epoch: Instant,
+}
+
+impl std::fmt::Debug for ThreadedRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ThreadedRuntime").field("actors", &self.handles.len()).finish()
+    }
+}
+
+impl ThreadedRuntime {
+    /// Injects a message into the running system, as if sent by `from`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`fs_common::Error::UnknownProcess`] when `to` is not a
+    /// registered actor, or [`fs_common::Error::Disconnected`] when its
+    /// thread has already terminated.
+    pub fn send(&self, from: ProcessId, to: ProcessId, payload: Vec<u8>) -> fs_common::Result<()> {
+        let tx = self.inboxes.get(&to).ok_or(fs_common::Error::UnknownProcess(to))?;
+        tx.send(Envelope::Message { from, payload })
+            .map_err(|_| fs_common::Error::Disconnected(to))
+    }
+
+    /// Wall-clock time since the runtime started, as a [`SimTime`].
+    pub fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+
+    /// The process identifiers of all registered actors.
+    pub fn processes(&self) -> Vec<ProcessId> {
+        let mut ids: Vec<ProcessId> = self.handles.iter().map(|(id, _)| *id).collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Stops every actor thread and returns the actors for inspection,
+    /// indexed by process identifier.
+    pub fn shutdown(self) -> HashMap<ProcessId, Box<dyn Actor>> {
+        for tx in self.inboxes.values() {
+            // A stop request may fail if the thread already exited; ignore.
+            let _ = tx.send(Envelope::Stop);
+        }
+        let mut out = HashMap::new();
+        for (id, handle) in self.handles {
+            if let Ok(actor) = handle.join() {
+                out.insert(id, actor);
+            }
+        }
+        out
+    }
+
+    /// Convenience: shuts down and downcasts one actor to `T`.
+    pub fn shutdown_and_take<T: Actor>(self, id: ProcessId) -> Option<Box<T>> {
+        let mut actors = self.shutdown();
+        let actor = actors.remove(&id)?;
+        let any: Box<dyn std::any::Any> = actor;
+        any.downcast::<T>().ok()
+    }
+}
+
+struct ThreadContext<'a> {
+    me: ProcessId,
+    epoch: Instant,
+    inboxes: &'a HashMap<ProcessId, Sender<Envelope>>,
+    rng: &'a mut DetRng,
+    timers: &'a mut TimerState,
+    cpu_scale: f64,
+}
+
+#[derive(Default)]
+struct TimerState {
+    heap: BinaryHeap<std::cmp::Reverse<(Instant, u64, TimerId)>>,
+    generation: HashMap<TimerId, u64>,
+    next_gen: u64,
+}
+
+impl TimerState {
+    fn arm(&mut self, deadline: Instant, timer: TimerId) {
+        self.next_gen += 1;
+        self.generation.insert(timer, self.next_gen);
+        self.heap.push(std::cmp::Reverse((deadline, self.next_gen, timer)));
+    }
+    fn cancel(&mut self, timer: TimerId) {
+        self.next_gen += 1;
+        self.generation.insert(timer, self.next_gen);
+    }
+    fn next_deadline(&self) -> Option<Instant> {
+        self.heap.peek().map(|std::cmp::Reverse((at, _, _))| *at)
+    }
+    /// Pops every timer due at or before `now` that is still current.
+    fn due(&mut self, now: Instant) -> Vec<TimerId> {
+        let mut fired = Vec::new();
+        while let Some(std::cmp::Reverse((at, generation, timer))) = self.heap.peek().copied() {
+            if at > now {
+                break;
+            }
+            self.heap.pop();
+            if self.generation.get(&timer) == Some(&generation) {
+                fired.push(timer);
+            }
+        }
+        fired
+    }
+}
+
+impl Context for ThreadContext<'_> {
+    fn now(&self) -> SimTime {
+        SimTime::from_nanos(self.epoch.elapsed().as_nanos().min(u64::MAX as u128) as u64)
+    }
+    fn me(&self) -> ProcessId {
+        self.me
+    }
+    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+        if let Some(tx) = self.inboxes.get(&to) {
+            let _ = tx.send(Envelope::Message { from: self.me, payload });
+        }
+    }
+    fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
+        self.timers.arm(Instant::now() + Duration::from(delay), timer);
+    }
+    fn cancel_timer(&mut self, timer: TimerId) {
+        self.timers.cancel(timer);
+    }
+    fn charge_cpu(&mut self, amount: SimDuration) {
+        if self.cpu_scale > 0.0 {
+            let target = Duration::from(amount.mul_f64(self.cpu_scale));
+            let start = Instant::now();
+            while start.elapsed() < target {
+                std::hint::spin_loop();
+            }
+        }
+    }
+    fn rng(&mut self) -> &mut DetRng {
+        self.rng
+    }
+    fn trace(&mut self, _label: &str) {}
+}
+
+fn actor_main(
+    id: ProcessId,
+    mut actor: Box<dyn Actor>,
+    rx: Receiver<Envelope>,
+    inboxes: Arc<HashMap<ProcessId, Sender<Envelope>>>,
+    mut rng: DetRng,
+    epoch: Instant,
+    config: ThreadedConfig,
+) -> Box<dyn Actor> {
+    let mut timers = TimerState::default();
+    {
+        let mut ctx = ThreadContext {
+            me: id,
+            epoch,
+            inboxes: &inboxes,
+            rng: &mut rng,
+            timers: &mut timers,
+            cpu_scale: config.cpu_charge_scale,
+        };
+        actor.on_start(&mut ctx);
+    }
+
+    loop {
+        // Fire any due timers first.
+        for timer in timers.due(Instant::now()) {
+            let mut ctx = ThreadContext {
+                me: id,
+                epoch,
+                inboxes: &inboxes,
+                rng: &mut rng,
+                timers: &mut timers,
+                cpu_scale: config.cpu_charge_scale,
+            };
+            actor.on_timer(&mut ctx, timer);
+        }
+
+        let wait = timers
+            .next_deadline()
+            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
+            .unwrap_or(Duration::from_millis(50));
+
+        match rx.recv_timeout(wait) {
+            Ok(Envelope::Message { from, payload }) => {
+                let mut ctx = ThreadContext {
+                    me: id,
+                    epoch,
+                    inboxes: &inboxes,
+                    rng: &mut rng,
+                    timers: &mut timers,
+                    cpu_scale: config.cpu_charge_scale,
+                };
+                actor.on_message(&mut ctx, from, payload);
+            }
+            Ok(Envelope::Stop) => break,
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
+    }
+    actor
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    struct Counter {
+        seen: usize,
+        shared: Arc<AtomicUsize>,
+    }
+
+    impl Actor for Counter {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {
+            self.seen += 1;
+            self.shared.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    struct PingPong {
+        peer: Option<ProcessId>,
+        rounds_left: usize,
+        finished: Arc<AtomicUsize>,
+    }
+
+    impl Actor for PingPong {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, b"ping".to_vec());
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, _payload: Vec<u8>) {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.send(from, b"pong".to_vec());
+            }
+            if self.rounds_left == 0 {
+                self.finished.fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    struct TimerOnce {
+        fired: Arc<AtomicUsize>,
+    }
+
+    impl Actor for TimerOnce {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.set_timer(SimDuration::from_millis(5), TimerId(1));
+        }
+        fn on_timer(&mut self, _ctx: &mut dyn Context, timer: TimerId) {
+            assert_eq!(timer, TimerId(1));
+            self.fired.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn wait_for(shared: &Arc<AtomicUsize>, target: usize, timeout_ms: u64) -> bool {
+        let start = Instant::now();
+        while start.elapsed() < Duration::from_millis(timeout_ms) {
+            if shared.load(Ordering::SeqCst) >= target {
+                return true;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        false
+    }
+
+    #[test]
+    fn external_sends_are_delivered() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        let counter = builder.add(Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
+        let rt = builder.start();
+        for _ in 0..10 {
+            rt.send(ProcessId(99), counter, b"x".to_vec()).unwrap();
+        }
+        assert!(wait_for(&shared, 10, 2_000));
+        let counter_actor = rt.shutdown_and_take::<Counter>(counter).unwrap();
+        assert_eq!(counter_actor.seen, 10);
+    }
+
+    #[test]
+    fn two_actors_ping_pong() {
+        let finished = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        let a = builder.next_process_id();
+        let b = ProcessId(a.0 + 1);
+        builder.add(Box::new(PingPong {
+            peer: Some(b),
+            rounds_left: 5,
+            finished: Arc::clone(&finished),
+        }));
+        builder.add(Box::new(PingPong {
+            peer: None,
+            rounds_left: 5,
+            finished: Arc::clone(&finished),
+        }));
+        let rt = builder.start();
+        assert!(wait_for(&finished, 2, 2_000));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn timers_fire_on_real_clock() {
+        let fired = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        builder.add(Box::new(TimerOnce { fired: Arc::clone(&fired) }));
+        let rt = builder.start();
+        assert!(wait_for(&fired, 1, 2_000));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn unknown_destination_is_an_error() {
+        let mut builder = ThreadedBuilder::default();
+        builder.add(Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
+        let rt = builder.start();
+        assert!(rt.send(ProcessId(0), ProcessId(42), vec![]).is_err());
+        rt.shutdown();
+    }
+
+    #[test]
+    fn add_with_explicit_id() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        builder.add_with(ProcessId(7), Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
+        let next = builder.add(Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
+        assert_eq!(next, ProcessId(8));
+        let rt = builder.start();
+        assert_eq!(rt.processes(), vec![ProcessId(7), ProcessId(8)]);
+        rt.send(ProcessId(0), ProcessId(7), vec![1]).unwrap();
+        assert!(wait_for(&shared, 1, 2_000));
+        rt.shutdown();
+    }
+
+    #[test]
+    #[should_panic(expected = "already in use")]
+    fn duplicate_explicit_id_panics() {
+        let mut builder = ThreadedBuilder::default();
+        builder.add_with(ProcessId(1), Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
+        builder.add_with(ProcessId(1), Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
+    }
+
+    #[test]
+    fn now_advances() {
+        let builder = ThreadedBuilder::default();
+        let rt = builder.start();
+        let t0 = rt.now();
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(rt.now() > t0);
+        rt.shutdown();
+    }
+}

@@ -1,0 +1,345 @@
+//! Tracing, counters and latency statistics for simulation runs.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use fs_common::id::ProcessId;
+use fs_common::time::{SimDuration, SimTime};
+
+/// Aggregate counters maintained by a simulation run.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NetStats {
+    /// Messages handed to the transport by actors.
+    pub messages_sent: u64,
+    /// Messages actually delivered to a destination actor.
+    pub messages_delivered: u64,
+    /// Messages dropped by a lossy or severed link, or addressed to an
+    /// unknown process.
+    pub messages_dropped: u64,
+    /// Total payload bytes handed to the transport.
+    pub bytes_sent: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Total events processed (deliveries + timers + start hooks).
+    pub events_processed: u64,
+}
+
+/// One entry of a [`TraceLog`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// An actor sent a message.
+    Send {
+        /// When the send became effective.
+        at: SimTime,
+        /// The sender.
+        from: ProcessId,
+        /// The destination.
+        to: ProcessId,
+        /// Payload size in bytes.
+        size: usize,
+    },
+    /// A message was delivered to an actor.
+    Deliver {
+        /// When the handler started.
+        at: SimTime,
+        /// The sender.
+        from: ProcessId,
+        /// The destination.
+        to: ProcessId,
+        /// Payload size in bytes.
+        size: usize,
+    },
+    /// A timer fired at an actor.
+    Timer {
+        /// When the handler started.
+        at: SimTime,
+        /// The actor whose timer fired.
+        at_process: ProcessId,
+        /// The application-defined timer number.
+        timer: u64,
+    },
+    /// A free-form label emitted by an actor via [`crate::actor::Context::trace`].
+    Label {
+        /// When the label was emitted.
+        at: SimTime,
+        /// The emitting actor.
+        process: ProcessId,
+        /// The label text.
+        label: String,
+    },
+}
+
+impl TraceEvent {
+    /// The simulated time of the event.
+    pub fn at(&self) -> SimTime {
+        match self {
+            TraceEvent::Send { at, .. }
+            | TraceEvent::Deliver { at, .. }
+            | TraceEvent::Timer { at, .. }
+            | TraceEvent::Label { at, .. } => *at,
+        }
+    }
+}
+
+/// A chronological record of everything that happened in a run.
+///
+/// Tracing is off by default; enabling it on long benchmark runs costs memory
+/// proportional to the number of events.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TraceLog {
+    events: Vec<TraceEvent>,
+}
+
+impl TraceLog {
+    /// Creates an empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: TraceEvent) {
+        self.events.push(event);
+    }
+
+    /// All recorded events in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Returns true when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Returns the labels emitted by a given process, in order.
+    pub fn labels_of(&self, process: ProcessId) -> Vec<&str> {
+        self.events
+            .iter()
+            .filter_map(|e| match e {
+                TraceEvent::Label { process: p, label, .. } if *p == process => {
+                    Some(label.as_str())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Collects latency samples and summarises them.
+///
+/// Used by the benchmark harness to report the ordering latency of Figure 6
+/// and by tests to assert distribution shapes.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LatencyRecorder {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyRecorder {
+    /// Creates an empty recorder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        self.samples.push(sample);
+    }
+
+    /// Records the latency from `start` to `end`.
+    pub fn record_span(&mut self, start: SimTime, end: SimTime) {
+        self.record(end.duration_since(start));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns true when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// All samples, in recording order.
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+
+    /// Summarises the samples; returns `None` when empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let n = sorted.len();
+        let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
+        let pct = |p: f64| -> SimDuration {
+            // Nearest-rank percentile: the smallest sample such that at least
+            // p of the samples are <= it.
+            let rank = (p * n as f64).ceil() as usize;
+            sorted[rank.clamp(1, n) - 1]
+        };
+        Some(LatencySummary {
+            count: n,
+            mean: SimDuration::from_nanos((total / n as u128) as u64),
+            min: sorted[0],
+            p50: pct(0.50),
+            p95: pct(0.95),
+            p99: pct(0.99),
+            max: sorted[n - 1],
+        })
+    }
+
+    /// Merges another recorder's samples into this one.
+    pub fn merge(&mut self, other: &LatencyRecorder) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+}
+
+/// Summary statistics over a set of latency samples.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: SimDuration,
+    /// Minimum sample.
+    pub min: SimDuration,
+    /// Median.
+    pub p50: SimDuration,
+    /// 95th percentile.
+    pub p95: SimDuration,
+    /// 99th percentile.
+    pub p99: SimDuration,
+    /// Maximum sample.
+    pub max: SimDuration,
+}
+
+/// Per-process message counters, useful for asserting protocol message
+/// complexity in tests (e.g. the symmetric total-order protocol is
+/// "significantly message intensive", §4).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ProcessCounters {
+    per_process: BTreeMap<ProcessId, ProcessCount>,
+}
+
+/// Counters for one process.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessCount {
+    /// Messages sent by the process.
+    pub sent: u64,
+    /// Messages delivered to the process.
+    pub received: u64,
+    /// Bytes sent by the process.
+    pub bytes_sent: u64,
+}
+
+impl ProcessCounters {
+    /// Creates an empty counter set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a send by `p` of `bytes` bytes.
+    pub fn on_send(&mut self, p: ProcessId, bytes: usize) {
+        let c = self.per_process.entry(p).or_default();
+        c.sent += 1;
+        c.bytes_sent += bytes as u64;
+    }
+
+    /// Records a delivery to `p`.
+    pub fn on_receive(&mut self, p: ProcessId) {
+        self.per_process.entry(p).or_default().received += 1;
+    }
+
+    /// Returns the counters of `p` (zero if never seen).
+    pub fn of(&self, p: ProcessId) -> ProcessCount {
+        self.per_process.get(&p).copied().unwrap_or_default()
+    }
+
+    /// Total messages sent across all processes.
+    pub fn total_sent(&self) -> u64 {
+        self.per_process.values().map(|c| c.sent).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_default_is_zero() {
+        let s = NetStats::default();
+        assert_eq!(s.messages_sent, 0);
+        assert_eq!(s.events_processed, 0);
+    }
+
+    #[test]
+    fn trace_log_filters_labels() {
+        let mut log = TraceLog::new();
+        log.push(TraceEvent::Label {
+            at: SimTime::ZERO,
+            process: ProcessId(1),
+            label: "a".into(),
+        });
+        log.push(TraceEvent::Send { at: SimTime::ZERO, from: ProcessId(1), to: ProcessId(2), size: 3 });
+        log.push(TraceEvent::Label {
+            at: SimTime::from_millis(1),
+            process: ProcessId(2),
+            label: "b".into(),
+        });
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.labels_of(ProcessId(1)), vec!["a"]);
+        assert_eq!(log.labels_of(ProcessId(2)), vec!["b"]);
+        assert!(log.labels_of(ProcessId(3)).is_empty());
+        assert_eq!(log.events()[1].at(), SimTime::ZERO);
+    }
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let mut rec = LatencyRecorder::new();
+        assert!(rec.summary().is_none());
+        for i in 1..=100u64 {
+            rec.record(SimDuration::from_millis(i));
+        }
+        let s = rec.summary().unwrap();
+        assert_eq!(s.count, 100);
+        assert_eq!(s.min, SimDuration::from_millis(1));
+        assert_eq!(s.max, SimDuration::from_millis(100));
+        assert_eq!(s.p50, SimDuration::from_millis(50));
+        assert_eq!(s.p95, SimDuration::from_millis(95));
+        assert!(s.mean > SimDuration::from_millis(49) && s.mean < SimDuration::from_millis(52));
+    }
+
+    #[test]
+    fn latency_record_span_and_merge() {
+        let mut a = LatencyRecorder::new();
+        a.record_span(SimTime::from_millis(1), SimTime::from_millis(4));
+        let mut b = LatencyRecorder::new();
+        b.record(SimDuration::from_millis(7));
+        a.merge(&b);
+        assert_eq!(a.len(), 2);
+        assert_eq!(a.samples()[0], SimDuration::from_millis(3));
+        assert_eq!(a.samples()[1], SimDuration::from_millis(7));
+    }
+
+    #[test]
+    fn process_counters_accumulate() {
+        let mut c = ProcessCounters::new();
+        c.on_send(ProcessId(1), 100);
+        c.on_send(ProcessId(1), 50);
+        c.on_receive(ProcessId(2));
+        assert_eq!(c.of(ProcessId(1)).sent, 2);
+        assert_eq!(c.of(ProcessId(1)).bytes_sent, 150);
+        assert_eq!(c.of(ProcessId(2)).received, 1);
+        assert_eq!(c.of(ProcessId(9)), ProcessCount::default());
+        assert_eq!(c.total_sent(), 2);
+    }
+}

@@ -1,0 +1,154 @@
+//! The replicated-service client: issue requests, vote on responses.
+//!
+//! This is pure bookkeeping logic (no I/O): adapters in the examples and the
+//! fault-injection tests wire it to the simulator or the threaded runtime.
+
+use fs_common::codec::Wire;
+use fs_common::id::ProcessId;
+
+use crate::command::RequestId;
+use crate::replica::{Request, Response};
+use crate::voter::{MajorityVoter, VoteOutcome};
+
+/// A client of a `2f + 1`-replica application group.
+#[derive(Debug)]
+pub struct ReplicatedClient {
+    id: ProcessId,
+    next_seq: u64,
+    voter: MajorityVoter,
+    outstanding: Vec<RequestId>,
+    completed: Vec<(RequestId, Vec<u8>)>,
+}
+
+impl ReplicatedClient {
+    /// Creates a client with identity `id` talking to a group sized to mask
+    /// `faults` Byzantine faults.
+    pub fn new(id: ProcessId, faults: usize) -> Self {
+        Self {
+            id,
+            next_seq: 0,
+            voter: MajorityVoter::new(faults),
+            outstanding: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// The client's process identifier.
+    pub fn id(&self) -> ProcessId {
+        self.id
+    }
+
+    /// Builds the next request for `command`; the caller multicasts the
+    /// returned wire bytes to every replica (via the ordering service).
+    pub fn next_request(&mut self, command: Vec<u8>) -> (RequestId, Vec<u8>) {
+        self.next_seq += 1;
+        let id = RequestId::new(self.id, self.next_seq);
+        self.outstanding.push(id);
+        let request = Request { id, command };
+        (id, request.to_wire())
+    }
+
+    /// Feeds a replica response (wire bytes).  Returns the decided
+    /// application-level response when this response completes a majority.
+    pub fn on_response_wire(&mut self, bytes: &[u8]) -> Option<(RequestId, Vec<u8>)> {
+        let response = Response::from_wire(bytes).ok()?;
+        self.on_response(&response)
+    }
+
+    /// Feeds a replica response.  Returns the decided application-level
+    /// response when this response completes a majority.
+    pub fn on_response(&mut self, response: &Response) -> Option<(RequestId, Vec<u8>)> {
+        match self.voter.on_response(response) {
+            VoteOutcome::Decided(payload) => {
+                self.outstanding.retain(|id| *id != response.id);
+                self.completed.push((response.id, payload.clone()));
+                Some((response.id, payload))
+            }
+            _ => None,
+        }
+    }
+
+    /// Requests issued but not yet decided.
+    pub fn outstanding(&self) -> &[RequestId] {
+        &self.outstanding
+    }
+
+    /// Requests decided so far, in decision order.
+    pub fn completed(&self) -> &[(RequestId, Vec<u8>)] {
+        &self.completed
+    }
+
+    /// The replicas this client has caught equivocating.
+    pub fn suspected_replicas(&self) -> &[fs_common::id::MemberId] {
+        self.voter.equivocators()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::id::MemberId;
+
+    #[test]
+    fn request_ids_are_sequential_and_unique() {
+        let mut c = ReplicatedClient::new(ProcessId(1), 1);
+        let (a, _) = c.next_request(b"cmd-a".to_vec());
+        let (b, _) = c.next_request(b"cmd-b".to_vec());
+        assert_eq!(a.client, ProcessId(1));
+        assert_ne!(a, b);
+        assert_eq!(c.outstanding().len(), 2);
+    }
+
+    #[test]
+    fn request_wire_decodes_to_original_command() {
+        let mut c = ReplicatedClient::new(ProcessId(1), 1);
+        let (id, wire) = c.next_request(b"do-it".to_vec());
+        let decoded = Request::from_wire(&wire).unwrap();
+        assert_eq!(decoded.id, id);
+        assert_eq!(decoded.command, b"do-it".to_vec());
+    }
+
+    #[test]
+    fn decision_after_majority() {
+        let mut c = ReplicatedClient::new(ProcessId(1), 1);
+        let (id, _) = c.next_request(b"cmd".to_vec());
+        let mk = |replica: u32, payload: &[u8]| Response {
+            id,
+            replica: MemberId(replica),
+            payload: payload.to_vec(),
+        };
+        assert!(c.on_response(&mk(0, b"r")).is_none());
+        let decided = c.on_response(&mk(1, b"r")).unwrap();
+        assert_eq!(decided, (id, b"r".to_vec()));
+        assert!(c.outstanding().is_empty());
+        assert_eq!(c.completed(), &[(id, b"r".to_vec())]);
+    }
+
+    #[test]
+    fn byzantine_minority_is_masked_and_reported() {
+        let mut c = ReplicatedClient::new(ProcessId(1), 1);
+        let (id, _) = c.next_request(b"cmd".to_vec());
+        let lie = Response { id, replica: MemberId(2), payload: b"LIE".to_vec() };
+        let truth0 = Response { id, replica: MemberId(0), payload: b"ok".to_vec() };
+        let truth1 = Response { id, replica: MemberId(1), payload: b"ok".to_vec() };
+        assert!(c.on_response(&lie).is_none());
+        assert!(c.on_response(&truth0).is_none());
+        assert_eq!(c.on_response(&truth1), Some((id, b"ok".to_vec())));
+        // Equivocation detection.
+        let (id2, _) = c.next_request(b"cmd2".to_vec());
+        let e1 = Response { id: id2, replica: MemberId(2), payload: b"x".to_vec() };
+        let e2 = Response { id: id2, replica: MemberId(2), payload: b"y".to_vec() };
+        c.on_response(&e1);
+        c.on_response(&e2);
+        assert_eq!(c.suspected_replicas(), &[MemberId(2)]);
+    }
+
+    #[test]
+    fn malformed_response_bytes_are_ignored() {
+        let mut c = ReplicatedClient::new(ProcessId(1), 0);
+        assert!(c.on_response_wire(&[0xde, 0xad]).is_none());
+        let (id, _) = c.next_request(b"cmd".to_vec());
+        let r = Response { id, replica: MemberId(0), payload: b"v".to_vec() };
+        assert_eq!(c.on_response_wire(&r.to_wire()), Some((id, b"v".to_vec())));
+    }
+}

@@ -1,0 +1,526 @@
+//! Application-level commands and replicated application state machines.
+//!
+//! The paper's deployment (Figure 4) replicates the *application* processes
+//! `A_1..A_{2f+1}` on top of the total-order service and masks application
+//! failures by majority voting at the client.  This module provides the
+//! command/response vocabulary and two concrete application state machines —
+//! a key-value store and an auction service (the paper's motivating
+//! "e-auction" workload) — used by the examples, the benches and the
+//! fault-injection tests.
+
+use fs_common::codec::{Decoder, Encoder, Wire};
+use fs_common::error::CodecError;
+use fs_common::id::ProcessId;
+
+/// A client request identifier: `(client, per-client sequence)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RequestId {
+    /// The issuing client.
+    pub client: ProcessId,
+    /// The client's sequence number for this request.
+    pub seq: u64,
+}
+
+impl RequestId {
+    /// Creates a request identifier.
+    pub fn new(client: ProcessId, seq: u64) -> Self {
+        Self { client, seq }
+    }
+}
+
+impl Wire for RequestId {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_process(self.client);
+        enc.put_u64(self.seq);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self { client: dec.get_process()?, seq: dec.get_u64()? })
+    }
+}
+
+/// Commands understood by the key-value application machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvCommand {
+    /// Store `value` under `key`.
+    Put {
+        /// The key to write.
+        key: String,
+        /// The value to store.
+        value: Vec<u8>,
+    },
+    /// Read the value stored under `key`.
+    Get {
+        /// The key to read.
+        key: String,
+    },
+    /// Delete `key`.
+    Delete {
+        /// The key to remove.
+        key: String,
+    },
+}
+
+impl Wire for KvCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvCommand::Put { key, value } => {
+                enc.put_u8(0);
+                enc.put_str(key);
+                enc.put_bytes(value);
+            }
+            KvCommand::Get { key } => {
+                enc.put_u8(1);
+                enc.put_str(key);
+            }
+            KvCommand::Delete { key } => {
+                enc.put_u8(2);
+                enc.put_str(key);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(KvCommand::Put { key: dec.get_str()?.to_owned(), value: dec.get_bytes_owned()? }),
+            1 => Ok(KvCommand::Get { key: dec.get_str()?.to_owned() }),
+            2 => Ok(KvCommand::Delete { key: dec.get_str()?.to_owned() }),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+/// Responses produced by the key-value application machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KvResponse {
+    /// The write or delete was applied.
+    Ok,
+    /// The value found by a `Get` (empty for a missing key).
+    Value(Option<Vec<u8>>),
+}
+
+impl Wire for KvResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            KvResponse::Ok => enc.put_u8(0),
+            KvResponse::Value(v) => {
+                enc.put_u8(1);
+                v.encode(enc);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(KvResponse::Ok),
+            1 => Ok(KvResponse::Value(Option::<Vec<u8>>::decode(dec)?)),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+/// An application state machine replicated via the total-order service.
+///
+/// Implementations must be deterministic: the response and state evolution
+/// depend only on the sequence of applied commands.
+pub trait AppStateMachine: Send + 'static {
+    /// Applies one command (already totally ordered) and returns the
+    /// response bytes.
+    fn apply(&mut self, command: &[u8]) -> Vec<u8>;
+
+    /// A digest of the current state, used by tests to check replica
+    /// convergence; the default hashes nothing and returns 0.
+    fn state_digest(&self) -> u64 {
+        0
+    }
+}
+
+/// A deterministic key-value store.
+#[derive(Debug, Clone, Default)]
+pub struct KvStore {
+    map: std::collections::BTreeMap<String, Vec<u8>>,
+    applied: u64,
+}
+
+impl KvStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of commands applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+
+    /// Number of keys currently stored.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Returns true when the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl AppStateMachine for KvStore {
+    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+        self.applied += 1;
+        let response = match KvCommand::from_wire(command) {
+            Ok(KvCommand::Put { key, value }) => {
+                self.map.insert(key, value);
+                KvResponse::Ok
+            }
+            Ok(KvCommand::Get { key }) => KvResponse::Value(self.map.get(&key).cloned()),
+            Ok(KvCommand::Delete { key }) => {
+                self.map.remove(&key);
+                KvResponse::Ok
+            }
+            Err(_) => KvResponse::Value(None),
+        };
+        response.to_wire()
+    }
+
+    fn state_digest(&self) -> u64 {
+        use fs_crypto::sha256::Sha256;
+        let mut h = Sha256::new();
+        for (k, v) in &self.map {
+            h.update(k.as_bytes());
+            h.update(&[0]);
+            h.update(v);
+            h.update(&[1]);
+        }
+        let d = h.finalize();
+        u64::from_le_bytes(d.as_bytes()[..8].try_into().expect("8 bytes"))
+    }
+}
+
+/// Commands for the auction application machine (the paper's "e-auction"
+/// motivating workload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuctionCommand {
+    /// Open a new auction for `item` with a minimum price.
+    Open {
+        /// Item name.
+        item: String,
+        /// Minimum acceptable bid.
+        reserve: u64,
+    },
+    /// Place a bid on `item`.
+    Bid {
+        /// Item name.
+        item: String,
+        /// The bidder.
+        bidder: ProcessId,
+        /// The offered amount.
+        amount: u64,
+    },
+    /// Close the auction for `item` and return the winner.
+    Close {
+        /// Item name.
+        item: String,
+    },
+}
+
+impl Wire for AuctionCommand {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            AuctionCommand::Open { item, reserve } => {
+                enc.put_u8(0);
+                enc.put_str(item);
+                enc.put_u64(*reserve);
+            }
+            AuctionCommand::Bid { item, bidder, amount } => {
+                enc.put_u8(1);
+                enc.put_str(item);
+                enc.put_process(*bidder);
+                enc.put_u64(*amount);
+            }
+            AuctionCommand::Close { item } => {
+                enc.put_u8(2);
+                enc.put_str(item);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(AuctionCommand::Open { item: dec.get_str()?.to_owned(), reserve: dec.get_u64()? }),
+            1 => Ok(AuctionCommand::Bid {
+                item: dec.get_str()?.to_owned(),
+                bidder: dec.get_process()?,
+                amount: dec.get_u64()?,
+            }),
+            2 => Ok(AuctionCommand::Close { item: dec.get_str()?.to_owned() }),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+/// The outcome of an auction command.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AuctionResponse {
+    /// The command was applied.
+    Ok,
+    /// The bid was rejected (too low, unknown or closed item).
+    Rejected,
+    /// The auction closed with this winner and amount (`None` if no valid bid).
+    Closed(Option<(ProcessId, u64)>),
+}
+
+impl Wire for AuctionResponse {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            AuctionResponse::Ok => enc.put_u8(0),
+            AuctionResponse::Rejected => enc.put_u8(1),
+            AuctionResponse::Closed(w) => {
+                enc.put_u8(2);
+                match w {
+                    None => enc.put_u8(0),
+                    Some((p, amount)) => {
+                        enc.put_u8(1);
+                        enc.put_process(*p);
+                        enc.put_u64(*amount);
+                    }
+                }
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(AuctionResponse::Ok),
+            1 => Ok(AuctionResponse::Rejected),
+            2 => match dec.get_u8()? {
+                0 => Ok(AuctionResponse::Closed(None)),
+                1 => Ok(AuctionResponse::Closed(Some((dec.get_process()?, dec.get_u64()?)))),
+                t => Err(CodecError::UnknownTag(t)),
+            },
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Auction {
+    reserve: u64,
+    best: Option<(ProcessId, u64)>,
+    open: bool,
+}
+
+/// A deterministic auction service: open auctions, accept monotonically
+/// better bids, close and report winners.
+#[derive(Debug, Clone, Default)]
+pub struct AuctionHouse {
+    auctions: std::collections::BTreeMap<String, Auction>,
+    applied: u64,
+}
+
+impl AuctionHouse {
+    /// Creates an auction service with no open auctions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The current best bid on `item`, if the auction exists.
+    pub fn best_bid(&self, item: &str) -> Option<(ProcessId, u64)> {
+        self.auctions.get(item).and_then(|a| a.best)
+    }
+
+    /// Number of commands applied so far.
+    pub fn applied(&self) -> u64 {
+        self.applied
+    }
+}
+
+impl AppStateMachine for AuctionHouse {
+    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+        self.applied += 1;
+        let response = match AuctionCommand::from_wire(command) {
+            Ok(AuctionCommand::Open { item, reserve }) => {
+                self.auctions.insert(item, Auction { reserve, best: None, open: true });
+                AuctionResponse::Ok
+            }
+            Ok(AuctionCommand::Bid { item, bidder, amount }) => match self.auctions.get_mut(&item) {
+                Some(a) if a.open && amount >= a.reserve && a.best.map_or(true, |(_, b)| amount > b) => {
+                    a.best = Some((bidder, amount));
+                    AuctionResponse::Ok
+                }
+                _ => AuctionResponse::Rejected,
+            },
+            Ok(AuctionCommand::Close { item }) => match self.auctions.get_mut(&item) {
+                Some(a) if a.open => {
+                    a.open = false;
+                    AuctionResponse::Closed(a.best)
+                }
+                _ => AuctionResponse::Rejected,
+            },
+            Err(_) => AuctionResponse::Rejected,
+        };
+        response.to_wire()
+    }
+
+    fn state_digest(&self) -> u64 {
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        for (item, a) in &self.auctions {
+            for b in item.as_bytes() {
+                acc = (acc ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+            }
+            let (p, amt) = a.best.map(|(p, amt)| (p.0 as u64, amt)).unwrap_or((u64::MAX, 0));
+            acc = (acc ^ p).wrapping_mul(0x100_0000_01b3);
+            acc = (acc ^ amt).wrapping_mul(0x100_0000_01b3);
+            acc = (acc ^ u64::from(a.open)).wrapping_mul(0x100_0000_01b3);
+        }
+        acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_id_round_trip() {
+        let r = RequestId::new(ProcessId(3), 42);
+        assert_eq!(RequestId::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn kv_command_round_trip() {
+        let cmds = vec![
+            KvCommand::Put { key: "a".into(), value: vec![1, 2, 3] },
+            KvCommand::Get { key: "a".into() },
+            KvCommand::Delete { key: "b".into() },
+        ];
+        for c in cmds {
+            assert_eq!(KvCommand::from_wire(&c.to_wire()).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn kv_store_semantics() {
+        let mut kv = KvStore::new();
+        assert!(kv.is_empty());
+        let r = kv.apply(&KvCommand::Put { key: "x".into(), value: b"1".to_vec() }.to_wire());
+        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Ok);
+        let r = kv.apply(&KvCommand::Get { key: "x".into() }.to_wire());
+        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Value(Some(b"1".to_vec())));
+        let r = kv.apply(&KvCommand::Delete { key: "x".into() }.to_wire());
+        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Ok);
+        let r = kv.apply(&KvCommand::Get { key: "x".into() }.to_wire());
+        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Value(None));
+        assert_eq!(kv.applied(), 4);
+        assert_eq!(kv.len(), 0);
+    }
+
+    #[test]
+    fn kv_store_digest_tracks_state() {
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        let put = KvCommand::Put { key: "k".into(), value: b"v".to_vec() }.to_wire();
+        a.apply(&put);
+        assert_ne!(a.state_digest(), b.state_digest());
+        b.apply(&put);
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    #[test]
+    fn kv_store_garbage_command_is_tolerated() {
+        let mut kv = KvStore::new();
+        let r = kv.apply(&[0xff, 0xff]);
+        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Value(None));
+    }
+
+    #[test]
+    fn auction_lifecycle() {
+        let mut house = AuctionHouse::new();
+        let open = AuctionCommand::Open { item: "vase".into(), reserve: 100 }.to_wire();
+        assert_eq!(AuctionResponse::from_wire(&house.apply(&open)).unwrap(), AuctionResponse::Ok);
+
+        let low = AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(1), amount: 50 }.to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&low)).unwrap(),
+            AuctionResponse::Rejected
+        );
+
+        let ok = AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(1), amount: 150 }.to_wire();
+        assert_eq!(AuctionResponse::from_wire(&house.apply(&ok)).unwrap(), AuctionResponse::Ok);
+
+        let not_better =
+            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(2), amount: 150 }.to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&not_better)).unwrap(),
+            AuctionResponse::Rejected
+        );
+
+        let better =
+            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(2), amount: 200 }.to_wire();
+        assert_eq!(AuctionResponse::from_wire(&house.apply(&better)).unwrap(), AuctionResponse::Ok);
+        assert_eq!(house.best_bid("vase"), Some((ProcessId(2), 200)));
+
+        let close = AuctionCommand::Close { item: "vase".into() }.to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&close)).unwrap(),
+            AuctionResponse::Closed(Some((ProcessId(2), 200)))
+        );
+        // Closing twice is rejected, and late bids are rejected.
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&close)).unwrap(),
+            AuctionResponse::Rejected
+        );
+        let late =
+            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(3), amount: 500 }.to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&late)).unwrap(),
+            AuctionResponse::Rejected
+        );
+    }
+
+    #[test]
+    fn auction_unknown_item_and_garbage() {
+        let mut house = AuctionHouse::new();
+        let bid = AuctionCommand::Bid { item: "ghost".into(), bidder: ProcessId(1), amount: 10 }.to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&bid)).unwrap(),
+            AuctionResponse::Rejected
+        );
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&[9, 9, 9])).unwrap(),
+            AuctionResponse::Rejected
+        );
+        assert_eq!(house.applied(), 2);
+    }
+
+    #[test]
+    fn auction_command_round_trip() {
+        let cmds = vec![
+            AuctionCommand::Open { item: "x".into(), reserve: 5 },
+            AuctionCommand::Bid { item: "x".into(), bidder: ProcessId(7), amount: 9 },
+            AuctionCommand::Close { item: "x".into() },
+        ];
+        for c in cmds {
+            assert_eq!(AuctionCommand::from_wire(&c.to_wire()).unwrap(), c);
+        }
+        let resps = vec![
+            AuctionResponse::Ok,
+            AuctionResponse::Rejected,
+            AuctionResponse::Closed(None),
+            AuctionResponse::Closed(Some((ProcessId(2), 11))),
+        ];
+        for r in resps {
+            assert_eq!(AuctionResponse::from_wire(&r.to_wire()).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn identical_command_sequences_converge() {
+        let cmds: Vec<Vec<u8>> = (0..50)
+            .map(|i| {
+                KvCommand::Put { key: format!("k{}", i % 7), value: vec![i as u8; 3] }.to_wire()
+            })
+            .collect();
+        let mut a = KvStore::new();
+        let mut b = KvStore::new();
+        for c in &cmds {
+            a.apply(c);
+            b.apply(c);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+    }
+}

@@ -1,0 +1,199 @@
+//! An application replica driven by a totally ordered command stream.
+//!
+//! In the paper's architecture the total-order service (NewTOP or FS-NewTOP)
+//! delivers the same command sequence to each of the `2f + 1` application
+//! replicas; each replica applies the commands to its local
+//! [`AppStateMachine`] and sends its response back to the requesting client,
+//! which then majority-votes (see [`crate::voter`]).
+
+use fs_common::codec::{Decoder, Encoder, Wire};
+use fs_common::error::CodecError;
+use fs_common::id::{MemberId, ProcessId};
+
+use crate::command::{AppStateMachine, RequestId};
+
+/// A client request as multicast through the ordering service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The request identifier (client + sequence).
+    pub id: RequestId,
+    /// The encoded application command.
+    pub command: Vec<u8>,
+}
+
+impl Wire for Request {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_bytes(&self.command);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self { id: RequestId::decode(dec)?, command: dec.get_bytes_owned()? })
+    }
+}
+
+/// A replica's response to a request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// The request this responds to.
+    pub id: RequestId,
+    /// The replica (group member) that produced it.
+    pub replica: MemberId,
+    /// The encoded application response.
+    pub payload: Vec<u8>,
+}
+
+impl Wire for Response {
+    fn encode(&self, enc: &mut Encoder) {
+        self.id.encode(enc);
+        enc.put_member(self.replica);
+        enc.put_bytes(&self.payload);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            id: RequestId::decode(dec)?,
+            replica: dec.get_member()?,
+            payload: dec.get_bytes_owned()?,
+        })
+    }
+}
+
+/// One application replica: an [`AppStateMachine`] plus the bookkeeping to
+/// turn ordered [`Request`]s into [`Response`]s exactly once each.
+pub struct Replica<A> {
+    member: MemberId,
+    app: A,
+    executed: std::collections::BTreeMap<ProcessId, u64>,
+    history: Vec<RequestId>,
+}
+
+impl<A: std::fmt::Debug> std::fmt::Debug for Replica<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Replica")
+            .field("member", &self.member)
+            .field("app", &self.app)
+            .field("executed_clients", &self.executed.len())
+            .field("history_len", &self.history.len())
+            .finish()
+    }
+}
+
+impl<A: AppStateMachine> Replica<A> {
+    /// Creates a replica for group member `member` running `app`.
+    pub fn new(member: MemberId, app: A) -> Self {
+        Self { member, app, executed: Default::default(), history: Vec::new() }
+    }
+
+    /// The member identity of this replica.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// Read access to the application state machine.
+    pub fn app(&self) -> &A {
+        &self.app
+    }
+
+    /// Applies a totally ordered request.  Duplicate requests from the same
+    /// client (same or older sequence number) are filtered — at-most-once
+    /// execution — and return `None`.
+    pub fn deliver(&mut self, request: &Request) -> Option<Response> {
+        let last = self.executed.get(&request.id.client).copied();
+        if let Some(last) = last {
+            if request.id.seq <= last {
+                return None;
+            }
+        }
+        self.executed.insert(request.id.client, request.id.seq);
+        self.history.push(request.id);
+        let payload = self.app.apply(&request.command);
+        Some(Response { id: request.id, replica: self.member, payload })
+    }
+
+    /// Applies a request received as wire bytes; malformed requests are
+    /// ignored (they cannot have come from a correct client).
+    pub fn deliver_wire(&mut self, bytes: &[u8]) -> Option<Response> {
+        let request = Request::from_wire(bytes).ok()?;
+        self.deliver(&request)
+    }
+
+    /// The sequence of request identifiers executed so far, in order.
+    pub fn history(&self) -> &[RequestId] {
+        &self.history
+    }
+
+    /// A digest of the application state, for convergence checks.
+    pub fn state_digest(&self) -> u64 {
+        self.app.state_digest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::{KvCommand, KvResponse, KvStore};
+
+    fn put(i: u64) -> Request {
+        Request {
+            id: RequestId::new(ProcessId(1), i),
+            command: KvCommand::Put { key: format!("k{i}"), value: vec![i as u8] }.to_wire(),
+        }
+    }
+
+    #[test]
+    fn request_and_response_round_trip() {
+        let r = put(3);
+        assert_eq!(Request::from_wire(&r.to_wire()).unwrap(), r);
+        let resp = Response { id: r.id, replica: MemberId(2), payload: vec![1, 2] };
+        assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
+    }
+
+    #[test]
+    fn replica_executes_in_order_and_responds() {
+        let mut r = Replica::new(MemberId(0), KvStore::new());
+        let resp = r.deliver(&put(1)).unwrap();
+        assert_eq!(resp.replica, MemberId(0));
+        assert_eq!(KvResponse::from_wire(&resp.payload).unwrap(), KvResponse::Ok);
+        assert_eq!(r.history().len(), 1);
+        assert_eq!(r.app().applied(), 1);
+    }
+
+    #[test]
+    fn duplicates_are_filtered() {
+        let mut r = Replica::new(MemberId(0), KvStore::new());
+        assert!(r.deliver(&put(1)).is_some());
+        assert!(r.deliver(&put(1)).is_none());
+        // An older sequence number is also a duplicate (already superseded).
+        assert!(r.deliver(&put(2)).is_some());
+        assert!(r.deliver(&put(1)).is_none());
+        assert_eq!(r.app().applied(), 2);
+    }
+
+    #[test]
+    fn different_clients_are_independent() {
+        let mut r = Replica::new(MemberId(0), KvStore::new());
+        let a = Request { id: RequestId::new(ProcessId(1), 1), command: put(1).command };
+        let b = Request { id: RequestId::new(ProcessId(2), 1), command: put(1).command };
+        assert!(r.deliver(&a).is_some());
+        assert!(r.deliver(&b).is_some());
+    }
+
+    #[test]
+    fn malformed_wire_request_is_ignored() {
+        let mut r = Replica::new(MemberId(0), KvStore::new());
+        assert!(r.deliver_wire(&[1, 2, 3]).is_none());
+        assert!(r.deliver_wire(&put(1).to_wire()).is_some());
+    }
+
+    #[test]
+    fn replicas_with_same_order_converge() {
+        let requests: Vec<Request> = (1..=20).map(put).collect();
+        let mut a = Replica::new(MemberId(0), KvStore::new());
+        let mut b = Replica::new(MemberId(1), KvStore::new());
+        for req in &requests {
+            a.deliver(req);
+            b.deliver(req);
+        }
+        assert_eq!(a.state_digest(), b.state_digest());
+        assert_eq!(a.history(), b.history());
+    }
+}

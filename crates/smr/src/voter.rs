@@ -1,0 +1,188 @@
+//! Majority voting over replica responses.
+//!
+//! §3 of the paper: *"Masking of f Byzantine faults at the application level
+//! requires at least 2f+1 replicas … a client of this replica group must
+//! multicast its request to the entire group and must majority-vote the
+//! results received from the replicas."*  The voter implements exactly that
+//! client-side step: collect per-request responses, group identical payloads,
+//! and decide once `f + 1` matching responses have arrived.
+
+use std::collections::BTreeMap;
+
+use fs_common::id::MemberId;
+
+use crate::command::RequestId;
+use crate::replica::Response;
+
+/// The outcome of feeding one response to the voter.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VoteOutcome {
+    /// Not enough matching responses yet.
+    Pending,
+    /// A value reached `f + 1` matching responses and is now decided.
+    Decided(Vec<u8>),
+    /// The request was already decided earlier (late or duplicate response).
+    AlreadyDecided,
+    /// The same replica sent two *different* responses for one request —
+    /// definite evidence of a faulty replica.
+    Equivocation(MemberId),
+}
+
+/// A majority voter for a replica group masking `f` Byzantine faults.
+#[derive(Debug, Clone)]
+pub struct MajorityVoter {
+    faults: usize,
+    pending: BTreeMap<RequestId, BTreeMap<MemberId, Vec<u8>>>,
+    decided: BTreeMap<RequestId, Vec<u8>>,
+    equivocators: Vec<MemberId>,
+}
+
+impl MajorityVoter {
+    /// Creates a voter for a group sized to mask `faults` Byzantine faults
+    /// (`2·faults + 1` replicas).
+    pub fn new(faults: usize) -> Self {
+        Self {
+            faults,
+            pending: BTreeMap::new(),
+            decided: BTreeMap::new(),
+            equivocators: Vec::new(),
+        }
+    }
+
+    /// The number of matching responses required to decide: `f + 1`.
+    pub fn quorum(&self) -> usize {
+        self.faults + 1
+    }
+
+    /// Feeds one replica response to the voter.
+    pub fn on_response(&mut self, response: &Response) -> VoteOutcome {
+        if self.decided.contains_key(&response.id) {
+            return VoteOutcome::AlreadyDecided;
+        }
+        let quorum = self.quorum();
+        let reached_quorum = {
+            let entry = self.pending.entry(response.id).or_default();
+            if let Some(previous) = entry.get(&response.replica) {
+                if previous != &response.payload {
+                    if !self.equivocators.contains(&response.replica) {
+                        self.equivocators.push(response.replica);
+                    }
+                    return VoteOutcome::Equivocation(response.replica);
+                }
+                // Exact duplicate from the same replica: ignore.
+                return VoteOutcome::Pending;
+            }
+            entry.insert(response.replica, response.payload.clone());
+
+            // Count matching payloads.
+            let mut counts: BTreeMap<&[u8], usize> = BTreeMap::new();
+            for payload in entry.values() {
+                *counts.entry(payload.as_slice()).or_insert(0) += 1;
+            }
+            counts
+                .into_iter()
+                .find(|(_, c)| *c >= quorum)
+                .map(|(payload, _)| payload.to_vec())
+        };
+        if let Some(decided) = reached_quorum {
+            self.decided.insert(response.id, decided.clone());
+            self.pending.remove(&response.id);
+            return VoteOutcome::Decided(decided);
+        }
+        VoteOutcome::Pending
+    }
+
+    /// Returns the decided value for a request, if any.
+    pub fn decision(&self, id: RequestId) -> Option<&[u8]> {
+        self.decided.get(&id).map(|v| v.as_slice())
+    }
+
+    /// Returns the replicas caught sending conflicting responses.
+    pub fn equivocators(&self) -> &[MemberId] {
+        &self.equivocators
+    }
+
+    /// Number of requests decided so far.
+    pub fn decided_count(&self) -> usize {
+        self.decided.len()
+    }
+
+    /// Number of requests still awaiting a quorum.
+    pub fn pending_count(&self) -> usize {
+        self.pending.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::id::ProcessId;
+
+    fn resp(seq: u64, replica: u32, payload: &[u8]) -> Response {
+        Response {
+            id: RequestId::new(ProcessId(9), seq),
+            replica: MemberId(replica),
+            payload: payload.to_vec(),
+        }
+    }
+
+    #[test]
+    fn decides_with_f_plus_one_matching() {
+        let mut v = MajorityVoter::new(1); // 3 replicas, quorum 2
+        assert_eq!(v.quorum(), 2);
+        assert_eq!(v.on_response(&resp(1, 0, b"ok")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(1, 1, b"ok")), VoteOutcome::Decided(b"ok".to_vec()));
+        assert_eq!(v.decision(RequestId::new(ProcessId(9), 1)), Some(b"ok".as_slice()));
+        assert_eq!(v.on_response(&resp(1, 2, b"ok")), VoteOutcome::AlreadyDecided);
+        assert_eq!(v.decided_count(), 1);
+        assert_eq!(v.pending_count(), 0);
+    }
+
+    #[test]
+    fn masks_one_byzantine_replica() {
+        let mut v = MajorityVoter::new(1);
+        // The faulty replica answers first with a wrong value.
+        assert_eq!(v.on_response(&resp(1, 2, b"WRONG")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(1, 0, b"right")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(1, 1, b"right")), VoteOutcome::Decided(b"right".to_vec()));
+    }
+
+    #[test]
+    fn never_decides_on_minority_value() {
+        let mut v = MajorityVoter::new(2); // 5 replicas, quorum 3
+        assert_eq!(v.on_response(&resp(7, 0, b"a")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(7, 1, b"b")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(7, 2, b"a")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(7, 3, b"b")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(7, 4, b"a")), VoteOutcome::Decided(b"a".to_vec()));
+    }
+
+    #[test]
+    fn detects_equivocation() {
+        let mut v = MajorityVoter::new(1);
+        assert_eq!(v.on_response(&resp(1, 0, b"x")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(1, 0, b"y")), VoteOutcome::Equivocation(MemberId(0)));
+        assert_eq!(v.equivocators(), &[MemberId(0)]);
+        // An exact duplicate is not equivocation.
+        assert_eq!(v.on_response(&resp(1, 0, b"x")), VoteOutcome::Pending);
+        assert_eq!(v.equivocators().len(), 1);
+    }
+
+    #[test]
+    fn independent_requests_do_not_interfere() {
+        let mut v = MajorityVoter::new(1);
+        assert_eq!(v.on_response(&resp(1, 0, b"a")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(2, 0, b"b")), VoteOutcome::Pending);
+        assert_eq!(v.on_response(&resp(2, 1, b"b")), VoteOutcome::Decided(b"b".to_vec()));
+        assert_eq!(v.pending_count(), 1);
+        assert_eq!(v.on_response(&resp(1, 1, b"a")), VoteOutcome::Decided(b"a".to_vec()));
+        assert_eq!(v.pending_count(), 0);
+    }
+
+    #[test]
+    fn f_zero_decides_on_first_response() {
+        let mut v = MajorityVoter::new(0);
+        assert_eq!(v.quorum(), 1);
+        assert_eq!(v.on_response(&resp(1, 0, b"solo")), VoteOutcome::Decided(b"solo".to_vec()));
+    }
+}

@@ -1,0 +1,57 @@
+//! The cost of swapping crash tolerance for authenticated Byzantine
+//! tolerance, in one picture: a single Figure-6-style measurement point plus
+//! the node-budget arithmetic of the paper's cost analysis.
+//!
+//! Run with:
+//! ```text
+//! cargo run --release --example crash_vs_byzantine_cost
+//! ```
+
+use fs_smr_suite::bench::measure::{measure, System};
+use fs_smr_suite::common::time::SimDuration;
+use fs_smr_suite::common::NodeBudget;
+use fs_smr_suite::fsnewtop::deployment::DeploymentParams;
+use fs_smr_suite::newtop::app::TrafficConfig;
+use fs_smr_suite::newtop::suspector::SuspectorConfig;
+
+fn main() {
+    println!("== crash tolerance vs authenticated Byzantine tolerance ==\n");
+
+    println!("space cost (nodes needed to mask f Byzantine faults):");
+    println!("{:>3} {:>14} {:>14} {:>14}", "f", "2f+1 replicas", "FS: 4f+2", "classical 3f+1");
+    for f in 1..=3 {
+        let b = NodeBudget::new(f);
+        println!(
+            "{f:>3} {:>14} {:>14} {:>14}",
+            b.application_replicas(),
+            b.fail_signal_nodes(),
+            b.classical_bft_nodes()
+        );
+    }
+
+    println!("\ntime cost (one measurement point of Figure 6, group of 5):");
+    let traffic = TrafficConfig::paper_default()
+        .with_messages(40)
+        .with_interval(SimDuration::from_millis(40));
+    let mut params = DeploymentParams::paper(5).with_traffic(traffic);
+    params.suspector = SuspectorConfig::disabled();
+
+    let newtop = measure(System::NewTop, &params);
+    let fs = measure(System::FsNewTop, &params);
+
+    for m in [&newtop, &fs] {
+        println!(
+            "  {:<10} latency mean {:>8.1} ms, p95 {:>8.1} ms, throughput {:>7.1} msg/s, middleware messages {}",
+            m.system.label(),
+            m.mean_latency_ms,
+            m.p95_latency_ms,
+            m.throughput_msgs_per_sec,
+            m.middleware_messages
+        );
+    }
+    println!(
+        "\nfail-signal overhead: {:+.0}% latency, {:+.0}% messages — the price of never having to guess timeouts.",
+        (fs.mean_latency_ms / newtop.mean_latency_ms - 1.0) * 100.0,
+        (fs.middleware_messages as f64 / newtop.middleware_messages as f64 - 1.0) * 100.0
+    );
+}

@@ -1,0 +1,50 @@
+//! # fs-smr-suite
+//!
+//! Facade crate for the fail-signal crash-to-Byzantine transformation suite —
+//! a from-scratch Rust reproduction of *"From Crash Tolerance to
+//! Authenticated Byzantine Tolerance: A Structured Approach, the Cost and
+//! Benefits"* (Mpoeleng, Ezhilchelvan & Speirs, DSN 2003).
+//!
+//! The suite is organised as a workspace; this crate re-exports the member
+//! crates under stable module names and hosts the runnable examples and the
+//! cross-crate integration tests.
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`common`] | `fs-common` | identifiers, simulated time, codec, timing assumptions, node budgets |
+//! | [`crypto`] | `fs-crypto` | SHA-256, HMAC, key directory, single/double signatures, cost model |
+//! | [`simnet`] | `fs-simnet` | discrete-event simulator, node/link models, threaded runtime |
+//! | [`smr`] | `fs-smr` | deterministic machines, application replicas, majority voting |
+//! | [`newtop`] | `fs-newtop` | the crash-tolerant NewTOP group-communication service |
+//! | [`failsignal`] | `failsignal` | the fail-signal wrapper pair (the paper's contribution) |
+//! | [`fsnewtop`] | `fs-newtop-bft` | FS-NewTOP: NewTOP wrapped into Byzantine tolerance |
+//! | [`faults`] | `fs-faults` | fault injection |
+//! | [`bench`] | `fs-bench` | figure-regeneration harness and ablations |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, DeploymentParams};
+//! use fs_smr_suite::newtop::app::TrafficConfig;
+//! use fs_smr_suite::common::time::{SimDuration, SimTime};
+//!
+//! let traffic = TrafficConfig::paper_default()
+//!     .with_messages(2)
+//!     .with_interval(SimDuration::from_millis(25));
+//! let mut deployment = build_fs_newtop(&DeploymentParams::paper(3).with_traffic(traffic));
+//! deployment.run(SimTime::from_secs(60));
+//! assert_eq!(deployment.app(0).delivery_log().len(), 6);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use failsignal;
+pub use fs_bench as bench;
+pub use fs_common as common;
+pub use fs_crypto as crypto;
+pub use fs_faults as faults;
+pub use fs_newtop as newtop;
+pub use fs_newtop_bft as fsnewtop;
+pub use fs_simnet as simnet;
+pub use fs_smr as smr;

@@ -1,0 +1,206 @@
+//! Property-based tests over the core invariants:
+//!
+//! * total-order agreement of the GC machines under arbitrary multicast
+//!   interleavings;
+//! * byte-exact determinism of the GC machine (requirement R1);
+//! * replica convergence of the application state machines;
+//! * round-trip correctness of the wire codecs and the hash/authenticator
+//!   primitives.
+
+use proptest::prelude::*;
+
+use fs_smr_suite::common::codec::Wire;
+use fs_smr_suite::common::id::{MemberId, ProcessId};
+use fs_smr_suite::crypto::hmac::HmacSha256;
+use fs_smr_suite::crypto::sha256::Sha256;
+use fs_smr_suite::newtop::gc::{GcConfig, GcCosts, GcMachine};
+use fs_smr_suite::newtop::message::{AppRequest, GcMessage, ServiceKind};
+use fs_smr_suite::smr::command::{KvCommand, KvStore};
+use fs_smr_suite::smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
+use fs_smr_suite::smr::replica::{Replica, Request};
+use fs_smr_suite::smr::RequestId;
+
+/// Runs a whole group of GC machines to quiescence, routing every output
+/// immediately, and returns each member's delivery order.
+fn run_group(members: u32, multicasts: &[(u32, Vec<u8>)], service: ServiceKind) -> Vec<Vec<(u32, u64)>> {
+    let group: Vec<MemberId> = (0..members).map(MemberId).collect();
+    let mut machines: Vec<GcMachine> = group
+        .iter()
+        .map(|m| GcMachine::new(GcConfig::new(*m, group.clone()).with_costs(GcCosts::free())))
+        .collect();
+
+    let mut queue: Vec<(MemberId, MachineOutput)> = Vec::new();
+    for (sender, payload) in multicasts {
+        let request = AppRequest { service, payload: payload.clone() }.to_wire();
+        let outputs = machines[*sender as usize].handle(&MachineInput::from_app(request));
+        queue.extend(outputs.into_iter().map(|o| (MemberId(*sender), o)));
+        // Drain to quiescence after every multicast (in-order network).
+        while let Some((src, output)) = queue.pop() {
+            match output.dest {
+                Endpoint::Peer(dest) => {
+                    let more = machines[dest.0 as usize]
+                        .handle(&MachineInput::from_peer(src, output.bytes));
+                    queue.extend(more.into_iter().map(|o| (dest, o)));
+                }
+                Endpoint::Broadcast => {
+                    for dest in &group {
+                        if *dest == src {
+                            continue;
+                        }
+                        let more = machines[dest.0 as usize]
+                            .handle(&MachineInput::from_peer(src, output.bytes.clone()));
+                        queue.extend(more.into_iter().map(|o| (*dest, o)));
+                    }
+                }
+                Endpoint::LocalApp | Endpoint::Environment => {}
+            }
+        }
+    }
+
+    machines
+        .iter()
+        .map(|m| m.delivered().iter().map(|d| (d.origin.0, d.seq)).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Agreement & validity: all members deliver the same sequence, and the
+    /// sequence contains exactly the multicast messages.
+    #[test]
+    fn symmetric_total_order_agreement(
+        members in 2u32..6,
+        senders in proptest::collection::vec(0u32..6, 1..25),
+    ) {
+        let multicasts: Vec<(u32, Vec<u8>)> = senders
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s % members, vec![i as u8]))
+            .collect();
+        let orders = run_group(members, &multicasts, ServiceKind::SymmetricTotal);
+        for order in &orders[1..] {
+            prop_assert_eq!(order, &orders[0]);
+        }
+        prop_assert_eq!(orders[0].len(), multicasts.len());
+    }
+
+    /// The sequencer-based service provides the same guarantees.
+    #[test]
+    fn asymmetric_total_order_agreement(
+        members in 2u32..5,
+        senders in proptest::collection::vec(0u32..5, 1..20),
+    ) {
+        let multicasts: Vec<(u32, Vec<u8>)> = senders
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s % members, vec![i as u8, 0xaa]))
+            .collect();
+        let orders = run_group(members, &multicasts, ServiceKind::AsymmetricTotal);
+        for order in &orders[1..] {
+            prop_assert_eq!(order, &orders[0]);
+        }
+        prop_assert_eq!(orders[0].len(), multicasts.len());
+    }
+
+    /// R1: the GC machine is a deterministic state machine — two instances
+    /// fed the same inputs produce byte-identical outputs.
+    #[test]
+    fn gc_machine_determinism(
+        payloads in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..64), 1..20),
+    ) {
+        let group: Vec<MemberId> = (0..3).map(MemberId).collect();
+        let make = || GcMachine::new(GcConfig::new(MemberId(0), group.clone()).with_costs(GcCosts::free()));
+        let mut a = make();
+        let mut b = make();
+        for (i, payload) in payloads.iter().enumerate() {
+            let input = if i % 2 == 0 {
+                MachineInput::from_app(
+                    AppRequest { service: ServiceKind::SymmetricTotal, payload: payload.clone() }.to_wire(),
+                )
+            } else {
+                MachineInput::from_peer(
+                    MemberId(1),
+                    GcMessage::Data {
+                        origin: MemberId(1),
+                        seq: i as u64,
+                        ts: i as u64 + 1,
+                        vc: vec![],
+                        service: ServiceKind::SymmetricTotal,
+                        payload: payload.clone(),
+                    }
+                    .to_wire(),
+                )
+            };
+            prop_assert_eq!(a.handle(&input), b.handle(&input));
+        }
+    }
+
+    /// Replicas applying the same ordered command stream converge.
+    #[test]
+    fn kv_replicas_converge(
+        commands in proptest::collection::vec((".{0,8}", proptest::collection::vec(any::<u8>(), 0..16)), 1..40),
+    ) {
+        let mut a = Replica::new(MemberId(0), KvStore::new());
+        let mut b = Replica::new(MemberId(1), KvStore::new());
+        for (i, (key, value)) in commands.iter().enumerate() {
+            let request = Request {
+                id: RequestId::new(ProcessId(1), i as u64 + 1),
+                command: KvCommand::Put { key: key.clone(), value: value.clone() }.to_wire(),
+            };
+            let ra = a.deliver(&request).map(|r| r.payload);
+            let rb = b.deliver(&request).map(|r| r.payload);
+            prop_assert_eq!(ra, rb);
+        }
+        prop_assert_eq!(a.state_digest(), b.state_digest());
+    }
+
+    /// Wire round-trips: GC messages and application requests decode to what
+    /// was encoded, for arbitrary payloads.
+    #[test]
+    fn gc_message_wire_round_trip(
+        origin in 0u32..32,
+        seq in any::<u64>(),
+        ts in any::<u64>(),
+        payload in proptest::collection::vec(any::<u8>(), 0..256),
+    ) {
+        let m = GcMessage::Data {
+            origin: MemberId(origin),
+            seq,
+            ts,
+            vc: vec![1, 2, 3],
+            service: ServiceKind::SymmetricTotal,
+            payload,
+        };
+        prop_assert_eq!(GcMessage::from_wire(&m.to_wire()).unwrap(), m);
+    }
+
+    /// SHA-256 incremental hashing equals one-shot hashing for any chunking.
+    #[test]
+    fn sha256_incremental_matches_one_shot(
+        data in proptest::collection::vec(any::<u8>(), 0..2048),
+        chunk in 1usize..97,
+    ) {
+        let one_shot = Sha256::digest(&data);
+        let mut hasher = Sha256::new();
+        for part in data.chunks(chunk) {
+            hasher.update(part);
+        }
+        prop_assert_eq!(hasher.finalize(), one_shot);
+    }
+
+    /// HMAC verification accepts the genuine tag and rejects a tag computed
+    /// under a different key.
+    #[test]
+    fn hmac_rejects_wrong_key(
+        key_a in proptest::collection::vec(any::<u8>(), 1..64),
+        key_b in proptest::collection::vec(any::<u8>(), 1..64),
+        data in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let tag = HmacSha256::mac(&key_a, &data);
+        prop_assert!(HmacSha256::verify(&key_a, &data, tag.as_bytes()));
+        if key_a != key_b {
+            prop_assert!(!HmacSha256::verify(&key_b, &data, tag.as_bytes()));
+        }
+    }
+}
