@@ -2,12 +2,12 @@
 //! double-signature path, and one fail-signal wrapper processing an input.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use fs_crypto::hmac::HmacSha256;
-use fs_crypto::sha256::Sha256;
-use fs_crypto::sig::{Signature, SingleSigned};
 use fs_common::id::ProcessId;
 use fs_common::rng::DetRng;
+use fs_crypto::hmac::HmacSha256;
 use fs_crypto::keys::{provision, SignerId};
+use fs_crypto::sha256::Sha256;
+use fs_crypto::sig::{Signature, SingleSigned};
 
 fn bench_crypto(c: &mut Criterion) {
     let data = vec![0xabu8; 1024];
@@ -26,7 +26,9 @@ fn bench_crypto(c: &mut Criterion) {
     group.bench_function("double_sign_verify_1k", |bch| {
         bch.iter(|| {
             let double = SingleSigned::new((), &data, &a).counter_sign(&data, &b_key);
-            double.verify(&dir, &data, (a.signer, b_key.signer)).unwrap();
+            double
+                .verify(&dir, &data, (a.signer, b_key.signer))
+                .unwrap();
         })
     });
     group.finish();

@@ -6,7 +6,10 @@ use fs_bench::experiment::ablation_node_budget;
 
 fn main() {
     println!("# ablation A1 — node budget");
-    println!("{:>3} {:>16} {:>18} {:>16} {:>8}", "f", "app replicas", "fail-signal nodes", "classical BFT", "extra");
+    println!(
+        "{:>3} {:>16} {:>18} {:>16} {:>8}",
+        "f", "app replicas", "fail-signal nodes", "classical BFT", "extra"
+    );
     for (f, replicas, fs_nodes, classical) in ablation_node_budget(5) {
         println!(
             "{f:>3} {replicas:>16} {fs_nodes:>18} {classical:>16} {:>8}",

@@ -9,5 +9,8 @@ use fs_bench::report::ablation_table;
 fn main() {
     let config = ExperimentConfig::default();
     let rows = ablation_sign_cost(&config, 5);
-    println!("{}", ablation_table("ablation A3 — signature cost (5 members)", &rows));
+    println!(
+        "{}",
+        ablation_table("ablation A3 — signature cost (5 members)", &rows)
+    );
 }

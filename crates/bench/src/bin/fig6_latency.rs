@@ -6,9 +6,15 @@ use fs_bench::report::write_figure_json;
 
 fn main() {
     let config = ExperimentConfig::default();
-    eprintln!("regenerating figure 6 ({} messages/member)...", config.messages_per_member);
+    eprintln!(
+        "regenerating figure 6 ({} messages/member)...",
+        config.messages_per_member
+    );
     let figure = figure6(&config);
-    println!("{}", figure.to_table(|m| m.mean_latency_ms, "mean ordering latency, ms"));
+    println!(
+        "{}",
+        figure.to_table(|m| m.mean_latency_ms, "mean ordering latency, ms")
+    );
     match write_figure_json(&figure) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write JSON results: {e}"),

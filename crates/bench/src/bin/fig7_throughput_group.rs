@@ -6,9 +6,15 @@ use fs_bench::report::write_figure_json;
 
 fn main() {
     let config = ExperimentConfig::default();
-    eprintln!("regenerating figure 7 ({} messages/member)...", config.messages_per_member);
+    eprintln!(
+        "regenerating figure 7 ({} messages/member)...",
+        config.messages_per_member
+    );
     let figure = figure7(&config);
-    println!("{}", figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second"));
+    println!(
+        "{}",
+        figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second")
+    );
     match write_figure_json(&figure) {
         Ok(path) => eprintln!("wrote {}", path.display()),
         Err(e) => eprintln!("could not write JSON results: {e}"),

@@ -42,7 +42,10 @@ impl Default for ExperimentConfig {
 /// Number of messages per member used by the figure binaries; override with
 /// the `FS_BENCH_MESSAGES` environment variable (the paper uses 1000).
 pub fn default_messages() -> u64 {
-    std::env::var("FS_BENCH_MESSAGES").ok().and_then(|v| v.parse().ok()).unwrap_or(150)
+    std::env::var("FS_BENCH_MESSAGES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(150)
 }
 
 fn params_for(members: u32, payload: usize, config: &ExperimentConfig) -> DeploymentParams {
@@ -50,7 +53,9 @@ fn params_for(members: u32, payload: usize, config: &ExperimentConfig) -> Deploy
         .with_messages(config.messages_per_member)
         .with_interval(config.send_interval)
         .with_payload_size(payload);
-    let mut p = DeploymentParams::paper(members).with_traffic(traffic).with_seed(config.seed);
+    let mut p = DeploymentParams::paper(members)
+        .with_traffic(traffic)
+        .with_seed(config.seed);
     // The paper eliminates false suspicions (large timeouts on a lightly
     // loaded LAN); ping traffic itself is negligible but we disable it so
     // message counts reflect the ordering protocol only.
@@ -123,12 +128,20 @@ impl Figure {
             out.push_str(&format!(
                 "{:>10}  {:>14}  {:>14}  {:>9}\n",
                 x,
-                newtop.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
+                newtop
+                    .map(|v| format!("{v:.1}"))
+                    .unwrap_or_else(|| "-".into()),
                 fs.map(|v| format!("{v:.1}")).unwrap_or_else(|| "-".into()),
                 overhead
             ));
         }
-        out.push_str(&format!("({value_label}; {} messages/member)\n", self.rows.first().map(|r| r.metrics.messages_per_member).unwrap_or(0)));
+        out.push_str(&format!(
+            "({value_label}; {} messages/member)\n",
+            self.rows
+                .first()
+                .map(|r| r.metrics.messages_per_member)
+                .unwrap_or(0)
+        ));
         out
     }
 }
@@ -224,7 +237,12 @@ pub fn ablation_node_budget(max_faults: u32) -> Vec<(u32, u32, u32, u32)> {
     (0..=max_faults)
         .map(|f| {
             let b = NodeBudget::new(f);
-            (f, b.application_replicas(), b.fail_signal_nodes(), b.classical_bft_nodes())
+            (
+                f,
+                b.application_replicas(),
+                b.fail_signal_nodes(),
+                b.classical_bft_nodes(),
+            )
         })
         .collect()
 }
@@ -243,7 +261,9 @@ pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
     // A small ping timeout combined with slow, heavily jittered links makes
     // timeout-based suspicion fire even though nobody has failed.
     let mut params = params_for(members, 3, config);
-    params.traffic = params.traffic.with_messages(config.messages_per_member.min(30));
+    params.traffic = params
+        .traffic
+        .with_messages(config.messages_per_member.min(30));
     params.suspector = SuspectorConfig::aggressive(SimDuration::from_millis(2));
 
     // Replace the lightly loaded LAN with a slow, jittery asynchronous
@@ -259,7 +279,10 @@ pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
     let inflate = |deployment: &mut Deployment, nodes: u32| {
         for a in 0..nodes {
             for b in (a + 1)..nodes {
-                deployment.sim.topology_mut().set_link(NodeId(a), NodeId(b), slow_net);
+                deployment
+                    .sim
+                    .topology_mut()
+                    .set_link(NodeId(a), NodeId(b), slow_net);
             }
         }
     };
@@ -331,7 +354,10 @@ mod tests {
     fn sign_cost_ablation_orders_costs() {
         let out = ablation_sign_cost(&tiny(), 3);
         let get = |name: &str| {
-            out.iter().find(|(n, _)| n == name).map(|(_, m)| m.mean_latency_ms).unwrap()
+            out.iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, m)| m.mean_latency_ms)
+                .unwrap()
         };
         assert!(get("free") <= get("era-2003-rsa"));
         assert!(get("modern-hmac") <= get("era-2003-rsa"));

@@ -79,7 +79,10 @@ pub fn run_deployment(
     let mut total_deliveries = 0u64;
     let mut last_delivery = SimTime::ZERO;
     for handle in &deployment.members {
-        let app = deployment.sim.actor::<AppProcess>(handle.app).expect("app actor");
+        let app = deployment
+            .sim
+            .actor::<AppProcess>(handle.app)
+            .expect("app actor");
         latencies.merge(app.latencies());
         total_deliveries += app.delivered_total();
         if let Some(t) = app.last_delivery() {
@@ -165,7 +168,12 @@ mod tests {
     fn newtop_run_is_complete_and_failure_free() {
         let params = quick_params(3, 5);
         let m = measure(System::NewTop, &params);
-        assert!(m.is_complete(), "delivered {}/{}", m.total_deliveries, m.expected_deliveries);
+        assert!(
+            m.is_complete(),
+            "delivered {}/{}",
+            m.total_deliveries,
+            m.expected_deliveries
+        );
         assert!(!m.fail_signals_observed);
         assert!(m.mean_latency_ms.is_finite());
         assert!(m.throughput_msgs_per_sec > 0.0);

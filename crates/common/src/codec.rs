@@ -46,12 +46,16 @@ pub struct Encoder {
 impl Encoder {
     /// Creates an empty encoder.
     pub fn new() -> Self {
-        Self { buf: BytesMut::new() }
+        Self {
+            buf: BytesMut::new(),
+        }
     }
 
     /// Creates an encoder with `cap` bytes of pre-allocated capacity.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { buf: BytesMut::with_capacity(cap) }
+        Self {
+            buf: BytesMut::with_capacity(cap),
+        }
     }
 
     /// Appends a single byte.
@@ -162,7 +166,10 @@ impl<'a> Decoder<'a> {
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
         if self.remaining() < n {
-            return Err(CodecError::UnexpectedEof { wanted: n, available: self.remaining() });
+            return Err(CodecError::UnexpectedEof {
+                wanted: n,
+                available: self.remaining(),
+            });
         }
         let out = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -224,7 +231,10 @@ impl<'a> Decoder<'a> {
     pub fn get_bytes(&mut self) -> Result<&'a [u8], CodecError> {
         let len = self.get_u32()? as usize;
         if len > MAX_FIELD_LEN {
-            return Err(CodecError::LengthOverflow { length: len, max: MAX_FIELD_LEN });
+            return Err(CodecError::LengthOverflow {
+                length: len,
+                max: MAX_FIELD_LEN,
+            });
         }
         self.take(len)
     }
@@ -361,7 +371,10 @@ impl<T: Wire> Wire for Vec<T> {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let len = dec.get_u32()? as usize;
         if len > MAX_FIELD_LEN {
-            return Err(CodecError::LengthOverflow { length: len, max: MAX_FIELD_LEN });
+            return Err(CodecError::LengthOverflow {
+                length: len,
+                max: MAX_FIELD_LEN,
+            });
         }
         let mut out = Vec::with_capacity(len.min(1024));
         for _ in 0..len {
@@ -445,7 +458,13 @@ mod tests {
     fn eof_is_reported() {
         let mut dec = Decoder::new(&[1, 2]);
         let err = dec.get_u32().unwrap_err();
-        assert_eq!(err, CodecError::UnexpectedEof { wanted: 4, available: 2 });
+        assert_eq!(
+            err,
+            CodecError::UnexpectedEof {
+                wanted: 4,
+                available: 2
+            }
+        );
     }
 
     #[test]
@@ -460,7 +479,10 @@ mod tests {
         enc.put_u32(u32::MAX);
         let bytes = enc.finish();
         let mut dec = Decoder::new(&bytes);
-        assert!(matches!(dec.get_bytes().unwrap_err(), CodecError::LengthOverflow { .. }));
+        assert!(matches!(
+            dec.get_bytes().unwrap_err(),
+            CodecError::LengthOverflow { .. }
+        ));
     }
 
     #[test]

@@ -51,7 +51,11 @@ impl Default for TimingAssumptions {
         // δ = 500 µs is a conservative bound for a lightly loaded 100 Mb/s
         // switched Ethernet segment of the paper's era; κ = σ = 2 follow the
         // paper's appendix.
-        Self { delta: SimDuration::from_micros(500), kappa: 2.0, sigma: 2.0 }
+        Self {
+            delta: SimDuration::from_micros(500),
+            kappa: 2.0,
+            sigma: 2.0,
+        }
     }
 }
 
@@ -68,12 +72,20 @@ impl TimingAssumptions {
             return Err(Error::InvalidConfig("delta must be positive".into()));
         }
         if !(kappa.is_finite() && kappa >= 1.0) {
-            return Err(Error::InvalidConfig(format!("kappa must be >= 1, got {kappa}")));
+            return Err(Error::InvalidConfig(format!(
+                "kappa must be >= 1, got {kappa}"
+            )));
         }
         if !(sigma.is_finite() && sigma >= 1.0) {
-            return Err(Error::InvalidConfig(format!("sigma must be >= 1, got {sigma}")));
+            return Err(Error::InvalidConfig(format!(
+                "sigma must be >= 1, got {sigma}"
+            )));
         }
-        Ok(Self { delta, kappa, sigma })
+        Ok(Self {
+            delta,
+            kappa,
+            sigma,
+        })
     }
 
     /// The leader-side comparison timeout for an output whose processing took
@@ -168,9 +180,15 @@ mod tests {
         let pi = SimDuration::from_millis(4);
         let tau = SimDuration::from_millis(5);
         // leader: 2δ + κπ + στ = 2 + 8 + 15 = 25 ms
-        assert_eq!(t.leader_compare_timeout(pi, tau), SimDuration::from_millis(25));
+        assert_eq!(
+            t.leader_compare_timeout(pi, tau),
+            SimDuration::from_millis(25)
+        );
         // follower: δ + κπ + στ = 1 + 8 + 15 = 24 ms
-        assert_eq!(t.follower_compare_timeout(pi, tau), SimDuration::from_millis(24));
+        assert_eq!(
+            t.follower_compare_timeout(pi, tau),
+            SimDuration::from_millis(24)
+        );
     }
 
     #[test]

@@ -111,7 +111,10 @@ impl fmt::Display for CodecError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CodecError::UnexpectedEof { wanted, available } => {
-                write!(f, "unexpected end of buffer: wanted {wanted} bytes, {available} available")
+                write!(
+                    f,
+                    "unexpected end of buffer: wanted {wanted} bytes, {available} available"
+                )
             }
             CodecError::UnknownTag(t) => write!(f, "unknown tag byte {t:#04x}"),
             CodecError::LengthOverflow { length, max } => {
@@ -195,7 +198,10 @@ mod tests {
         ];
         for s in samples {
             let first = s.chars().next().unwrap();
-            assert!(first.is_lowercase() || !first.is_alphabetic(), "message {s:?}");
+            assert!(
+                first.is_lowercase() || !first.is_alphabetic(),
+                "message {s:?}"
+            );
             assert!(!s.ends_with('.'));
         }
     }

@@ -17,21 +17,29 @@ use serde::{Deserialize, Serialize};
 /// faults uses `4f + 2` nodes; in the collapsed experimental placement
 /// (Figure 5) each node hosts one leader wrapper and one follower wrapper of
 /// a *different* FS process.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct NodeId(pub u32);
 
 /// Identifies a logical process (an actor in the simulation or threaded
 /// runtime): an application, a NewTOP GC object, a wrapper object, a client…
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct ProcessId(pub u32);
 
 /// Identifies a process group (the unit of multicast in NewTOP).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct GroupId(pub u32);
 
 /// Identifies an application-level member within a group (the index of
 /// `A_i` in the paper's figures).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct MemberId(pub u32);
 
 /// Globally unique message identifier: `(sender process, per-sender sequence)`.
@@ -39,7 +47,9 @@ pub struct MemberId(pub u32);
 /// NewTOP's protocols and the fail-signal comparison logic both need a stable
 /// identity for "the same logical message" across replicas, retransmissions
 /// and wrapping, which this pair provides.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct MsgId {
     /// The originating process.
     pub origin: ProcessId,
@@ -94,7 +104,9 @@ impl fmt::Display for Role {
 ///
 /// An FS process is addressed by destinations as a single logical entity even
 /// though it is realised by two wrapper objects on distinct nodes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
 pub struct FsId(pub u32);
 
 macro_rules! impl_display_and_from {
@@ -152,12 +164,18 @@ pub struct IdAllocator<T> {
 impl<T: From<u32>> IdAllocator<T> {
     /// Creates an allocator starting at 0.
     pub fn new() -> Self {
-        Self { next: 0, _marker: core::marker::PhantomData }
+        Self {
+            next: 0,
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// Creates an allocator starting at `start`.
     pub fn starting_at(start: u32) -> Self {
-        Self { next: start, _marker: core::marker::PhantomData }
+        Self {
+            next: start,
+            _marker: core::marker::PhantomData,
+        }
     }
 
     /// Returns the next identifier and advances the counter.
@@ -204,7 +222,10 @@ mod tests {
     fn id_allocator_sequential() {
         let mut alloc = IdAllocator::<NodeId>::new();
         let ids: Vec<NodeId> = (0..5).map(|_| alloc.next_id()).collect();
-        assert_eq!(ids, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]);
+        assert_eq!(
+            ids,
+            vec![NodeId(0), NodeId(1), NodeId(2), NodeId(3), NodeId(4)]
+        );
         assert_eq!(alloc.allocated(), 5);
     }
 

@@ -30,7 +30,12 @@ impl DetRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
         let mut sm = seed;
-        let s = [splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm), splitmix64(&mut sm)];
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
         // xoshiro must not start in the all-zero state.
         if s == [0, 0, 0, 0] {
             Self { s: [1, 2, 3, 4] }
@@ -42,7 +47,8 @@ impl DetRng {
     /// Derives an independent child generator, e.g. one per simulated node,
     /// so adding a node never perturbs the random streams of the others.
     pub fn derive(&self, stream: u64) -> Self {
-        let mut base = self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut base =
+            self.s[0] ^ self.s[3].rotate_left(17) ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
         let mut sm = splitmix64(&mut base);
         DetRng::new(splitmix64(&mut sm))
     }

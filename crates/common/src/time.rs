@@ -298,9 +298,15 @@ mod tests {
 
     #[test]
     fn duration_float_constructors() {
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1_500));
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1_500)
+        );
         assert_eq!(SimDuration::from_millis_f64(-1.0), SimDuration::ZERO);
-        assert_eq!(SimDuration::from_micros_f64(2.5), SimDuration::from_nanos(2_500));
+        assert_eq!(
+            SimDuration::from_micros_f64(2.5),
+            SimDuration::from_nanos(2_500)
+        );
     }
 
     #[test]

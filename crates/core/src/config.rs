@@ -68,7 +68,10 @@ impl RouteTable {
 
     /// The physical destinations for a logical endpoint (empty if unrouted).
     pub fn lookup(&self, endpoint: Endpoint) -> &[ProcessId] {
-        self.routes.get(&endpoint).map(|v| v.as_slice()).unwrap_or(&[])
+        self.routes
+            .get(&endpoint)
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
     }
 
     /// Every distinct physical process reachable through this table — the
@@ -150,8 +153,14 @@ mod tests {
         let mut routes = RouteTable::new();
         assert!(routes.is_empty());
         routes.set(Endpoint::LocalApp, vec![ProcessId(10)]);
-        routes.set(Endpoint::Peer(MemberId(1)), vec![ProcessId(21), ProcessId(22)]);
-        routes.set(Endpoint::Peer(MemberId(2)), vec![ProcessId(21), ProcessId(31)]);
+        routes.set(
+            Endpoint::Peer(MemberId(1)),
+            vec![ProcessId(21), ProcessId(22)],
+        );
+        routes.set(
+            Endpoint::Peer(MemberId(2)),
+            vec![ProcessId(21), ProcessId(31)],
+        );
         assert_eq!(routes.lookup(Endpoint::LocalApp), &[ProcessId(10)]);
         assert!(routes.lookup(Endpoint::Environment).is_empty());
         assert_eq!(
@@ -163,7 +172,9 @@ mod tests {
 
     #[test]
     fn source_spec_endpoint() {
-        let trusted = SourceSpec::TrustedClient { endpoint: Endpoint::LocalApp };
+        let trusted = SourceSpec::TrustedClient {
+            endpoint: Endpoint::LocalApp,
+        };
         assert_eq!(trusted.endpoint(), Endpoint::LocalApp);
         let fs = SourceSpec::FsProcess {
             fs: FsId(1),

@@ -66,7 +66,11 @@ pub enum FsContent {
 impl Wire for FsContent {
     fn encode(&self, enc: &mut Encoder) {
         match self {
-            FsContent::Output { output_seq, dest, bytes } => {
+            FsContent::Output {
+                output_seq,
+                dest,
+                bytes,
+            } => {
                 enc.put_u8(0);
                 enc.put_u64(*output_seq);
                 encode_endpoint(*dest, enc);
@@ -89,7 +93,7 @@ impl Wire for FsContent {
 }
 
 fn put_signature(sig: &Signature, enc: &mut Encoder) {
-    enc.put_process((sig.signer.0).into());
+    enc.put_process(sig.signer.0);
     enc.put_bytes(sig.tag.as_bytes());
 }
 
@@ -97,11 +101,17 @@ fn get_signature(dec: &mut Decoder<'_>) -> Result<Signature, CodecError> {
     let signer = SignerId(dec.get_process()?);
     let bytes = dec.get_bytes()?;
     if bytes.len() != 32 {
-        return Err(CodecError::UnexpectedEof { wanted: 32, available: bytes.len() });
+        return Err(CodecError::UnexpectedEof {
+            wanted: 32,
+            available: bytes.len(),
+        });
     }
     let mut tag = [0u8; 32];
     tag.copy_from_slice(bytes);
-    Ok(Signature { signer, tag: Digest(tag) })
+    Ok(Signature {
+        signer,
+        tag: Digest(tag),
+    })
 }
 
 /// The bytes over which an FS-process output is signed: the FS identity plus
@@ -148,7 +158,12 @@ impl FsOutput {
         let bytes = signing_bytes(fs, &content);
         let first = Signature::sign(first_key, &bytes);
         let second = Signature::sign(second_key, &co_signing_bytes(&bytes, &first));
-        Self { fs, content, first, second }
+        Self {
+            fs,
+            content,
+            first,
+            second,
+        }
     }
 
     /// Counter-signs a content already signed once by the remote wrapper
@@ -161,7 +176,12 @@ impl FsOutput {
     ) -> Self {
         let bytes = signing_bytes(fs, &content);
         let second = Signature::sign(second_key, &co_signing_bytes(&bytes, &first));
-        Self { fs, content, first, second }
+        Self {
+            fs,
+            content,
+            first,
+            second,
+        }
     }
 
     /// Verifies that this is a valid output of the FS process whose wrapper
@@ -186,7 +206,8 @@ impl FsOutput {
         }
         let bytes = signing_bytes(self.fs, &self.content);
         self.first.verify(directory, &bytes)?;
-        self.second.verify(directory, &co_signing_bytes(&bytes, &self.first))?;
+        self.second
+            .verify(directory, &co_signing_bytes(&bytes, &self.first))?;
         Ok(())
     }
 
@@ -264,7 +285,11 @@ impl PairMessage {
 impl Wire for PairMessage {
     fn encode(&self, enc: &mut Encoder) {
         match self {
-            PairMessage::Ordered { order_index, source, bytes } => {
+            PairMessage::Ordered {
+                order_index,
+                source,
+                bytes,
+            } => {
                 enc.put_u8(0);
                 enc.put_u64(*order_index);
                 encode_endpoint(*source, enc);
@@ -275,7 +300,12 @@ impl Wire for PairMessage {
                 encode_endpoint(*source, enc);
                 enc.put_bytes(bytes);
             }
-            PairMessage::Candidate { output_seq, dest, bytes, signature } => {
+            PairMessage::Candidate {
+                output_seq,
+                dest,
+                bytes,
+                signature,
+            } => {
                 enc.put_u8(2);
                 enc.put_u64(*output_seq);
                 encode_endpoint(*dest, enc);
@@ -353,7 +383,12 @@ mod tests {
     use fs_common::rng::DetRng;
     use fs_crypto::keys::provision;
 
-    fn keys() -> (SigningKey, SigningKey, SigningKey, std::sync::Arc<KeyDirectory>) {
+    fn keys() -> (
+        SigningKey,
+        SigningKey,
+        SigningKey,
+        std::sync::Arc<KeyDirectory>,
+    ) {
         let mut rng = DetRng::new(77);
         let (mut keys, dir) = provision([ProcessId(1), ProcessId(2), ProcessId(3)], &mut rng);
         (
@@ -385,7 +420,11 @@ mod tests {
     #[test]
     fn fs_content_round_trip() {
         let contents = vec![
-            FsContent::Output { output_seq: 3, dest: Endpoint::Peer(MemberId(1)), bytes: vec![1, 2] },
+            FsContent::Output {
+                output_seq: 3,
+                dest: Endpoint::Peer(MemberId(1)),
+                bytes: vec![1, 2],
+            },
             FsContent::FailSignal,
         ];
         for c in contents {
@@ -396,8 +435,11 @@ mod tests {
     #[test]
     fn fs_output_sign_and_verify() {
         let (a, b, c, dir) = keys();
-        let content =
-            FsContent::Output { output_seq: 0, dest: Endpoint::LocalApp, bytes: b"out".to_vec() };
+        let content = FsContent::Output {
+            output_seq: 0,
+            dest: Endpoint::LocalApp,
+            bytes: b"out".to_vec(),
+        };
         let output = FsOutput::sign(FsId(4), content.clone(), &a, &b);
         assert!(output.verify(&dir, (a.signer, b.signer)).is_ok());
         assert!(output.verify(&dir, (b.signer, a.signer)).is_ok());
@@ -416,12 +458,18 @@ mod tests {
     #[test]
     fn tampered_fs_output_fails_verification() {
         let (a, b, _, dir) = keys();
-        let content =
-            FsContent::Output { output_seq: 0, dest: Endpoint::LocalApp, bytes: b"out".to_vec() };
+        let content = FsContent::Output {
+            output_seq: 0,
+            dest: Endpoint::LocalApp,
+            bytes: b"out".to_vec(),
+        };
         let mut output = FsOutput::sign(FsId(4), content, &a, &b);
         // Tamper with the content after signing.
-        output.content =
-            FsContent::Output { output_seq: 0, dest: Endpoint::LocalApp, bytes: b"OUT".to_vec() };
+        output.content = FsContent::Output {
+            output_seq: 0,
+            dest: Endpoint::LocalApp,
+            bytes: b"OUT".to_vec(),
+        };
         assert!(output.verify(&dir, (a.signer, b.signer)).is_err());
     }
 
@@ -452,8 +500,15 @@ mod tests {
         let (a, _, _, _) = keys();
         let sig = Signature::sign(&a, b"candidate");
         let messages = vec![
-            PairMessage::Ordered { order_index: 5, source: Endpoint::LocalApp, bytes: vec![1] },
-            PairMessage::ForwardNew { source: Endpoint::Peer(MemberId(2)), bytes: vec![2, 3] },
+            PairMessage::Ordered {
+                order_index: 5,
+                source: Endpoint::LocalApp,
+                bytes: vec![1],
+            },
+            PairMessage::ForwardNew {
+                source: Endpoint::Peer(MemberId(2)),
+                bytes: vec![2, 3],
+            },
             PairMessage::Candidate {
                 output_seq: 7,
                 dest: Endpoint::Peer(MemberId(0)),
@@ -462,7 +517,12 @@ mod tests {
             },
         ];
         for m in messages {
-            assert_eq!(PairMessage::from_wire(&m.to_wire()).unwrap(), m, "{}", m.kind());
+            assert_eq!(
+                PairMessage::from_wire(&m.to_wire()).unwrap(),
+                m,
+                "{}",
+                m.kind()
+            );
         }
     }
 
@@ -471,12 +531,19 @@ mod tests {
         let (a, b, _, _) = keys();
         let output = FsOutput::sign(
             FsId(1),
-            FsContent::Output { output_seq: 0, dest: Endpoint::LocalApp, bytes: vec![1] },
+            FsContent::Output {
+                output_seq: 0,
+                dest: Endpoint::LocalApp,
+                bytes: vec![1],
+            },
             &a,
             &b,
         );
         let inbounds = vec![
-            FsoInbound::Pair(PairMessage::ForwardNew { source: Endpoint::LocalApp, bytes: vec![] }),
+            FsoInbound::Pair(PairMessage::ForwardNew {
+                source: Endpoint::LocalApp,
+                bytes: vec![],
+            }),
             FsoInbound::External(output),
             FsoInbound::Raw(b"app request".to_vec()),
         ];

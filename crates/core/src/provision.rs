@@ -34,7 +34,11 @@ pub struct FsPairSpec {
 impl FsPairSpec {
     /// Creates a pair specification.
     pub fn new(fs: FsId, leader: ProcessId, follower: ProcessId) -> Self {
-        Self { fs, leader, follower }
+        Self {
+            fs,
+            leader,
+            follower,
+        }
     }
 
     /// The signer identities of the pair, leader first.
@@ -83,7 +87,8 @@ impl FsPairBuilder {
     /// Declares a trusted co-located client whose raw messages are fed to
     /// the machine as coming from `endpoint`.
     pub fn trust_client(mut self, process: ProcessId, endpoint: Endpoint) -> Self {
-        self.sources.insert(process, SourceSpec::TrustedClient { endpoint });
+        self.sources
+            .insert(process, SourceSpec::TrustedClient { endpoint });
         self
     }
 
@@ -97,7 +102,11 @@ impl FsPairBuilder {
         signers: (SignerId, SignerId),
         endpoint: Endpoint,
     ) -> Self {
-        let spec = SourceSpec::FsProcess { fs, signers, endpoint };
+        let spec = SourceSpec::FsProcess {
+            fs,
+            signers,
+            endpoint,
+        };
         self.sources.insert(wrapper_processes.0, spec.clone());
         self.sources.insert(wrapper_processes.1, spec);
         self
@@ -165,7 +174,10 @@ impl FsPairBuilder {
             timing: self.timing,
             crypto_costs: self.crypto_costs,
         };
-        (FsoActor::new(leader_config, machines.0), FsoActor::new(follower_config, machines.1))
+        (
+            FsoActor::new(leader_config, machines.0),
+            FsoActor::new(follower_config, machines.1),
+        )
     }
 }
 
@@ -199,10 +211,7 @@ mod tests {
 
     impl Pair {
         fn new() -> Self {
-            Self::with_machines(
-                Box::new(EchoMachine::new(0)),
-                Box::new(EchoMachine::new(0)),
-            )
+            Self::with_machines(Box::new(EchoMachine::new(0)), Box::new(EchoMachine::new(0)))
         }
 
         fn with_machines(
@@ -240,8 +249,10 @@ mod tests {
         /// FS process would) and relays pair traffic until quiescence.
         fn client_input(&mut self, bytes: &[u8]) {
             let wire = FsoInbound::Raw(bytes.to_vec()).to_wire();
-            self.leader.on_message(&mut self.leader_ctx, CLIENT, wire.clone());
-            self.follower.on_message(&mut self.follower_ctx, CLIENT, wire);
+            self.leader
+                .on_message(&mut self.leader_ctx, CLIENT, wire.clone());
+            self.follower
+                .on_message(&mut self.follower_ctx, CLIENT, wire);
             self.settle();
         }
 
@@ -256,14 +267,16 @@ mod tests {
                 }
                 for Outgoing { to, payload } in leader_out {
                     if to == FOLLOWER {
-                        self.follower.on_message(&mut self.follower_ctx, LEADER, payload);
+                        self.follower
+                            .on_message(&mut self.follower_ctx, LEADER, payload);
                     } else {
                         self.external.push((to, payload));
                     }
                 }
                 for Outgoing { to, payload } in follower_out {
                     if to == LEADER {
-                        self.leader.on_message(&mut self.leader_ctx, FOLLOWER, payload);
+                        self.leader
+                            .on_message(&mut self.leader_ctx, FOLLOWER, payload);
                     } else {
                         self.external.push((to, payload));
                     }
@@ -322,7 +335,8 @@ mod tests {
         let mut pair = Pair::new();
         // The client copy to the leader is lost; only the follower hears it.
         let wire = FsoInbound::Raw(b"lonely".to_vec()).to_wire();
-        pair.follower.on_message(&mut pair.follower_ctx, CLIENT, wire);
+        pair.follower
+            .on_message(&mut pair.follower_ctx, CLIENT, wire);
         pair.settle();
         let deliveries = pair.accepted();
         assert_eq!(deliveries.len(), 1);
@@ -354,7 +368,11 @@ mod tests {
 
         let mut pair = Pair::with_machines(
             Box::new(EchoMachine::new(0)),
-            Box::new(Corrupting { inner: EchoMachine::new(0), after: 1, count: 0 }),
+            Box::new(Corrupting {
+                inner: EchoMachine::new(0),
+                after: 1,
+                count: 0,
+            }),
         );
         pair.client_input(b"fine");
         assert!(!pair.leader.has_failed());
@@ -362,7 +380,9 @@ mod tests {
         assert!(pair.leader.has_failed() || pair.follower.has_failed());
         let deliveries = pair.accepted();
         assert!(
-            deliveries.iter().any(|d| matches!(d, FsDelivery::FailSignal { fs } if *fs == FsId(1))),
+            deliveries
+                .iter()
+                .any(|d| matches!(d, FsDelivery::FailSignal { fs } if *fs == FsId(1))),
             "destinations must learn about the failure via the fail-signal"
         );
     }
@@ -401,10 +421,16 @@ mod tests {
     fn follower_detects_leader_that_never_orders() {
         let mut pair = Pair::new();
         let wire = FsoInbound::Raw(b"ignored-by-leader".to_vec()).to_wire();
-        pair.follower.on_message(&mut pair.follower_ctx, CLIENT, wire);
+        pair.follower
+            .on_message(&mut pair.follower_ctx, CLIENT, wire);
         // The follower forwarded the input and armed the t2 = 2δ timer; the
         // leader never answers, so firing the timer must fail-signal.
-        let timers: Vec<TimerId> = pair.follower_ctx.timers_set.iter().map(|(_, t)| *t).collect();
+        let timers: Vec<TimerId> = pair
+            .follower_ctx
+            .timers_set
+            .iter()
+            .map(|(_, t)| *t)
+            .collect();
         assert_eq!(timers.len(), 1);
         pair.follower.on_timer(&mut pair.follower_ctx, timers[0]);
         assert!(pair.follower.has_failed());
@@ -415,7 +441,8 @@ mod tests {
     fn failed_wrapper_replies_with_fail_signal() {
         let mut pair = Pair::new();
         let wire = FsoInbound::Raw(b"x".to_vec()).to_wire();
-        pair.leader.on_message(&mut pair.leader_ctx, CLIENT, wire.clone());
+        pair.leader
+            .on_message(&mut pair.leader_ctx, CLIENT, wire.clone());
         let timers: Vec<TimerId> = pair.leader_ctx.timers_set.iter().map(|(_, t)| *t).collect();
         for t in timers {
             pair.leader.on_timer(&mut pair.leader_ctx, t);
@@ -446,7 +473,8 @@ mod tests {
             signature: Signature::sign(&attacker_key, b"evil"),
         };
         let wire = FsoInbound::Pair(candidate).to_wire();
-        pair.leader.on_message(&mut pair.leader_ctx, ProcessId(66), wire);
+        pair.leader
+            .on_message(&mut pair.leader_ctx, ProcessId(66), wire);
         // Not from the partner: rejected outright, no failure.
         assert_eq!(pair.leader.stats().rejected_inputs, 1);
         assert!(!pair.leader.has_failed());
@@ -479,8 +507,7 @@ mod tests {
         let mut rng = DetRng::new(13);
         let upstream_a = ProcessId(30);
         let upstream_b = ProcessId(31);
-        let (mut keys, directory) =
-            provision([LEADER, FOLLOWER, upstream_a, upstream_b], &mut rng);
+        let (mut keys, directory) = provision([LEADER, FOLLOWER, upstream_a, upstream_b], &mut rng);
         let leader_key = keys.remove(&SignerId(LEADER)).unwrap();
         let follower_key = keys.remove(&SignerId(FOLLOWER)).unwrap();
         let up_a = keys.remove(&SignerId(upstream_a)).unwrap();
@@ -507,7 +534,11 @@ mod tests {
 
         let mut ctx = TestContext::new(LEADER);
         let signal = FsOutput::sign(FsId(7), FsContent::FailSignal, &up_a, &up_b);
-        leader.on_message(&mut ctx, upstream_a, FsoInbound::External(signal.clone()).to_wire());
+        leader.on_message(
+            &mut ctx,
+            upstream_a,
+            FsoInbound::External(signal.clone()).to_wire(),
+        );
         // The configured environment input went through the machine: the echo
         // machine echoes it back to the environment... which is unrouted, but
         // the input was processed and a candidate was sent to the partner.
@@ -523,8 +554,10 @@ mod tests {
         let upstream_a = ProcessId(30);
         let upstream_b = ProcessId(31);
         let attacker = ProcessId(55);
-        let (mut keys, directory) =
-            provision([LEADER, FOLLOWER, upstream_a, upstream_b, attacker], &mut rng);
+        let (mut keys, directory) = provision(
+            [LEADER, FOLLOWER, upstream_a, upstream_b, attacker],
+            &mut rng,
+        );
         let leader_key = keys.remove(&SignerId(LEADER)).unwrap();
         let follower_key = keys.remove(&SignerId(FOLLOWER)).unwrap();
         let attacker_key = keys.remove(&SignerId(attacker)).unwrap();
@@ -550,7 +583,11 @@ mod tests {
         // The attacker forges an "output of FS 7" signed only by itself.
         let forged = FsOutput::sign(
             FsId(7),
-            FsContent::Output { output_seq: 0, dest: Endpoint::LocalApp, bytes: b"evil".to_vec() },
+            FsContent::Output {
+                output_seq: 0,
+                dest: Endpoint::LocalApp,
+                bytes: b"evil".to_vec(),
+            },
             &attacker_key,
             &attacker_key,
         );

@@ -123,10 +123,16 @@ impl FsReceiver {
                     None
                 }
             }
-            FsContent::Output { output_seq, bytes, .. } => {
+            FsContent::Output {
+                output_seq, bytes, ..
+            } => {
                 if self.seen_outputs.insert((output.fs, output_seq)) {
                     self.stats.accepted += 1;
-                    Some(FsDelivery::Output { fs: output.fs, output_seq, bytes })
+                    Some(FsDelivery::Output {
+                        fs: output.fs,
+                        output_seq,
+                        bytes,
+                    })
                 } else {
                     self.stats.duplicates += 1;
                     None
@@ -158,7 +164,11 @@ mod tests {
     fn output(fs: u32, seq: u64, a: &SigningKey, b: &SigningKey) -> FsOutput {
         FsOutput::sign(
             FsId(fs),
-            FsContent::Output { output_seq: seq, dest: Endpoint::LocalApp, bytes: vec![seq as u8] },
+            FsContent::Output {
+                output_seq: seq,
+                dest: Endpoint::LocalApp,
+                bytes: vec![seq as u8],
+            },
             a,
             b,
         )
@@ -173,7 +183,11 @@ mod tests {
         let first = r.accept(&FsoInbound::External(o.clone()).to_wire());
         assert_eq!(
             first,
-            Some(FsDelivery::Output { fs: FsId(1), output_seq: 0, bytes: vec![0] })
+            Some(FsDelivery::Output {
+                fs: FsId(1),
+                output_seq: 0,
+                bytes: vec![0]
+            })
         );
         // The second (oppositely signed) copy is suppressed.
         let second_copy = output(1, 0, &b, &a);
@@ -200,7 +214,10 @@ mod tests {
         let mut r = FsReceiver::new(dir);
         r.register_source(FsId(1), (a.signer, b.signer));
         let signal = FsOutput::sign(FsId(1), FsContent::FailSignal, &b, &a);
-        assert_eq!(r.accept_output(signal.clone()), Some(FsDelivery::FailSignal { fs: FsId(1) }));
+        assert_eq!(
+            r.accept_output(signal.clone()),
+            Some(FsDelivery::FailSignal { fs: FsId(1) })
+        );
         assert_eq!(r.accept_output(signal), None);
         assert!(r.failed_sources().contains(&FsId(1)));
         assert_eq!(r.stats().fail_signals, 1);

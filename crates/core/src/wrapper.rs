@@ -237,7 +237,11 @@ impl FsoActor {
                 self.order_index += 1;
                 self.send_pair(
                     ctx,
-                    PairMessage::Ordered { order_index, source: endpoint, bytes: bytes.clone() },
+                    PairMessage::Ordered {
+                        order_index,
+                        source: endpoint,
+                        bytes: bytes.clone(),
+                    },
                 );
                 self.process_input(ctx, endpoint, bytes);
             }
@@ -250,7 +254,10 @@ impl FsoActor {
                 }
                 self.send_pair(
                     ctx,
-                    PairMessage::ForwardNew { source: endpoint, bytes: bytes.clone() },
+                    PairMessage::ForwardNew {
+                        source: endpoint,
+                        bytes: bytes.clone(),
+                    },
                 );
                 let timer = self.alloc_timer(TimerPurpose::InputOrdering(digest));
                 ctx.set_timer(self.config.timing.delta * 2, timer);
@@ -285,7 +292,11 @@ impl FsoActor {
         let output_seq = self.output_seq;
         self.output_seq += 1;
 
-        let content = FsContent::Output { output_seq, dest, bytes: bytes.clone() };
+        let content = FsContent::Output {
+            output_seq,
+            dest,
+            bytes: bytes.clone(),
+        };
         let content_bytes = signing_bytes(self.config.fs, &content);
         let tau = self.config.crypto_costs.sign_cost(content_bytes.len());
         ctx.charge_cpu(tau);
@@ -293,7 +304,12 @@ impl FsoActor {
 
         self.send_pair(
             ctx,
-            PairMessage::Candidate { output_seq, dest, bytes: bytes.clone(), signature },
+            PairMessage::Candidate {
+                output_seq,
+                dest,
+                bytes: bytes.clone(),
+                signature,
+            },
         );
 
         if let Some(remote) = self.ecmp.remove(&output_seq) {
@@ -308,7 +324,8 @@ impl FsoActor {
         };
         let timer = self.alloc_timer(TimerPurpose::OutputCompare(output_seq));
         ctx.set_timer(timeout, timer);
-        self.icmp.insert(output_seq, IcmpEntry { dest, bytes, timer });
+        self.icmp
+            .insert(output_seq, IcmpEntry { dest, bytes, timer });
     }
 
     /// Compares a local output with the remote candidate of the same
@@ -328,7 +345,11 @@ impl FsoActor {
             return;
         }
         // Counter-sign the remote's (already verified) signature.
-        let content = FsContent::Output { output_seq, dest, bytes };
+        let content = FsContent::Output {
+            output_seq,
+            dest,
+            bytes,
+        };
         ctx.charge_cpu(self.config.crypto_costs.sign_cost(64));
         let output =
             FsOutput::counter_sign(self.config.fs, content, remote.signature, &self.config.key);
@@ -341,7 +362,11 @@ impl FsoActor {
 
     fn on_pair_message(&mut self, ctx: &mut dyn Context, message: PairMessage) {
         match message {
-            PairMessage::Ordered { order_index, source, bytes } => {
+            PairMessage::Ordered {
+                order_index,
+                source,
+                bytes,
+            } => {
                 if self.config.is_leader() {
                     return; // only the follower accepts orderings
                 }
@@ -369,14 +394,25 @@ impl FsoActor {
                 }
                 self.on_external_input(ctx, source, bytes);
             }
-            PairMessage::Candidate { output_seq, dest, bytes, signature } => {
+            PairMessage::Candidate {
+                output_seq,
+                dest,
+                bytes,
+                signature,
+            } => {
                 // Verify the partner's single signature before trusting the
                 // candidate (assumption A5: signatures cannot be forged).
-                let content = FsContent::Output { output_seq, dest, bytes: bytes.clone() };
+                let content = FsContent::Output {
+                    output_seq,
+                    dest,
+                    bytes: bytes.clone(),
+                };
                 let content_bytes = signing_bytes(self.config.fs, &content);
                 ctx.charge_cpu(self.config.crypto_costs.verify_cost(content_bytes.len()));
                 if signature.signer != self.config.partner_signer
-                    || signature.verify(&self.config.directory, &content_bytes).is_err()
+                    || signature
+                        .verify(&self.config.directory, &content_bytes)
+                        .is_err()
                 {
                     self.stats.rejected_inputs += 1;
                     self.fail(ctx, "invalid candidate signature");
@@ -390,10 +426,21 @@ impl FsoActor {
                         output_seq,
                         local.dest,
                         local.bytes,
-                        EcmpEntry { dest, bytes, signature },
+                        EcmpEntry {
+                            dest,
+                            bytes,
+                            signature,
+                        },
                     );
                 } else {
-                    self.ecmp.insert(output_seq, EcmpEntry { dest, bytes, signature });
+                    self.ecmp.insert(
+                        output_seq,
+                        EcmpEntry {
+                            dest,
+                            bytes,
+                            signature,
+                        },
+                    );
                 }
             }
         }
@@ -404,7 +451,12 @@ impl FsoActor {
             self.stats.rejected_inputs += 1;
             return;
         };
-        let SourceSpec::FsProcess { fs, signers, endpoint } = spec else {
+        let SourceSpec::FsProcess {
+            fs,
+            signers,
+            endpoint,
+        } = spec
+        else {
             self.stats.rejected_inputs += 1;
             return;
         };
@@ -424,7 +476,9 @@ impl FsoActor {
                     }
                 }
             }
-            FsContent::Output { output_seq, bytes, .. } => {
+            FsContent::Output {
+                output_seq, bytes, ..
+            } => {
                 if !self.seen_external.insert((fs, output_seq)) {
                     self.stats.duplicates_suppressed += 1;
                     return;
@@ -455,17 +509,15 @@ impl Actor for FsoActor {
                 self.on_pair_message(ctx, message);
             }
             FsoInbound::External(output) => self.on_external_message(ctx, from, output),
-            FsoInbound::Raw(bytes) => {
-                match self.config.sources.get(&from) {
-                    Some(SourceSpec::TrustedClient { endpoint }) => {
-                        let endpoint = *endpoint;
-                        self.on_external_input(ctx, endpoint, bytes);
-                    }
-                    _ => {
-                        self.stats.rejected_inputs += 1;
-                    }
+            FsoInbound::Raw(bytes) => match self.config.sources.get(&from) {
+                Some(SourceSpec::TrustedClient { endpoint }) => {
+                    let endpoint = *endpoint;
+                    self.on_external_input(ctx, endpoint, bytes);
                 }
-            }
+                _ => {
+                    self.stats.rejected_inputs += 1;
+                }
+            },
         }
     }
 
@@ -473,7 +525,9 @@ impl Actor for FsoActor {
         if self.failed {
             return;
         }
-        let Some(purpose) = self.timers.remove(&timer) else { return };
+        let Some(purpose) = self.timers.remove(&timer) else {
+            return;
+        };
         match purpose {
             TimerPurpose::OutputCompare(output_seq) => {
                 if self.icmp.remove(&output_seq).is_some() {

@@ -156,7 +156,11 @@ mod tests {
         assert!(HmacSha256::verify(b"key-a", b"message", tag.as_bytes()));
         assert!(!HmacSha256::verify(b"key-b", b"message", tag.as_bytes()));
         assert!(!HmacSha256::verify(b"key-a", b"messagE", tag.as_bytes()));
-        assert!(!HmacSha256::verify(b"key-a", b"message", &tag.as_bytes()[..31]));
+        assert!(!HmacSha256::verify(
+            b"key-a",
+            b"message",
+            &tag.as_bytes()[..31]
+        ));
     }
 
     #[test]

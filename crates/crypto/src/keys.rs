@@ -104,7 +104,10 @@ impl VerifyingKey {
 impl SigningKey {
     /// Derives the verification key for this signing key.
     pub fn verifying_key(&self) -> VerifyingKey {
-        VerifyingKey { signer: self.signer, secret: self.secret }
+        VerifyingKey {
+            signer: self.signer,
+            secret: self.secret,
+        }
     }
 }
 
@@ -221,7 +224,10 @@ mod tests {
         assert_eq!(dir.len(), 1);
         assert!(dir.contains(SignerId(ProcessId(9))));
         assert!(dir.lookup(SignerId(ProcessId(9))).is_ok());
-        assert_eq!(dir.lookup(SignerId(ProcessId(8))).unwrap_err(), SignatureError::UnknownSigner);
+        assert_eq!(
+            dir.lookup(SignerId(ProcessId(8))).unwrap_err(),
+            SignatureError::UnknownSigner
+        );
     }
 
     #[test]

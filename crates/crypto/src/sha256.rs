@@ -120,7 +120,12 @@ impl Default for Sha256 {
 impl Sha256 {
     /// Creates a fresh hasher.
     pub fn new() -> Self {
-        Self { state: H0, buffer: [0u8; BLOCK_LEN], buffer_len: 0, total_len: 0 }
+        Self {
+            state: H0,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Convenience one-shot digest.

@@ -34,7 +34,10 @@ pub struct Signature {
 impl Signature {
     /// Signs `message` with `key`.
     pub fn sign(key: &SigningKey, message: &[u8]) -> Signature {
-        Signature { signer: key.signer, tag: HmacSha256::mac(key.secret(), message) }
+        Signature {
+            signer: key.signer,
+            tag: HmacSha256::mac(key.secret(), message),
+        }
     }
 
     /// Verifies this signature over `message` against the key directory.
@@ -70,7 +73,10 @@ impl<T> SingleSigned<T> {
     /// The caller supplies the canonical encoding explicitly so that the
     /// signing code never depends on a particular serialisation framework.
     pub fn new(content: T, content_bytes: &[u8], key: &SigningKey) -> Self {
-        Self { signature: Signature::sign(key, content_bytes), content }
+        Self {
+            signature: Signature::sign(key, content_bytes),
+            content,
+        }
     }
 
     /// Verifies the signature over `content_bytes`.
@@ -93,7 +99,11 @@ impl<T> SingleSigned<T> {
         // signature, so the pair of signatures cannot be mixed and matched
         // across messages.
         let second = Signature::sign(key, &co_sign_bytes(content_bytes, &self.signature));
-        DoubleSigned { content: self.content, first: self.signature, second }
+        DoubleSigned {
+            content: self.content,
+            first: self.signature,
+            second,
+        }
     }
 }
 
@@ -146,13 +156,15 @@ impl<T> DoubleSigned<T> {
         if self.first.signer == self.second.signer {
             return Err(SignatureError::DuplicateSigner);
         }
-        let pair_ok = (self.first.signer == expected_pair.0 && self.second.signer == expected_pair.1)
+        let pair_ok = (self.first.signer == expected_pair.0
+            && self.second.signer == expected_pair.1)
             || (self.first.signer == expected_pair.1 && self.second.signer == expected_pair.0);
         if !pair_ok {
             return Err(SignatureError::MissingCoSignature);
         }
         self.first.verify(directory, content_bytes)?;
-        self.second.verify(directory, &co_sign_bytes(content_bytes, &self.first))?;
+        self.second
+            .verify(directory, &co_sign_bytes(content_bytes, &self.first))?;
         Ok(())
     }
 
@@ -173,7 +185,11 @@ impl<T> DoubleSigned<T> {
     /// that mapping the content does *not* re-sign it, so the result only
     /// verifies against the original content bytes.
     pub fn map<U>(self, f: impl FnOnce(T) -> U) -> DoubleSigned<U> {
-        DoubleSigned { content: f(self.content), first: self.first, second: self.second }
+        DoubleSigned {
+            content: f(self.content),
+            first: self.first,
+            second: self.second,
+        }
     }
 }
 
@@ -183,7 +199,12 @@ mod tests {
     use fs_common::id::ProcessId;
     use fs_common::rng::DetRng;
 
-    fn setup() -> (SigningKey, SigningKey, SigningKey, std::sync::Arc<KeyDirectory>) {
+    fn setup() -> (
+        SigningKey,
+        SigningKey,
+        SigningKey,
+        std::sync::Arc<KeyDirectory>,
+    ) {
         let mut rng = DetRng::new(0xc0ffee);
         let procs = vec![ProcessId(1), ProcessId(2), ProcessId(3)];
         let (mut keys, dir) = crate::keys::provision(procs, &mut rng);
@@ -199,7 +220,10 @@ mod tests {
         let msg = b"ordered message 42";
         let sig = Signature::sign(&a, msg);
         assert!(sig.verify(&dir, msg).is_ok());
-        assert_eq!(sig.verify(&dir, b"other").unwrap_err(), SignatureError::Invalid);
+        assert_eq!(
+            sig.verify(&dir, b"other").unwrap_err(),
+            SignatureError::Invalid
+        );
     }
 
     #[test]
@@ -207,7 +231,10 @@ mod tests {
         let (a, _, _, _) = setup();
         let empty = KeyDirectory::new();
         let sig = Signature::sign(&a, b"m");
-        assert_eq!(sig.verify(&empty, b"m").unwrap_err(), SignatureError::UnknownSigner);
+        assert_eq!(
+            sig.verify(&empty, b"m").unwrap_err(),
+            SignatureError::UnknownSigner
+        );
     }
 
     #[test]
@@ -240,7 +267,9 @@ mod tests {
         let bytes = b"x".to_vec();
         let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &a);
         assert_eq!(
-            double.verify(&dir, &bytes, (a.signer, a.signer)).unwrap_err(),
+            double
+                .verify(&dir, &bytes, (a.signer, a.signer))
+                .unwrap_err(),
             SignatureError::DuplicateSigner
         );
     }
@@ -252,7 +281,9 @@ mod tests {
         // c co-signs instead of b: destinations expecting pair (a, b) must reject.
         let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &c);
         assert_eq!(
-            double.verify(&dir, &bytes, (a.signer, b.signer)).unwrap_err(),
+            double
+                .verify(&dir, &bytes, (a.signer, b.signer))
+                .unwrap_err(),
             SignatureError::MissingCoSignature
         );
     }
@@ -262,7 +293,9 @@ mod tests {
         let (a, b, _, dir) = setup();
         let bytes = b"original".to_vec();
         let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &b);
-        assert!(double.verify(&dir, b"forged", (a.signer, b.signer)).is_err());
+        assert!(double
+            .verify(&dir, b"forged", (a.signer, b.signer))
+            .is_err());
     }
 
     #[test]
@@ -273,7 +306,11 @@ mod tests {
         let d1 = SingleSigned::new((), &bytes1, &a).counter_sign(&bytes1, &b);
         let d2 = SingleSigned::new((), &bytes2, &a).counter_sign(&bytes2, &b);
         // Splice the co-signature of message two onto message one.
-        let spliced = DoubleSigned { content: (), first: d1.first.clone(), second: d2.second.clone() };
+        let spliced = DoubleSigned {
+            content: (),
+            first: d1.first.clone(),
+            second: d2.second.clone(),
+        };
         assert!(spliced.verify(&dir, &bytes1, (a.signer, b.signer)).is_err());
     }
 
@@ -282,8 +319,14 @@ mod tests {
         let (a, b, _, dir) = setup();
         let bytes = b"victim".to_vec();
         // An adversary without a's key guesses a tag.
-        let forged = Signature { signer: a.signer, tag: crate::sha256::Sha256::digest(b"guess") };
-        assert_eq!(forged.verify(&dir, &bytes).unwrap_err(), SignatureError::Invalid);
+        let forged = Signature {
+            signer: a.signer,
+            tag: crate::sha256::Sha256::digest(b"guess"),
+        };
+        assert_eq!(
+            forged.verify(&dir, &bytes).unwrap_err(),
+            SignatureError::Invalid
+        );
         // And cannot make a convincing double-signed message either.
         let fake = DoubleSigned {
             content: (),

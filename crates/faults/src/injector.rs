@@ -54,12 +54,18 @@ pub struct FaultPlan {
 impl FaultPlan {
     /// A plan active from the very first event.
     pub fn immediate(kind: FaultKind) -> Self {
-        Self { kind, activate_after: 0 }
+        Self {
+            kind,
+            activate_after: 0,
+        }
     }
 
     /// A plan that becomes active after `events` handled events.
     pub fn after(events: u64, kind: FaultKind) -> Self {
-        Self { kind, activate_after: events }
+        Self {
+            kind,
+            activate_after: events,
+        }
     }
 }
 
@@ -91,14 +97,23 @@ pub struct FaultyActor {
 
 impl std::fmt::Debug for FaultyActor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("FaultyActor").field("plan", &self.plan).field("stats", &self.stats).finish()
+        f.debug_struct("FaultyActor")
+            .field("plan", &self.plan)
+            .field("stats", &self.stats)
+            .finish()
     }
 }
 
 impl FaultyActor {
     /// Wraps `inner` with the given fault plan.
     pub fn new(inner: Box<dyn Actor>, plan: FaultPlan, seed: u64) -> Self {
-        Self { inner, plan, handled: 0, rng: DetRng::new(seed), stats: InjectionStats::default() }
+        Self {
+            inner,
+            plan,
+            handled: 0,
+            rng: DetRng::new(seed),
+            stats: InjectionStats::default(),
+        }
     }
 
     /// The injection counters.
@@ -196,7 +211,11 @@ impl Actor for FaultyActor {
             return;
         }
         if active {
-            if let FaultKind::Babble { target, payload: garbage } = &self.plan.kind {
+            if let FaultKind::Babble {
+                target,
+                payload: garbage,
+            } = &self.plan.kind
+            {
                 ctx.send(*target, garbage.clone());
                 self.stats.babbled += 1;
             }
@@ -271,19 +290,27 @@ mod tests {
 
     #[test]
     fn corruption_changes_payloads() {
-        let (actor, ctx) =
-            drive(FaultPlan::immediate(FaultKind::CorruptOutputs { probability: 1.0 }), 4);
+        let (actor, ctx) = drive(
+            FaultPlan::immediate(FaultKind::CorruptOutputs { probability: 1.0 }),
+            4,
+        );
         assert_eq!(ctx.sent.len(), 4);
         assert_eq!(actor.stats().corrupted, 4);
         for (i, out) in ctx.sent.iter().enumerate() {
-            assert_ne!(out.payload, vec![i as u8; 4], "payload {i} should be corrupted");
+            assert_ne!(
+                out.payload,
+                vec![i as u8; 4],
+                "payload {i} should be corrupted"
+            );
         }
     }
 
     #[test]
     fn drops_remove_messages() {
-        let (actor, ctx) =
-            drive(FaultPlan::immediate(FaultKind::DropOutputs { probability: 1.0 }), 4);
+        let (actor, ctx) = drive(
+            FaultPlan::immediate(FaultKind::DropOutputs { probability: 1.0 }),
+            4,
+        );
         assert!(ctx.sent.is_empty());
         assert_eq!(actor.stats().dropped, 4);
     }
@@ -309,8 +336,10 @@ mod tests {
 
     #[test]
     fn activation_threshold_is_respected() {
-        let (actor, ctx) =
-            drive(FaultPlan::after(3, FaultKind::DropOutputs { probability: 1.0 }), 5);
+        let (actor, ctx) = drive(
+            FaultPlan::after(3, FaultKind::DropOutputs { probability: 1.0 }),
+            5,
+        );
         assert_eq!(ctx.sent.len(), 3);
         assert_eq!(actor.stats().dropped, 2);
     }

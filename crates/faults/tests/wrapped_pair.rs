@@ -1,0 +1,224 @@
+//! Injector coverage against a real fail-signal pair: every [`FaultKind`]
+//! variant is injected into the follower wrapper of an FS pair running on
+//! the simulator, and the test asserts both the [`InjectionStats`] counters
+//! (the injector did what the plan said) and the pair-level outcome (the
+//! fault was masked or converted into the pair's fail-signal).
+
+use std::sync::Arc;
+
+use failsignal::message::FsoInbound;
+use failsignal::provision::{FsPairBuilder, FsPairSpec};
+use failsignal::receiver::{FsDelivery, FsReceiver};
+use fs_common::codec::Wire;
+use fs_common::config::TimingAssumptions;
+use fs_common::id::{FsId, ProcessId};
+use fs_common::rng::DetRng;
+use fs_common::time::{SimDuration, SimTime};
+use fs_crypto::cost::CryptoCostModel;
+use fs_crypto::keys::{provision, SignerId};
+use fs_faults::{FaultKind, FaultPlan, FaultyActor, InjectionStats};
+use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::node::NodeConfig;
+use fs_simnet::sim::Simulation;
+use fs_smr::machine::{EchoMachine, Endpoint};
+
+const LEADER: ProcessId = ProcessId(0);
+const FOLLOWER: ProcessId = ProcessId(1);
+const CLIENT: ProcessId = ProcessId(2);
+const DESTINATION: ProcessId = ProcessId(3);
+const REQUESTS: u32 = 10;
+
+/// Collects and validates whatever the FS pair emits.
+struct Destination {
+    receiver: FsReceiver,
+    outputs: Vec<Vec<u8>>,
+    fail_signals: Vec<FsId>,
+}
+
+impl Actor for Destination {
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Vec<u8>) {
+        match self.receiver.accept(&payload) {
+            Some(FsDelivery::Output { bytes, .. }) => self.outputs.push(bytes),
+            Some(FsDelivery::FailSignal { fs }) => self.fail_signals.push(fs),
+            None => {}
+        }
+    }
+}
+
+/// Feeds a fixed number of requests to both wrappers at a fixed cadence.
+struct Client {
+    sent: u32,
+}
+
+impl Actor for Client {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        ctx.set_timer(SimDuration::from_millis(5), TimerId(1));
+    }
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+    fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
+        if self.sent >= REQUESTS {
+            return;
+        }
+        let request = FsoInbound::Raw(format!("req-{}", self.sent).into_bytes()).to_wire();
+        ctx.send(LEADER, request.clone());
+        ctx.send(FOLLOWER, request);
+        self.sent += 1;
+        ctx.set_timer(SimDuration::from_millis(15), TimerId(1));
+    }
+}
+
+/// What one injection campaign observed.
+struct Outcome {
+    stats: InjectionStats,
+    outputs: Vec<Vec<u8>>,
+    fail_signals: Vec<FsId>,
+}
+
+/// Builds a pair around two echo machines, wraps the follower in a
+/// [`FaultyActor`] with the given plan, runs the campaign, and returns the
+/// injector's counters together with what the destination observed.
+fn run_wrapped_pair(plan: FaultPlan) -> Outcome {
+    let mut rng = DetRng::new(123);
+    let (mut keys, directory) = provision([LEADER, FOLLOWER], &mut rng);
+    let spec = FsPairSpec::new(FsId(1), LEADER, FOLLOWER);
+    let timing = TimingAssumptions::new(SimDuration::from_millis(50), 3.0, 3.0).unwrap();
+    let (leader, follower) = FsPairBuilder::new(spec)
+        .timing(timing)
+        .crypto_costs(CryptoCostModel::modern_hmac())
+        .trust_client(CLIENT, Endpoint::LocalApp)
+        .route(Endpoint::LocalApp, vec![DESTINATION])
+        .build(
+            keys.remove(&SignerId(LEADER)).unwrap(),
+            keys.remove(&SignerId(FOLLOWER)).unwrap(),
+            Arc::clone(&directory),
+            (Box::new(EchoMachine::new(0)), Box::new(EchoMachine::new(0))),
+        );
+
+    let mut sim = Simulation::new(9);
+    let node_a = sim.add_node(NodeConfig::era_2003());
+    let node_b = sim.add_node(NodeConfig::era_2003());
+    let node_c = sim.add_node(NodeConfig::era_2003());
+    sim.spawn_with(LEADER, node_a, Box::new(leader));
+    sim.spawn_with(
+        FOLLOWER,
+        node_b,
+        Box::new(FaultyActor::new(Box::new(follower), plan, 77)),
+    );
+    sim.spawn_with(CLIENT, node_c, Box::new(Client { sent: 0 }));
+    let mut receiver = FsReceiver::new(directory);
+    receiver.register_source(FsId(1), spec.signers());
+    sim.spawn_with(
+        DESTINATION,
+        node_c,
+        Box::new(Destination {
+            receiver,
+            outputs: Vec::new(),
+            fail_signals: Vec::new(),
+        }),
+    );
+
+    sim.run_until(SimTime::from_secs(60));
+    let stats = sim
+        .actor::<FaultyActor>(FOLLOWER)
+        .expect("wrapped follower")
+        .stats();
+    let destination = sim.actor::<Destination>(DESTINATION).expect("destination");
+    Outcome {
+        stats,
+        outputs: destination.outputs.clone(),
+        fail_signals: destination.fail_signals.clone(),
+    }
+}
+
+#[test]
+fn inactive_plan_leaves_counters_clean() {
+    let outcome = run_wrapped_pair(FaultPlan::after(u64::MAX, FaultKind::Crash));
+    assert_eq!(outcome.outputs.len(), REQUESTS as usize);
+    assert!(outcome.fail_signals.is_empty());
+    assert_eq!(outcome.stats.faulty_events, 0);
+    assert!(
+        outcome.stats.clean_events > 0,
+        "the wrapper processed traffic"
+    );
+    assert_eq!(outcome.stats.corrupted, 0);
+    assert_eq!(outcome.stats.dropped, 0);
+    assert_eq!(outcome.stats.duplicated, 0);
+    assert_eq!(outcome.stats.babbled, 0);
+}
+
+#[test]
+fn corrupt_outputs_counts_corruptions_and_triggers_fail_signal() {
+    let outcome = run_wrapped_pair(FaultPlan::after(
+        6,
+        FaultKind::CorruptOutputs { probability: 1.0 },
+    ));
+    assert!(outcome.stats.corrupted > 0, "corruption fault must fire");
+    assert!(outcome.stats.clean_events > 0 && outcome.stats.faulty_events > 0);
+    assert_eq!(
+        outcome.fail_signals,
+        vec![FsId(1)],
+        "pair must convert corruption to fail-signal"
+    );
+    assert!(outcome.outputs.len() < REQUESTS as usize);
+}
+
+#[test]
+fn drop_outputs_counts_drops_and_triggers_fail_signal() {
+    let outcome = run_wrapped_pair(FaultPlan::after(
+        4,
+        FaultKind::DropOutputs { probability: 1.0 },
+    ));
+    assert!(outcome.stats.dropped > 0, "drop fault must fire");
+    assert!(outcome.stats.faulty_events > 0);
+    assert_eq!(outcome.fail_signals, vec![FsId(1)]);
+}
+
+#[test]
+fn duplicate_outputs_counts_duplicates_and_is_masked() {
+    let outcome = run_wrapped_pair(FaultPlan::immediate(FaultKind::DuplicateOutputs));
+    assert!(outcome.stats.duplicated > 0, "duplication fault must fire");
+    assert_eq!(
+        outcome.stats.clean_events, 0,
+        "immediate plan: no clean events"
+    );
+    assert_eq!(
+        outcome.outputs.len(),
+        REQUESTS as usize,
+        "duplication is masked"
+    );
+    assert!(outcome.fail_signals.is_empty());
+}
+
+#[test]
+fn crash_counts_swallowed_events_and_triggers_fail_signal() {
+    let outcome = run_wrapped_pair(FaultPlan::after(4, FaultKind::Crash));
+    assert!(
+        outcome.stats.faulty_events > 0,
+        "events must be swallowed by the crash"
+    );
+    assert_eq!(outcome.stats.clean_events, 4);
+    assert_eq!(outcome.fail_signals, vec![FsId(1)]);
+    assert!(outcome.outputs.len() < REQUESTS as usize);
+}
+
+#[test]
+fn babble_counts_garbage_and_is_rejected_by_validation() {
+    let outcome = run_wrapped_pair(FaultPlan::immediate(FaultKind::Babble {
+        target: DESTINATION,
+        payload: b"not a valid double-signed output".to_vec(),
+    }));
+    assert!(outcome.stats.babbled > 0, "babble fault must fire");
+    assert_eq!(
+        outcome.stats.babbled, outcome.stats.faulty_events,
+        "one garbage message per handled event"
+    );
+    assert_eq!(
+        outcome.outputs.len(),
+        REQUESTS as usize,
+        "real outputs still get through"
+    );
+    assert!(
+        outcome.fail_signals.is_empty(),
+        "unauthenticated garbage is silently rejected"
+    );
+}

@@ -179,7 +179,9 @@ impl Deployment {
     /// Convenience accessor: the application actor of member `i`.
     pub fn app(&self, i: u32) -> &AppProcess {
         let handle = &self.members[i as usize];
-        self.sim.actor::<AppProcess>(handle.app).expect("app actor exists")
+        self.sim
+            .actor::<AppProcess>(handle.app)
+            .expect("app actor exists")
     }
 }
 
@@ -202,11 +204,17 @@ pub fn build_newtop(params: &DeploymentParams) -> Deployment {
     let mut members = Vec::new();
     for i in 0..n {
         let node = sim.add_node(params.node);
-        let peers: BTreeMap<MemberId, ProcessId> =
-            (0..n).filter(|j| *j != i).map(|j| (MemberId(j), nso_pid(j))).collect();
+        let peers: BTreeMap<MemberId, ProcessId> = (0..n)
+            .filter(|j| *j != i)
+            .map(|j| (MemberId(j), nso_pid(j)))
+            .collect();
         let addresses = AddressBook::new(app_pid(i), peers);
         let gc = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
-        sim.spawn_with(nso_pid(i), node, Box::new(NsoActor::new(gc, addresses, params.suspector)));
+        sim.spawn_with(
+            nso_pid(i),
+            node,
+            Box::new(NsoActor::new(gc, addresses, params.suspector)),
+        );
         sim.spawn_with(
             app_pid(i),
             node,
@@ -221,7 +229,11 @@ pub fn build_newtop(params: &DeploymentParams) -> Deployment {
             app_node: node,
         });
     }
-    Deployment { sim, members, fail_signal: false }
+    Deployment {
+        sim,
+        members,
+        fail_signal: false,
+    }
 }
 
 /// Builds the Byzantine-tolerant FS-NewTOP deployment: every member's GC is
@@ -242,8 +254,9 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
 
     // Provision signing keys for every wrapper process (start-up step, A1/A5).
     let mut key_rng = DetRng::new(params.seed ^ 0x5157_3a11);
-    let wrapper_processes: Vec<ProcessId> =
-        (0..n).flat_map(|i| [leader_pid(i), follower_pid(i)]).collect();
+    let wrapper_processes: Vec<ProcessId> = (0..n)
+        .flat_map(|i| [leader_pid(i), follower_pid(i)])
+        .collect();
     let (mut keys, directory) = provision(wrapper_processes, &mut key_rng);
 
     // Nodes.
@@ -252,7 +265,9 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
         Layout::Full => (0..n).map(|_| sim.add_node(params.node)).collect(),
         Layout::Collapsed => {
             // Follower of member i lives on the primary node of member (i+1) % n.
-            (0..n).map(|i| primary_nodes[((i + 1) % n) as usize]).collect()
+            (0..n)
+                .map(|i| primary_nodes[((i + 1) % n) as usize])
+                .collect()
         }
     };
 
@@ -283,7 +298,10 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
                     Endpoint::Peer(MemberId(j)),
                 )
                 .on_fail_signal(peer_fs, ControlInput::Suspect(MemberId(j)).to_wire())
-                .route(Endpoint::Peer(MemberId(j)), vec![leader_pid(j), follower_pid(j)]);
+                .route(
+                    Endpoint::Peer(MemberId(j)),
+                    vec![leader_pid(j), follower_pid(j)],
+                );
             broadcast_targets.push(leader_pid(j));
             broadcast_targets.push(follower_pid(j));
         }
@@ -291,7 +309,9 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
 
         let gc_config = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
         let leader_key = keys.remove(&SignerId(leader_pid(i))).expect("leader key");
-        let follower_key = keys.remove(&SignerId(follower_pid(i))).expect("follower key");
+        let follower_key = keys
+            .remove(&SignerId(follower_pid(i)))
+            .expect("follower key");
         let (leader_actor, follower_actor) = builder.build(
             leader_key,
             follower_key,
@@ -302,8 +322,16 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
             ),
         );
 
-        sim.spawn_with(leader_pid(i), primary_nodes[i as usize], Box::new(leader_actor));
-        sim.spawn_with(follower_pid(i), follower_nodes[i as usize], Box::new(follower_actor));
+        sim.spawn_with(
+            leader_pid(i),
+            primary_nodes[i as usize],
+            Box::new(leader_actor),
+        );
+        sim.spawn_with(
+            follower_pid(i),
+            follower_nodes[i as usize],
+            Box::new(follower_actor),
+        );
 
         let interceptor = FsInterceptor::new(
             app_pid(i),
@@ -329,7 +357,11 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
         });
     }
 
-    Deployment { sim, members, fail_signal: true }
+    Deployment {
+        sim,
+        members,
+        fail_signal: true,
+    }
 }
 
 #[cfg(test)]
@@ -374,8 +406,9 @@ mod tests {
 
     #[test]
     fn fs_newtop_full_layout_also_works() {
-        let params =
-            DeploymentParams::paper(3).with_traffic(small_traffic(3)).with_layout(Layout::Full);
+        let params = DeploymentParams::paper(3)
+            .with_traffic(small_traffic(3))
+            .with_layout(Layout::Full);
         run_and_check_agreement(build_fs_newtop(&params), 3, 3);
     }
 
@@ -385,9 +418,15 @@ mod tests {
         let mut deployment = build_fs_newtop(&params);
         deployment.run(SimTime::from_secs(600));
         for handle in &deployment.members {
-            let interceptor =
-                deployment.sim.actor::<FsInterceptor>(handle.middleware).expect("interceptor");
-            assert!(!interceptor.local_fail_signalled(), "member {} signalled", handle.member);
+            let interceptor = deployment
+                .sim
+                .actor::<FsInterceptor>(handle.middleware)
+                .expect("interceptor");
+            assert!(
+                !interceptor.local_fail_signalled(),
+                "member {} signalled",
+                handle.member
+            );
             assert_eq!(interceptor.receiver_stats().rejected, 0);
         }
     }

@@ -113,13 +113,11 @@ impl Actor for FsInterceptor {
                 self.upcalls_delivered += 1;
                 ctx.send(self.app, bytes);
             }
-            Some(FsDelivery::FailSignal { fs }) => {
-                if fs == self.local_fs {
-                    self.local_fail_signalled = true;
-                    ctx.trace("local FS-GC pair fail-signalled");
-                }
+            Some(FsDelivery::FailSignal { fs }) if fs == self.local_fs => {
+                self.local_fail_signalled = true;
+                ctx.trace("local FS-GC pair fail-signalled");
             }
-            None => {}
+            Some(FsDelivery::FailSignal { .. }) | None => {}
         }
     }
 
@@ -142,14 +140,23 @@ mod tests {
     const LEADER: ProcessId = ProcessId(2);
     const FOLLOWER: ProcessId = ProcessId(3);
 
-    fn setup() -> (FsInterceptor, TestContext, fs_crypto::keys::SigningKey, fs_crypto::keys::SigningKey)
-    {
+    fn setup() -> (
+        FsInterceptor,
+        TestContext,
+        fs_crypto::keys::SigningKey,
+        fs_crypto::keys::SigningKey,
+    ) {
         let mut rng = DetRng::new(3);
         let (mut keys, dir) = provision([LEADER, FOLLOWER], &mut rng);
         let leader_key = keys.remove(&SignerId(LEADER)).unwrap();
         let follower_key = keys.remove(&SignerId(FOLLOWER)).unwrap();
         let interceptor = FsInterceptor::new(APP, FsId(0), LEADER, FOLLOWER, dir);
-        (interceptor, TestContext::new(ProcessId(1)), leader_key, follower_key)
+        (
+            interceptor,
+            TestContext::new(ProcessId(1)),
+            leader_key,
+            follower_key,
+        )
     }
 
     #[test]
@@ -174,8 +181,16 @@ mod tests {
         };
         let from_leader = FsOutput::sign(FsId(0), content.clone(), &leader_key, &follower_key);
         let from_follower = FsOutput::sign(FsId(0), content, &follower_key, &leader_key);
-        i.on_message(&mut ctx, LEADER, FsoInbound::External(from_leader).to_wire());
-        i.on_message(&mut ctx, FOLLOWER, FsoInbound::External(from_follower).to_wire());
+        i.on_message(
+            &mut ctx,
+            LEADER,
+            FsoInbound::External(from_leader).to_wire(),
+        );
+        i.on_message(
+            &mut ctx,
+            FOLLOWER,
+            FsoInbound::External(from_follower).to_wire(),
+        );
         let to_app = ctx.sent_to(APP);
         assert_eq!(to_app.len(), 1);
         assert_eq!(to_app[0].payload, b"upcall");
@@ -203,7 +218,11 @@ mod tests {
         // From the leader but signed only by the leader twice: rejected.
         let forged = FsOutput::sign(
             FsId(0),
-            FsContent::Output { output_seq: 1, dest: Endpoint::LocalApp, bytes: b"x".to_vec() },
+            FsContent::Output {
+                output_seq: 1,
+                dest: Endpoint::LocalApp,
+                bytes: b"x".to_vec(),
+            },
             &leader_key,
             &leader_key,
         );

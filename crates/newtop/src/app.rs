@@ -337,7 +337,10 @@ mod tests {
         let mut ctx = TestContext::new(ProcessId(1));
         app.on_start(&mut ctx);
         assert!(ctx.timers_set.is_empty());
-        let view = Upcall::View(crate::message::ViewDeliver { view_id: 2, members: vec![MemberId(0)] });
+        let view = Upcall::View(crate::message::ViewDeliver {
+            view_id: 2,
+            members: vec![MemberId(0)],
+        });
         app.on_message(&mut ctx, ProcessId(5), view.to_wire());
         assert_eq!(app.views_seen(), &[2]);
     }

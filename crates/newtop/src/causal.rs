@@ -34,7 +34,14 @@ impl CausalOrder {
     pub fn new(me: MemberId, group: Vec<MemberId>) -> Self {
         assert!(group.contains(&me), "member must belong to its own group");
         let n = group.len();
-        Self { me, group, vc: vec![0; n], holdback: Vec::new(), delivered: 0, next_seq: 0 }
+        Self {
+            me,
+            group,
+            vc: vec![0; n],
+            holdback: Vec::new(),
+            delivered: 0,
+            next_seq: 0,
+        }
     }
 
     fn index_of(&self, m: MemberId) -> Option<usize> {
@@ -74,7 +81,16 @@ impl CausalOrder {
         };
         let order = self.delivered;
         self.delivered += 1;
-        (data, AppDeliver { origin: self.me, seq, order, service: ServiceKind::Causal, payload })
+        (
+            data,
+            AppDeliver {
+                origin: self.me,
+                seq,
+                order,
+                service: ServiceKind::Causal,
+                payload,
+            },
+        )
     }
 
     /// Handles an incoming causal data message; returns any deliveries it
@@ -102,25 +118,30 @@ impl CausalOrder {
         if vc[oi] != self.vc[oi] + 1 {
             return false;
         }
-        vc.iter().enumerate().all(|(k, &v)| k == oi || v <= self.vc[k])
+        vc.iter()
+            .enumerate()
+            .all(|(k, &v)| k == oi || v <= self.vc[k])
     }
 
     fn drain_holdback(&mut self) -> Vec<AppDeliver> {
         let mut out = Vec::new();
-        loop {
-            let Some(pos) = self
-                .holdback
-                .iter()
-                .position(|(origin, vc, _, _)| self.deliverable(*origin, vc))
-            else {
-                break;
-            };
+        while let Some(pos) = self
+            .holdback
+            .iter()
+            .position(|(origin, vc, _, _)| self.deliverable(*origin, vc))
+        {
             let (origin, _vc, payload, seq) = self.holdback.remove(pos);
             let oi = self.index_of(origin).expect("validated");
             self.vc[oi] += 1;
             let order = self.delivered;
             self.delivered += 1;
-            out.push(AppDeliver { origin, seq, order, service: ServiceKind::Causal, payload });
+            out.push(AppDeliver {
+                origin,
+                seq,
+                order,
+                service: ServiceKind::Causal,
+                payload,
+            });
         }
         out
     }
@@ -148,7 +169,16 @@ mod tests {
         let mut sender = CausalOrder::new(MemberId(0), group(2));
         let mut receiver = CausalOrder::new(MemberId(1), group(2));
         let (data, _) = sender.multicast(b"a".to_vec());
-        let GcMessage::Data { origin, seq, vc, payload, .. } = data else { unreachable!() };
+        let GcMessage::Data {
+            origin,
+            seq,
+            vc,
+            payload,
+            ..
+        } = data
+        else {
+            unreachable!()
+        };
         let dels = receiver.on_data(origin, seq, vc, payload);
         assert_eq!(dels.len(), 1);
         assert_eq!(dels[0].payload, b"a");
@@ -163,13 +193,27 @@ mod tests {
         let mut c = CausalOrder::new(MemberId(2), g.clone());
 
         let (m1, _) = a.multicast(b"m1".to_vec());
-        let GcMessage::Data { origin: o1, seq: s1, vc: vc1, payload: p1, .. } = m1 else {
+        let GcMessage::Data {
+            origin: o1,
+            seq: s1,
+            vc: vc1,
+            payload: p1,
+            ..
+        } = m1
+        else {
             unreachable!()
         };
         // b receives m1 and then multicasts m2 (causally after m1).
         b.on_data(o1, s1, vc1.clone(), p1.clone());
         let (m2, _) = b.multicast(b"m2".to_vec());
-        let GcMessage::Data { origin: o2, seq: s2, vc: vc2, payload: p2, .. } = m2 else {
+        let GcMessage::Data {
+            origin: o2,
+            seq: s2,
+            vc: vc2,
+            payload: p2,
+            ..
+        } = m2
+        else {
             unreachable!()
         };
 
@@ -192,7 +236,13 @@ mod tests {
         let (m1, _) = a.multicast(b"1".to_vec());
         let (m2, _) = a.multicast(b"2".to_vec());
         let unpack = |m: GcMessage| match m {
-            GcMessage::Data { origin, seq, vc, payload, .. } => (origin, seq, vc, payload),
+            GcMessage::Data {
+                origin,
+                seq,
+                vc,
+                payload,
+                ..
+            } => (origin, seq, vc, payload),
             _ => unreachable!(),
         };
         let (o2, s2, vc2, p2) = unpack(m2);
@@ -208,8 +258,12 @@ mod tests {
     #[test]
     fn malformed_vector_clock_is_ignored() {
         let mut c = CausalOrder::new(MemberId(0), group(3));
-        assert!(c.on_data(MemberId(1), 0, vec![1], b"bad".to_vec()).is_empty());
-        assert!(c.on_data(MemberId(9), 0, vec![1, 0, 0], b"bad".to_vec()).is_empty());
+        assert!(c
+            .on_data(MemberId(1), 0, vec![1], b"bad".to_vec())
+            .is_empty());
+        assert!(c
+            .on_data(MemberId(9), 0, vec![1, 0, 0], b"bad".to_vec())
+            .is_empty());
         assert_eq!(c.holdback_len(), 0);
     }
 
@@ -223,7 +277,16 @@ mod tests {
     fn duplicate_own_message_is_not_redelivered() {
         let mut a = CausalOrder::new(MemberId(0), group(2));
         let (data, _) = a.multicast(b"x".to_vec());
-        let GcMessage::Data { origin, seq, vc, payload, .. } = data else { unreachable!() };
+        let GcMessage::Data {
+            origin,
+            seq,
+            vc,
+            payload,
+            ..
+        } = data
+        else {
+            unreachable!()
+        };
         assert!(a.on_data(origin, seq, vc, payload).is_empty());
         assert_eq!(a.delivered_count(), 1);
     }

@@ -43,12 +43,18 @@ impl GcCosts {
     /// parsing, queue management, ordering bookkeeping in the original Java
     /// implementation), plus a per-byte term.
     pub fn era_2003() -> Self {
-        Self { base: SimDuration::from_micros(3_200), per_byte: SimDuration::from_nanos(60) }
+        Self {
+            base: SimDuration::from_micros(3_200),
+            per_byte: SimDuration::from_nanos(60),
+        }
     }
 
     /// Zero-cost model for protocol unit tests.
     pub fn free() -> Self {
-        Self { base: SimDuration::ZERO, per_byte: SimDuration::ZERO }
+        Self {
+            base: SimDuration::ZERO,
+            per_byte: SimDuration::ZERO,
+        }
     }
 
     /// The cost of handling an input of `len` bytes.
@@ -77,7 +83,11 @@ pub struct GcConfig {
 impl GcConfig {
     /// Creates a configuration for `member` of `group` with era-2003 costs.
     pub fn new(member: MemberId, group: Vec<MemberId>) -> Self {
-        Self { member, group, costs: GcCosts::era_2003() }
+        Self {
+            member,
+            group,
+            costs: GcCosts::era_2003(),
+        }
     }
 
     /// Replaces the cost model.
@@ -225,7 +235,14 @@ impl GcMachine {
         };
         *self.message_counts.entry(message.kind()).or_insert(0) += 1;
         match message {
-            GcMessage::Data { origin, seq, ts, vc, service, payload } => match service {
+            GcMessage::Data {
+                origin,
+                seq,
+                ts,
+                vc,
+                service,
+                payload,
+            } => match service {
                 ServiceKind::SymmetricTotal => {
                     let view = self.membership.view().clone();
                     let (ack, dels) = self.sym.on_data(origin, seq, ts, payload, &view);
@@ -258,17 +275,33 @@ impl GcMachine {
                     self.deliver_up(dels, &mut outputs);
                 }
             },
-            GcMessage::Ack { origin, seq, from: acker, clock } => {
+            GcMessage::Ack {
+                origin,
+                seq,
+                from: acker,
+                clock,
+            } => {
                 let view = self.membership.view().clone();
                 let dels = self.sym.on_ack(origin, seq, acker, clock, &view);
                 self.deliver_up(dels, &mut outputs);
             }
-            GcMessage::Order { global_seq, origin, seq, .. } => {
+            GcMessage::Order {
+                global_seq,
+                origin,
+                seq,
+                ..
+            } => {
                 let dels = self.asym.on_order(global_seq, origin, seq);
                 self.deliver_up(dels, &mut outputs);
             }
-            GcMessage::Ping { from: pinger, nonce } => {
-                let pong = GcMessage::Pong { from: self.member, nonce };
+            GcMessage::Ping {
+                from: pinger,
+                nonce,
+            } => {
+                let pong = GcMessage::Pong {
+                    from: self.member,
+                    nonce,
+                };
                 outputs.push(MachineOutput::to_peer(pinger, pong.to_wire()));
             }
             GcMessage::Pong { .. } => {
@@ -307,11 +340,16 @@ impl GcMachine {
         };
         if gossip {
             // Tell the rest of the group so every member installs the view.
-            let notice = GcMessage::Suspect { suspect, from: self.member };
+            let notice = GcMessage::Suspect {
+                suspect,
+                from: self.member,
+            };
             self.multicast_to_view(&notice, outputs);
         }
         // Deliver the view change to the application.
-        outputs.push(MachineOutput::to_app(Upcall::View(new_view.to_deliver()).to_wire()));
+        outputs.push(MachineOutput::to_app(
+            Upcall::View(new_view.to_deliver()).to_wire(),
+        ));
         self.views_delivered.push(new_view.id);
         // Let the ordering protocols react (release messages waiting on the
         // removed member; take over sequencing if needed).
@@ -361,13 +399,18 @@ mod tests {
             let group: Vec<MemberId> = (0..n).map(MemberId).collect();
             let machines = group
                 .iter()
-                .map(|m| GcMachine::new(GcConfig::new(*m, group.clone()).with_costs(GcCosts::free())))
+                .map(|m| {
+                    GcMachine::new(GcConfig::new(*m, group.clone()).with_costs(GcCosts::free()))
+                })
                 .collect();
             Self { machines }
         }
 
         fn index_of(&self, m: MemberId) -> usize {
-            self.machines.iter().position(|g| g.member() == m).expect("member exists")
+            self.machines
+                .iter()
+                .position(|g| g.member() == m)
+                .expect("member exists")
         }
 
         /// Routes machine outputs until quiescence.
@@ -403,7 +446,11 @@ mod tests {
         }
 
         pub fn app_multicast(&mut self, sender: u32, service: ServiceKind, payload: &[u8]) {
-            let request = AppRequest { service, payload: payload.to_vec() }.to_wire();
+            let request = AppRequest {
+                service,
+                payload: payload.to_vec(),
+            }
+            .to_wire();
             let sender_id = MemberId(sender);
             let idx = self.index_of(sender_id);
             let outputs = self.machines[idx].handle(&MachineInput::from_app(request));
@@ -424,7 +471,10 @@ mod tests {
                 .delivered()
                 .iter()
                 .filter(|d| {
-                    matches!(d.service, ServiceKind::SymmetricTotal | ServiceKind::AsymmetricTotal)
+                    matches!(
+                        d.service,
+                        ServiceKind::SymmetricTotal | ServiceKind::AsymmetricTotal
+                    )
                 })
                 .map(|d| (d.origin, d.seq))
                 .collect()
@@ -436,13 +486,21 @@ mod tests {
         let mut h = GcHarness::new(4);
         for round in 0..3 {
             for sender in 0..4 {
-                h.app_multicast(sender, ServiceKind::SymmetricTotal, format!("r{round}s{sender}").as_bytes());
+                h.app_multicast(
+                    sender,
+                    ServiceKind::SymmetricTotal,
+                    format!("r{round}s{sender}").as_bytes(),
+                );
             }
         }
         let reference = h.delivered_orders(0);
         assert_eq!(reference.len(), 12);
         for member in 1..4 {
-            assert_eq!(h.delivered_orders(member), reference, "member {member} order differs");
+            assert_eq!(
+                h.delivered_orders(member),
+                reference,
+                "member {member} order differs"
+            );
         }
     }
 
@@ -482,8 +540,11 @@ mod tests {
         h.app_multicast(1, ServiceKind::Unreliable, b"u1");
         for m in 0..3 {
             let idx = h.index_of(MemberId(m));
-            let services: Vec<ServiceKind> =
-                h.machines[idx].delivered().iter().map(|d| d.service).collect();
+            let services: Vec<ServiceKind> = h.machines[idx]
+                .delivered()
+                .iter()
+                .map(|d| d.service)
+                .collect();
             assert!(services.contains(&ServiceKind::Causal), "member {m}");
             assert!(services.contains(&ServiceKind::Unreliable), "member {m}");
         }
@@ -532,7 +593,10 @@ mod tests {
             asym.app_multicast(sender, ServiceKind::AsymmetricTotal, b"x");
         }
         let count = |h: &GcHarness| -> u64 {
-            h.machines.iter().map(|m| m.message_counts().values().sum::<u64>()).sum()
+            h.machines
+                .iter()
+                .map(|m| m.message_counts().values().sum::<u64>())
+                .sum()
         };
         assert!(
             count(&sym) > count(&asym),
@@ -546,8 +610,12 @@ mod tests {
     fn malformed_inputs_are_ignored() {
         let group = vec![MemberId(0), MemberId(1)];
         let mut gc = GcMachine::new(GcConfig::new(MemberId(0), group).with_costs(GcCosts::free()));
-        assert!(gc.handle(&MachineInput::from_app(vec![0xff, 0x01])).is_empty());
-        assert!(gc.handle(&MachineInput::from_peer(MemberId(1), vec![0xff])).is_empty());
+        assert!(gc
+            .handle(&MachineInput::from_app(vec![0xff, 0x01]))
+            .is_empty());
+        assert!(gc
+            .handle(&MachineInput::from_peer(MemberId(1), vec![0xff]))
+            .is_empty());
         assert!(gc.handle(&MachineInput::from_env(vec![0xff])).is_empty());
     }
 
@@ -555,12 +623,22 @@ mod tests {
     fn ping_is_answered_with_pong() {
         let group = vec![MemberId(0), MemberId(1)];
         let mut gc = GcMachine::new(GcConfig::new(MemberId(0), group).with_costs(GcCosts::free()));
-        let ping = GcMessage::Ping { from: MemberId(1), nonce: 7 }.to_wire();
+        let ping = GcMessage::Ping {
+            from: MemberId(1),
+            nonce: 7,
+        }
+        .to_wire();
         let out = gc.handle(&MachineInput::from_peer(MemberId(1), ping));
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].dest, Endpoint::Peer(MemberId(1)));
         let pong = GcMessage::from_wire(&out[0].bytes).unwrap();
-        assert_eq!(pong, GcMessage::Pong { from: MemberId(0), nonce: 7 });
+        assert_eq!(
+            pong,
+            GcMessage::Pong {
+                from: MemberId(0),
+                nonce: 7
+            }
+        );
     }
 
     #[test]
@@ -571,7 +649,11 @@ mod tests {
         };
         let inputs = vec![
             MachineInput::from_app(
-                AppRequest { service: ServiceKind::SymmetricTotal, payload: b"a".to_vec() }.to_wire(),
+                AppRequest {
+                    service: ServiceKind::SymmetricTotal,
+                    payload: b"a".to_vec(),
+                }
+                .to_wire(),
             ),
             MachineInput::from_peer(
                 MemberId(1),

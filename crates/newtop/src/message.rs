@@ -85,7 +85,10 @@ impl Wire for AppRequest {
         enc.put_bytes(&self.payload);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        Ok(Self { service: ServiceKind::decode(dec)?, payload: dec.get_bytes_owned()? })
+        Ok(Self {
+            service: ServiceKind::decode(dec)?,
+            payload: dec.get_bytes_owned()?,
+        })
     }
 }
 
@@ -266,7 +269,14 @@ impl GcMessage {
 impl Wire for GcMessage {
     fn encode(&self, enc: &mut Encoder) {
         match self {
-            GcMessage::Data { origin, seq, ts, vc, service, payload } => {
+            GcMessage::Data {
+                origin,
+                seq,
+                ts,
+                vc,
+                service,
+                payload,
+            } => {
                 enc.put_u8(0);
                 enc.put_member(*origin);
                 enc.put_u64(*seq);
@@ -278,14 +288,24 @@ impl Wire for GcMessage {
                 service.encode(enc);
                 enc.put_bytes(payload);
             }
-            GcMessage::Ack { origin, seq, from, clock } => {
+            GcMessage::Ack {
+                origin,
+                seq,
+                from,
+                clock,
+            } => {
                 enc.put_u8(1);
                 enc.put_member(*origin);
                 enc.put_u64(*seq);
                 enc.put_member(*from);
                 enc.put_u64(*clock);
             }
-            GcMessage::Order { sequencer, global_seq, origin, seq } => {
+            GcMessage::Order {
+                sequencer,
+                global_seq,
+                origin,
+                seq,
+            } => {
                 enc.put_u8(2);
                 enc.put_member(*sequencer);
                 enc.put_u64(*global_seq);
@@ -318,7 +338,10 @@ impl Wire for GcMessage {
                 let ts = dec.get_u64()?;
                 let n = dec.get_u32()? as usize;
                 if n > 4096 {
-                    return Err(CodecError::LengthOverflow { length: n, max: 4096 });
+                    return Err(CodecError::LengthOverflow {
+                        length: n,
+                        max: 4096,
+                    });
                 }
                 let mut vc = Vec::with_capacity(n);
                 for _ in 0..n {
@@ -326,7 +349,14 @@ impl Wire for GcMessage {
                 }
                 let service = ServiceKind::decode(dec)?;
                 let payload = dec.get_bytes_owned()?;
-                Ok(GcMessage::Data { origin, seq, ts, vc, service, payload })
+                Ok(GcMessage::Data {
+                    origin,
+                    seq,
+                    ts,
+                    vc,
+                    service,
+                    payload,
+                })
             }
             1 => Ok(GcMessage::Ack {
                 origin: dec.get_member()?,
@@ -340,9 +370,18 @@ impl Wire for GcMessage {
                 origin: dec.get_member()?,
                 seq: dec.get_u64()?,
             }),
-            3 => Ok(GcMessage::Ping { from: dec.get_member()?, nonce: dec.get_u64()? }),
-            4 => Ok(GcMessage::Pong { from: dec.get_member()?, nonce: dec.get_u64()? }),
-            5 => Ok(GcMessage::Suspect { suspect: dec.get_member()?, from: dec.get_member()? }),
+            3 => Ok(GcMessage::Ping {
+                from: dec.get_member()?,
+                nonce: dec.get_u64()?,
+            }),
+            4 => Ok(GcMessage::Pong {
+                from: dec.get_member()?,
+                nonce: dec.get_u64()?,
+            }),
+            5 => Ok(GcMessage::Suspect {
+                suspect: dec.get_member()?,
+                from: dec.get_member()?,
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -389,7 +428,10 @@ mod tests {
 
     #[test]
     fn app_request_round_trip() {
-        let r = AppRequest { service: ServiceKind::SymmetricTotal, payload: vec![1, 2, 3] };
+        let r = AppRequest {
+            service: ServiceKind::SymmetricTotal,
+            payload: vec![1, 2, 3],
+        };
         assert_eq!(AppRequest::from_wire(&r.to_wire()).unwrap(), r);
     }
 
@@ -404,7 +446,10 @@ mod tests {
         };
         assert_eq!(AppDeliver::from_wire(&d.to_wire()).unwrap(), d);
 
-        let v = ViewDeliver { view_id: 3, members: vec![MemberId(0), MemberId(2)] };
+        let v = ViewDeliver {
+            view_id: 3,
+            members: vec![MemberId(0), MemberId(2)],
+        };
         assert_eq!(ViewDeliver::from_wire(&v.to_wire()).unwrap(), v);
 
         let u1 = Upcall::Deliver(d);
@@ -424,14 +469,38 @@ mod tests {
                 service: ServiceKind::SymmetricTotal,
                 payload: vec![0xab; 10],
             },
-            GcMessage::Ack { origin: MemberId(1), seq: 9, from: MemberId(2), clock: 35 },
-            GcMessage::Order { sequencer: MemberId(0), global_seq: 4, origin: MemberId(1), seq: 9 },
-            GcMessage::Ping { from: MemberId(1), nonce: 77 },
-            GcMessage::Pong { from: MemberId(2), nonce: 77 },
-            GcMessage::Suspect { suspect: MemberId(2), from: MemberId(0) },
+            GcMessage::Ack {
+                origin: MemberId(1),
+                seq: 9,
+                from: MemberId(2),
+                clock: 35,
+            },
+            GcMessage::Order {
+                sequencer: MemberId(0),
+                global_seq: 4,
+                origin: MemberId(1),
+                seq: 9,
+            },
+            GcMessage::Ping {
+                from: MemberId(1),
+                nonce: 77,
+            },
+            GcMessage::Pong {
+                from: MemberId(2),
+                nonce: 77,
+            },
+            GcMessage::Suspect {
+                suspect: MemberId(2),
+                from: MemberId(0),
+            },
         ];
         for m in messages {
-            assert_eq!(GcMessage::from_wire(&m.to_wire()).unwrap(), m, "{}", m.kind());
+            assert_eq!(
+                GcMessage::from_wire(&m.to_wire()).unwrap(),
+                m,
+                "{}",
+                m.kind()
+            );
         }
     }
 
@@ -447,12 +516,35 @@ mod tests {
                 payload: vec![],
             }
             .kind(),
-            GcMessage::Ack { origin: MemberId(0), seq: 0, from: MemberId(0), clock: 0 }.kind(),
-            GcMessage::Order { sequencer: MemberId(0), global_seq: 0, origin: MemberId(0), seq: 0 }
-                .kind(),
-            GcMessage::Ping { from: MemberId(0), nonce: 0 }.kind(),
-            GcMessage::Pong { from: MemberId(0), nonce: 0 }.kind(),
-            GcMessage::Suspect { suspect: MemberId(0), from: MemberId(0) }.kind(),
+            GcMessage::Ack {
+                origin: MemberId(0),
+                seq: 0,
+                from: MemberId(0),
+                clock: 0,
+            }
+            .kind(),
+            GcMessage::Order {
+                sequencer: MemberId(0),
+                global_seq: 0,
+                origin: MemberId(0),
+                seq: 0,
+            }
+            .kind(),
+            GcMessage::Ping {
+                from: MemberId(0),
+                nonce: 0,
+            }
+            .kind(),
+            GcMessage::Pong {
+                from: MemberId(0),
+                nonce: 0,
+            }
+            .kind(),
+            GcMessage::Suspect {
+                suspect: MemberId(0),
+                from: MemberId(0),
+            }
+            .kind(),
         ];
         let unique: std::collections::BTreeSet<&str> = kinds.iter().copied().collect();
         assert_eq!(unique.len(), kinds.len());

@@ -39,7 +39,10 @@ impl AddressBook {
 
     /// Looks up the member served by a given peer process.
     pub fn member_of(&self, process: ProcessId) -> Option<MemberId> {
-        self.peers.iter().find(|(_, p)| **p == process).map(|(m, _)| *m)
+        self.peers
+            .iter()
+            .find(|(_, p)| **p == process)
+            .map(|(m, _)| *m)
     }
 
     /// Looks up the process serving a given member.
@@ -69,7 +72,11 @@ impl NsoActor {
     /// Creates an NSO for the given GC configuration, addresses and
     /// suspector settings.
     pub fn new(gc: GcConfig, addresses: AddressBook, suspector: SuspectorConfig) -> Self {
-        Self { machine: GcMachine::new(gc), addresses, suspector: PingSuspector::new(suspector) }
+        Self {
+            machine: GcMachine::new(gc),
+            addresses,
+            suspector: PingSuspector::new(suspector),
+        }
     }
 
     /// Read access to the wrapped GC machine (for tests and experiments).
@@ -128,7 +135,11 @@ impl Actor for NsoActor {
         };
         // The suspector watches pongs at the adapter level; everything is
         // still forwarded to the deterministic machine.
-        if let Ok(GcMessage::Pong { from: ponger, nonce }) = GcMessage::from_wire(&payload) {
+        if let Ok(GcMessage::Pong {
+            from: ponger,
+            nonce,
+        }) = GcMessage::from_wire(&payload)
+        {
             self.suspector.on_pong(ponger, nonce);
         }
         self.feed_machine(ctx, MachineInput::from_peer(member, payload));
@@ -148,7 +159,10 @@ impl Actor for NsoActor {
         let actions = self.suspector.tick(ctx.now(), &peers);
         for (peer, nonce) in actions.pings {
             if let Some(process) = self.addresses.process_of(peer) {
-                let ping = GcMessage::Ping { from: self.machine.member(), nonce };
+                let ping = GcMessage::Ping {
+                    from: self.machine.member(),
+                    nonce,
+                };
                 ctx.send(process, ping.to_wire());
             }
         }
@@ -177,12 +191,18 @@ mod tests {
     fn addresses(app: u32, peers: &[(u32, u32)]) -> AddressBook {
         AddressBook::new(
             ProcessId(app),
-            peers.iter().map(|(m, p)| (MemberId(*m), ProcessId(*p))).collect(),
+            peers
+                .iter()
+                .map(|(m, p)| (MemberId(*m), ProcessId(*p)))
+                .collect(),
         )
     }
 
     fn gc_config(member: u32, group: &[u32]) -> GcConfig {
-        GcConfig::new(MemberId(member), group.iter().copied().map(MemberId).collect())
+        GcConfig::new(
+            MemberId(member),
+            group.iter().copied().map(MemberId).collect(),
+        )
     }
 
     #[test]
@@ -202,7 +222,10 @@ mod tests {
             SuspectorConfig::disabled(),
         );
         let mut ctx = TestContext::new(ProcessId(20));
-        let request = AppRequest { service: ServiceKind::SymmetricTotal, payload: b"hi".to_vec() };
+        let request = AppRequest {
+            service: ServiceKind::SymmetricTotal,
+            payload: b"hi".to_vec(),
+        };
         nso.on_message(&mut ctx, ProcessId(10), request.to_wire());
         // One data message to each of the two peers.
         assert_eq!(ctx.sent_to(ProcessId(11)).len(), 1);
@@ -233,7 +256,10 @@ mod tests {
         assert_eq!(ctx.sent_to(ProcessId(11)).len(), 1);
         let to_app = ctx.sent_to(ProcessId(10));
         assert_eq!(to_app.len(), 1);
-        assert!(matches!(Upcall::from_wire(&to_app[0].payload).unwrap(), Upcall::Deliver(_)));
+        assert!(matches!(
+            Upcall::from_wire(&to_app[0].payload).unwrap(),
+            Upcall::Deliver(_)
+        ));
 
         // A message from an unknown process does nothing.
         let before = ctx.sent.len();
@@ -282,7 +308,10 @@ mod tests {
         nso.on_start(&mut ctx);
         nso.on_timer(&mut ctx, TIMER_SUSPECTOR);
         // The peer answers with the right nonce (nonce 0 is the first one).
-        let pong = GcMessage::Pong { from: MemberId(1), nonce: 0 };
+        let pong = GcMessage::Pong {
+            from: MemberId(1),
+            nonce: 0,
+        };
         nso.on_message(&mut ctx, ProcessId(11), pong.to_wire());
         ctx.advance(SimDuration::from_millis(500));
         nso.on_timer(&mut ctx, TIMER_SUSPECTOR);

@@ -54,7 +54,16 @@ impl ReliableMulticast {
         };
         let order = self.delivered;
         self.delivered += 1;
-        (data, AppDeliver { origin: me, seq, order, service: ServiceKind::Reliable, payload })
+        (
+            data,
+            AppDeliver {
+                origin: me,
+                seq,
+                order,
+                service: ServiceKind::Reliable,
+                payload,
+            },
+        )
     }
 
     /// Handles an incoming reliable data message.  Returns the relay message
@@ -79,8 +88,13 @@ impl ReliableMulticast {
         self.relayed += 1;
         let order = self.delivered;
         self.delivered += 1;
-        let deliver =
-            AppDeliver { origin, seq, order, service: ServiceKind::Reliable, payload };
+        let deliver = AppDeliver {
+            origin,
+            seq,
+            order,
+            service: ServiceKind::Reliable,
+            payload,
+        };
         (Some(relay), Some(deliver))
     }
 }
@@ -118,7 +132,16 @@ impl SimpleMulticast {
         };
         let order = self.delivered;
         self.delivered += 1;
-        (data, AppDeliver { origin: me, seq, order, service: ServiceKind::Unreliable, payload })
+        (
+            data,
+            AppDeliver {
+                origin: me,
+                seq,
+                order,
+                service: ServiceKind::Unreliable,
+                payload,
+            },
+        )
     }
 
     /// Handles an incoming simple data message: always delivered, never
@@ -126,7 +149,13 @@ impl SimpleMulticast {
     pub fn on_data(&mut self, origin: MemberId, seq: u64, payload: Vec<u8>) -> AppDeliver {
         let order = self.delivered;
         self.delivered += 1;
-        AppDeliver { origin, seq, order, service: ServiceKind::Unreliable, payload }
+        AppDeliver {
+            origin,
+            seq,
+            order,
+            service: ServiceKind::Unreliable,
+            payload,
+        }
     }
 }
 
@@ -160,7 +189,15 @@ mod tests {
         let (data, deliver) = r.multicast(MemberId(0), b"mine".to_vec());
         assert_eq!(deliver.origin, MemberId(0));
         // The message comes back via a relaying peer: must be suppressed.
-        let GcMessage::Data { origin, seq, payload, .. } = data else { unreachable!() };
+        let GcMessage::Data {
+            origin,
+            seq,
+            payload,
+            ..
+        } = data
+        else {
+            unreachable!()
+        };
         let (relay, redeliver) = r.on_data(origin, seq, payload);
         assert!(relay.is_none());
         assert!(redeliver.is_none());

@@ -42,12 +42,20 @@ impl SuspectorConfig {
     /// An aggressive setting with small timeouts, prone to false suspicions
     /// when delays spike (used by the suspicion ablation, A2 in DESIGN.md).
     pub fn aggressive(timeout: SimDuration) -> Self {
-        Self { enabled: true, interval: SimDuration::from_millis(50), timeout }
+        Self {
+            enabled: true,
+            interval: SimDuration::from_millis(50),
+            timeout,
+        }
     }
 
     /// A disabled suspector.
     pub fn disabled() -> Self {
-        Self { enabled: false, interval: SimDuration::MAX, timeout: SimDuration::MAX }
+        Self {
+            enabled: false,
+            interval: SimDuration::MAX,
+            timeout: SimDuration::MAX,
+        }
     }
 }
 
@@ -80,7 +88,12 @@ pub struct PingSuspector {
 impl PingSuspector {
     /// Creates a suspector with the given configuration.
     pub fn new(config: SuspectorConfig) -> Self {
-        Self { config, outstanding: BTreeMap::new(), suspected: BTreeSet::new(), next_nonce: 0 }
+        Self {
+            config,
+            outstanding: BTreeMap::new(),
+            suspected: BTreeSet::new(),
+            next_nonce: 0,
+        }
     }
 
     /// The configured ping interval (how often the adapter should call
@@ -122,7 +135,8 @@ impl PingSuspector {
                 None => {
                     let nonce = self.next_nonce;
                     self.next_nonce += 1;
-                    self.outstanding.insert(peer, (nonce, now + self.config.timeout));
+                    self.outstanding
+                        .insert(peer, (nonce, now + self.config.timeout));
                     actions.pings.push((peer, nonce));
                 }
             }

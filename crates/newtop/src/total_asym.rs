@@ -120,7 +120,9 @@ impl SequencerOrder {
             let unsequenced: Vec<(MemberId, u64)> = self
                 .waiting_data
                 .keys()
-                .filter(|k| !self.assigned.contains_key(k) && !self.orders.values().any(|v| v == *k))
+                .filter(|k| {
+                    !self.assigned.contains_key(k) && !self.orders.values().any(|v| v == *k)
+                })
                 .copied()
                 .collect();
             for (origin, seq) in unsequenced {
@@ -138,13 +140,20 @@ impl SequencerOrder {
         self.next_assign += 1;
         self.assigned.insert((origin, seq), global_seq);
         self.orders.insert(global_seq, (origin, seq));
-        vec![GcMessage::Order { sequencer: self.me, global_seq, origin, seq }]
+        vec![GcMessage::Order {
+            sequencer: self.me,
+            global_seq,
+            origin,
+            seq,
+        }]
     }
 
     fn try_deliver(&mut self) -> Vec<AppDeliver> {
         let mut out = Vec::new();
         while let Some(&(origin, seq)) = self.orders.get(&self.next_deliver) {
-            let Some(payload) = self.waiting_data.get(&(origin, seq)) else { break };
+            let Some(payload) = self.waiting_data.get(&(origin, seq)) else {
+                break;
+            };
             out.push(AppDeliver {
                 origin,
                 seq,
@@ -191,14 +200,24 @@ mod tests {
                         continue;
                     }
                     match &msg {
-                        GcMessage::Data { origin, seq, payload, .. } => {
+                        GcMessage::Data {
+                            origin,
+                            seq,
+                            payload,
+                            ..
+                        } => {
                             let view = self.view.clone();
                             let (more, dels) =
                                 self.members[i].on_data(*origin, *seq, payload.clone(), &view);
                             self.delivered[i].extend(dels);
                             self.relay(i, more);
                         }
-                        GcMessage::Order { global_seq, origin, seq, .. } => {
+                        GcMessage::Order {
+                            global_seq,
+                            origin,
+                            seq,
+                            ..
+                        } => {
                             let dels = self.members[i].on_order(*global_seq, *origin, *seq);
                             self.delivered[i].extend(dels);
                         }
@@ -283,7 +302,13 @@ mod tests {
         let (msgs, dels) = m1.on_view_change(&v1);
         // Member 1 is now the sequencer and orders the orphan message.
         assert_eq!(msgs.len(), 1);
-        assert!(matches!(msgs[0], GcMessage::Order { sequencer: MemberId(1), .. }));
+        assert!(matches!(
+            msgs[0],
+            GcMessage::Order {
+                sequencer: MemberId(1),
+                ..
+            }
+        ));
         assert_eq!(dels.len(), 1);
     }
 

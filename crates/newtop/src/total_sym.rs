@@ -83,7 +83,13 @@ impl SymmetricOrder {
         self.next_seq += 1;
         let mut acks = BTreeSet::new();
         acks.insert(self.me);
-        self.pending.insert((ts, self.me, seq), Pending { payload: payload.clone(), acks });
+        self.pending.insert(
+            (ts, self.me, seq),
+            Pending {
+                payload: payload.clone(),
+                acks,
+            },
+        );
         let data = GcMessage::Data {
             origin: self.me,
             seq,
@@ -110,10 +116,18 @@ impl SymmetricOrder {
         let entry = self
             .pending
             .entry((ts, origin, seq))
-            .or_insert_with(|| Pending { payload, acks: BTreeSet::new() });
+            .or_insert_with(|| Pending {
+                payload,
+                acks: BTreeSet::new(),
+            });
         entry.acks.insert(origin); // the data message is the origin's own ack
         entry.acks.insert(self.me); // our ack, which we are about to multicast
-        let ack = GcMessage::Ack { origin, seq, from: self.me, clock: self.lamport };
+        let ack = GcMessage::Ack {
+            origin,
+            seq,
+            from: self.me,
+            clock: self.lamport,
+        };
         (ack, self.try_deliver(view))
     }
 
@@ -135,7 +149,11 @@ impl SymmetricOrder {
             .find(|(_, o, s)| *o == origin && *s == seq)
             .copied()
         {
-            self.pending.get_mut(&key).expect("key exists").acks.insert(from);
+            self.pending
+                .get_mut(&key)
+                .expect("key exists")
+                .acks
+                .insert(from);
         } else {
             // Ack arrived before the data (possible across different FIFO
             // channels): remember it by creating a placeholder entry keyed by
@@ -157,7 +175,10 @@ impl SymmetricOrder {
     }
 
     fn early_acks_insert(&mut self, origin: MemberId, seq: u64, from: MemberId) {
-        self.early_acks.entry((origin, seq)).or_default().insert(from);
+        self.early_acks
+            .entry((origin, seq))
+            .or_default()
+            .insert(from);
     }
 
     /// Called after a view change: acknowledgements are now required only
@@ -175,10 +196,16 @@ impl SymmetricOrder {
             for key in &keys {
                 let (_, origin, seq) = *key;
                 if let Some(early) = self.early_acks.remove(&(origin, seq)) {
-                    self.pending.get_mut(key).expect("key exists").acks.extend(early);
+                    self.pending
+                        .get_mut(key)
+                        .expect("key exists")
+                        .acks
+                        .extend(early);
                 }
             }
-            let Some((key, entry)) = self.pending.iter().next() else { break };
+            let Some((key, entry)) = self.pending.iter().next() else {
+                break;
+            };
             let fully_acked = view.members.iter().all(|m| entry.acks.contains(m));
             if !fully_acked {
                 break;
@@ -235,7 +262,16 @@ mod tests {
         fn multicast(&mut self, sender: usize, payload: &[u8]) {
             let (data, dels) = self.members[sender].multicast(payload.to_vec(), &self.view);
             self.delivered[sender].extend(dels);
-            let GcMessage::Data { origin, seq, ts, payload, .. } = data else { unreachable!() };
+            let GcMessage::Data {
+                origin,
+                seq,
+                ts,
+                payload,
+                ..
+            } = data
+            else {
+                unreachable!()
+            };
             // Deliver the data to every other member; collect their acks.
             let mut acks = Vec::new();
             for i in 0..self.members.len() {
@@ -249,7 +285,15 @@ mod tests {
             }
             // Deliver every ack to every member (including the origin).
             for ack in acks {
-                let GcMessage::Ack { origin, seq, from, clock } = ack else { unreachable!() };
+                let GcMessage::Ack {
+                    origin,
+                    seq,
+                    from,
+                    clock,
+                } = ack
+                else {
+                    unreachable!()
+                };
                 for i in 0..self.members.len() {
                     if MemberId(i as u32) == from {
                         continue;
@@ -314,7 +358,12 @@ mod tests {
         let mut a = SymmetricOrder::new(MemberId(0));
         let (data, dels) = a.multicast(b"x".to_vec(), &v);
         assert!(dels.is_empty());
-        let GcMessage::Data { origin, seq, ts, .. } = data else { unreachable!() };
+        let GcMessage::Data {
+            origin, seq, ts, ..
+        } = data
+        else {
+            unreachable!()
+        };
         // Only member 1 acks: still not deliverable.
         let dels = a.on_ack(origin, seq, MemberId(1), ts + 1, &v);
         assert!(dels.is_empty());
@@ -330,7 +379,12 @@ mod tests {
         let v = view(3);
         let mut a = SymmetricOrder::new(MemberId(0));
         let (data, _) = a.multicast(b"x".to_vec(), &v);
-        let GcMessage::Data { origin, seq, ts, .. } = data else { unreachable!() };
+        let GcMessage::Data {
+            origin, seq, ts, ..
+        } = data
+        else {
+            unreachable!()
+        };
         // Member 1 acks; member 2 has crashed and never will.
         a.on_ack(origin, seq, MemberId(1), ts + 1, &v);
         assert_eq!(a.delivered_count(), 0);

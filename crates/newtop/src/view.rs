@@ -68,12 +68,18 @@ impl View {
         }
         let mut members = self.members.clone();
         members.remove(&removed);
-        Some(View { id: self.id + 1, members })
+        Some(View {
+            id: self.id + 1,
+            members,
+        })
     }
 
     /// The deliverable form of this view.
     pub fn to_deliver(&self) -> ViewDeliver {
-        ViewDeliver { view_id: self.id, members: self.members_sorted() }
+        ViewDeliver {
+            view_id: self.id,
+            members: self.members_sorted(),
+        }
     }
 }
 
@@ -89,7 +95,11 @@ pub struct MembershipState {
 impl MembershipState {
     /// Creates the membership state for `me` with the given initial group.
     pub fn new(me: MemberId, group: impl IntoIterator<Item = MemberId>) -> Self {
-        Self { me, view: View::initial(group), suspected: BTreeSet::new() }
+        Self {
+            me,
+            view: View::initial(group),
+            suspected: BTreeSet::new(),
+        }
     }
 
     /// The local member identity.

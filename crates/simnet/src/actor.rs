@@ -210,8 +210,17 @@ mod tests {
         let mut echo = Echo { seen: 0 };
         echo.on_message(&mut ctx, ProcessId(2), b"ping".to_vec());
         assert_eq!(echo.seen, 1);
-        assert_eq!(ctx.sent, vec![Outgoing { to: ProcessId(2), payload: b"ping".to_vec() }]);
-        assert_eq!(ctx.timers_set, vec![(SimDuration::from_millis(1), TimerId(7))]);
+        assert_eq!(
+            ctx.sent,
+            vec![Outgoing {
+                to: ProcessId(2),
+                payload: b"ping".to_vec()
+            }]
+        );
+        assert_eq!(
+            ctx.timers_set,
+            vec![(SimDuration::from_millis(1), TimerId(7))]
+        );
         assert_eq!(ctx.cpu, SimDuration::from_micros(10));
         assert_eq!(ctx.sent_to(ProcessId(2)).len(), 1);
         assert!(ctx.sent_to(ProcessId(3)).is_empty());

@@ -84,14 +84,20 @@ impl LinkModel {
 
     /// Loopback with a small constant cost.
     pub fn loopback() -> Self {
-        LinkModel::Loopback { cost: SimDuration::from_micros(20) }
+        LinkModel::Loopback {
+            cost: SimDuration::from_micros(20),
+        }
     }
 
     /// Computes the delay for a message of `size` bytes, or `None` if the
     /// message is dropped.
     pub fn delay(&self, size: usize, rng: &mut DetRng) -> Option<SimDuration> {
         match *self {
-            LinkModel::SyncLan { base, bandwidth_bps, jitter_max } => {
+            LinkModel::SyncLan {
+                base,
+                bandwidth_bps,
+                jitter_max,
+            } => {
                 let tx = transmission_time(size, bandwidth_bps);
                 let jitter = if jitter_max.is_zero() {
                     SimDuration::ZERO
@@ -100,7 +106,12 @@ impl LinkModel {
                 };
                 Some(base + tx + jitter)
             }
-            LinkModel::AsyncNet { base, bandwidth_bps, jitter_mean, drop_prob } => {
+            LinkModel::AsyncNet {
+                base,
+                bandwidth_bps,
+                jitter_mean,
+                drop_prob,
+            } => {
                 if rng.chance(drop_prob) {
                     return None;
                 }
@@ -117,9 +128,11 @@ impl LinkModel {
     /// bound exists (synchronous links only).
     pub fn worst_case(&self, size: usize) -> Option<SimDuration> {
         match *self {
-            LinkModel::SyncLan { base, bandwidth_bps, jitter_max } => {
-                Some(base + transmission_time(size, bandwidth_bps) + jitter_max)
-            }
+            LinkModel::SyncLan {
+                base,
+                bandwidth_bps,
+                jitter_max,
+            } => Some(base + transmission_time(size, bandwidth_bps) + jitter_max),
             LinkModel::AsyncNet { .. } => None,
             LinkModel::Loopback { cost } => Some(cost),
         }
@@ -176,7 +189,10 @@ impl Topology {
         if a == b {
             return self.loopback;
         }
-        *self.overrides.get(&ordered(a, b)).unwrap_or(&self.default_link)
+        *self
+            .overrides
+            .get(&ordered(a, b))
+            .unwrap_or(&self.default_link)
     }
 
     /// Severs connectivity between `a` and `b` (both directions): all

@@ -13,7 +13,7 @@
 
 use std::any::Any;
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, BTreeMap};
+use std::collections::{BTreeMap, BinaryHeap};
 
 use fs_common::id::{NodeId, ProcessId};
 use fs_common::rng::DetRng;
@@ -26,9 +26,19 @@ use crate::trace::{NetStats, ProcessCounters, TraceEvent, TraceLog};
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
-    Start { process: ProcessId },
-    Deliver { to: ProcessId, from: ProcessId, payload: Vec<u8> },
-    Timer { process: ProcessId, timer: TimerId, generation: u64 },
+    Start {
+        process: ProcessId,
+    },
+    Deliver {
+        to: ProcessId,
+        from: ProcessId,
+        payload: Vec<u8>,
+    },
+    Timer {
+        process: ProcessId,
+        timer: TimerId,
+        generation: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -199,12 +209,20 @@ impl Simulation {
     /// Panics if the identifier is already in use or the node is unknown.
     pub fn spawn_with(&mut self, id: ProcessId, node: NodeId, actor: Box<dyn Actor>) {
         assert!(self.nodes.contains_key(&node), "unknown node {node}");
-        assert!(!self.actors.contains_key(&id), "process id {id} already in use");
+        assert!(
+            !self.actors.contains_key(&id),
+            "process id {id} already in use"
+        );
         self.next_process = self.next_process.max(id.0 + 1);
         let rng = self.rng.derive(0x5eed_0000 + u64::from(id.0));
         self.actors.insert(
             id,
-            ActorSlot { actor, node, rng, timer_generation: BTreeMap::new() },
+            ActorSlot {
+                actor,
+                node,
+                rng,
+                timer_generation: BTreeMap::new(),
+            },
         );
         let event = QueuedEvent {
             at: self.clock,
@@ -352,8 +370,14 @@ impl Simulation {
                 self.counters.on_receive(to);
                 self.run_handler(event.at, to, HandlerKind::Message { from, payload });
             }
-            EventKind::Timer { process, timer, generation } => {
-                let Some(slot) = self.actors.get(&process) else { return };
+            EventKind::Timer {
+                process,
+                timer,
+                generation,
+            } => {
+                let Some(slot) = self.actors.get(&process) else {
+                    return;
+                };
                 let current = slot.timer_generation.get(&timer).copied().unwrap_or(0);
                 if current != generation {
                     // Stale timer: it was cancelled or re-armed after this
@@ -367,7 +391,10 @@ impl Simulation {
     }
 
     fn run_handler(&mut self, arrival: SimTime, process: ProcessId, kind: HandlerKind) {
-        let slot = self.actors.get_mut(&process).expect("handler target exists");
+        let slot = self
+            .actors
+            .get_mut(&process)
+            .expect("handler target exists");
         let node_id = slot.node;
         let node = self.nodes.get_mut(&node_id).expect("node exists");
 
@@ -398,28 +425,40 @@ impl Simulation {
 
         match kind {
             HandlerKind::Start => slot.actor.on_start(&mut ctx),
-            HandlerKind::Message { from, payload } => slot.actor.on_message(&mut ctx, from, payload),
+            HandlerKind::Message { from, payload } => {
+                slot.actor.on_message(&mut ctx, from, payload)
+            }
             HandlerKind::Timer { timer } => slot.actor.on_timer(&mut ctx, timer),
         }
 
-        let SimContext { cpu, outgoing, timers_set, timers_cancelled, labels, .. } = ctx;
+        let SimContext {
+            cpu,
+            outgoing,
+            timers_set,
+            timers_cancelled,
+            labels,
+            ..
+        } = ctx;
 
         let service = node.dispatch_overhead() + marshal + cpu;
         let end = node.complete(thread_idx, start, service);
         self.stats.events_processed += 1;
 
         if let Some(trace) = &mut self.trace {
-            match from_for_trace {
-                Some(from) => trace.push(TraceEvent::Deliver {
+            if let Some(from) = from_for_trace {
+                trace.push(TraceEvent::Deliver {
                     at: start,
                     from,
                     to: process,
                     size: size_for_trace,
-                }),
-                None => {}
+                })
             }
             for label in &labels {
-                trace.push(TraceEvent::Label { at: end, process, label: label.clone() });
+                trace.push(TraceEvent::Label {
+                    at: end,
+                    process,
+                    label: label.clone(),
+                });
             }
         }
 
@@ -438,7 +477,11 @@ impl Simulation {
             let event = QueuedEvent {
                 at: end + delay,
                 seq: self.next_seq(),
-                kind: EventKind::Timer { process, timer, generation },
+                kind: EventKind::Timer {
+                    process,
+                    timer,
+                    generation,
+                },
             };
             self.queue.push(Reverse(event));
         }
@@ -450,23 +493,39 @@ impl Simulation {
             self.stats.bytes_sent += payload.len() as u64;
             self.counters.on_send(process, payload.len());
             if let Some(trace) = &mut self.trace {
-                trace.push(TraceEvent::Send { at: end, from: process, to, size: payload.len() });
+                trace.push(TraceEvent::Send {
+                    at: end,
+                    from: process,
+                    to,
+                    size: payload.len(),
+                });
             }
             let Some(dest_slot) = self.actors.get(&to) else {
                 self.stats.messages_dropped += 1;
                 continue;
             };
             let dest_node = dest_slot.node;
-            match self.topology.delay(node_id, dest_node, payload.len(), &mut self.rng) {
+            match self
+                .topology
+                .delay(node_id, dest_node, payload.len(), &mut self.rng)
+            {
                 Some(link_delay) => {
                     // Enforce per-pair FIFO delivery (TCP-like channels).
-                    let floor = self.fifo_floor.get(&(process, to)).copied().unwrap_or(SimTime::ZERO);
+                    let floor = self
+                        .fifo_floor
+                        .get(&(process, to))
+                        .copied()
+                        .unwrap_or(SimTime::ZERO);
                     let arrival = (end + link_delay).max(floor);
                     self.fifo_floor.insert((process, to), arrival);
                     let event = QueuedEvent {
                         at: arrival,
                         seq: self.next_seq(),
-                        kind: EventKind::Deliver { to, from: process, payload },
+                        kind: EventKind::Deliver {
+                            to,
+                            from: process,
+                            payload,
+                        },
                     };
                     self.queue.push(Reverse(event));
                 }
@@ -498,10 +557,16 @@ mod tests {
 
     impl Echo {
         fn new() -> Self {
-            Self { received: Vec::new(), cpu_per_msg: SimDuration::ZERO }
+            Self {
+                received: Vec::new(),
+                cpu_per_msg: SimDuration::ZERO,
+            }
         }
         fn with_cpu(cpu: SimDuration) -> Self {
-            Self { received: Vec::new(), cpu_per_msg: cpu }
+            Self {
+                received: Vec::new(),
+                cpu_per_msg: cpu,
+            }
         }
     }
 
@@ -559,7 +624,9 @@ mod tests {
             bandwidth_bps: 0,
             jitter_max: SimDuration::ZERO,
         });
-        topo.set_loopback(LinkModel::Loopback { cost: SimDuration::from_micros(10) });
+        topo.set_loopback(LinkModel::Loopback {
+            cost: SimDuration::from_micros(10),
+        });
         Simulation::with_topology(1, topo)
     }
 
@@ -569,7 +636,15 @@ mod tests {
         let n0 = sim.add_node(NodeConfig::ideal());
         let n1 = sim.add_node(NodeConfig::ideal());
         let echo = sim.spawn(n0, Box::new(Echo::new()));
-        let burst = sim.spawn(n1, Box::new(Burst { dest: echo, count: 3, replies: 0, reply_times: vec![] }));
+        let burst = sim.spawn(
+            n1,
+            Box::new(Burst {
+                dest: echo,
+                count: 3,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         sim.run_until(SimTime::from_millis(100));
         assert_eq!(sim.actor::<Echo>(echo).unwrap().received.len(), 3);
         assert_eq!(sim.actor::<Burst>(burst).unwrap().replies, 3);
@@ -584,7 +659,15 @@ mod tests {
             let n0 = sim.add_node(NodeConfig::era_2003());
             let n1 = sim.add_node(NodeConfig::era_2003());
             let echo = sim.spawn(n0, Box::new(Echo::with_cpu(SimDuration::from_micros(300))));
-            sim.spawn(n1, Box::new(Burst { dest: echo, count: 20, replies: 0, reply_times: vec![] }));
+            sim.spawn(
+                n1,
+                Box::new(Burst {
+                    dest: echo,
+                    count: 20,
+                    replies: 0,
+                    reply_times: vec![],
+                }),
+            );
             let end = sim.run_until(SimTime::from_secs(10));
             (sim.stats().messages_delivered, end)
         };
@@ -599,16 +682,30 @@ mod tests {
         let n0 = fast.add_node(NodeConfig::ideal());
         let n1 = fast.add_node(NodeConfig::ideal());
         let e_fast = fast.spawn(n0, Box::new(Echo::new()));
-        let b_fast =
-            fast.spawn(n1, Box::new(Burst { dest: e_fast, count: 1, replies: 0, reply_times: vec![] }));
+        let b_fast = fast.spawn(
+            n1,
+            Box::new(Burst {
+                dest: e_fast,
+                count: 1,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         fast.run_until(SimTime::from_secs(1));
 
         let mut slow = ideal_sim();
         let n0 = slow.add_node(NodeConfig::ideal());
         let n1 = slow.add_node(NodeConfig::ideal());
         let e_slow = slow.spawn(n0, Box::new(Echo::with_cpu(SimDuration::from_millis(5))));
-        let b_slow =
-            slow.spawn(n1, Box::new(Burst { dest: e_slow, count: 1, replies: 0, reply_times: vec![] }));
+        let b_slow = slow.spawn(
+            n1,
+            Box::new(Burst {
+                dest: e_slow,
+                count: 1,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         slow.run_until(SimTime::from_secs(1));
 
         let t_fast = fast.actor::<Burst>(b_fast).unwrap().reply_times[0];
@@ -624,9 +721,28 @@ mod tests {
         let n_echo = sim.add_node(NodeConfig::ideal()); // 1 thread
         let n_a = sim.add_node(NodeConfig::ideal());
         let n_b = sim.add_node(NodeConfig::ideal());
-        let echo = sim.spawn(n_echo, Box::new(Echo::with_cpu(SimDuration::from_millis(10))));
-        sim.spawn(n_a, Box::new(Burst { dest: echo, count: 1, replies: 0, reply_times: vec![] }));
-        sim.spawn(n_b, Box::new(Burst { dest: echo, count: 1, replies: 0, reply_times: vec![] }));
+        let echo = sim.spawn(
+            n_echo,
+            Box::new(Echo::with_cpu(SimDuration::from_millis(10))),
+        );
+        sim.spawn(
+            n_a,
+            Box::new(Burst {
+                dest: echo,
+                count: 1,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
+        sim.spawn(
+            n_b,
+            Box::new(Burst {
+                dest: echo,
+                count: 1,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         let end = sim.run_until(SimTime::from_secs(5));
         // Both messages are handled back to back: at least 20 ms of busy time.
         assert!(end >= SimTime::from_millis(20));
@@ -641,24 +757,47 @@ mod tests {
             let mut sim = ideal_sim();
             let n_echo = sim.add_node(NodeConfig::ideal().with_threads(threads));
             let n_src = sim.add_node(NodeConfig::ideal());
-            let echo = sim.spawn(n_echo, Box::new(Echo::with_cpu(SimDuration::from_millis(10))));
+            let echo = sim.spawn(
+                n_echo,
+                Box::new(Echo::with_cpu(SimDuration::from_millis(10))),
+            );
             sim.spawn(
                 n_src,
-                Box::new(Burst { dest: echo, count: 8, replies: 0, reply_times: vec![] }),
+                Box::new(Burst {
+                    dest: echo,
+                    count: 8,
+                    replies: 0,
+                    reply_times: vec![],
+                }),
             );
             sim.run_until(SimTime::from_secs(10))
         };
         let one = total(1);
         let four = total(4);
-        assert!(four < one, "4 threads ({four}) should finish before 1 thread ({one})");
+        assert!(
+            four < one,
+            "4 threads ({four}) should finish before 1 thread ({one})"
+        );
     }
 
     #[test]
     fn timers_fire_and_cancel() {
         let mut sim = ideal_sim();
         let n = sim.add_node(NodeConfig::ideal());
-        let p_both = sim.spawn(n, Box::new(TimerUser { fired: 0, cancel_after_first: false }));
-        let p_cancel = sim.spawn(n, Box::new(TimerUser { fired: 0, cancel_after_first: true }));
+        let p_both = sim.spawn(
+            n,
+            Box::new(TimerUser {
+                fired: 0,
+                cancel_after_first: false,
+            }),
+        );
+        let p_cancel = sim.spawn(
+            n,
+            Box::new(TimerUser {
+                fired: 0,
+                cancel_after_first: true,
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.actor::<TimerUser>(p_both).unwrap().fired, 2);
         assert_eq!(sim.actor::<TimerUser>(p_cancel).unwrap().fired, 1);
@@ -672,7 +811,15 @@ mod tests {
         let n1 = sim.add_node(NodeConfig::ideal());
         let echo = sim.spawn(n0, Box::new(Echo::new()));
         sim.topology_mut().sever(NodeId(0), NodeId(1));
-        let burst = sim.spawn(n1, Box::new(Burst { dest: echo, count: 5, replies: 0, reply_times: vec![] }));
+        let burst = sim.spawn(
+            n1,
+            Box::new(Burst {
+                dest: echo,
+                count: 5,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         assert_eq!(sim.actor::<Echo>(echo).unwrap().received.len(), 0);
         assert_eq!(sim.actor::<Burst>(burst).unwrap().replies, 0);
@@ -710,7 +857,15 @@ mod tests {
         let n0 = sim.add_node(NodeConfig::ideal());
         let n1 = sim.add_node(NodeConfig::ideal());
         let echo = sim.spawn(n0, Box::new(Echo::new()));
-        sim.spawn(n1, Box::new(Burst { dest: echo, count: 1, replies: 0, reply_times: vec![] }));
+        sim.spawn(
+            n1,
+            Box::new(Burst {
+                dest: echo,
+                count: 1,
+                replies: 0,
+                reply_times: vec![],
+            }),
+        );
         sim.run_until(SimTime::from_secs(1));
         let trace = sim.trace().unwrap();
         assert!(trace.len() >= 3);

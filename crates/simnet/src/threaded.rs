@@ -42,7 +42,10 @@ pub struct ThreadedConfig {
 
 impl Default for ThreadedConfig {
     fn default() -> Self {
-        Self { cpu_charge_scale: 0.0, seed: 1 }
+        Self {
+            cpu_charge_scale: 0.0,
+            seed: 1,
+        }
     }
 }
 
@@ -55,7 +58,9 @@ pub struct ThreadedBuilder {
 
 impl std::fmt::Debug for ThreadedBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadedBuilder").field("actors", &self.actors.len()).finish()
+        f.debug_struct("ThreadedBuilder")
+            .field("actors", &self.actors.len())
+            .finish()
     }
 }
 
@@ -68,7 +73,11 @@ impl Default for ThreadedBuilder {
 impl ThreadedBuilder {
     /// Creates a builder with the given configuration.
     pub fn new(config: ThreadedConfig) -> Self {
-        Self { config, actors: Vec::new(), next: 0 }
+        Self {
+            config,
+            actors: Vec::new(),
+            next: 0,
+        }
     }
 
     /// Returns the process identifier the next [`ThreadedBuilder::add`] call
@@ -126,7 +135,11 @@ impl ThreadedBuilder {
             handles.push((id, handle));
         }
 
-        ThreadedRuntime { inboxes, handles, epoch }
+        ThreadedRuntime {
+            inboxes,
+            handles,
+            epoch,
+        }
     }
 }
 
@@ -139,7 +152,9 @@ pub struct ThreadedRuntime {
 
 impl std::fmt::Debug for ThreadedRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("ThreadedRuntime").field("actors", &self.handles.len()).finish()
+        f.debug_struct("ThreadedRuntime")
+            .field("actors", &self.handles.len())
+            .finish()
     }
 }
 
@@ -152,7 +167,10 @@ impl ThreadedRuntime {
     /// registered actor, or [`fs_common::Error::Disconnected`] when its
     /// thread has already terminated.
     pub fn send(&self, from: ProcessId, to: ProcessId, payload: Vec<u8>) -> fs_common::Result<()> {
-        let tx = self.inboxes.get(&to).ok_or(fs_common::Error::UnknownProcess(to))?;
+        let tx = self
+            .inboxes
+            .get(&to)
+            .ok_or(fs_common::Error::UnknownProcess(to))?;
         tx.send(Envelope::Message { from, payload })
             .map_err(|_| fs_common::Error::Disconnected(to))
     }
@@ -214,7 +232,8 @@ impl TimerState {
     fn arm(&mut self, deadline: Instant, timer: TimerId) {
         self.next_gen += 1;
         self.generation.insert(timer, self.next_gen);
-        self.heap.push(std::cmp::Reverse((deadline, self.next_gen, timer)));
+        self.heap
+            .push(std::cmp::Reverse((deadline, self.next_gen, timer)));
     }
     fn cancel(&mut self, timer: TimerId) {
         self.next_gen += 1;
@@ -248,11 +267,15 @@ impl Context for ThreadContext<'_> {
     }
     fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
         if let Some(tx) = self.inboxes.get(&to) {
-            let _ = tx.send(Envelope::Message { from: self.me, payload });
+            let _ = tx.send(Envelope::Message {
+                from: self.me,
+                payload,
+            });
         }
     }
     fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
-        self.timers.arm(Instant::now() + Duration::from(delay), timer);
+        self.timers
+            .arm(Instant::now() + Duration::from(delay), timer);
     }
     fn cancel_timer(&mut self, timer: TimerId) {
         self.timers.cancel(timer);
@@ -403,7 +426,10 @@ mod tests {
     fn external_sends_are_delivered() {
         let shared = Arc::new(AtomicUsize::new(0));
         let mut builder = ThreadedBuilder::default();
-        let counter = builder.add(Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
+        let counter = builder.add(Box::new(Counter {
+            seen: 0,
+            shared: Arc::clone(&shared),
+        }));
         let rt = builder.start();
         for _ in 0..10 {
             rt.send(ProcessId(99), counter, b"x".to_vec()).unwrap();
@@ -438,7 +464,9 @@ mod tests {
     fn timers_fire_on_real_clock() {
         let fired = Arc::new(AtomicUsize::new(0));
         let mut builder = ThreadedBuilder::default();
-        builder.add(Box::new(TimerOnce { fired: Arc::clone(&fired) }));
+        builder.add(Box::new(TimerOnce {
+            fired: Arc::clone(&fired),
+        }));
         let rt = builder.start();
         assert!(wait_for(&fired, 1, 2_000));
         rt.shutdown();
@@ -447,7 +475,10 @@ mod tests {
     #[test]
     fn unknown_destination_is_an_error() {
         let mut builder = ThreadedBuilder::default();
-        builder.add(Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
+        builder.add(Box::new(Counter {
+            seen: 0,
+            shared: Arc::new(AtomicUsize::new(0)),
+        }));
         let rt = builder.start();
         assert!(rt.send(ProcessId(0), ProcessId(42), vec![]).is_err());
         rt.shutdown();
@@ -457,8 +488,17 @@ mod tests {
     fn add_with_explicit_id() {
         let shared = Arc::new(AtomicUsize::new(0));
         let mut builder = ThreadedBuilder::default();
-        builder.add_with(ProcessId(7), Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
-        let next = builder.add(Box::new(Counter { seen: 0, shared: Arc::clone(&shared) }));
+        builder.add_with(
+            ProcessId(7),
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let next = builder.add(Box::new(Counter {
+            seen: 0,
+            shared: Arc::clone(&shared),
+        }));
         assert_eq!(next, ProcessId(8));
         let rt = builder.start();
         assert_eq!(rt.processes(), vec![ProcessId(7), ProcessId(8)]);
@@ -471,8 +511,20 @@ mod tests {
     #[should_panic(expected = "already in use")]
     fn duplicate_explicit_id_panics() {
         let mut builder = ThreadedBuilder::default();
-        builder.add_with(ProcessId(1), Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
-        builder.add_with(ProcessId(1), Box::new(Counter { seen: 0, shared: Arc::new(AtomicUsize::new(0)) }));
+        builder.add_with(
+            ProcessId(1),
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::new(AtomicUsize::new(0)),
+            }),
+        );
+        builder.add_with(
+            ProcessId(1),
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::new(AtomicUsize::new(0)),
+            }),
+        );
     }
 
     #[test]

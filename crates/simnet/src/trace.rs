@@ -122,9 +122,9 @@ impl TraceLog {
         self.events
             .iter()
             .filter_map(|e| match e {
-                TraceEvent::Label { process: p, label, .. } if *p == process => {
-                    Some(label.as_str())
-                }
+                TraceEvent::Label {
+                    process: p, label, ..
+                } if *p == process => Some(label.as_str()),
                 _ => None,
             })
             .collect()
@@ -289,7 +289,12 @@ mod tests {
             process: ProcessId(1),
             label: "a".into(),
         });
-        log.push(TraceEvent::Send { at: SimTime::ZERO, from: ProcessId(1), to: ProcessId(2), size: 3 });
+        log.push(TraceEvent::Send {
+            at: SimTime::ZERO,
+            from: ProcessId(1),
+            to: ProcessId(2),
+            size: 3,
+        });
         log.push(TraceEvent::Label {
             at: SimTime::from_millis(1),
             process: ProcessId(2),

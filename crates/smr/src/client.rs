@@ -128,16 +128,36 @@ mod tests {
     fn byzantine_minority_is_masked_and_reported() {
         let mut c = ReplicatedClient::new(ProcessId(1), 1);
         let (id, _) = c.next_request(b"cmd".to_vec());
-        let lie = Response { id, replica: MemberId(2), payload: b"LIE".to_vec() };
-        let truth0 = Response { id, replica: MemberId(0), payload: b"ok".to_vec() };
-        let truth1 = Response { id, replica: MemberId(1), payload: b"ok".to_vec() };
+        let lie = Response {
+            id,
+            replica: MemberId(2),
+            payload: b"LIE".to_vec(),
+        };
+        let truth0 = Response {
+            id,
+            replica: MemberId(0),
+            payload: b"ok".to_vec(),
+        };
+        let truth1 = Response {
+            id,
+            replica: MemberId(1),
+            payload: b"ok".to_vec(),
+        };
         assert!(c.on_response(&lie).is_none());
         assert!(c.on_response(&truth0).is_none());
         assert_eq!(c.on_response(&truth1), Some((id, b"ok".to_vec())));
         // Equivocation detection.
         let (id2, _) = c.next_request(b"cmd2".to_vec());
-        let e1 = Response { id: id2, replica: MemberId(2), payload: b"x".to_vec() };
-        let e2 = Response { id: id2, replica: MemberId(2), payload: b"y".to_vec() };
+        let e1 = Response {
+            id: id2,
+            replica: MemberId(2),
+            payload: b"x".to_vec(),
+        };
+        let e2 = Response {
+            id: id2,
+            replica: MemberId(2),
+            payload: b"y".to_vec(),
+        };
         c.on_response(&e1);
         c.on_response(&e2);
         assert_eq!(c.suspected_replicas(), &[MemberId(2)]);
@@ -148,7 +168,11 @@ mod tests {
         let mut c = ReplicatedClient::new(ProcessId(1), 0);
         assert!(c.on_response_wire(&[0xde, 0xad]).is_none());
         let (id, _) = c.next_request(b"cmd".to_vec());
-        let r = Response { id, replica: MemberId(0), payload: b"v".to_vec() };
+        let r = Response {
+            id,
+            replica: MemberId(0),
+            payload: b"v".to_vec(),
+        };
         assert_eq!(c.on_response_wire(&r.to_wire()), Some((id, b"v".to_vec())));
     }
 }

@@ -34,7 +34,10 @@ impl Wire for RequestId {
         enc.put_u64(self.seq);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        Ok(Self { client: dec.get_process()?, seq: dec.get_u64()? })
+        Ok(Self {
+            client: dec.get_process()?,
+            seq: dec.get_u64()?,
+        })
     }
 }
 
@@ -80,9 +83,16 @@ impl Wire for KvCommand {
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
-            0 => Ok(KvCommand::Put { key: dec.get_str()?.to_owned(), value: dec.get_bytes_owned()? }),
-            1 => Ok(KvCommand::Get { key: dec.get_str()?.to_owned() }),
-            2 => Ok(KvCommand::Delete { key: dec.get_str()?.to_owned() }),
+            0 => Ok(KvCommand::Put {
+                key: dec.get_str()?.to_owned(),
+                value: dec.get_bytes_owned()?,
+            }),
+            1 => Ok(KvCommand::Get {
+                key: dec.get_str()?.to_owned(),
+            }),
+            2 => Ok(KvCommand::Delete {
+                key: dec.get_str()?.to_owned(),
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -228,7 +238,11 @@ impl Wire for AuctionCommand {
                 enc.put_str(item);
                 enc.put_u64(*reserve);
             }
-            AuctionCommand::Bid { item, bidder, amount } => {
+            AuctionCommand::Bid {
+                item,
+                bidder,
+                amount,
+            } => {
                 enc.put_u8(1);
                 enc.put_str(item);
                 enc.put_process(*bidder);
@@ -242,13 +256,18 @@ impl Wire for AuctionCommand {
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
-            0 => Ok(AuctionCommand::Open { item: dec.get_str()?.to_owned(), reserve: dec.get_u64()? }),
+            0 => Ok(AuctionCommand::Open {
+                item: dec.get_str()?.to_owned(),
+                reserve: dec.get_u64()?,
+            }),
             1 => Ok(AuctionCommand::Bid {
                 item: dec.get_str()?.to_owned(),
                 bidder: dec.get_process()?,
                 amount: dec.get_u64()?,
             }),
-            2 => Ok(AuctionCommand::Close { item: dec.get_str()?.to_owned() }),
+            2 => Ok(AuctionCommand::Close {
+                item: dec.get_str()?.to_owned(),
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -289,7 +308,10 @@ impl Wire for AuctionResponse {
             1 => Ok(AuctionResponse::Rejected),
             2 => match dec.get_u8()? {
                 0 => Ok(AuctionResponse::Closed(None)),
-                1 => Ok(AuctionResponse::Closed(Some((dec.get_process()?, dec.get_u64()?)))),
+                1 => Ok(AuctionResponse::Closed(Some((
+                    dec.get_process()?,
+                    dec.get_u64()?,
+                )))),
                 t => Err(CodecError::UnknownTag(t)),
             },
             t => Err(CodecError::UnknownTag(t)),
@@ -334,11 +356,24 @@ impl AppStateMachine for AuctionHouse {
         self.applied += 1;
         let response = match AuctionCommand::from_wire(command) {
             Ok(AuctionCommand::Open { item, reserve }) => {
-                self.auctions.insert(item, Auction { reserve, best: None, open: true });
+                self.auctions.insert(
+                    item,
+                    Auction {
+                        reserve,
+                        best: None,
+                        open: true,
+                    },
+                );
                 AuctionResponse::Ok
             }
-            Ok(AuctionCommand::Bid { item, bidder, amount }) => match self.auctions.get_mut(&item) {
-                Some(a) if a.open && amount >= a.reserve && a.best.map_or(true, |(_, b)| amount > b) => {
+            Ok(AuctionCommand::Bid {
+                item,
+                bidder,
+                amount,
+            }) => match self.auctions.get_mut(&item) {
+                Some(a)
+                    if a.open && amount >= a.reserve && a.best.is_none_or(|(_, b)| amount > b) =>
+                {
                     a.best = Some((bidder, amount));
                     AuctionResponse::Ok
                 }
@@ -362,7 +397,10 @@ impl AppStateMachine for AuctionHouse {
             for b in item.as_bytes() {
                 acc = (acc ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
             }
-            let (p, amt) = a.best.map(|(p, amt)| (p.0 as u64, amt)).unwrap_or((u64::MAX, 0));
+            let (p, amt) = a
+                .best
+                .map(|(p, amt)| (p.0 as u64, amt))
+                .unwrap_or((u64::MAX, 0));
             acc = (acc ^ p).wrapping_mul(0x100_0000_01b3);
             acc = (acc ^ amt).wrapping_mul(0x100_0000_01b3);
             acc = (acc ^ u64::from(a.open)).wrapping_mul(0x100_0000_01b3);
@@ -384,7 +422,10 @@ mod tests {
     #[test]
     fn kv_command_round_trip() {
         let cmds = vec![
-            KvCommand::Put { key: "a".into(), value: vec![1, 2, 3] },
+            KvCommand::Put {
+                key: "a".into(),
+                value: vec![1, 2, 3],
+            },
             KvCommand::Get { key: "a".into() },
             KvCommand::Delete { key: "b".into() },
         ];
@@ -397,10 +438,19 @@ mod tests {
     fn kv_store_semantics() {
         let mut kv = KvStore::new();
         assert!(kv.is_empty());
-        let r = kv.apply(&KvCommand::Put { key: "x".into(), value: b"1".to_vec() }.to_wire());
+        let r = kv.apply(
+            &KvCommand::Put {
+                key: "x".into(),
+                value: b"1".to_vec(),
+            }
+            .to_wire(),
+        );
         assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Ok);
         let r = kv.apply(&KvCommand::Get { key: "x".into() }.to_wire());
-        assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Value(Some(b"1".to_vec())));
+        assert_eq!(
+            KvResponse::from_wire(&r).unwrap(),
+            KvResponse::Value(Some(b"1".to_vec()))
+        );
         let r = kv.apply(&KvCommand::Delete { key: "x".into() }.to_wire());
         assert_eq!(KvResponse::from_wire(&r).unwrap(), KvResponse::Ok);
         let r = kv.apply(&KvCommand::Get { key: "x".into() }.to_wire());
@@ -413,7 +463,11 @@ mod tests {
     fn kv_store_digest_tracks_state() {
         let mut a = KvStore::new();
         let mut b = KvStore::new();
-        let put = KvCommand::Put { key: "k".into(), value: b"v".to_vec() }.to_wire();
+        let put = KvCommand::Put {
+            key: "k".into(),
+            value: b"v".to_vec(),
+        }
+        .to_wire();
         a.apply(&put);
         assert_ne!(a.state_digest(), b.state_digest());
         b.apply(&put);
@@ -430,31 +484,65 @@ mod tests {
     #[test]
     fn auction_lifecycle() {
         let mut house = AuctionHouse::new();
-        let open = AuctionCommand::Open { item: "vase".into(), reserve: 100 }.to_wire();
-        assert_eq!(AuctionResponse::from_wire(&house.apply(&open)).unwrap(), AuctionResponse::Ok);
+        let open = AuctionCommand::Open {
+            item: "vase".into(),
+            reserve: 100,
+        }
+        .to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&open)).unwrap(),
+            AuctionResponse::Ok
+        );
 
-        let low = AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(1), amount: 50 }.to_wire();
+        let low = AuctionCommand::Bid {
+            item: "vase".into(),
+            bidder: ProcessId(1),
+            amount: 50,
+        }
+        .to_wire();
         assert_eq!(
             AuctionResponse::from_wire(&house.apply(&low)).unwrap(),
             AuctionResponse::Rejected
         );
 
-        let ok = AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(1), amount: 150 }.to_wire();
-        assert_eq!(AuctionResponse::from_wire(&house.apply(&ok)).unwrap(), AuctionResponse::Ok);
+        let ok = AuctionCommand::Bid {
+            item: "vase".into(),
+            bidder: ProcessId(1),
+            amount: 150,
+        }
+        .to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&ok)).unwrap(),
+            AuctionResponse::Ok
+        );
 
-        let not_better =
-            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(2), amount: 150 }.to_wire();
+        let not_better = AuctionCommand::Bid {
+            item: "vase".into(),
+            bidder: ProcessId(2),
+            amount: 150,
+        }
+        .to_wire();
         assert_eq!(
             AuctionResponse::from_wire(&house.apply(&not_better)).unwrap(),
             AuctionResponse::Rejected
         );
 
-        let better =
-            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(2), amount: 200 }.to_wire();
-        assert_eq!(AuctionResponse::from_wire(&house.apply(&better)).unwrap(), AuctionResponse::Ok);
+        let better = AuctionCommand::Bid {
+            item: "vase".into(),
+            bidder: ProcessId(2),
+            amount: 200,
+        }
+        .to_wire();
+        assert_eq!(
+            AuctionResponse::from_wire(&house.apply(&better)).unwrap(),
+            AuctionResponse::Ok
+        );
         assert_eq!(house.best_bid("vase"), Some((ProcessId(2), 200)));
 
-        let close = AuctionCommand::Close { item: "vase".into() }.to_wire();
+        let close = AuctionCommand::Close {
+            item: "vase".into(),
+        }
+        .to_wire();
         assert_eq!(
             AuctionResponse::from_wire(&house.apply(&close)).unwrap(),
             AuctionResponse::Closed(Some((ProcessId(2), 200)))
@@ -464,8 +552,12 @@ mod tests {
             AuctionResponse::from_wire(&house.apply(&close)).unwrap(),
             AuctionResponse::Rejected
         );
-        let late =
-            AuctionCommand::Bid { item: "vase".into(), bidder: ProcessId(3), amount: 500 }.to_wire();
+        let late = AuctionCommand::Bid {
+            item: "vase".into(),
+            bidder: ProcessId(3),
+            amount: 500,
+        }
+        .to_wire();
         assert_eq!(
             AuctionResponse::from_wire(&house.apply(&late)).unwrap(),
             AuctionResponse::Rejected
@@ -475,7 +567,12 @@ mod tests {
     #[test]
     fn auction_unknown_item_and_garbage() {
         let mut house = AuctionHouse::new();
-        let bid = AuctionCommand::Bid { item: "ghost".into(), bidder: ProcessId(1), amount: 10 }.to_wire();
+        let bid = AuctionCommand::Bid {
+            item: "ghost".into(),
+            bidder: ProcessId(1),
+            amount: 10,
+        }
+        .to_wire();
         assert_eq!(
             AuctionResponse::from_wire(&house.apply(&bid)).unwrap(),
             AuctionResponse::Rejected
@@ -490,8 +587,15 @@ mod tests {
     #[test]
     fn auction_command_round_trip() {
         let cmds = vec![
-            AuctionCommand::Open { item: "x".into(), reserve: 5 },
-            AuctionCommand::Bid { item: "x".into(), bidder: ProcessId(7), amount: 9 },
+            AuctionCommand::Open {
+                item: "x".into(),
+                reserve: 5,
+            },
+            AuctionCommand::Bid {
+                item: "x".into(),
+                bidder: ProcessId(7),
+                amount: 9,
+            },
             AuctionCommand::Close { item: "x".into() },
         ];
         for c in cmds {
@@ -512,7 +616,11 @@ mod tests {
     fn identical_command_sequences_converge() {
         let cmds: Vec<Vec<u8>> = (0..50)
             .map(|i| {
-                KvCommand::Put { key: format!("k{}", i % 7), value: vec![i as u8; 3] }.to_wire()
+                KvCommand::Put {
+                    key: format!("k{}", i % 7),
+                    value: vec![i as u8; 3],
+                }
+                .to_wire()
             })
             .collect();
         let mut a = KvStore::new();

@@ -153,7 +153,10 @@ pub struct EchoMachine {
 impl EchoMachine {
     /// Creates an echo machine that acknowledges every input.
     pub fn new(fanout: usize) -> Self {
-        Self { log: Vec::new(), fanout }
+        Self {
+            log: Vec::new(),
+            fanout,
+        }
     }
 
     /// The inputs processed so far.
@@ -166,8 +169,10 @@ impl DeterministicMachine for EchoMachine {
     fn handle(&mut self, input: &MachineInput) -> Vec<MachineOutput> {
         self.log.push(input.bytes.clone());
         let mut out = vec![MachineOutput::new(input.source, input.bytes.clone())];
-        if self.fanout > 0 && self.log.len() % self.fanout == 0 {
-            out.push(MachineOutput::to_app(format!("count={}", self.log.len()).into_bytes()));
+        if self.fanout > 0 && self.log.len().is_multiple_of(self.fanout) {
+            out.push(MachineOutput::to_app(
+                format!("count={}", self.log.len()).into_bytes(),
+            ));
         }
         out
     }
@@ -194,7 +199,10 @@ mod tests {
         let mut m = EchoMachine::new(0);
         let input = MachineInput::from_peer(MemberId(2), b"abc".to_vec());
         let out = m.handle(&input);
-        assert_eq!(out, vec![MachineOutput::to_peer(MemberId(2), b"abc".to_vec())]);
+        assert_eq!(
+            out,
+            vec![MachineOutput::to_peer(MemberId(2), b"abc".to_vec())]
+        );
         assert_eq!(m.log(), &[b"abc".to_vec()]);
     }
 
@@ -232,7 +240,10 @@ mod tests {
     fn constructors_tag_endpoints() {
         assert_eq!(MachineInput::from_app(vec![]).source, Endpoint::LocalApp);
         assert_eq!(MachineInput::from_env(vec![]).source, Endpoint::Environment);
-        assert_eq!(MachineInput::from_peer(MemberId(1), vec![]).source, Endpoint::Peer(MemberId(1)));
+        assert_eq!(
+            MachineInput::from_peer(MemberId(1), vec![]).source,
+            Endpoint::Peer(MemberId(1))
+        );
         assert_eq!(MachineOutput::to_app(vec![]).dest, Endpoint::LocalApp);
     }
 

@@ -27,7 +27,10 @@ impl Wire for Request {
         enc.put_bytes(&self.command);
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
-        Ok(Self { id: RequestId::decode(dec)?, command: dec.get_bytes_owned()? })
+        Ok(Self {
+            id: RequestId::decode(dec)?,
+            command: dec.get_bytes_owned()?,
+        })
     }
 }
 
@@ -80,7 +83,12 @@ impl<A: std::fmt::Debug> std::fmt::Debug for Replica<A> {
 impl<A: AppStateMachine> Replica<A> {
     /// Creates a replica for group member `member` running `app`.
     pub fn new(member: MemberId, app: A) -> Self {
-        Self { member, app, executed: Default::default(), history: Vec::new() }
+        Self {
+            member,
+            app,
+            executed: Default::default(),
+            history: Vec::new(),
+        }
     }
 
     /// The member identity of this replica.
@@ -106,7 +114,11 @@ impl<A: AppStateMachine> Replica<A> {
         self.executed.insert(request.id.client, request.id.seq);
         self.history.push(request.id);
         let payload = self.app.apply(&request.command);
-        Some(Response { id: request.id, replica: self.member, payload })
+        Some(Response {
+            id: request.id,
+            replica: self.member,
+            payload,
+        })
     }
 
     /// Applies a request received as wire bytes; malformed requests are
@@ -135,7 +147,11 @@ mod tests {
     fn put(i: u64) -> Request {
         Request {
             id: RequestId::new(ProcessId(1), i),
-            command: KvCommand::Put { key: format!("k{i}"), value: vec![i as u8] }.to_wire(),
+            command: KvCommand::Put {
+                key: format!("k{i}"),
+                value: vec![i as u8],
+            }
+            .to_wire(),
         }
     }
 
@@ -143,7 +159,11 @@ mod tests {
     fn request_and_response_round_trip() {
         let r = put(3);
         assert_eq!(Request::from_wire(&r.to_wire()).unwrap(), r);
-        let resp = Response { id: r.id, replica: MemberId(2), payload: vec![1, 2] };
+        let resp = Response {
+            id: r.id,
+            replica: MemberId(2),
+            payload: vec![1, 2],
+        };
         assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
     }
 
@@ -152,7 +172,10 @@ mod tests {
         let mut r = Replica::new(MemberId(0), KvStore::new());
         let resp = r.deliver(&put(1)).unwrap();
         assert_eq!(resp.replica, MemberId(0));
-        assert_eq!(KvResponse::from_wire(&resp.payload).unwrap(), KvResponse::Ok);
+        assert_eq!(
+            KvResponse::from_wire(&resp.payload).unwrap(),
+            KvResponse::Ok
+        );
         assert_eq!(r.history().len(), 1);
         assert_eq!(r.app().applied(), 1);
     }
@@ -171,8 +194,14 @@ mod tests {
     #[test]
     fn different_clients_are_independent() {
         let mut r = Replica::new(MemberId(0), KvStore::new());
-        let a = Request { id: RequestId::new(ProcessId(1), 1), command: put(1).command };
-        let b = Request { id: RequestId::new(ProcessId(2), 1), command: put(1).command };
+        let a = Request {
+            id: RequestId::new(ProcessId(1), 1),
+            command: put(1).command,
+        };
+        let b = Request {
+            id: RequestId::new(ProcessId(2), 1),
+            command: put(1).command,
+        };
         assert!(r.deliver(&a).is_some());
         assert!(r.deliver(&b).is_some());
     }

@@ -131,9 +131,18 @@ mod tests {
         let mut v = MajorityVoter::new(1); // 3 replicas, quorum 2
         assert_eq!(v.quorum(), 2);
         assert_eq!(v.on_response(&resp(1, 0, b"ok")), VoteOutcome::Pending);
-        assert_eq!(v.on_response(&resp(1, 1, b"ok")), VoteOutcome::Decided(b"ok".to_vec()));
-        assert_eq!(v.decision(RequestId::new(ProcessId(9), 1)), Some(b"ok".as_slice()));
-        assert_eq!(v.on_response(&resp(1, 2, b"ok")), VoteOutcome::AlreadyDecided);
+        assert_eq!(
+            v.on_response(&resp(1, 1, b"ok")),
+            VoteOutcome::Decided(b"ok".to_vec())
+        );
+        assert_eq!(
+            v.decision(RequestId::new(ProcessId(9), 1)),
+            Some(b"ok".as_slice())
+        );
+        assert_eq!(
+            v.on_response(&resp(1, 2, b"ok")),
+            VoteOutcome::AlreadyDecided
+        );
         assert_eq!(v.decided_count(), 1);
         assert_eq!(v.pending_count(), 0);
     }
@@ -144,7 +153,10 @@ mod tests {
         // The faulty replica answers first with a wrong value.
         assert_eq!(v.on_response(&resp(1, 2, b"WRONG")), VoteOutcome::Pending);
         assert_eq!(v.on_response(&resp(1, 0, b"right")), VoteOutcome::Pending);
-        assert_eq!(v.on_response(&resp(1, 1, b"right")), VoteOutcome::Decided(b"right".to_vec()));
+        assert_eq!(
+            v.on_response(&resp(1, 1, b"right")),
+            VoteOutcome::Decided(b"right".to_vec())
+        );
     }
 
     #[test]
@@ -154,14 +166,20 @@ mod tests {
         assert_eq!(v.on_response(&resp(7, 1, b"b")), VoteOutcome::Pending);
         assert_eq!(v.on_response(&resp(7, 2, b"a")), VoteOutcome::Pending);
         assert_eq!(v.on_response(&resp(7, 3, b"b")), VoteOutcome::Pending);
-        assert_eq!(v.on_response(&resp(7, 4, b"a")), VoteOutcome::Decided(b"a".to_vec()));
+        assert_eq!(
+            v.on_response(&resp(7, 4, b"a")),
+            VoteOutcome::Decided(b"a".to_vec())
+        );
     }
 
     #[test]
     fn detects_equivocation() {
         let mut v = MajorityVoter::new(1);
         assert_eq!(v.on_response(&resp(1, 0, b"x")), VoteOutcome::Pending);
-        assert_eq!(v.on_response(&resp(1, 0, b"y")), VoteOutcome::Equivocation(MemberId(0)));
+        assert_eq!(
+            v.on_response(&resp(1, 0, b"y")),
+            VoteOutcome::Equivocation(MemberId(0))
+        );
         assert_eq!(v.equivocators(), &[MemberId(0)]);
         // An exact duplicate is not equivocation.
         assert_eq!(v.on_response(&resp(1, 0, b"x")), VoteOutcome::Pending);
@@ -173,9 +191,15 @@ mod tests {
         let mut v = MajorityVoter::new(1);
         assert_eq!(v.on_response(&resp(1, 0, b"a")), VoteOutcome::Pending);
         assert_eq!(v.on_response(&resp(2, 0, b"b")), VoteOutcome::Pending);
-        assert_eq!(v.on_response(&resp(2, 1, b"b")), VoteOutcome::Decided(b"b".to_vec()));
+        assert_eq!(
+            v.on_response(&resp(2, 1, b"b")),
+            VoteOutcome::Decided(b"b".to_vec())
+        );
         assert_eq!(v.pending_count(), 1);
-        assert_eq!(v.on_response(&resp(1, 1, b"a")), VoteOutcome::Decided(b"a".to_vec()));
+        assert_eq!(
+            v.on_response(&resp(1, 1, b"a")),
+            VoteOutcome::Decided(b"a".to_vec())
+        );
         assert_eq!(v.pending_count(), 0);
     }
 
@@ -183,6 +207,9 @@ mod tests {
     fn f_zero_decides_on_first_response() {
         let mut v = MajorityVoter::new(0);
         assert_eq!(v.quorum(), 1);
-        assert_eq!(v.on_response(&resp(1, 0, b"solo")), VoteOutcome::Decided(b"solo".to_vec()));
+        assert_eq!(
+            v.on_response(&resp(1, 0, b"solo")),
+            VoteOutcome::Decided(b"solo".to_vec())
+        );
     }
 }

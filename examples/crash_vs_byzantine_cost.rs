@@ -18,7 +18,10 @@ fn main() {
     println!("== crash tolerance vs authenticated Byzantine tolerance ==\n");
 
     println!("space cost (nodes needed to mask f Byzantine faults):");
-    println!("{:>3} {:>14} {:>14} {:>14}", "f", "2f+1 replicas", "FS: 4f+2", "classical 3f+1");
+    println!(
+        "{:>3} {:>14} {:>14} {:>14}",
+        "f", "2f+1 replicas", "FS: 4f+2", "classical 3f+1"
+    );
     for f in 1..=3 {
         let b = NodeBudget::new(f);
         println!(

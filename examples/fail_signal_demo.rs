@@ -11,6 +11,7 @@
 
 use std::sync::Arc;
 
+use fs_smr_suite::common::codec::Wire;
 use fs_smr_suite::common::id::{FsId, ProcessId};
 use fs_smr_suite::common::rng::DetRng;
 use fs_smr_suite::common::time::{SimDuration, SimTime};
@@ -24,7 +25,6 @@ use fs_smr_suite::simnet::actor::{Actor, Context};
 use fs_smr_suite::simnet::node::NodeConfig;
 use fs_smr_suite::simnet::sim::Simulation;
 use fs_smr_suite::smr::machine::{EchoMachine, Endpoint};
-use fs_smr_suite::common::codec::Wire;
 
 const LEADER: ProcessId = ProcessId(0);
 const FOLLOWER: ProcessId = ProcessId(1);
@@ -58,7 +58,10 @@ struct Client {
 
 impl Actor for Client {
     fn on_start(&mut self, ctx: &mut dyn Context) {
-        ctx.set_timer(SimDuration::from_millis(10), fs_smr_suite::simnet::TimerId(1));
+        ctx.set_timer(
+            SimDuration::from_millis(10),
+            fs_smr_suite::simnet::TimerId(1),
+        );
     }
     fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
     fn on_timer(&mut self, ctx: &mut dyn Context, _timer: fs_smr_suite::simnet::TimerId) {
@@ -69,7 +72,10 @@ impl Actor for Client {
         ctx.send(self.targets.0, request.clone());
         ctx.send(self.targets.1, request);
         self.sent += 1;
-        ctx.set_timer(SimDuration::from_millis(20), fs_smr_suite::simnet::TimerId(1));
+        ctx.set_timer(
+            SimDuration::from_millis(20),
+            fs_smr_suite::simnet::TimerId(1),
+        );
     }
 }
 
@@ -102,20 +108,37 @@ fn run_scenario(title: &str, fault: Option<FaultPlan>) {
         None => Box::new(follower),
     };
     sim.spawn_with(FOLLOWER, node_b, follower_actor);
-    sim.spawn_with(CLIENT, node_c, Box::new(Client { targets: (LEADER, FOLLOWER), to_send: 5, sent: 0 }));
+    sim.spawn_with(
+        CLIENT,
+        node_c,
+        Box::new(Client {
+            targets: (LEADER, FOLLOWER),
+            to_send: 5,
+            sent: 0,
+        }),
+    );
 
     let mut receiver = FsReceiver::new(directory);
     receiver.register_source(FsId(1), spec.signers());
     sim.spawn_with(
         DESTINATION,
         node_c,
-        Box::new(Destination { receiver, outputs: Vec::new(), fail_signals: Vec::new() }),
+        Box::new(Destination {
+            receiver,
+            outputs: Vec::new(),
+            fail_signals: Vec::new(),
+        }),
     );
 
     sim.run_until(SimTime::from_secs(30));
 
-    let destination = sim.actor::<Destination>(DESTINATION).expect("destination exists");
-    println!("valid outputs accepted by the destination: {}", destination.outputs.len());
+    let destination = sim
+        .actor::<Destination>(DESTINATION)
+        .expect("destination exists");
+    println!(
+        "valid outputs accepted by the destination: {}",
+        destination.outputs.len()
+    );
     for out in destination.outputs.iter().take(3) {
         println!("  output: {}", String::from_utf8_lossy(out));
     }
@@ -131,10 +154,16 @@ fn run_scenario(title: &str, fault: Option<FaultPlan>) {
 
 fn main() {
     println!("== the fail-signal (FS) process construction ==");
-    run_scenario("failure-free run: every output is compared and double-signed", None);
+    run_scenario(
+        "failure-free run: every output is compared and double-signed",
+        None,
+    );
     run_scenario(
         "one replica starts corrupting its outputs (authenticated Byzantine fault)",
-        Some(FaultPlan::after(4, FaultKind::CorruptOutputs { probability: 1.0 })),
+        Some(FaultPlan::after(
+            4,
+            FaultKind::CorruptOutputs { probability: 1.0 },
+        )),
     );
     run_scenario(
         "one replica crashes silently: the partner's comparison timeout converts it into a fail-signal",

@@ -34,7 +34,10 @@ fn main() {
     for (i, (origin, seq)) in fs.app(0).delivery_log().iter().enumerate().take(10) {
         println!("  order {i:>2}: message {seq} from member {}", origin.0);
     }
-    println!("  ... {} deliveries in total\n", fs.app(0).delivery_log().len());
+    println!(
+        "  ... {} deliveries in total\n",
+        fs.app(0).delivery_log().len()
+    );
 
     for i in 1..members {
         assert_eq!(
@@ -55,7 +58,11 @@ fn main() {
     // The crash-tolerant baseline, for comparison.
     let mut newtop = build_newtop(&params);
     newtop.run(SimTime::from_secs(300));
-    let nt_latency = newtop.app(0).latencies().summary().expect("latencies recorded");
+    let nt_latency = newtop
+        .app(0)
+        .latencies()
+        .summary()
+        .expect("latencies recorded");
     println!(
         "NewTOP    ordering latency: mean {:.1} ms, p95 {:.1} ms",
         nt_latency.mean.as_millis_f64(),

@@ -12,12 +12,12 @@
 //! cargo run --example replicated_auction
 //! ```
 
+use fs_smr_suite::common::codec::Wire;
 use fs_smr_suite::common::id::{MemberId, ProcessId};
 use fs_smr_suite::common::NodeBudget;
 use fs_smr_suite::smr::command::{AuctionCommand, AuctionHouse, AuctionResponse};
 use fs_smr_suite::smr::replica::{Replica, Request, Response};
 use fs_smr_suite::smr::ReplicatedClient;
-use fs_smr_suite::common::codec::Wire;
 
 fn main() {
     let faults = 1;
@@ -41,11 +41,28 @@ fn main() {
     let mut client = ReplicatedClient::new(ProcessId(100), faults as usize);
 
     let commands = vec![
-        AuctionCommand::Open { item: "violin".into(), reserve: 1_000 },
-        AuctionCommand::Bid { item: "violin".into(), bidder: ProcessId(7), amount: 1_200 },
-        AuctionCommand::Bid { item: "violin".into(), bidder: ProcessId(8), amount: 1_500 },
-        AuctionCommand::Bid { item: "violin".into(), bidder: ProcessId(7), amount: 1_400 },
-        AuctionCommand::Close { item: "violin".into() },
+        AuctionCommand::Open {
+            item: "violin".into(),
+            reserve: 1_000,
+        },
+        AuctionCommand::Bid {
+            item: "violin".into(),
+            bidder: ProcessId(7),
+            amount: 1_200,
+        },
+        AuctionCommand::Bid {
+            item: "violin".into(),
+            bidder: ProcessId(8),
+            amount: 1_500,
+        },
+        AuctionCommand::Bid {
+            item: "violin".into(),
+            bidder: ProcessId(7),
+            amount: 1_400,
+        },
+        AuctionCommand::Close {
+            item: "violin".into(),
+        },
     ];
 
     for command in commands {
@@ -78,7 +95,10 @@ fn main() {
 
     println!(
         "\nreplica state digests: {:?} (correct replicas agree)",
-        replicas.iter().map(|r| r.state_digest()).collect::<Vec<_>>()
+        replicas
+            .iter()
+            .map(|r| r.state_digest())
+            .collect::<Vec<_>>()
     );
     println!(
         "client suspected replicas (equivocation evidence): {:?}",

@@ -29,9 +29,17 @@ fn check_agreement(
     deployment.run(SimTime::from_secs(3_000));
     let expected = u64::from(members) * messages;
     let reference = deployment.app(0).delivery_log().to_vec();
-    assert_eq!(reference.len() as u64, expected, "member 0 must deliver everything");
+    assert_eq!(
+        reference.len() as u64,
+        expected,
+        "member 0 must deliver everything"
+    );
     for i in 1..members {
-        assert_eq!(deployment.app(i).delivery_log(), reference.as_slice(), "member {i} diverged");
+        assert_eq!(
+            deployment.app(i).delivery_log(),
+            reference.as_slice(),
+            "member {i} diverged"
+        );
     }
 }
 
@@ -53,7 +61,11 @@ fn fs_newtop_groups_of_various_sizes_agree() {
 
 #[test]
 fn fs_newtop_asymmetric_and_causal_services_work_end_to_end() {
-    for service in [ServiceKind::AsymmetricTotal, ServiceKind::Causal, ServiceKind::Reliable] {
+    for service in [
+        ServiceKind::AsymmetricTotal,
+        ServiceKind::Causal,
+        ServiceKind::Reliable,
+    ] {
         let traffic = quick_traffic(4).with_service(service);
         let params = DeploymentParams::paper(3).with_traffic(traffic);
         let mut deployment = build_fs_newtop(&params);
@@ -94,10 +106,15 @@ fn newtop_runs_on_the_real_threaded_runtime() {
     let nso_pid = |i: u32| ProcessId(2 * i + 1);
     let group: Vec<MemberId> = (0..members).map(MemberId).collect();
 
-    let mut builder = ThreadedBuilder::new(ThreadedConfig { cpu_charge_scale: 0.0, seed: 5 });
+    let mut builder = ThreadedBuilder::new(ThreadedConfig {
+        cpu_charge_scale: 0.0,
+        seed: 5,
+    });
     for i in 0..members {
-        let peers: BTreeMap<MemberId, ProcessId> =
-            (0..members).filter(|j| *j != i).map(|j| (MemberId(j), nso_pid(j))).collect();
+        let peers: BTreeMap<MemberId, ProcessId> = (0..members)
+            .filter(|j| *j != i)
+            .map(|j| (MemberId(j), nso_pid(j)))
+            .collect();
         let nso = NsoActor::new(
             GcConfig::new(MemberId(i), group.clone()),
             AddressBook::new(app_pid(i), peers),
@@ -107,7 +124,10 @@ fn newtop_runs_on_the_real_threaded_runtime() {
         let traffic = TrafficConfig::paper_default()
             .with_messages(messages)
             .with_interval(SimDuration::from_millis(10));
-        builder.add_with(app_pid(i), Box::new(AppProcess::new(MemberId(i), nso_pid(i), traffic)));
+        builder.add_with(
+            app_pid(i),
+            Box::new(AppProcess::new(MemberId(i), nso_pid(i), traffic)),
+        );
     }
     let runtime = builder.start();
 
@@ -133,6 +153,9 @@ fn newtop_runs_on_the_real_threaded_runtime() {
         logs.push(app.delivery_log().to_vec());
     }
     for log in &logs[1..] {
-        assert_eq!(log, &logs[0], "threaded members must agree on the total order");
+        assert_eq!(
+            log, &logs[0],
+            "threaded members must agree on the total order"
+        );
     }
 }

@@ -102,12 +102,19 @@ fn run_campaign(fault: Option<FaultPlan>, requests: u32) -> (Vec<Vec<u8>>, Vec<F
     sim.spawn_with(
         DESTINATION,
         node_c,
-        Box::new(Destination { receiver, outputs: Vec::new(), fail_signals: Vec::new() }),
+        Box::new(Destination {
+            receiver,
+            outputs: Vec::new(),
+            fail_signals: Vec::new(),
+        }),
     );
 
     sim.run_until(SimTime::from_secs(60));
     let destination = sim.actor::<Destination>(DESTINATION).expect("destination");
-    (destination.outputs.clone(), destination.fail_signals.clone())
+    (
+        destination.outputs.clone(),
+        destination.fail_signals.clone(),
+    )
 }
 
 #[test]
@@ -124,7 +131,11 @@ fn failure_free_pair_delivers_every_request_exactly_once() {
 fn corrupting_replica_is_converted_into_a_fail_signal() {
     let fault = FaultPlan::after(6, FaultKind::CorruptOutputs { probability: 1.0 });
     let (outputs, fail_signals) = run_campaign(Some(fault), 10);
-    assert_eq!(fail_signals, vec![FsId(1)], "destination must learn the process failed");
+    assert_eq!(
+        fail_signals,
+        vec![FsId(1)],
+        "destination must learn the process failed"
+    );
     // Some outputs were validated before the fault struck; none after.
     assert!(!outputs.is_empty());
     assert!(outputs.len() < 10);

@@ -22,7 +22,11 @@ use fs_smr_suite::smr::RequestId;
 
 /// Runs a whole group of GC machines to quiescence, routing every output
 /// immediately, and returns each member's delivery order.
-fn run_group(members: u32, multicasts: &[(u32, Vec<u8>)], service: ServiceKind) -> Vec<Vec<(u32, u64)>> {
+fn run_group(
+    members: u32,
+    multicasts: &[(u32, Vec<u8>)],
+    service: ServiceKind,
+) -> Vec<Vec<(u32, u64)>> {
     let group: Vec<MemberId> = (0..members).map(MemberId).collect();
     let mut machines: Vec<GcMachine> = group
         .iter()
@@ -31,7 +35,11 @@ fn run_group(members: u32, multicasts: &[(u32, Vec<u8>)], service: ServiceKind) 
 
     let mut queue: Vec<(MemberId, MachineOutput)> = Vec::new();
     for (sender, payload) in multicasts {
-        let request = AppRequest { service, payload: payload.clone() }.to_wire();
+        let request = AppRequest {
+            service,
+            payload: payload.clone(),
+        }
+        .to_wire();
         let outputs = machines[*sender as usize].handle(&MachineInput::from_app(request));
         queue.extend(outputs.into_iter().map(|o| (MemberId(*sender), o)));
         // Drain to quiescence after every multicast (in-order network).

@@ -1,0 +1,229 @@
+//! Vendored, minimal benchmark harness standing in for `criterion`.
+//!
+//! The build environment has no crates.io access, so this workspace ships a
+//! small API-compatible subset: `criterion_group!`/`criterion_main!`,
+//! benchmark groups with `bench_function`/`bench_with_input`, and a
+//! [`Bencher`] whose `iter` measures wall-clock time over a fixed number of
+//! iterations and prints a per-benchmark summary line.  No statistical
+//! analysis or HTML reports are produced.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer identity function.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// The benchmark processes this many bytes per iteration.
+    Bytes(u64),
+    /// The benchmark processes this many logical elements per iteration.
+    Elements(u64),
+}
+
+/// Identifier combining a function name and an input parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `function/parameter`.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Runs closures and measures their wall-clock time.
+#[derive(Debug)]
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Measures `routine` over the configured number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    sample_size: u64,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of iterations per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = (n as u64).max(1);
+        self
+    }
+
+    /// Declares the amount of work one iteration performs.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    /// Runs a benchmark parameterised by `input`.
+    pub fn bench_with_input<I, R: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: R,
+    ) -> &mut Self {
+        let mut bencher = Bencher {
+            iterations: self.sample_size,
+            elapsed: Duration::ZERO,
+        };
+        routine(&mut bencher, input);
+        self.report(&id.to_string(), &bencher);
+        self
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let per_iter = if bencher.iterations > 0 {
+            bencher.elapsed.as_secs_f64() / bencher.iterations as f64
+        } else {
+            0.0
+        };
+        let mut line = format!(
+            "{}/{}: {:.3} ms/iter ({} iters)",
+            self.name,
+            id,
+            per_iter * 1e3,
+            bencher.iterations
+        );
+        if let Some(t) = self.throughput {
+            match t {
+                Throughput::Bytes(bytes) if per_iter > 0.0 => {
+                    line.push_str(&format!(
+                        ", {:.1} MiB/s",
+                        bytes as f64 / per_iter / (1024.0 * 1024.0)
+                    ));
+                }
+                Throughput::Elements(n) if per_iter > 0.0 => {
+                    line.push_str(&format!(", {:.0} elem/s", n as f64 / per_iter));
+                }
+                _ => {}
+            }
+        }
+        println!("{line}");
+        let _ = &self.criterion;
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+        }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<R: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        routine: R,
+    ) -> &mut Self {
+        self.benchmark_group("bench").bench_function(id, routine);
+        self
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.throughput(Throughput::Bytes(8));
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2)));
+        group.bench_with_input(BenchmarkId::new("mul", 7), &7u64, |b, &n| {
+            b.iter(|| black_box(n) * 3)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,105 @@
+//! Vendored, minimal subset of `crossbeam-channel` used by `fs-simnet`'s
+//! threaded runtime, implemented over `std::sync::mpsc`.
+//!
+//! Only the unbounded-channel surface the suite uses is provided:
+//! [`unbounded`], cloneable [`Sender`]s, and a [`Receiver`] supporting
+//! `recv`/`recv_timeout`.
+
+pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+use std::sync::mpsc;
+use std::time::Duration;
+
+/// The sending half of an unbounded channel.
+#[derive(Debug)]
+pub struct Sender<T> {
+    inner: mpsc::Sender<T>,
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        Sender {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<T> Sender<T> {
+    /// Sends `value`, failing only when the receiver has been dropped.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SendError`] holding the rejected value when the channel is
+    /// disconnected.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        self.inner.send(value)
+    }
+}
+
+/// The receiving half of an unbounded channel.
+#[derive(Debug)]
+pub struct Receiver<T> {
+    inner: mpsc::Receiver<T>,
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvError`] when every sender has been dropped.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        self.inner.recv()
+    }
+
+    /// Blocks until a message arrives or `timeout` elapses.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RecvTimeoutError::Timeout`] on expiry and
+    /// [`RecvTimeoutError::Disconnected`] when every sender has been dropped.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+        self.inner.recv_timeout(timeout)
+    }
+
+    /// Non-blocking receive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TryRecvError::Empty`] when no message is waiting and
+    /// [`TryRecvError::Disconnected`] when every sender has been dropped.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        self.inner.try_recv()
+    }
+}
+
+/// Creates an unbounded channel.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    let (tx, rx) = mpsc::channel();
+    (Sender { inner: tx }, Receiver { inner: rx })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_and_recv() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        tx.send(1).unwrap();
+        tx2.send(2).unwrap();
+        assert_eq!(rx.recv().unwrap(), 1);
+        assert_eq!(rx.recv().unwrap(), 2);
+    }
+
+    #[test]
+    fn timeout_fires() {
+        let (tx, rx) = unbounded::<u8>();
+        let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Timeout);
+        drop(tx);
+        let err = rx.recv_timeout(Duration::from_millis(1)).unwrap_err();
+        assert_eq!(err, RecvTimeoutError::Disconnected);
+    }
+}

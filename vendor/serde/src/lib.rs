@@ -1,0 +1,492 @@
+//! Vendored, minimal serialization framework standing in for `serde`.
+//!
+//! The build environment has no network access to crates.io, so the
+//! workspace ships this simplified replacement: instead of serde's
+//! visitor-based zero-copy data model, values are serialized into an owned
+//! [`Value`] tree which back-ends (e.g. the vendored `serde_json`) render to
+//! text.  The `#[derive(Serialize, Deserialize)]` macros are provided by the
+//! sibling `serde_derive` crate and target this same trait surface.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+use std::hash::Hash;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The intermediate, JSON-like value tree all (de)serialization goes
+/// through.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absence of a value (`null`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// An unsigned integer.
+    U64(u64),
+    /// A signed (negative) integer.
+    I64(i64),
+    /// A floating-point number.
+    F64(f64),
+    /// A UTF-8 string.
+    Str(String),
+    /// An ordered sequence.
+    Seq(Vec<Value>),
+    /// An ordered string-keyed map (insertion order preserved).
+    Map(Vec<(String, Value)>),
+}
+
+/// Error produced when a [`Value`] cannot be interpreted as the requested
+/// type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    /// Creates an error with a custom message.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+
+    /// The value had the wrong shape for `expected`.
+    pub fn type_mismatch(expected: &str) -> Self {
+        Error(format!("value does not have the shape of {expected}"))
+    }
+
+    /// A map was missing field `field`.
+    pub fn missing_field(field: &str, ty: &str) -> Self {
+        Error(format!("missing field `{field}` while reading {ty}"))
+    }
+
+    /// An enum tag did not name a known variant.
+    pub fn unknown_variant(variant: &str, ty: &str) -> Self {
+        Error(format!("unknown variant `{variant}` of {ty}"))
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Types convertible into the [`Value`] tree.
+pub trait Serialize {
+    /// Converts `self` into a [`Value`].
+    fn to_value(&self) -> Value;
+}
+
+/// Types reconstructible from the [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reads a value of this type out of `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`Error`] when `v` does not have the expected shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+// ---------------------------------------------------------------------------
+// Helpers used by the derive-generated code.
+// ---------------------------------------------------------------------------
+
+/// Interprets `v` as a map, or reports a shape mismatch for type `ty`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not a [`Value::Map`].
+pub fn value_as_map<'v>(v: &'v Value, ty: &str) -> Result<&'v [(String, Value)], Error> {
+    match v {
+        Value::Map(m) => Ok(m),
+        _ => Err(Error::type_mismatch(ty)),
+    }
+}
+
+/// Interprets `v` as a sequence, or reports a shape mismatch for type `ty`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when `v` is not a [`Value::Seq`].
+pub fn value_as_seq<'v>(v: &'v Value, ty: &str) -> Result<&'v [Value], Error> {
+    match v {
+        Value::Seq(s) => Ok(s),
+        _ => Err(Error::type_mismatch(ty)),
+    }
+}
+
+/// Looks up field `name` in a map produced by [`value_as_map`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the field is absent.
+pub fn map_field<'v>(m: &'v [(String, Value)], name: &str, ty: &str) -> Result<&'v Value, Error> {
+    m.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| Error::missing_field(name, ty))
+}
+
+/// Looks up element `index` in a sequence produced by [`value_as_seq`].
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the sequence is too short.
+pub fn seq_field<'v>(s: &'v [Value], index: usize, ty: &str) -> Result<&'v Value, Error> {
+    s.get(index)
+        .ok_or_else(|| Error::custom(format!("sequence too short for {ty}: no element {index}")))
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls.
+// ---------------------------------------------------------------------------
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(Error::type_mismatch("bool")),
+        }
+    }
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::U64(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw = match v {
+                    Value::U64(n) => *n,
+                    Value::I64(n) if *n >= 0 => *n as u64,
+                    _ => return Err(Error::type_mismatch(stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::U64(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = u64::from_value(v)?;
+        usize::try_from(raw).map_err(|_| Error::custom("integer out of range for usize"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let n = i64::from(*self);
+                if n >= 0 { Value::U64(n as u64) } else { Value::I64(n) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let raw: i64 = match v {
+                    Value::I64(n) => *n,
+                    Value::U64(n) => i64::try_from(*n)
+                        .map_err(|_| Error::custom("integer out of range"))?,
+                    _ => return Err(Error::type_mismatch(stringify!($t))),
+                };
+                <$t>::try_from(raw).map_err(|_| Error::custom(format!(
+                    "integer {raw} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        (*self as i64).to_value()
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let raw = i64::from_value(v)?;
+        isize::try_from(raw).map_err(|_| Error::custom("integer out of range for isize"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::F64(x) => Ok(*x),
+            Value::U64(n) => Ok(*n as f64),
+            Value::I64(n) => Ok(*n as f64),
+            _ => Err(Error::type_mismatch("f64")),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|x| x as f32)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(Error::type_mismatch("char")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err(Error::type_mismatch("String")),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            _ => Err(Error::type_mismatch("()")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        T::from_value(v).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            None => Value::Null,
+            Some(x) => x.to_value(),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        value_as_seq(v, "Vec")?.iter().map(T::from_value).collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| Error::custom(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($t:ident . $i:tt),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$i.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = value_as_seq(v, "tuple")?;
+                Ok(($($t::from_value(seq_field(s, $i, "tuple")?)?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // A deterministic order keeps serialized output stable; sort by the
+        // serialized key's debug form.
+        let mut entries: Vec<(Value, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| format!("{:?}", a.0).cmp(&format!("{:?}", b.0)));
+        Value::Seq(
+            entries
+                .into_iter()
+                .map(|(k, v)| Value::Seq(vec![k, v]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Eq + Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        value_as_seq(v, "HashMap")?
+            .iter()
+            .map(|entry| {
+                let pair = value_as_seq(entry, "HashMap entry")?;
+                Ok((
+                    K::from_value(seq_field(pair, 0, "HashMap entry")?)?,
+                    V::from_value(seq_field(pair, 1, "HashMap entry")?)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Seq(
+            self.iter()
+                .map(|(k, v)| Value::Seq(vec![k.to_value(), v.to_value()]))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Deserialize + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        value_as_seq(v, "BTreeMap")?
+            .iter()
+            .map(|entry| {
+                let pair = value_as_seq(entry, "BTreeMap entry")?;
+                Ok((
+                    K::from_value(seq_field(pair, 0, "BTreeMap entry")?)?,
+                    V::from_value(seq_field(pair, 1, "BTreeMap entry")?)?,
+                ))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u32::from_value(&7u32.to_value()).unwrap(), 7);
+        assert_eq!(i32::from_value(&(-7i32).to_value()).unwrap(), -7);
+        assert_eq!(
+            String::from_value(&"hi".to_string().to_value()).unwrap(),
+            "hi"
+        );
+        assert_eq!(
+            Option::<u8>::from_value(&None::<u8>.to_value()).unwrap(),
+            None
+        );
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(Vec::<u8>::from_value(&v.to_value()).unwrap(), v);
+        let a: [u8; 3] = [4, 5, 6];
+        assert_eq!(<[u8; 3]>::from_value(&a.to_value()).unwrap(), a);
+    }
+
+    #[test]
+    fn wrong_shape_is_reported() {
+        assert!(bool::from_value(&Value::U64(1)).is_err());
+        assert!(<[u8; 2]>::from_value(&vec![1u8].to_value()).is_err());
+    }
+}

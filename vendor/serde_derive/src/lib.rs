@@ -1,0 +1,493 @@
+//! Vendored `#[derive(Serialize, Deserialize)]` macros for the minimal
+//! serde shim.
+//!
+//! The build environment has no crates.io access, so this derive is written
+//! directly against `proc_macro` (no `syn`/`quote`).  It supports the item
+//! shapes used in this workspace: unit/tuple/named structs, enums with
+//! unit/tuple/named variants (with optional discriminants), and simple
+//! unbounded type parameters (`struct Foo<T> { .. }`).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Kind {
+    UnitStruct,
+    TupleStruct(usize),
+    NamedStruct(Vec<String>),
+    Enum(Vec<Variant>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct TypeDef {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+/// Derives `serde::Serialize` (value-tree model) for a struct or enum.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_serialize(&def)
+        .parse()
+        .expect("generated Serialize impl parses")
+}
+
+/// Derives `serde::Deserialize` (value-tree model) for a struct or enum.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let def = parse(input);
+    gen_deserialize(&def)
+        .parse()
+        .expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+/// Rejects `#[serde(...)]` attributes: the shim does not implement their
+/// semantics, and silently ignoring them would corrupt serialized output
+/// without any diagnostic.  `attr` is the `[...]` group of a skipped
+/// attribute.
+fn reject_serde_attr(attr: &TokenTree) {
+    if let TokenTree::Group(g) = attr {
+        if let Some(TokenTree::Ident(id)) = g.stream().into_iter().next() {
+            if id.to_string() == "serde" {
+                panic!(
+                    "the vendored serde shim does not support #[serde(...)] attributes \
+                     (found `#[{}]`); remove the attribute or extend vendor/serde_derive",
+                    g.stream()
+                );
+            }
+        }
+    }
+}
+
+fn parse(input: TokenStream) -> TypeDef {
+    let mut toks = input.into_iter().peekable();
+
+    // Skip attributes and visibility.
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                if let Some(attr) = toks.next() {
+                    reject_serde_attr(&attr); // the [...] group
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let item_kind = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected item name, found {other:?}"),
+    };
+
+    // Generic parameter list: collect bare type parameter identifiers.
+    let mut generics = Vec::new();
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            toks.next();
+            let mut depth = 1usize;
+            let mut at_param_start = true;
+            while depth > 0 {
+                match toks.next().expect("unclosed generic parameter list") {
+                    TokenTree::Punct(p) => match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        ',' if depth == 1 => at_param_start = true,
+                        _ => at_param_start = false,
+                    },
+                    TokenTree::Ident(id) => {
+                        if depth == 1 && at_param_start && id.to_string() != "const" {
+                            generics.push(id.to_string());
+                        }
+                        at_param_start = false;
+                    }
+                    _ => at_param_start = false,
+                }
+            }
+        }
+    }
+
+    let kind = match item_kind.as_str() {
+        "struct" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_top_level_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("expected enum body, found {other:?}"),
+        },
+        other => panic!("cannot derive for item kind `{other}`"),
+    };
+
+    TypeDef {
+        name,
+        generics,
+        kind,
+    }
+}
+
+/// Parses `a: T, pub b: U, ...`, returning the field names.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility before the field name.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(attr) = toks.next() {
+                        reject_serde_attr(&attr);
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(field) = tree else {
+            panic!("expected field name, found {tree:?}")
+        };
+        fields.push(field.to_string());
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("expected `:` after field `{field}`, found {other:?}"),
+        }
+        skip_type_until_comma(&mut toks);
+    }
+    fields
+}
+
+/// Consumes a type expression, stopping after the `,` that ends it (or at
+/// end of stream).  Tracks `<...>` nesting so commas inside generics do not
+/// terminate the field.
+fn skip_type_until_comma(toks: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut angle = 0usize;
+    let mut prev_dash = false;
+    while let Some(tree) = toks.next() {
+        match &tree {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                match c {
+                    '<' => angle += 1,
+                    '>' if prev_dash => {} // `->` in an fn type
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => return,
+                    _ => {}
+                }
+                prev_dash = c == '-';
+            }
+            _ => prev_dash = false,
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct / tuple variant body.
+fn count_top_level_fields(stream: TokenStream) -> usize {
+    let mut toks = stream.into_iter().peekable();
+    let mut count = 0usize;
+    while toks.peek().is_some() {
+        count += 1;
+        // Skip attributes and visibility, then the type.
+        loop {
+            match toks.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    toks.next();
+                    if let Some(attr) = toks.next() {
+                        reject_serde_attr(&attr);
+                    }
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    toks.next();
+                    if let Some(TokenTree::Group(g)) = toks.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            toks.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        skip_type_until_comma(&mut toks);
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut toks = stream.into_iter().peekable();
+    loop {
+        // Skip attributes before the variant name.
+        while let Some(TokenTree::Punct(p)) = toks.peek() {
+            if p.as_char() == '#' {
+                toks.next();
+                if let Some(attr) = toks.next() {
+                    reject_serde_attr(&attr);
+                }
+            } else {
+                break;
+            }
+        }
+        let Some(tree) = toks.next() else { break };
+        let TokenTree::Ident(name) = tree else {
+            panic!("expected variant name, found {tree:?}")
+        };
+        let mut kind = VariantKind::Unit;
+        if let Some(TokenTree::Group(g)) = toks.peek() {
+            match g.delimiter() {
+                Delimiter::Parenthesis => {
+                    kind = VariantKind::Tuple(count_top_level_fields(g.stream()));
+                    toks.next();
+                }
+                Delimiter::Brace => {
+                    kind = VariantKind::Named(parse_named_fields(g.stream()));
+                    toks.next();
+                }
+                _ => {}
+            }
+        }
+        // Skip an optional `= discriminant` and the trailing comma.
+        let mut angle = 0usize;
+        for tree in toks.by_ref() {
+            match tree {
+                TokenTree::Punct(p) => match p.as_char() {
+                    '<' => angle += 1,
+                    '>' => angle = angle.saturating_sub(1),
+                    ',' if angle == 0 => break,
+                    _ => {}
+                },
+                _ => {}
+            }
+        }
+        variants.push(Variant {
+            name: name.to_string(),
+            kind,
+        });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn impl_header(def: &TypeDef, trait_name: &str) -> String {
+    if def.generics.is_empty() {
+        format!("impl ::serde::{trait_name} for {}", def.name)
+    } else {
+        let bounded: Vec<String> = def
+            .generics
+            .iter()
+            .map(|g| format!("{g}: ::serde::{trait_name}"))
+            .collect();
+        let bare = def.generics.join(", ");
+        format!(
+            "impl<{}> ::serde::{trait_name} for {}<{bare}>",
+            bounded.join(", "),
+            def.name
+        )
+    }
+}
+
+fn gen_serialize(def: &TypeDef) -> String {
+    let body = match &def.kind {
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                let ty = &def.name;
+                match &v.kind {
+                    VariantKind::Unit => arms.push(format!(
+                        "{ty}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let items: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push(format!(
+                            "{ty}::{vn}({binds}) => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Seq(vec![{items}]))]),",
+                            binds = binds.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({f}))"
+                                )
+                            })
+                            .collect();
+                        arms.push(format!(
+                            "{ty}::{vn} {{ {fields} }} => ::serde::Value::Map(vec![(::std::string::String::from(\"{vn}\"), ::serde::Value::Map(vec![{items}]))]),",
+                            fields = fields.join(", "),
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "{header} {{ fn to_value(&self) -> ::serde::Value {{ {body} }} }}",
+        header = impl_header(def, "Serialize")
+    )
+}
+
+fn gen_deserialize(def: &TypeDef) -> String {
+    let ty = &def.name;
+    let body = match &def.kind {
+        Kind::UnitStruct => format!(
+            "match v {{ ::serde::Value::Null => ::core::result::Result::Ok({ty}), _ => ::core::result::Result::Err(::serde::Error::type_mismatch(\"{ty}\")) }}"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(::serde::seq_field(s, {i}, \"{ty}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let s = ::serde::value_as_seq(v, \"{ty}\")?; let _ = s; ::core::result::Result::Ok({ty}({}))",
+                items.join(", ")
+            )
+        }
+        Kind::NamedStruct(fields) => {
+            let items: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::map_field(m, \"{f}\", \"{ty}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let m = ::serde::value_as_map(v, \"{ty}\")?; let _ = m; ::core::result::Result::Ok({ty} {{ {} }})",
+                items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for var in variants {
+                let vn = &var.name;
+                match &var.kind {
+                    VariantKind::Unit => unit_arms.push(format!(
+                        "\"{vn}\" => ::core::result::Result::Ok({ty}::{vn}),"
+                    )),
+                    VariantKind::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!(
+                                    "::serde::Deserialize::from_value(::serde::seq_field(s, {i}, \"{ty}::{vn}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let s = ::serde::value_as_seq(inner, \"{ty}::{vn}\")?; ::core::result::Result::Ok({ty}::{vn}({items})) }}",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(::serde::map_field(m, \"{f}\", \"{ty}::{vn}\")?)?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => {{ let m = ::serde::value_as_map(inner, \"{ty}::{vn}\")?; ::core::result::Result::Ok({ty}::{vn} {{ {items} }}) }}",
+                            items = items.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{ \
+                   ::serde::Value::Str(tag) => match tag.as_str() {{ {unit_arms} other => ::core::result::Result::Err(::serde::Error::unknown_variant(other, \"{ty}\")) }}, \
+                   ::serde::Value::Map(entries) if entries.len() == 1 => {{ \
+                     let (tag, inner) = &entries[0]; let _ = inner; \
+                     match tag.as_str() {{ {data_arms} other => ::core::result::Result::Err(::serde::Error::unknown_variant(other, \"{ty}\")) }} \
+                   }}, \
+                   _ => ::core::result::Result::Err(::serde::Error::type_mismatch(\"{ty}\")) \
+                 }}",
+                unit_arms = unit_arms.join(" "),
+                data_arms = data_arms.join(" ")
+            )
+        }
+    };
+    format!(
+        "{header} {{ fn from_value(v: &::serde::Value) -> ::core::result::Result<Self, ::serde::Error> {{ {body} }} }}",
+        header = impl_header(def, "Deserialize")
+    )
+}

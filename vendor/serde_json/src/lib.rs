@@ -1,0 +1,476 @@
+//! Vendored, minimal JSON backend for the workspace's serde shim.
+//!
+//! Renders the shim's [`serde::Value`] tree as JSON text and parses JSON
+//! text back into it, providing the `to_string` / `to_string_pretty` /
+//! `from_str` entry points the benchmark reports use.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Error produced when JSON text is malformed or does not match the
+/// requested type.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(msg: impl Into<String>) -> Self {
+        Error(msg.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::Error> for Error {
+    fn from(e: serde::Error) -> Self {
+        Error(e.to_string())
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for values produced by the shim's `Serialize` impls; the
+/// `Result` mirrors the upstream signature.
+pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serializes `value` as human-readable, indented JSON.
+///
+/// # Errors
+///
+/// Never fails for values produced by the shim's `Serialize` impls.
+pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+/// Parses JSON text into a `T`.
+///
+/// # Errors
+///
+/// Returns an [`Error`] when the text is not valid JSON or does not have
+/// the shape `T` expects.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_ws();
+    let value = parser.parse_value()?;
+    parser.skip_ws();
+    if parser.pos != parser.bytes.len() {
+        return Err(Error::new(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
+    }
+    Ok(T::from_value(&value)?)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Value, indent: Option<usize>, level: usize) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::U64(n) => out.push_str(&n.to_string()),
+        Value::I64(n) => out.push_str(&n.to_string()),
+        Value::F64(x) => {
+            if x.is_finite() {
+                // `{:?}` prints the shortest representation that round-trips.
+                out.push_str(&format!("{x:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => write_string(out, s),
+        Value::Seq(items) => write_sequence(out, items.iter(), items.len(), indent, level, false),
+        Value::Map(entries) => {
+            write_map(out, entries, indent, level);
+        }
+    }
+}
+
+fn write_sequence<'v>(
+    out: &mut String,
+    items: impl Iterator<Item = &'v Value>,
+    len: usize,
+    indent: Option<usize>,
+    level: usize,
+    _map: bool,
+) {
+    if len == 0 {
+        out.push_str("[]");
+        return;
+    }
+    out.push('[');
+    for (i, item) in items.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_value(out, item, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push(']');
+}
+
+fn write_map(out: &mut String, entries: &[(String, Value)], indent: Option<usize>, level: usize) {
+    if entries.is_empty() {
+        out.push_str("{}");
+        return;
+    }
+    out.push('{');
+    for (i, (key, value)) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        newline_indent(out, indent, level + 1);
+        write_string(out, key);
+        out.push(':');
+        if indent.is_some() {
+            out.push(' ');
+        }
+        write_value(out, value, indent, level + 1);
+    }
+    newline_indent(out, indent, level);
+    out.push('}');
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, level: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * level));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        Some(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        match self.bump() {
+            Some(found) if found == b => Ok(()),
+            other => Err(Error::new(format!(
+                "expected `{}` at offset {}, found {other:?}",
+                b as char,
+                self.pos.saturating_sub(1)
+            ))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::new(format!(
+                "expected `{kw}` at offset {}",
+                self.pos
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => {
+                self.expect_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.expect_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.expect_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => self.parse_string().map(Value::Str),
+            Some(b'[') => {
+                self.bump();
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.bump();
+                    return Ok(Value::Seq(items));
+                }
+                loop {
+                    items.push(self.parse_value()?);
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b']') => return Ok(Value::Seq(items)),
+                        _ => return Err(Error::new("expected `,` or `]` in array")),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.bump();
+                let mut entries = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.bump();
+                    return Ok(Value::Map(entries));
+                }
+                loop {
+                    self.skip_ws();
+                    let key = self.parse_string()?;
+                    self.skip_ws();
+                    self.expect(b':')?;
+                    let value = self.parse_value()?;
+                    entries.push((key, value));
+                    self.skip_ws();
+                    match self.bump() {
+                        Some(b',') => continue,
+                        Some(b'}') => return Ok(Value::Map(entries)),
+                        _ => return Err(Error::new("expected `,` or `}` in object")),
+                    }
+                }
+            }
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected character {other:?} at offset {}",
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.bump() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let unit = self.parse_hex4()?;
+                        let code = match unit {
+                            // High surrogate: must be followed by `\u` and a
+                            // low surrogate, together naming one scalar value.
+                            0xD800..=0xDBFF => {
+                                if self.bump() != Some(b'\\') || self.bump() != Some(b'u') {
+                                    return Err(Error::new(
+                                        "unpaired high surrogate in \\u escape",
+                                    ));
+                                }
+                                let low = self.parse_hex4()?;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error::new("invalid low surrogate in \\u escape"));
+                                }
+                                0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                            }
+                            0xDC00..=0xDFFF => {
+                                return Err(Error::new("unpaired low surrogate in \\u escape"))
+                            }
+                            scalar => scalar,
+                        };
+                        out.push(
+                            char::from_u32(code).ok_or_else(|| Error::new("invalid \\u escape"))?,
+                        );
+                    }
+                    other => return Err(Error::new(format!("invalid escape {other:?}"))),
+                },
+                Some(byte) => {
+                    // Collect the full UTF-8 sequence starting at this byte.
+                    let start = self.pos - 1;
+                    let width = utf8_width(byte);
+                    self.pos = start + width;
+                    let chunk = self
+                        .bytes
+                        .get(start..start + width)
+                        .ok_or_else(|| Error::new("truncated UTF-8 sequence"))?;
+                    out.push_str(
+                        std::str::from_utf8(chunk)
+                            .map_err(|_| Error::new("invalid UTF-8 in string"))?,
+                    );
+                }
+                None => return Err(Error::new("unterminated string")),
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32> {
+        let mut code = 0u32;
+        for _ in 0..4 {
+            let digit = self
+                .bump()
+                .and_then(|b| (b as char).to_digit(16))
+                .ok_or_else(|| Error::new("invalid \\u escape"))?;
+            code = code * 16 + digit;
+        }
+        Ok(code)
+    }
+
+    fn parse_number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.bump();
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.bump();
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.bump();
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.bump();
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::F64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else if text.starts_with('-') {
+            text.parse::<i64>()
+                .map(Value::I64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<u64>()
+                .map(Value::U64)
+                .map_err(|_| Error::new(format!("invalid number `{text}`")))
+        }
+    }
+}
+
+fn utf8_width(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_scalars() {
+        let json = to_string(&vec![1u32, 2, 3]).unwrap();
+        assert_eq!(json, "[1,2,3]");
+        let back: Vec<u32> = from_str(&json).unwrap();
+        assert_eq!(back, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn round_trips_floats_and_strings() {
+        let json = to_string(&12.5f64).unwrap();
+        assert_eq!(json, "12.5");
+        let back: f64 = from_str(&json).unwrap();
+        assert!((back - 12.5).abs() < 1e-12);
+
+        let json = to_string(&"a\"b\\c\nd".to_string()).unwrap();
+        let back: String = from_str(&json).unwrap();
+        assert_eq!(back, "a\"b\\c\nd");
+    }
+
+    #[test]
+    fn pretty_output_is_indented() {
+        let json = to_string_pretty(&vec![1u8]).unwrap();
+        assert_eq!(json, "[\n  1\n]");
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<u32>("nope").is_err());
+        assert!(from_str::<u32>("1 2").is_err());
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        let s: String = from_str(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(s, "\u{1F600}");
+        let raw: String = from_str("\"😀\"").unwrap();
+        assert_eq!(raw, "\u{1F600}");
+        assert!(
+            from_str::<String>(r#""\ud83d""#).is_err(),
+            "unpaired high surrogate"
+        );
+        assert!(
+            from_str::<String>(r#""\ude00""#).is_err(),
+            "unpaired low surrogate"
+        );
+        assert!(
+            from_str::<String>(r#""\ud83dA""#).is_err(),
+            "bad low surrogate"
+        );
+    }
+}
