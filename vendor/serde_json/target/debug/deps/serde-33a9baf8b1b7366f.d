@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde-33a9baf8b1b7366f.d: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-33a9baf8b1b7366f.rlib: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde-33a9baf8b1b7366f.rmeta: /root/repo/vendor/serde/src/lib.rs
+
+/root/repo/vendor/serde/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_derive-276ed4c30265bf30.d: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_derive-276ed4c30265bf30.so: /root/repo/vendor/serde_derive/src/lib.rs
+
+/root/repo/vendor/serde_derive/src/lib.rs:

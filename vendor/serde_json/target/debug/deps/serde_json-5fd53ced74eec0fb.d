@@ -1,0 +1,5 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-5fd53ced74eec0fb.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-5fd53ced74eec0fb: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/vendor/serde_json/target/debug/deps/serde_json-71d5af0fcadd0197.d: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-71d5af0fcadd0197.rlib: src/lib.rs
+
+/root/repo/vendor/serde_json/target/debug/deps/libserde_json-71d5af0fcadd0197.rmeta: src/lib.rs
+
+src/lib.rs:
