@@ -1,0 +1,355 @@
+//! Host-side hot-path benchmark: wall-clock cost of the authenticated wire
+//! path on the machine actually running the suite.
+//!
+//! The simulator charges *simulated* 2003-era costs to reproduce the paper's
+//! figures; this binary measures what the host itself pays for the same
+//! steps — encode, sign, deliver, verify — and records the numbers in
+//! `results/bench-hotpath.json` so every PR leaves a perf trajectory behind.
+//!
+//! Four sections:
+//!
+//! * **hmac** — one-shot `HmacSha256::mac` (re-expands the RFC 2104 key
+//!   schedule per message) vs the cached [`HmacKey`] state that
+//!   `SigningKey` now holds.  The cached path must stay measurably faster
+//!   (≥ 1.5× on small payloads).
+//! * **encode** — `Wire::to_wire` (one sized allocation, refcount-shared
+//!   `Bytes`) vs the legacy `Wire::to_wire_vec` growth-from-zero path, on
+//!   the candidate frames the wrapper pair exchanges.
+//! * **sign_verify** — the full double-signature round: build an
+//!   [`FsOutput`], wire round-trip it, verify it at a destination.
+//! * **pipeline** — a complete 3-member FS-NewTOP deployment (interceptors,
+//!   wrapper pairs, NewTOP GC) driven to quiescence on the discrete-event
+//!   simulator; host wall-clock per ordered delivery and per simulated
+//!   event.
+//!
+//! `FS_BENCH_HOTPATH_ITERS` scales the micro-benchmark iteration counts
+//! (default 100 000); `FS_BENCH_HOTPATH_MESSAGES` the per-member pipeline
+//! message count (default 100).  CI runs both small.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use serde::Serialize;
+
+use failsignal::message::{signing_bytes, FsContent, FsOutput, FsoInbound, PairMessage};
+use failsignal::receiver::FsReceiver;
+use fs_bench::report::results_dir;
+use fs_common::codec::Wire;
+use fs_common::id::{FsId, ProcessId};
+use fs_common::rng::DetRng;
+use fs_common::time::SimTime;
+use fs_common::Bytes;
+use fs_crypto::hmac::{HmacKey, HmacSha256};
+use fs_crypto::keys::{provision, SignerId};
+use fs_crypto::sig::Signature;
+use fs_newtop::app::TrafficConfig;
+use fs_newtop_bft::deployment::{build_fs_newtop, DeploymentParams};
+use fs_smr::machine::Endpoint;
+
+/// Payload sizes exercised by the micro sections: the paper's "0k" 3-byte
+/// message, a cache-line-ish frame, 1 kB and the paper's 10 kB maximum.
+const PAYLOAD_SIZES: [usize; 4] = [3, 64, 1024, 10240];
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Times `op` over `iters` iterations (after a 1/10 warm-up) and returns
+/// mean nanoseconds per iteration.
+fn time_ns_per_op(iters: u64, mut op: impl FnMut()) -> f64 {
+    for _ in 0..(iters / 10).max(1) {
+        op();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        op();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+/// Scales the iteration budget down for large payloads so the benchmark's
+/// wall-clock stays roughly flat across sizes.
+fn scaled_iters(base: u64, payload: usize) -> u64 {
+    (base / (1 + payload as u64 / 64)).max(100)
+}
+
+#[derive(Debug, Serialize)]
+struct HmacRow {
+    payload_bytes: usize,
+    one_shot_ns: f64,
+    cached_key_ns: f64,
+    /// one_shot_ns / cached_key_ns — the win from precomputing the key
+    /// schedule once per signer.
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct EncodeRow {
+    payload_bytes: usize,
+    frame_bytes: usize,
+    to_wire_ns: f64,
+    to_wire_vec_ns: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SignVerifyRow {
+    payload_bytes: usize,
+    sign_double_ns: f64,
+    wire_round_trip_ns: f64,
+    verify_ns: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PipelineReport {
+    members: u32,
+    messages_per_member: u64,
+    total_deliveries: u64,
+    sim_events: u64,
+    host_elapsed_ms: f64,
+    deliveries_per_host_sec: f64,
+    host_us_per_delivery: f64,
+    host_us_per_sim_event: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct HotpathReport {
+    id: String,
+    iterations: u64,
+    hmac: Vec<HmacRow>,
+    encode: Vec<EncodeRow>,
+    sign_verify: Vec<SignVerifyRow>,
+    pipeline: PipelineReport,
+}
+
+fn bench_hmac(iters: u64) -> Vec<HmacRow> {
+    let key_bytes = [0xa5u8; 32];
+    let cached = HmacKey::new(&key_bytes);
+    PAYLOAD_SIZES
+        .iter()
+        .map(|&size| {
+            let msg: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+            let n = scaled_iters(iters, size);
+            let one_shot_ns = time_ns_per_op(n, || {
+                black_box(HmacSha256::mac(black_box(&key_bytes), black_box(&msg)));
+            });
+            let cached_key_ns = time_ns_per_op(n, || {
+                black_box(cached.mac(black_box(&msg)));
+            });
+            HmacRow {
+                payload_bytes: size,
+                one_shot_ns,
+                cached_key_ns,
+                speedup: one_shot_ns / cached_key_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_encode(iters: u64) -> Vec<EncodeRow> {
+    let mut rng = DetRng::new(7);
+    let (mut keys, _dir) = provision([ProcessId(0)], &mut rng);
+    let key = keys.remove(&SignerId(ProcessId(0))).unwrap();
+    PAYLOAD_SIZES
+        .iter()
+        .map(|&size| {
+            let payload = Bytes::from(vec![0x5au8; size]);
+            let frame = FsoInbound::Pair(PairMessage::Candidate {
+                output_seq: 42,
+                dest: Endpoint::Broadcast,
+                bytes: payload,
+                signature: Signature::sign(&key, b"bench"),
+            });
+            let frame_bytes = frame.to_wire().len();
+            let n = scaled_iters(iters, size);
+            let to_wire_ns = time_ns_per_op(n, || {
+                black_box(black_box(&frame).to_wire());
+            });
+            let to_wire_vec_ns = time_ns_per_op(n, || {
+                black_box(black_box(&frame).to_wire_vec());
+            });
+            EncodeRow {
+                payload_bytes: size,
+                frame_bytes,
+                to_wire_ns,
+                to_wire_vec_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_sign_verify(iters: u64) -> Vec<SignVerifyRow> {
+    let mut rng = DetRng::new(11);
+    let a_id = ProcessId(0);
+    let b_id = ProcessId(1);
+    let (mut keys, dir) = provision([a_id, b_id], &mut rng);
+    let a = keys.remove(&SignerId(a_id)).unwrap();
+    let b = keys.remove(&SignerId(b_id)).unwrap();
+    let fs = FsId(1);
+
+    PAYLOAD_SIZES
+        .iter()
+        .map(|&size| {
+            let content = FsContent::Output {
+                output_seq: 7,
+                dest: Endpoint::LocalApp,
+                bytes: Bytes::from(vec![0x33u8; size]),
+            };
+            let n = scaled_iters(iters, size);
+            let sign_double_ns = time_ns_per_op(n, || {
+                black_box(FsOutput::sign(fs, black_box(content.clone()), &a, &b));
+            });
+            let output = FsOutput::sign(fs, content.clone(), &a, &b);
+            let wire_round_trip_ns = time_ns_per_op(n, || {
+                let wire = black_box(&output).to_wire();
+                black_box(FsOutput::from_wire(&wire).expect("round trip"));
+            });
+            let content_bytes = signing_bytes(fs, &content);
+            let pair = (a.signer, b.signer);
+            let verify_ns = time_ns_per_op(n, || {
+                black_box(&output)
+                    .verify_with(&dir, &content_bytes, pair)
+                    .expect("valid");
+            });
+            SignVerifyRow {
+                payload_bytes: size,
+                sign_double_ns,
+                wire_round_trip_ns,
+                verify_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_pipeline(messages_per_member: u64) -> PipelineReport {
+    let members = 3u32;
+    let traffic = TrafficConfig::paper_default().with_messages(messages_per_member);
+    let params = DeploymentParams::paper(members)
+        .with_traffic(traffic)
+        .with_seed(2003);
+    let mut deployment = build_fs_newtop(&params);
+    // Run far past the workload's simulated duration so the pipeline drains.
+    let start = Instant::now();
+    deployment.run(SimTime::from_secs(3600));
+    let host_elapsed = start.elapsed();
+
+    let total_deliveries: u64 = (0..members)
+        .map(|i| deployment.app(i).delivered_total())
+        .sum();
+    let sim_events = deployment.sim.stats().events_processed;
+    let host_secs = host_elapsed.as_secs_f64().max(f64::EPSILON);
+    PipelineReport {
+        members,
+        messages_per_member,
+        total_deliveries,
+        sim_events,
+        host_elapsed_ms: host_secs * 1e3,
+        deliveries_per_host_sec: total_deliveries as f64 / host_secs,
+        host_us_per_delivery: host_secs * 1e6 / total_deliveries.max(1) as f64,
+        host_us_per_sim_event: host_secs * 1e6 / sim_events.max(1) as f64,
+    }
+}
+
+/// Sanity-check the FS-NewTOP pipeline end to end before trusting the
+/// numbers: every member must see every message, double-signed and verified.
+fn check_pipeline_correctness() {
+    let mut rng = DetRng::new(3);
+    let (mut keys, dir) = provision([ProcessId(0), ProcessId(1)], &mut rng);
+    let a = keys.remove(&SignerId(ProcessId(0))).unwrap();
+    let b = keys.remove(&SignerId(ProcessId(1))).unwrap();
+    let output = FsOutput::sign(
+        FsId(1),
+        FsContent::Output {
+            output_seq: 0,
+            dest: Endpoint::LocalApp,
+            bytes: Bytes::from(&b"probe"[..]),
+        },
+        &a,
+        &b,
+    );
+    let mut receiver = FsReceiver::new(dir);
+    receiver.register_source(FsId(1), (a.signer, b.signer));
+    let wire = FsoInbound::External(output).to_wire();
+    assert!(
+        receiver.accept(&wire).is_some(),
+        "sign → encode → decode → verify round trip must accept"
+    );
+}
+
+fn main() {
+    let iters = env_u64("FS_BENCH_HOTPATH_ITERS", 100_000);
+    let messages = env_u64("FS_BENCH_HOTPATH_MESSAGES", 100);
+    check_pipeline_correctness();
+
+    eprintln!("hotpath: hmac ({iters} base iters)...");
+    let hmac = bench_hmac(iters);
+    eprintln!("hotpath: encode...");
+    let encode = bench_encode(iters);
+    eprintln!("hotpath: sign/verify...");
+    let sign_verify = bench_sign_verify(iters / 4);
+    eprintln!("hotpath: full FS-NewTOP pipeline ({messages} msgs/member)...");
+    let pipeline = bench_pipeline(messages);
+
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}",
+        "hmac payload", "one-shot ns", "cached ns", "speedup"
+    );
+    for row in &hmac {
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            row.payload_bytes, row.one_shot_ns, row.cached_key_ns, row.speedup
+        );
+    }
+    println!(
+        "\n{:<16} {:>12} {:>14} {:>16}",
+        "encode payload", "frame B", "to_wire ns", "to_wire_vec ns"
+    );
+    for row in &encode {
+        println!(
+            "{:<16} {:>12} {:>14.0} {:>16.0}",
+            row.payload_bytes, row.frame_bytes, row.to_wire_ns, row.to_wire_vec_ns
+        );
+    }
+    println!(
+        "\npipeline: {} deliveries in {:.1} ms host time ({:.0} deliveries/s, {:.1} us/sim event)",
+        pipeline.total_deliveries,
+        pipeline.host_elapsed_ms,
+        pipeline.deliveries_per_host_sec,
+        pipeline.host_us_per_sim_event
+    );
+
+    let small_speedup = hmac.first().map(|r| r.speedup).unwrap_or(0.0);
+    if small_speedup < 1.5 {
+        eprintln!(
+            "WARNING: cached HMAC key speedup on small payloads is only {small_speedup:.2}x \
+             (expected >= 1.5x)"
+        );
+    }
+
+    let report = HotpathReport {
+        id: "bench-hotpath".to_string(),
+        iterations: iters,
+        hmac,
+        encode,
+        sign_verify,
+        pipeline,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create results dir: {e}");
+        std::process::exit(1);
+    }
+    let path = dir.join("bench-hotpath.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            // A missing report must fail the CI step rather than let the
+            // artifact silently disappear from the perf trajectory.
+            std::process::exit(1);
+        }
+    }
+}

@@ -15,6 +15,15 @@
 //!
 //! Set `FS_BENCH_MESSAGES=1000` to use the paper's full per-member message
 //! count (the default is smaller so that regeneration stays quick).
+//!
+//! Host-side wall-clock cost of the authenticated wire path (encode, sign,
+//! deliver, verify) is tracked separately by the `hotpath` binary, which
+//! writes `results/bench-hotpath.json` (see the README's "Performance"
+//! section):
+//!
+//! ```text
+//! cargo run --release -p fs-bench --bin hotpath
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -244,6 +244,11 @@ impl<'a> Decoder<'a> {
         self.get_bytes().map(|b| b.to_vec())
     }
 
+    /// Reads a length-prefixed byte string into a refcount-shared buffer.
+    pub fn get_bytes_shared(&mut self) -> Result<Bytes, CodecError> {
+        self.get_bytes().map(Bytes::copy_from_slice)
+    }
+
     /// Reads a length-prefixed UTF-8 string.
     pub fn get_str(&mut self) -> Result<&'a str, CodecError> {
         let bytes = self.get_bytes()?;
@@ -303,8 +308,30 @@ pub trait Wire: Sized {
     /// Returns a [`CodecError`] when the buffer is malformed.
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError>;
 
-    /// Encodes `self` into a fresh byte vector.
-    fn to_wire(&self) -> Vec<u8> {
+    /// A sizing hint for [`Wire::to_wire`]: the exact (or a close upper
+    /// bound on the) number of bytes `encode` will produce.  Implementations
+    /// on the hot path return the exact length so the encoder allocates its
+    /// buffer once instead of growing it from zero; the default of 0 means
+    /// "unknown" and falls back to growth-on-demand.
+    fn encoded_len(&self) -> usize {
+        0
+    }
+
+    /// Encodes `self` once into an immutable, refcount-shared buffer.
+    ///
+    /// The returned [`Bytes`] can be cloned per multicast recipient without
+    /// copying the frame; the encoding is byte-identical to the legacy
+    /// [`Wire::to_wire_vec`] path (the determinism tests pin this down).
+    fn to_wire(&self) -> Bytes {
+        let mut enc = Encoder::with_capacity(self.encoded_len());
+        self.encode(&mut enc);
+        enc.finish()
+    }
+
+    /// Encodes `self` into a fresh byte vector (the pre-`Bytes` path, kept
+    /// for callers that need to mutate the frame and as the reference
+    /// encoding in the wire-format-freeze tests).
+    fn to_wire_vec(&self) -> Vec<u8> {
         let mut enc = Encoder::new();
         self.encode(&mut enc);
         enc.finish_vec()
@@ -332,6 +359,21 @@ impl Wire for Vec<u8> {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         dec.get_bytes_owned()
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
+}
+
+impl Wire for Bytes {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_bytes(self);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        dec.get_bytes_shared()
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
+    }
 }
 
 impl Wire for String {
@@ -340,6 +382,9 @@ impl Wire for String {
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         dec.get_str().map(|s| s.to_owned())
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.len()
     }
 }
 
@@ -350,6 +395,9 @@ impl Wire for u64 {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         dec.get_u64()
     }
+    fn encoded_len(&self) -> usize {
+        8
+    }
 }
 
 impl Wire for MsgId {
@@ -359,6 +407,9 @@ impl Wire for MsgId {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         dec.get_msg_id()
     }
+    fn encoded_len(&self) -> usize {
+        12
+    }
 }
 
 impl<T: Wire> Wire for Vec<T> {
@@ -367,6 +418,9 @@ impl<T: Wire> Wire for Vec<T> {
         for item in self {
             item.encode(enc);
         }
+    }
+    fn encoded_len(&self) -> usize {
+        4 + self.iter().map(Wire::encoded_len).sum::<usize>()
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         let len = dec.get_u32()? as usize;
@@ -393,6 +447,9 @@ impl<T: Wire> Wire for Option<T> {
                 v.encode(enc);
             }
         }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + self.as_ref().map_or(0, Wire::encoded_len)
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
@@ -524,9 +581,35 @@ mod tests {
 
     #[test]
     fn wire_rejects_trailing() {
-        let mut bytes = 7u64.to_wire();
+        let mut bytes = 7u64.to_wire_vec();
         bytes.push(0);
         assert!(u64::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn to_wire_matches_to_wire_vec() {
+        let ids = vec![MsgId::new(ProcessId(1), 2), MsgId::new(ProcessId(3), 4)];
+        assert_eq!(ids.to_wire(), ids.to_wire_vec());
+        let v: Vec<u8> = (0..200).collect();
+        assert_eq!(v.to_wire(), v.to_wire_vec());
+    }
+
+    #[test]
+    fn encoded_len_is_exact_for_common_types() {
+        let v: Vec<u8> = vec![1, 2, 3];
+        assert_eq!(v.encoded_len(), v.to_wire().len());
+        let s = "fail-signal".to_string();
+        assert_eq!(s.encoded_len(), s.to_wire().len());
+        assert_eq!(7u64.encoded_len(), 7u64.to_wire().len());
+        let id = MsgId::new(ProcessId(1), 2);
+        assert_eq!(id.encoded_len(), id.to_wire().len());
+        let ids = vec![id, MsgId::new(ProcessId(3), 4)];
+        assert_eq!(ids.encoded_len(), ids.to_wire().len());
+        let o: Option<u64> = Some(99);
+        assert_eq!(o.encoded_len(), o.to_wire().len());
+        let b = Bytes::copy_from_slice(&[9; 40]);
+        assert_eq!(b.encoded_len(), b.to_wire().len());
+        assert_eq!(Bytes::from_wire(&b.to_wire()).unwrap(), b);
     }
 
     #[test]

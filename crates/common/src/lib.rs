@@ -39,6 +39,7 @@ pub mod id;
 pub mod rng;
 pub mod time;
 
+pub use bytes::Bytes;
 pub use codec::{Decoder, Encoder, Wire};
 pub use config::{NodeBudget, TimingAssumptions};
 pub use error::{CodecError, Error, Result, SignatureError};

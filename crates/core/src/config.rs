@@ -6,6 +6,7 @@ use std::sync::Arc;
 
 use fs_common::config::TimingAssumptions;
 use fs_common::id::{FsId, ProcessId, Role};
+use fs_common::Bytes;
 use fs_crypto::cost::CryptoCostModel;
 use fs_crypto::keys::{KeyDirectory, SignerId, SigningKey};
 use fs_crypto::sig::Signature;
@@ -122,7 +123,7 @@ pub struct FsoConfig {
     /// received — FS-NewTOP uses this to convert fail-signals into
     /// suspicions.  Sources without an entry have their fail-signals noted
     /// but produce no machine input.
-    pub fail_signal_inputs: BTreeMap<FsId, Vec<u8>>,
+    pub fail_signal_inputs: BTreeMap<FsId, Bytes>,
     /// Where to transmit machine outputs and fail-signals.
     pub routes: RouteTable,
     /// The synchrony/determinism assumptions (δ, κ, σ).

@@ -12,7 +12,7 @@
 use fs_common::codec::{Decoder, Encoder, Wire};
 use fs_common::error::CodecError;
 use fs_common::id::{FsId, MemberId};
-use fs_common::SignatureError;
+use fs_common::{Bytes, SignatureError};
 use fs_crypto::keys::{KeyDirectory, SignerId, SigningKey};
 use fs_crypto::sha256::Digest;
 use fs_crypto::sig::Signature;
@@ -46,6 +46,14 @@ pub fn decode_endpoint(dec: &mut Decoder<'_>) -> Result<Endpoint, CodecError> {
     }
 }
 
+/// The exact encoded length of a logical endpoint.
+pub fn endpoint_len(endpoint: Endpoint) -> usize {
+    match endpoint {
+        Endpoint::Peer(_) => 5,
+        _ => 1,
+    }
+}
+
 /// The content of an FS-process output.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FsContent {
@@ -56,8 +64,9 @@ pub enum FsContent {
         output_seq: u64,
         /// The logical destination of the output.
         dest: Endpoint,
-        /// The output bytes produced by the wrapped machine.
-        bytes: Vec<u8>,
+        /// The output bytes produced by the wrapped machine (refcount-shared
+        /// with the comparison pools and the transport).
+        bytes: Bytes,
     },
     /// The fail-signal unique to this FS process.
     FailSignal,
@@ -84,10 +93,16 @@ impl Wire for FsContent {
             0 => Ok(FsContent::Output {
                 output_seq: dec.get_u64()?,
                 dest: decode_endpoint(dec)?,
-                bytes: dec.get_bytes_owned()?,
+                bytes: dec.get_bytes_shared()?,
             }),
             1 => Ok(FsContent::FailSignal),
             t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            FsContent::Output { dest, bytes, .. } => 8 + endpoint_len(*dest) + 4 + bytes.len(),
+            FsContent::FailSignal => 0,
         }
     }
 }
@@ -116,11 +131,15 @@ fn get_signature(dec: &mut Decoder<'_>) -> Result<Signature, CodecError> {
 
 /// The bytes over which an FS-process output is signed: the FS identity plus
 /// the canonical encoding of the content.
-pub fn signing_bytes(fs: FsId, content: &FsContent) -> Vec<u8> {
-    let mut enc = Encoder::new();
+///
+/// Returned as refcount-shared [`Bytes`] so one encoding can be threaded
+/// through sign → co-sign → verify without re-encoding the content at each
+/// step (the `*_with` constructors and verifiers below accept it).
+pub fn signing_bytes(fs: FsId, content: &FsContent) -> Bytes {
+    let mut enc = Encoder::with_capacity(4 + content.encoded_len());
     enc.put_u32(fs.0);
     content.encode(&mut enc);
-    enc.finish_vec()
+    enc.finish()
 }
 
 fn co_signing_bytes(content_bytes: &[u8], first: &Signature) -> Vec<u8> {
@@ -148,7 +167,7 @@ pub struct FsOutput {
 
 impl FsOutput {
     /// Builds a double-signed output: `first_key` signs the content, then
-    /// `second_key` counter-signs.
+    /// `second_key` counter-signs.  The content is encoded exactly once.
     pub fn sign(
         fs: FsId,
         content: FsContent,
@@ -157,13 +176,7 @@ impl FsOutput {
     ) -> Self {
         let bytes = signing_bytes(fs, &content);
         let first = Signature::sign(first_key, &bytes);
-        let second = Signature::sign(second_key, &co_signing_bytes(&bytes, &first));
-        Self {
-            fs,
-            content,
-            first,
-            second,
-        }
+        Self::counter_sign_with(fs, content, &bytes, first, second_key)
     }
 
     /// Counter-signs a content already signed once by the remote wrapper
@@ -175,7 +188,23 @@ impl FsOutput {
         second_key: &SigningKey,
     ) -> Self {
         let bytes = signing_bytes(fs, &content);
-        let second = Signature::sign(second_key, &co_signing_bytes(&bytes, &first));
+        Self::counter_sign_with(fs, content, &bytes, first, second_key)
+    }
+
+    /// Like [`FsOutput::counter_sign`], but takes the content's signing
+    /// bytes already encoded by the caller (the wrapper computes them once
+    /// per output and reuses them for sign, co-sign and verify).
+    ///
+    /// `content_bytes` must be `signing_bytes(fs, &content)`; passing
+    /// anything else produces an output that fails verification.
+    pub fn counter_sign_with(
+        fs: FsId,
+        content: FsContent,
+        content_bytes: &[u8],
+        first: Signature,
+        second_key: &SigningKey,
+    ) -> Self {
+        let second = Signature::sign(second_key, &co_signing_bytes(content_bytes, &first));
         Self {
             fs,
             content,
@@ -196,6 +225,22 @@ impl FsOutput {
         directory: &KeyDirectory,
         pair: (SignerId, SignerId),
     ) -> Result<(), SignatureError> {
+        let bytes = signing_bytes(self.fs, &self.content);
+        self.verify_with(directory, &bytes, pair)
+    }
+
+    /// Like [`FsOutput::verify`], but takes the content's signing bytes
+    /// already encoded by the caller.
+    ///
+    /// # Errors
+    ///
+    /// See [`FsOutput::verify`].
+    pub fn verify_with(
+        &self,
+        directory: &KeyDirectory,
+        content_bytes: &[u8],
+        pair: (SignerId, SignerId),
+    ) -> Result<(), SignatureError> {
         if self.first.signer == self.second.signer {
             return Err(SignatureError::DuplicateSigner);
         }
@@ -204,10 +249,9 @@ impl FsOutput {
         if !pair_ok {
             return Err(SignatureError::MissingCoSignature);
         }
-        let bytes = signing_bytes(self.fs, &self.content);
-        self.first.verify(directory, &bytes)?;
+        self.first.verify(directory, content_bytes)?;
         self.second
-            .verify(directory, &co_signing_bytes(&bytes, &self.first))?;
+            .verify(directory, &co_signing_bytes(content_bytes, &self.first))?;
         Ok(())
     }
 
@@ -216,6 +260,10 @@ impl FsOutput {
         matches!(self.content, FsContent::FailSignal)
     }
 }
+
+/// The exact encoded length of a [`Signature`] (process id + length prefix +
+/// 32-byte tag).
+const SIGNATURE_LEN: usize = 4 + 4 + 32;
 
 impl Wire for FsOutput {
     fn encode(&self, enc: &mut Encoder) {
@@ -232,6 +280,9 @@ impl Wire for FsOutput {
             second: get_signature(dec)?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        4 + self.content.encoded_len() + 2 * SIGNATURE_LEN
+    }
 }
 
 /// Messages exchanged between the two wrapper objects of one FS pair over
@@ -246,7 +297,7 @@ pub enum PairMessage {
         /// The logical source endpoint the input came from.
         source: Endpoint,
         /// The input bytes (already verified and stripped by the leader).
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
     /// Follower → leader: an input the follower received externally but has
     /// not yet seen ordered by the leader (t1 = 0 in the appendix).
@@ -254,7 +305,7 @@ pub enum PairMessage {
         /// The logical source endpoint the input came from.
         source: Endpoint,
         /// The input bytes (already verified and stripped by the follower).
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
     /// Either direction: a single-signed copy of a locally produced output,
     /// submitted for comparison by the remote Compare (`receiveSingle`).
@@ -264,7 +315,7 @@ pub enum PairMessage {
         /// The logical destination of the output.
         dest: Endpoint,
         /// The output bytes.
-        bytes: Vec<u8>,
+        bytes: Bytes,
         /// The sender's signature over the corresponding
         /// [`FsContent::Output`] signing bytes.
         signature: Signature,
@@ -319,19 +370,30 @@ impl Wire for PairMessage {
             0 => Ok(PairMessage::Ordered {
                 order_index: dec.get_u64()?,
                 source: decode_endpoint(dec)?,
-                bytes: dec.get_bytes_owned()?,
+                bytes: dec.get_bytes_shared()?,
             }),
             1 => Ok(PairMessage::ForwardNew {
                 source: decode_endpoint(dec)?,
-                bytes: dec.get_bytes_owned()?,
+                bytes: dec.get_bytes_shared()?,
             }),
             2 => Ok(PairMessage::Candidate {
                 output_seq: dec.get_u64()?,
                 dest: decode_endpoint(dec)?,
-                bytes: dec.get_bytes_owned()?,
+                bytes: dec.get_bytes_shared()?,
                 signature: get_signature(dec)?,
             }),
             t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            PairMessage::Ordered { source, bytes, .. } => {
+                8 + endpoint_len(*source) + 4 + bytes.len()
+            }
+            PairMessage::ForwardNew { source, bytes } => endpoint_len(*source) + 4 + bytes.len(),
+            PairMessage::Candidate { dest, bytes, .. } => {
+                8 + endpoint_len(*dest) + 4 + bytes.len() + SIGNATURE_LEN
+            }
         }
     }
 }
@@ -346,7 +408,7 @@ pub enum FsoInbound {
     /// A (claimed) double-signed output from another FS process.
     External(FsOutput),
     /// A raw input from a trusted, co-located client process.
-    Raw(Vec<u8>),
+    Raw(Bytes),
 }
 
 impl Wire for FsoInbound {
@@ -370,8 +432,15 @@ impl Wire for FsoInbound {
         match dec.get_u8()? {
             0 => Ok(FsoInbound::Pair(PairMessage::decode(dec)?)),
             1 => Ok(FsoInbound::External(FsOutput::decode(dec)?)),
-            2 => Ok(FsoInbound::Raw(dec.get_bytes_owned()?)),
+            2 => Ok(FsoInbound::Raw(dec.get_bytes_shared()?)),
             t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            FsoInbound::Pair(m) => m.encoded_len(),
+            FsoInbound::External(o) => o.encoded_len(),
+            FsoInbound::Raw(bytes) => 4 + bytes.len(),
         }
     }
 }
@@ -423,7 +492,7 @@ mod tests {
             FsContent::Output {
                 output_seq: 3,
                 dest: Endpoint::Peer(MemberId(1)),
-                bytes: vec![1, 2],
+                bytes: vec![1, 2].into(),
             },
             FsContent::FailSignal,
         ];
@@ -438,7 +507,7 @@ mod tests {
         let content = FsContent::Output {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"out".to_vec(),
+            bytes: b"out".to_vec().into(),
         };
         let output = FsOutput::sign(FsId(4), content.clone(), &a, &b);
         assert!(output.verify(&dir, (a.signer, b.signer)).is_ok());
@@ -461,14 +530,14 @@ mod tests {
         let content = FsContent::Output {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"out".to_vec(),
+            bytes: b"out".to_vec().into(),
         };
         let mut output = FsOutput::sign(FsId(4), content, &a, &b);
         // Tamper with the content after signing.
         output.content = FsContent::Output {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"OUT".to_vec(),
+            bytes: b"OUT".to_vec().into(),
         };
         assert!(output.verify(&dir, (a.signer, b.signer)).is_err());
     }
@@ -503,16 +572,16 @@ mod tests {
             PairMessage::Ordered {
                 order_index: 5,
                 source: Endpoint::LocalApp,
-                bytes: vec![1],
+                bytes: vec![1].into(),
             },
             PairMessage::ForwardNew {
                 source: Endpoint::Peer(MemberId(2)),
-                bytes: vec![2, 3],
+                bytes: vec![2, 3].into(),
             },
             PairMessage::Candidate {
                 output_seq: 7,
                 dest: Endpoint::Peer(MemberId(0)),
-                bytes: vec![9; 40],
+                bytes: vec![9; 40].into(),
                 signature: sig,
             },
         ];
@@ -534,7 +603,7 @@ mod tests {
             FsContent::Output {
                 output_seq: 0,
                 dest: Endpoint::LocalApp,
-                bytes: vec![1],
+                bytes: vec![1].into(),
             },
             &a,
             &b,
@@ -542,10 +611,10 @@ mod tests {
         let inbounds = vec![
             FsoInbound::Pair(PairMessage::ForwardNew {
                 source: Endpoint::LocalApp,
-                bytes: vec![],
+                bytes: vec![].into(),
             }),
             FsoInbound::External(output),
-            FsoInbound::Raw(b"app request".to_vec()),
+            FsoInbound::Raw(b"app request".to_vec().into()),
         ];
         for i in inbounds {
             assert_eq!(FsoInbound::from_wire(&i.to_wire()).unwrap(), i);

@@ -11,6 +11,7 @@ use std::sync::Arc;
 
 use fs_common::config::TimingAssumptions;
 use fs_common::id::{FsId, ProcessId, Role};
+use fs_common::Bytes;
 use fs_crypto::cost::CryptoCostModel;
 use fs_crypto::keys::{KeyDirectory, SignerId, SigningKey};
 use fs_crypto::sig::Signature;
@@ -54,7 +55,7 @@ pub struct FsPairBuilder {
     timing: TimingAssumptions,
     crypto_costs: CryptoCostModel,
     sources: BTreeMap<ProcessId, SourceSpec>,
-    fail_signal_inputs: BTreeMap<FsId, Vec<u8>>,
+    fail_signal_inputs: BTreeMap<FsId, Bytes>,
     routes: RouteTable,
 }
 
@@ -114,8 +115,8 @@ impl FsPairBuilder {
 
     /// Declares the machine input to inject (from the environment endpoint)
     /// when the fail-signal of source `fs` is received.
-    pub fn on_fail_signal(mut self, fs: FsId, injected: Vec<u8>) -> Self {
-        self.fail_signal_inputs.insert(fs, injected);
+    pub fn on_fail_signal(mut self, fs: FsId, injected: impl Into<Bytes>) -> Self {
+        self.fail_signal_inputs.insert(fs, injected.into());
         self
     }
 
@@ -205,7 +206,7 @@ mod tests {
         leader_ctx: TestContext,
         follower_ctx: TestContext,
         /// Messages that left the pair towards external destinations.
-        external: Vec<(ProcessId, Vec<u8>)>,
+        external: Vec<(ProcessId, Bytes)>,
         receiver: FsReceiver,
     }
 
@@ -248,7 +249,7 @@ mod tests {
         /// Delivers the client's raw input to both wrappers (as the source
         /// FS process would) and relays pair traffic until quiescence.
         fn client_input(&mut self, bytes: &[u8]) {
-            let wire = FsoInbound::Raw(bytes.to_vec()).to_wire();
+            let wire = FsoInbound::Raw(bytes.to_vec().into()).to_wire();
             self.leader
                 .on_message(&mut self.leader_ctx, CLIENT, wire.clone());
             self.follower
@@ -334,7 +335,7 @@ mod tests {
     fn input_reaching_only_the_follower_is_forwarded_and_processed() {
         let mut pair = Pair::new();
         // The client copy to the leader is lost; only the follower hears it.
-        let wire = FsoInbound::Raw(b"lonely".to_vec()).to_wire();
+        let wire = FsoInbound::Raw(b"lonely".to_vec().into()).to_wire();
         pair.follower
             .on_message(&mut pair.follower_ctx, CLIENT, wire);
         pair.settle();
@@ -359,7 +360,9 @@ mod tests {
                 let mut out = self.inner.handle(input);
                 if self.count > self.after {
                     for o in &mut out {
-                        o.bytes.push(0xEE);
+                        let mut corrupted = o.bytes.to_vec();
+                        corrupted.push(0xEE);
+                        o.bytes = corrupted.into();
                     }
                 }
                 out
@@ -392,7 +395,7 @@ mod tests {
         let mut pair = Pair::new();
         // Deliver the input to the leader only and do NOT relay pair traffic,
         // simulating a follower that has stopped responding.
-        let wire = FsoInbound::Raw(b"unanswered".to_vec()).to_wire();
+        let wire = FsoInbound::Raw(b"unanswered".to_vec().into()).to_wire();
         pair.leader.on_message(&mut pair.leader_ctx, CLIENT, wire);
         // The leader armed a comparison timer for its pending output.
         let timers: Vec<TimerId> = pair.leader_ctx.timers_set.iter().map(|(_, t)| *t).collect();
@@ -420,7 +423,7 @@ mod tests {
     #[test]
     fn follower_detects_leader_that_never_orders() {
         let mut pair = Pair::new();
-        let wire = FsoInbound::Raw(b"ignored-by-leader".to_vec()).to_wire();
+        let wire = FsoInbound::Raw(b"ignored-by-leader".to_vec().into()).to_wire();
         pair.follower
             .on_message(&mut pair.follower_ctx, CLIENT, wire);
         // The follower forwarded the input and armed the t2 = 2δ timer; the
@@ -440,7 +443,7 @@ mod tests {
     #[test]
     fn failed_wrapper_replies_with_fail_signal() {
         let mut pair = Pair::new();
-        let wire = FsoInbound::Raw(b"x".to_vec()).to_wire();
+        let wire = FsoInbound::Raw(b"x".to_vec().into()).to_wire();
         pair.leader
             .on_message(&mut pair.leader_ctx, CLIENT, wire.clone());
         let timers: Vec<TimerId> = pair.leader_ctx.timers_set.iter().map(|(_, t)| *t).collect();
@@ -469,7 +472,7 @@ mod tests {
         let candidate = PairMessage::Candidate {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"evil".to_vec(),
+            bytes: b"evil".to_vec().into(),
             signature: Signature::sign(&attacker_key, b"evil"),
         };
         let wire = FsoInbound::Pair(candidate).to_wire();
@@ -489,7 +492,7 @@ mod tests {
         let candidate = PairMessage::Candidate {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"tampered".to_vec(),
+            bytes: b"tampered".to_vec().into(),
             signature: Signature {
                 signer: SignerId(FOLLOWER),
                 tag: fs_crypto::sha256::Sha256::digest(b"garbage"),
@@ -586,7 +589,7 @@ mod tests {
             FsContent::Output {
                 output_seq: 0,
                 dest: Endpoint::LocalApp,
-                bytes: b"evil".to_vec(),
+                bytes: b"evil".to_vec().into(),
             },
             &attacker_key,
             &attacker_key,

@@ -13,6 +13,7 @@ use std::sync::Arc;
 
 use fs_common::codec::Wire;
 use fs_common::id::FsId;
+use fs_common::Bytes;
 use fs_crypto::keys::{KeyDirectory, SignerId};
 
 use crate::message::{FsContent, FsOutput, FsoInbound};
@@ -26,8 +27,9 @@ pub enum FsDelivery {
         fs: FsId,
         /// The pair-wide output sequence number.
         output_seq: u64,
-        /// The output bytes (signatures already stripped).
-        bytes: Vec<u8>,
+        /// The output bytes (signatures already stripped), refcount-shared
+        /// with the decoded envelope.
+        bytes: Bytes,
     },
     /// The first valid fail-signal received from the given FS process.
     FailSignal {
@@ -167,7 +169,7 @@ mod tests {
             FsContent::Output {
                 output_seq: seq,
                 dest: Endpoint::LocalApp,
-                bytes: vec![seq as u8],
+                bytes: vec![seq as u8].into(),
             },
             a,
             b,
@@ -186,7 +188,7 @@ mod tests {
             Some(FsDelivery::Output {
                 fs: FsId(1),
                 output_seq: 0,
-                bytes: vec![0]
+                bytes: vec![0].into()
             })
         );
         // The second (oppositely signed) copy is suppressed.
@@ -228,7 +230,7 @@ mod tests {
         let (_, _, _, dir) = setup();
         let mut r = FsReceiver::new(dir);
         assert_eq!(r.accept(&[0xff, 0x00]), None);
-        let internal = FsoInbound::Raw(b"raw".to_vec()).to_wire();
+        let internal = FsoInbound::Raw(b"raw".to_vec().into()).to_wire();
         assert_eq!(r.accept(&internal), None);
         assert_eq!(r.stats().rejected, 2);
     }

@@ -25,6 +25,7 @@ use std::collections::{BTreeMap, BTreeSet};
 use fs_common::codec::Wire;
 use fs_common::id::{FsId, ProcessId, Role};
 use fs_common::time::SimDuration;
+use fs_common::Bytes;
 use fs_crypto::sha256::{Digest, Sha256};
 use fs_crypto::sig::Signature;
 use fs_simnet::actor::{Actor, Context, TimerId};
@@ -55,14 +56,18 @@ pub struct FsoStats {
 #[derive(Debug, Clone)]
 struct IcmpEntry {
     dest: Endpoint,
-    bytes: Vec<u8>,
+    bytes: Bytes,
+    /// The signing bytes of the corresponding [`FsContent::Output`], encoded
+    /// once in `produce_output` and reused for the counter-signature when
+    /// the comparison completes — the content is never re-encoded.
+    content_bytes: Bytes,
     timer: TimerId,
 }
 
 #[derive(Debug, Clone)]
 struct EcmpEntry {
     dest: Endpoint,
-    bytes: Vec<u8>,
+    bytes: Bytes,
     signature: Signature,
 }
 
@@ -224,7 +229,7 @@ impl FsoActor {
 
     /// Handles an input that has been authenticated (if necessary) and
     /// attributed to a logical endpoint, but not yet ordered.
-    fn on_external_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Vec<u8>) {
+    fn on_external_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Bytes) {
         let digest = Self::input_digest(endpoint, &bytes);
         if self.seen_inputs.contains(&digest) {
             self.stats.duplicates_suppressed += 1;
@@ -268,7 +273,7 @@ impl FsoActor {
 
     /// Runs the wrapped machine on one ordered input and submits every output
     /// for comparison.
-    fn process_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Vec<u8>) {
+    fn process_input(&mut self, ctx: &mut dyn Context, endpoint: Endpoint, bytes: Bytes) {
         let input = MachineInput::new(endpoint, bytes);
         let pi = self.machine.processing_cost(&input);
         ctx.charge_cpu(pi);
@@ -286,12 +291,17 @@ impl FsoActor {
         &mut self,
         ctx: &mut dyn Context,
         dest: Endpoint,
-        bytes: Vec<u8>,
+        bytes: Bytes,
         pi: SimDuration,
     ) {
         let output_seq = self.output_seq;
         self.output_seq += 1;
 
+        // Encode the signing bytes exactly once per output; every later step
+        // (candidate signature, counter-signature when the comparison
+        // completes) reuses this buffer.  The payload itself is only ever
+        // refcount-cloned into the content, the candidate message and the
+        // comparison pool.
         let content = FsContent::Output {
             output_seq,
             dest,
@@ -313,7 +323,7 @@ impl FsoActor {
         );
 
         if let Some(remote) = self.ecmp.remove(&output_seq) {
-            self.complete_comparison(ctx, output_seq, dest, bytes, remote);
+            self.complete_comparison(ctx, output_seq, dest, bytes, &content_bytes, remote);
             return;
         }
 
@@ -324,8 +334,15 @@ impl FsoActor {
         };
         let timer = self.alloc_timer(TimerPurpose::OutputCompare(output_seq));
         ctx.set_timer(timeout, timer);
-        self.icmp
-            .insert(output_seq, IcmpEntry { dest, bytes, timer });
+        self.icmp.insert(
+            output_seq,
+            IcmpEntry {
+                dest,
+                bytes,
+                content_bytes,
+                timer,
+            },
+        );
     }
 
     /// Compares a local output with the remote candidate of the same
@@ -336,7 +353,8 @@ impl FsoActor {
         ctx: &mut dyn Context,
         output_seq: u64,
         dest: Endpoint,
-        bytes: Vec<u8>,
+        bytes: Bytes,
+        content_bytes: &[u8],
         remote: EcmpEntry,
     ) {
         if remote.dest != dest || remote.bytes != bytes {
@@ -344,15 +362,23 @@ impl FsoActor {
             self.fail(ctx, "output comparison mismatch");
             return;
         }
-        // Counter-sign the remote's (already verified) signature.
+        // Counter-sign the remote's (already verified) signature over the
+        // signing bytes cached when the output was produced — no re-encoding.
         let content = FsContent::Output {
             output_seq,
             dest,
             bytes,
         };
         ctx.charge_cpu(self.config.crypto_costs.sign_cost(64));
-        let output =
-            FsOutput::counter_sign(self.config.fs, content, remote.signature, &self.config.key);
+        let output = FsOutput::counter_sign_with(
+            self.config.fs,
+            content,
+            content_bytes,
+            remote.signature,
+            &self.config.key,
+        );
+        // One encode of the external frame, refcount-shared across every
+        // routed destination.
         let wire = FsoInbound::External(output).to_wire();
         for process in self.config.routes.lookup(dest) {
             ctx.send(*process, wire.clone());
@@ -421,11 +447,13 @@ impl FsoActor {
                 if let Some(local) = self.icmp.remove(&output_seq) {
                     ctx.cancel_timer(local.timer);
                     self.timers.remove(&local.timer);
+                    let content_bytes = local.content_bytes;
                     self.complete_comparison(
                         ctx,
                         output_seq,
                         local.dest,
                         local.bytes,
+                        &content_bytes,
                         EcmpEntry {
                             dest,
                             bytes,
@@ -490,7 +518,7 @@ impl FsoActor {
 }
 
 impl Actor for FsoActor {
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
         if self.failed {
             // fs1: a failed FS process answers everything with its fail-signal.
             self.reply_with_fail_signal(ctx, from);

@@ -19,6 +19,8 @@ use fs_common::id::ProcessId;
 use fs_common::rng::DetRng;
 use fs_common::SignatureError;
 
+use crate::hmac::HmacKey;
+
 /// Identifies a signer — in this suite, a wrapper object or middleware
 /// process that owns a signing key.
 #[derive(
@@ -42,11 +44,16 @@ impl core::fmt::Display for SignerId {
 pub const KEY_LEN: usize = 32;
 
 /// A signing key held privately by one signer.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// The key carries the precomputed HMAC state ([`HmacKey`]) alongside the
+/// raw secret, so the RFC 2104 key schedule is expanded exactly once per
+/// signer — at provisioning — instead of once per signed message.
+#[derive(Clone)]
 pub struct SigningKey {
     /// The signer this key belongs to.
     pub signer: SignerId,
     secret: [u8; KEY_LEN],
+    hmac: HmacKey,
 }
 
 impl core::fmt::Debug for SigningKey {
@@ -56,23 +63,63 @@ impl core::fmt::Debug for SigningKey {
     }
 }
 
+impl PartialEq for SigningKey {
+    fn eq(&self, other: &Self) -> bool {
+        // The cached HMAC state is derived from the secret, so comparing the
+        // inputs is sufficient.
+        self.signer == other.signer && self.secret == other.secret
+    }
+}
+
+impl Eq for SigningKey {}
+
+impl Serialize for SigningKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("signer".to_string(), self.signer.to_value()),
+            ("secret".to_string(), self.secret.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for SigningKey {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::value_as_map(v, "SigningKey")?;
+        let signer = SignerId::from_value(serde::map_field(m, "signer", "SigningKey")?)?;
+        let secret = <[u8; KEY_LEN]>::from_value(serde::map_field(m, "secret", "SigningKey")?)?;
+        Ok(Self::from_bytes(signer, secret))
+    }
+}
+
 impl SigningKey {
     /// Generates a fresh key for `signer` from the given deterministic RNG.
     pub fn generate(signer: SignerId, rng: &mut DetRng) -> Self {
         let mut secret = [0u8; KEY_LEN];
         rng.fill_bytes(&mut secret);
-        Self { signer, secret }
+        Self::from_bytes(signer, secret)
     }
 
-    /// Constructs a key from explicit bytes (useful in tests).
+    /// Constructs a key from explicit bytes (useful in tests), expanding the
+    /// HMAC key schedule once.
     pub fn from_bytes(signer: SignerId, secret: [u8; KEY_LEN]) -> Self {
-        Self { signer, secret }
+        let hmac = HmacKey::new(&secret);
+        Self {
+            signer,
+            secret,
+            hmac,
+        }
     }
 
-    /// Returns the secret bytes; `pub(crate)` so only the signing code in
-    /// this crate can reach them.
+    /// Returns the secret bytes; compiled only for this crate's tests (the
+    /// signing code resumes from the cached HMAC state instead).
+    #[cfg(test)]
     pub(crate) fn secret(&self) -> &[u8; KEY_LEN] {
         &self.secret
+    }
+
+    /// The precomputed HMAC state for this key.
+    pub(crate) fn hmac(&self) -> &HmacKey {
+        &self.hmac
     }
 }
 
@@ -81,12 +128,14 @@ impl SigningKey {
 /// With the keyed-authenticator substitution the verification key carries the
 /// same bytes as the signing key, but the type distinction preserves the
 /// public-key *interface*: code that only holds a `VerifyingKey` cannot call
-/// the signing routines.
-#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// the signing routines.  Like [`SigningKey`], it caches the expanded HMAC
+/// state so that verification resumes from precomputed blocks.
+#[derive(Clone)]
 pub struct VerifyingKey {
     /// The signer this key verifies.
     pub signer: SignerId,
     secret: [u8; KEY_LEN],
+    hmac: HmacKey,
 }
 
 impl core::fmt::Debug for VerifyingKey {
@@ -95,9 +144,41 @@ impl core::fmt::Debug for VerifyingKey {
     }
 }
 
+impl PartialEq for VerifyingKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.signer == other.signer && self.secret == other.secret
+    }
+}
+
+impl Eq for VerifyingKey {}
+
+impl Serialize for VerifyingKey {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Map(vec![
+            ("signer".to_string(), self.signer.to_value()),
+            ("secret".to_string(), self.secret.to_value()),
+        ])
+    }
+}
+
+impl Deserialize for VerifyingKey {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::Error> {
+        let m = serde::value_as_map(v, "VerifyingKey")?;
+        let signer = SignerId::from_value(serde::map_field(m, "signer", "VerifyingKey")?)?;
+        let secret = <[u8; KEY_LEN]>::from_value(serde::map_field(m, "secret", "VerifyingKey")?)?;
+        let hmac = HmacKey::new(&secret);
+        Ok(Self {
+            signer,
+            secret,
+            hmac,
+        })
+    }
+}
+
 impl VerifyingKey {
-    pub(crate) fn secret(&self) -> &[u8; KEY_LEN] {
-        &self.secret
+    /// The precomputed HMAC state for this key.
+    pub(crate) fn hmac(&self) -> &HmacKey {
+        &self.hmac
     }
 }
 
@@ -107,6 +188,7 @@ impl SigningKey {
         VerifyingKey {
             signer: self.signer,
             secret: self.secret,
+            hmac: self.hmac.clone(),
         }
     }
 }

@@ -43,7 +43,7 @@ pub mod sha256;
 pub mod sig;
 
 pub use cost::CryptoCostModel;
-pub use hmac::HmacSha256;
+pub use hmac::{HmacKey, HmacSha256};
 pub use keys::{provision, KeyDirectory, SignerId, SigningKey, VerifyingKey};
 pub use sha256::{Digest, Sha256};
 pub use sig::{DoubleSigned, Signature, SingleSigned};

@@ -33,6 +33,26 @@ const H0: [u32; 8] = [
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub struct Digest(pub [u8; DIGEST_LEN]);
 
+/// Lowercase hexadecimal alphabet indexed by nibble value.
+const HEX_CHARS: &[u8; 16] = b"0123456789abcdef";
+
+/// Maps an ASCII byte to its nibble value, or 0xff for non-hex input.
+const HEX_NIBBLES: [u8; 256] = {
+    let mut table = [0xffu8; 256];
+    let mut i = 0u8;
+    while i < 10 {
+        table[(b'0' + i) as usize] = i;
+        i += 1;
+    }
+    let mut j = 0u8;
+    while j < 6 {
+        table[(b'a' + j) as usize] = 10 + j;
+        table[(b'A' + j) as usize] = 10 + j;
+        j += 1;
+    }
+    table
+};
+
 impl Digest {
     /// Returns the digest bytes.
     pub fn as_bytes(&self) -> &[u8; DIGEST_LEN] {
@@ -43,7 +63,8 @@ impl Digest {
     pub fn to_hex(&self) -> String {
         let mut s = String::with_capacity(DIGEST_LEN * 2);
         for b in self.0 {
-            s.push_str(&format!("{b:02x}"));
+            s.push(HEX_CHARS[(b >> 4) as usize] as char);
+            s.push(HEX_CHARS[(b & 0x0f) as usize] as char);
         }
         s
     }
@@ -57,10 +78,13 @@ impl Digest {
             return None;
         }
         let mut out = [0u8; DIGEST_LEN];
-        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
-            let hi = (chunk[0] as char).to_digit(16)?;
-            let lo = (chunk[1] as char).to_digit(16)?;
-            out[i] = ((hi << 4) | lo) as u8;
+        for (i, chunk) in s.as_bytes().chunks_exact(2).enumerate() {
+            let hi = HEX_NIBBLES[chunk[0] as usize];
+            let lo = HEX_NIBBLES[chunk[1] as usize];
+            if hi == 0xff || lo == 0xff {
+                return None;
+            }
+            out[i] = (hi << 4) | lo;
         }
         Some(Digest(out))
     }
@@ -326,6 +350,36 @@ mod tests {
         assert_eq!(Digest::from_hex(&d.to_hex()), Some(d));
         assert_eq!(Digest::from_hex("zz"), None);
         assert_eq!(Digest::from_hex(&"g".repeat(64)), None);
+    }
+
+    #[test]
+    fn hex_round_trip_every_byte_value() {
+        // Exercise the nibble lookup tables over all 256 byte values.
+        for start in [0u8, 32, 64, 96, 128, 160, 192, 224] {
+            let mut raw = [0u8; DIGEST_LEN];
+            for (i, b) in raw.iter_mut().enumerate() {
+                *b = start.wrapping_add(i as u8);
+            }
+            let d = Digest(raw);
+            let hex = d.to_hex();
+            assert_eq!(hex.len(), 64);
+            assert!(hex.bytes().all(|c| c.is_ascii_hexdigit()));
+            assert_eq!(Digest::from_hex(&hex), Some(d));
+            // Uppercase input parses to the same digest.
+            assert_eq!(Digest::from_hex(&hex.to_uppercase()), Some(d));
+        }
+    }
+
+    #[test]
+    fn from_hex_rejects_embedded_garbage() {
+        let good = Sha256::digest(b"x").to_hex();
+        for bad_char in ['g', ' ', '-', '\u{00e9}'] {
+            let mut bad = good.clone();
+            bad.replace_range(10..11, &bad_char.to_string());
+            // Multi-byte replacements change the length and are rejected for
+            // that reason; single-byte ones must hit the nibble table.
+            assert_eq!(Digest::from_hex(&bad), None, "{bad_char:?}");
+        }
     }
 
     #[test]

@@ -18,7 +18,6 @@ use serde::{Deserialize, Serialize};
 
 use fs_common::SignatureError;
 
-use crate::hmac::HmacSha256;
 use crate::keys::{KeyDirectory, SignerId, SigningKey};
 use crate::sha256::Digest;
 
@@ -32,11 +31,12 @@ pub struct Signature {
 }
 
 impl Signature {
-    /// Signs `message` with `key`.
+    /// Signs `message` with `key`, resuming from the key's precomputed HMAC
+    /// state (the RFC 2104 key schedule is never re-expanded per message).
     pub fn sign(key: &SigningKey, message: &[u8]) -> Signature {
         Signature {
             signer: key.signer,
-            tag: HmacSha256::mac(key.secret(), message),
+            tag: key.hmac().mac(message),
         }
     }
 
@@ -49,7 +49,7 @@ impl Signature {
     /// * [`SignatureError::Invalid`] — the tag does not verify.
     pub fn verify(&self, directory: &KeyDirectory, message: &[u8]) -> Result<(), SignatureError> {
         let key = directory.lookup(self.signer)?;
-        if HmacSha256::verify(key.secret(), message, self.tag.as_bytes()) {
+        if key.hmac().verify(message, self.tag.as_bytes()) {
             Ok(())
         } else {
             Err(SignatureError::Invalid)

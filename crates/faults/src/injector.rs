@@ -11,6 +11,7 @@
 use fs_common::id::ProcessId;
 use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
+use fs_common::Bytes;
 use fs_simnet::actor::{Actor, Context, TimerId};
 
 /// What kind of misbehaviour to inject.
@@ -37,7 +38,7 @@ pub enum FaultKind {
         /// The destination to spam.
         target: ProcessId,
         /// The payload to send.
-        payload: Vec<u8>,
+        payload: Bytes,
     },
 }
 
@@ -141,7 +142,7 @@ impl Context for FaultyContext<'_> {
     fn me(&self) -> ProcessId {
         self.inner.me()
     }
-    fn send(&mut self, to: ProcessId, mut payload: Vec<u8>) {
+    fn send(&mut self, to: ProcessId, payload: Bytes) {
         if !self.active {
             self.inner.send(to, payload);
             return;
@@ -149,11 +150,16 @@ impl Context for FaultyContext<'_> {
         match self.kind {
             FaultKind::CorruptOutputs { probability } => {
                 if self.rng.chance(*probability) && !payload.is_empty() {
-                    let idx = self.rng.below(payload.len() as u64) as usize;
-                    payload[idx] ^= 0xff;
+                    // The frame is an immutable shared buffer; a corrupting
+                    // fault is the one place that must copy it to mutate it.
+                    let mut corrupted = payload.to_vec();
+                    let idx = self.rng.below(corrupted.len() as u64) as usize;
+                    corrupted[idx] ^= 0xff;
                     self.stats.corrupted += 1;
+                    self.inner.send(to, corrupted.into());
+                } else {
+                    self.inner.send(to, payload);
                 }
-                self.inner.send(to, payload);
             }
             FaultKind::DropOutputs { probability } => {
                 if self.rng.chance(*probability) {
@@ -163,6 +169,7 @@ impl Context for FaultyContext<'_> {
                 }
             }
             FaultKind::DuplicateOutputs => {
+                // Duplication is free: both copies share the same buffer.
                 self.inner.send(to, payload.clone());
                 self.inner.send(to, payload);
                 self.stats.duplicated += 1;
@@ -198,7 +205,7 @@ impl Actor for FaultyActor {
         self.inner.on_start(ctx);
     }
 
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
         let active = self.active();
         self.handled += 1;
         if active {
@@ -258,7 +265,7 @@ mod tests {
     /// Echoes every message back to its sender.
     struct Echo;
     impl Actor for Echo {
-        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
             ctx.send(from, payload);
         }
     }
@@ -267,7 +274,7 @@ mod tests {
         let mut actor = FaultyActor::new(Box::new(Echo), plan, 7);
         let mut ctx = TestContext::new(ProcessId(0));
         for i in 0..messages {
-            actor.on_message(&mut ctx, ProcessId(1), vec![i as u8; 4]);
+            actor.on_message(&mut ctx, ProcessId(1), vec![i as u8; 4].into());
         }
         (actor, ctx)
     }
@@ -326,7 +333,7 @@ mod tests {
     fn babbling_spams_the_target() {
         let plan = FaultPlan::immediate(FaultKind::Babble {
             target: ProcessId(9),
-            payload: b"garbage".to_vec(),
+            payload: b"garbage"[..].into(),
         });
         let (actor, ctx) = drive(plan, 3);
         assert_eq!(ctx.sent_to(ProcessId(9)).len(), 3);

@@ -18,12 +18,13 @@
 //!
 //! ```
 //! use fs_common::id::ProcessId;
+//! use fs_common::Bytes;
 //! use fs_faults::{FaultKind, FaultPlan, FaultyActor};
 //! use fs_simnet::actor::{Actor, Context, TestContext};
 //!
 //! struct Echo;
 //! impl Actor for Echo {
-//!     fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+//!     fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
 //!         ctx.send(from, payload);
 //!     }
 //! }
@@ -32,7 +33,7 @@
 //! let mut victim = FaultyActor::new(Box::new(Echo), FaultPlan::after(2, FaultKind::Crash), 1);
 //! let mut ctx = TestContext::new(ProcessId(0));
 //! for i in 0..5u8 {
-//!     victim.on_message(&mut ctx, ProcessId(1), vec![i]);
+//!     victim.on_message(&mut ctx, ProcessId(1), vec![i].into());
 //! }
 //! assert_eq!(ctx.sent.len(), 2); // everything after the crash is lost
 //! ```

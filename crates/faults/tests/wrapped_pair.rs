@@ -6,6 +6,8 @@
 
 use std::sync::Arc;
 
+use fs_common::Bytes;
+
 use failsignal::message::FsoInbound;
 use failsignal::provision::{FsPairBuilder, FsPairSpec};
 use failsignal::receiver::{FsDelivery, FsReceiver};
@@ -36,9 +38,9 @@ struct Destination {
 }
 
 impl Actor for Destination {
-    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Bytes) {
         match self.receiver.accept(&payload) {
-            Some(FsDelivery::Output { bytes, .. }) => self.outputs.push(bytes),
+            Some(FsDelivery::Output { bytes, .. }) => self.outputs.push(bytes.to_vec()),
             Some(FsDelivery::FailSignal { fs }) => self.fail_signals.push(fs),
             None => {}
         }
@@ -54,12 +56,12 @@ impl Actor for Client {
     fn on_start(&mut self, ctx: &mut dyn Context) {
         ctx.set_timer(SimDuration::from_millis(5), TimerId(1));
     }
-    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {}
     fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
         if self.sent >= REQUESTS {
             return;
         }
-        let request = FsoInbound::Raw(format!("req-{}", self.sent).into_bytes()).to_wire();
+        let request = FsoInbound::Raw(format!("req-{}", self.sent).into()).to_wire();
         ctx.send(LEADER, request.clone());
         ctx.send(FOLLOWER, request);
         self.sent += 1;
@@ -205,7 +207,7 @@ fn crash_counts_swallowed_events_and_triggers_fail_signal() {
 fn babble_counts_garbage_and_is_rejected_by_validation() {
     let outcome = run_wrapped_pair(FaultPlan::immediate(FaultKind::Babble {
         target: DESTINATION,
-        payload: b"not a valid double-signed output".to_vec(),
+        payload: b"not a valid double-signed output"[..].into(),
     }));
     assert!(outcome.stats.babbled > 0, "babble fault must fire");
     assert_eq!(

@@ -19,6 +19,7 @@ use failsignal::receiver::{FsDelivery, FsReceiver, ReceiverStats};
 use fs_common::codec::Wire;
 use fs_common::id::{FsId, ProcessId};
 use fs_common::time::SimDuration;
+use fs_common::Bytes;
 use fs_crypto::keys::{KeyDirectory, SignerId};
 use fs_simnet::actor::{Actor, Context};
 
@@ -91,7 +92,7 @@ impl FsInterceptor {
 }
 
 impl Actor for FsInterceptor {
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
         if from == self.app {
             // A multicast request from the invocation layer: submit it to
             // both wrapper objects (the leader orders it, the follower checks
@@ -162,13 +163,13 @@ mod tests {
     #[test]
     fn app_requests_go_to_both_wrappers() {
         let (mut i, mut ctx, _, _) = setup();
-        i.on_message(&mut ctx, APP, b"request".to_vec());
+        i.on_message(&mut ctx, APP, b"request"[..].into());
         assert_eq!(ctx.sent_to(LEADER).len(), 1);
         assert_eq!(ctx.sent_to(FOLLOWER).len(), 1);
         assert_eq!(i.requests_forwarded(), 1);
         // Both copies carry the raw request inside the FS envelope.
         let decoded = FsoInbound::from_wire(&ctx.sent[0].payload).unwrap();
-        assert_eq!(decoded, FsoInbound::Raw(b"request".to_vec()));
+        assert_eq!(decoded, FsoInbound::Raw(b"request"[..].into()));
     }
 
     #[test]
@@ -177,7 +178,7 @@ mod tests {
         let content = FsContent::Output {
             output_seq: 0,
             dest: Endpoint::LocalApp,
-            bytes: b"upcall".to_vec(),
+            bytes: b"upcall"[..].into(),
         };
         let from_leader = FsOutput::sign(FsId(0), content.clone(), &leader_key, &follower_key);
         let from_follower = FsOutput::sign(FsId(0), content, &follower_key, &leader_key);
@@ -213,7 +214,7 @@ mod tests {
     fn forged_or_stranger_messages_are_dropped() {
         let (mut i, mut ctx, leader_key, _) = setup();
         // From an unknown process: ignored entirely.
-        i.on_message(&mut ctx, ProcessId(99), b"junk".to_vec());
+        i.on_message(&mut ctx, ProcessId(99), b"junk"[..].into());
         assert!(ctx.sent.is_empty());
         // From the leader but signed only by the leader twice: rejected.
         let forged = FsOutput::sign(
@@ -221,7 +222,7 @@ mod tests {
             FsContent::Output {
                 output_seq: 1,
                 dest: Endpoint::LocalApp,
-                bytes: b"x".to_vec(),
+                bytes: b"x"[..].into(),
             },
             &leader_key,
             &leader_key,

@@ -16,6 +16,7 @@ use std::collections::BTreeMap;
 use fs_common::codec::{Decoder, Encoder};
 use fs_common::id::{MemberId, ProcessId};
 use fs_common::time::{SimDuration, SimTime};
+use fs_common::Bytes;
 use fs_simnet::actor::{Actor, Context, TimerId};
 use fs_simnet::trace::LatencyRecorder;
 
@@ -223,7 +224,7 @@ impl Actor for AppProcess {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
         if from != self.middleware {
             return;
         }
@@ -359,7 +360,7 @@ mod tests {
         app.on_message(&mut ctx, ProcessId(99), junk.to_wire());
         assert_eq!(app.delivered_total(), 0);
         // Malformed upcalls from the right middleware are also ignored.
-        app.on_message(&mut ctx, ProcessId(5), vec![0xff, 0xff]);
+        app.on_message(&mut ctx, ProcessId(5), vec![0xff, 0xff].into());
         assert_eq!(app.delivered_total(), 0);
         assert_eq!(app.name(), "app-0");
     }

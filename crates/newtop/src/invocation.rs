@@ -9,7 +9,7 @@
 
 use fs_common::codec::Wire;
 use fs_common::error::{CodecError, Result};
-use fs_common::Error;
+use fs_common::{Bytes, Error};
 
 use crate::message::{AppRequest, ServiceKind, Upcall};
 
@@ -31,7 +31,7 @@ impl InvocationService {
 
     /// Marshals an application payload into the request submitted to the GC
     /// object.
-    pub fn marshal(&mut self, service: ServiceKind, payload: Vec<u8>) -> Vec<u8> {
+    pub fn marshal(&mut self, service: ServiceKind, payload: Vec<u8>) -> Bytes {
         self.marshalled += 1;
         AppRequest { service, payload }.to_wire()
     }
@@ -72,7 +72,7 @@ impl InvocationService {
 }
 
 /// Convenience free function: marshal a request without tracking counters.
-pub fn marshal_request(service: ServiceKind, payload: Vec<u8>) -> Vec<u8> {
+pub fn marshal_request(service: ServiceKind, payload: Vec<u8>) -> Bytes {
     AppRequest { service, payload }.to_wire()
 }
 

@@ -67,6 +67,9 @@ impl Wire for ServiceKind {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Self::from_tag(dec.get_u8()?)
     }
+    fn encoded_len(&self) -> usize {
+        1
+    }
 }
 
 /// A multicast request marshalled by the invocation layer and handed to the
@@ -89,6 +92,9 @@ impl Wire for AppRequest {
             service: ServiceKind::decode(dec)?,
             payload: dec.get_bytes_owned()?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        1 + 4 + self.payload.len()
     }
 }
 
@@ -126,6 +132,9 @@ impl Wire for AppDeliver {
             payload: dec.get_bytes_owned()?,
         })
     }
+    fn encoded_len(&self) -> usize {
+        4 + 8 + 8 + 1 + 4 + self.payload.len()
+    }
 }
 
 /// A view (membership) change delivered to the local application.
@@ -153,6 +162,9 @@ impl Wire for ViewDeliver {
             members.push(dec.get_member()?);
         }
         Ok(Self { view_id, members })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 4 * self.members.len()
     }
 }
 
@@ -183,6 +195,12 @@ impl Wire for Upcall {
             0 => Ok(Upcall::Deliver(AppDeliver::decode(dec)?)),
             1 => Ok(Upcall::View(ViewDeliver::decode(dec)?)),
             t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            Upcall::Deliver(d) => d.encoded_len(),
+            Upcall::View(v) => v.encoded_len(),
         }
     }
 }
@@ -385,6 +403,18 @@ impl Wire for GcMessage {
             t => Err(CodecError::UnknownTag(t)),
         }
     }
+
+    fn encoded_len(&self) -> usize {
+        1 + match self {
+            GcMessage::Data { vc, payload, .. } => {
+                4 + 8 + 8 + 4 + 8 * vc.len() + 1 + 4 + payload.len()
+            }
+            GcMessage::Ack { .. } => 4 + 8 + 4 + 8,
+            GcMessage::Order { .. } => 4 + 8 + 4 + 8,
+            GcMessage::Ping { .. } | GcMessage::Pong { .. } => 4 + 8,
+            GcMessage::Suspect { .. } => 4 + 4,
+        }
+    }
 }
 
 /// Inputs delivered to the GC machine by its environment (rather than by a
@@ -411,6 +441,9 @@ impl Wire for ControlInput {
             0 => Ok(ControlInput::Suspect(dec.get_member()?)),
             t => Err(CodecError::UnknownTag(t)),
         }
+    }
+    fn encoded_len(&self) -> usize {
+        5
     }
 }
 

@@ -11,6 +11,7 @@ use std::collections::BTreeMap;
 
 use fs_common::codec::Wire;
 use fs_common::id::{MemberId, ProcessId};
+use fs_common::Bytes;
 use fs_simnet::actor::{Actor, Context, TimerId};
 use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
 
@@ -124,7 +125,7 @@ impl Actor for NsoActor {
         }
     }
 
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
         if from == self.addresses.app {
             self.feed_machine(ctx, MachineInput::from_app(payload));
             return;
@@ -263,7 +264,7 @@ mod tests {
 
         // A message from an unknown process does nothing.
         let before = ctx.sent.len();
-        nso.on_message(&mut ctx, ProcessId(99), b"junk".to_vec());
+        nso.on_message(&mut ctx, ProcessId(99), b"junk"[..].into());
         assert_eq!(ctx.sent.len(), before);
     }
 

@@ -8,12 +8,23 @@
 //! runs unchanged on the deterministic simulator (used for the paper's
 //! figures) and on the real threaded runtime (used by the examples and the
 //! end-to-end tests).
+//!
+//! # Payload convention
+//!
+//! Message payloads are immutable, refcount-shared [`Bytes`] buffers, not
+//! `Vec<u8>`.  A sender encodes a frame **once** (`Wire::to_wire`) and hands
+//! the same buffer to every recipient; [`Context::send`] and the runtimes
+//! only ever clone the refcount, never the bytes.  Actors that need to
+//! mutate a payload (e.g. fault injectors corrupting a frame) must copy it
+//! out explicitly with `to_vec()` — on the normal path no copy happens
+//! between the encoder and the destination's decoder.
 
 use std::any::Any;
 
 use fs_common::id::ProcessId;
 use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
+use fs_common::Bytes;
 
 /// An application-defined timer identifier.
 ///
@@ -45,7 +56,11 @@ pub trait Context {
 
     /// Sends `payload` to `to`.  Delivery time is determined by the link
     /// between the two hosting nodes plus the destination node's queueing.
-    fn send(&mut self, to: ProcessId, payload: Vec<u8>);
+    ///
+    /// The payload is an immutable [`Bytes`] buffer: multicasting the same
+    /// frame to several destinations is a refcount clone per recipient, not
+    /// a copy (see the module docs for the payload convention).
+    fn send(&mut self, to: ProcessId, payload: Bytes);
 
     /// Arms (or re-arms) timer `timer` to fire `delay` after this handler
     /// completes.  Re-arming an already armed timer replaces its deadline.
@@ -80,8 +95,10 @@ pub trait Actor: Any + Send {
     /// Called once when the runtime starts, before any message is delivered.
     fn on_start(&mut self, _ctx: &mut dyn Context) {}
 
-    /// Called for every message delivered to this actor.
-    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>);
+    /// Called for every message delivered to this actor.  The payload is
+    /// the same shared buffer the sender encoded — decode it in place, do
+    /// not copy it.
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes);
 
     /// Called when a timer armed by this actor fires.
     fn on_timer(&mut self, _ctx: &mut dyn Context, _timer: TimerId) {}
@@ -98,8 +115,9 @@ pub trait Actor: Any + Send {
 pub struct Outgoing {
     /// Destination process.
     pub to: ProcessId,
-    /// Message bytes.
-    pub payload: Vec<u8>,
+    /// Message bytes (refcount-shared with every other recipient of the
+    /// same frame).
+    pub payload: Bytes,
 }
 
 /// A minimal [`Context`] implementation backed by plain vectors.
@@ -164,7 +182,7 @@ impl Context for TestContext {
     fn me(&self) -> ProcessId {
         self.id
     }
-    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+    fn send(&mut self, to: ProcessId, payload: Bytes) {
         self.sent.push(Outgoing { to, payload });
     }
     fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
@@ -193,7 +211,7 @@ mod tests {
     }
 
     impl Actor for Echo {
-        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
             self.seen += 1;
             ctx.charge_cpu(SimDuration::from_micros(10));
             ctx.send(from, payload);
@@ -208,13 +226,13 @@ mod tests {
     fn test_context_records_effects() {
         let mut ctx = TestContext::new(ProcessId(1));
         let mut echo = Echo { seen: 0 };
-        echo.on_message(&mut ctx, ProcessId(2), b"ping".to_vec());
+        echo.on_message(&mut ctx, ProcessId(2), Bytes::from(&b"ping"[..]));
         assert_eq!(echo.seen, 1);
         assert_eq!(
             ctx.sent,
             vec![Outgoing {
                 to: ProcessId(2),
-                payload: b"ping".to_vec()
+                payload: Bytes::from(&b"ping"[..])
             }]
         );
         assert_eq!(
@@ -237,7 +255,7 @@ mod tests {
     #[test]
     fn take_sent_drains() {
         let mut ctx = TestContext::new(ProcessId(0));
-        ctx.send(ProcessId(1), vec![1]);
+        ctx.send(ProcessId(1), vec![1].into());
         assert_eq!(ctx.take_sent().len(), 1);
         assert!(ctx.take_sent().is_empty());
     }
@@ -253,7 +271,7 @@ mod tests {
     fn default_name_and_hooks() {
         struct Quiet;
         impl Actor for Quiet {
-            fn on_message(&mut self, _: &mut dyn Context, _: ProcessId, _: Vec<u8>) {}
+            fn on_message(&mut self, _: &mut dyn Context, _: ProcessId, _: Bytes) {}
         }
         let mut q = Quiet;
         let mut ctx = TestContext::new(ProcessId(9));

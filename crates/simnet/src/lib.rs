@@ -16,14 +16,17 @@
 //! ```
 //! use fs_common::id::ProcessId;
 //! use fs_common::time::{SimDuration, SimTime};
+//! use fs_common::Bytes;
 //! use fs_simnet::actor::{Actor, Context};
 //! use fs_simnet::node::NodeConfig;
 //! use fs_simnet::sim::Simulation;
 //!
 //! struct Echo;
 //! impl Actor for Echo {
-//!     fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+//!     fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
 //!         ctx.charge_cpu(SimDuration::from_micros(100));
+//!         // Payloads are refcount-shared `Bytes`: echoing the frame back
+//!         // reuses the sender's buffer without copying it.
 //!         ctx.send(from, payload);
 //!     }
 //! }
@@ -31,9 +34,9 @@
 //! struct Client { replies: usize, server: ProcessId }
 //! impl Actor for Client {
 //!     fn on_start(&mut self, ctx: &mut dyn Context) {
-//!         ctx.send(self.server, b"hello".to_vec());
+//!         ctx.send(self.server, b"hello"[..].into());
 //!     }
-//!     fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {
+//!     fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
 //!         self.replies += 1;
 //!     }
 //! }

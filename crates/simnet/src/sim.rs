@@ -18,6 +18,7 @@ use std::collections::{BTreeMap, BinaryHeap};
 use fs_common::id::{NodeId, ProcessId};
 use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
+use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, Outgoing, TimerId};
 use crate::link::Topology;
@@ -32,7 +33,7 @@ enum EventKind {
     Deliver {
         to: ProcessId,
         from: ProcessId,
-        payload: Vec<u8>,
+        payload: Bytes,
     },
     Timer {
         process: ProcessId,
@@ -85,7 +86,7 @@ impl Context for SimContext<'_> {
     fn me(&self) -> ProcessId {
         self.me
     }
-    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+    fn send(&mut self, to: ProcessId, payload: Bytes) {
         self.outgoing.push(Outgoing { to, payload });
     }
     fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
@@ -244,18 +245,28 @@ impl Simulation {
     /// The message bypasses the link model: it appears at the destination
     /// node at exactly `at` and then queues for a thread like any other
     /// arrival.
-    pub fn inject_at(&mut self, at: SimTime, from: ProcessId, to: ProcessId, payload: Vec<u8>) {
+    pub fn inject_at(
+        &mut self,
+        at: SimTime,
+        from: ProcessId,
+        to: ProcessId,
+        payload: impl Into<Bytes>,
+    ) {
         let at = at.max(self.clock);
         let event = QueuedEvent {
             at,
             seq: self.next_seq(),
-            kind: EventKind::Deliver { to, from, payload },
+            kind: EventKind::Deliver {
+                to,
+                from,
+                payload: payload.into(),
+            },
         };
         self.queue.push(Reverse(event));
     }
 
     /// Injects a message for delivery as soon as possible.
-    pub fn inject_now(&mut self, from: ProcessId, to: ProcessId, payload: Vec<u8>) {
+    pub fn inject_now(&mut self, from: ProcessId, to: ProcessId, payload: impl Into<Bytes>) {
         self.inject_at(self.clock, from, to, payload);
     }
 
@@ -539,7 +550,7 @@ impl Simulation {
 
 enum HandlerKind {
     Start,
-    Message { from: ProcessId, payload: Vec<u8> },
+    Message { from: ProcessId, payload: Bytes },
     Timer { timer: TimerId },
 }
 
@@ -551,7 +562,7 @@ mod tests {
 
     /// Replies to every message with the same payload and counts deliveries.
     struct Echo {
-        received: Vec<(ProcessId, Vec<u8>)>,
+        received: Vec<(ProcessId, Bytes)>,
         cpu_per_msg: SimDuration,
     }
 
@@ -571,10 +582,12 @@ mod tests {
     }
 
     impl Actor for Echo {
-        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
             ctx.charge_cpu(self.cpu_per_msg);
-            self.received.push((from, payload.clone()));
-            ctx.send(from, payload);
+            // A refcount clone: the echoed reply shares the received buffer.
+            let reply = Bytes::clone(&payload);
+            self.received.push((from, payload));
+            ctx.send(from, reply);
         }
     }
 
@@ -589,10 +602,10 @@ mod tests {
     impl Actor for Burst {
         fn on_start(&mut self, ctx: &mut dyn Context) {
             for i in 0..self.count {
-                ctx.send(self.dest, vec![i as u8]);
+                ctx.send(self.dest, vec![i as u8].into());
             }
         }
-        fn on_message(&mut self, ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
             self.replies += 1;
             self.reply_times.push(ctx.now());
         }
@@ -605,7 +618,7 @@ mod tests {
     }
 
     impl Actor for TimerUser {
-        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {}
         fn on_start(&mut self, ctx: &mut dyn Context) {
             ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
             ctx.set_timer(SimDuration::from_millis(20), TimerId(2));
@@ -832,10 +845,10 @@ mod tests {
         let n0 = sim.add_node(NodeConfig::ideal());
         let echo = sim.spawn(n0, Box::new(Echo::new()));
         let external = ProcessId(999);
-        sim.inject_at(SimTime::from_millis(5), external, echo, b"hello".to_vec());
+        sim.inject_at(SimTime::from_millis(5), external, echo, &b"hello"[..]);
         sim.run_until(SimTime::from_secs(1));
         let e = sim.actor::<Echo>(echo).unwrap();
-        assert_eq!(e.received, vec![(external, b"hello".to_vec())]);
+        assert_eq!(e.received, vec![(external, Bytes::from(&b"hello"[..]))]);
         // The reply to the external process is dropped (unknown destination).
         assert_eq!(sim.stats().messages_dropped, 1);
     }
@@ -916,7 +929,7 @@ mod tests {
         // Actors written for the simulator also run against the TestContext.
         let mut echo = Echo::new();
         let mut ctx = TestContext::new(ProcessId(1));
-        echo.on_message(&mut ctx, ProcessId(2), vec![9]);
+        echo.on_message(&mut ctx, ProcessId(2), vec![9].into());
         assert_eq!(ctx.sent.len(), 1);
     }
 }

@@ -22,11 +22,12 @@ use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 use fs_common::id::ProcessId;
 use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
+use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, TimerId};
 
 enum Envelope {
-    Message { from: ProcessId, payload: Vec<u8> },
+    Message { from: ProcessId, payload: Bytes },
     Stop,
 }
 
@@ -166,13 +167,21 @@ impl ThreadedRuntime {
     /// Returns [`fs_common::Error::UnknownProcess`] when `to` is not a
     /// registered actor, or [`fs_common::Error::Disconnected`] when its
     /// thread has already terminated.
-    pub fn send(&self, from: ProcessId, to: ProcessId, payload: Vec<u8>) -> fs_common::Result<()> {
+    pub fn send(
+        &self,
+        from: ProcessId,
+        to: ProcessId,
+        payload: impl Into<Bytes>,
+    ) -> fs_common::Result<()> {
         let tx = self
             .inboxes
             .get(&to)
             .ok_or(fs_common::Error::UnknownProcess(to))?;
-        tx.send(Envelope::Message { from, payload })
-            .map_err(|_| fs_common::Error::Disconnected(to))
+        tx.send(Envelope::Message {
+            from,
+            payload: payload.into(),
+        })
+        .map_err(|_| fs_common::Error::Disconnected(to))
     }
 
     /// Wall-clock time since the runtime started, as a [`SimTime`].
@@ -265,7 +274,7 @@ impl Context for ThreadContext<'_> {
     fn me(&self) -> ProcessId {
         self.me
     }
-    fn send(&mut self, to: ProcessId, payload: Vec<u8>) {
+    fn send(&mut self, to: ProcessId, payload: Bytes) {
         if let Some(tx) = self.inboxes.get(&to) {
             let _ = tx.send(Envelope::Message {
                 from: self.me,
@@ -367,7 +376,7 @@ mod tests {
     }
 
     impl Actor for Counter {
-        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
             self.seen += 1;
             self.shared.fetch_add(1, Ordering::SeqCst);
         }
@@ -382,13 +391,13 @@ mod tests {
     impl Actor for PingPong {
         fn on_start(&mut self, ctx: &mut dyn Context) {
             if let Some(peer) = self.peer {
-                ctx.send(peer, b"ping".to_vec());
+                ctx.send(peer, b"ping"[..].into());
             }
         }
-        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, _payload: Vec<u8>) {
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, _payload: Bytes) {
             if self.rounds_left > 0 {
                 self.rounds_left -= 1;
-                ctx.send(from, b"pong".to_vec());
+                ctx.send(from, b"pong"[..].into());
             }
             if self.rounds_left == 0 {
                 self.finished.fetch_add(1, Ordering::SeqCst);
@@ -401,7 +410,7 @@ mod tests {
     }
 
     impl Actor for TimerOnce {
-        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {}
         fn on_start(&mut self, ctx: &mut dyn Context) {
             ctx.set_timer(SimDuration::from_millis(5), TimerId(1));
         }

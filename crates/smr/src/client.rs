@@ -5,6 +5,7 @@
 
 use fs_common::codec::Wire;
 use fs_common::id::ProcessId;
+use fs_common::Bytes;
 
 use crate::command::RequestId;
 use crate::replica::{Request, Response};
@@ -17,7 +18,7 @@ pub struct ReplicatedClient {
     next_seq: u64,
     voter: MajorityVoter,
     outstanding: Vec<RequestId>,
-    completed: Vec<(RequestId, Vec<u8>)>,
+    completed: Vec<(RequestId, Bytes)>,
 }
 
 impl ReplicatedClient {
@@ -40,24 +41,27 @@ impl ReplicatedClient {
 
     /// Builds the next request for `command`; the caller multicasts the
     /// returned wire bytes to every replica (via the ordering service).
-    pub fn next_request(&mut self, command: Vec<u8>) -> (RequestId, Vec<u8>) {
+    pub fn next_request(&mut self, command: impl Into<Bytes>) -> (RequestId, Bytes) {
         self.next_seq += 1;
         let id = RequestId::new(self.id, self.next_seq);
         self.outstanding.push(id);
-        let request = Request { id, command };
+        let request = Request {
+            id,
+            command: command.into(),
+        };
         (id, request.to_wire())
     }
 
     /// Feeds a replica response (wire bytes).  Returns the decided
     /// application-level response when this response completes a majority.
-    pub fn on_response_wire(&mut self, bytes: &[u8]) -> Option<(RequestId, Vec<u8>)> {
+    pub fn on_response_wire(&mut self, bytes: &[u8]) -> Option<(RequestId, Bytes)> {
         let response = Response::from_wire(bytes).ok()?;
         self.on_response(&response)
     }
 
     /// Feeds a replica response.  Returns the decided application-level
     /// response when this response completes a majority.
-    pub fn on_response(&mut self, response: &Response) -> Option<(RequestId, Vec<u8>)> {
+    pub fn on_response(&mut self, response: &Response) -> Option<(RequestId, Bytes)> {
         match self.voter.on_response(response) {
             VoteOutcome::Decided(payload) => {
                 self.outstanding.retain(|id| *id != response.id);
@@ -74,7 +78,7 @@ impl ReplicatedClient {
     }
 
     /// Requests decided so far, in decision order.
-    pub fn completed(&self) -> &[(RequestId, Vec<u8>)] {
+    pub fn completed(&self) -> &[(RequestId, Bytes)] {
         &self.completed
     }
 
@@ -105,7 +109,7 @@ mod tests {
         let (id, wire) = c.next_request(b"do-it".to_vec());
         let decoded = Request::from_wire(&wire).unwrap();
         assert_eq!(decoded.id, id);
-        assert_eq!(decoded.command, b"do-it".to_vec());
+        assert_eq!(decoded.command, b"do-it"[..]);
     }
 
     #[test]
@@ -115,13 +119,13 @@ mod tests {
         let mk = |replica: u32, payload: &[u8]| Response {
             id,
             replica: MemberId(replica),
-            payload: payload.to_vec(),
+            payload: payload[..].into(),
         };
         assert!(c.on_response(&mk(0, b"r")).is_none());
         let decided = c.on_response(&mk(1, b"r")).unwrap();
-        assert_eq!(decided, (id, b"r".to_vec()));
+        assert_eq!(decided, (id, Bytes::from(&b"r"[..])));
         assert!(c.outstanding().is_empty());
-        assert_eq!(c.completed(), &[(id, b"r".to_vec())]);
+        assert_eq!(c.completed(), &[(id, Bytes::from(&b"r"[..]))]);
     }
 
     #[test]
@@ -131,32 +135,32 @@ mod tests {
         let lie = Response {
             id,
             replica: MemberId(2),
-            payload: b"LIE".to_vec(),
+            payload: b"LIE"[..].into(),
         };
         let truth0 = Response {
             id,
             replica: MemberId(0),
-            payload: b"ok".to_vec(),
+            payload: b"ok"[..].into(),
         };
         let truth1 = Response {
             id,
             replica: MemberId(1),
-            payload: b"ok".to_vec(),
+            payload: b"ok"[..].into(),
         };
         assert!(c.on_response(&lie).is_none());
         assert!(c.on_response(&truth0).is_none());
-        assert_eq!(c.on_response(&truth1), Some((id, b"ok".to_vec())));
+        assert_eq!(c.on_response(&truth1), Some((id, Bytes::from(&b"ok"[..]))));
         // Equivocation detection.
         let (id2, _) = c.next_request(b"cmd2".to_vec());
         let e1 = Response {
             id: id2,
             replica: MemberId(2),
-            payload: b"x".to_vec(),
+            payload: b"x"[..].into(),
         };
         let e2 = Response {
             id: id2,
             replica: MemberId(2),
-            payload: b"y".to_vec(),
+            payload: b"y"[..].into(),
         };
         c.on_response(&e1);
         c.on_response(&e2);
@@ -171,8 +175,11 @@ mod tests {
         let r = Response {
             id,
             replica: MemberId(0),
-            payload: b"v".to_vec(),
+            payload: b"v"[..].into(),
         };
-        assert_eq!(c.on_response_wire(&r.to_wire()), Some((id, b"v".to_vec())));
+        assert_eq!(
+            c.on_response_wire(&r.to_wire()),
+            Some((id, Bytes::from(&b"v"[..])))
+        );
     }
 }

@@ -11,6 +11,7 @@
 use fs_common::codec::{Decoder, Encoder, Wire};
 use fs_common::error::CodecError;
 use fs_common::id::ProcessId;
+use fs_common::Bytes;
 
 /// A client request identifier: `(client, per-client sequence)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -38,6 +39,9 @@ impl Wire for RequestId {
             client: dec.get_process()?,
             seq: dec.get_u64()?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        12
     }
 }
 
@@ -133,7 +137,7 @@ impl Wire for KvResponse {
 pub trait AppStateMachine: Send + 'static {
     /// Applies one command (already totally ordered) and returns the
     /// response bytes.
-    fn apply(&mut self, command: &[u8]) -> Vec<u8>;
+    fn apply(&mut self, command: &[u8]) -> Bytes;
 
     /// A digest of the current state, used by tests to check replica
     /// convergence; the default hashes nothing and returns 0.
@@ -172,7 +176,7 @@ impl KvStore {
 }
 
 impl AppStateMachine for KvStore {
-    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+    fn apply(&mut self, command: &[u8]) -> Bytes {
         self.applied += 1;
         let response = match KvCommand::from_wire(command) {
             Ok(KvCommand::Put { key, value }) => {
@@ -352,7 +356,7 @@ impl AuctionHouse {
 }
 
 impl AppStateMachine for AuctionHouse {
-    fn apply(&mut self, command: &[u8]) -> Vec<u8> {
+    fn apply(&mut self, command: &[u8]) -> Bytes {
         self.applied += 1;
         let response = match AuctionCommand::from_wire(command) {
             Ok(AuctionCommand::Open { item, reserve }) => {
@@ -614,7 +618,7 @@ mod tests {
 
     #[test]
     fn identical_command_sequences_converge() {
-        let cmds: Vec<Vec<u8>> = (0..50)
+        let cmds: Vec<Bytes> = (0..50)
             .map(|i| {
                 KvCommand::Put {
                     key: format!("k{}", i % 7),

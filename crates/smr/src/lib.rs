@@ -18,12 +18,12 @@
 //! let (id, _wire) = client.next_request(b"transfer 100".to_vec());
 //!
 //! // One faulty replica lies; the two correct replicas agree.
-//! let lie = Response { id, replica: MemberId(2), payload: b"denied".to_vec() };
-//! let ok0 = Response { id, replica: MemberId(0), payload: b"done".to_vec() };
-//! let ok1 = Response { id, replica: MemberId(1), payload: b"done".to_vec() };
+//! let lie = Response { id, replica: MemberId(2), payload: b"denied"[..].into() };
+//! let ok0 = Response { id, replica: MemberId(0), payload: b"done"[..].into() };
+//! let ok1 = Response { id, replica: MemberId(1), payload: b"done"[..].into() };
 //! assert!(client.on_response(&lie).is_none());
 //! assert!(client.on_response(&ok0).is_none());
-//! assert_eq!(client.on_response(&ok1), Some((id, b"done".to_vec())));
+//! assert_eq!(client.on_response(&ok1), Some((id, fs_common::Bytes::from(&b"done"[..]))));
 //! ```
 
 #![forbid(unsafe_code)]

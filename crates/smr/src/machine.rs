@@ -14,6 +14,7 @@
 
 use fs_common::id::MemberId;
 use fs_common::time::SimDuration;
+use fs_common::Bytes;
 
 /// A logical endpoint of a machine input or output.
 ///
@@ -40,28 +41,32 @@ pub enum Endpoint {
 pub struct MachineInput {
     /// Where the input came from.
     pub source: Endpoint,
-    /// The input bytes (canonical wire encoding of a protocol message).
-    pub bytes: Vec<u8>,
+    /// The input bytes (canonical wire encoding of a protocol message),
+    /// refcount-shared with the transport that delivered them.
+    pub bytes: Bytes,
 }
 
 impl MachineInput {
     /// Creates an input from `source` carrying `bytes`.
-    pub fn new(source: Endpoint, bytes: Vec<u8>) -> Self {
-        Self { source, bytes }
+    pub fn new(source: Endpoint, bytes: impl Into<Bytes>) -> Self {
+        Self {
+            source,
+            bytes: bytes.into(),
+        }
     }
 
     /// Convenience constructor for an input from the local application.
-    pub fn from_app(bytes: Vec<u8>) -> Self {
+    pub fn from_app(bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::LocalApp, bytes)
     }
 
     /// Convenience constructor for an input from peer `m`.
-    pub fn from_peer(m: MemberId, bytes: Vec<u8>) -> Self {
+    pub fn from_peer(m: MemberId, bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::Peer(m), bytes)
     }
 
     /// Convenience constructor for an environment input.
-    pub fn from_env(bytes: Vec<u8>) -> Self {
+    pub fn from_env(bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::Environment, bytes)
     }
 }
@@ -71,28 +76,33 @@ impl MachineInput {
 pub struct MachineOutput {
     /// Where the output should go.
     pub dest: Endpoint,
-    /// The output bytes.
-    pub bytes: Vec<u8>,
+    /// The output bytes.  An output produced once is signed, compared and
+    /// transmitted to every destination without re-encoding, so the buffer
+    /// is immutable and refcount-shared.
+    pub bytes: Bytes,
 }
 
 impl MachineOutput {
     /// Creates an output destined for `dest` carrying `bytes`.
-    pub fn new(dest: Endpoint, bytes: Vec<u8>) -> Self {
-        Self { dest, bytes }
+    pub fn new(dest: Endpoint, bytes: impl Into<Bytes>) -> Self {
+        Self {
+            dest,
+            bytes: bytes.into(),
+        }
     }
 
     /// Convenience constructor for an output to the local application.
-    pub fn to_app(bytes: Vec<u8>) -> Self {
+    pub fn to_app(bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::LocalApp, bytes)
     }
 
     /// Convenience constructor for an output to peer `m`.
-    pub fn to_peer(m: MemberId, bytes: Vec<u8>) -> Self {
+    pub fn to_peer(m: MemberId, bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::Peer(m), bytes)
     }
 
     /// Convenience constructor for an output multicast to every peer.
-    pub fn broadcast(bytes: Vec<u8>) -> Self {
+    pub fn broadcast(bytes: impl Into<Bytes>) -> Self {
         Self::new(Endpoint::Broadcast, bytes)
     }
 }
@@ -144,7 +154,7 @@ where
 /// the source, plus a copy to the local application every `fanout`-th input.
 #[derive(Debug, Clone, Default)]
 pub struct EchoMachine {
-    log: Vec<Vec<u8>>,
+    log: Vec<Bytes>,
     /// Emit a delivery to the local application every `fanout` inputs
     /// (0 = never).
     pub fanout: usize,
@@ -160,7 +170,7 @@ impl EchoMachine {
     }
 
     /// The inputs processed so far.
-    pub fn log(&self) -> &[Vec<u8>] {
+    pub fn log(&self) -> &[Bytes] {
         &self.log
     }
 }
@@ -203,7 +213,7 @@ mod tests {
             out,
             vec![MachineOutput::to_peer(MemberId(2), b"abc".to_vec())]
         );
-        assert_eq!(m.log(), &[b"abc".to_vec()]);
+        assert_eq!(m.log(), &[Bytes::from(&b"abc"[..])]);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 use fs_common::codec::{Decoder, Encoder, Wire};
 use fs_common::error::CodecError;
 use fs_common::id::{MemberId, ProcessId};
+use fs_common::Bytes;
 
 use crate::command::{AppStateMachine, RequestId};
 
@@ -18,7 +19,7 @@ pub struct Request {
     /// The request identifier (client + sequence).
     pub id: RequestId,
     /// The encoded application command.
-    pub command: Vec<u8>,
+    pub command: Bytes,
 }
 
 impl Wire for Request {
@@ -29,8 +30,11 @@ impl Wire for Request {
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         Ok(Self {
             id: RequestId::decode(dec)?,
-            command: dec.get_bytes_owned()?,
+            command: dec.get_bytes_shared()?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + 4 + self.command.len()
     }
 }
 
@@ -42,7 +46,7 @@ pub struct Response {
     /// The replica (group member) that produced it.
     pub replica: MemberId,
     /// The encoded application response.
-    pub payload: Vec<u8>,
+    pub payload: Bytes,
 }
 
 impl Wire for Response {
@@ -55,8 +59,11 @@ impl Wire for Response {
         Ok(Self {
             id: RequestId::decode(dec)?,
             replica: dec.get_member()?,
-            payload: dec.get_bytes_owned()?,
+            payload: dec.get_bytes_shared()?,
         })
+    }
+    fn encoded_len(&self) -> usize {
+        self.id.encoded_len() + 4 + 4 + self.payload.len()
     }
 }
 
@@ -162,7 +169,7 @@ mod tests {
         let resp = Response {
             id: r.id,
             replica: MemberId(2),
-            payload: vec![1, 2],
+            payload: vec![1, 2].into(),
         };
         assert_eq!(Response::from_wire(&resp.to_wire()).unwrap(), resp);
     }

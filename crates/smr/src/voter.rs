@@ -11,6 +11,8 @@ use std::collections::BTreeMap;
 
 use fs_common::id::MemberId;
 
+use fs_common::Bytes;
+
 use crate::command::RequestId;
 use crate::replica::Response;
 
@@ -20,7 +22,7 @@ pub enum VoteOutcome {
     /// Not enough matching responses yet.
     Pending,
     /// A value reached `f + 1` matching responses and is now decided.
-    Decided(Vec<u8>),
+    Decided(Bytes),
     /// The request was already decided earlier (late or duplicate response).
     AlreadyDecided,
     /// The same replica sent two *different* responses for one request —
@@ -32,8 +34,8 @@ pub enum VoteOutcome {
 #[derive(Debug, Clone)]
 pub struct MajorityVoter {
     faults: usize,
-    pending: BTreeMap<RequestId, BTreeMap<MemberId, Vec<u8>>>,
-    decided: BTreeMap<RequestId, Vec<u8>>,
+    pending: BTreeMap<RequestId, BTreeMap<MemberId, Bytes>>,
+    decided: BTreeMap<RequestId, Bytes>,
     equivocators: Vec<MemberId>,
 }
 
@@ -74,15 +76,17 @@ impl MajorityVoter {
             }
             entry.insert(response.replica, response.payload.clone());
 
-            // Count matching payloads.
-            let mut counts: BTreeMap<&[u8], usize> = BTreeMap::new();
+            // Count matching payloads.  The map keys borrow the (shared)
+            // payload buffers; the winning payload is returned by refcount
+            // clone, not by copying the bytes.
+            let mut counts: BTreeMap<&[u8], (usize, &Bytes)> = BTreeMap::new();
             for payload in entry.values() {
-                *counts.entry(payload.as_slice()).or_insert(0) += 1;
+                counts.entry(&payload[..]).or_insert((0, payload)).0 += 1;
             }
             counts
-                .into_iter()
-                .find(|(_, c)| *c >= quorum)
-                .map(|(payload, _)| payload.to_vec())
+                .into_values()
+                .find(|(c, _)| *c >= quorum)
+                .map(|(_, payload)| payload.clone())
         };
         if let Some(decided) = reached_quorum {
             self.decided.insert(response.id, decided.clone());
@@ -94,7 +98,7 @@ impl MajorityVoter {
 
     /// Returns the decided value for a request, if any.
     pub fn decision(&self, id: RequestId) -> Option<&[u8]> {
-        self.decided.get(&id).map(|v| v.as_slice())
+        self.decided.get(&id).map(|v| &v[..])
     }
 
     /// Returns the replicas caught sending conflicting responses.
@@ -122,7 +126,7 @@ mod tests {
         Response {
             id: RequestId::new(ProcessId(9), seq),
             replica: MemberId(replica),
-            payload: payload.to_vec(),
+            payload: payload[..].into(),
         }
     }
 
@@ -133,7 +137,7 @@ mod tests {
         assert_eq!(v.on_response(&resp(1, 0, b"ok")), VoteOutcome::Pending);
         assert_eq!(
             v.on_response(&resp(1, 1, b"ok")),
-            VoteOutcome::Decided(b"ok".to_vec())
+            VoteOutcome::Decided(b"ok"[..].into())
         );
         assert_eq!(
             v.decision(RequestId::new(ProcessId(9), 1)),
@@ -155,7 +159,7 @@ mod tests {
         assert_eq!(v.on_response(&resp(1, 0, b"right")), VoteOutcome::Pending);
         assert_eq!(
             v.on_response(&resp(1, 1, b"right")),
-            VoteOutcome::Decided(b"right".to_vec())
+            VoteOutcome::Decided(b"right"[..].into())
         );
     }
 
@@ -168,7 +172,7 @@ mod tests {
         assert_eq!(v.on_response(&resp(7, 3, b"b")), VoteOutcome::Pending);
         assert_eq!(
             v.on_response(&resp(7, 4, b"a")),
-            VoteOutcome::Decided(b"a".to_vec())
+            VoteOutcome::Decided(b"a"[..].into())
         );
     }
 
@@ -193,12 +197,12 @@ mod tests {
         assert_eq!(v.on_response(&resp(2, 0, b"b")), VoteOutcome::Pending);
         assert_eq!(
             v.on_response(&resp(2, 1, b"b")),
-            VoteOutcome::Decided(b"b".to_vec())
+            VoteOutcome::Decided(b"b"[..].into())
         );
         assert_eq!(v.pending_count(), 1);
         assert_eq!(
             v.on_response(&resp(1, 1, b"a")),
-            VoteOutcome::Decided(b"a".to_vec())
+            VoteOutcome::Decided(b"a"[..].into())
         );
         assert_eq!(v.pending_count(), 0);
     }
@@ -209,7 +213,7 @@ mod tests {
         assert_eq!(v.quorum(), 1);
         assert_eq!(
             v.on_response(&resp(1, 0, b"solo")),
-            VoteOutcome::Decided(b"solo".to_vec())
+            VoteOutcome::Decided(b"solo"[..].into())
         );
     }
 }

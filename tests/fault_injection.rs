@@ -5,6 +5,8 @@
 
 use std::sync::Arc;
 
+use fs_smr_suite::common::Bytes;
+
 use fs_smr_suite::common::codec::Wire;
 use fs_smr_suite::common::config::TimingAssumptions;
 use fs_smr_suite::common::id::{FsId, ProcessId};
@@ -34,9 +36,9 @@ struct Destination {
 }
 
 impl Actor for Destination {
-    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Vec<u8>) {
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Bytes) {
         match self.receiver.accept(&payload) {
-            Some(FsDelivery::Output { bytes, .. }) => self.outputs.push(bytes),
+            Some(FsDelivery::Output { bytes, .. }) => self.outputs.push(bytes.to_vec()),
             Some(FsDelivery::FailSignal { fs }) => self.fail_signals.push(fs),
             None => {}
         }
@@ -53,12 +55,12 @@ impl Actor for Client {
     fn on_start(&mut self, ctx: &mut dyn Context) {
         ctx.set_timer(SimDuration::from_millis(5), TimerId(1));
     }
-    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Vec<u8>) {}
+    fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {}
     fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
         if self.sent >= self.requests {
             return;
         }
-        let request = FsoInbound::Raw(format!("req-{}", self.sent).into_bytes()).to_wire();
+        let request = FsoInbound::Raw(format!("req-{}", self.sent).into()).to_wire();
         ctx.send(LEADER, request.clone());
         ctx.send(FOLLOWER, request);
         self.sent += 1;
@@ -173,7 +175,7 @@ fn babbling_garbage_at_the_destination_is_rejected_by_validation() {
     // outputs still get through.
     let fault = FaultPlan::immediate(FaultKind::Babble {
         target: DESTINATION,
-        payload: b"not a valid double-signed output".to_vec(),
+        payload: b"not a valid double-signed output"[..].into(),
     });
     let (outputs, fail_signals) = run_campaign(Some(fault), 8);
     assert_eq!(outputs.len(), 8);

@@ -10,10 +10,16 @@
 use proptest::prelude::*;
 
 use fs_smr_suite::common::codec::Wire;
-use fs_smr_suite::common::id::{MemberId, ProcessId};
-use fs_smr_suite::crypto::hmac::HmacSha256;
+use fs_smr_suite::common::id::{FsId, MemberId, ProcessId};
+use fs_smr_suite::common::rng::DetRng;
+use fs_smr_suite::common::Bytes;
+use fs_smr_suite::crypto::hmac::{HmacKey, HmacSha256};
+use fs_smr_suite::crypto::keys::{provision, SignerId};
 use fs_smr_suite::crypto::sha256::Sha256;
+use fs_smr_suite::crypto::sig::Signature;
+use fs_smr_suite::failsignal::message::{FsContent, FsOutput, FsoInbound, PairMessage};
 use fs_smr_suite::newtop::gc::{GcConfig, GcCosts, GcMachine};
+use fs_smr_suite::newtop::message as newtop_msg;
 use fs_smr_suite::newtop::message::{AppRequest, GcMessage, ServiceKind};
 use fs_smr_suite::smr::command::{KvCommand, KvStore};
 use fs_smr_suite::smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
@@ -210,5 +216,129 @@ proptest! {
         if key_a != key_b {
             prop_assert!(!HmacSha256::verify(&key_b, &data, tag.as_bytes()));
         }
+    }
+
+    /// The precomputed [`HmacKey`] state produces exactly the one-shot tags
+    /// for arbitrary keys and payloads (RFC 2104/6234 equivalence beyond the
+    /// fixed test vectors), including across reuse of the same key.
+    #[test]
+    fn hmac_cached_key_matches_one_shot(
+        key in proptest::collection::vec(any::<u8>(), 0..160),
+        data_a in proptest::collection::vec(any::<u8>(), 0..512),
+        data_b in proptest::collection::vec(any::<u8>(), 0..512),
+    ) {
+        let cached = HmacKey::new(&key);
+        prop_assert_eq!(cached.mac(&data_a), HmacSha256::mac(&key, &data_a));
+        prop_assert_eq!(cached.mac(&data_b), HmacSha256::mac(&key, &data_b));
+        prop_assert!(cached.verify(&data_a, HmacSha256::mac(&key, &data_a).as_bytes()));
+    }
+
+    /// Wire-format freeze: the `Bytes`-returning `to_wire` path (one sized
+    /// allocation, refcount-shared) must stay byte-identical to the legacy
+    /// `to_wire_vec` growth path for every message type in `newtop::message`
+    /// and `failsignal::message`, and the `encoded_len` sizing hints must be
+    /// exact.  This is what keeps the zero-copy refactor invisible on the
+    /// wire (the determinism suite then pins the end-to-end byte stream).
+    #[test]
+    fn bytes_encode_path_is_frozen(
+        payload in proptest::collection::vec(any::<u8>(), 0..300),
+        seq in any::<u64>(),
+        member in 0u32..64,
+        n_members in 0usize..6,
+        endpoint_tag in 0u8..4,
+    ) {
+        let endpoint = match endpoint_tag {
+            0 => Endpoint::LocalApp,
+            1 => Endpoint::Peer(MemberId(member)),
+            2 => Endpoint::Environment,
+            _ => Endpoint::Broadcast,
+        };
+        let mut rng = DetRng::new(42);
+        let (mut keys, _dir) = provision([ProcessId(1), ProcessId(2)], &mut rng);
+        let key_a = keys.remove(&SignerId(ProcessId(1))).unwrap();
+        let key_b = keys.remove(&SignerId(ProcessId(2))).unwrap();
+
+        fn check<T: Wire>(value: &T) {
+            let shared = value.to_wire();
+            let legacy = value.to_wire_vec();
+            prop_assert_eq!(&shared[..], &legacy[..]);
+            prop_assert_eq!(value.encoded_len(), shared.len());
+        }
+
+        // newtop::message
+        for service in [
+            ServiceKind::SymmetricTotal,
+            ServiceKind::AsymmetricTotal,
+            ServiceKind::Reliable,
+            ServiceKind::Unreliable,
+            ServiceKind::Causal,
+        ] {
+            check(&service);
+        }
+        check(&AppRequest { service: ServiceKind::Causal, payload: payload.clone() });
+        check(&newtop_msg::AppDeliver {
+            origin: MemberId(member),
+            seq,
+            order: seq.wrapping_add(1),
+            service: ServiceKind::SymmetricTotal,
+            payload: payload.clone(),
+        });
+        let view = newtop_msg::ViewDeliver {
+            view_id: seq,
+            members: (0..n_members as u32).map(MemberId).collect(),
+        };
+        check(&view);
+        check(&newtop_msg::Upcall::View(view));
+        check(&GcMessage::Data {
+            origin: MemberId(member),
+            seq,
+            ts: seq.wrapping_mul(3),
+            vc: (0..n_members as u64).collect(),
+            service: ServiceKind::SymmetricTotal,
+            payload: payload.clone(),
+        });
+        check(&GcMessage::Ack { origin: MemberId(member), seq, from: MemberId(member + 1), clock: seq });
+        check(&GcMessage::Order { sequencer: MemberId(0), global_seq: seq, origin: MemberId(member), seq });
+        check(&GcMessage::Ping { from: MemberId(member), nonce: seq });
+        check(&GcMessage::Pong { from: MemberId(member), nonce: seq });
+        check(&GcMessage::Suspect { suspect: MemberId(member), from: MemberId(member + 1) });
+        check(&newtop_msg::ControlInput::Suspect(MemberId(member)));
+
+        // failsignal::message
+        let shared_payload = Bytes::from(payload.clone());
+        let content = FsContent::Output {
+            output_seq: seq,
+            dest: endpoint,
+            bytes: shared_payload.clone(),
+        };
+        check(&content);
+        check(&FsContent::FailSignal);
+        let output = FsOutput::sign(FsId(member), content.clone(), &key_a, &key_b);
+        check(&output);
+        check(&PairMessage::Ordered {
+            order_index: seq,
+            source: endpoint,
+            bytes: shared_payload.clone(),
+        });
+        check(&PairMessage::ForwardNew { source: endpoint, bytes: shared_payload.clone() });
+        check(&PairMessage::Candidate {
+            output_seq: seq,
+            dest: endpoint,
+            bytes: shared_payload.clone(),
+            signature: Signature::sign(&key_a, &shared_payload),
+        });
+        check(&FsoInbound::Pair(PairMessage::ForwardNew { source: endpoint, bytes: shared_payload.clone() }));
+        check(&FsoInbound::External(output));
+        check(&FsoInbound::Raw(shared_payload.clone()));
+
+        // smr client/replica frames (the other per-message hot path).
+        let id = RequestId::new(ProcessId(member), seq);
+        check(&id);
+        check(&Request { id, command: shared_payload.clone() });
+        check(&fs_smr_suite::smr::replica::Response {
+            id,
+            replica: MemberId(member),
+            payload: shared_payload,
+        });
     }
 }
