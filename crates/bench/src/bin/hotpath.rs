@@ -6,7 +6,7 @@
 //! steps — encode, sign, deliver, verify — and records the numbers in
 //! `results/bench-hotpath.json` so every PR leaves a perf trajectory behind.
 //!
-//! Four sections:
+//! Sections:
 //!
 //! * **hmac** — one-shot `HmacSha256::mac` (re-expands the RFC 2104 key
 //!   schedule per message) vs the cached [`HmacKey`] state that
@@ -16,20 +16,37 @@
 //!   `Bytes`) vs the legacy `Wire::to_wire_vec` growth-from-zero path, on
 //!   the candidate frames the wrapper pair exchanges.
 //! * **sign_verify** — the full double-signature round: build an
-//!   [`FsOutput`], wire round-trip it, verify it at a destination.
+//!   [`FsOutput`], wire round-trip it, verify it at a destination — both
+//!   the raw cryptographic cost (`verify_ns`, memo bypassed) and the
+//!   memoised cost a co-hosted duplicate destination pays
+//!   (`verify_memo_ns`).
+//! * **scheduler** — the simulator's future event set under the hold model
+//!   (pop one event, push a successor) at 1 k and 100 k pending events:
+//!   the legacy binary heap vs the calendar queue, plus slab (`Vec` index)
+//!   vs `BTreeMap` actor lookup.
 //! * **pipeline** — a complete 3-member FS-NewTOP deployment (interceptors,
 //!   wrapper pairs, NewTOP GC) driven to quiescence on the discrete-event
 //!   simulator; host wall-clock per ordered delivery and per simulated
-//!   event.
+//!   event.  **pipeline_large** repeats it at a larger group size, where
+//!   the pending event set is big enough for the calendar queue to matter.
 //!
 //! `FS_BENCH_HOTPATH_ITERS` scales the micro-benchmark iteration counts
 //! (default 100 000); `FS_BENCH_HOTPATH_MESSAGES` the per-member pipeline
-//! message count (default 100).  CI runs both small.
+//! message count (default 100); `FS_BENCH_HOTPATH_LARGE_MEMBERS` the large
+//! pipeline's group size (default 9).  CI runs everything small.
+//!
+//! **Regression guard:** when `FS_BENCH_HOTPATH_REF` names a reference
+//! report (normally the committed `results/bench-hotpath.json`), the run
+//! fails (exit 3) if the 3-member pipeline's ordered-deliveries/host-sec
+//! drops more than `FS_BENCH_HOTPATH_MAX_REGRESSION` (default 0.20, i.e.
+//! 20%) below the reference.
 
 use std::hint::black_box;
 use std::time::Instant;
 
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
+
+use std::collections::BTreeMap;
 
 use failsignal::message::{signing_bytes, FsContent, FsOutput, FsoInbound, PairMessage};
 use failsignal::receiver::FsReceiver;
@@ -44,6 +61,7 @@ use fs_crypto::keys::{provision, SignerId};
 use fs_crypto::sig::Signature;
 use fs_newtop::app::TrafficConfig;
 use fs_newtop_bft::deployment::{build_fs_newtop, DeploymentParams};
+use fs_simnet::sched::{EventQueue, ScheduledEvent, SchedulerKind};
 use fs_smr::machine::Endpoint;
 
 /// Payload sizes exercised by the micro sections: the paper's "0k" 3-byte
@@ -99,7 +117,32 @@ struct SignVerifyRow {
     payload_bytes: usize,
     sign_double_ns: f64,
     wire_round_trip_ns: f64,
+    /// True cryptographic cost of a destination-side double verify (memo
+    /// bypassed).
     verify_ns: f64,
+    /// Cost a co-hosted duplicate destination pays: the host-side memo hit.
+    verify_memo_ns: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct SchedulerRow {
+    pending_events: usize,
+    /// Hold operation (pop + push a successor) on the legacy binary heap.
+    legacy_heap_hold_ns: f64,
+    /// The same hold operation on the calendar queue.
+    calendar_hold_ns: f64,
+    speedup: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ActorLookupRow {
+    actors: usize,
+    /// `ProcessId → slot` lookup through a `BTreeMap` (the pre-refactor
+    /// actor table).
+    btreemap_lookup_ns: f64,
+    /// The slab path: a dense `Vec` indexed by the id.
+    slab_lookup_ns: f64,
+    speedup: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -121,7 +164,10 @@ struct HotpathReport {
     hmac: Vec<HmacRow>,
     encode: Vec<EncodeRow>,
     sign_verify: Vec<SignVerifyRow>,
+    scheduler: Vec<SchedulerRow>,
+    actor_lookup: Vec<ActorLookupRow>,
     pipeline: PipelineReport,
+    pipeline_large: PipelineReport,
 }
 
 fn bench_hmac(iters: u64) -> Vec<HmacRow> {
@@ -210,6 +256,11 @@ fn bench_sign_verify(iters: u64) -> Vec<SignVerifyRow> {
             let pair = (a.signer, b.signer);
             let verify_ns = time_ns_per_op(n, || {
                 black_box(&output)
+                    .verify_with_uncached(&dir, &content_bytes, pair)
+                    .expect("valid");
+            });
+            let verify_memo_ns = time_ns_per_op(n, || {
+                black_box(&output)
                     .verify_with(&dir, &content_bytes, pair)
                     .expect("valid");
             });
@@ -218,17 +269,118 @@ fn bench_sign_verify(iters: u64) -> Vec<SignVerifyRow> {
                 sign_double_ns,
                 wire_round_trip_ns,
                 verify_ns,
+                verify_memo_ns,
             }
         })
         .collect()
 }
 
-fn bench_pipeline(messages_per_member: u64) -> PipelineReport {
-    let members = 3u32;
+/// One scheduler event for the hold-model benchmark: ordered by
+/// `(time, seq)` exactly like the simulator's queued events.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct HoldEvent {
+    at: SimTime,
+    seq: u64,
+}
+
+impl ScheduledEvent for HoldEvent {
+    fn at(&self) -> SimTime {
+        self.at
+    }
+}
+
+/// Times the classic hold operation (pop the minimum event, push a successor
+/// a random distance in the future) at a steady queue population — the
+/// standard way to compare pending-event-set implementations.
+fn bench_scheduler(iters: u64) -> Vec<SchedulerRow> {
+    let hold_ns = |kind: SchedulerKind, pending: usize, iters: u64| -> f64 {
+        let mut queue = EventQueue::new(kind);
+        let mut rng = DetRng::new(0x5ced);
+        let mut seq = 0u64;
+        for _ in 0..pending {
+            seq += 1;
+            queue.push(HoldEvent {
+                at: SimTime::from_nanos(rng.below(1_000_000_000)),
+                seq,
+            });
+        }
+        // Warm up past the initial window construction so the timed section
+        // measures the steady-state hold cost.
+        for _ in 0..(iters / 4).max(1_000) {
+            let event = queue.pop().expect("queue stays populated");
+            seq += 1;
+            queue.push(HoldEvent {
+                at: event.at + fs_common::time::SimDuration::from_nanos(rng.below(2_000_000) + 1),
+                seq,
+            });
+        }
+        let start = Instant::now();
+        for _ in 0..iters {
+            let event = queue.pop().expect("queue stays populated");
+            seq += 1;
+            queue.push(HoldEvent {
+                at: event.at + fs_common::time::SimDuration::from_nanos(rng.below(2_000_000) + 1),
+                seq,
+            });
+            black_box(event);
+        }
+        start.elapsed().as_nanos() as f64 / iters as f64
+    };
+    [1_000usize, 100_000]
+        .iter()
+        .map(|&pending| {
+            let n = iters.max(1_000);
+            let legacy = hold_ns(SchedulerKind::LegacyHeap, pending, n);
+            let calendar = hold_ns(SchedulerKind::CalendarQueue, pending, n);
+            SchedulerRow {
+                pending_events: pending,
+                legacy_heap_hold_ns: legacy,
+                calendar_hold_ns: calendar,
+                speedup: legacy / calendar,
+            }
+        })
+        .collect()
+}
+
+/// Compares the pre-refactor `BTreeMap` actor table against the dense slab
+/// index on a uniformly random lookup workload.
+fn bench_actor_lookup(iters: u64) -> Vec<ActorLookupRow> {
+    [16usize, 1_024]
+        .iter()
+        .map(|&actors| {
+            let map: BTreeMap<ProcessId, u32> =
+                (0..actors as u32).map(|i| (ProcessId(i), i)).collect();
+            let slab: Vec<u32> = (0..actors as u32).collect();
+            let mut rng = DetRng::new(9);
+            let ids: Vec<ProcessId> = (0..1024)
+                .map(|_| ProcessId(rng.below(actors as u64) as u32))
+                .collect();
+            let n = iters.max(1_000);
+            let mut cursor = 0usize;
+            let btreemap_lookup_ns = time_ns_per_op(n, || {
+                cursor = (cursor + 1) % ids.len();
+                black_box(map.get(&ids[cursor]).copied());
+            });
+            let slab_lookup_ns = time_ns_per_op(n, || {
+                cursor = (cursor + 1) % ids.len();
+                black_box(slab.get(ids[cursor].0 as usize).copied());
+            });
+            ActorLookupRow {
+                actors,
+                btreemap_lookup_ns,
+                slab_lookup_ns,
+                speedup: btreemap_lookup_ns / slab_lookup_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_pipeline(members: u32, messages_per_member: u64) -> PipelineReport {
     let traffic = TrafficConfig::paper_default().with_messages(messages_per_member);
     let params = DeploymentParams::paper(members)
         .with_traffic(traffic)
         .with_seed(2003);
+    assert_eq!(params.scheduler, SchedulerKind::CalendarQueue);
     let mut deployment = build_fs_newtop(&params);
     // Run far past the workload's simulated duration so the pipeline drains.
     let start = Instant::now();
@@ -278,9 +430,83 @@ fn check_pipeline_correctness() {
     );
 }
 
+/// The subset of a reference report the regression guard needs (unknown
+/// fields in the JSON are ignored by the deserializer, so old and new report
+/// layouts both parse).
+#[derive(Debug, Deserialize)]
+struct ReferencePipeline {
+    deliveries_per_host_sec: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ReferenceReport {
+    pipeline: ReferencePipeline,
+}
+
+/// Extracts the 3-member pipeline's deliveries/host-sec from a reference
+/// report.
+fn reference_deliveries_per_sec(json: &str) -> Option<f64> {
+    serde_json::from_str::<ReferenceReport>(json)
+        .ok()
+        .map(|r| r.pipeline.deliveries_per_host_sec)
+}
+
+/// Loads the regression-guard reference **before any benchmarking runs**:
+/// `FS_BENCH_HOTPATH_REF` normally points at the committed
+/// `results/bench-hotpath.json`, which this very run overwrites later, so
+/// the reference number must be captured up front (comparing the fresh
+/// report to itself would make the guard vacuous).  Exits 3 when the
+/// reference is configured but unreadable.
+fn load_regression_reference() -> Option<f64> {
+    let ref_path = std::env::var("FS_BENCH_HOTPATH_REF").ok()?;
+    let json = match std::fs::read_to_string(&ref_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("regression guard: cannot read {ref_path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    match reference_deliveries_per_sec(&json) {
+        Some(reference) => Some(reference),
+        None => {
+            eprintln!("regression guard: no pipeline deliveries_per_host_sec in {ref_path}");
+            std::process::exit(3);
+        }
+    }
+}
+
+/// The scheduler regression guard: fails the run when the fresh pipeline
+/// throughput drops more than the allowed fraction below the committed
+/// reference captured at start-up.
+fn check_regression(fresh: &PipelineReport, reference: f64) {
+    let max_regression = std::env::var("FS_BENCH_HOTPATH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.20);
+    let floor = reference * (1.0 - max_regression);
+    if fresh.deliveries_per_host_sec < floor {
+        eprintln!(
+            "regression guard: pipeline throughput {:.0}/s is more than {:.0}% below the \
+             reference {:.0}/s (floor {:.0}/s) — scheduler or receive-path regression",
+            fresh.deliveries_per_host_sec,
+            max_regression * 100.0,
+            reference,
+            floor,
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "regression guard: {:.0}/s vs reference {:.0}/s (floor {:.0}/s) — ok",
+        fresh.deliveries_per_host_sec, reference, floor
+    );
+}
+
 fn main() {
     let iters = env_u64("FS_BENCH_HOTPATH_ITERS", 100_000);
     let messages = env_u64("FS_BENCH_HOTPATH_MESSAGES", 100);
+    let large_members = env_u64("FS_BENCH_HOTPATH_LARGE_MEMBERS", 9) as u32;
+    // Capture the reference before this run overwrites the report file.
+    let regression_reference = load_regression_reference();
     check_pipeline_correctness();
 
     eprintln!("hotpath: hmac ({iters} base iters)...");
@@ -289,8 +515,15 @@ fn main() {
     let encode = bench_encode(iters);
     eprintln!("hotpath: sign/verify...");
     let sign_verify = bench_sign_verify(iters / 4);
+    eprintln!("hotpath: scheduler (hold model)...");
+    let scheduler = bench_scheduler(iters / 4);
+    let actor_lookup = bench_actor_lookup(iters);
     eprintln!("hotpath: full FS-NewTOP pipeline ({messages} msgs/member)...");
-    let pipeline = bench_pipeline(messages);
+    let pipeline = bench_pipeline(3, messages);
+    eprintln!(
+        "hotpath: large FS-NewTOP pipeline ({large_members} members, {messages} msgs/member)..."
+    );
+    let pipeline_large = bench_pipeline(large_members, messages);
 
     println!(
         "{:<16} {:>14} {:>14} {:>9}",
@@ -313,11 +546,34 @@ fn main() {
         );
     }
     println!(
+        "\n{:<16} {:>14} {:>14} {:>9}",
+        "sched pending", "heap hold ns", "calendar ns", "speedup"
+    );
+    for row in &scheduler {
+        println!(
+            "{:<16} {:>14.0} {:>14.0} {:>8.2}x",
+            row.pending_events, row.legacy_heap_hold_ns, row.calendar_hold_ns, row.speedup
+        );
+    }
+    for row in &actor_lookup {
+        println!(
+            "actor lookup n={:<6} btreemap {:>6.1} ns  slab {:>6.1} ns  ({:.2}x)",
+            row.actors, row.btreemap_lookup_ns, row.slab_lookup_ns, row.speedup
+        );
+    }
+    println!(
         "\npipeline: {} deliveries in {:.1} ms host time ({:.0} deliveries/s, {:.1} us/sim event)",
         pipeline.total_deliveries,
         pipeline.host_elapsed_ms,
         pipeline.deliveries_per_host_sec,
         pipeline.host_us_per_sim_event
+    );
+    println!(
+        "pipeline_large (n={}): {} deliveries in {:.1} ms host time ({:.0} deliveries/s)",
+        pipeline_large.members,
+        pipeline_large.total_deliveries,
+        pipeline_large.host_elapsed_ms,
+        pipeline_large.deliveries_per_host_sec,
     );
 
     let small_speedup = hmac.first().map(|r| r.speedup).unwrap_or(0.0);
@@ -334,7 +590,10 @@ fn main() {
         hmac,
         encode,
         sign_verify,
+        scheduler,
+        actor_lookup,
         pipeline,
+        pipeline_large,
     };
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -351,5 +610,11 @@ fn main() {
             // artifact silently disappear from the perf trajectory.
             std::process::exit(1);
         }
+    }
+    // After the fresh report is on disk (so CI still uploads it), enforce
+    // the scheduler regression guard against the reference captured at
+    // start-up.
+    if let Some(reference) = regression_reference {
+        check_regression(&report.pipeline, reference);
     }
 }

@@ -152,16 +152,41 @@ impl Encoder {
 }
 
 /// Incremental decoder for the canonical wire form.
+///
+/// A decoder created with [`Decoder::new`] borrows a plain byte slice and
+/// must copy when a length-prefixed field is extracted as owned bytes.  A
+/// decoder created with [`Decoder::from_frame`] additionally remembers the
+/// refcount-shared [`Bytes`] frame the slice came from, which lets
+/// [`Decoder::get_bytes_shared`] hand out zero-copy sub-slice views of the
+/// frame instead of copies — the receive path uses this everywhere.
 #[derive(Debug)]
 pub struct Decoder<'a> {
     buf: &'a [u8],
     pos: usize,
+    /// The shared frame `buf` is a view of, when known.  Kept so
+    /// `get_bytes_shared` can return views that share the frame's storage.
+    frame: Option<&'a Bytes>,
 }
 
 impl<'a> Decoder<'a> {
     /// Creates a decoder over `buf`.
     pub fn new(buf: &'a [u8]) -> Self {
-        Self { buf, pos: 0 }
+        Self {
+            buf,
+            pos: 0,
+            frame: None,
+        }
+    }
+
+    /// Creates a decoder over a refcount-shared frame.  Length-prefixed
+    /// fields extracted with [`Decoder::get_bytes_shared`] will be zero-copy
+    /// views into `frame`.
+    pub fn from_frame(frame: &'a Bytes) -> Self {
+        Self {
+            buf: frame,
+            pos: 0,
+            frame: Some(frame),
+        }
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], CodecError> {
@@ -245,8 +270,20 @@ impl<'a> Decoder<'a> {
     }
 
     /// Reads a length-prefixed byte string into a refcount-shared buffer.
+    ///
+    /// When the decoder was created with [`Decoder::from_frame`] (the normal
+    /// receive path — see [`Wire::from_wire_shared`]), the returned [`Bytes`]
+    /// is a zero-copy sub-slice view of the frame: it shares the frame's
+    /// storage and costs one refcount bump, no payload bytes are copied.
+    /// Only a decoder over a bare `&[u8]` falls back to copying.
     pub fn get_bytes_shared(&mut self) -> Result<Bytes, CodecError> {
-        self.get_bytes().map(Bytes::copy_from_slice)
+        let frame = self.frame;
+        let start = self.pos + 4; // the field body begins after the u32 prefix
+        let bytes = self.get_bytes()?;
+        match frame {
+            Some(frame) => Ok(frame.slice(start..start + bytes.len())),
+            None => Ok(Bytes::copy_from_slice(bytes)),
+        }
     }
 
     /// Reads a length-prefixed UTF-8 string.
@@ -346,6 +383,23 @@ pub trait Wire: Sized {
     /// bytes.
     fn from_wire(bytes: &[u8]) -> Result<Self, CodecError> {
         let mut dec = Decoder::new(bytes);
+        let v = Self::decode(&mut dec)?;
+        dec.finish()?;
+        Ok(v)
+    }
+
+    /// Decodes a value from a refcount-shared frame, requiring the whole
+    /// buffer to be consumed.  Byte-string fields of the decoded value are
+    /// zero-copy views sharing `frame`'s storage (see
+    /// [`Decoder::get_bytes_shared`]); the decoded value is byte-identical
+    /// to what [`Wire::from_wire`] produces from the same bytes.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`CodecError`] when the buffer is malformed or has trailing
+    /// bytes.
+    fn from_wire_shared(frame: &Bytes) -> Result<Self, CodecError> {
+        let mut dec = Decoder::from_frame(frame);
         let v = Self::decode(&mut dec)?;
         dec.finish()?;
         Ok(v)
@@ -610,6 +664,47 @@ mod tests {
         let b = Bytes::copy_from_slice(&[9; 40]);
         assert_eq!(b.encoded_len(), b.to_wire().len());
         assert_eq!(Bytes::from_wire(&b.to_wire()).unwrap(), b);
+    }
+
+    #[test]
+    fn get_bytes_shared_is_zero_copy_from_a_frame() {
+        let mut enc = Encoder::new();
+        enc.put_u32(7);
+        enc.put_bytes(b"payload-bytes");
+        enc.put_bytes(b"");
+        let frame = enc.finish();
+
+        let mut dec = Decoder::from_frame(&frame);
+        assert_eq!(dec.get_u32().unwrap(), 7);
+        let payload = dec.get_bytes_shared().unwrap();
+        assert_eq!(payload, b"payload-bytes");
+        // The decoded field is a view into the frame: shared storage, one
+        // refcount bump, zero payload bytes copied.
+        assert!(payload.shares_storage(&frame));
+        let empty = dec.get_bytes_shared().unwrap();
+        assert!(empty.is_empty());
+        assert!(dec.finish().is_ok());
+
+        // The bare-slice decoder still copies (no frame to share).
+        let mut copying = Decoder::new(&frame);
+        copying.get_u32().unwrap();
+        let copied = copying.get_bytes_shared().unwrap();
+        assert_eq!(copied, payload);
+        assert!(!copied.shares_storage(&frame));
+    }
+
+    #[test]
+    fn from_wire_shared_matches_from_wire() {
+        let value = Bytes::copy_from_slice(&[1, 2, 3, 4]);
+        let frame = value.to_wire();
+        let shared = Bytes::from_wire_shared(&frame).unwrap();
+        let copied = Bytes::from_wire(&frame).unwrap();
+        assert_eq!(shared, copied);
+        assert!(shared.shares_storage(&frame));
+        // Trailing bytes are still rejected.
+        let mut long = frame.to_vec();
+        long.push(0);
+        assert!(Bytes::from_wire_shared(&Bytes::from(long)).is_err());
     }
 
     #[test]

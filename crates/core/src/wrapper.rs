@@ -175,7 +175,30 @@ impl FsoActor {
         id
     }
 
-    fn input_digest(endpoint: Endpoint, bytes: &[u8]) -> Digest {
+    /// The dedup digest of one external input.
+    ///
+    /// The same `(endpoint, bytes)` pair is digested at both wrappers of the
+    /// pair (and again when the leader's `Ordered` relay arrives), so the
+    /// digest is memoised host-side per thread, making a repeat lookup a
+    /// hash-map probe instead of a SHA-256 run.  The digest value is a pure
+    /// function of the key, so memoisation cannot change simulation results;
+    /// stored keys are compact copies (never views of delivered frames) and
+    /// both the entry count and retained bytes are bounded.
+    fn input_digest(endpoint: Endpoint, bytes: &Bytes) -> Digest {
+        const DIGEST_MEMO_MAX: usize = 16 * 1024;
+        const DIGEST_MEMO_MAX_BYTES: usize = 32 * 1024 * 1024;
+        /// The memo map plus the running total of retained input bytes.
+        type DigestMemo = (std::collections::HashMap<(Endpoint, Bytes), Digest>, usize);
+        thread_local! {
+            static DIGEST_MEMO: std::cell::RefCell<DigestMemo> =
+                std::cell::RefCell::new((std::collections::HashMap::new(), 0));
+        }
+        // Probe with a refcount clone of the live frame (hash and equality
+        // are by content, so it matches the detached stored key).
+        let probe = (endpoint, bytes.clone());
+        if let Some(digest) = DIGEST_MEMO.with(|memo| memo.borrow().0.get(&probe).copied()) {
+            return digest;
+        }
         let mut h = Sha256::new();
         match endpoint {
             Endpoint::LocalApp => h.update(&[0]),
@@ -187,7 +210,20 @@ impl FsoActor {
             Endpoint::Broadcast => h.update(&[3]),
         }
         h.update(bytes);
-        h.finalize()
+        let digest = h.finalize();
+        // Store a compact copy of the input, not a view: a memo key must
+        // not keep the whole delivered frame alive.
+        let stored_key = (endpoint, Bytes::copy_from_slice(bytes));
+        DIGEST_MEMO.with(|memo| {
+            let (map, bytes_held) = &mut *memo.borrow_mut();
+            if map.len() >= DIGEST_MEMO_MAX || *bytes_held >= DIGEST_MEMO_MAX_BYTES {
+                map.clear();
+                *bytes_held = 0;
+            }
+            *bytes_held += bytes.len();
+            map.insert(stored_key, digest);
+        });
+        digest
     }
 
     fn send_pair(&self, ctx: &mut dyn Context, message: PairMessage) {
@@ -524,7 +560,9 @@ impl Actor for FsoActor {
             self.reply_with_fail_signal(ctx, from);
             return;
         }
-        let Ok(inbound) = FsoInbound::from_wire(&payload) else {
+        // Zero-copy decode: byte-string fields of the inbound message are
+        // sub-slice views sharing the delivered frame's storage.
+        let Ok(inbound) = FsoInbound::from_wire_shared(&payload) else {
             self.stats.rejected_inputs += 1;
             return;
         };

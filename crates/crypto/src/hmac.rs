@@ -89,6 +89,15 @@ impl HmacKey {
     pub fn verify(&self, data: &[u8], tag: &[u8]) -> bool {
         ct_eq(self.mac(data).as_bytes(), tag)
     }
+
+    /// A 64-bit fingerprint identifying this key (derived from the
+    /// precomputed inner state, so no extra hashing).  Two distinct keys
+    /// collide with negligible probability; the signature layer uses this to
+    /// key its host-side verification memo so results cached under one key
+    /// directory can never leak into another.
+    pub fn fingerprint(&self) -> u64 {
+        self.inner.state_fingerprint()
+    }
 }
 
 /// An HMAC-SHA-256 keyed hasher.

@@ -189,15 +189,24 @@ impl Sha256 {
     /// Finishes the hash computation and returns the digest.
     pub fn finalize(mut self) -> Digest {
         let bit_len = self.total_len.wrapping_mul(8);
-        // Append the 0x80 terminator.
-        self.update_padding(&[0x80]);
-        // Pad with zeros until 8 bytes remain in the block.
-        while self.buffer_len != BLOCK_LEN - 8 {
-            self.update_padding(&[0]);
+        // Assemble the final one or two blocks (buffered tail + 0x80
+        // terminator + zero padding + 64-bit message length) in one stack
+        // buffer and compress them directly — this runs once per digest on
+        // the authenticated hot path, so it avoids a byte-at-a-time loop.
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        tail[..self.buffer_len].copy_from_slice(&self.buffer[..self.buffer_len]);
+        tail[self.buffer_len] = 0x80;
+        let total = if self.buffer_len + 1 + 8 <= BLOCK_LEN {
+            BLOCK_LEN
+        } else {
+            2 * BLOCK_LEN
+        };
+        tail[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+        let (first, second) = tail.split_at(BLOCK_LEN);
+        self.compress(first.try_into().expect("block sized"));
+        if total == 2 * BLOCK_LEN {
+            self.compress(second.try_into().expect("block sized"));
         }
-        // Append the original length in bits, big-endian.
-        self.update_padding(&bit_len.to_be_bytes());
-        debug_assert_eq!(self.buffer_len, 0);
 
         let mut out = [0u8; DIGEST_LEN];
         for (i, word) in self.state.iter().enumerate() {
@@ -206,18 +215,11 @@ impl Sha256 {
         Digest(out)
     }
 
-    /// Like `update` but does not count the bytes towards the message length
-    /// (used only for padding during `finalize`).
-    fn update_padding(&mut self, data: &[u8]) {
-        for &b in data {
-            self.buffer[self.buffer_len] = b;
-            self.buffer_len += 1;
-            if self.buffer_len == BLOCK_LEN {
-                let block = self.buffer;
-                self.compress(&block);
-                self.buffer_len = 0;
-            }
-        }
+    /// A 64-bit fingerprint of the current chaining state, used by the
+    /// signature layer to key its host-side verification memo per HMAC key
+    /// (the state after absorbing the ipad block is unique per key).
+    pub(crate) fn state_fingerprint(&self) -> u64 {
+        (u64::from(self.state[0]) << 32) | u64::from(self.state[1])
     }
 
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {

@@ -31,6 +31,7 @@ use fs_newtop::nso::{AddressBook, NsoActor};
 use fs_newtop::suspector::SuspectorConfig;
 use fs_simnet::link::{LinkModel, Topology};
 use fs_simnet::node::NodeConfig;
+use fs_simnet::sched::SchedulerKind;
 use fs_simnet::sim::Simulation;
 use fs_smr::machine::Endpoint;
 
@@ -68,6 +69,10 @@ pub struct DeploymentParams {
     pub layout: Layout,
     /// Random seed for the simulation.
     pub seed: u64,
+    /// The scheduler backing the simulator's future event set.  Results are
+    /// identical for every kind (the determinism suite pins this down); the
+    /// legacy heap exists for differential testing.
+    pub scheduler: SchedulerKind,
 }
 
 impl DeploymentParams {
@@ -97,6 +102,7 @@ impl DeploymentParams {
             traffic: TrafficConfig::paper_default(),
             layout: Layout::Collapsed,
             seed: 2003,
+            scheduler: SchedulerKind::default(),
         }
     }
 
@@ -115,6 +121,13 @@ impl DeploymentParams {
     /// Returns a copy with a different layout.
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
+        self
+    }
+
+    /// Returns a copy using a different simulator scheduler (the legacy heap
+    /// is used by the differential determinism tests).
+    pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
         self
     }
 
@@ -195,7 +208,7 @@ pub fn build_newtop(params: &DeploymentParams) -> Deployment {
     let n = params.members;
     assert!(n >= 1, "a group needs at least one member");
     let group: Vec<MemberId> = (0..n).map(MemberId).collect();
-    let mut sim = Simulation::with_topology(params.seed, lan_topology());
+    let mut sim = Simulation::with_scheduler(params.seed, lan_topology(), params.scheduler);
 
     // Identifier scheme: member i gets app = 2i, NSO = 2i + 1.
     let app_pid = |i: u32| ProcessId(2 * i);
@@ -243,7 +256,7 @@ pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
     let n = params.members;
     assert!(n >= 1, "a group needs at least one member");
     let group: Vec<MemberId> = (0..n).map(MemberId).collect();
-    let mut sim = Simulation::with_topology(params.seed, lan_topology());
+    let mut sim = Simulation::with_scheduler(params.seed, lan_topology(), params.scheduler);
 
     // Identifier scheme: member i gets app = 4i, interceptor = 4i + 1,
     // leader wrapper = 4i + 2, follower wrapper = 4i + 3.

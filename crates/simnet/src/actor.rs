@@ -14,10 +14,14 @@
 //! Message payloads are immutable, refcount-shared [`Bytes`] buffers, not
 //! `Vec<u8>`.  A sender encodes a frame **once** (`Wire::to_wire`) and hands
 //! the same buffer to every recipient; [`Context::send`] and the runtimes
-//! only ever clone the refcount, never the bytes.  Actors that need to
-//! mutate a payload (e.g. fault injectors corrupting a frame) must copy it
-//! out explicitly with `to_vec()` — on the normal path no copy happens
-//! between the encoder and the destination's decoder.
+//! only ever clone the refcount, never the bytes.  On the receive side the
+//! destination decodes the delivered frame with `Wire::from_wire_shared`,
+//! and every byte-string field extracted from it is a zero-copy sub-slice
+//! *view* of the frame (`Bytes::slice` via `Decoder::get_bytes_shared`) —
+//! no payload byte is copied anywhere between the sender's encoder and the
+//! application upcall.  Actors that need to mutate a payload (e.g. fault
+//! injectors corrupting a frame) must copy it out explicitly with
+//! `to_vec()`.
 
 use std::any::Any;
 

@@ -56,6 +56,7 @@
 pub mod actor;
 pub mod link;
 pub mod node;
+pub mod sched;
 pub mod sim;
 pub mod threaded;
 pub mod trace;
@@ -63,6 +64,7 @@ pub mod trace;
 pub use actor::{Actor, Context, Outgoing, TestContext, TimerId};
 pub use link::{LinkModel, Topology};
 pub use node::{NodeConfig, NodeState};
+pub use sched::{CalendarQueue, EventQueue, ScheduledEvent, SchedulerKind};
 pub use sim::Simulation;
 pub use threaded::{ThreadedBuilder, ThreadedConfig, ThreadedRuntime};
 pub use trace::{LatencyRecorder, LatencySummary, NetStats, TraceEvent, TraceLog};

@@ -9,11 +9,19 @@
 //! the paper's Figures 6–8.
 //!
 //! Determinism: given the same seed, actor set and injected workload, a run
-//! produces exactly the same event sequence, timestamps and statistics.
+//! produces exactly the same event sequence, timestamps and statistics —
+//! regardless of the [`SchedulerKind`] backing the future event set (the
+//! calendar queue by default, the legacy binary heap as a differential
+//! oracle).
+//!
+//! Hot-path layout: actors live in a dense slab (`Vec<ActorSlot>`) addressed
+//! by a small integer handle; the `ProcessId → slot` mapping is consulted
+//! when an event is *enqueued* (and at the public inspection APIs), so
+//! dispatching an event is a direct vector index, not a tree walk.  Per-pair
+//! FIFO delivery floors and per-process counters are likewise slab-indexed.
 
 use std::any::Any;
-use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap};
+use std::collections::BTreeMap;
 
 use fs_common::id::{NodeId, ProcessId};
 use fs_common::rng::DetRng;
@@ -23,20 +31,33 @@ use fs_common::Bytes;
 use crate::actor::{Actor, Context, Outgoing, TimerId};
 use crate::link::Topology;
 use crate::node::{NodeConfig, NodeState};
-use crate::trace::{NetStats, ProcessCounters, TraceEvent, TraceLog};
+use crate::sched::{EventQueue, ScheduledEvent, SchedulerKind};
+use crate::trace::{NetStats, ProcessCount, ProcessCounters, TraceEvent, TraceLog};
+
+/// Sentinel slot index: the destination was unknown when the event was
+/// enqueued (externally injected traffic) and is resolved at dispatch.
+const UNRESOLVED: u32 = u32::MAX;
+
+/// Process identifiers below this bound index a dense lookup table; larger
+/// (arbitrarily sparse) identifiers fall back to an ordered map so that
+/// `spawn_with` keeps accepting any id without huge allocations.
+const DENSE_ID_LIMIT: u32 = 1 << 20;
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 enum EventKind {
     Start {
-        process: ProcessId,
+        slot: u32,
     },
     Deliver {
         to: ProcessId,
+        /// Slab slot of `to`, or [`UNRESOLVED`] for injected messages whose
+        /// destination did not exist at enqueue time.
+        to_slot: u32,
         from: ProcessId,
         payload: Bytes,
     },
     Timer {
-        process: ProcessId,
+        slot: u32,
         timer: TimerId,
         generation: u64,
     },
@@ -59,12 +80,26 @@ impl PartialOrd for QueuedEvent {
         Some(self.cmp(other))
     }
 }
+impl ScheduledEvent for QueuedEvent {
+    fn at(&self) -> SimTime {
+        self.at
+    }
+}
 
 struct ActorSlot {
+    id: ProcessId,
     actor: Box<dyn Actor>,
-    node: NodeId,
+    /// Dense index into the simulation's node table.
+    node: u32,
     rng: DetRng,
     timer_generation: BTreeMap<TimerId, u64>,
+    /// Per-destination-slot FIFO floor: the latest scheduled delivery time
+    /// towards that slot.  Deliveries between a pair never overtake each
+    /// other, modelling the FIFO TCP/IIOP connections the original
+    /// middleware runs over.  Indexed by destination slot, grown on demand.
+    fifo_floor: Vec<SimTime>,
+    /// Send/receive counters for this process.
+    counters: ProcessCount,
 }
 
 /// The execution context handed to actors by the simulator.
@@ -109,21 +144,34 @@ impl Context for SimContext<'_> {
 /// A deterministic discrete-event simulation of nodes, links and actors.
 pub struct Simulation {
     clock: SimTime,
-    queue: BinaryHeap<Reverse<QueuedEvent>>,
+    queue: EventQueue<QueuedEvent>,
     seq: u64,
-    actors: BTreeMap<ProcessId, ActorSlot>,
-    nodes: BTreeMap<NodeId, NodeState>,
+    /// The actor slab, addressed by slot index.
+    actors: Vec<ActorSlot>,
+    /// Dense `ProcessId → slot` table ([`UNRESOLVED`] marks free ids);
+    /// consulted at enqueue/registration time only.
+    actor_index: Vec<u32>,
+    /// Fallback mapping for sparse process ids ≥ [`DENSE_ID_LIMIT`].
+    sparse_index: BTreeMap<ProcessId, u32>,
+    /// Node slab, addressed by `NodeId` (handed out sequentially from 0).
+    nodes: Vec<NodeState>,
     topology: Topology,
     rng: DetRng,
     stats: NetStats,
-    counters: ProcessCounters,
     trace: Option<TraceLog>,
-    /// Per (sender, destination) pair: the latest scheduled delivery time.
-    /// Deliveries between a pair never overtake each other, modelling the
-    /// FIFO TCP/IIOP connections the original middleware runs over.
-    fifo_floor: BTreeMap<(ProcessId, ProcessId), SimTime>,
     next_node: u32,
     next_process: u32,
+    /// Scratch buffers reused across events so a dispatched handler does not
+    /// allocate fresh effect vectors (capacity is retained between events).
+    scratch: ScratchBuffers,
+}
+
+#[derive(Default)]
+struct ScratchBuffers {
+    outgoing: Vec<Outgoing>,
+    timers_set: Vec<(SimDuration, TimerId)>,
+    timers_cancelled: Vec<TimerId>,
+    labels: Vec<String>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -133,6 +181,7 @@ impl std::fmt::Debug for Simulation {
             .field("actors", &self.actors.len())
             .field("nodes", &self.nodes.len())
             .field("pending_events", &self.queue.len())
+            .field("scheduler", &self.queue.kind())
             .finish()
     }
 }
@@ -144,23 +193,38 @@ impl Simulation {
         Self::with_topology(seed, Topology::default())
     }
 
-    /// Creates an empty simulation with an explicit topology.
+    /// Creates an empty simulation with an explicit topology and the default
+    /// (calendar queue) scheduler.
     pub fn with_topology(seed: u64, topology: Topology) -> Self {
+        Self::with_scheduler(seed, topology, SchedulerKind::default())
+    }
+
+    /// Creates an empty simulation with an explicit topology and scheduler.
+    ///
+    /// The scheduler choice never changes simulation results — the legacy
+    /// heap exists so differential tests can pin that down.
+    pub fn with_scheduler(seed: u64, topology: Topology, scheduler: SchedulerKind) -> Self {
         Self {
             clock: SimTime::ZERO,
-            queue: BinaryHeap::new(),
+            queue: EventQueue::new(scheduler),
             seq: 0,
-            actors: BTreeMap::new(),
-            nodes: BTreeMap::new(),
+            actors: Vec::new(),
+            actor_index: Vec::new(),
+            sparse_index: BTreeMap::new(),
+            nodes: Vec::new(),
             topology,
             rng: DetRng::new(seed),
             stats: NetStats::default(),
-            counters: ProcessCounters::new(),
             trace: None,
-            fifo_floor: BTreeMap::new(),
             next_node: 0,
             next_process: 0,
+            scratch: ScratchBuffers::default(),
         }
+    }
+
+    /// The scheduler backing this simulation's future event set.
+    pub fn scheduler(&self) -> SchedulerKind {
+        self.queue.kind()
     }
 
     /// Enables event tracing (off by default).
@@ -180,13 +244,25 @@ impl Simulation {
     pub fn add_node(&mut self, config: NodeConfig) -> NodeId {
         let id = NodeId(self.next_node);
         self.next_node += 1;
-        self.nodes.insert(id, NodeState::new(config));
+        self.nodes.push(NodeState::new(config));
         id
     }
 
     /// Returns the identifier the next call to [`Simulation::spawn`] will use.
     pub fn next_process_id(&self) -> ProcessId {
         ProcessId(self.next_process)
+    }
+
+    /// The slab slot registered for `id`, if any.
+    fn slot_of(&self, id: ProcessId) -> Option<usize> {
+        if id.0 < DENSE_ID_LIMIT {
+            match self.actor_index.get(id.0 as usize) {
+                Some(&slot) if slot != UNRESOLVED => Some(slot as usize),
+                _ => None,
+            }
+        } else {
+            self.sparse_index.get(&id).map(|&slot| slot as usize)
+        }
     }
 
     /// Places `actor` on `node` and returns its process identifier.
@@ -209,28 +285,34 @@ impl Simulation {
     ///
     /// Panics if the identifier is already in use or the node is unknown.
     pub fn spawn_with(&mut self, id: ProcessId, node: NodeId, actor: Box<dyn Actor>) {
-        assert!(self.nodes.contains_key(&node), "unknown node {node}");
-        assert!(
-            !self.actors.contains_key(&id),
-            "process id {id} already in use"
-        );
+        assert!((node.0 as usize) < self.nodes.len(), "unknown node {node}");
+        assert!(self.slot_of(id).is_none(), "process id {id} already in use");
         self.next_process = self.next_process.max(id.0 + 1);
         let rng = self.rng.derive(0x5eed_0000 + u64::from(id.0));
-        self.actors.insert(
+        let slot = self.actors.len() as u32;
+        if id.0 < DENSE_ID_LIMIT {
+            if self.actor_index.len() <= id.0 as usize {
+                self.actor_index.resize(id.0 as usize + 1, UNRESOLVED);
+            }
+            self.actor_index[id.0 as usize] = slot;
+        } else {
+            self.sparse_index.insert(id, slot);
+        }
+        self.actors.push(ActorSlot {
             id,
-            ActorSlot {
-                actor,
-                node,
-                rng,
-                timer_generation: BTreeMap::new(),
-            },
-        );
+            actor,
+            node: node.0,
+            rng,
+            timer_generation: BTreeMap::new(),
+            fifo_floor: Vec::new(),
+            counters: ProcessCount::default(),
+        });
         let event = QueuedEvent {
             at: self.clock,
             seq: self.next_seq(),
-            kind: EventKind::Start { process: id },
+            kind: EventKind::Start { slot },
         };
-        self.queue.push(Reverse(event));
+        self.queue.push(event);
     }
 
     fn next_seq(&mut self) -> u64 {
@@ -253,16 +335,19 @@ impl Simulation {
         payload: impl Into<Bytes>,
     ) {
         let at = at.max(self.clock);
+        // Destination resolution is deferred to dispatch: an actor spawned
+        // between injection and delivery must still receive the message.
         let event = QueuedEvent {
             at,
             seq: self.next_seq(),
             kind: EventKind::Deliver {
                 to,
+                to_slot: UNRESOLVED,
                 from,
                 payload: payload.into(),
             },
         };
-        self.queue.push(Reverse(event));
+        self.queue.push(event);
     }
 
     /// Injects a message for delivery as soon as possible.
@@ -280,9 +365,16 @@ impl Simulation {
         &self.stats
     }
 
-    /// Per-process send/receive counters.
-    pub fn counters(&self) -> &ProcessCounters {
-        &self.counters
+    /// Per-process send/receive counters, assembled from the slab-resident
+    /// counters the hot path maintains.
+    pub fn counters(&self) -> ProcessCounters {
+        let mut counters = ProcessCounters::new();
+        for slot in &self.actors {
+            if slot.counters != ProcessCount::default() {
+                counters.insert(slot.id, slot.counters);
+            }
+        }
+        counters
     }
 
     /// Mutable access to the topology (to inject partitions mid-run).
@@ -297,12 +389,12 @@ impl Simulation {
 
     /// The node hosting `process`, if it exists.
     pub fn node_of(&self, process: ProcessId) -> Option<NodeId> {
-        self.actors.get(&process).map(|s| s.node)
+        self.slot_of(process).map(|s| NodeId(self.actors[s].node))
     }
 
     /// Read access to a node's runtime state (thread pool, counters).
     pub fn node_state(&self, node: NodeId) -> Option<&NodeState> {
-        self.nodes.get(&node)
+        self.nodes.get(node.0 as usize)
     }
 
     /// Number of nodes added to the simulation.
@@ -318,18 +410,17 @@ impl Simulation {
     /// Downcasts the actor registered as `process` to a concrete type for
     /// inspection in tests and experiment harnesses.
     pub fn actor<T: Actor>(&self, process: ProcessId) -> Option<&T> {
-        self.actors.get(&process).and_then(|slot| {
-            let any: &dyn Any = slot.actor.as_ref();
+        self.slot_of(process).and_then(|s| {
+            let any: &dyn Any = self.actors[s].actor.as_ref();
             any.downcast_ref::<T>()
         })
     }
 
     /// Mutable variant of [`Simulation::actor`].
     pub fn actor_mut<T: Actor>(&mut self, process: ProcessId) -> Option<&mut T> {
-        self.actors.get_mut(&process).and_then(|slot| {
-            let any: &mut dyn Any = slot.actor.as_mut();
-            any.downcast_mut::<T>()
-        })
+        let slot = self.slot_of(process)?;
+        let any: &mut dyn Any = self.actors[slot].actor.as_mut();
+        any.downcast_mut::<T>()
     }
 
     /// Number of events waiting in the queue.
@@ -340,11 +431,11 @@ impl Simulation {
     /// Runs until the event queue is exhausted or the simulated clock would
     /// pass `limit`; returns the time of the last processed event.
     pub fn run_until(&mut self, limit: SimTime) -> SimTime {
-        while let Some(Reverse(ev)) = self.queue.peek() {
-            if ev.at > limit {
+        while let Some(at) = self.queue.peek_at() {
+            if at > limit {
                 break;
             }
-            let Reverse(ev) = self.queue.pop().expect("peeked");
+            let ev = self.queue.pop().expect("peeked");
             self.dispatch(ev);
         }
         self.clock = self.clock.max(SimTime::ZERO);
@@ -360,7 +451,7 @@ impl Simulation {
 
     /// Processes a single event, if any is pending; returns its time.
     pub fn step(&mut self) -> Option<SimTime> {
-        let Reverse(ev) = self.queue.pop()?;
+        let ev = self.queue.pop()?;
         let at = ev.at;
         self.dispatch(ev);
         Some(at)
@@ -369,45 +460,57 @@ impl Simulation {
     fn dispatch(&mut self, event: QueuedEvent) {
         self.clock = self.clock.max(event.at);
         match event.kind {
-            EventKind::Start { process } => {
-                self.run_handler(event.at, process, HandlerKind::Start);
+            EventKind::Start { slot } => {
+                self.run_handler(event.at, slot as usize, HandlerKind::Start);
             }
-            EventKind::Deliver { to, from, payload } => {
-                if !self.actors.contains_key(&to) {
-                    self.stats.messages_dropped += 1;
-                    return;
-                }
+            EventKind::Deliver {
+                to,
+                to_slot,
+                from,
+                payload,
+            } => {
+                let slot = if to_slot != UNRESOLVED {
+                    to_slot as usize
+                } else {
+                    match self.slot_of(to) {
+                        Some(slot) => slot,
+                        None => {
+                            self.stats.messages_dropped += 1;
+                            return;
+                        }
+                    }
+                };
                 self.stats.messages_delivered += 1;
-                self.counters.on_receive(to);
-                self.run_handler(event.at, to, HandlerKind::Message { from, payload });
+                self.actors[slot].counters.received += 1;
+                self.run_handler(event.at, slot, HandlerKind::Message { from, payload });
             }
             EventKind::Timer {
-                process,
+                slot,
                 timer,
                 generation,
             } => {
-                let Some(slot) = self.actors.get(&process) else {
-                    return;
-                };
-                let current = slot.timer_generation.get(&timer).copied().unwrap_or(0);
+                let slot = slot as usize;
+                let current = self.actors[slot]
+                    .timer_generation
+                    .get(&timer)
+                    .copied()
+                    .unwrap_or(0);
                 if current != generation {
                     // Stale timer: it was cancelled or re-armed after this
                     // firing was scheduled.
                     return;
                 }
                 self.stats.timers_fired += 1;
-                self.run_handler(event.at, process, HandlerKind::Timer { timer });
+                self.run_handler(event.at, slot, HandlerKind::Timer { timer });
             }
         }
     }
 
-    fn run_handler(&mut self, arrival: SimTime, process: ProcessId, kind: HandlerKind) {
-        let slot = self
-            .actors
-            .get_mut(&process)
-            .expect("handler target exists");
-        let node_id = slot.node;
-        let node = self.nodes.get_mut(&node_id).expect("node exists");
+    fn run_handler(&mut self, arrival: SimTime, slot_idx: usize, kind: HandlerKind) {
+        let slot = &mut self.actors[slot_idx];
+        let process = slot.id;
+        let node_idx = slot.node;
+        let node = &mut self.nodes[node_idx as usize];
 
         // Queue for a pool thread.
         let (thread_idx, start) = node.admit(arrival);
@@ -423,10 +526,10 @@ impl Simulation {
             me: process,
             rng: &mut slot.rng,
             cpu: SimDuration::ZERO,
-            outgoing: Vec::new(),
-            timers_set: Vec::new(),
-            timers_cancelled: Vec::new(),
-            labels: Vec::new(),
+            outgoing: std::mem::take(&mut self.scratch.outgoing),
+            timers_set: std::mem::take(&mut self.scratch.timers_set),
+            timers_cancelled: std::mem::take(&mut self.scratch.timers_cancelled),
+            labels: std::mem::take(&mut self.scratch.labels),
         };
 
         let (from_for_trace, size_for_trace) = match &kind {
@@ -444,10 +547,10 @@ impl Simulation {
 
         let SimContext {
             cpu,
-            outgoing,
-            timers_set,
-            timers_cancelled,
-            labels,
+            mut outgoing,
+            mut timers_set,
+            mut timers_cancelled,
+            mut labels,
             ..
         } = ctx;
 
@@ -474,12 +577,12 @@ impl Simulation {
         }
 
         // Timer cancellations and (re)arms: bump generations.
-        for timer in timers_cancelled {
-            let slot = self.actors.get_mut(&process).expect("exists");
+        for timer in timers_cancelled.drain(..) {
+            let slot = &mut self.actors[slot_idx];
             *slot.timer_generation.entry(timer).or_insert(0) += 1;
         }
-        for (delay, timer) in timers_set {
-            let slot = self.actors.get_mut(&process).expect("exists");
+        for (delay, timer) in timers_set.drain(..) {
+            let slot = &mut self.actors[slot_idx];
             let generation = {
                 let g = slot.timer_generation.entry(timer).or_insert(0);
                 *g += 1;
@@ -489,20 +592,24 @@ impl Simulation {
                 at: end + delay,
                 seq: self.next_seq(),
                 kind: EventKind::Timer {
-                    process,
+                    slot: slot_idx as u32,
                     timer,
                     generation,
                 },
             };
-            self.queue.push(Reverse(event));
+            self.queue.push(event);
         }
 
         // Outgoing messages leave the node when the handler's service
         // completes and then traverse the link to the destination node.
-        for Outgoing { to, payload } in outgoing {
+        for Outgoing { to, payload } in outgoing.drain(..) {
             self.stats.messages_sent += 1;
             self.stats.bytes_sent += payload.len() as u64;
-            self.counters.on_send(process, payload.len());
+            {
+                let counters = &mut self.actors[slot_idx].counters;
+                counters.sent += 1;
+                counters.bytes_sent += payload.len() as u64;
+            }
             if let Some(trace) = &mut self.trace {
                 trace.push(TraceEvent::Send {
                     at: end,
@@ -511,40 +618,48 @@ impl Simulation {
                     size: payload.len(),
                 });
             }
-            let Some(dest_slot) = self.actors.get(&to) else {
+            let Some(dest_slot) = self.slot_of(to) else {
                 self.stats.messages_dropped += 1;
                 continue;
             };
-            let dest_node = dest_slot.node;
+            let dest_node = NodeId(self.actors[dest_slot].node);
             match self
                 .topology
-                .delay(node_id, dest_node, payload.len(), &mut self.rng)
+                .delay(NodeId(node_idx), dest_node, payload.len(), &mut self.rng)
             {
                 Some(link_delay) => {
                     // Enforce per-pair FIFO delivery (TCP-like channels).
-                    let floor = self
-                        .fifo_floor
-                        .get(&(process, to))
-                        .copied()
-                        .unwrap_or(SimTime::ZERO);
-                    let arrival = (end + link_delay).max(floor);
-                    self.fifo_floor.insert((process, to), arrival);
+                    let floors = &mut self.actors[slot_idx].fifo_floor;
+                    if floors.len() <= dest_slot {
+                        floors.resize(dest_slot + 1, SimTime::ZERO);
+                    }
+                    let arrival = (end + link_delay).max(floors[dest_slot]);
+                    floors[dest_slot] = arrival;
                     let event = QueuedEvent {
                         at: arrival,
                         seq: self.next_seq(),
                         kind: EventKind::Deliver {
                             to,
+                            to_slot: dest_slot as u32,
                             from: process,
                             payload,
                         },
                     };
-                    self.queue.push(Reverse(event));
+                    self.queue.push(event);
                 }
                 None => {
                     self.stats.messages_dropped += 1;
                 }
             }
         }
+
+        // Hand the (drained) effect vectors back so the next event reuses
+        // their capacity instead of allocating.
+        labels.clear();
+        self.scratch.outgoing = outgoing;
+        self.scratch.timers_set = timers_set;
+        self.scratch.timers_cancelled = timers_cancelled;
+        self.scratch.labels = labels;
     }
 }
 

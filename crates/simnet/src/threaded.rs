@@ -3,9 +3,18 @@
 //! The simulator reproduces the paper's *measurements*; this runtime
 //! demonstrates that the very same protocol implementations run concurrently
 //! on real threads exchanging messages over channels — the role the Java ORB
-//! deployment plays in the original work.  Each actor gets its own thread and
-//! an unbounded inbox; timers are serviced by the actor's own thread between
-//! messages.
+//! deployment plays in the original work.
+//!
+//! Actors are placed on **nodes** ([`ThreadNode`]): one worker thread and one
+//! unbounded inbox per node, shared by every actor placed on it (by default
+//! each actor gets its own node, preserving the one-thread-per-actor
+//! behaviour).  Sends performed by a handler are buffered and flushed when
+//! the handler returns as **one channel message per destination node**: a
+//! multicast of the same refcount-shared frame to several co-hosted
+//! recipients costs a single crossbeam send carrying the shared buffer plus
+//! one `(recipient, refcount-clone)` pair per destination — the threaded
+//! analogue of the simulator's encode-once/share-per-recipient delivery.
+//! Timers are serviced by the owning node's thread between messages.
 //!
 //! CPU charges reported by handlers are ignored by default (they model
 //! 2003-era costs that would only slow the tests down); a scale factor can be
@@ -26,8 +35,17 @@ use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, TimerId};
 
+/// What a node thread hands back at shutdown: its actors in registration
+/// order.
+type NodeActors = Vec<(ProcessId, Box<dyn Actor>)>;
+
 enum Envelope {
-    Message { from: ProcessId, payload: Bytes },
+    /// A batch of deliveries from one sender to recipients on this node,
+    /// all sharing their payload buffers with the sender (refcount clones).
+    Batch {
+        from: ProcessId,
+        items: Vec<(ProcessId, Bytes)>,
+    },
     Stop,
 }
 
@@ -50,17 +68,24 @@ impl Default for ThreadedConfig {
     }
 }
 
+/// A node of the threaded runtime: one worker thread and inbox, hosting one
+/// or more actors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ThreadNode(usize);
+
 /// Builds a threaded deployment: register actors first, then start.
 pub struct ThreadedBuilder {
     config: ThreadedConfig,
-    actors: Vec<(ProcessId, Box<dyn Actor>)>,
+    /// Actors per node, in registration order.
+    nodes: Vec<Vec<(ProcessId, Box<dyn Actor>)>>,
     next: u32,
 }
 
 impl std::fmt::Debug for ThreadedBuilder {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedBuilder")
-            .field("actors", &self.actors.len())
+            .field("nodes", &self.nodes.len())
+            .field("actors", &self.nodes.iter().map(Vec::len).sum::<usize>())
             .finish()
     }
 }
@@ -76,7 +101,7 @@ impl ThreadedBuilder {
     pub fn new(config: ThreadedConfig) -> Self {
         Self {
             config,
-            actors: Vec::new(),
+            nodes: Vec::new(),
             next: 0,
         }
     }
@@ -87,57 +112,99 @@ impl ThreadedBuilder {
         ProcessId(self.next)
     }
 
-    /// Registers an actor and returns its process identifier.
+    /// Adds a node (one worker thread + inbox) and returns its handle.
+    /// Actors placed on the same node share the thread, and a multicast to
+    /// several of them travels as one channel message.
+    pub fn add_node(&mut self) -> ThreadNode {
+        self.nodes.push(Vec::new());
+        ThreadNode(self.nodes.len() - 1)
+    }
+
+    /// Registers an actor on its own dedicated node and returns its process
+    /// identifier.
     pub fn add(&mut self, actor: Box<dyn Actor>) -> ProcessId {
+        let node = self.add_node();
+        self.add_on(node, actor)
+    }
+
+    /// Registers an actor on an existing node and returns its process
+    /// identifier.
+    pub fn add_on(&mut self, node: ThreadNode, actor: Box<dyn Actor>) -> ProcessId {
         let id = ProcessId(self.next);
         self.next += 1;
-        self.actors.push((id, actor));
+        self.nodes[node.0].push((id, actor));
         id
     }
 
-    /// Registers an actor under an explicit identifier.
+    /// Registers an actor under an explicit identifier on its own node.
     ///
     /// # Panics
     ///
     /// Panics if the identifier is already registered.
     pub fn add_with(&mut self, id: ProcessId, actor: Box<dyn Actor>) {
+        let node = self.add_node();
+        self.add_with_on(id, node, actor);
+    }
+
+    /// Registers an actor under an explicit identifier on an existing node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the identifier is already registered.
+    pub fn add_with_on(&mut self, id: ProcessId, node: ThreadNode, actor: Box<dyn Actor>) {
         assert!(
-            self.actors.iter().all(|(existing, _)| *existing != id),
+            self.nodes
+                .iter()
+                .flatten()
+                .all(|(existing, _)| *existing != id),
             "process id {id} already in use"
         );
         self.next = self.next.max(id.0 + 1);
-        self.actors.push((id, actor));
+        self.nodes[node.0].push((id, actor));
     }
 
-    /// Starts one thread per actor and returns the running runtime.
+    /// Starts one thread per node and returns the running runtime.
     pub fn start(self) -> ThreadedRuntime {
         let epoch = Instant::now();
-        let mut inboxes: HashMap<ProcessId, Sender<Envelope>> = HashMap::new();
-        let mut receivers: Vec<(ProcessId, Receiver<Envelope>)> = Vec::new();
-        for (id, _) in &self.actors {
+        let mut node_of: HashMap<ProcessId, usize> = HashMap::new();
+        let mut txs: Vec<Sender<Envelope>> = Vec::new();
+        let mut rxs: Vec<Receiver<Envelope>> = Vec::new();
+        for (idx, actors) in self.nodes.iter().enumerate() {
             let (tx, rx) = unbounded();
-            inboxes.insert(*id, tx);
-            receivers.push((*id, rx));
+            txs.push(tx);
+            rxs.push(rx);
+            for (id, _) in actors {
+                node_of.insert(*id, idx);
+            }
         }
-        let inboxes = Arc::new(inboxes);
+        let txs = Arc::new(txs);
+        let node_of = Arc::new(node_of);
         let root_rng = DetRng::new(self.config.seed);
 
         let mut handles = Vec::new();
-        let mut rx_map: HashMap<ProcessId, Receiver<Envelope>> = receivers.into_iter().collect();
-        for (id, actor) in self.actors {
-            let rx = rx_map.remove(&id).expect("receiver exists");
-            let inboxes = Arc::clone(&inboxes);
-            let rng = root_rng.derive(u64::from(id.0));
+        let mut rxs = rxs.into_iter();
+        for (idx, actors) in self.nodes.into_iter().enumerate() {
+            let rx = rxs.next().expect("one receiver per node");
+            let txs = Arc::clone(&txs);
+            let node_of = Arc::clone(&node_of);
+            let actors: Vec<(ProcessId, Box<dyn Actor>, DetRng)> = actors
+                .into_iter()
+                .map(|(id, actor)| {
+                    let rng = root_rng.derive(u64::from(id.0));
+                    (id, actor, rng)
+                })
+                .collect();
             let config = self.config;
             let handle = std::thread::Builder::new()
-                .name(format!("actor-{}", id.0))
-                .spawn(move || actor_main(id, actor, rx, inboxes, rng, epoch, config))
-                .expect("spawn actor thread");
-            handles.push((id, handle));
+                .name(format!("simnode-{idx}"))
+                .spawn(move || node_main(actors, rx, txs, node_of, epoch, config))
+                .expect("spawn node thread");
+            handles.push(handle);
         }
 
         ThreadedRuntime {
-            inboxes,
+            txs,
+            node_of,
             handles,
             epoch,
         }
@@ -146,15 +213,17 @@ impl ThreadedBuilder {
 
 /// A running threaded deployment.
 pub struct ThreadedRuntime {
-    inboxes: Arc<HashMap<ProcessId, Sender<Envelope>>>,
-    handles: Vec<(ProcessId, JoinHandle<Box<dyn Actor>>)>,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    node_of: Arc<HashMap<ProcessId, usize>>,
+    handles: Vec<JoinHandle<NodeActors>>,
     epoch: Instant,
 }
 
 impl std::fmt::Debug for ThreadedRuntime {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ThreadedRuntime")
-            .field("actors", &self.handles.len())
+            .field("nodes", &self.handles.len())
+            .field("actors", &self.node_of.len())
             .finish()
     }
 }
@@ -166,22 +235,23 @@ impl ThreadedRuntime {
     ///
     /// Returns [`fs_common::Error::UnknownProcess`] when `to` is not a
     /// registered actor, or [`fs_common::Error::Disconnected`] when its
-    /// thread has already terminated.
+    /// node's thread has already terminated.
     pub fn send(
         &self,
         from: ProcessId,
         to: ProcessId,
         payload: impl Into<Bytes>,
     ) -> fs_common::Result<()> {
-        let tx = self
-            .inboxes
+        let node = *self
+            .node_of
             .get(&to)
             .ok_or(fs_common::Error::UnknownProcess(to))?;
-        tx.send(Envelope::Message {
-            from,
-            payload: payload.into(),
-        })
-        .map_err(|_| fs_common::Error::Disconnected(to))
+        self.txs[node]
+            .send(Envelope::Batch {
+                from,
+                items: vec![(to, payload.into())],
+            })
+            .map_err(|_| fs_common::Error::Disconnected(to))
     }
 
     /// Wall-clock time since the runtime started, as a [`SimTime`].
@@ -191,22 +261,24 @@ impl ThreadedRuntime {
 
     /// The process identifiers of all registered actors.
     pub fn processes(&self) -> Vec<ProcessId> {
-        let mut ids: Vec<ProcessId> = self.handles.iter().map(|(id, _)| *id).collect();
+        let mut ids: Vec<ProcessId> = self.node_of.keys().copied().collect();
         ids.sort_unstable();
         ids
     }
 
-    /// Stops every actor thread and returns the actors for inspection,
+    /// Stops every node thread and returns the actors for inspection,
     /// indexed by process identifier.
     pub fn shutdown(self) -> HashMap<ProcessId, Box<dyn Actor>> {
-        for tx in self.inboxes.values() {
+        for tx in self.txs.iter() {
             // A stop request may fail if the thread already exited; ignore.
             let _ = tx.send(Envelope::Stop);
         }
         let mut out = HashMap::new();
-        for (id, handle) in self.handles {
-            if let Ok(actor) = handle.join() {
-                out.insert(id, actor);
+        for handle in self.handles {
+            if let Ok(actors) = handle.join() {
+                for (id, actor) in actors {
+                    out.insert(id, actor);
+                }
             }
         }
         out
@@ -224,7 +296,9 @@ impl ThreadedRuntime {
 struct ThreadContext<'a> {
     me: ProcessId,
     epoch: Instant,
-    inboxes: &'a HashMap<ProcessId, Sender<Envelope>>,
+    /// Sends buffered during the handler; flushed as one batch per
+    /// destination node when the handler returns.
+    outgoing: &'a mut Vec<(ProcessId, Bytes)>,
     rng: &'a mut DetRng,
     timers: &'a mut TimerState,
     cpu_scale: f64,
@@ -275,12 +349,7 @@ impl Context for ThreadContext<'_> {
         self.me
     }
     fn send(&mut self, to: ProcessId, payload: Bytes) {
-        if let Some(tx) = self.inboxes.get(&to) {
-            let _ = tx.send(Envelope::Message {
-                from: self.me,
-                payload,
-            });
-        }
+        self.outgoing.push((to, payload));
     }
     fn set_timer(&mut self, delay: SimDuration, timer: TimerId) {
         self.timers
@@ -304,65 +373,125 @@ impl Context for ThreadContext<'_> {
     fn trace(&mut self, _label: &str) {}
 }
 
-fn actor_main(
+/// Flushes the sends buffered during one handler: the items are grouped by
+/// destination node and each node receives a single [`Envelope::Batch`]
+/// whose payloads are refcount clones of the sender's buffers.
+fn flush_outgoing(
+    from: ProcessId,
+    outgoing: &mut Vec<(ProcessId, Bytes)>,
+    txs: &[Sender<Envelope>],
+    node_of: &HashMap<ProcessId, usize>,
+) {
+    if outgoing.is_empty() {
+        return;
+    }
+    // Group per destination node, preserving per-recipient send order.
+    let mut batches: Vec<(usize, Vec<(ProcessId, Bytes)>)> = Vec::new();
+    for (to, payload) in outgoing.drain(..) {
+        let Some(&node) = node_of.get(&to) else {
+            continue; // unknown destination: dropped, like a severed link
+        };
+        match batches.iter_mut().find(|(n, _)| *n == node) {
+            Some((_, items)) => items.push((to, payload)),
+            None => batches.push((node, vec![(to, payload)])),
+        }
+    }
+    for (node, items) in batches {
+        let _ = txs[node].send(Envelope::Batch { from, items });
+    }
+}
+
+struct NodeActor {
     id: ProcessId,
-    mut actor: Box<dyn Actor>,
+    actor: Box<dyn Actor>,
+    rng: DetRng,
+    timers: TimerState,
+}
+
+fn node_main(
+    actors: Vec<(ProcessId, Box<dyn Actor>, DetRng)>,
     rx: Receiver<Envelope>,
-    inboxes: Arc<HashMap<ProcessId, Sender<Envelope>>>,
-    mut rng: DetRng,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    node_of: Arc<HashMap<ProcessId, usize>>,
     epoch: Instant,
     config: ThreadedConfig,
-) -> Box<dyn Actor> {
-    let mut timers = TimerState::default();
-    {
+) -> NodeActors {
+    let mut actors: Vec<NodeActor> = actors
+        .into_iter()
+        .map(|(id, actor, rng)| NodeActor {
+            id,
+            actor,
+            rng,
+            timers: TimerState::default(),
+        })
+        .collect();
+    let local_index: HashMap<ProcessId, usize> =
+        actors.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
+    let mut outgoing: Vec<(ProcessId, Bytes)> = Vec::new();
+
+    for a in actors.iter_mut() {
         let mut ctx = ThreadContext {
-            me: id,
+            me: a.id,
             epoch,
-            inboxes: &inboxes,
-            rng: &mut rng,
-            timers: &mut timers,
+            outgoing: &mut outgoing,
+            rng: &mut a.rng,
+            timers: &mut a.timers,
             cpu_scale: config.cpu_charge_scale,
         };
-        actor.on_start(&mut ctx);
+        a.actor.on_start(&mut ctx);
+        flush_outgoing(a.id, &mut outgoing, &txs, &node_of);
     }
 
     loop {
-        // Fire any due timers first.
-        for timer in timers.due(Instant::now()) {
-            let mut ctx = ThreadContext {
-                me: id,
-                epoch,
-                inboxes: &inboxes,
-                rng: &mut rng,
-                timers: &mut timers,
-                cpu_scale: config.cpu_charge_scale,
-            };
-            actor.on_timer(&mut ctx, timer);
+        // Fire any due timers first, across all hosted actors.
+        let now = Instant::now();
+        for a in actors.iter_mut() {
+            for timer in a.timers.due(now) {
+                let mut ctx = ThreadContext {
+                    me: a.id,
+                    epoch,
+                    outgoing: &mut outgoing,
+                    rng: &mut a.rng,
+                    timers: &mut a.timers,
+                    cpu_scale: config.cpu_charge_scale,
+                };
+                a.actor.on_timer(&mut ctx, timer);
+                flush_outgoing(a.id, &mut outgoing, &txs, &node_of);
+            }
         }
 
-        let wait = timers
-            .next_deadline()
+        let wait = actors
+            .iter()
+            .filter_map(|a| a.timers.next_deadline())
+            .min()
             .map(|deadline| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
 
         match rx.recv_timeout(wait) {
-            Ok(Envelope::Message { from, payload }) => {
-                let mut ctx = ThreadContext {
-                    me: id,
-                    epoch,
-                    inboxes: &inboxes,
-                    rng: &mut rng,
-                    timers: &mut timers,
-                    cpu_scale: config.cpu_charge_scale,
-                };
-                actor.on_message(&mut ctx, from, payload);
+            Ok(Envelope::Batch { from, items }) => {
+                for (to, payload) in items {
+                    let Some(&idx) = local_index.get(&to) else {
+                        continue;
+                    };
+                    let a = &mut actors[idx];
+                    let mut ctx = ThreadContext {
+                        me: a.id,
+                        epoch,
+                        outgoing: &mut outgoing,
+                        rng: &mut a.rng,
+                        timers: &mut a.timers,
+                        cpu_scale: config.cpu_charge_scale,
+                    };
+                    a.actor.on_message(&mut ctx, from, payload);
+                    flush_outgoing(to, &mut outgoing, &txs, &node_of);
+                }
             }
             Ok(Envelope::Stop) => break,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
     }
-    actor
+    actors.into_iter().map(|a| (a.id, a.actor)).collect()
 }
 
 #[cfg(test)]
@@ -534,6 +663,58 @@ mod tests {
                 shared: Arc::new(AtomicUsize::new(0)),
             }),
         );
+    }
+
+    /// Sends the same shared frame to every configured destination at once.
+    struct Multicaster {
+        dests: Vec<ProcessId>,
+    }
+
+    impl Actor for Multicaster {
+        fn on_message(&mut self, ctx: &mut dyn Context, _from: ProcessId, payload: Bytes) {
+            for d in &self.dests {
+                // Refcount clone: all recipients share one buffer, and the
+                // co-hosted ones share one channel message.
+                ctx.send(*d, Bytes::clone(&payload));
+            }
+        }
+    }
+
+    #[test]
+    fn colocated_actors_share_a_node_and_receive_multicasts() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        let node = builder.add_node();
+        let a = builder.add_on(
+            node,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let b = builder.add_on(
+            node,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let c = builder.add(Box::new(Counter {
+            seen: 0,
+            shared: Arc::clone(&shared),
+        }));
+        let caster = builder.add(Box::new(Multicaster {
+            dests: vec![a, b, c],
+        }));
+        let rt = builder.start();
+        for _ in 0..5 {
+            rt.send(ProcessId(99), caster, b"frame".to_vec()).unwrap();
+        }
+        assert!(wait_for(&shared, 15, 2_000));
+        let actors = rt.shutdown();
+        for id in [a, b, c, caster] {
+            assert!(actors.contains_key(&id), "shutdown must return {id}");
+        }
     }
 
     #[test]

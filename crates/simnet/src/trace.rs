@@ -259,6 +259,13 @@ impl ProcessCounters {
         self.per_process.entry(p).or_default().received += 1;
     }
 
+    /// Inserts (replaces) the counters of one process — used by runtimes
+    /// that keep per-process counters in their own dense tables and
+    /// assemble a `ProcessCounters` view on demand.
+    pub fn insert(&mut self, p: ProcessId, count: ProcessCount) {
+        self.per_process.insert(p, count);
+    }
+
     /// Returns the counters of `p` (zero if never seen).
     pub fn of(&self, p: ProcessId) -> ProcessCount {
         self.per_process.get(&p).copied().unwrap_or_default()

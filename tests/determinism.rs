@@ -7,6 +7,7 @@
 use fs_smr_suite::common::time::{SimDuration, SimTime};
 use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, build_newtop, DeploymentParams};
 use fs_smr_suite::newtop::app::TrafficConfig;
+use fs_smr_suite::simnet::sched::SchedulerKind;
 use fs_smr_suite::simnet::trace::NetStats;
 
 fn params(members: u32) -> DeploymentParams {
@@ -25,7 +26,11 @@ struct RunFingerprint {
 }
 
 fn run_fs_newtop(members: u32) -> RunFingerprint {
-    let mut deployment = build_fs_newtop(&params(members));
+    run_fs_newtop_on(members, SchedulerKind::CalendarQueue)
+}
+
+fn run_fs_newtop_on(members: u32, scheduler: SchedulerKind) -> RunFingerprint {
+    let mut deployment = build_fs_newtop(&params(members).with_scheduler(scheduler));
     deployment.sim.enable_trace();
     deployment.run(SimTime::from_secs(120));
     fingerprint(members, deployment)
@@ -117,4 +122,48 @@ fn different_seeds_still_agree_but_produce_different_schedules() {
         trace_a, trace_b,
         "a different seed must change the event schedule"
     );
+}
+
+/// The scheduler is an implementation detail: the calendar queue (the
+/// default) and the legacy binary heap must drive the whole FS-NewTOP
+/// deployment through a byte-identical schedule — same delivery logs, same
+/// serialized trace, same statistics.  This is the system-level differential
+/// test backing the calendar-queue refactor (the raw queue-level equivalence
+/// is covered in `fs_simnet::sched` and in `tests/properties.rs`).
+#[test]
+fn calendar_and_legacy_heap_schedulers_trace_identically() {
+    let calendar = run_fs_newtop_on(3, SchedulerKind::CalendarQueue);
+    let legacy = run_fs_newtop_on(3, SchedulerKind::LegacyHeap);
+
+    assert_eq!(
+        calendar.delivery_logs[0].len(),
+        12,
+        "3 members x 4 messages"
+    );
+    assert_eq!(
+        calendar.delivery_logs, legacy.delivery_logs,
+        "delivery logs must not depend on the scheduler"
+    );
+    assert_eq!(
+        calendar.trace_json, legacy.trace_json,
+        "traces must be byte-identical across schedulers"
+    );
+    assert_eq!(calendar.stats, legacy.stats);
+
+    // The crash-tolerant baseline agrees as well.
+    let newtop_cal = {
+        let mut d = build_newtop(&params(3).with_scheduler(SchedulerKind::CalendarQueue));
+        d.sim.enable_trace();
+        d.run(SimTime::from_secs(120));
+        fingerprint(3, d)
+    };
+    let newtop_leg = {
+        let mut d = build_newtop(&params(3).with_scheduler(SchedulerKind::LegacyHeap));
+        d.sim.enable_trace();
+        d.run(SimTime::from_secs(120));
+        fingerprint(3, d)
+    };
+    assert_eq!(newtop_cal.delivery_logs, newtop_leg.delivery_logs);
+    assert_eq!(newtop_cal.trace_json, newtop_leg.trace_json);
+    assert_eq!(newtop_cal.stats, newtop_leg.stats);
 }

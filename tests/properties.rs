@@ -12,6 +12,7 @@ use proptest::prelude::*;
 use fs_smr_suite::common::codec::Wire;
 use fs_smr_suite::common::id::{FsId, MemberId, ProcessId};
 use fs_smr_suite::common::rng::DetRng;
+use fs_smr_suite::common::time::{SimDuration, SimTime};
 use fs_smr_suite::common::Bytes;
 use fs_smr_suite::crypto::hmac::{HmacKey, HmacSha256};
 use fs_smr_suite::crypto::keys::{provision, SignerId};
@@ -21,10 +22,99 @@ use fs_smr_suite::failsignal::message::{FsContent, FsOutput, FsoInbound, PairMes
 use fs_smr_suite::newtop::gc::{GcConfig, GcCosts, GcMachine};
 use fs_smr_suite::newtop::message as newtop_msg;
 use fs_smr_suite::newtop::message::{AppRequest, GcMessage, ServiceKind};
+use fs_smr_suite::simnet::actor::{Actor, Context, TimerId};
+use fs_smr_suite::simnet::node::NodeConfig;
+use fs_smr_suite::simnet::sched::SchedulerKind;
+use fs_smr_suite::simnet::sim::Simulation;
 use fs_smr_suite::smr::command::{KvCommand, KvStore};
 use fs_smr_suite::smr::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
 use fs_smr_suite::smr::replica::{Replica, Request};
 use fs_smr_suite::smr::RequestId;
+
+/// A bounded, deterministic workload actor for the scheduler differential
+/// test: sends random-sized messages to random peers, arms and occasionally
+/// cancels timers, and charges random CPU — exercising every event kind the
+/// simulator schedules (starts, deliveries, timers, stale timers).
+struct Chatter {
+    peers: Vec<fs_smr_suite::common::id::ProcessId>,
+    sends_left: u32,
+}
+
+impl Actor for Chatter {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        let delay = SimDuration::from_micros(ctx.rng().below(5_000) + 1);
+        ctx.set_timer(delay, TimerId(1));
+        for peer in self.peers.clone() {
+            let size = ctx.rng().below(64) as usize;
+            ctx.send(peer, vec![0u8; size].into());
+        }
+    }
+    fn on_message(
+        &mut self,
+        ctx: &mut dyn Context,
+        from: fs_smr_suite::common::id::ProcessId,
+        _payload: fs_smr_suite::common::Bytes,
+    ) {
+        if self.sends_left == 0 {
+            return;
+        }
+        self.sends_left -= 1;
+        let cpu = ctx.rng().below(300);
+        ctx.charge_cpu(SimDuration::from_micros(cpu));
+        let size = ctx.rng().below(48) as usize;
+        ctx.send(from, vec![1u8; size].into());
+        if ctx.rng().below(4) == 0 {
+            ctx.cancel_timer(TimerId(1));
+            let delay = SimDuration::from_micros(ctx.rng().below(2_000) + 1);
+            ctx.set_timer(delay, TimerId(1));
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
+        if self.sends_left == 0 {
+            return;
+        }
+        self.sends_left -= 1;
+        let n = self.peers.len() as u64;
+        let peer = self.peers[ctx.rng().below(n) as usize];
+        let size = ctx.rng().below(32) as usize;
+        ctx.send(peer, vec![2u8; size].into());
+        let delay = SimDuration::from_micros(ctx.rng().below(10_000) + 1);
+        ctx.set_timer(delay, TimerId(1));
+    }
+}
+
+/// Runs one random Chatter scenario on the given scheduler and returns its
+/// full observable outcome.
+fn run_chatter(
+    seed: u64,
+    actors: u32,
+    sends: u32,
+    scheduler: SchedulerKind,
+) -> (String, String, u64) {
+    use fs_smr_suite::common::id::ProcessId;
+    use fs_smr_suite::simnet::link::Topology;
+    let mut sim = Simulation::with_scheduler(seed, Topology::default(), scheduler);
+    sim.enable_trace();
+    let nodes: Vec<_> = (0..actors)
+        .map(|_| sim.add_node(NodeConfig::era_2003()))
+        .collect();
+    let ids: Vec<ProcessId> = (0..actors).map(ProcessId).collect();
+    for (i, node) in nodes.iter().enumerate() {
+        let peers: Vec<ProcessId> = ids.iter().copied().filter(|p| p.0 != i as u32).collect();
+        sim.spawn_with(
+            ids[i],
+            *node,
+            Box::new(Chatter {
+                peers,
+                sends_left: sends,
+            }),
+        );
+    }
+    sim.run_until(SimTime::from_secs(60));
+    let trace = serde_json::to_string(sim.trace().expect("trace enabled")).unwrap();
+    let stats = format!("{:?}", sim.stats());
+    (trace, stats, sim.stats().events_processed)
+}
 
 /// Runs a whole group of GC machines to quiescence, routing every output
 /// immediately, and returns each member's delivery order.
@@ -340,5 +430,128 @@ proptest! {
             replica: MemberId(member),
             payload: shared_payload,
         });
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Differential scheduler test at the raw simulator level: a randomised
+    /// workload of sends, timers, cancellations and CPU charges produces a
+    /// byte-identical trace and statistics on the calendar queue and on the
+    /// legacy binary heap.
+    #[test]
+    fn schedulers_are_interchangeable_on_random_workloads(
+        seed in any::<u64>(),
+        actors in 2u32..5,
+        sends in 1u32..25,
+    ) {
+        let calendar = run_chatter(seed, actors, sends, SchedulerKind::CalendarQueue);
+        let legacy = run_chatter(seed, actors, sends, SchedulerKind::LegacyHeap);
+        prop_assert!(calendar.2 > 0, "the workload must actually run");
+        prop_assert_eq!(calendar, legacy);
+    }
+
+    /// `Bytes::slice` pins the upstream semantics: in-range slices are
+    /// zero-copy views sharing the parent's storage (and `slice_ref` round
+    /// trips them); out-of-range or inverted ranges panic exactly when
+    /// slicing a `&[u8]` would.
+    #[test]
+    fn bytes_slice_matches_slice_semantics(
+        data in proptest::collection::vec(any::<u8>(), 0..64),
+        a in 0usize..70,
+        b in 0usize..70,
+    ) {
+        let bytes = Bytes::from(data.clone());
+        match data.get(a..b) {
+            Some(expected) => {
+                let view = bytes.slice(a..b);
+                prop_assert_eq!(&view[..], expected);
+                prop_assert!(view.shares_storage(&bytes), "slices must share storage");
+                // slice_ref recovers the same window from a borrowed slice.
+                let via_ref = bytes.slice_ref(&bytes[a..b]);
+                prop_assert_eq!(&via_ref[..], expected);
+                prop_assert!(via_ref.is_empty() || via_ref.shares_storage(&bytes));
+            }
+            None => {
+                let panicked = std::panic::catch_unwind(
+                    std::panic::AssertUnwindSafe(|| bytes.slice(a..b)),
+                )
+                .is_err();
+                prop_assert!(panicked, "slice({a}..{b}) of len {} must panic", data.len());
+            }
+        }
+    }
+
+    /// Zero-copy decode equivalence: for every payload-carrying message type
+    /// on the receive path, `from_wire_shared` produces a value
+    /// byte-identical to the copying `from_wire` path, and the decoded
+    /// payload bytes are views sharing the frame's storage (the refcount
+    /// assertion behind "zero payload copies").
+    #[test]
+    fn shared_decode_is_identical_and_zero_copy(
+        payload in proptest::collection::vec(any::<u8>(), 0..200),
+        seq in any::<u64>(),
+        member in 0u32..16,
+    ) {
+        use fs_smr_suite::smr::machine::Endpoint as Ep;
+
+        let mut rng = DetRng::new(27);
+        let (mut keys, _dir) = provision([ProcessId(1), ProcessId(2)], &mut rng);
+        let key_a = keys.remove(&SignerId(ProcessId(1))).unwrap();
+        let key_b = keys.remove(&SignerId(ProcessId(2))).unwrap();
+        let shared_payload = Bytes::from(payload.clone());
+
+        // FsContent::Output — the innermost payload carrier.
+        let content = FsContent::Output {
+            output_seq: seq,
+            dest: Ep::Peer(MemberId(member)),
+            bytes: shared_payload.clone(),
+        };
+        let frame = content.to_wire();
+        let shared = FsContent::from_wire_shared(&frame).unwrap();
+        prop_assert_eq!(&shared, &FsContent::from_wire(&frame).unwrap());
+        let FsContent::Output { bytes, .. } = &shared else { unreachable!() };
+        prop_assert!(bytes.shares_storage(&frame), "decoded payload must be a frame view");
+
+        // The full inbound envelope, as the wrapper receives it.
+        let output = FsOutput::sign(FsId(member), content, &key_a, &key_b);
+        let inbound = FsoInbound::External(output);
+        let frame = inbound.to_wire();
+        let shared = FsoInbound::from_wire_shared(&frame).unwrap();
+        prop_assert_eq!(&shared, &FsoInbound::from_wire(&frame).unwrap());
+        if let FsoInbound::External(o) = &shared {
+            if let FsContent::Output { bytes, .. } = &o.content {
+                prop_assert!(bytes.shares_storage(&frame));
+            }
+        }
+
+        // Pair traffic and raw client traffic.
+        let pair = FsoInbound::Pair(PairMessage::Candidate {
+            output_seq: seq,
+            dest: Ep::Broadcast,
+            bytes: shared_payload.clone(),
+            signature: Signature::sign(&key_a, &payload),
+        });
+        let frame = pair.to_wire();
+        let shared = FsoInbound::from_wire_shared(&frame).unwrap();
+        prop_assert_eq!(&shared, &FsoInbound::from_wire(&frame).unwrap());
+        if let FsoInbound::Pair(PairMessage::Candidate { bytes, .. }) = &shared {
+            prop_assert!(bytes.shares_storage(&frame));
+        }
+        let raw = FsoInbound::Raw(shared_payload.clone());
+        let frame = raw.to_wire();
+        let shared = FsoInbound::from_wire_shared(&frame).unwrap();
+        prop_assert_eq!(&shared, &FsoInbound::from_wire(&frame).unwrap());
+        if let FsoInbound::Raw(bytes) = &shared {
+            prop_assert!(bytes.shares_storage(&frame));
+        }
+
+        // The SMR client/replica frames.
+        let request = Request { id: RequestId::new(ProcessId(member), seq), command: shared_payload };
+        let frame = request.to_wire();
+        let shared = Request::from_wire_shared(&frame).unwrap();
+        prop_assert_eq!(&shared, &Request::from_wire(&frame).unwrap());
+        prop_assert!(shared.command.shares_storage(&frame));
     }
 }

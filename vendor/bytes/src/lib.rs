@@ -5,14 +5,22 @@
 //! byte buffer, `Bytes` an immutable (cheaply cloneable) view, and the
 //! `Buf`/`BufMut` traits provide the little-endian cursor operations the
 //! canonical wire codec relies on.
+//!
+//! Like the upstream crate, a [`Bytes`] is a *view* — an `(offset, len)`
+//! window into refcount-shared storage.  [`Bytes::slice`] and
+//! [`Bytes::slice_ref`] produce sub-views that share the parent's storage
+//! without copying a single payload byte; this is what the suite's zero-copy
+//! receive path (`Decoder::get_bytes_shared`) is built on.
 
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
-/// Immutable, cheaply cloneable byte buffer.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// Immutable, cheaply cloneable byte buffer: a view into shared storage.
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<Vec<u8>>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -23,43 +31,146 @@ impl Bytes {
 
     /// Copies `data` into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::new(data.to_vec()),
-        }
+        Bytes::from(data.to_vec())
     }
 
     /// Returns the buffer length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Returns true when the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
+    }
+
+    /// The viewed bytes.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.offset..self.offset + self.len]
     }
 
     /// Copies the contents into a fresh vector.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.as_ref().clone()
+        self.as_slice().to_vec()
+    }
+
+    /// Returns a sub-view of `self` covering `range`, sharing the same
+    /// storage (a refcount bump, no copy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is out of bounds or inverted, exactly like
+    /// slicing a `&[u8]`.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Self {
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n.checked_add(1).expect("range end overflows usize"),
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len,
+        };
+        assert!(
+            start <= end,
+            "range start must not be greater than end: {start} <= {end}",
+        );
+        assert!(end <= self.len, "range end out of bounds: {end} <= {}", self.len);
+        Bytes {
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
+        }
+    }
+
+    /// Returns a view corresponding to `subset`, which must be a sub-slice
+    /// of `self` (obtained via `Deref`/`AsRef`).  Shares storage, no copy.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `subset` is not contained in `self`.
+    pub fn slice_ref(&self, subset: &[u8]) -> Self {
+        // An empty slice carries no usable address; return an empty view.
+        if subset.is_empty() {
+            return Bytes::new();
+        }
+        let base = self.as_slice().as_ptr() as usize;
+        let sub = subset.as_ptr() as usize;
+        assert!(
+            sub >= base && sub + subset.len() <= base + self.len,
+            "slice_ref: subset is not contained in this Bytes"
+        );
+        let start = sub - base;
+        self.slice(start..start + subset.len())
+    }
+
+    /// True when `self` and `other` are views into the same shared storage
+    /// (shim extension, used by the zero-copy assertions in tests).
+    pub fn shares_storage(&self, other: &Bytes) -> bool {
+        Arc::ptr_eq(&self.data, &other.data)
+    }
+
+    /// The number of live `Bytes` views sharing this storage (shim
+    /// extension, used by the refcount assertions in tests).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.data)
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state);
     }
 }
 
 impl Deref for Bytes {
     type Target = [u8];
     fn deref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self.as_slice()
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::new(v) }
+        let len = v.len();
+        Bytes {
+            data: Arc::new(v),
+            offset: 0,
+            len,
+        }
     }
 }
 
@@ -85,43 +196,43 @@ impl From<&str> for Bytes {
 // `Bytes` payload against slices, arrays and vectors without conversions.
 impl PartialEq<[u8]> for Bytes {
     fn eq(&self, other: &[u8]) -> bool {
-        self[..] == *other
+        self.as_slice() == other
     }
 }
 
 impl PartialEq<&[u8]> for Bytes {
     fn eq(&self, other: &&[u8]) -> bool {
-        self[..] == **other
+        self.as_slice() == *other
     }
 }
 
 impl PartialEq<Vec<u8>> for Bytes {
     fn eq(&self, other: &Vec<u8>) -> bool {
-        self[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl PartialEq<Bytes> for Vec<u8> {
     fn eq(&self, other: &Bytes) -> bool {
-        self[..] == other[..]
+        self[..] == *other.as_slice()
     }
 }
 
 impl<const N: usize> PartialEq<[u8; N]> for Bytes {
     fn eq(&self, other: &[u8; N]) -> bool {
-        self[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl<const N: usize> PartialEq<&[u8; N]> for Bytes {
     fn eq(&self, other: &&[u8; N]) -> bool {
-        self[..] == other[..]
+        self.as_slice() == &other[..]
     }
 }
 
 impl PartialEq<Bytes> for [u8] {
     fn eq(&self, other: &Bytes) -> bool {
-        *self == other[..]
+        *self == *other.as_slice()
     }
 }
 
@@ -156,9 +267,7 @@ impl BytesMut {
 
     /// Freezes the buffer into an immutable [`Bytes`].
     pub fn freeze(self) -> Bytes {
-        Bytes {
-            data: Arc::new(self.data),
-        }
+        Bytes::from(self.data)
     }
 
     /// Copies the contents into a fresh vector.
@@ -324,5 +433,72 @@ mod tests {
         assert_eq!(view.get_u32_le(), 3);
         assert_eq!(view.get_u64_le(), 4);
         assert_eq!(view, b"xy");
+    }
+
+    #[test]
+    fn slice_shares_storage_without_copying() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5, 6, 7]);
+        let count_before = b.ref_count();
+        let s = b.slice(2..6);
+        assert_eq!(s, [2, 3, 4, 5]);
+        assert!(s.shares_storage(&b));
+        assert_eq!(b.ref_count(), count_before + 1);
+        // A slice of a slice still points at the original storage.
+        let ss = s.slice(1..3);
+        assert_eq!(ss, [3, 4]);
+        assert!(ss.shares_storage(&b));
+        // Open-ended and full ranges.
+        assert_eq!(b.slice(..), b);
+        assert_eq!(b.slice(6..), [6, 7]);
+        assert_eq!(b.slice(..2), [0, 1]);
+        assert_eq!(b.slice(2..=3), [2, 3]);
+    }
+
+    #[test]
+    fn slice_ref_recovers_the_view() {
+        let b = Bytes::from(vec![9, 8, 7, 6, 5]);
+        let sub = &b[1..4];
+        let view = b.slice_ref(sub);
+        assert_eq!(view, [8, 7, 6]);
+        assert!(view.shares_storage(&b));
+        assert!(!b.slice_ref(&[]).shares_storage(&b));
+        assert!(b.slice_ref(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn slice_past_end_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(1..5);
+    }
+
+    #[test]
+    #[should_panic(expected = "start must not be greater")]
+    fn inverted_slice_panics() {
+        Bytes::from(vec![1, 2, 3]).slice(2..1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not contained")]
+    fn foreign_slice_ref_panics() {
+        let b = Bytes::from(vec![1, 2, 3]);
+        let other = [4u8, 5, 6];
+        b.slice_ref(&other);
+    }
+
+    #[test]
+    fn views_compare_and_hash_by_contents() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(vec![0, 1, 2, 3]).slice(1..3);
+        let b = Bytes::from(vec![9, 1, 2, 9]).slice(1..3);
+        assert_eq!(a, b);
+        assert_eq!(a.cmp(&b), std::cmp::Ordering::Equal);
+        let hash = |x: &Bytes| {
+            let mut h = DefaultHasher::new();
+            x.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&b));
+        assert!(Bytes::from(vec![1]) < Bytes::from(vec![2]));
     }
 }
