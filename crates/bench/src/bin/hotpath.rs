@@ -59,8 +59,9 @@ use fs_common::Bytes;
 use fs_crypto::hmac::{HmacKey, HmacSha256};
 use fs_crypto::keys::{provision, SignerId};
 use fs_crypto::sig::Signature;
+use fs_harness::Protocol;
 use fs_newtop::app::TrafficConfig;
-use fs_newtop_bft::deployment::{build_fs_newtop, DeploymentParams};
+use fs_newtop_bft::deployment::{Deployment, DeploymentParams};
 use fs_simnet::sched::{EventQueue, ScheduledEvent, SchedulerKind};
 use fs_smr::machine::Endpoint;
 
@@ -381,7 +382,7 @@ fn bench_pipeline(members: u32, messages_per_member: u64) -> PipelineReport {
         .with_traffic(traffic)
         .with_seed(2003);
     assert_eq!(params.scheduler, SchedulerKind::CalendarQueue);
-    let mut deployment = build_fs_newtop(&params);
+    let mut deployment = Deployment::from_running(params.scenario(Protocol::FailSignal).build());
     // Run far past the workload's simulated duration so the pipeline drains.
     let start = Instant::now();
     deployment.run(SimTime::from_secs(3600));

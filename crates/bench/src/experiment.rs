@@ -53,14 +53,13 @@ fn params_for(members: u32, payload: usize, config: &ExperimentConfig) -> Deploy
         .with_messages(config.messages_per_member)
         .with_interval(config.send_interval)
         .with_payload_size(payload);
-    let mut p = DeploymentParams::paper(members)
-        .with_traffic(traffic)
-        .with_seed(config.seed);
     // The paper eliminates false suspicions (large timeouts on a lightly
     // loaded LAN); ping traffic itself is negligible but we disable it so
     // message counts reflect the ordering protocol only.
-    p.suspector = SuspectorConfig::disabled();
-    p
+    DeploymentParams::paper(members)
+        .with_traffic(traffic)
+        .with_seed(config.seed)
+        .with_suspector(SuspectorConfig::disabled())
 }
 
 /// One row of a figure table.
@@ -220,8 +219,7 @@ pub fn ablation_sign_cost(config: &ExperimentConfig, members: u32) -> Vec<(Strin
     ];
     let mut out = Vec::new();
     for (name, model) in models {
-        let mut params = params_for(members, 3, config);
-        params.crypto_costs = model;
+        let params = params_for(members, 3, config).with_crypto_costs(model);
         let metrics = measure(System::FsNewTop, &params);
         out.push((name.to_string(), metrics));
     }
@@ -253,18 +251,22 @@ pub fn ablation_node_budget(max_faults: u32) -> Vec<(u32, u32, u32, u32)> {
 /// under the same conditions observes none.
 pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
     use fs_common::id::NodeId;
+    use fs_harness::Protocol;
     use fs_newtop::app::AppProcess;
-    use fs_newtop_bft::deployment::{build_fs_newtop, build_newtop, Deployment};
+    use fs_newtop_bft::deployment::Deployment;
     use fs_simnet::link::LinkModel;
 
     let members = 4u32;
     // A small ping timeout combined with slow, heavily jittered links makes
     // timeout-based suspicion fire even though nobody has failed.
-    let mut params = params_for(members, 3, config);
-    params.traffic = params
-        .traffic
-        .with_messages(config.messages_per_member.min(30));
-    params.suspector = SuspectorConfig::aggressive(SimDuration::from_millis(2));
+    let base = params_for(members, 3, config);
+    let params = base
+        .clone()
+        .with_traffic(
+            base.traffic
+                .with_messages(config.messages_per_member.min(30)),
+        )
+        .with_suspector(SuspectorConfig::aggressive(SimDuration::from_millis(2)));
 
     // Replace the lightly loaded LAN with a slow, jittery asynchronous
     // network: real delays now exceed the suspector's expectations, which is
@@ -302,11 +304,11 @@ pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
             .sum()
     };
 
-    let mut newtop = build_newtop(&params);
+    let mut newtop = Deployment::from_running(params.scenario(Protocol::Crash).build());
     inflate(&mut newtop, members);
     let newtop_views = count_views(&mut newtop);
 
-    let mut fs = build_fs_newtop(&params);
+    let mut fs = Deployment::from_running(params.scenario(Protocol::FailSignal).build());
     inflate(&mut fs, members);
     let fs_views = count_views(&mut fs);
     (newtop_views, fs_views)

@@ -3,8 +3,9 @@
 use serde::{Deserialize, Serialize};
 
 use fs_common::time::{SimDuration, SimTime};
+use fs_harness::Protocol;
 use fs_newtop::app::AppProcess;
-use fs_newtop_bft::deployment::{build_fs_newtop, build_newtop, Deployment, DeploymentParams};
+use fs_newtop_bft::deployment::{Deployment, DeploymentParams};
 use fs_newtop_bft::interceptor::FsInterceptor;
 
 /// Which of the two systems a measurement refers to.
@@ -22,6 +23,14 @@ impl System {
         match self {
             System::NewTop => "NewTOP",
             System::FsNewTop => "FS-NewTOP",
+        }
+    }
+
+    /// The scenario-harness protocol this system corresponds to.
+    pub fn protocol(self) -> Protocol {
+        match self {
+            System::NewTop => Protocol::Crash,
+            System::FsNewTop => Protocol::FailSignal,
         }
     }
 }
@@ -141,10 +150,7 @@ pub fn measure(system: System, params: &DeploymentParams) -> RunMetrics {
         + SimDuration::from_secs(120)
         + params.traffic.start_delay;
     let horizon = SimTime::ZERO + workload * 10;
-    let deployment = match system {
-        System::NewTop => build_newtop(params),
-        System::FsNewTop => build_fs_newtop(params),
-    };
+    let deployment = Deployment::from_running(params.scenario(system.protocol()).build());
     run_deployment(deployment, params, system, horizon)
 }
 
@@ -155,13 +161,13 @@ mod tests {
     use fs_newtop::suspector::SuspectorConfig;
 
     fn quick_params(members: u32, messages: u64) -> DeploymentParams {
-        let mut p = DeploymentParams::paper(members).with_traffic(
-            TrafficConfig::paper_default()
-                .with_messages(messages)
-                .with_interval(SimDuration::from_millis(30)),
-        );
-        p.suspector = SuspectorConfig::disabled();
-        p
+        DeploymentParams::paper(members)
+            .with_traffic(
+                TrafficConfig::paper_default()
+                    .with_messages(messages)
+                    .with_interval(SimDuration::from_millis(30)),
+            )
+            .with_suspector(SuspectorConfig::disabled())
     }
 
     #[test]

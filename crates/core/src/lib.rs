@@ -66,13 +66,19 @@
 #![warn(missing_docs)]
 
 pub mod config;
+pub mod group;
+pub mod interceptor;
 pub mod message;
 pub mod provision;
 pub mod receiver;
+pub mod service;
 pub mod wrapper;
 
 pub use config::{FsoConfig, RouteTable, SourceSpec};
+pub use group::{build_fs_group, FsGroupParams, FsMemberProcs, GroupHost, PairLayout};
+pub use interceptor::FsInterceptor;
 pub use message::{FsContent, FsOutput, FsoInbound, PairMessage};
 pub use provision::{FsPairBuilder, FsPairSpec};
 pub use receiver::{FsDelivery, FsReceiver, ReceiverStats};
+pub use service::FsService;
 pub use wrapper::{FsoActor, FsoStats};

@@ -1,0 +1,84 @@
+//! The generic service contract of the fail-signal lift.
+//!
+//! [`FsService`] is the *service axis* of the scenario matrix: it describes a
+//! deterministic group service abstractly enough that the wrapper layer can
+//! lift **any** implementation — NewTOP's GC object, the sequenced
+//! replicated KV, or anything a user brings — to a fail-signal process with
+//! the exact same code path ([`crate::group::build_fs_group`]).  Nothing in
+//! this module or in the group builder knows which concrete service is being
+//! wrapped.
+
+use fs_common::id::MemberId;
+use fs_common::Bytes;
+use fs_smr::machine::DeterministicMachine;
+
+/// A deterministic group service that can be lifted to fail-signal form.
+///
+/// # The R1 determinism contract
+///
+/// The machines returned by [`FsService::machine`] **must** satisfy the
+/// paper's requirement R1 (§2.1): *the execution of an operation in a given
+/// state and with a given set of arguments must always produce the same
+/// result*.  Concretely:
+///
+/// * two machines created by `machine(m, group)` with the same arguments
+///   must start in identical states;
+/// * fed the same input sequence, they must produce **byte-identical**
+///   output sequences;
+/// * implementations must not consult wall clocks, random sources, thread
+///   identity, ambient global state, or anything else that is not an
+///   explicit input — all nondeterminism must arrive as
+///   [`fs_smr::machine::MachineInput`]s, which the wrapper pair's Order
+///   processes then deliver to both replicas in the same order.
+///
+/// Violating R1 is indistinguishable from a Byzantine fault: the pair's
+/// Compare processes will see diverging outputs and convert the service into
+/// its fail-signal.  [`fs_smr::machine::check_determinism`] is the cheap
+/// self-test for new implementations.
+pub trait FsService {
+    /// A short human-readable service name, used in traces and reports.
+    fn name(&self) -> &'static str;
+
+    /// Creates a fresh replica of member `member`'s service machine.
+    ///
+    /// Called twice per member — once for the leader wrapper, once for the
+    /// follower — so the two replicas of the pair start identical.
+    fn machine(&self, member: MemberId, group: &[MemberId]) -> Box<dyn DeterministicMachine>;
+
+    /// The machine input (fed from [`fs_smr::machine::Endpoint::Environment`])
+    /// to inject into every *other* member's machine when `peer`'s
+    /// fail-signal is received, or `None` if the service has no use for
+    /// failure notifications.
+    ///
+    /// FS-NewTOP returns the GC `Suspect(peer)` control input here — the
+    /// paper's conversion of trustworthy fail-signals into never-false
+    /// suspicions.
+    fn fail_signal_input(&self, peer: MemberId) -> Option<Bytes> {
+        let _ = peer;
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_smr::machine::EchoMachine;
+
+    struct EchoService;
+    impl FsService for EchoService {
+        fn name(&self) -> &'static str {
+            "echo"
+        }
+        fn machine(&self, _member: MemberId, _group: &[MemberId]) -> Box<dyn DeterministicMachine> {
+            Box::new(EchoMachine::new(0))
+        }
+    }
+
+    #[test]
+    fn default_fail_signal_input_is_none() {
+        let service = EchoService;
+        assert_eq!(service.name(), "echo");
+        assert!(service.fail_signal_input(MemberId(1)).is_none());
+        assert_eq!(service.machine(MemberId(0), &[MemberId(0)]).name(), "echo");
+    }
+}

@@ -115,7 +115,7 @@ impl Signature {
 
     /// Verifies this signature over `message` against the key directory.
     ///
-    /// Successful verifications are memoised host-side (see [`VERIFY_MEMO`]):
+    /// Successful verifications are memoised host-side (in the module-private `VERIFY_MEMO` table):
     /// re-verifying the same `(key, message, tag)` triple — the normal case
     /// when one multicast frame is checked at several co-hosted simulated
     /// destinations — is a hash-map probe instead of an HMAC computation.

@@ -4,7 +4,7 @@
 //! context intercepts the victim's outgoing messages and applies the
 //! configured [`FaultPlan`]: corruption, drops, duplication, silent crash, or
 //! spontaneous garbage emission.  This mirrors the methodology of the
-//! fault-injection study the paper builds on ([SSKXBI01]): faults manifest at
+//! fault-injection study the paper builds on (\[SSKXBI01\]): faults manifest at
 //! a single node and the surrounding fail-signal machinery must detect or
 //! mask them.
 

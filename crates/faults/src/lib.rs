@@ -2,7 +2,7 @@
 //!
 //! Fault injection for the fail-signal suite.  The paper's construction is
 //! validated (here as in the original fail-silent work it builds on,
-//! [SSKXBI01]) by injecting authenticated-Byzantine faults at a single node
+//! \[SSKXBI01\]) by injecting authenticated-Byzantine faults at a single node
 //! and checking that the surrounding machinery either masks them or converts
 //! them into the process's unique fail-signal.
 //!

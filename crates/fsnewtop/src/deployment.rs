@@ -1,5 +1,12 @@
-//! Deployment builders: crash-tolerant NewTOP and Byzantine-tolerant
-//! FS-NewTOP groups on the discrete-event simulator.
+//! Deployment parameters and legacy builders: crash-tolerant NewTOP and
+//! Byzantine-tolerant FS-NewTOP groups on the discrete-event simulator.
+//!
+//! Since the scenario harness landed, this module is a thin, stable facade
+//! over [`fs_harness::Scenario`]: [`DeploymentParams`] captures the paper's
+//! knobs in one struct and [`DeploymentParams::scenario`] translates them to
+//! the orthogonal harness axes.  The historical entry points
+//! [`build_newtop`] and [`build_fs_newtop`] remain as deprecated one-line
+//! forwards.
 //!
 //! Two layouts from the paper are supported for FS-NewTOP:
 //!
@@ -13,29 +20,29 @@
 //!
 //! The crash-tolerant baseline places one application and one NSO per node,
 //! exactly as the original NewTOP measurements did.
+//!
+//! ## Migration
+//!
+//! | old | new |
+//! |---|---|
+//! | `build_newtop(&params)` | `params.scenario(Protocol::Crash).build()` |
+//! | `build_fs_newtop(&params)` | `params.scenario(Protocol::FailSignal).build()` |
+//! | `params.suspector = s` | `params.with_suspector(s)` |
+//! | `Deployment::run` / `Deployment::app` | [`fs_harness::Running::run_until`] / [`fs_harness::Running::app`] |
 
-use std::collections::BTreeMap;
-
-use failsignal::provision::{FsPairBuilder, FsPairSpec};
-use fs_common::codec::Wire;
 use fs_common::config::TimingAssumptions;
-use fs_common::id::{FsId, MemberId, NodeId, ProcessId};
-use fs_common::rng::DetRng;
+use fs_common::id::{MemberId, NodeId, ProcessId};
 use fs_common::time::SimDuration;
 use fs_crypto::cost::CryptoCostModel;
-use fs_crypto::keys::{provision, SignerId};
+use fs_harness::{NewTopService, Protocol, Running, Scenario, Workload};
 use fs_newtop::app::{AppProcess, TrafficConfig};
-use fs_newtop::gc::{GcConfig, GcCosts, GcMachine};
-use fs_newtop::message::ControlInput;
-use fs_newtop::nso::{AddressBook, NsoActor};
+use fs_newtop::gc::GcCosts;
 use fs_newtop::suspector::SuspectorConfig;
-use fs_simnet::link::{LinkModel, Topology};
 use fs_simnet::node::NodeConfig;
 use fs_simnet::sched::SchedulerKind;
 use fs_simnet::sim::Simulation;
-use fs_smr::machine::Endpoint;
 
-use crate::interceptor::FsInterceptor;
+pub use failsignal::group::PairLayout;
 
 /// Physical placement of the FS-NewTOP components.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -46,6 +53,15 @@ pub enum Layout {
     /// hosting a leader wrapper of its own pair and the follower wrapper of
     /// another member's pair.
     Collapsed,
+}
+
+impl From<Layout> for PairLayout {
+    fn from(layout: Layout) -> Self {
+        match layout {
+            Layout::Full => PairLayout::Full,
+            Layout::Collapsed => PairLayout::Collapsed,
+        }
+    }
 }
 
 /// Everything a deployment builder needs to know.
@@ -107,18 +123,21 @@ impl DeploymentParams {
     }
 
     /// Returns a copy with a different workload.
+    #[must_use]
     pub fn with_traffic(mut self, traffic: TrafficConfig) -> Self {
         self.traffic = traffic;
         self
     }
 
     /// Returns a copy with a different seed.
+    #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
         self
     }
 
     /// Returns a copy with a different layout.
+    #[must_use]
     pub fn with_layout(mut self, layout: Layout) -> Self {
         self.layout = layout;
         self
@@ -126,6 +145,7 @@ impl DeploymentParams {
 
     /// Returns a copy using a different simulator scheduler (the legacy heap
     /// is used by the differential determinism tests).
+    #[must_use]
     pub fn with_scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
@@ -133,9 +153,64 @@ impl DeploymentParams {
 
     /// Returns a copy with tight fail-signal timing (for fault-injection
     /// tests where fast detection matters more than load tolerance).
+    #[must_use]
     pub fn with_timing(mut self, timing: TimingAssumptions) -> Self {
         self.timing = timing;
         self
+    }
+
+    /// Returns a copy with a different crash-mode suspector configuration.
+    #[must_use]
+    pub fn with_suspector(mut self, suspector: SuspectorConfig) -> Self {
+        self.suspector = suspector;
+        self
+    }
+
+    /// Returns a copy with a different GC protocol cost model.
+    #[must_use]
+    pub fn with_gc_costs(mut self, gc_costs: GcCosts) -> Self {
+        self.gc_costs = gc_costs;
+        self
+    }
+
+    /// Returns a copy with a different cryptography cost model.
+    #[must_use]
+    pub fn with_crypto_costs(mut self, crypto_costs: CryptoCostModel) -> Self {
+        self.crypto_costs = crypto_costs;
+        self
+    }
+
+    /// Returns a copy with a different per-node configuration.
+    #[must_use]
+    pub fn with_node(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Translates these parameters into a NewTOP [`Scenario`] under the
+    /// given protocol — the bridge from the legacy one-struct configuration
+    /// to the harness's orthogonal axes.
+    pub fn scenario(&self, protocol: Protocol) -> Scenario {
+        let service = NewTopService::new()
+            .service_kind(self.traffic.service)
+            .gc_costs(self.gc_costs)
+            .suspector(self.suspector);
+        let workload = Workload {
+            payload_size: self.traffic.payload_size,
+            messages: self.traffic.messages,
+            interval: self.traffic.interval,
+            start_delay: self.traffic.start_delay,
+        };
+        Scenario::new(service)
+            .members(self.members)
+            .protocol(protocol)
+            .workload(workload)
+            .layout(self.layout.into())
+            .timing(self.timing)
+            .crypto_costs(self.crypto_costs)
+            .node_config(self.node)
+            .seed(self.seed)
+            .scheduler(self.scheduler)
     }
 }
 
@@ -179,6 +254,37 @@ impl std::fmt::Debug for Deployment {
 }
 
 impl Deployment {
+    /// Unwraps a simulator-backed scenario run into the legacy deployment
+    /// shape, for callers that inspect the raw [`Simulation`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `running` was built on the threaded runtime (the legacy
+    /// deployment type is simulator-only — drive threaded scenarios through
+    /// [`fs_harness::Running`] directly).
+    pub fn from_running(running: Running) -> Self {
+        let fail_signal = running.protocol() == Protocol::FailSignal;
+        let (sim, procs) = running
+            .into_sim()
+            .expect("Deployment::from_running requires a simulator-backed scenario");
+        let members = procs
+            .into_iter()
+            .map(|p| MemberHandles {
+                member: p.member,
+                app: p.app,
+                middleware: p.middleware,
+                leader: p.leader,
+                follower: p.follower,
+                app_node: sim.node_of(p.app).expect("app process is placed"),
+            })
+            .collect();
+        Self {
+            sim,
+            members,
+            fail_signal,
+        }
+    }
+
     /// The application process of each member, in member order.
     pub fn apps(&self) -> Vec<ProcessId> {
         self.members.iter().map(|m| m.app).collect()
@@ -198,188 +304,32 @@ impl Deployment {
     }
 }
 
-fn lan_topology() -> Topology {
-    Topology::new(LinkModel::lan_100mbps())
-}
-
 /// Builds the crash-tolerant NewTOP baseline: one node per member hosting the
 /// application and its NSO.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `params.scenario(Protocol::Crash).build()` (fs-harness) instead"
+)]
 pub fn build_newtop(params: &DeploymentParams) -> Deployment {
-    let n = params.members;
-    assert!(n >= 1, "a group needs at least one member");
-    let group: Vec<MemberId> = (0..n).map(MemberId).collect();
-    let mut sim = Simulation::with_scheduler(params.seed, lan_topology(), params.scheduler);
-
-    // Identifier scheme: member i gets app = 2i, NSO = 2i + 1.
-    let app_pid = |i: u32| ProcessId(2 * i);
-    let nso_pid = |i: u32| ProcessId(2 * i + 1);
-
-    let mut members = Vec::new();
-    for i in 0..n {
-        let node = sim.add_node(params.node);
-        let peers: BTreeMap<MemberId, ProcessId> = (0..n)
-            .filter(|j| *j != i)
-            .map(|j| (MemberId(j), nso_pid(j)))
-            .collect();
-        let addresses = AddressBook::new(app_pid(i), peers);
-        let gc = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
-        sim.spawn_with(
-            nso_pid(i),
-            node,
-            Box::new(NsoActor::new(gc, addresses, params.suspector)),
-        );
-        sim.spawn_with(
-            app_pid(i),
-            node,
-            Box::new(AppProcess::new(MemberId(i), nso_pid(i), params.traffic)),
-        );
-        members.push(MemberHandles {
-            member: MemberId(i),
-            app: app_pid(i),
-            middleware: nso_pid(i),
-            leader: nso_pid(i),
-            follower: nso_pid(i),
-            app_node: node,
-        });
-    }
-    Deployment {
-        sim,
-        members,
-        fail_signal: false,
-    }
+    Deployment::from_running(params.scenario(Protocol::Crash).build())
 }
 
 /// Builds the Byzantine-tolerant FS-NewTOP deployment: every member's GC is
 /// wrapped by a fail-signal pair, the interceptor keeps the wrapping
 /// transparent, and fail-signals are converted into (never false) suspicions.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `params.scenario(Protocol::FailSignal).build()` (fs-harness) instead"
+)]
 pub fn build_fs_newtop(params: &DeploymentParams) -> Deployment {
-    let n = params.members;
-    assert!(n >= 1, "a group needs at least one member");
-    let group: Vec<MemberId> = (0..n).map(MemberId).collect();
-    let mut sim = Simulation::with_scheduler(params.seed, lan_topology(), params.scheduler);
-
-    // Identifier scheme: member i gets app = 4i, interceptor = 4i + 1,
-    // leader wrapper = 4i + 2, follower wrapper = 4i + 3.
-    let app_pid = |i: u32| ProcessId(4 * i);
-    let icp_pid = |i: u32| ProcessId(4 * i + 1);
-    let leader_pid = |i: u32| ProcessId(4 * i + 2);
-    let follower_pid = |i: u32| ProcessId(4 * i + 3);
-
-    // Provision signing keys for every wrapper process (start-up step, A1/A5).
-    let mut key_rng = DetRng::new(params.seed ^ 0x5157_3a11);
-    let wrapper_processes: Vec<ProcessId> = (0..n)
-        .flat_map(|i| [leader_pid(i), follower_pid(i)])
-        .collect();
-    let (mut keys, directory) = provision(wrapper_processes, &mut key_rng);
-
-    // Nodes.
-    let primary_nodes: Vec<NodeId> = (0..n).map(|_| sim.add_node(params.node)).collect();
-    let follower_nodes: Vec<NodeId> = match params.layout {
-        Layout::Full => (0..n).map(|_| sim.add_node(params.node)).collect(),
-        Layout::Collapsed => {
-            // Follower of member i lives on the primary node of member (i+1) % n.
-            (0..n)
-                .map(|i| primary_nodes[((i + 1) % n) as usize])
-                .collect()
-        }
-    };
-
-    let mut members = Vec::new();
-    for i in 0..n {
-        let fs = FsId(i);
-        let spec = FsPairSpec::new(fs, leader_pid(i), follower_pid(i));
-
-        let mut builder = FsPairBuilder::new(spec)
-            .timing(params.timing)
-            .crypto_costs(params.crypto_costs)
-            .trust_client(icp_pid(i), Endpoint::LocalApp)
-            .route(Endpoint::LocalApp, vec![icp_pid(i)]);
-
-        // Peers: every other member's pair is both a source and a destination.
-        let mut broadcast_targets = Vec::new();
-        for j in 0..n {
-            if j == i {
-                continue;
-            }
-            let peer_fs = FsId(j);
-            let peer_signers = (SignerId(leader_pid(j)), SignerId(follower_pid(j)));
-            builder = builder
-                .accept_fs_source(
-                    (leader_pid(j), follower_pid(j)),
-                    peer_fs,
-                    peer_signers,
-                    Endpoint::Peer(MemberId(j)),
-                )
-                .on_fail_signal(peer_fs, ControlInput::Suspect(MemberId(j)).to_wire())
-                .route(
-                    Endpoint::Peer(MemberId(j)),
-                    vec![leader_pid(j), follower_pid(j)],
-                );
-            broadcast_targets.push(leader_pid(j));
-            broadcast_targets.push(follower_pid(j));
-        }
-        builder = builder.route(Endpoint::Broadcast, broadcast_targets);
-
-        let gc_config = GcConfig::new(MemberId(i), group.clone()).with_costs(params.gc_costs);
-        let leader_key = keys.remove(&SignerId(leader_pid(i))).expect("leader key");
-        let follower_key = keys
-            .remove(&SignerId(follower_pid(i)))
-            .expect("follower key");
-        let (leader_actor, follower_actor) = builder.build(
-            leader_key,
-            follower_key,
-            std::sync::Arc::clone(&directory),
-            (
-                Box::new(GcMachine::new(gc_config.clone())),
-                Box::new(GcMachine::new(gc_config)),
-            ),
-        );
-
-        sim.spawn_with(
-            leader_pid(i),
-            primary_nodes[i as usize],
-            Box::new(leader_actor),
-        );
-        sim.spawn_with(
-            follower_pid(i),
-            follower_nodes[i as usize],
-            Box::new(follower_actor),
-        );
-
-        let interceptor = FsInterceptor::new(
-            app_pid(i),
-            fs,
-            leader_pid(i),
-            follower_pid(i),
-            std::sync::Arc::clone(&directory),
-        );
-        sim.spawn_with(icp_pid(i), primary_nodes[i as usize], Box::new(interceptor));
-        sim.spawn_with(
-            app_pid(i),
-            primary_nodes[i as usize],
-            Box::new(AppProcess::new(MemberId(i), icp_pid(i), params.traffic)),
-        );
-
-        members.push(MemberHandles {
-            member: MemberId(i),
-            app: app_pid(i),
-            middleware: icp_pid(i),
-            leader: leader_pid(i),
-            follower: follower_pid(i),
-            app_node: primary_nodes[i as usize],
-        });
-    }
-
-    Deployment {
-        sim,
-        members,
-        fail_signal: true,
-    }
+    Deployment::from_running(params.scenario(Protocol::FailSignal).build())
 }
 
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
+    use crate::interceptor::FsInterceptor;
     use fs_common::time::SimTime;
     use fs_newtop::message::ServiceKind;
 
@@ -449,13 +399,13 @@ mod tests {
         let traffic = small_traffic(3);
         // Disable the baseline's ping traffic so the comparison counts only
         // protocol messages caused by the workload itself.
-        let mut newtop_params = DeploymentParams::paper(3).with_traffic(traffic);
-        newtop_params.suspector = SuspectorConfig::disabled();
-        let mut newtop = build_newtop(&newtop_params);
+        let params = DeploymentParams::paper(3)
+            .with_traffic(traffic)
+            .with_suspector(SuspectorConfig::disabled());
+        let mut newtop = build_newtop(&params);
         newtop.run(SimTime::from_secs(600));
 
-        let fs_params = DeploymentParams::paper(3).with_traffic(traffic);
-        let mut fs = build_fs_newtop(&fs_params);
+        let mut fs = build_fs_newtop(&params);
         fs.run(SimTime::from_secs(600));
 
         assert!(
@@ -485,5 +435,26 @@ mod tests {
         assert!(!newtop.fail_signal);
         assert!(full.fail_signal);
         assert_eq!(full.apps().len(), 3);
+    }
+
+    #[test]
+    fn forwards_match_direct_scenario_builds() {
+        // The deprecated forwards and a hand-built Scenario must produce the
+        // same deployment, observable event for observable event.
+        let params = DeploymentParams::paper(3).with_traffic(small_traffic(3));
+        let mut via_forward = build_fs_newtop(&params);
+        via_forward.sim.enable_trace();
+        via_forward.run(SimTime::from_secs(600));
+
+        let mut via_scenario =
+            Deployment::from_running(params.scenario(Protocol::FailSignal).build());
+        via_scenario.sim.enable_trace();
+        via_scenario.run(SimTime::from_secs(600));
+
+        assert_eq!(
+            via_forward.app(0).delivery_log(),
+            via_scenario.app(0).delivery_log()
+        );
+        assert_eq!(via_forward.sim.stats(), via_scenario.sim.stats());
     }
 }

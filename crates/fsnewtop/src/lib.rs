@@ -4,31 +4,33 @@
 //! by wrapping NewTOP's deterministic GC objects with the fail-signal layer —
 //! the proof-of-concept integration of the paper (§3.1).
 //!
-//! The crate contains the two pieces the integration needed beyond plain
-//! reuse, plus the deployment builders used by the benchmarks:
+//! The wrapper path itself is fully generic ([`failsignal::group`] +
+//! [`failsignal::service::FsService`]) and the deployments are assembled by
+//! the scenario harness (`fs-harness`); this crate keeps the NewTOP-flavoured
+//! facade:
 //!
-//! * [`interceptor::FsInterceptor`] — the CORBA-interceptor analogue: fans
-//!   application requests out to both wrapper objects and strips/deduplicates
-//!   the double-signed responses, keeping the wrapping transparent;
-//! * fail-signal-driven suspicion — configured in
-//!   [`deployment::build_fs_newtop`]: a received fail-signal is converted
-//!   into a `Suspect` control input for the GC membership, so suspicions are
-//!   never false and groups never split without an actual failure;
-//! * [`deployment`] — builders for the crash-tolerant NewTOP baseline and the
-//!   FS-NewTOP system under both node layouts of the paper (Figures 4 and 5).
+//! * [`deployment::DeploymentParams`] — the paper's experimental knobs in one
+//!   struct, with [`deployment::DeploymentParams::scenario`] bridging to the
+//!   harness's orthogonal axes;
+//! * [`deployment::Deployment`] — the simulator-backed deployment handle the
+//!   figure drivers inspect, plus the deprecated [`deployment::build_newtop`]
+//!   / [`deployment::build_fs_newtop`] forwards;
+//! * [`interceptor`] — a re-export of the (service-agnostic) interceptor
+//!   from its historical home.
 //!
 //! ## Example: build and run a 3-member FS-NewTOP group
 //!
 //! ```
 //! use fs_common::time::{SimDuration, SimTime};
+//! use fs_harness::Protocol;
 //! use fs_newtop::app::TrafficConfig;
-//! use fs_newtop_bft::deployment::{build_fs_newtop, DeploymentParams};
+//! use fs_newtop_bft::deployment::{Deployment, DeploymentParams};
 //!
 //! let traffic = TrafficConfig::paper_default()
 //!     .with_messages(3)
 //!     .with_interval(SimDuration::from_millis(30));
 //! let params = DeploymentParams::paper(3).with_traffic(traffic);
-//! let mut deployment = build_fs_newtop(&params);
+//! let mut deployment = Deployment::from_running(params.scenario(Protocol::FailSignal).build());
 //! deployment.run(SimTime::from_secs(120));
 //!
 //! // Every application delivered every message, in the same total order.
@@ -44,6 +46,7 @@
 pub mod deployment;
 pub mod interceptor;
 
+#[allow(deprecated)]
 pub use deployment::{
     build_fs_newtop, build_newtop, Deployment, DeploymentParams, Layout, MemberHandles,
 };

@@ -1,0 +1,146 @@
+//! The fault axis of the scenario matrix.
+//!
+//! A [`FaultSchedule`] declares which processes misbehave and how, using the
+//! [`fs_faults`] injector vocabulary.  The scenario builder wraps the
+//! targeted actors in [`fs_faults::FaultyActor`]s at assembly time, so the
+//! same schedule applies identically on the simulator and on the threaded
+//! runtime, and to any service.
+
+use fs_common::id::{MemberId, Role};
+use fs_faults::FaultPlan;
+
+/// Which of a member's processes a fault is injected into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultTarget {
+    /// The leader wrapper of the member's FS pair (fail-signal protocol
+    /// only).
+    Leader,
+    /// The follower wrapper of the member's FS pair (fail-signal protocol
+    /// only).
+    Follower,
+    /// The member's native middleware process (crash protocol only).
+    Middleware,
+}
+
+/// One planned injection.
+#[derive(Debug, Clone)]
+pub struct FaultEntry {
+    /// The afflicted member.
+    pub member: MemberId,
+    /// Which of its processes misbehaves.
+    pub target: FaultTarget,
+    /// What it does and when it starts.
+    pub plan: FaultPlan,
+    /// The injector's deterministic random seed.
+    pub seed: u64,
+}
+
+/// A set of planned injections for one scenario run.
+#[derive(Debug, Clone, Default)]
+pub struct FaultSchedule {
+    entries: Vec<FaultEntry>,
+}
+
+impl FaultSchedule {
+    /// No faults: the failure-free runs of the paper's measurements.
+    pub fn none() -> Self {
+        Self::default()
+    }
+
+    /// Adds an injection into `member`'s leader wrapper.
+    #[must_use]
+    pub fn leader(self, member: MemberId, plan: FaultPlan) -> Self {
+        self.inject(member, FaultTarget::Leader, plan)
+    }
+
+    /// Adds an injection into `member`'s follower wrapper.
+    #[must_use]
+    pub fn follower(self, member: MemberId, plan: FaultPlan) -> Self {
+        self.inject(member, FaultTarget::Follower, plan)
+    }
+
+    /// Adds an injection into `member`'s crash-protocol middleware process.
+    #[must_use]
+    pub fn middleware(self, member: MemberId, plan: FaultPlan) -> Self {
+        self.inject(member, FaultTarget::Middleware, plan)
+    }
+
+    /// Adds an injection with an explicit target.
+    #[must_use]
+    pub fn inject(mut self, member: MemberId, target: FaultTarget, plan: FaultPlan) -> Self {
+        // Unique per (member, entry index): distinct injectors must draw
+        // from independent deterministic random streams.
+        let seed = 0x77 ^ ((u64::from(member.0) << 32) | self.entries.len() as u64);
+        self.entries.push(FaultEntry {
+            member,
+            target,
+            plan,
+            seed,
+        });
+        self
+    }
+
+    /// The planned injections.
+    pub fn entries(&self) -> &[FaultEntry] {
+        &self.entries
+    }
+
+    /// True when `target` can actually be injected under `fail_signal`
+    /// protocol deployments (wrapper targets) or crash deployments
+    /// (middleware targets).
+    pub fn target_applies(target: FaultTarget, fail_signal: bool) -> bool {
+        match target {
+            FaultTarget::Leader | FaultTarget::Follower => fail_signal,
+            FaultTarget::Middleware => !fail_signal,
+        }
+    }
+
+    /// True when nothing is injected.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The plan targeting `member`'s wrapper with the given pair role, if
+    /// any.
+    pub fn for_wrapper(&self, member: MemberId, role: Role) -> Option<&FaultEntry> {
+        let target = if role.is_leader() {
+            FaultTarget::Leader
+        } else {
+            FaultTarget::Follower
+        };
+        self.entries
+            .iter()
+            .find(|e| e.member == member && e.target == target)
+    }
+
+    /// The plan targeting `member`'s crash-protocol middleware, if any.
+    pub fn for_middleware(&self, member: MemberId) -> Option<&FaultEntry> {
+        self.entries
+            .iter()
+            .find(|e| e.member == member && e.target == FaultTarget::Middleware)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_faults::FaultKind;
+
+    #[test]
+    fn lookups_match_targets() {
+        let schedule = FaultSchedule::none()
+            .follower(MemberId(1), FaultPlan::immediate(FaultKind::Crash))
+            .middleware(
+                MemberId(2),
+                FaultPlan::after(3, FaultKind::DuplicateOutputs),
+            );
+        assert_eq!(schedule.entries().len(), 2);
+        assert!(!schedule.is_empty());
+        assert!(schedule.for_wrapper(MemberId(1), Role::Follower).is_some());
+        assert!(schedule.for_wrapper(MemberId(1), Role::Leader).is_none());
+        assert!(schedule.for_wrapper(MemberId(0), Role::Follower).is_none());
+        assert!(schedule.for_middleware(MemberId(2)).is_some());
+        assert!(schedule.for_middleware(MemberId(1)).is_none());
+        assert!(FaultSchedule::none().is_empty());
+    }
+}

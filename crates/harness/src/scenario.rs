@@ -1,0 +1,617 @@
+//! The [`Scenario`] builder and the uniform [`Running`] handle.
+//!
+//! A scenario is a point in the matrix *service × runtime × workload ×
+//! fault schedule × protocol*: the same typed builder deploys crash-tolerant
+//! NewTOP on the simulator, fail-signal-wrapped SMR-KV on real threads, or
+//! any other combination, and every run is driven and inspected through the
+//! same [`Running`] handle.
+//!
+//! ```
+//! use fs_harness::{NewTopService, Protocol, RuntimeKind, Scenario, Workload};
+//! use fs_common::time::SimTime;
+//!
+//! let mut run = Scenario::new(NewTopService::new())
+//!     .members(3)
+//!     .runtime(RuntimeKind::Sim)
+//!     .protocol(Protocol::FailSignal)
+//!     .workload(Workload::quick(2))
+//!     .build();
+//! run.run_until(SimTime::from_secs(120));
+//! let reference = run.delivery_log(0);
+//! assert_eq!(reference.len(), 6, "3 members x 2 multicasts");
+//! assert_eq!(run.delivery_log(1), reference);
+//! ```
+
+use std::collections::{BTreeMap, HashMap};
+
+use failsignal::group::{build_fs_group, FsGroupParams, GroupHost, PairLayout};
+use failsignal::interceptor::FsInterceptor;
+use fs_common::config::TimingAssumptions;
+use fs_common::id::{MemberId, ProcessId};
+use fs_common::time::{SimDuration, SimTime};
+use fs_crypto::cost::CryptoCostModel;
+use fs_faults::FaultyActor;
+use fs_simnet::actor::Actor;
+use fs_simnet::link::{LinkModel, Topology};
+use fs_simnet::node::NodeConfig;
+use fs_simnet::sched::SchedulerKind;
+use fs_simnet::sim::Simulation;
+use fs_simnet::threaded::{ThreadedBuilder, ThreadedConfig, ThreadedRuntime};
+use fs_simnet::trace::{NetStats, TraceLog};
+
+use crate::faults::FaultSchedule;
+use crate::service::ServiceSpec;
+use crate::workload::Workload;
+
+/// The fault-tolerance protocol axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// The service's native, crash-tolerant deployment.
+    Crash,
+    /// The service lifted to authenticated Byzantine tolerance by the
+    /// fail-signal transformation.
+    FailSignal,
+}
+
+/// The runtime axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuntimeKind {
+    /// The deterministic discrete-event simulator (the paper's measurement
+    /// vehicle).
+    Sim,
+    /// The real multi-threaded runtime: one thread per node, crossbeam
+    /// channels for links, wall-clock timers.
+    Threaded,
+}
+
+/// The process identities of one deployed member, uniform across protocols
+/// and runtimes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberProcs {
+    /// The member index.
+    pub member: MemberId,
+    /// The application / workload-driver process.
+    pub app: ProcessId,
+    /// The middleware entry point the application talks to (the native
+    /// middleware under [`Protocol::Crash`], the interceptor under
+    /// [`Protocol::FailSignal`]).
+    pub middleware: ProcessId,
+    /// The leader wrapper (equals `middleware` under [`Protocol::Crash`]).
+    pub leader: ProcessId,
+    /// The follower wrapper (equals `middleware` under [`Protocol::Crash`]).
+    pub follower: ProcessId,
+}
+
+/// A typed scenario builder.  Every axis has a paper-faithful default, so a
+/// scenario is fully described by the calls that differ from the paper's
+/// set-up.
+pub struct Scenario {
+    service: Box<dyn ServiceSpec>,
+    members: u32,
+    runtime: RuntimeKind,
+    protocol: Protocol,
+    workload: Workload,
+    faults: FaultSchedule,
+    layout: PairLayout,
+    timing: TimingAssumptions,
+    crypto_costs: CryptoCostModel,
+    node: NodeConfig,
+    seed: u64,
+    scheduler: SchedulerKind,
+}
+
+impl std::fmt::Debug for Scenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("service", &self.service.name())
+            .field("members", &self.members)
+            .field("runtime", &self.runtime)
+            .field("protocol", &self.protocol)
+            .finish()
+    }
+}
+
+impl Scenario {
+    /// Starts a scenario around `service` with the paper's defaults: three
+    /// members on the simulator, fail-signal protocol, collapsed layout,
+    /// era-2003 node and crypto cost models, generous timing assumptions,
+    /// no faults, seed 2003.
+    pub fn new(service: impl ServiceSpec + 'static) -> Self {
+        Self {
+            service: Box::new(service),
+            members: 3,
+            runtime: RuntimeKind::Sim,
+            protocol: Protocol::FailSignal,
+            workload: Workload::paper_default(),
+            faults: FaultSchedule::none(),
+            layout: PairLayout::Collapsed,
+            timing: TimingAssumptions {
+                delta: SimDuration::from_secs(120),
+                kappa: 4.0,
+                sigma: 4.0,
+            },
+            crypto_costs: CryptoCostModel::era_2003(),
+            node: NodeConfig::era_2003(),
+            seed: 2003,
+            scheduler: SchedulerKind::default(),
+        }
+    }
+
+    /// Sets the group size.
+    #[must_use]
+    pub fn members(mut self, members: u32) -> Self {
+        self.members = members;
+        self
+    }
+
+    /// Selects the runtime.
+    #[must_use]
+    pub fn runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Selects the fault-tolerance protocol.
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the per-member workload.
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the fault schedule.
+    #[must_use]
+    pub fn faults(mut self, faults: FaultSchedule) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Sets the follower placement (fail-signal protocol only).
+    #[must_use]
+    pub fn layout(mut self, layout: PairLayout) -> Self {
+        self.layout = layout;
+        self
+    }
+
+    /// Sets the pairs' timing assumptions (δ, κ, σ).
+    #[must_use]
+    pub fn timing(mut self, timing: TimingAssumptions) -> Self {
+        self.timing = timing;
+        self
+    }
+
+    /// Sets the cryptography cost model.
+    #[must_use]
+    pub fn crypto_costs(mut self, crypto_costs: CryptoCostModel) -> Self {
+        self.crypto_costs = crypto_costs;
+        self
+    }
+
+    /// Sets the per-node configuration.
+    #[must_use]
+    pub fn node_config(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the simulator's future-event-set scheduler (ignored by the
+    /// threaded runtime).
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Assembles the scenario on `host` and returns the member handles.
+    fn assemble<H: GroupHost>(&self, host: &mut H) -> Vec<MemberProcs> {
+        match self.protocol {
+            Protocol::FailSignal => {
+                let params = FsGroupParams {
+                    members: self.members,
+                    layout: self.layout,
+                    node: self.node,
+                    timing: self.timing,
+                    crypto_costs: self.crypto_costs,
+                    seed: self.seed,
+                };
+                let fs_service = self.service.fs_service();
+                let service = &*self.service;
+                let workload = &self.workload;
+                let faults = &self.faults;
+                build_fs_group(
+                    host,
+                    &params,
+                    fs_service.as_ref(),
+                    |member, interceptor| service.driver(member, interceptor, workload),
+                    |member, role, actor| match faults.for_wrapper(member, role) {
+                        Some(entry) => {
+                            Box::new(FaultyActor::new(actor, entry.plan.clone(), entry.seed))
+                        }
+                        None => actor,
+                    },
+                )
+                .into_iter()
+                .map(|h| MemberProcs {
+                    member: h.member,
+                    app: h.app,
+                    middleware: h.interceptor,
+                    leader: h.leader,
+                    follower: h.follower,
+                })
+                .collect()
+            }
+            Protocol::Crash => {
+                let n = self.members;
+                assert!(n >= 1, "a group needs at least one member");
+                let group: Vec<MemberId> = (0..n).map(MemberId).collect();
+                let app_pid = |i: u32| ProcessId(2 * i);
+                let mw_pid = |i: u32| ProcessId(2 * i + 1);
+                let mut members = Vec::new();
+                for i in 0..n {
+                    let node = host.add_host_node(&self.node);
+                    let peers: BTreeMap<MemberId, ProcessId> = (0..n)
+                        .filter(|j| *j != i)
+                        .map(|j| (MemberId(j), mw_pid(j)))
+                        .collect();
+                    let mut middleware =
+                        self.service
+                            .crash_middleware(MemberId(i), &group, &peers, app_pid(i));
+                    if let Some(entry) = self.faults.for_middleware(MemberId(i)) {
+                        middleware =
+                            Box::new(FaultyActor::new(middleware, entry.plan.clone(), entry.seed));
+                    }
+                    host.place(mw_pid(i), node, middleware);
+                    host.place(
+                        app_pid(i),
+                        node,
+                        self.service.driver(MemberId(i), mw_pid(i), &self.workload),
+                    );
+                    members.push(MemberProcs {
+                        member: MemberId(i),
+                        app: app_pid(i),
+                        middleware: mw_pid(i),
+                        leader: mw_pid(i),
+                        follower: mw_pid(i),
+                    });
+                }
+                members
+            }
+        }
+    }
+
+    /// Builds and starts the scenario, returning the uniform running handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the fault schedule targets processes the selected
+    /// protocol does not deploy (wrapper targets under [`Protocol::Crash`],
+    /// middleware targets under [`Protocol::FailSignal`]) — a mis-targeted
+    /// campaign would otherwise run fault-free and pass vacuously.
+    pub fn build(self) -> Running {
+        for entry in self.faults.entries() {
+            assert!(
+                FaultSchedule::target_applies(entry.target, self.protocol == Protocol::FailSignal),
+                "fault schedule targets {:?} of member {}, which the {:?} protocol does not deploy",
+                entry.target,
+                entry.member,
+                self.protocol,
+            );
+        }
+        let topology = Topology::new(LinkModel::lan_100mbps());
+        match self.runtime {
+            RuntimeKind::Sim => {
+                let mut sim = Simulation::with_scheduler(self.seed, topology, self.scheduler);
+                let members = self.assemble(&mut sim);
+                Running {
+                    service: self.service,
+                    protocol: self.protocol,
+                    runtime: RuntimeKind::Sim,
+                    members,
+                    sim: Some(sim),
+                    threaded: None,
+                    collected: HashMap::new(),
+                }
+            }
+            RuntimeKind::Threaded => {
+                let mut builder = ThreadedBuilder::new(ThreadedConfig {
+                    cpu_charge_scale: 0.0,
+                    seed: self.seed,
+                });
+                let members = self.assemble(&mut builder);
+                Running {
+                    service: self.service,
+                    protocol: self.protocol,
+                    runtime: RuntimeKind::Threaded,
+                    members,
+                    sim: None,
+                    threaded: Some(builder.start()),
+                    collected: HashMap::new(),
+                }
+            }
+        }
+    }
+}
+
+/// A deployed, runnable scenario: the uniform handle over both runtimes.
+///
+/// On the simulator, [`Running::run_until`] executes events up to the given
+/// simulated horizon; on the threaded runtime it lets the wall clock reach
+/// the same horizon (1 simulated second = 1 real second).  Inspection
+/// methods ([`Running::delivery_log`], [`Running::app`],
+/// [`Running::fail_signalled`]) work on both; on the threaded runtime the
+/// first inspection shuts the node threads down and collects the actors.
+pub struct Running {
+    service: Box<dyn ServiceSpec>,
+    protocol: Protocol,
+    runtime: RuntimeKind,
+    members: Vec<MemberProcs>,
+    sim: Option<Simulation>,
+    threaded: Option<ThreadedRuntime>,
+    collected: HashMap<ProcessId, Box<dyn Actor>>,
+}
+
+impl std::fmt::Debug for Running {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Running")
+            .field("service", &self.service.name())
+            .field("protocol", &self.protocol)
+            .field("runtime", &self.runtime)
+            .field("members", &self.members.len())
+            .finish()
+    }
+}
+
+impl Running {
+    /// The deployed members, in member order.
+    pub fn members(&self) -> &[MemberProcs] {
+        &self.members
+    }
+
+    /// The protocol this scenario runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The runtime this scenario runs on.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.runtime
+    }
+
+    /// The service's name.
+    pub fn service_name(&self) -> &'static str {
+        self.service.name()
+    }
+
+    /// Drives the scenario until `horizon` and returns the reached time.
+    ///
+    /// Simulator: runs the event loop (returns early on quiescence).
+    /// Threaded runtime: sleeps until the wall clock reaches `horizon`
+    /// relative to the runtime's start.
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        if let Some(sim) = self.sim.as_mut() {
+            return sim.run_until(horizon);
+        }
+        if let Some(rt) = self.threaded.as_ref() {
+            while rt.now() < horizon {
+                let remaining = horizon.duration_since(rt.now());
+                let nap =
+                    std::time::Duration::from(remaining).min(std::time::Duration::from_millis(20));
+                std::thread::sleep(nap);
+            }
+            return rt.now();
+        }
+        horizon
+    }
+
+    /// Enables event tracing (simulator only; a no-op on the threaded
+    /// runtime).  Call before [`Running::run_until`].
+    pub fn enable_trace(&mut self) {
+        if let Some(sim) = self.sim.as_mut() {
+            sim.enable_trace();
+        }
+    }
+
+    /// The recorded trace, when tracing was enabled on the simulator.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.sim.as_ref().and_then(|s| s.trace())
+    }
+
+    /// The simulator's aggregate network statistics (`None` on the threaded
+    /// runtime).
+    pub fn stats(&self) -> Option<&NetStats> {
+        self.sim.as_ref().map(|s| s.stats())
+    }
+
+    /// Direct access to the underlying simulator, for link surgery and other
+    /// scenario-specific interventions (`None` on the threaded runtime).
+    pub fn sim(&self) -> Option<&Simulation> {
+        self.sim.as_ref()
+    }
+
+    /// Mutable variant of [`Running::sim`].
+    pub fn sim_mut(&mut self) -> Option<&mut Simulation> {
+        self.sim.as_mut()
+    }
+
+    /// Shuts down the threaded runtime (if any) and collects its actors for
+    /// inspection.  Idempotent; a no-op on the simulator.
+    pub fn settle(&mut self) {
+        if let Some(rt) = self.threaded.take() {
+            self.collected = rt.shutdown();
+        }
+    }
+
+    /// The actor registered under `process`, as a trait object.  Call
+    /// [`Running::settle`] first on the threaded runtime.
+    fn actor_ref(&self, process: ProcessId) -> Option<&dyn Actor> {
+        if let Some(sim) = self.sim.as_ref() {
+            return sim.actor_dyn(process);
+        }
+        self.collected.get(&process).map(|b| b.as_ref())
+    }
+
+    /// [`Running::settle`] followed by [`Running::actor_ref`].
+    fn actor_dyn(&mut self, process: ProcessId) -> Option<&dyn Actor> {
+        self.settle();
+        self.actor_ref(process)
+    }
+
+    /// Downcasts member `i`'s application / workload-driver actor.
+    ///
+    /// On the threaded runtime this shuts the runtime down first.
+    pub fn app<T: Actor>(&mut self, i: u32) -> Option<&T> {
+        let pid = self.members.get(i as usize)?.app;
+        let any: &dyn std::any::Any = self.actor_dyn(pid)?;
+        any.downcast_ref::<T>()
+    }
+
+    /// Member `i`'s delivery log, as `(origin, seq)` pairs in delivery
+    /// order — the uniform agreement probe across services, protocols and
+    /// runtimes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `i` is out of range or the driver actor cannot be
+    /// inspected (which would be a harness bug).
+    pub fn delivery_log(&mut self, i: u32) -> Vec<(MemberId, u64)> {
+        self.settle();
+        let pid = self.members[i as usize].app;
+        let driver = self.actor_ref(pid).expect("driver actor exists");
+        self.service
+            .delivery_log_of(driver)
+            .expect("driver actor is inspectable")
+    }
+
+    /// Every member's delivery log, in member order.
+    pub fn delivery_logs(&mut self) -> Vec<Vec<(MemberId, u64)>> {
+        (0..self.members.len() as u32)
+            .map(|i| self.delivery_log(i))
+            .collect()
+    }
+
+    /// Member `i`'s interceptor (fail-signal protocol only).
+    pub fn interceptor(&mut self, i: u32) -> Option<&FsInterceptor> {
+        if self.protocol != Protocol::FailSignal {
+            return None;
+        }
+        let pid = self.members.get(i as usize)?.middleware;
+        let any: &dyn std::any::Any = self.actor_dyn(pid)?;
+        any.downcast_ref::<FsInterceptor>()
+    }
+
+    /// True when any member's local FS pair has emitted its fail-signal
+    /// (always false under [`Protocol::Crash`]).
+    pub fn fail_signalled(&mut self) -> bool {
+        if self.protocol != Protocol::FailSignal {
+            return false;
+        }
+        (0..self.members.len() as u32).any(|i| {
+            self.interceptor(i)
+                .is_some_and(|x| x.local_fail_signalled())
+        })
+    }
+
+    /// Decomposes a simulator-backed run into the raw simulation and member
+    /// handles (used by the legacy deployment forwards).  `None` on the
+    /// threaded runtime.
+    pub fn into_sim(self) -> Option<(Simulation, Vec<MemberProcs>)> {
+        Some((self.sim?, self.members))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::service::{NewTopService, SmrKvService};
+    use fs_newtop::suspector::SuspectorConfig;
+
+    fn agree(run: &mut Running, expected: usize) {
+        let reference = run.delivery_log(0);
+        assert_eq!(reference.len(), expected);
+        for i in 1..run.members().len() as u32 {
+            assert_eq!(run.delivery_log(i), reference, "member {i} diverged");
+        }
+    }
+
+    #[test]
+    fn fs_newtop_scenario_orders_on_the_simulator() {
+        let mut run = Scenario::new(NewTopService::new())
+            .members(3)
+            .workload(Workload::quick(4))
+            .build();
+        assert_eq!(run.service_name(), "newtop");
+        assert_eq!(run.protocol(), Protocol::FailSignal);
+        run.run_until(SimTime::from_secs(300));
+        agree(&mut run, 12);
+        assert!(!run.fail_signalled());
+        assert!(run.stats().is_some_and(|s| s.messages_sent > 0));
+    }
+
+    #[test]
+    fn crash_newtop_scenario_orders_on_the_simulator() {
+        let mut run = Scenario::new(NewTopService::new().suspector(SuspectorConfig::disabled()))
+            .members(3)
+            .protocol(Protocol::Crash)
+            .workload(Workload::quick(4))
+            .build();
+        run.run_until(SimTime::from_secs(300));
+        agree(&mut run, 12);
+        assert!(!run.fail_signalled(), "crash protocol has no fail-signals");
+        assert!(run.interceptor(0).is_none());
+    }
+
+    #[test]
+    fn fs_smr_scenario_orders_on_the_simulator() {
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(3)
+            .workload(Workload::quick(4))
+            .build();
+        run.run_until(SimTime::from_secs(300));
+        agree(&mut run, 12);
+        assert!(!run.fail_signalled());
+    }
+
+    #[test]
+    fn crash_smr_scenario_orders_on_the_simulator() {
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(4)
+            .protocol(Protocol::Crash)
+            .workload(Workload::quick(3))
+            .build();
+        run.run_until(SimTime::from_secs(300));
+        agree(&mut run, 12);
+    }
+
+    #[test]
+    fn scenario_is_deterministic_per_seed() {
+        let build = |seed: u64| {
+            let mut run = Scenario::new(SmrKvService::new())
+                .members(3)
+                .seed(seed)
+                .workload(Workload::quick(3))
+                .build();
+            run.run_until(SimTime::from_secs(300));
+            (
+                run.delivery_logs(),
+                run.stats().cloned().expect("sim stats"),
+            )
+        };
+        let (logs_a, stats_a) = build(7);
+        let (logs_b, stats_b) = build(7);
+        assert_eq!(logs_a, logs_b);
+        assert_eq!(stats_a, stats_b);
+    }
+}

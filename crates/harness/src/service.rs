@@ -1,0 +1,577 @@
+//! The service axis of the scenario matrix: pluggable service
+//! specifications, plus the generic actors the crash-protocol deployments
+//! are assembled from.
+//!
+//! A [`ServiceSpec`] bundles everything the scenario builder needs to deploy
+//! one kind of deterministic group service under **either** protocol:
+//!
+//! * the [`FsService`] used by the fail-signal lift (the wrapper path is
+//!   fully generic — see [`failsignal::group::build_fs_group`]);
+//! * a factory for the service's native crash-tolerant middleware actor;
+//! * a factory for the per-member workload driver, and the inspector that
+//!   reads its delivery log back out.
+//!
+//! Two specs ship with the suite: [`NewTopService`] (the paper's GC object)
+//! and [`SmrKvService`] (the sequenced replicated key-value store) — the
+//! second service that demonstrates the wrapper path contains no
+//! NewTOP-specific code.
+
+use std::any::Any;
+use std::collections::BTreeMap;
+
+use failsignal::config::RouteTable;
+use failsignal::service::FsService;
+use fs_common::codec::Wire;
+use fs_common::id::{MemberId, ProcessId};
+use fs_common::time::SimTime;
+use fs_common::Bytes;
+use fs_newtop::app::{AppProcess, TrafficConfig};
+use fs_newtop::gc::{GcConfig, GcCosts, GcMachine};
+use fs_newtop::message::{ControlInput, ServiceKind};
+use fs_newtop::nso::{AddressBook, NsoActor};
+use fs_newtop::suspector::SuspectorConfig;
+use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::trace::LatencyRecorder;
+use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput};
+use fs_smr::sequenced::{SequencedKv, SmrDeliver, SmrRequest};
+
+use crate::workload::Workload;
+
+/// A deployable service: everything the scenario builder needs to assemble
+/// it under the crash protocol or lift it to fail-signal form.
+pub trait ServiceSpec: Send {
+    /// A short human-readable name, used in reports.
+    fn name(&self) -> &'static str;
+
+    /// The wrapper-path view of the service (machine factory plus
+    /// fail-signal conversion) — see the R1 contract on [`FsService`].
+    fn fs_service(&self) -> Box<dyn FsService>;
+
+    /// The service's native crash-tolerant middleware actor for `member`,
+    /// given the middleware process of every peer and the local application
+    /// process.
+    fn crash_middleware(
+        &self,
+        member: MemberId,
+        group: &[MemberId],
+        peers: &BTreeMap<MemberId, ProcessId>,
+        app: ProcessId,
+    ) -> Box<dyn Actor>;
+
+    /// The per-member application / workload-driver actor.
+    fn driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor>;
+
+    /// Reads the `(origin, seq)` delivery log out of a driver actor created
+    /// by [`ServiceSpec::driver`] (`None` if the actor is of the wrong type).
+    fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>>;
+}
+
+impl ServiceSpec for Box<dyn ServiceSpec> {
+    fn name(&self) -> &'static str {
+        self.as_ref().name()
+    }
+    fn fs_service(&self) -> Box<dyn FsService> {
+        self.as_ref().fs_service()
+    }
+    fn crash_middleware(
+        &self,
+        member: MemberId,
+        group: &[MemberId],
+        peers: &BTreeMap<MemberId, ProcessId>,
+        app: ProcessId,
+    ) -> Box<dyn Actor> {
+        self.as_ref().crash_middleware(member, group, peers, app)
+    }
+    fn driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        self.as_ref().driver(member, middleware, workload)
+    }
+    fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
+        self.as_ref().delivery_log_of(driver)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NewTOP
+// ---------------------------------------------------------------------------
+
+/// The NewTOP group-communication service of the paper: GC machines ordered
+/// by the chosen [`ServiceKind`], with the ping-based failure suspector in
+/// crash mode.
+#[derive(Debug, Clone)]
+pub struct NewTopService {
+    service: ServiceKind,
+    gc_costs: GcCosts,
+    suspector: SuspectorConfig,
+}
+
+impl Default for NewTopService {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NewTopService {
+    /// The paper's configuration: symmetric total order, era-2003 protocol
+    /// costs, a suspector with timeouts large enough to never fire falsely.
+    pub fn new() -> Self {
+        Self {
+            service: ServiceKind::SymmetricTotal,
+            gc_costs: GcCosts::era_2003(),
+            suspector: SuspectorConfig::large_timeouts(),
+        }
+    }
+
+    /// Returns a copy ordering through a different NewTOP service class.
+    #[must_use]
+    pub fn service_kind(mut self, service: ServiceKind) -> Self {
+        self.service = service;
+        self
+    }
+
+    /// Returns a copy with a different GC cost model.
+    #[must_use]
+    pub fn gc_costs(mut self, gc_costs: GcCosts) -> Self {
+        self.gc_costs = gc_costs;
+        self
+    }
+
+    /// Returns a copy with a different crash-mode suspector configuration.
+    #[must_use]
+    pub fn suspector(mut self, suspector: SuspectorConfig) -> Self {
+        self.suspector = suspector;
+        self
+    }
+}
+
+/// The wrapper-path view of NewTOP: GC machines plus the fail-signal →
+/// `Suspect` conversion of §3.1.
+struct NewTopFs {
+    gc_costs: GcCosts,
+}
+
+impl FsService for NewTopFs {
+    fn name(&self) -> &'static str {
+        "newtop"
+    }
+    fn machine(&self, member: MemberId, group: &[MemberId]) -> Box<dyn DeterministicMachine> {
+        Box::new(GcMachine::new(
+            GcConfig::new(member, group.to_vec()).with_costs(self.gc_costs),
+        ))
+    }
+    fn fail_signal_input(&self, peer: MemberId) -> Option<Bytes> {
+        Some(ControlInput::Suspect(peer).to_wire())
+    }
+}
+
+impl ServiceSpec for NewTopService {
+    fn name(&self) -> &'static str {
+        "newtop"
+    }
+
+    fn fs_service(&self) -> Box<dyn FsService> {
+        Box::new(NewTopFs {
+            gc_costs: self.gc_costs,
+        })
+    }
+
+    fn crash_middleware(
+        &self,
+        member: MemberId,
+        group: &[MemberId],
+        peers: &BTreeMap<MemberId, ProcessId>,
+        app: ProcessId,
+    ) -> Box<dyn Actor> {
+        let gc = GcConfig::new(member, group.to_vec()).with_costs(self.gc_costs);
+        let addresses = AddressBook::new(app, peers.clone());
+        Box::new(NsoActor::new(gc, addresses, self.suspector))
+    }
+
+    fn driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        let traffic = TrafficConfig {
+            service: self.service,
+            payload_size: workload.payload_size,
+            messages: workload.messages,
+            interval: workload.interval,
+            start_delay: workload.start_delay,
+        };
+        Box::new(AppProcess::new(member, middleware, traffic))
+    }
+
+    fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<AppProcess>()
+            .map(|app| app.delivery_log().to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Sequenced replicated KV (the second service)
+// ---------------------------------------------------------------------------
+
+/// The sequenced replicated key-value service ([`SequencedKv`]) — a second,
+/// structurally different deterministic service that rides the exact same
+/// wrapper code path as NewTOP.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmrKvService;
+
+impl SmrKvService {
+    /// Creates the service spec.
+    pub fn new() -> Self {
+        Self
+    }
+}
+
+struct SmrKvFs;
+
+impl FsService for SmrKvFs {
+    fn name(&self) -> &'static str {
+        "smr-kv"
+    }
+    fn machine(&self, member: MemberId, group: &[MemberId]) -> Box<dyn DeterministicMachine> {
+        Box::new(SequencedKv::new(member, group.to_vec()))
+    }
+}
+
+impl ServiceSpec for SmrKvService {
+    fn name(&self) -> &'static str {
+        "smr-kv"
+    }
+
+    fn fs_service(&self) -> Box<dyn FsService> {
+        Box::new(SmrKvFs)
+    }
+
+    fn crash_middleware(
+        &self,
+        member: MemberId,
+        group: &[MemberId],
+        peers: &BTreeMap<MemberId, ProcessId>,
+        app: ProcessId,
+    ) -> Box<dyn Actor> {
+        let mut sources = BTreeMap::new();
+        sources.insert(app, Endpoint::LocalApp);
+        let mut routes = RouteTable::new();
+        routes.set(Endpoint::LocalApp, vec![app]);
+        let mut broadcast = Vec::new();
+        for (&peer, &pid) in peers {
+            sources.insert(pid, Endpoint::Peer(peer));
+            routes.set(Endpoint::Peer(peer), vec![pid]);
+            broadcast.push(pid);
+        }
+        routes.set(Endpoint::Broadcast, broadcast);
+        Box::new(PlainHost::new(
+            Box::new(SequencedKv::new(member, group.to_vec())),
+            sources,
+            routes,
+        ))
+    }
+
+    fn driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        Box::new(SmrDriver::new(member, middleware, *workload))
+    }
+
+    fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<SmrDriver>()
+            .map(|d| d.delivery_log().to_vec())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic crash-protocol host + SMR workload driver
+// ---------------------------------------------------------------------------
+
+/// A plain, unwrapped adapter hosting a [`DeterministicMachine`] — the
+/// crash-protocol counterpart of the fail-signal wrapper pair.  It maps
+/// physical senders to logical endpoints on the way in and logical output
+/// destinations to physical processes on the way out, charging the machine's
+/// processing cost; nothing is signed or compared.
+pub struct PlainHost {
+    machine: Box<dyn DeterministicMachine>,
+    sources: BTreeMap<ProcessId, Endpoint>,
+    routes: RouteTable,
+}
+
+impl std::fmt::Debug for PlainHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PlainHost")
+            .field("machine", &self.machine.name())
+            .field("sources", &self.sources.len())
+            .finish()
+    }
+}
+
+impl PlainHost {
+    /// Hosts `machine`, treating inbound messages per `sources` and routing
+    /// outputs per `routes`.
+    pub fn new(
+        machine: Box<dyn DeterministicMachine>,
+        sources: BTreeMap<ProcessId, Endpoint>,
+        routes: RouteTable,
+    ) -> Self {
+        Self {
+            machine,
+            sources,
+            routes,
+        }
+    }
+}
+
+impl Actor for PlainHost {
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
+        let Some(&endpoint) = self.sources.get(&from) else {
+            return; // unknown sender: dropped
+        };
+        let input = MachineInput::new(endpoint, payload);
+        ctx.charge_cpu(self.machine.processing_cost(&input));
+        for output in self.machine.handle(&input) {
+            for &to in self.routes.lookup(output.dest) {
+                ctx.send(to, output.bytes.clone());
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("host({})", self.machine.name())
+    }
+}
+
+/// Timer used by [`SmrDriver`] to pace its workload.
+const TIMER_SEND: TimerId = TimerId(200);
+
+/// The workload driver of the sequenced-KV service: submits `Put` commands
+/// at the configured cadence and records the `(origin, seq)` delivery log
+/// and the ordering latency of its own commands.
+pub struct SmrDriver {
+    member: MemberId,
+    middleware: ProcessId,
+    workload: Workload,
+    sent: u64,
+    sent_at: BTreeMap<u64, SimTime>,
+    latencies: LatencyRecorder,
+    delivery_log: Vec<(MemberId, u64)>,
+    last_delivery: Option<SimTime>,
+}
+
+impl std::fmt::Debug for SmrDriver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SmrDriver")
+            .field("member", &self.member)
+            .field("sent", &self.sent)
+            .field("delivered", &self.delivery_log.len())
+            .finish()
+    }
+}
+
+impl SmrDriver {
+    /// Creates a driver for `member`, submitting through `middleware`.
+    pub fn new(member: MemberId, middleware: ProcessId, workload: Workload) -> Self {
+        Self {
+            member,
+            middleware,
+            workload,
+            sent: 0,
+            sent_at: BTreeMap::new(),
+            latencies: LatencyRecorder::new(),
+            delivery_log: Vec::new(),
+            last_delivery: None,
+        }
+    }
+
+    /// The `(origin, seq)` pairs delivered so far, in delivery order.
+    pub fn delivery_log(&self) -> &[(MemberId, u64)] {
+        &self.delivery_log
+    }
+
+    /// Commands submitted so far.
+    pub fn sent(&self) -> u64 {
+        self.sent
+    }
+
+    /// Ordering latencies of this member's own commands.
+    pub fn latencies(&self) -> &LatencyRecorder {
+        &self.latencies
+    }
+
+    /// Time of the last delivery received, if any.
+    pub fn last_delivery(&self) -> Option<SimTime> {
+        self.last_delivery
+    }
+
+    fn submit_next(&mut self, ctx: &mut dyn Context) {
+        if self.sent >= self.workload.messages {
+            return;
+        }
+        let seq = self.sent;
+        self.sent += 1;
+        let mut value = vec![0xa5u8; self.workload.payload_size];
+        value
+            .iter_mut()
+            .zip(seq.to_le_bytes())
+            .for_each(|(v, b)| *v = b);
+        let command = fs_smr::command::KvCommand::Put {
+            key: format!("m{}-{}", self.member.0, seq),
+            value,
+        };
+        let request = SmrRequest {
+            seq,
+            command: command.to_wire(),
+        };
+        self.sent_at.insert(seq, ctx.now());
+        ctx.send(self.middleware, request.to_wire());
+        if self.sent < self.workload.messages {
+            ctx.set_timer(self.workload.interval, TIMER_SEND);
+        }
+    }
+}
+
+impl Actor for SmrDriver {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.workload.messages > 0 {
+            ctx.set_timer(self.workload.start_delay, TIMER_SEND);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
+        if timer == TIMER_SEND {
+            self.submit_next(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
+        if from != self.middleware {
+            return;
+        }
+        let Ok(delivery) = SmrDeliver::from_wire(&payload) else {
+            return;
+        };
+        self.delivery_log.push((delivery.origin, delivery.seq));
+        let now = ctx.now();
+        self.last_delivery = Some(now);
+        if delivery.origin == self.member {
+            if let Some(sent_at) = self.sent_at.remove(&delivery.seq) {
+                self.latencies.record_span(sent_at, now);
+            }
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("smr-driver-{}", self.member.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_simnet::actor::TestContext;
+
+    #[test]
+    fn newtop_spec_exposes_gc_machines_and_suspect_conversion() {
+        let spec = NewTopService::new().suspector(SuspectorConfig::disabled());
+        let fs = spec.fs_service();
+        assert_eq!(fs.name(), "newtop");
+        let group = [MemberId(0), MemberId(1)];
+        assert_eq!(fs.machine(MemberId(0), &group).name(), "newtop-gc-0");
+        let injected = fs.fail_signal_input(MemberId(1)).expect("suspect input");
+        assert_eq!(
+            ControlInput::from_wire(&injected).unwrap(),
+            ControlInput::Suspect(MemberId(1))
+        );
+    }
+
+    #[test]
+    fn smr_spec_wraps_sequenced_kv() {
+        let spec = SmrKvService::new();
+        let fs = spec.fs_service();
+        assert_eq!(fs.name(), "smr-kv");
+        assert!(fs.fail_signal_input(MemberId(1)).is_none());
+        let group = [MemberId(0), MemberId(1)];
+        assert_eq!(fs.machine(MemberId(1), &group).name(), "smr-kv-1");
+    }
+
+    #[test]
+    fn delivery_log_inspectors_reject_foreign_actors() {
+        let newtop = NewTopService::new();
+        let smr = SmrKvService::new();
+        let driver = smr.driver(MemberId(0), ProcessId(1), &Workload::quick(1));
+        assert!(newtop.delivery_log_of(driver.as_ref()).is_none());
+        assert_eq!(smr.delivery_log_of(driver.as_ref()), Some(vec![]));
+    }
+
+    #[test]
+    fn smr_driver_paces_and_logs() {
+        let mut driver = SmrDriver::new(MemberId(1), ProcessId(9), Workload::quick(2));
+        let mut ctx = TestContext::new(ProcessId(4));
+        driver.on_start(&mut ctx);
+        driver.on_timer(&mut ctx, TIMER_SEND);
+        driver.on_timer(&mut ctx, TIMER_SEND);
+        driver.on_timer(&mut ctx, TIMER_SEND); // exhausted: no extra send
+        assert_eq!(driver.sent(), 2);
+        assert_eq!(ctx.sent_to(ProcessId(9)).len(), 2);
+
+        // A delivery of its own first command records a latency sample.
+        let request = SmrRequest::from_wire(&ctx.sent[0].payload).unwrap();
+        let upcall = SmrDeliver {
+            global: 0,
+            origin: MemberId(1),
+            seq: request.seq,
+            response: Bytes::from(&b"ok"[..]),
+        };
+        driver.on_message(&mut ctx, ProcessId(9), upcall.to_wire());
+        assert_eq!(driver.delivery_log(), &[(MemberId(1), 0)]);
+        assert_eq!(driver.latencies().len(), 1);
+        assert!(driver.last_delivery().is_some());
+        // Strangers and malformed payloads are ignored.
+        driver.on_message(&mut ctx, ProcessId(5), Bytes::from(&b"junk"[..]));
+        driver.on_message(&mut ctx, ProcessId(9), Bytes::from(&b"junk"[..]));
+        assert_eq!(driver.delivery_log().len(), 1);
+        assert_eq!(driver.name(), "smr-driver-1");
+    }
+
+    #[test]
+    fn plain_host_maps_sources_and_routes() {
+        let group = vec![MemberId(0), MemberId(1)];
+        let spec = SmrKvService::new();
+        let peers: BTreeMap<MemberId, ProcessId> =
+            [(MemberId(1), ProcessId(3))].into_iter().collect();
+        // Member 0 is the sequencer: a local command is ordered, multicast
+        // and applied immediately.
+        let mut host = spec.crash_middleware(MemberId(0), &group, &peers, ProcessId(2));
+        let mut ctx = TestContext::new(ProcessId(0));
+        let request = SmrRequest {
+            seq: 0,
+            command: fs_smr::command::KvCommand::Put {
+                key: "k".into(),
+                value: vec![1],
+            }
+            .to_wire(),
+        };
+        host.on_message(&mut ctx, ProcessId(2), request.to_wire());
+        assert_eq!(ctx.sent_to(ProcessId(3)).len(), 1, "Ordered multicast");
+        assert_eq!(ctx.sent_to(ProcessId(2)).len(), 1, "local delivery upcall");
+        // Unknown senders are dropped.
+        let before = ctx.sent.len();
+        host.on_message(&mut ctx, ProcessId(77), Bytes::from(&b"x"[..]));
+        assert_eq!(ctx.sent.len(), before);
+    }
+}

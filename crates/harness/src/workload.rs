@@ -1,0 +1,96 @@
+//! The workload axis of the scenario matrix.
+//!
+//! A [`Workload`] describes *how much* traffic each member generates and at
+//! what cadence, independently of which service orders it and which runtime
+//! carries it — the knobs of the paper's §4 experiments (message count,
+//! payload size, send interval) without any service-specific vocabulary.
+
+use fs_common::time::SimDuration;
+
+/// A per-member traffic pattern.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Workload {
+    /// Payload size in bytes (the paper uses 3 bytes for "0k", up to 10 kB).
+    pub payload_size: usize,
+    /// How many messages each member submits in total.
+    pub messages: u64,
+    /// Interval between consecutive submissions of one member.
+    pub interval: SimDuration,
+    /// Delay before the first submission (lets the deployment settle).
+    pub start_delay: SimDuration,
+}
+
+impl Default for Workload {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl Workload {
+    /// The paper's latency/throughput workload: 1000 small messages per
+    /// member at a regular interval.
+    pub fn paper_default() -> Self {
+        Self {
+            payload_size: 3,
+            messages: 1000,
+            interval: SimDuration::from_millis(40),
+            start_delay: SimDuration::from_millis(10),
+        }
+    }
+
+    /// A short workload for tests and examples: `messages` small messages
+    /// per member, 25 ms apart.
+    pub fn quick(messages: u64) -> Self {
+        Self {
+            messages,
+            interval: SimDuration::from_millis(25),
+            ..Self::paper_default()
+        }
+    }
+
+    /// Returns a copy with a different message count.
+    #[must_use]
+    pub fn messages(mut self, messages: u64) -> Self {
+        self.messages = messages;
+        self
+    }
+
+    /// Returns a copy with a different payload size.
+    #[must_use]
+    pub fn payload_size(mut self, payload_size: usize) -> Self {
+        self.payload_size = payload_size;
+        self
+    }
+
+    /// Returns a copy with a different send interval.
+    #[must_use]
+    pub fn interval(mut self, interval: SimDuration) -> Self {
+        self.interval = interval;
+        self
+    }
+
+    /// Returns a copy with a different start delay.
+    #[must_use]
+    pub fn start_delay(mut self, start_delay: SimDuration) -> Self {
+        self.start_delay = start_delay;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_compose() {
+        let w = Workload::quick(5)
+            .payload_size(128)
+            .interval(SimDuration::from_millis(7))
+            .start_delay(SimDuration::from_millis(1));
+        assert_eq!(w.messages, 5);
+        assert_eq!(w.payload_size, 128);
+        assert_eq!(w.interval, SimDuration::from_millis(7));
+        assert_eq!(w.start_delay, SimDuration::from_millis(1));
+        assert_eq!(Workload::default(), Workload::paper_default());
+    }
+}

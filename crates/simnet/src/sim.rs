@@ -423,6 +423,13 @@ impl Simulation {
         any.downcast_mut::<T>()
     }
 
+    /// The actor registered as `process` as a trait object, for callers (such
+    /// as the scenario harness) that defer the concrete downcast to a
+    /// service-specific inspector.
+    pub fn actor_dyn(&self, process: ProcessId) -> Option<&dyn Actor> {
+        self.slot_of(process).map(|s| self.actors[s].actor.as_ref())
+    }
+
     /// Number of events waiting in the queue.
     pub fn pending_events(&self) -> usize {
         self.queue.len()

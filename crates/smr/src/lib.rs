@@ -33,10 +33,12 @@ pub mod client;
 pub mod command;
 pub mod machine;
 pub mod replica;
+pub mod sequenced;
 pub mod voter;
 
 pub use client::ReplicatedClient;
 pub use command::{AppStateMachine, AuctionHouse, KvStore, RequestId};
 pub use machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
 pub use replica::{Replica, Request, Response};
+pub use sequenced::{SequencedKv, SmrDeliver, SmrPeerMsg, SmrRequest};
 pub use voter::{MajorityVoter, VoteOutcome};

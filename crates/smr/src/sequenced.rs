@@ -1,0 +1,528 @@
+//! A second deterministic group service: a fixed-sequencer replicated
+//! key-value store (**SMR-KV**).
+//!
+//! NewTOP's GC object is one instance of the machine shape the fail-signal
+//! transformation lifts; this module provides a *different* one, so the suite
+//! can demonstrate that the wrapper path is truly service-agnostic
+//! (**FS-SMR** in the scenario harness).  The service totally orders client
+//! commands through a fixed sequencer — the asymmetric scheme of the paper's
+//! §2 discussion, stripped to its essence:
+//!
+//! * a member receiving a client command forwards it to the sequencer
+//!   (member 0) as a [`SmrPeerMsg::Submit`];
+//! * the sequencer assigns a global sequence number and multicasts the
+//!   resulting [`SmrPeerMsg::Ordered`] record to every peer;
+//! * every member applies `Ordered` records strictly in global order to its
+//!   local [`KvStore`] replica and raises a [`SmrDeliver`] upcall to its
+//!   local application.
+//!
+//! [`SequencedKv`] implements [`DeterministicMachine`] and honours the R1
+//! determinism contract: it consults no clocks or random sources, and its
+//! outputs are a pure function of the input sequence.  Identical replicas fed
+//! identical inputs therefore produce byte-identical outputs — exactly what
+//! the fail-signal wrapper pair compares.
+
+use std::collections::BTreeMap;
+
+use fs_common::codec::{Decoder, Encoder, Wire};
+use fs_common::error::CodecError;
+use fs_common::id::MemberId;
+use fs_common::time::SimDuration;
+use fs_common::Bytes;
+
+use crate::command::{AppStateMachine, KvStore};
+use crate::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
+
+/// A client command as submitted by the local application: the client's own
+/// sequence number plus the encoded [`crate::command::KvCommand`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrRequest {
+    /// The submitting member's per-member sequence number.
+    pub seq: u64,
+    /// The encoded application command.
+    pub command: Bytes,
+}
+
+impl Wire for SmrRequest {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.seq);
+        enc.put_bytes(&self.command);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            seq: dec.get_u64()?,
+            command: dec.get_bytes_shared()?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 4 + self.command.len()
+    }
+}
+
+/// The delivery upcall raised to the local application once a command has
+/// been applied in global order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrDeliver {
+    /// The global order index assigned by the sequencer.
+    pub global: u64,
+    /// The member that submitted the command.
+    pub origin: MemberId,
+    /// The origin's per-member sequence number.
+    pub seq: u64,
+    /// The encoded application response.
+    pub response: Bytes,
+}
+
+impl Wire for SmrDeliver {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.global);
+        enc.put_member(self.origin);
+        enc.put_u64(self.seq);
+        enc.put_bytes(&self.response);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            global: dec.get_u64()?,
+            origin: dec.get_member()?,
+            seq: dec.get_u64()?,
+            response: dec.get_bytes_shared()?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 8 + 4 + self.response.len()
+    }
+}
+
+/// Messages exchanged between the service machines of different members.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SmrPeerMsg {
+    /// A command forwarded from its origin to the sequencer.
+    Submit {
+        /// The submitting member.
+        origin: MemberId,
+        /// The origin's per-member sequence number.
+        seq: u64,
+        /// The encoded application command.
+        command: Bytes,
+    },
+    /// An ordered record multicast by the sequencer.
+    Ordered {
+        /// The global order index.
+        global: u64,
+        /// The member that submitted the command.
+        origin: MemberId,
+        /// The origin's per-member sequence number.
+        seq: u64,
+        /// The encoded application command.
+        command: Bytes,
+    },
+}
+
+impl Wire for SmrPeerMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            SmrPeerMsg::Submit {
+                origin,
+                seq,
+                command,
+            } => {
+                enc.put_u8(0);
+                enc.put_member(*origin);
+                enc.put_u64(*seq);
+                enc.put_bytes(command);
+            }
+            SmrPeerMsg::Ordered {
+                global,
+                origin,
+                seq,
+                command,
+            } => {
+                enc.put_u8(1);
+                enc.put_u64(*global);
+                enc.put_member(*origin);
+                enc.put_u64(*seq);
+                enc.put_bytes(command);
+            }
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(SmrPeerMsg::Submit {
+                origin: dec.get_member()?,
+                seq: dec.get_u64()?,
+                command: dec.get_bytes_shared()?,
+            }),
+            1 => Ok(SmrPeerMsg::Ordered {
+                global: dec.get_u64()?,
+                origin: dec.get_member()?,
+                seq: dec.get_u64()?,
+                command: dec.get_bytes_shared()?,
+            }),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+    fn encoded_len(&self) -> usize {
+        match self {
+            SmrPeerMsg::Submit { command, .. } => 1 + 4 + 8 + 4 + command.len(),
+            SmrPeerMsg::Ordered { command, .. } => 1 + 8 + 4 + 8 + 4 + command.len(),
+        }
+    }
+}
+
+/// The sequenced replicated key-value machine of one group member.
+///
+/// Satisfies the paper's requirement **R1**: a deterministic (Mealy) state
+/// machine whose outputs depend only on the sequence of inputs, never on
+/// clocks, randomness or scheduling — which is what makes it liftable to an
+/// FS process by the generic fail-signal wrapper.
+#[derive(Debug, Clone)]
+pub struct SequencedKv {
+    member: MemberId,
+    group: Vec<MemberId>,
+    sequencer: MemberId,
+    /// Next global index the sequencer will assign.
+    next_global: u64,
+    /// Next global index this replica will apply.
+    next_apply: u64,
+    /// Ordered records received ahead of `next_apply`.
+    pending: BTreeMap<u64, (MemberId, u64, Bytes)>,
+    /// Every `(origin, seq)` ordered so far (sequencer-side at-most-once
+    /// guard; a set rather than a high-water mark so that submissions
+    /// arriving out of order are still each ordered exactly once).
+    ordered_seq: std::collections::BTreeSet<(MemberId, u64)>,
+    store: KvStore,
+    delivered: Vec<(MemberId, u64)>,
+}
+
+impl SequencedKv {
+    /// Creates the machine replica of `member` in `group`.  Member 0 of the
+    /// group (its first entry) acts as the sequencer.
+    pub fn new(member: MemberId, group: Vec<MemberId>) -> Self {
+        let sequencer = *group.first().expect("a group needs at least one member");
+        Self {
+            member,
+            group,
+            sequencer,
+            next_global: 0,
+            next_apply: 0,
+            pending: BTreeMap::new(),
+            ordered_seq: std::collections::BTreeSet::new(),
+            store: KvStore::new(),
+            delivered: Vec::new(),
+        }
+    }
+
+    /// The member this replica serves.
+    pub fn member(&self) -> MemberId {
+        self.member
+    }
+
+    /// The group membership this replica was configured with.
+    pub fn group(&self) -> &[MemberId] {
+        &self.group
+    }
+
+    /// True when this replica is the group's sequencer.
+    pub fn is_sequencer(&self) -> bool {
+        self.member == self.sequencer
+    }
+
+    /// The `(origin, seq)` pairs applied so far, in global order.
+    pub fn delivered(&self) -> &[(MemberId, u64)] {
+        &self.delivered
+    }
+
+    /// A digest of the replicated store, for convergence checks.
+    pub fn state_digest(&self) -> u64 {
+        self.store.state_digest()
+    }
+
+    /// Sequencer-side ordering: assigns the next global index and returns the
+    /// multicast record plus the local delivery.
+    fn order(&mut self, origin: MemberId, seq: u64, command: Bytes) -> Vec<MachineOutput> {
+        debug_assert!(self.is_sequencer());
+        if !self.ordered_seq.insert((origin, seq)) {
+            return Vec::new();
+        }
+        let global = self.next_global;
+        self.next_global += 1;
+        let record = SmrPeerMsg::Ordered {
+            global,
+            origin,
+            seq,
+            command: command.clone(),
+        };
+        let mut out = vec![MachineOutput::broadcast(record.to_wire())];
+        self.pending.insert(global, (origin, seq, command));
+        out.extend(self.apply_ready());
+        out
+    }
+
+    /// Applies every pending record whose global index is next in line.
+    fn apply_ready(&mut self) -> Vec<MachineOutput> {
+        let mut out = Vec::new();
+        while let Some((origin, seq, command)) = self.pending.remove(&self.next_apply) {
+            let global = self.next_apply;
+            self.next_apply += 1;
+            let response = self.store.apply(&command);
+            self.delivered.push((origin, seq));
+            out.push(MachineOutput::to_app(
+                SmrDeliver {
+                    global,
+                    origin,
+                    seq,
+                    response,
+                }
+                .to_wire(),
+            ));
+        }
+        out
+    }
+}
+
+impl DeterministicMachine for SequencedKv {
+    fn handle(&mut self, input: &MachineInput) -> Vec<MachineOutput> {
+        match input.source {
+            Endpoint::LocalApp => {
+                let Ok(request) = SmrRequest::from_wire(&input.bytes) else {
+                    return Vec::new();
+                };
+                if self.is_sequencer() {
+                    self.order(self.member, request.seq, request.command)
+                } else {
+                    let submit = SmrPeerMsg::Submit {
+                        origin: self.member,
+                        seq: request.seq,
+                        command: request.command,
+                    };
+                    vec![MachineOutput::to_peer(self.sequencer, submit.to_wire())]
+                }
+            }
+            Endpoint::Peer(_) => match SmrPeerMsg::from_wire(&input.bytes) {
+                Ok(SmrPeerMsg::Submit {
+                    origin,
+                    seq,
+                    command,
+                }) if self.is_sequencer() => self.order(origin, seq, command),
+                Ok(SmrPeerMsg::Ordered {
+                    global,
+                    origin,
+                    seq,
+                    command,
+                }) if !self.is_sequencer() => {
+                    if global >= self.next_apply {
+                        self.pending.insert(global, (origin, seq, command));
+                    }
+                    self.apply_ready()
+                }
+                _ => Vec::new(),
+            },
+            // Environment inputs (e.g. converted fail-signals) carry no
+            // commands for this service; they are acknowledged silently.
+            Endpoint::Broadcast | Endpoint::Environment => Vec::new(),
+        }
+    }
+
+    fn processing_cost(&self, _input: &MachineInput) -> SimDuration {
+        SimDuration::from_micros(150)
+    }
+
+    fn name(&self) -> String {
+        format!("smr-kv-{}", self.member.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::command::KvCommand;
+    use crate::machine::check_determinism;
+
+    fn group(n: u32) -> Vec<MemberId> {
+        (0..n).map(MemberId).collect()
+    }
+
+    fn put(member: MemberId, seq: u64) -> Bytes {
+        SmrRequest {
+            seq,
+            command: KvCommand::Put {
+                key: format!("m{}-{}", member.0, seq),
+                value: vec![seq as u8],
+            }
+            .to_wire(),
+        }
+        .to_wire()
+    }
+
+    /// Routes machine outputs through an in-order network until quiescence
+    /// and returns the machines for inspection.
+    fn run_to_quiescence(machines: &mut [SequencedKv], mut queue: Vec<(MemberId, MachineOutput)>) {
+        while let Some((src, output)) = queue.pop() {
+            match output.dest {
+                Endpoint::Peer(dest) => {
+                    let more = machines[dest.0 as usize]
+                        .handle(&MachineInput::from_peer(src, output.bytes));
+                    queue.extend(more.into_iter().map(|o| (dest, o)));
+                }
+                Endpoint::Broadcast => {
+                    for dest in 0..machines.len() as u32 {
+                        if MemberId(dest) == src {
+                            continue;
+                        }
+                        let more = machines[dest as usize]
+                            .handle(&MachineInput::from_peer(src, output.bytes.clone()));
+                        queue.extend(more.into_iter().map(|o| (MemberId(dest), o)));
+                    }
+                }
+                Endpoint::LocalApp | Endpoint::Environment => {}
+            }
+        }
+    }
+
+    #[test]
+    fn commands_from_every_member_are_totally_ordered() {
+        let mut machines: Vec<SequencedKv> = group(3)
+            .into_iter()
+            .map(|m| SequencedKv::new(m, group(3)))
+            .collect();
+        let mut queue = Vec::new();
+        for seq in 0..4u64 {
+            for m in 0..3u32 {
+                let out =
+                    machines[m as usize].handle(&MachineInput::from_app(put(MemberId(m), seq)));
+                queue.extend(out.into_iter().map(|o| (MemberId(m), o)));
+            }
+        }
+        run_to_quiescence(&mut machines, queue);
+        assert_eq!(machines[0].delivered().len(), 12);
+        for m in &machines[1..] {
+            assert_eq!(m.delivered(), machines[0].delivered());
+            assert_eq!(m.state_digest(), machines[0].state_digest());
+        }
+    }
+
+    #[test]
+    fn out_of_order_records_are_buffered() {
+        let mut m = SequencedKv::new(MemberId(1), group(2));
+        let late = SmrPeerMsg::Ordered {
+            global: 1,
+            origin: MemberId(0),
+            seq: 1,
+            command: KvCommand::Put {
+                key: "b".into(),
+                value: vec![2],
+            }
+            .to_wire(),
+        };
+        let early = SmrPeerMsg::Ordered {
+            global: 0,
+            origin: MemberId(0),
+            seq: 0,
+            command: KvCommand::Put {
+                key: "a".into(),
+                value: vec![1],
+            }
+            .to_wire(),
+        };
+        assert!(m
+            .handle(&MachineInput::from_peer(MemberId(0), late.to_wire()))
+            .is_empty());
+        let out = m.handle(&MachineInput::from_peer(MemberId(0), early.to_wire()));
+        assert_eq!(out.len(), 2, "both records apply once the gap closes");
+        assert_eq!(m.delivered(), &[(MemberId(0), 0), (MemberId(0), 1)]);
+    }
+
+    #[test]
+    fn sequencer_filters_duplicate_submissions() {
+        let mut seq = SequencedKv::new(MemberId(0), group(2));
+        let submit = SmrPeerMsg::Submit {
+            origin: MemberId(1),
+            seq: 1,
+            command: KvCommand::Put {
+                key: "k".into(),
+                value: vec![9],
+            }
+            .to_wire(),
+        };
+        let first = seq.handle(&MachineInput::from_peer(MemberId(1), submit.to_wire()));
+        assert!(!first.is_empty());
+        let dup = seq.handle(&MachineInput::from_peer(MemberId(1), submit.to_wire()));
+        assert!(dup.is_empty(), "replayed submission must not re-order");
+        assert_eq!(seq.delivered().len(), 1);
+    }
+
+    #[test]
+    fn machine_is_deterministic() {
+        let inputs: Vec<MachineInput> = (0..12u64)
+            .map(|i| {
+                if i % 3 == 0 {
+                    MachineInput::from_app(put(MemberId(0), i))
+                } else {
+                    MachineInput::from_peer(
+                        MemberId(1),
+                        SmrPeerMsg::Submit {
+                            origin: MemberId(1),
+                            seq: i,
+                            command: KvCommand::Put {
+                                key: format!("k{i}"),
+                                value: vec![i as u8],
+                            }
+                            .to_wire(),
+                        }
+                        .to_wire(),
+                    )
+                }
+            })
+            .collect();
+        assert!(check_determinism(
+            || SequencedKv::new(MemberId(0), group(2)),
+            &inputs
+        ));
+    }
+
+    #[test]
+    fn wire_round_trips() {
+        let req = SmrRequest {
+            seq: 7,
+            command: Bytes::from(&b"cmd"[..]),
+        };
+        assert_eq!(SmrRequest::from_wire(&req.to_wire()).unwrap(), req);
+        assert_eq!(req.encoded_len(), req.to_wire().len());
+        let del = SmrDeliver {
+            global: 1,
+            origin: MemberId(2),
+            seq: 3,
+            response: Bytes::from(&b"ok"[..]),
+        };
+        assert_eq!(SmrDeliver::from_wire(&del.to_wire()).unwrap(), del);
+        assert_eq!(del.encoded_len(), del.to_wire().len());
+        for msg in [
+            SmrPeerMsg::Submit {
+                origin: MemberId(1),
+                seq: 4,
+                command: Bytes::from(&b"c"[..]),
+            },
+            SmrPeerMsg::Ordered {
+                global: 9,
+                origin: MemberId(1),
+                seq: 4,
+                command: Bytes::from(&b"c"[..]),
+            },
+        ] {
+            assert_eq!(SmrPeerMsg::from_wire(&msg.to_wire()).unwrap(), msg);
+            assert_eq!(msg.encoded_len(), msg.to_wire().len());
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_ignored() {
+        let mut m = SequencedKv::new(MemberId(0), group(2));
+        assert!(m.handle(&MachineInput::from_app(vec![0xff])).is_empty());
+        assert!(m
+            .handle(&MachineInput::from_env(b"suspect".to_vec()))
+            .is_empty());
+        assert!(m.processing_cost(&MachineInput::from_app(vec![])) > SimDuration::ZERO);
+        assert_eq!(m.name(), "smr-kv-0");
+        assert!(m.is_sequencer());
+    }
+}

@@ -36,8 +36,9 @@ fn main() {
     let traffic = TrafficConfig::paper_default()
         .with_messages(40)
         .with_interval(SimDuration::from_millis(40));
-    let mut params = DeploymentParams::paper(5).with_traffic(traffic);
-    params.suspector = SuspectorConfig::disabled();
+    let params = DeploymentParams::paper(5)
+        .with_traffic(traffic)
+        .with_suspector(SuspectorConfig::disabled());
 
     let newtop = measure(System::NewTop, &params);
     let fs = measure(System::FsNewTop, &params);

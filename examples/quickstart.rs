@@ -1,7 +1,7 @@
-//! Quickstart: build a 3-member FS-NewTOP group, multicast through the
-//! symmetric total-order service, and show that every application delivers
-//! the same sequence — with the middleware tolerating authenticated
-//! Byzantine faults rather than just crashes.
+//! Quickstart: build a 3-member FS-NewTOP group through the `Scenario`
+//! harness, multicast through the symmetric total-order service, and show
+//! that every application delivers the same sequence — with the middleware
+//! tolerating authenticated Byzantine faults rather than just crashes.
 //!
 //! Run with:
 //! ```text
@@ -9,46 +9,55 @@
 //! ```
 
 use fs_smr_suite::common::time::{SimDuration, SimTime};
-use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, build_newtop, DeploymentParams};
-use fs_smr_suite::newtop::app::TrafficConfig;
+use fs_smr_suite::harness::{NewTopService, Protocol, Scenario, Workload};
+use fs_smr_suite::newtop::app::AppProcess;
 use fs_smr_suite::newtop::suspector::SuspectorConfig;
 
 fn main() {
     let members = 3;
-    let traffic = TrafficConfig::paper_default()
-        .with_messages(10)
-        .with_interval(SimDuration::from_millis(40));
+    let workload = Workload::paper_default()
+        .messages(10)
+        .interval(SimDuration::from_millis(40));
 
     println!("== FS-NewTOP quickstart: {members} members, 10 multicasts each ==\n");
 
+    // The service axis: NewTOP with the baseline's ping-based suspector
+    // disabled, so that message counts compare the ordering protocols only
+    // (the paper's failure-free set-up).
+    let service = || NewTopService::new().suspector(SuspectorConfig::disabled());
+
     // Byzantine-tolerant deployment: each member's GC object is wrapped by a
-    // fail-signal pair; 2 nodes per member in the full layout.  The baseline's
-    // ping-based suspector is disabled so that message counts compare the
-    // ordering protocols only (the paper's failure-free set-up).
-    let mut params = DeploymentParams::paper(members).with_traffic(traffic);
-    params.suspector = SuspectorConfig::disabled();
-    let mut fs = build_fs_newtop(&params);
-    fs.run(SimTime::from_secs(300));
+    // fail-signal pair.  The crash-tolerant baseline is the same scenario
+    // with one axis flipped.
+    let mut fs = Scenario::new(service())
+        .members(members)
+        .protocol(Protocol::FailSignal)
+        .workload(workload)
+        .build();
+    fs.run_until(SimTime::from_secs(300));
 
     println!("FS-NewTOP delivered (member 0 view of the total order):");
-    for (i, (origin, seq)) in fs.app(0).delivery_log().iter().enumerate().take(10) {
+    for (i, (origin, seq)) in fs.delivery_log(0).iter().enumerate().take(10) {
         println!("  order {i:>2}: message {seq} from member {}", origin.0);
     }
-    println!(
-        "  ... {} deliveries in total\n",
-        fs.app(0).delivery_log().len()
-    );
+    println!("  ... {} deliveries in total\n", fs.delivery_log(0).len());
 
+    let reference = fs.delivery_log(0);
     for i in 1..members {
         assert_eq!(
-            fs.app(i).delivery_log(),
-            fs.app(0).delivery_log(),
+            fs.delivery_log(i),
+            reference,
             "member {i} must agree on the total order"
         );
     }
     println!("all {members} members delivered identical sequences ✓");
 
-    let fs_latency = fs.app(0).latencies().summary().expect("latencies recorded");
+    let fs_latency = fs
+        .app::<AppProcess>(0)
+        .expect("app actor")
+        .latencies()
+        .summary()
+        .expect("latencies recorded");
     println!(
         "FS-NewTOP ordering latency: mean {:.1} ms, p95 {:.1} ms",
         fs_latency.mean.as_millis_f64(),
@@ -56,10 +65,15 @@ fn main() {
     );
 
     // The crash-tolerant baseline, for comparison.
-    let mut newtop = build_newtop(&params);
-    newtop.run(SimTime::from_secs(300));
+    let mut newtop = Scenario::new(service())
+        .members(members)
+        .protocol(Protocol::Crash)
+        .workload(workload)
+        .build();
+    newtop.run_until(SimTime::from_secs(300));
     let nt_latency = newtop
-        .app(0)
+        .app::<AppProcess>(0)
+        .expect("app actor")
         .latencies()
         .summary()
         .expect("latencies recorded");
@@ -71,7 +85,7 @@ fn main() {
     println!(
         "\nfail-signal overhead on this run: {:+.0}% mean latency, {} vs {} middleware messages",
         (fs_latency.mean.as_millis_f64() / nt_latency.mean.as_millis_f64() - 1.0) * 100.0,
-        fs.sim.stats().messages_sent,
-        newtop.sim.stats().messages_sent,
+        fs.stats().expect("sim stats").messages_sent,
+        newtop.stats().expect("sim stats").messages_sent,
     );
 }

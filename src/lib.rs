@@ -14,26 +14,31 @@
 //! | [`common`] | `fs-common` | identifiers, simulated time, codec, timing assumptions, node budgets |
 //! | [`crypto`] | `fs-crypto` | SHA-256, HMAC, key directory, single/double signatures, cost model |
 //! | [`simnet`] | `fs-simnet` | discrete-event simulator, node/link models, threaded runtime |
-//! | [`smr`] | `fs-smr` | deterministic machines, application replicas, majority voting |
+//! | [`smr`] | `fs-smr` | deterministic machines, application replicas, majority voting, sequenced KV |
 //! | [`newtop`] | `fs-newtop` | the crash-tolerant NewTOP group-communication service |
-//! | [`failsignal`] | `failsignal` | the fail-signal wrapper pair (the paper's contribution) |
-//! | [`fsnewtop`] | `fs-newtop-bft` | FS-NewTOP: NewTOP wrapped into Byzantine tolerance |
+//! | [`failsignal`] | `failsignal` | the fail-signal wrapper pair and the generic group lift (the paper's contribution) |
+//! | [`harness`] | `fs-harness` | the [`harness::Scenario`] builder: service × runtime × workload × faults × protocol |
+//! | [`fsnewtop`] | `fs-newtop-bft` | FS-NewTOP: NewTOP-flavoured deployment facade over the harness |
 //! | [`faults`] | `fs-faults` | fault injection |
-//! | [`bench`] | `fs-bench` | figure-regeneration harness and ablations |
+//! | [`mod@bench`] | `fs-bench` | figure-regeneration harness and ablations |
 //!
 //! ## Quick start
 //!
-//! ```
-//! use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, DeploymentParams};
-//! use fs_smr_suite::newtop::app::TrafficConfig;
-//! use fs_smr_suite::common::time::{SimDuration, SimTime};
+//! Every deployment — any service, either runtime, either protocol — is one
+//! [`harness::Scenario`]:
 //!
-//! let traffic = TrafficConfig::paper_default()
-//!     .with_messages(2)
-//!     .with_interval(SimDuration::from_millis(25));
-//! let mut deployment = build_fs_newtop(&DeploymentParams::paper(3).with_traffic(traffic));
-//! deployment.run(SimTime::from_secs(60));
-//! assert_eq!(deployment.app(0).delivery_log().len(), 6);
+//! ```
+//! use fs_smr_suite::common::time::{SimDuration, SimTime};
+//! use fs_smr_suite::harness::{NewTopService, Protocol, Scenario, Workload};
+//!
+//! let mut run = Scenario::new(NewTopService::new())
+//!     .members(3)
+//!     .protocol(Protocol::FailSignal)
+//!     .workload(Workload::quick(2).interval(SimDuration::from_millis(25)))
+//!     .build();
+//! run.run_until(SimTime::from_secs(60));
+//! assert_eq!(run.delivery_log(0).len(), 6);
+//! assert_eq!(run.delivery_log(1), run.delivery_log(0));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -44,6 +49,7 @@ pub use fs_bench as bench;
 pub use fs_common as common;
 pub use fs_crypto as crypto;
 pub use fs_faults as faults;
+pub use fs_harness as harness;
 pub use fs_newtop as newtop;
 pub use fs_newtop_bft as fsnewtop;
 pub use fs_simnet as simnet;

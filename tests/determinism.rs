@@ -1,20 +1,28 @@
-//! Determinism regression: the whole FS-NewTOP deployment is a deterministic
-//! function of its `DeploymentParams`.  Two deployments built from identical
-//! parameters must produce byte-identical delivery logs, byte-identical
-//! serialized trace output, and identical network statistics across runs —
-//! requirement R1 lifted from the single GC machine to the full system.
+//! Determinism regression: a simulator-backed scenario is a deterministic
+//! function of its `Scenario` axes.  Two runs built from identical axes must
+//! produce byte-identical delivery logs, byte-identical serialized trace
+//! output, and identical network statistics — requirement R1 lifted from the
+//! single GC machine to the full system, for every service the harness
+//! deploys.
 
 use fs_smr_suite::common::time::{SimDuration, SimTime};
-use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, build_newtop, DeploymentParams};
-use fs_smr_suite::newtop::app::TrafficConfig;
+use fs_smr_suite::harness::{
+    NewTopService, Protocol, Running, Scenario, ServiceSpec, SmrKvService, Workload,
+};
 use fs_smr_suite::simnet::sched::SchedulerKind;
 use fs_smr_suite::simnet::trace::NetStats;
 
-fn params(members: u32) -> DeploymentParams {
-    let traffic = TrafficConfig::paper_default()
-        .with_messages(4)
-        .with_interval(SimDuration::from_millis(25));
-    DeploymentParams::paper(members).with_traffic(traffic)
+fn quick_workload() -> Workload {
+    Workload::paper_default()
+        .messages(4)
+        .interval(SimDuration::from_millis(25))
+}
+
+fn scenario(service: impl ServiceSpec + 'static, members: u32, protocol: Protocol) -> Scenario {
+    Scenario::new(service)
+        .members(members)
+        .protocol(protocol)
+        .workload(quick_workload())
 }
 
 /// One full run: per-member delivery logs, the serialized trace, and the
@@ -25,51 +33,36 @@ struct RunFingerprint {
     stats: NetStats,
 }
 
-fn run_fs_newtop(members: u32) -> RunFingerprint {
-    run_fs_newtop_on(members, SchedulerKind::CalendarQueue)
-}
-
-fn run_fs_newtop_on(members: u32, scheduler: SchedulerKind) -> RunFingerprint {
-    let mut deployment = build_fs_newtop(&params(members).with_scheduler(scheduler));
-    deployment.sim.enable_trace();
-    deployment.run(SimTime::from_secs(120));
-    fingerprint(members, deployment)
-}
-
-fn run_newtop(members: u32) -> RunFingerprint {
-    let mut deployment = build_newtop(&params(members));
-    deployment.sim.enable_trace();
-    deployment.run(SimTime::from_secs(120));
-    fingerprint(members, deployment)
-}
-
-fn fingerprint(
-    members: u32,
-    deployment: fs_smr_suite::fsnewtop::deployment::Deployment,
-) -> RunFingerprint {
-    let delivery_logs = (0..members)
-        .map(|i| {
-            deployment
-                .app(i)
-                .delivery_log()
-                .iter()
-                .map(|(origin, seq)| (origin.0, *seq))
-                .collect()
-        })
+fn fingerprint(mut run: Running) -> RunFingerprint {
+    let delivery_logs = run
+        .delivery_logs()
+        .into_iter()
+        .map(|log| log.into_iter().map(|(m, s)| (m.0, s)).collect())
         .collect();
-    let trace_json =
-        serde_json::to_string(deployment.sim.trace().expect("tracing enabled")).unwrap();
+    let trace_json = serde_json::to_string(run.trace().expect("tracing enabled")).unwrap();
+    let stats = run.stats().expect("sim stats").clone();
     RunFingerprint {
         delivery_logs,
         trace_json,
-        stats: deployment.sim.stats().clone(),
+        stats,
     }
+}
+
+fn run_scenario(scenario: Scenario) -> RunFingerprint {
+    let mut run = scenario.build();
+    run.enable_trace();
+    run.run_until(SimTime::from_secs(120));
+    fingerprint(run)
+}
+
+fn run_fs_newtop_on(members: u32, scheduler: SchedulerKind) -> RunFingerprint {
+    run_scenario(scenario(NewTopService::new(), members, Protocol::FailSignal).scheduler(scheduler))
 }
 
 #[test]
 fn fs_newtop_runs_are_byte_identical() {
-    let a = run_fs_newtop(3);
-    let b = run_fs_newtop(3);
+    let a = run_scenario(scenario(NewTopService::new(), 3, Protocol::FailSignal));
+    let b = run_scenario(scenario(NewTopService::new(), 3, Protocol::FailSignal));
 
     // The runs actually did something: every member delivered every message.
     assert_eq!(a.delivery_logs[0].len(), 12, "3 members x 4 messages");
@@ -91,8 +84,19 @@ fn fs_newtop_runs_are_byte_identical() {
 
 #[test]
 fn newtop_baseline_runs_are_byte_identical() {
-    let a = run_newtop(3);
-    let b = run_newtop(3);
+    let a = run_scenario(scenario(NewTopService::new(), 3, Protocol::Crash));
+    let b = run_scenario(scenario(NewTopService::new(), 3, Protocol::Crash));
+    assert_eq!(a.delivery_logs, b.delivery_logs);
+    assert_eq!(a.trace_json, b.trace_json);
+    assert_eq!(a.stats, b.stats);
+}
+
+#[test]
+fn fs_smr_runs_are_byte_identical() {
+    // The second wrapped service is held to the same system-level R1 bar.
+    let a = run_scenario(scenario(SmrKvService::new(), 3, Protocol::FailSignal));
+    let b = run_scenario(scenario(SmrKvService::new(), 3, Protocol::FailSignal));
+    assert_eq!(a.delivery_logs[0].len(), 12);
     assert_eq!(a.delivery_logs, b.delivery_logs);
     assert_eq!(a.trace_json, b.trace_json);
     assert_eq!(a.stats, b.stats);
@@ -100,26 +104,19 @@ fn newtop_baseline_runs_are_byte_identical() {
 
 #[test]
 fn different_seeds_still_agree_but_produce_different_schedules() {
-    // Determinism is a function of the parameters: changing the seed changes
-    // the schedule (different trace), yet safety (agreement) is unaffected.
-    let base = params(3);
-    let reseeded = params(3).with_seed(0xDEAD_BEEF);
+    // Determinism is a function of the axes: changing the seed changes the
+    // schedule (different trace), yet safety (agreement) is unaffected.
+    let base = run_scenario(scenario(NewTopService::new(), 3, Protocol::FailSignal));
+    let reseeded =
+        run_scenario(scenario(NewTopService::new(), 3, Protocol::FailSignal).seed(0xDEAD_BEEF));
 
-    let mut a = build_fs_newtop(&base);
-    a.sim.enable_trace();
-    a.run(SimTime::from_secs(120));
-    let mut b = build_fs_newtop(&reseeded);
-    b.sim.enable_trace();
-    b.run(SimTime::from_secs(120));
-
-    for i in 1..3 {
-        assert_eq!(a.app(i).delivery_log(), a.app(0).delivery_log());
-        assert_eq!(b.app(i).delivery_log(), b.app(0).delivery_log());
+    for fp in [&base, &reseeded] {
+        for log in &fp.delivery_logs[1..] {
+            assert_eq!(log, &fp.delivery_logs[0]);
+        }
     }
-    let trace_a = serde_json::to_string(a.sim.trace().unwrap()).unwrap();
-    let trace_b = serde_json::to_string(b.sim.trace().unwrap()).unwrap();
     assert_ne!(
-        trace_a, trace_b,
+        base.trace_json, reseeded.trace_json,
         "a different seed must change the event schedule"
     );
 }
@@ -151,18 +148,12 @@ fn calendar_and_legacy_heap_schedulers_trace_identically() {
     assert_eq!(calendar.stats, legacy.stats);
 
     // The crash-tolerant baseline agrees as well.
-    let newtop_cal = {
-        let mut d = build_newtop(&params(3).with_scheduler(SchedulerKind::CalendarQueue));
-        d.sim.enable_trace();
-        d.run(SimTime::from_secs(120));
-        fingerprint(3, d)
-    };
-    let newtop_leg = {
-        let mut d = build_newtop(&params(3).with_scheduler(SchedulerKind::LegacyHeap));
-        d.sim.enable_trace();
-        d.run(SimTime::from_secs(120));
-        fingerprint(3, d)
-    };
+    let newtop_cal = run_scenario(
+        scenario(NewTopService::new(), 3, Protocol::Crash).scheduler(SchedulerKind::CalendarQueue),
+    );
+    let newtop_leg = run_scenario(
+        scenario(NewTopService::new(), 3, Protocol::Crash).scheduler(SchedulerKind::LegacyHeap),
+    );
     assert_eq!(newtop_cal.delivery_logs, newtop_leg.delivery_logs);
     assert_eq!(newtop_cal.trace_json, newtop_leg.trace_json);
     assert_eq!(newtop_cal.stats, newtop_leg.stats);

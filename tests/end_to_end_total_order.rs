@@ -1,61 +1,73 @@
-//! Workspace-level integration tests: end-to-end total ordering on the
-//! simulator (both systems) and on the real threaded runtime (crash-tolerant
-//! NewTOP), exercising the whole stack from application payload to delivery.
+//! Workspace-level integration tests: end-to-end total ordering through the
+//! `Scenario` harness on the simulator (both protocols, both services) and
+//! on the real threaded runtime, exercising the whole stack from application
+//! payload to delivery.
 
-use std::collections::BTreeMap;
-use std::time::{Duration, Instant};
-
-use fs_smr_suite::common::id::{MemberId, ProcessId};
 use fs_smr_suite::common::time::{SimDuration, SimTime};
-use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, build_newtop, DeploymentParams, Layout};
-use fs_smr_suite::newtop::app::{AppProcess, TrafficConfig};
-use fs_smr_suite::newtop::gc::GcConfig;
-use fs_smr_suite::newtop::nso::{AddressBook, NsoActor};
+use fs_smr_suite::harness::{
+    NewTopService, Protocol, Running, RuntimeKind, Scenario, ServiceSpec, SmrKvService, Workload,
+};
 use fs_smr_suite::newtop::suspector::SuspectorConfig;
 use fs_smr_suite::newtop::ServiceKind;
-use fs_smr_suite::simnet::{ThreadedBuilder, ThreadedConfig};
 
-fn quick_traffic(messages: u64) -> TrafficConfig {
-    TrafficConfig::paper_default()
-        .with_messages(messages)
-        .with_interval(SimDuration::from_millis(25))
+fn quick_workload(messages: u64) -> Workload {
+    Workload::paper_default()
+        .messages(messages)
+        .interval(SimDuration::from_millis(25))
 }
 
-fn check_agreement(
-    mut deployment: fs_smr_suite::fsnewtop::deployment::Deployment,
-    members: u32,
-    messages: u64,
-) {
-    deployment.run(SimTime::from_secs(3_000));
+fn check_agreement(run: &mut Running, members: u32, messages: u64) {
     let expected = u64::from(members) * messages;
-    let reference = deployment.app(0).delivery_log().to_vec();
+    let reference = run.delivery_log(0);
     assert_eq!(
         reference.len() as u64,
         expected,
         "member 0 must deliver everything"
     );
     for i in 1..members {
-        assert_eq!(
-            deployment.app(i).delivery_log(),
-            reference.as_slice(),
-            "member {i} diverged"
-        );
+        assert_eq!(run.delivery_log(i), reference, "member {i} diverged");
     }
+}
+
+fn sim_scenario(
+    service: impl ServiceSpec + 'static,
+    members: u32,
+    protocol: Protocol,
+    messages: u64,
+) -> Running {
+    let mut run = Scenario::new(service)
+        .members(members)
+        .protocol(protocol)
+        .workload(quick_workload(messages))
+        .build();
+    run.run_until(SimTime::from_secs(3_000));
+    run
 }
 
 #[test]
 fn newtop_groups_of_various_sizes_agree() {
     for members in [2u32, 4, 6] {
-        let params = DeploymentParams::paper(members).with_traffic(quick_traffic(6));
-        check_agreement(build_newtop(&params), members, 6);
+        let mut run = sim_scenario(NewTopService::new(), members, Protocol::Crash, 6);
+        check_agreement(&mut run, members, 6);
     }
 }
 
 #[test]
 fn fs_newtop_groups_of_various_sizes_agree() {
     for members in [2u32, 4, 6] {
-        let params = DeploymentParams::paper(members).with_traffic(quick_traffic(6));
-        check_agreement(build_fs_newtop(&params), members, 6);
+        let mut run = sim_scenario(NewTopService::new(), members, Protocol::FailSignal, 6);
+        check_agreement(&mut run, members, 6);
+    }
+}
+
+#[test]
+fn smr_kv_groups_agree_under_both_protocols() {
+    for protocol in [Protocol::Crash, Protocol::FailSignal] {
+        for members in [2u32, 5] {
+            let mut run = sim_scenario(SmrKvService::new(), members, protocol, 4);
+            check_agreement(&mut run, members, 4);
+            assert!(!run.fail_signalled());
+        }
     }
 }
 
@@ -66,13 +78,15 @@ fn fs_newtop_asymmetric_and_causal_services_work_end_to_end() {
         ServiceKind::Causal,
         ServiceKind::Reliable,
     ] {
-        let traffic = quick_traffic(4).with_service(service);
-        let params = DeploymentParams::paper(3).with_traffic(traffic);
-        let mut deployment = build_fs_newtop(&params);
-        deployment.run(SimTime::from_secs(3_000));
+        let mut run = sim_scenario(
+            NewTopService::new().service_kind(service),
+            3,
+            Protocol::FailSignal,
+            4,
+        );
         for i in 0..3 {
             assert_eq!(
-                deployment.app(i).delivered_total(),
+                run.delivery_log(i).len(),
                 12,
                 "member {i} must see all {service:?} deliveries"
             );
@@ -82,80 +96,44 @@ fn fs_newtop_asymmetric_and_causal_services_work_end_to_end() {
 
 #[test]
 fn full_and_collapsed_layouts_use_the_expected_node_counts() {
-    let params = DeploymentParams::paper(3).with_traffic(quick_traffic(1));
-    let full = build_fs_newtop(&params.clone().with_layout(Layout::Full));
-    let collapsed = build_fs_newtop(&params.clone().with_layout(Layout::Collapsed));
-    let crash = build_newtop(&params);
+    use fs_smr_suite::failsignal::group::PairLayout;
+    let build = |protocol: Protocol, layout: PairLayout| {
+        Scenario::new(NewTopService::new())
+            .members(3)
+            .protocol(protocol)
+            .layout(layout)
+            .workload(quick_workload(1))
+            .build()
+    };
+    let full = build(Protocol::FailSignal, PairLayout::Full);
+    let collapsed = build(Protocol::FailSignal, PairLayout::Collapsed);
+    let crash = build(Protocol::Crash, PairLayout::Collapsed);
     // Figure 4: 2 nodes per member (4f + 2 with n = 2f + 1); Figure 5: one
     // node per member; crash-tolerant baseline: one node per member.
-    assert_eq!(full.sim.node_count(), 6);
-    assert_eq!(collapsed.sim.node_count(), 3);
-    assert_eq!(crash.sim.node_count(), 3);
+    assert_eq!(full.sim().unwrap().node_count(), 6);
+    assert_eq!(collapsed.sim().unwrap().node_count(), 3);
+    assert_eq!(crash.sim().unwrap().node_count(), 3);
     // FS-NewTOP runs four processes per member (app, interceptor, two
     // wrappers); NewTOP runs two.
-    assert_eq!(full.sim.actor_count(), 12);
-    assert_eq!(crash.sim.actor_count(), 6);
+    assert_eq!(full.sim().unwrap().actor_count(), 12);
+    assert_eq!(crash.sim().unwrap().actor_count(), 6);
 }
 
 #[test]
 fn newtop_runs_on_the_real_threaded_runtime() {
-    // Three members, each an AppProcess + NsoActor pair, on real threads.
+    // Three members on real threads: the same scenario with the runtime
+    // axis flipped.  The workload itself lasts ~50 ms of real time; the
+    // horizon gives the group a generous, fixed settling window before the
+    // first inspection shuts the runtime down.
     let members = 3u32;
     let messages = 5u64;
-    let app_pid = |i: u32| ProcessId(2 * i);
-    let nso_pid = |i: u32| ProcessId(2 * i + 1);
-    let group: Vec<MemberId> = (0..members).map(MemberId).collect();
-
-    let mut builder = ThreadedBuilder::new(ThreadedConfig {
-        cpu_charge_scale: 0.0,
-        seed: 5,
-    });
-    for i in 0..members {
-        let peers: BTreeMap<MemberId, ProcessId> = (0..members)
-            .filter(|j| *j != i)
-            .map(|j| (MemberId(j), nso_pid(j)))
-            .collect();
-        let nso = NsoActor::new(
-            GcConfig::new(MemberId(i), group.clone()),
-            AddressBook::new(app_pid(i), peers),
-            SuspectorConfig::disabled(),
-        );
-        builder.add_with(nso_pid(i), Box::new(nso));
-        let traffic = TrafficConfig::paper_default()
-            .with_messages(messages)
-            .with_interval(SimDuration::from_millis(10));
-        builder.add_with(
-            app_pid(i),
-            Box::new(AppProcess::new(MemberId(i), nso_pid(i), traffic)),
-        );
-    }
-    let runtime = builder.start();
-
-    // The workload itself lasts ~50 ms of real time; give the group a
-    // generous, fixed settling window before shutting down and inspecting.
-    let expected = u64::from(members) * messages;
-    let settle_until = Instant::now() + Duration::from_secs(4);
-    while Instant::now() < settle_until {
-        std::thread::sleep(Duration::from_millis(50));
-    }
-    let mut actors = runtime.shutdown();
-    let mut logs = Vec::new();
-    for i in 0..members {
-        let actor = actors.remove(&app_pid(i)).expect("app actor returned");
-        let any: Box<dyn std::any::Any> = actor;
-        let app = any.downcast::<AppProcess>().expect("is an AppProcess");
-        assert_eq!(
-            app.delivered_total(),
-            expected,
-            "member {i} delivered {}/{expected} on the threaded runtime",
-            app.delivered_total()
-        );
-        logs.push(app.delivery_log().to_vec());
-    }
-    for log in &logs[1..] {
-        assert_eq!(
-            log, &logs[0],
-            "threaded members must agree on the total order"
-        );
-    }
+    let mut run = Scenario::new(NewTopService::new().suspector(SuspectorConfig::disabled()))
+        .members(members)
+        .protocol(Protocol::Crash)
+        .runtime(RuntimeKind::Threaded)
+        .workload(quick_workload(messages).interval(SimDuration::from_millis(10)))
+        .seed(5)
+        .build();
+    run.run_until(SimTime::from_secs(4));
+    check_agreement(&mut run, members, messages);
 }

@@ -1,27 +1,28 @@
 //! Smoke test mirroring `examples/quickstart.rs`: the documented quickstart
-//! configuration (3 members, 10 multicasts each, 40 ms apart) terminates
-//! within the horizon and delivers exactly the documented 30 messages, in
-//! the same total order at every member.
+//! scenario (3 members, 10 multicasts each, 40 ms apart) terminates within
+//! the horizon and delivers exactly the documented 30 messages, in the same
+//! total order at every member.
 
 use fs_smr_suite::common::time::{SimDuration, SimTime};
-use fs_smr_suite::fsnewtop::deployment::{build_fs_newtop, build_newtop, DeploymentParams};
-use fs_smr_suite::newtop::app::TrafficConfig;
+use fs_smr_suite::harness::{NewTopService, Protocol, Scenario, Workload};
+use fs_smr_suite::newtop::app::AppProcess;
 use fs_smr_suite::newtop::suspector::SuspectorConfig;
 
-fn quickstart_params() -> DeploymentParams {
-    let traffic = TrafficConfig::paper_default()
-        .with_messages(10)
-        .with_interval(SimDuration::from_millis(40));
-    let mut params = DeploymentParams::paper(3).with_traffic(traffic);
-    params.suspector = SuspectorConfig::disabled();
-    params
+fn quickstart_scenario(protocol: Protocol) -> Scenario {
+    Scenario::new(NewTopService::new().suspector(SuspectorConfig::disabled()))
+        .members(3)
+        .protocol(protocol)
+        .workload(
+            Workload::paper_default()
+                .messages(10)
+                .interval(SimDuration::from_millis(40)),
+        )
 }
 
 #[test]
 fn quickstart_delivers_documented_count() {
-    let params = quickstart_params();
-    let mut fs = build_fs_newtop(&params);
-    let finished_at = fs.run(SimTime::from_secs(300));
+    let mut fs = quickstart_scenario(Protocol::FailSignal).build();
+    let finished_at = fs.run_until(SimTime::from_secs(300));
 
     // Terminates well before the horizon (quiescence, not timeout).
     assert!(
@@ -30,20 +31,26 @@ fn quickstart_delivers_documented_count() {
     );
 
     // The documented delivery count: 3 members x 10 multicasts each.
-    assert_eq!(fs.app(0).delivery_log().len(), 30);
+    assert_eq!(fs.delivery_log(0).len(), 30);
     for i in 1..3 {
-        assert_eq!(fs.app(i).delivery_log(), fs.app(0).delivery_log());
+        assert_eq!(fs.delivery_log(i), fs.delivery_log(0));
     }
 
     // The latency summary the example prints is available.
-    assert!(fs.app(0).latencies().summary().is_some());
+    assert!(fs
+        .app::<AppProcess>(0)
+        .expect("app actor")
+        .latencies()
+        .summary()
+        .is_some());
 
     // The baseline the example compares against also terminates and agrees.
-    let mut newtop = build_newtop(&params);
-    newtop.run(SimTime::from_secs(300));
-    assert_eq!(newtop.app(0).delivery_log().len(), 30);
+    let mut newtop = quickstart_scenario(Protocol::Crash).build();
+    newtop.run_until(SimTime::from_secs(300));
+    assert_eq!(newtop.delivery_log(0).len(), 30);
     assert!(
-        fs.sim.stats().messages_sent > newtop.sim.stats().messages_sent,
+        fs.stats().expect("sim stats").messages_sent
+            > newtop.stats().expect("sim stats").messages_sent,
         "the fail-signal layer must cost extra middleware messages"
     );
 }

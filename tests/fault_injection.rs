@@ -2,6 +2,11 @@
 //! injected into one replica of a fail-signal pair running on the simulator
 //! must either be masked (outputs still compare equal) or converted into the
 //! pair's unique fail-signal, which destinations can trust (fs1).
+//!
+//! Two tiers are exercised: hand-built pairs around echo machines (the
+//! original campaigns), and full scenario-harness deployments of the
+//! *second* wrapped service (FS-SMR) — demonstrating that the generic
+//! wrapper path detects and converts faults for a non-NewTOP service too.
 
 use std::sync::Arc;
 
@@ -180,4 +185,91 @@ fn babbling_garbage_at_the_destination_is_rejected_by_validation() {
     let (outputs, fail_signals) = run_campaign(Some(fault), 8);
     assert_eq!(outputs.len(), 8);
     assert!(fail_signals.is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// Scenario-harness campaigns against the second wrapped service (FS-SMR)
+// ---------------------------------------------------------------------------
+
+mod fs_smr_scenarios {
+    use fs_smr_suite::common::config::TimingAssumptions;
+    use fs_smr_suite::common::id::MemberId;
+    use fs_smr_suite::common::time::{SimDuration, SimTime};
+    use fs_smr_suite::faults::{FaultKind, FaultPlan};
+    use fs_smr_suite::harness::{FaultSchedule, Running, Scenario, SmrKvService, Workload};
+
+    const MEMBERS: u32 = 3;
+    const MESSAGES: u64 = 8;
+
+    /// An FS-SMR deployment with tight fail-signal timing (so detection
+    /// happens quickly within the test horizon) and the given schedule.
+    fn run_campaign(faults: FaultSchedule) -> Running {
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(MEMBERS)
+            .workload(Workload::quick(MESSAGES).interval(SimDuration::from_millis(15)))
+            .timing(TimingAssumptions::new(SimDuration::from_millis(50), 3.0, 3.0).unwrap())
+            .faults(faults)
+            .build();
+        run.run_until(SimTime::from_secs(60));
+        run
+    }
+
+    #[test]
+    fn corrupting_replica_of_the_kv_service_emits_a_trustworthy_fail_signal() {
+        // Member 1's follower wrapper silently corrupts its outputs after a
+        // clean warm-up: the pair's Compare processes catch the divergence
+        // and convert it into the (never forgeable) fail-signal.
+        let mut run = run_campaign(FaultSchedule::none().follower(
+            MemberId(1),
+            FaultPlan::after(6, FaultKind::CorruptOutputs { probability: 1.0 }),
+        ));
+        assert!(
+            run.fail_signalled(),
+            "the corrupted pair must announce its own failure"
+        );
+        // The surviving members keep agreeing on one total order.
+        let log0 = run.delivery_log(0);
+        assert!(!log0.is_empty(), "pre-fault traffic was ordered");
+        assert_eq!(run.delivery_log(2), log0, "correct members diverged");
+    }
+
+    #[test]
+    fn crashed_replica_of_the_kv_service_is_converted_into_a_fail_signal() {
+        // A silent crash produces no wrong output at all — only the partner's
+        // comparison timeout can expose it (the paper's t1/t2 machinery).
+        let mut run = run_campaign(
+            FaultSchedule::none().follower(MemberId(1), FaultPlan::after(4, FaultKind::Crash)),
+        );
+        assert!(run.fail_signalled(), "timeout must convert crash to signal");
+        assert_eq!(run.delivery_log(0), run.delivery_log(2));
+    }
+
+    #[test]
+    fn duplicating_replica_of_the_kv_service_is_masked() {
+        // Duplication is absorbed by the pair's comparison and the
+        // destinations' duplicate suppression: no fail-signal, no loss.
+        let mut run = run_campaign(FaultSchedule::none().follower(
+            MemberId(1),
+            FaultPlan::immediate(FaultKind::DuplicateOutputs),
+        ));
+        assert!(!run.fail_signalled(), "duplication must be masked");
+        let expected = (MEMBERS as usize) * (MESSAGES as usize);
+        let reference = run.delivery_log(0);
+        assert_eq!(reference.len(), expected, "every command still delivered");
+        for i in 1..MEMBERS {
+            assert_eq!(run.delivery_log(i), reference);
+        }
+    }
+
+    #[test]
+    fn leader_faults_are_detected_too() {
+        // The schedule can target either half of the pair; a corrupting
+        // *leader* is caught just the same.
+        let mut run = run_campaign(FaultSchedule::none().leader(
+            MemberId(2),
+            FaultPlan::after(5, FaultKind::CorruptOutputs { probability: 1.0 }),
+        ));
+        assert!(run.fail_signalled());
+        assert_eq!(run.delivery_log(0), run.delivery_log(1));
+    }
 }

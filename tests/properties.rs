@@ -555,3 +555,118 @@ proptest! {
         prop_assert!(shared.command.shares_storage(&frame));
     }
 }
+
+/// Runs a group of sequenced-KV machines to quiescence over an in-order
+/// network, returning each member's `(origin, seq)` delivery order and its
+/// state digest.
+fn run_sequenced_group(members: u32, commands: &[(u32, Vec<u8>)]) -> Vec<(Vec<(u32, u64)>, u64)> {
+    use fs_smr_suite::smr::sequenced::{SequencedKv, SmrRequest};
+
+    let group: Vec<MemberId> = (0..members).map(MemberId).collect();
+    let mut machines: Vec<SequencedKv> = group
+        .iter()
+        .map(|m| SequencedKv::new(*m, group.clone()))
+        .collect();
+    let mut next_seq = vec![0u64; members as usize];
+    let mut queue: Vec<(MemberId, MachineOutput)> = Vec::new();
+    for (sender, value) in commands {
+        let sender = sender % members;
+        let seq = next_seq[sender as usize];
+        next_seq[sender as usize] += 1;
+        let request = SmrRequest {
+            seq,
+            command: KvCommand::Put {
+                key: format!("m{sender}-{seq}"),
+                value: value.clone(),
+            }
+            .to_wire(),
+        };
+        let outputs = machines[sender as usize].handle(&MachineInput::from_app(request.to_wire()));
+        queue.extend(outputs.into_iter().map(|o| (MemberId(sender), o)));
+        // Drain to quiescence after every command (in-order network).
+        while let Some((src, output)) = queue.pop() {
+            match output.dest {
+                Endpoint::Peer(dest) => {
+                    let more = machines[dest.0 as usize]
+                        .handle(&MachineInput::from_peer(src, output.bytes));
+                    queue.extend(more.into_iter().map(|o| (dest, o)));
+                }
+                Endpoint::Broadcast => {
+                    for dest in &group {
+                        if *dest == src {
+                            continue;
+                        }
+                        let more = machines[dest.0 as usize]
+                            .handle(&MachineInput::from_peer(src, output.bytes.clone()));
+                        queue.extend(more.into_iter().map(|o| (*dest, o)));
+                    }
+                }
+                Endpoint::LocalApp | Endpoint::Environment => {}
+            }
+        }
+    }
+    machines
+        .iter()
+        .map(|m| {
+            (
+                m.delivered().iter().map(|(o, s)| (o.0, *s)).collect(),
+                m.state_digest(),
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Agreement & validity of the second wrapped service: every member of a
+    /// sequenced-KV group applies the same command sequence and converges to
+    /// the same store digest, for arbitrary sender interleavings.
+    #[test]
+    fn sequenced_kv_group_agreement(
+        members in 1u32..5,
+        commands in proptest::collection::vec(
+            (0u32..5, proptest::collection::vec(any::<u8>(), 0..16)),
+            1..30,
+        ),
+    ) {
+        let outcomes = run_sequenced_group(members, &commands);
+        let (reference_log, reference_digest) = &outcomes[0];
+        prop_assert_eq!(reference_log.len(), commands.len());
+        for (log, digest) in &outcomes[1..] {
+            prop_assert_eq!(log, reference_log);
+            prop_assert_eq!(digest, reference_digest);
+        }
+    }
+
+    /// R1 for the second service: the sequenced-KV machine is deterministic —
+    /// two instances fed the same inputs produce byte-identical outputs.
+    #[test]
+    fn sequenced_kv_machine_determinism(
+        commands in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..20),
+    ) {
+        use fs_smr_suite::smr::sequenced::{SequencedKv, SmrPeerMsg, SmrRequest};
+        use fs_smr_suite::smr::machine::check_determinism;
+
+        let group = vec![MemberId(0), MemberId(1)];
+        let inputs: Vec<MachineInput> = commands
+            .iter()
+            .enumerate()
+            .map(|(i, value)| {
+                let command = KvCommand::Put { key: format!("k{i}"), value: value.clone() }.to_wire();
+                if i % 2 == 0 {
+                    MachineInput::from_app(SmrRequest { seq: i as u64, command }.to_wire())
+                } else {
+                    MachineInput::from_peer(
+                        MemberId(1),
+                        SmrPeerMsg::Submit { origin: MemberId(1), seq: i as u64, command }.to_wire(),
+                    )
+                }
+            })
+            .collect();
+        prop_assert!(check_determinism(
+            || SequencedKv::new(MemberId(0), group.clone()),
+            &inputs
+        ));
+    }
+}

@@ -1,0 +1,85 @@
+//! Sim-vs-threaded parity through the `Scenario` API: the *same* scenario —
+//! same service, protocol, workload and seed — run on the discrete-event
+//! simulator and on the real threaded runtime must produce equivalent
+//! per-member delivery logs.
+//!
+//! The simulator is deterministic, so its logs are compared exactly.  The
+//! threaded runtime schedules on real clocks, so cross-runtime comparison is
+//! order-free (same delivered multiset) while the members of one threaded
+//! run must still agree with *each other* exactly — total order is a safety
+//! property, not a scheduling accident.
+
+use std::collections::BTreeSet;
+
+use fs_smr_suite::common::id::MemberId;
+use fs_smr_suite::common::time::{SimDuration, SimTime};
+use fs_smr_suite::harness::{
+    NewTopService, Protocol, RuntimeKind, Scenario, ServiceSpec, SmrKvService, Workload,
+};
+use fs_smr_suite::newtop::suspector::SuspectorConfig;
+
+const MEMBERS: u32 = 3;
+const MESSAGES: u64 = 5;
+
+fn scenario(
+    service: impl ServiceSpec + 'static,
+    protocol: Protocol,
+    runtime: RuntimeKind,
+) -> Scenario {
+    Scenario::new(service)
+        .members(MEMBERS)
+        .protocol(protocol)
+        .runtime(runtime)
+        .workload(Workload::quick(MESSAGES).interval(SimDuration::from_millis(10)))
+        .seed(7)
+}
+
+/// Runs one scenario on both runtimes and checks the parity contract.
+fn check_parity(make: impl Fn(RuntimeKind) -> Scenario) {
+    let mut sim = make(RuntimeKind::Sim).build();
+    sim.run_until(SimTime::from_secs(300));
+    let sim_logs = sim.delivery_logs();
+
+    let mut threaded = make(RuntimeKind::Threaded).build();
+    threaded.run_until(SimTime::from_secs(4));
+    let threaded_logs = threaded.delivery_logs();
+
+    let expected = (MEMBERS as usize) * (MESSAGES as usize);
+    assert_eq!(sim_logs[0].len(), expected, "sim run incomplete");
+    assert_eq!(threaded_logs[0].len(), expected, "threaded run incomplete");
+
+    // Within each runtime: exact agreement across members.
+    for log in &sim_logs[1..] {
+        assert_eq!(log, &sim_logs[0], "sim members diverged");
+    }
+    for log in &threaded_logs[1..] {
+        assert_eq!(log, &threaded_logs[0], "threaded members diverged");
+    }
+
+    // Across runtimes: the same set of (origin, seq) deliveries (order-only
+    // where real-clock nondeterminism allows).
+    let sim_set: BTreeSet<(MemberId, u64)> = sim_logs[0].iter().copied().collect();
+    let threaded_set: BTreeSet<(MemberId, u64)> = threaded_logs[0].iter().copied().collect();
+    assert_eq!(sim_set, threaded_set, "runtimes delivered different sets");
+}
+
+#[test]
+fn crash_newtop_parity() {
+    check_parity(|runtime| {
+        scenario(
+            NewTopService::new().suspector(SuspectorConfig::disabled()),
+            Protocol::Crash,
+            runtime,
+        )
+    });
+}
+
+#[test]
+fn fs_newtop_parity() {
+    check_parity(|runtime| scenario(NewTopService::new(), Protocol::FailSignal, runtime));
+}
+
+#[test]
+fn fs_smr_parity() {
+    check_parity(|runtime| scenario(SmrKvService::new(), Protocol::FailSignal, runtime));
+}
