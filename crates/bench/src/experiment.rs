@@ -250,7 +250,6 @@ pub fn ablation_node_budget(max_faults: u32) -> Vec<(u32, u32, u32, u32)> {
 /// (false) view changes the applications observed; the FS-NewTOP system run
 /// under the same conditions observes none.
 pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
-    use fs_common::id::NodeId;
     use fs_harness::Protocol;
     use fs_newtop::app::AppProcess;
     use fs_newtop_bft::deployment::Deployment;
@@ -271,22 +270,15 @@ pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
     // Replace the lightly loaded LAN with a slow, jittery asynchronous
     // network: real delays now exceed the suspector's expectations, which is
     // exactly the condition under which timeout-based suspicions become
-    // false.  Both systems run over the same inflated network.
+    // false.  Both systems run over the same inflated network, configured
+    // through the scenario's topology axis (`examples/a2_violation.rs`
+    // stages the finer-grained, mid-run variant of this experiment through
+    // `FaultSchedule::slow_link`).
     let slow_net = LinkModel::AsyncNet {
         base: SimDuration::from_millis(80),
         bandwidth_bps: 1_250_000,
         jitter_mean: SimDuration::from_millis(40),
         drop_prob: 0.0,
-    };
-    let inflate = |deployment: &mut Deployment, nodes: u32| {
-        for a in 0..nodes {
-            for b in (a + 1)..nodes {
-                deployment
-                    .sim
-                    .topology_mut()
-                    .set_link(NodeId(a), NodeId(b), slow_net);
-            }
-        }
     };
 
     let count_views = |deployment: &mut Deployment| -> u64 {
@@ -304,12 +296,20 @@ pub fn ablation_false_suspicion(config: &ExperimentConfig) -> (u64, u64) {
             .sum()
     };
 
-    let mut newtop = Deployment::from_running(params.scenario(Protocol::Crash).build());
-    inflate(&mut newtop, members);
+    let mut newtop = Deployment::from_running(
+        params
+            .scenario(Protocol::Crash)
+            .link_model(slow_net)
+            .build(),
+    );
     let newtop_views = count_views(&mut newtop);
 
-    let mut fs = Deployment::from_running(params.scenario(Protocol::FailSignal).build());
-    inflate(&mut fs, members);
+    let mut fs = Deployment::from_running(
+        params
+            .scenario(Protocol::FailSignal)
+            .link_model(slow_net)
+            .build(),
+    );
     let fs_views = count_views(&mut fs);
     (newtop_views, fs_views)
 }

@@ -1,13 +1,25 @@
 //! The fault axis of the scenario matrix.
 //!
-//! A [`FaultSchedule`] declares which processes misbehave and how, using the
-//! [`fs_faults`] injector vocabulary.  The scenario builder wraps the
-//! targeted actors in [`fs_faults::FaultyActor`]s at assembly time, so the
-//! same schedule applies identically on the simulator and on the threaded
-//! runtime, and to any service.
+//! A [`FaultSchedule`] declares two kinds of misbehaviour:
+//!
+//! * **process faults** — which processes misbehave and how, using the
+//!   [`fs_faults`] injector vocabulary.  The scenario builder wraps the
+//!   targeted actors in [`fs_faults::FaultyActor`]s at assembly time;
+//! * **link faults** — timed drops, delays, loss and partitions between
+//!   *members*, expressed in member terms ([`MemberLinkScope`]) and compiled
+//!   to a node-level [`fs_simnet::link::LinkSchedule`] at build time.
+//!
+//! Both kinds apply identically on the simulator and on the threaded
+//! runtime, and to any service.  Link faults are how the paper's assumption
+//! **A2** (timely links between correct processes) is violated on demand:
+//! `partition_at`/`heal_at` stage a transient partition, `slow_link` holds a
+//! link's delay above the suspicion timeout, `lossy_link` makes it drop
+//! messages — each a one-line entry.
 
-use fs_common::id::{MemberId, Role};
+use fs_common::id::{MemberId, NodeId, Role};
+use fs_common::time::{SimDuration, SimTime};
 use fs_faults::FaultPlan;
+use fs_simnet::link::{LinkFault, LinkSchedule, LinkScope};
 
 /// Which of a member's processes a fault is injected into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -35,10 +47,61 @@ pub struct FaultEntry {
     pub seed: u64,
 }
 
+/// Which member-to-member links a [`LinkFaultEntry`] targets, in *member*
+/// terms.  At build time each member maps to its primary node (the node
+/// hosting its application, interceptor and leader wrapper), which both
+/// runtimes allocate as node `i` for member `i`.
+///
+/// Note that under the collapsed fail-signal layout member `i`'s *follower*
+/// wrapper lives on member `(i+1) % n`'s primary node, so a member-scope
+/// fault can also cut through an FS pair's internal link — exactly the A2
+/// violation the pair's own timeouts are calibrated against.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemberLinkScope {
+    /// The link between two members' primary nodes.
+    Pair(MemberId, MemberId),
+    /// Every link crossing the cut between the two member sets.
+    Split {
+        /// Members on one side of the cut.
+        left: Vec<MemberId>,
+        /// Members on the other side.
+        right: Vec<MemberId>,
+    },
+}
+
+impl MemberLinkScope {
+    /// The node-level scope this member scope compiles to.
+    fn to_link_scope(&self) -> LinkScope {
+        let node = |m: &MemberId| NodeId(m.0);
+        match self {
+            MemberLinkScope::Pair(a, b) => LinkScope::Pair {
+                a: node(a),
+                b: node(b),
+            },
+            MemberLinkScope::Split { left, right } => LinkScope::Split {
+                left: left.iter().map(node).collect(),
+                right: right.iter().map(node).collect(),
+            },
+        }
+    }
+}
+
+/// One planned link fault, in member terms.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkFaultEntry {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// Which member-to-member links it targets.
+    pub scope: MemberLinkScope,
+    /// What happens to them.
+    pub fault: LinkFault,
+}
+
 /// A set of planned injections for one scenario run.
 #[derive(Debug, Clone, Default)]
 pub struct FaultSchedule {
     entries: Vec<FaultEntry>,
+    link_entries: Vec<LinkFaultEntry>,
 }
 
 impl FaultSchedule {
@@ -97,7 +160,94 @@ impl FaultSchedule {
 
     /// True when nothing is injected.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.entries.is_empty() && self.link_entries.is_empty()
+    }
+
+    // -- the link-fault plane -------------------------------------------------
+
+    /// Severs every link between `left` and `right` members at `at` — a
+    /// network partition.  Pair with [`FaultSchedule::heal_at`] for a
+    /// transient partition.
+    #[must_use]
+    pub fn partition_at(self, at: SimTime, left: &[MemberId], right: &[MemberId]) -> Self {
+        self.link_fault(
+            at,
+            MemberLinkScope::Split {
+                left: left.to_vec(),
+                right: right.to_vec(),
+            },
+            LinkFault::Sever,
+        )
+    }
+
+    /// Heals every link between `left` and `right` members at `at`,
+    /// clearing severing and any degradation.
+    #[must_use]
+    pub fn heal_at(self, at: SimTime, left: &[MemberId], right: &[MemberId]) -> Self {
+        self.link_fault(
+            at,
+            MemberLinkScope::Split {
+                left: left.to_vec(),
+                right: right.to_vec(),
+            },
+            LinkFault::Heal,
+        )
+    }
+
+    /// Makes the link between members `a` and `b` drop each message with
+    /// `probability` from `at` on.
+    #[must_use]
+    pub fn lossy_link(self, at: SimTime, a: MemberId, b: MemberId, probability: f64) -> Self {
+        self.link_fault(
+            at,
+            MemberLinkScope::Pair(a, b),
+            LinkFault::Loss { probability },
+        )
+    }
+
+    /// Adds `extra` one-way delay (plus up to `jitter` of uniform jitter) to
+    /// the link between members `a` and `b` from `at` on — the A2-violation
+    /// knob: past the suspicion timeout, correct members start being
+    /// suspected.
+    #[must_use]
+    pub fn slow_link(
+        self,
+        at: SimTime,
+        a: MemberId,
+        b: MemberId,
+        extra: SimDuration,
+        jitter: SimDuration,
+    ) -> Self {
+        self.link_fault(
+            at,
+            MemberLinkScope::Pair(a, b),
+            LinkFault::Delay { extra, jitter },
+        )
+    }
+
+    /// Adds a link fault with an explicit scope and fault value (the general
+    /// form behind the named helpers; accepts the full
+    /// [`LinkFault`] vocabulary, including `Throttle`).
+    #[must_use]
+    pub fn link_fault(mut self, at: SimTime, scope: MemberLinkScope, fault: LinkFault) -> Self {
+        self.link_entries.push(LinkFaultEntry { at, scope, fault });
+        self
+    }
+
+    /// The planned link faults, in insertion order.
+    pub fn link_entries(&self) -> &[LinkFaultEntry] {
+        &self.link_entries
+    }
+
+    /// Compiles the link entries to the node-level schedule both runtimes
+    /// execute (member `i` → node `i`, the primary-node invariant of the
+    /// scenario assemblers).
+    pub fn compile_link_schedule(&self) -> LinkSchedule {
+        let mut schedule = LinkSchedule::new();
+        for entry in &self.link_entries {
+            schedule = schedule.then(entry.at, entry.scope.to_link_scope(), entry.fault.clone());
+        }
+        schedule
     }
 
     /// The plan targeting `member`'s wrapper with the given pair role, if
@@ -142,5 +292,58 @@ mod tests {
         assert!(schedule.for_middleware(MemberId(2)).is_some());
         assert!(schedule.for_middleware(MemberId(1)).is_none());
         assert!(FaultSchedule::none().is_empty());
+    }
+
+    #[test]
+    fn link_entries_compile_to_node_schedule() {
+        use fs_common::id::NodeId;
+        use fs_common::time::{SimDuration, SimTime};
+        use fs_simnet::link::{LinkFault, LinkScope};
+
+        let schedule = FaultSchedule::none()
+            .partition_at(
+                SimTime::from_secs(5),
+                &[MemberId(0)],
+                &[MemberId(1), MemberId(2)],
+            )
+            .heal_at(
+                SimTime::from_secs(8),
+                &[MemberId(0)],
+                &[MemberId(1), MemberId(2)],
+            )
+            .lossy_link(SimTime::ZERO, MemberId(1), MemberId(2), 0.25)
+            .slow_link(
+                SimTime::from_secs(1),
+                MemberId(0),
+                MemberId(1),
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(50),
+            );
+        assert!(!schedule.is_empty(), "link-only schedules are not empty");
+        assert_eq!(schedule.link_entries().len(), 4);
+        assert!(schedule.entries().is_empty(), "no process faults planned");
+
+        let compiled = schedule.compile_link_schedule();
+        assert_eq!(compiled.len(), 4);
+        let ordered = compiled.in_order();
+        // Time-ordered: loss at 0, slow at 1 s, sever at 5 s, heal at 8 s.
+        assert_eq!(ordered[0].fault, LinkFault::Loss { probability: 0.25 });
+        assert_eq!(
+            ordered[1].fault,
+            LinkFault::Delay {
+                extra: SimDuration::from_millis(300),
+                jitter: SimDuration::from_millis(50),
+            }
+        );
+        assert_eq!(ordered[2].fault, LinkFault::Sever);
+        assert_eq!(
+            ordered[2].scope,
+            LinkScope::Split {
+                left: vec![NodeId(0)],
+                right: vec![NodeId(1), NodeId(2)],
+            },
+            "member i maps to node i"
+        );
+        assert_eq!(ordered[3].fault, LinkFault::Heal);
     }
 }

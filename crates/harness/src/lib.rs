@@ -15,8 +15,9 @@
 //! | service | [`ServiceSpec`] | [`NewTopService`] (the paper's GC), [`SmrKvService`] (sequenced replicated KV) |
 //! | runtime | [`RuntimeKind`] | discrete-event simulator, real threads |
 //! | workload | [`Workload`] | messages × payload × cadence |
-//! | faults | [`FaultSchedule`] | any [`fs_faults::FaultKind`] against any wrapper or middleware |
+//! | faults | [`FaultSchedule`] | any [`fs_faults::FaultKind`] against any wrapper or middleware, plus timed link faults (partition/heal, loss, delay, throttle) between members |
 //! | protocol | [`Protocol`] | crash-tolerant native, fail-signal lifted |
+//! | topology | [`fs_simnet::link::Topology`] via [`Scenario::topology`] / [`Scenario::link_model`] | the paper's 100 Mb/s LAN by default |
 //!
 //! ```
 //! use fs_common::time::SimTime;
@@ -43,7 +44,8 @@ pub mod scenario;
 pub mod service;
 pub mod workload;
 
-pub use faults::{FaultEntry, FaultSchedule, FaultTarget};
+pub use failsignal::group::PairLayout;
+pub use faults::{FaultEntry, FaultSchedule, FaultTarget, LinkFaultEntry, MemberLinkScope};
 pub use scenario::{MemberProcs, Protocol, Running, RuntimeKind, Scenario};
 pub use service::{NewTopService, PlainHost, ServiceSpec, SmrDriver, SmrKvService};
 pub use workload::Workload;

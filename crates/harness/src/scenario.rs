@@ -98,6 +98,7 @@ pub struct Scenario {
     node: NodeConfig,
     seed: u64,
     scheduler: SchedulerKind,
+    topology: Option<Topology>,
 }
 
 impl std::fmt::Debug for Scenario {
@@ -134,6 +135,7 @@ impl Scenario {
             node: NodeConfig::era_2003(),
             seed: 2003,
             scheduler: SchedulerKind::default(),
+            topology: None,
         }
     }
 
@@ -213,6 +215,26 @@ impl Scenario {
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.scheduler = scheduler;
         self
+    }
+
+    /// Sets the deployment topology explicitly.  Member `i`'s primary node
+    /// is node `i` of the topology on either runtime.  The default is the
+    /// paper's lightly loaded 100 Mb/s LAN.
+    ///
+    /// On the simulator the full topology applies (link models and fault
+    /// plane); the threaded runtime applies the fault plane only — real
+    /// channels already have transport costs.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Shorthand for [`Scenario::topology`] with a uniform link model
+    /// between every pair of nodes.
+    #[must_use]
+    pub fn link_model(self, link: LinkModel) -> Self {
+        self.topology(Topology::new(link))
     }
 
     /// Assembles the scenario on `host` and returns the member handles.
@@ -310,11 +332,16 @@ impl Scenario {
                 self.protocol,
             );
         }
-        let topology = Topology::new(LinkModel::lan_100mbps());
+        let topology = self
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::new(LinkModel::lan_100mbps()));
+        let link_schedule = self.faults.compile_link_schedule();
         match self.runtime {
             RuntimeKind::Sim => {
                 let mut sim = Simulation::with_scheduler(self.seed, topology, self.scheduler);
                 let members = self.assemble(&mut sim);
+                sim.apply_link_schedule(&link_schedule);
                 Running {
                     service: self.service,
                     protocol: self.protocol,
@@ -323,13 +350,16 @@ impl Scenario {
                     sim: Some(sim),
                     threaded: None,
                     collected: HashMap::new(),
+                    collected_stats: None,
                 }
             }
             RuntimeKind::Threaded => {
                 let mut builder = ThreadedBuilder::new(ThreadedConfig {
                     cpu_charge_scale: 0.0,
                     seed: self.seed,
-                });
+                })
+                .with_topology(topology)
+                .with_link_schedule(link_schedule);
                 let members = self.assemble(&mut builder);
                 Running {
                     service: self.service,
@@ -339,6 +369,7 @@ impl Scenario {
                     sim: None,
                     threaded: Some(builder.start()),
                     collected: HashMap::new(),
+                    collected_stats: None,
                 }
             }
         }
@@ -361,6 +392,9 @@ pub struct Running {
     sim: Option<Simulation>,
     threaded: Option<ThreadedRuntime>,
     collected: HashMap<ProcessId, Box<dyn Actor>>,
+    /// The threaded runtime's final statistics, captured at settle time so
+    /// [`Running::stats`] keeps working after shutdown.
+    collected_stats: Option<NetStats>,
 }
 
 impl std::fmt::Debug for Running {
@@ -399,19 +433,15 @@ impl Running {
     ///
     /// Simulator: runs the event loop (returns early on quiescence).
     /// Threaded runtime: sleeps until the wall clock reaches `horizon`
-    /// relative to the runtime's start.
+    /// relative to the runtime's start, returning early once the deployment
+    /// has settled — nothing in flight and no timer due before the horizon
+    /// (see [`ThreadedRuntime::run_until_settled`]).
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
         if let Some(sim) = self.sim.as_mut() {
             return sim.run_until(horizon);
         }
         if let Some(rt) = self.threaded.as_ref() {
-            while rt.now() < horizon {
-                let remaining = horizon.duration_since(rt.now());
-                let nap =
-                    std::time::Duration::from(remaining).min(std::time::Duration::from_millis(20));
-                std::thread::sleep(nap);
-            }
-            return rt.now();
+            return rt.run_until_settled(horizon);
         }
         horizon
     }
@@ -429,10 +459,19 @@ impl Running {
         self.sim.as_ref().and_then(|s| s.trace())
     }
 
-    /// The simulator's aggregate network statistics (`None` on the threaded
-    /// runtime).
-    pub fn stats(&self) -> Option<&NetStats> {
-        self.sim.as_ref().map(|s| s.stats())
+    /// The aggregate network statistics, on either runtime: sends,
+    /// deliveries, drops (split into unknown-destination and link-fault
+    /// drops) and executed link-fault events.  On the threaded runtime the
+    /// counters are sampled live while running and frozen at
+    /// [`Running::settle`] time.
+    pub fn stats(&self) -> Option<NetStats> {
+        if let Some(sim) = self.sim.as_ref() {
+            return Some(sim.stats().clone());
+        }
+        if let Some(rt) = self.threaded.as_ref() {
+            return Some(rt.net_stats());
+        }
+        self.collected_stats.clone()
     }
 
     /// Direct access to the underlying simulator, for link surgery and other
@@ -450,6 +489,7 @@ impl Running {
     /// inspection.  Idempotent; a no-op on the simulator.
     pub fn settle(&mut self) {
         if let Some(rt) = self.threaded.take() {
+            self.collected_stats = Some(rt.net_stats());
             self.collected = rt.shutdown();
         }
     }
@@ -604,10 +644,7 @@ mod tests {
                 .workload(Workload::quick(3))
                 .build();
             run.run_until(SimTime::from_secs(300));
-            (
-                run.delivery_logs(),
-                run.stats().cloned().expect("sim stats"),
-            )
+            (run.delivery_logs(), run.stats().expect("sim stats"))
         };
         let (logs_a, stats_a) = build(7);
         let (logs_b, stats_b) = build(7);

@@ -11,6 +11,12 @@
 //! charged to the simulated clock.  The threaded runtime demonstrates that
 //! the same protocol code runs concurrently on real threads.
 //!
+//! Both runtimes share a schedulable **network fault plane**: a
+//! [`link::LinkSchedule`] of timed [`link::LinkFault`]s (partition/heal,
+//! loss, delay, throttle) executes as ordinary deterministic events on the
+//! simulator and gates the real channel sends of the threaded runtime — the
+//! vehicle for the paper's A2-violation experiments.
+//!
 //! ## Example: two actors on a simulated LAN
 //!
 //! ```
@@ -62,7 +68,7 @@ pub mod threaded;
 pub mod trace;
 
 pub use actor::{Actor, Context, Outgoing, TestContext, TimerId};
-pub use link::{LinkModel, Topology};
+pub use link::{LinkDegrade, LinkEvent, LinkFault, LinkModel, LinkSchedule, LinkScope, Topology};
 pub use node::{NodeConfig, NodeState};
 pub use sched::{CalendarQueue, EventQueue, ScheduledEvent, SchedulerKind};
 pub use sim::Simulation;

@@ -15,12 +15,13 @@
 //! benchmark harness builds exactly that topology.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use fs_common::id::NodeId;
 use fs_common::rng::DetRng;
-use fs_common::time::SimDuration;
+use fs_common::time::{SimDuration, SimTime};
 
 /// How a link delays (or drops) messages.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -146,14 +147,212 @@ fn transmission_time(size: usize, bandwidth_bps: u64) -> SimDuration {
     SimDuration::from_nanos((size as u64).saturating_mul(1_000_000_000) / bandwidth_bps)
 }
 
+/// What a scheduled fault does to the links it targets — the vocabulary of
+/// the network fault plane.
+///
+/// A fault is *stateful*: it stays in effect until a later [`LinkFault::Heal`]
+/// clears it.  Partition experiments therefore schedule a `Sever` followed by
+/// a `Heal`; degradation experiments schedule `Loss`/`Delay`/`Throttle`
+/// entries and optionally heal them later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum LinkFault {
+    /// Drop every message (a partition along the targeted links).
+    Sever,
+    /// Restore the targeted links: clears severing *and* any degradation.
+    Heal,
+    /// Drop each message independently with the given probability.
+    Loss {
+        /// Probability in `[0, 1]` that a message is dropped.
+        probability: f64,
+    },
+    /// Add a fixed delay plus uniform jitter to every message.
+    Delay {
+        /// Fixed additional one-way delay.
+        extra: SimDuration,
+        /// Maximum additional uniform jitter.
+        jitter: SimDuration,
+    },
+    /// Cap the effective bandwidth: every message pays an additional
+    /// store-and-forward transmission time of `size / bandwidth_bps`.
+    Throttle {
+        /// The capped bandwidth in bytes per second.
+        bandwidth_bps: u64,
+    },
+}
+
+impl fmt::Display for LinkFault {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkFault::Sever => write!(f, "sever"),
+            LinkFault::Heal => write!(f, "heal"),
+            LinkFault::Loss { probability } => write!(f, "loss(p={probability})"),
+            LinkFault::Delay { extra, jitter } => write!(f, "delay(+{extra}, jitter {jitter})"),
+            LinkFault::Throttle { bandwidth_bps } => write!(f, "throttle({bandwidth_bps} B/s)"),
+        }
+    }
+}
+
+/// Which links a [`LinkFault`] applies to.  Links are bidirectional: a scope
+/// covering `(a, b)` also covers `(b, a)`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LinkScope {
+    /// The single link between two nodes.
+    Pair {
+        /// One endpoint.
+        a: NodeId,
+        /// The other endpoint.
+        b: NodeId,
+    },
+    /// Every link crossing the cut between `left` and `right` (the classic
+    /// network-partition shape; links *within* each side are untouched).
+    Split {
+        /// Nodes on one side of the cut.
+        left: Vec<NodeId>,
+        /// Nodes on the other side.
+        right: Vec<NodeId>,
+    },
+}
+
+impl LinkScope {
+    /// The node pairs the scope covers, in deterministic order.
+    pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            LinkScope::Pair { a, b } => vec![(*a, *b)],
+            LinkScope::Split { left, right } => left
+                .iter()
+                .flat_map(|&a| right.iter().map(move |&b| (a, b)))
+                .collect(),
+        }
+    }
+}
+
+impl fmt::Display for LinkScope {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinkScope::Pair { a, b } => write!(f, "{a}<->{b}"),
+            LinkScope::Split { left, right } => {
+                write!(f, "{left:?}|{right:?}")
+            }
+        }
+    }
+}
+
+/// One timed entry of a [`LinkSchedule`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LinkEvent {
+    /// When the fault takes effect.
+    pub at: SimTime,
+    /// Which links it targets.
+    pub scope: LinkScope,
+    /// What happens to them.
+    pub fault: LinkFault,
+}
+
+impl fmt::Display for LinkEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} at {}", self.fault, self.scope, self.at)
+    }
+}
+
+/// A time-ordered list of link faults — the schedulable form of the network
+/// fault plane, executed as ordinary deterministic events by the simulator
+/// and at the matching wall-clock offsets by the threaded runtime.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkSchedule {
+    events: Vec<LinkEvent>,
+}
+
+impl LinkSchedule {
+    /// An empty schedule.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a fault taking effect at `at` (builder style).
+    #[must_use]
+    pub fn then(mut self, at: SimTime, scope: LinkScope, fault: LinkFault) -> Self {
+        self.push(LinkEvent { at, scope, fault });
+        self
+    }
+
+    /// Appends an event.  Events are kept in insertion order; both runtimes
+    /// execute them in time order (ties broken by insertion order).
+    pub fn push(&mut self, event: LinkEvent) {
+        self.events.push(event);
+    }
+
+    /// The scheduled events, in insertion order.
+    pub fn events(&self) -> &[LinkEvent] {
+        &self.events
+    }
+
+    /// The events sorted by effect time (stable, so insertion order breaks
+    /// ties) — the execution order on every runtime.
+    pub fn in_order(&self) -> Vec<LinkEvent> {
+        let mut ordered = self.events.clone();
+        ordered.sort_by_key(|e| e.at);
+        ordered
+    }
+
+    /// Number of scheduled events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+/// The degradation overlay a link accumulates from [`LinkFault`]s: loss,
+/// added delay and a bandwidth cap, all composable on top of the base
+/// [`LinkModel`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct LinkDegrade {
+    /// Probability in `[0, 1]` that a message is dropped.
+    pub loss: f64,
+    /// Fixed additional one-way delay.
+    pub extra_delay: SimDuration,
+    /// Maximum additional uniform jitter.
+    pub jitter: SimDuration,
+    /// Bandwidth cap in bytes per second (`0` = uncapped).
+    pub bandwidth_cap_bps: u64,
+}
+
+impl LinkDegrade {
+    /// True when the overlay does nothing.
+    pub fn is_clear(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// The additional delay this overlay imposes on a `size`-byte message
+    /// (loss is decided separately by the caller).
+    pub fn penalty(&self, size: usize, rng: &mut DetRng) -> SimDuration {
+        let jitter = if self.jitter.is_zero() {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_nanos(rng.below(self.jitter.as_nanos().max(1)))
+        };
+        let throttle = if self.bandwidth_cap_bps == 0 {
+            SimDuration::ZERO
+        } else {
+            transmission_time(size, self.bandwidth_cap_bps)
+        };
+        self.extra_delay + jitter + throttle
+    }
+}
+
 /// The deployment topology: which link model connects each pair of nodes,
-/// plus any currently injected partitions.
+/// plus the current state of the network fault plane (severed links and
+/// degradation overlays).
 #[derive(Debug, Clone)]
 pub struct Topology {
     default_link: LinkModel,
     loopback: LinkModel,
     overrides: BTreeMap<(NodeId, NodeId), LinkModel>,
     severed: BTreeSet<(NodeId, NodeId)>,
+    degraded: BTreeMap<(NodeId, NodeId), LinkDegrade>,
 }
 
 impl Default for Topology {
@@ -171,6 +370,7 @@ impl Topology {
             loopback: LinkModel::loopback(),
             overrides: BTreeMap::new(),
             severed: BTreeSet::new(),
+            degraded: BTreeMap::new(),
         }
     }
 
@@ -230,8 +430,66 @@ impl Topology {
         a != b && self.severed.contains(&ordered(a, b))
     }
 
+    /// The degradation overlay currently applied to the link between `a` and
+    /// `b` (the clear overlay when the link is healthy or `a == b`).
+    pub fn degrade_of(&self, a: NodeId, b: NodeId) -> LinkDegrade {
+        if a == b {
+            return LinkDegrade::default();
+        }
+        self.degraded
+            .get(&ordered(a, b))
+            .copied()
+            .unwrap_or_default()
+    }
+
+    /// Merges `degrade` into the overlay of the link between `a` and `b`
+    /// (replacing the fields it sets; a clear result removes the entry).
+    pub fn set_degrade(&mut self, a: NodeId, b: NodeId, degrade: LinkDegrade) {
+        if degrade.is_clear() {
+            self.degraded.remove(&ordered(a, b));
+        } else {
+            self.degraded.insert(ordered(a, b), degrade);
+        }
+    }
+
+    /// Applies one fault of the [`LinkFault`] vocabulary to every link in
+    /// `scope` — the single mutation entry point both runtimes execute
+    /// scheduled faults through.
+    pub fn apply_fault(&mut self, scope: &LinkScope, fault: &LinkFault) {
+        for (a, b) in scope.pairs() {
+            if a == b {
+                continue; // same-node delivery is never faulted
+            }
+            match *fault {
+                LinkFault::Sever => self.sever(a, b),
+                LinkFault::Heal => {
+                    self.heal(a, b);
+                    self.degraded.remove(&ordered(a, b));
+                }
+                LinkFault::Loss { probability } => {
+                    let mut d = self.degrade_of(a, b);
+                    d.loss = probability.clamp(0.0, 1.0);
+                    self.set_degrade(a, b, d);
+                }
+                LinkFault::Delay { extra, jitter } => {
+                    let mut d = self.degrade_of(a, b);
+                    d.extra_delay = extra;
+                    d.jitter = jitter;
+                    self.set_degrade(a, b, d);
+                }
+                LinkFault::Throttle { bandwidth_bps } => {
+                    let mut d = self.degrade_of(a, b);
+                    d.bandwidth_cap_bps = bandwidth_bps;
+                    self.set_degrade(a, b, d);
+                }
+            }
+        }
+    }
+
     /// Computes the delay for a `size`-byte message from `a` to `b`, or
-    /// `None` when the message is dropped (severed link or lossy link).
+    /// `None` when the message is dropped (severed link, lossy link model or
+    /// fault-injected loss).  Fault-plane penalties (extra delay, jitter,
+    /// throttling) are added on top of the base link-model delay.
     pub fn delay(
         &self,
         a: NodeId,
@@ -242,7 +500,47 @@ impl Topology {
         if self.is_severed(a, b) {
             return None;
         }
-        self.link(a, b).delay(size, rng)
+        let degrade = self.degrade_of(a, b);
+        if degrade.loss > 0.0 && rng.chance(degrade.loss) {
+            return None;
+        }
+        let base = self.link(a, b).delay(size, rng)?;
+        if degrade.is_clear() {
+            return Some(base);
+        }
+        Some(base + degrade.penalty(size, rng))
+    }
+
+    /// The fault-plane verdict for a message from `a` to `b`: `None` to drop
+    /// it (severed or fault-injected loss), otherwise the *additional*
+    /// fault-induced delay — [`SimDuration::ZERO`] on a healthy link.
+    ///
+    /// Runtimes with a real transport (the threaded runtime) use this
+    /// overlay instead of [`Topology::delay`]: their messages already pay
+    /// real transport costs, so only the injected faults apply.
+    pub fn fault_verdict(
+        &self,
+        a: NodeId,
+        b: NodeId,
+        size: usize,
+        rng: &mut DetRng,
+    ) -> Option<SimDuration> {
+        if self.is_severed(a, b) {
+            return None;
+        }
+        let degrade = self.degrade_of(a, b);
+        if degrade.is_clear() {
+            return Some(SimDuration::ZERO);
+        }
+        if degrade.loss > 0.0 && rng.chance(degrade.loss) {
+            return None;
+        }
+        Some(degrade.penalty(size, rng))
+    }
+
+    /// True when any link is currently severed or degraded.
+    pub fn has_faults(&self) -> bool {
+        !self.severed.is_empty() || !self.degraded.is_empty()
     }
 }
 
@@ -362,5 +660,176 @@ mod tests {
     #[test]
     fn zero_bandwidth_means_no_transmission_term() {
         assert_eq!(transmission_time(1000, 0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn link_fault_sever_and_heal_round_trip() {
+        let mut topo = Topology::default();
+        let scope = LinkScope::Split {
+            left: vec![NodeId(0)],
+            right: vec![NodeId(1), NodeId(2)],
+        };
+        topo.apply_fault(&scope, &LinkFault::Sever);
+        assert!(topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(topo.is_severed(NodeId(2), NodeId(0)));
+        assert!(!topo.is_severed(NodeId(1), NodeId(2)));
+        assert!(topo.has_faults());
+        topo.apply_fault(&scope, &LinkFault::Heal);
+        assert!(!topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(!topo.has_faults());
+    }
+
+    #[test]
+    fn link_fault_delay_adds_to_base_model() {
+        let mut topo = Topology::new(LinkModel::SyncLan {
+            base: SimDuration::from_micros(100),
+            bandwidth_bps: 0,
+            jitter_max: SimDuration::ZERO,
+        });
+        let mut r = rng();
+        let healthy = topo.delay(NodeId(0), NodeId(1), 10, &mut r).unwrap();
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Delay {
+                extra: SimDuration::from_millis(50),
+                jitter: SimDuration::ZERO,
+            },
+        );
+        let degraded = topo.delay(NodeId(1), NodeId(0), 10, &mut r).unwrap();
+        assert_eq!(degraded, healthy + SimDuration::from_millis(50));
+        // Other links are untouched.
+        assert_eq!(topo.delay(NodeId(0), NodeId(2), 10, &mut r), Some(healthy));
+    }
+
+    #[test]
+    fn link_fault_loss_drops_probabilistically() {
+        let mut topo = Topology::default();
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Loss { probability: 1.0 },
+        );
+        let mut r = rng();
+        assert_eq!(topo.delay(NodeId(0), NodeId(1), 10, &mut r), None);
+        // Heal clears the degradation too.
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Heal,
+        );
+        assert!(topo.delay(NodeId(0), NodeId(1), 10, &mut r).is_some());
+    }
+
+    #[test]
+    fn link_fault_throttle_charges_capped_transmission() {
+        let mut topo = Topology::new(LinkModel::SyncLan {
+            base: SimDuration::ZERO,
+            bandwidth_bps: 0,
+            jitter_max: SimDuration::ZERO,
+        });
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Throttle {
+                bandwidth_bps: 1_000,
+            },
+        );
+        let mut r = rng();
+        // 1000 bytes at 1 kB/s = 1 s of store-and-forward time.
+        assert_eq!(
+            topo.delay(NodeId(0), NodeId(1), 1000, &mut r),
+            Some(SimDuration::from_secs(1))
+        );
+    }
+
+    #[test]
+    fn fault_verdict_is_zero_on_healthy_links_and_overlay_only() {
+        let mut topo = Topology::default();
+        let mut r = rng();
+        assert_eq!(
+            topo.fault_verdict(NodeId(0), NodeId(1), 10, &mut r),
+            Some(SimDuration::ZERO)
+        );
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Delay {
+                extra: SimDuration::from_millis(5),
+                jitter: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            topo.fault_verdict(NodeId(0), NodeId(1), 10, &mut r),
+            Some(SimDuration::from_millis(5))
+        );
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Sever,
+        );
+        assert_eq!(topo.fault_verdict(NodeId(0), NodeId(1), 10, &mut r), None);
+    }
+
+    #[test]
+    fn link_schedule_orders_by_time_stably() {
+        let schedule = LinkSchedule::new()
+            .then(
+                SimTime::from_secs(5),
+                LinkScope::Pair {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+                LinkFault::Sever,
+            )
+            .then(
+                SimTime::from_secs(2),
+                LinkScope::Pair {
+                    a: NodeId(1),
+                    b: NodeId(2),
+                },
+                LinkFault::Loss { probability: 0.5 },
+            )
+            .then(
+                SimTime::from_secs(5),
+                LinkScope::Pair {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+                LinkFault::Heal,
+            );
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        let ordered = schedule.in_order();
+        assert_eq!(ordered[0].at, SimTime::from_secs(2));
+        assert_eq!(ordered[1].fault, LinkFault::Sever);
+        assert_eq!(ordered[2].fault, LinkFault::Heal, "stable tie-break");
+        assert!(LinkSchedule::new().is_empty());
+    }
+
+    #[test]
+    fn scope_and_fault_display_are_stable() {
+        let event = LinkEvent {
+            at: SimTime::from_secs(1),
+            scope: LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(2),
+            },
+            fault: LinkFault::Loss { probability: 0.25 },
+        };
+        let text = event.to_string();
+        assert!(text.contains("loss(p=0.25)"), "{text}");
     }
 }

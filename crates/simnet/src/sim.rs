@@ -29,7 +29,7 @@ use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, Outgoing, TimerId};
-use crate::link::Topology;
+use crate::link::{LinkEvent, LinkFault, LinkSchedule, LinkScope, Topology};
 use crate::node::{NodeConfig, NodeState};
 use crate::sched::{EventQueue, ScheduledEvent, SchedulerKind};
 use crate::trace::{NetStats, ProcessCount, ProcessCounters, TraceEvent, TraceLog};
@@ -60,6 +60,12 @@ enum EventKind {
         slot: u32,
         timer: TimerId,
         generation: u64,
+    },
+    /// A scheduled link fault takes effect; the payload lives in the
+    /// simulation's `link_events` table (faults carry probabilities, which
+    /// have no `Eq`, so the queue stores only the index).
+    LinkFault {
+        index: u32,
     },
 }
 
@@ -156,6 +162,8 @@ pub struct Simulation {
     /// Node slab, addressed by `NodeId` (handed out sequentially from 0).
     nodes: Vec<NodeState>,
     topology: Topology,
+    /// Scheduled link faults, addressed by `EventKind::LinkFault::index`.
+    link_events: Vec<LinkEvent>,
     rng: DetRng,
     stats: NetStats,
     trace: Option<TraceLog>,
@@ -213,6 +221,7 @@ impl Simulation {
             sparse_index: BTreeMap::new(),
             nodes: Vec::new(),
             topology,
+            link_events: Vec::new(),
             rng: DetRng::new(seed),
             stats: NetStats::default(),
             trace: None,
@@ -377,9 +386,37 @@ impl Simulation {
         counters
     }
 
-    /// Mutable access to the topology (to inject partitions mid-run).
+    /// Mutable access to the topology.
+    ///
+    /// Prefer [`Simulation::schedule_link_fault`] /
+    /// [`Simulation::apply_link_schedule`] for mid-run interventions: a
+    /// scheduled fault executes as an ordinary deterministic event at an
+    /// exact simulated time and is recorded in the trace, whereas a direct
+    /// mutation takes effect "between" events and leaves no record.
     pub fn topology_mut(&mut self) -> &mut Topology {
         &mut self.topology
+    }
+
+    /// Schedules `fault` to take effect on `scope` at absolute simulated
+    /// time `at` (clamped to now).  The fault executes as an ordinary
+    /// deterministic event: runs are reproducible and the trace records the
+    /// exact moment it took effect.
+    pub fn schedule_link_fault(&mut self, at: SimTime, scope: LinkScope, fault: LinkFault) {
+        let index = self.link_events.len() as u32;
+        self.link_events.push(LinkEvent { at, scope, fault });
+        let event = QueuedEvent {
+            at: at.max(self.clock),
+            seq: self.next_seq(),
+            kind: EventKind::LinkFault { index },
+        };
+        self.queue.push(event);
+    }
+
+    /// Schedules every event of `schedule`, in time order.
+    pub fn apply_link_schedule(&mut self, schedule: &LinkSchedule) {
+        for event in schedule.in_order() {
+            self.schedule_link_fault(event.at, event.scope, event.fault);
+        }
     }
 
     /// Read access to the topology.
@@ -482,7 +519,7 @@ impl Simulation {
                     match self.slot_of(to) {
                         Some(slot) => slot,
                         None => {
-                            self.stats.messages_dropped += 1;
+                            self.stats.drop_unknown_dest();
                             return;
                         }
                     }
@@ -509,6 +546,18 @@ impl Simulation {
                 }
                 self.stats.timers_fired += 1;
                 self.run_handler(event.at, slot, HandlerKind::Timer { timer });
+            }
+            EventKind::LinkFault { index } => {
+                let link_event = &self.link_events[index as usize];
+                self.topology
+                    .apply_fault(&link_event.scope, &link_event.fault);
+                self.stats.link_faults += 1;
+                if let Some(trace) = &mut self.trace {
+                    trace.push(TraceEvent::LinkFault {
+                        at: event.at,
+                        description: link_event.to_string(),
+                    });
+                }
             }
         }
     }
@@ -626,7 +675,7 @@ impl Simulation {
                 });
             }
             let Some(dest_slot) = self.slot_of(to) else {
-                self.stats.messages_dropped += 1;
+                self.stats.drop_unknown_dest();
                 continue;
             };
             let dest_node = NodeId(self.actors[dest_slot].node);
@@ -655,7 +704,7 @@ impl Simulation {
                     self.queue.push(event);
                 }
                 None => {
-                    self.stats.messages_dropped += 1;
+                    self.stats.drop_link();
                 }
             }
         }
@@ -959,6 +1008,74 @@ mod tests {
         assert_eq!(sim.actor::<Echo>(echo).unwrap().received.len(), 0);
         assert_eq!(sim.actor::<Burst>(burst).unwrap().replies, 0);
         assert_eq!(sim.stats().messages_dropped, 5);
+    }
+
+    /// Sends one message to `dest` every `interval` until `count` are out.
+    struct Pacer {
+        dest: ProcessId,
+        interval: SimDuration,
+        count: usize,
+        sent: usize,
+        replies: usize,
+    }
+
+    impl Actor for Pacer {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.set_timer(self.interval, TimerId(7));
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
+            if self.sent < self.count {
+                self.sent += 1;
+                ctx.send(self.dest, vec![self.sent as u8].into());
+                ctx.set_timer(self.interval, TimerId(7));
+            }
+        }
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
+            self.replies += 1;
+        }
+    }
+
+    #[test]
+    fn scheduled_partition_and_heal_execute_at_their_times() {
+        use crate::link::{LinkFault, LinkScope};
+
+        let mut sim = ideal_sim();
+        sim.enable_trace();
+        let n0 = sim.add_node(NodeConfig::ideal());
+        let n1 = sim.add_node(NodeConfig::ideal());
+        let echo = sim.spawn(n0, Box::new(Echo::new()));
+        let pacer = sim.spawn(
+            n1,
+            Box::new(Pacer {
+                dest: echo,
+                interval: SimDuration::from_millis(10),
+                count: 6,
+                sent: 0,
+                replies: 0,
+            }),
+        );
+        let scope = LinkScope::Pair { a: n0, b: n1 };
+        // Sever while messages 3 and 4 (t = 30, 40 ms) are in flight; heal
+        // before message 5 (t = 50 ms) goes out.
+        sim.schedule_link_fault(SimTime::from_millis(25), scope.clone(), LinkFault::Sever);
+        sim.schedule_link_fault(SimTime::from_millis(45), scope, LinkFault::Heal);
+        sim.run_until(SimTime::from_secs(1));
+
+        assert_eq!(sim.stats().link_faults, 2);
+        assert_eq!(sim.stats().dropped_link, 2, "two sends crossed the window");
+        assert_eq!(sim.stats().dropped_unknown_dest, 0);
+        assert_eq!(sim.stats().messages_dropped, 2);
+        assert_eq!(sim.actor::<Echo>(echo).unwrap().received.len(), 4);
+        assert_eq!(sim.actor::<Pacer>(pacer).unwrap().replies, 4);
+        assert!(!sim.topology().has_faults(), "healed at the end");
+        let fault_records = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::LinkFault { .. }))
+            .count();
+        assert_eq!(fault_records, 2, "both fault events recorded in the trace");
     }
 
     #[test]

@@ -20,20 +20,37 @@
 //! 2003-era costs that would only slow the tests down); a scale factor can be
 //! configured to busy-wait a fraction of the charge when realistic pacing is
 //! wanted.
+//!
+//! ## The network fault plane
+//!
+//! The runtime shares the simulator's [`Topology`] fault vocabulary: a
+//! topology (and a [`LinkSchedule`] of timed [`crate::link::LinkFault`]s)
+//! passed to [`ThreadedBuilder::with_topology`] /
+//! [`ThreadedBuilder::with_link_schedule`] gates every cross-node send.
+//! Severed and lossy links drop the real crossbeam message; delay faults
+//! divert it through a delay line that re-injects it after the configured
+//! extra latency.  Node index `i` corresponds to [`NodeId`]`(i)` in the
+//! topology, matching the simulator's sequential node numbering, so the same
+//! schedule drives both runtimes.  Only the fault overlay applies — base
+//! link-model latencies stay simulated-only, since real channel transport
+//! already has a cost.
 
 use std::collections::{BinaryHeap, HashMap};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam_channel::{unbounded, Receiver, RecvTimeoutError, Sender};
 
-use fs_common::id::ProcessId;
+use fs_common::id::{NodeId, ProcessId};
 use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, TimerId};
+use crate::link::{LinkEvent, LinkFault, LinkSchedule, LinkScope, Topology};
+use crate::trace::NetStats;
 
 /// What a node thread hands back at shutdown: its actors in registration
 /// order.
@@ -47,6 +64,114 @@ enum Envelope {
         items: Vec<(ProcessId, Bytes)>,
     },
     Stop,
+}
+
+/// Messages to the control thread (delay line + link-schedule executor).
+enum ControlMsg {
+    /// A fault-delayed delivery to re-inject into `node`'s inbox at `due`.
+    Delayed {
+        due: Instant,
+        node: usize,
+        envelope: Envelope,
+    },
+}
+
+/// Counters and quiescence probes shared by every node thread, the control
+/// thread and the runtime handle.
+#[derive(Debug, Default)]
+struct Shared {
+    messages_sent: AtomicU64,
+    messages_delivered: AtomicU64,
+    dropped_unknown_dest: AtomicU64,
+    dropped_link: AtomicU64,
+    link_faults: AtomicU64,
+    bytes_sent: AtomicU64,
+    timers_fired: AtomicU64,
+    events_processed: AtomicU64,
+    /// Envelopes handed to a node inbox (or the delay line) and not yet
+    /// processed.  Zero means no message can arrive without a timer firing
+    /// first.
+    in_flight: AtomicI64,
+    /// Total handler invocations (messages + timers + start hooks); used by
+    /// the quiescence poll to confirm nothing ran between two probes.
+    handled: AtomicU64,
+    /// When the next not-yet-executed scheduled link fault takes effect, as
+    /// nanoseconds since the runtime epoch (`u64::MAX` when the schedule has
+    /// drained or none was configured).  Keeps the quiescence probe from
+    /// declaring a run settled while scheduled faults are still pending, so
+    /// frozen statistics match what the simulator would record.
+    next_fault_due: AtomicU64,
+    /// Per node: the earliest armed-timer deadline, as nanoseconds since the
+    /// runtime epoch.  `u64::MAX` means no timer is armed; `0` means the
+    /// node thread has not published yet (treated as busy).
+    deadlines: Vec<AtomicU64>,
+}
+
+impl Shared {
+    fn with_nodes(nodes: usize) -> Self {
+        Self {
+            next_fault_due: AtomicU64::new(u64::MAX),
+            deadlines: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
+            ..Self::default()
+        }
+    }
+
+    fn snapshot(&self) -> NetStats {
+        let unknown = self.dropped_unknown_dest.load(Ordering::Relaxed);
+        let link = self.dropped_link.load(Ordering::Relaxed);
+        NetStats {
+            messages_sent: self.messages_sent.load(Ordering::Relaxed),
+            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
+            messages_dropped: unknown + link,
+            dropped_unknown_dest: unknown,
+            dropped_link: link,
+            link_faults: self.link_faults.load(Ordering::Relaxed),
+            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
+            timers_fired: self.timers_fired.load(Ordering::Relaxed),
+            events_processed: self.events_processed.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// The shared topology gate consulted on every cross-node send.  One mutex
+/// guards the topology and the deterministic RNG used for loss/jitter draws;
+/// it is uncontended in fault-free runs because the gate only exists when a
+/// topology or schedule was actually configured.
+struct LinkGate {
+    state: Mutex<(Topology, DetRng)>,
+}
+
+/// What the gate decided for one cross-node send.
+enum Verdict {
+    Deliver,
+    Drop,
+    Delay(Duration),
+}
+
+impl LinkGate {
+    fn new(topology: Topology, seed: u64) -> Self {
+        Self {
+            state: Mutex::new((topology, DetRng::new(seed ^ 0x11f7_9a7e))),
+        }
+    }
+
+    fn verdict(&self, from: usize, to: usize, size: usize) -> Verdict {
+        if from == to {
+            return Verdict::Deliver; // same-node delivery is never faulted
+        }
+        let mut guard = self.state.lock().expect("link gate poisoned");
+        let (topology, rng) = &mut *guard;
+        match topology.fault_verdict(NodeId(from as u32), NodeId(to as u32), size, rng) {
+            None => Verdict::Drop,
+            Some(extra) if extra.is_zero() => Verdict::Deliver,
+            Some(extra) => Verdict::Delay(Duration::from(extra)),
+        }
+    }
+
+    fn apply(&self, scope: &LinkScope, fault: &LinkFault) {
+        let mut guard = self.state.lock().expect("link gate poisoned");
+        guard.0.apply_fault(scope, fault);
+    }
 }
 
 /// Configuration of the threaded runtime.
@@ -79,6 +204,11 @@ pub struct ThreadedBuilder {
     /// Actors per node, in registration order.
     nodes: Vec<Vec<(ProcessId, Box<dyn Actor>)>>,
     next: u32,
+    /// The link fault plane: initial topology state (severed/degraded links
+    /// apply from the start; base link models are ignored by real channels).
+    topology: Topology,
+    /// Timed link faults, applied at their wall-clock offsets from start.
+    schedule: LinkSchedule,
 }
 
 impl std::fmt::Debug for ThreadedBuilder {
@@ -103,7 +233,30 @@ impl ThreadedBuilder {
             config,
             nodes: Vec::new(),
             next: 0,
+            topology: Topology::default(),
+            schedule: LinkSchedule::new(),
         }
+    }
+
+    /// Sets the topology whose fault plane (severed and degraded links)
+    /// gates cross-node sends.  Node index `i` of this builder is
+    /// [`NodeId`]`(i)` in the topology.  Base link-model latencies are *not*
+    /// applied — real channels already have transport costs; only the fault
+    /// overlay (sever/loss/delay/throttle) takes effect.
+    #[must_use]
+    pub fn with_topology(mut self, topology: Topology) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Schedules timed link faults, applied at their [`LinkEvent::at`]
+    /// offsets from the runtime's start (1 simulated second = 1 wall-clock
+    /// second), mirroring the simulator's deterministic execution of the
+    /// same schedule.
+    #[must_use]
+    pub fn with_link_schedule(mut self, schedule: LinkSchedule) -> Self {
+        self.schedule = schedule;
+        self
     }
 
     /// Returns the process identifier the next [`ThreadedBuilder::add`] call
@@ -164,6 +317,11 @@ impl ThreadedBuilder {
     }
 
     /// Starts one thread per node and returns the running runtime.
+    ///
+    /// When a fault plane is configured (a topology with initial faults or a
+    /// non-empty link schedule), a control thread is started alongside the
+    /// node threads: it applies scheduled faults at their offsets and
+    /// re-injects fault-delayed deliveries.
     pub fn start(self) -> ThreadedRuntime {
         let epoch = Instant::now();
         let mut node_of: HashMap<ProcessId, usize> = HashMap::new();
@@ -179,7 +337,34 @@ impl ThreadedBuilder {
         }
         let txs = Arc::new(txs);
         let node_of = Arc::new(node_of);
+        let shared = Arc::new(Shared::with_nodes(self.nodes.len()));
         let root_rng = DetRng::new(self.config.seed);
+
+        // The fault plane only materialises when it can actually do
+        // something; fault-free runs keep the zero-overhead send path.
+        let gate = (self.topology.has_faults() || !self.schedule.is_empty())
+            .then(|| Arc::new(LinkGate::new(self.topology, self.config.seed)));
+        let (control_tx, control_handle) = match &gate {
+            Some(gate) => {
+                let (ctl_tx, ctl_rx) = unbounded();
+                let gate = Arc::clone(gate);
+                let txs = Arc::clone(&txs);
+                let shared = Arc::clone(&shared);
+                let schedule = self.schedule.in_order();
+                // Publish the first pending fault before anything can probe
+                // for quiescence (the control thread keeps this up to date).
+                shared.next_fault_due.store(
+                    schedule.first().map_or(u64::MAX, |e| e.at.as_nanos()),
+                    Ordering::SeqCst,
+                );
+                let handle = std::thread::Builder::new()
+                    .name("simnet-linkctl".into())
+                    .spawn(move || control_main(ctl_rx, txs, gate, schedule, epoch, shared))
+                    .expect("spawn link control thread");
+                (Some(ctl_tx), Some(handle))
+            }
+            None => (None, None),
+        };
 
         let mut handles = Vec::new();
         let mut rxs = rxs.into_iter();
@@ -187,6 +372,9 @@ impl ThreadedBuilder {
             let rx = rxs.next().expect("one receiver per node");
             let txs = Arc::clone(&txs);
             let node_of = Arc::clone(&node_of);
+            let shared = Arc::clone(&shared);
+            let gate = gate.clone();
+            let control_tx = control_tx.clone();
             let actors: Vec<(ProcessId, Box<dyn Actor>, DetRng)> = actors
                 .into_iter()
                 .map(|(id, actor)| {
@@ -197,7 +385,22 @@ impl ThreadedBuilder {
             let config = self.config;
             let handle = std::thread::Builder::new()
                 .name(format!("simnode-{idx}"))
-                .spawn(move || node_main(actors, rx, txs, node_of, epoch, config))
+                .spawn(move || {
+                    node_main(
+                        NodeEnv {
+                            idx,
+                            txs,
+                            node_of,
+                            shared,
+                            gate,
+                            control_tx,
+                            epoch,
+                            config,
+                        },
+                        actors,
+                        rx,
+                    )
+                })
                 .expect("spawn node thread");
             handles.push(handle);
         }
@@ -207,6 +410,9 @@ impl ThreadedBuilder {
             node_of,
             handles,
             epoch,
+            shared,
+            control_tx,
+            control_handle,
         }
     }
 }
@@ -217,6 +423,9 @@ pub struct ThreadedRuntime {
     node_of: Arc<HashMap<ProcessId, usize>>,
     handles: Vec<JoinHandle<NodeActors>>,
     epoch: Instant,
+    shared: Arc<Shared>,
+    control_tx: Option<Sender<ControlMsg>>,
+    control_handle: Option<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ThreadedRuntime {
@@ -246,12 +455,86 @@ impl ThreadedRuntime {
             .node_of
             .get(&to)
             .ok_or(fs_common::Error::UnknownProcess(to))?;
+        let payload = payload.into();
+        self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
         self.txs[node]
             .send(Envelope::Batch {
                 from,
-                items: vec![(to, payload.into())],
+                items: vec![(to, payload)],
             })
-            .map_err(|_| fs_common::Error::Disconnected(to))
+            .map_err(|_| {
+                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                fs_common::Error::Disconnected(to)
+            })
+    }
+
+    /// The aggregate network statistics so far: sends, deliveries, drops
+    /// (split into unknown-destination and link-fault drops) and executed
+    /// link-fault events — the threaded counterpart of
+    /// [`crate::sim::Simulation::stats`].
+    pub fn net_stats(&self) -> NetStats {
+        self.shared.snapshot()
+    }
+
+    /// True when the runtime is quiescent with respect to `horizon`: no
+    /// message is in flight (inboxes and the delay line are empty), no armed
+    /// timer is due before `horizon`, and no scheduled link fault is still
+    /// pending before it — nothing can happen until then.
+    ///
+    /// A single probe can race an in-progress handler; callers confirm by
+    /// sampling [`ThreadedRuntime::handled_count`] across consecutive probes
+    /// (see [`ThreadedRuntime::run_until_settled`]).
+    pub fn quiescent_before(&self, horizon: SimTime) -> bool {
+        if self.shared.in_flight.load(Ordering::SeqCst) != 0 {
+            return false;
+        }
+        let horizon_nanos = horizon.as_nanos();
+        if self.shared.next_fault_due.load(Ordering::SeqCst) <= horizon_nanos {
+            return false;
+        }
+        self.shared.deadlines.iter().all(|deadline| {
+            let at = deadline.load(Ordering::SeqCst);
+            at != 0 && at > horizon_nanos
+        })
+    }
+
+    /// Total handler invocations so far (messages, timers and start hooks).
+    pub fn handled_count(&self) -> u64 {
+        self.shared.handled.load(Ordering::SeqCst)
+    }
+
+    /// Sleeps until the wall clock reaches `horizon`, returning early once
+    /// the deployment has settled: no in-flight messages and no timers due
+    /// before the horizon, confirmed over several consecutive polls.
+    /// Returns the reached time.
+    pub fn run_until_settled(&self, horizon: SimTime) -> SimTime {
+        let mut last_handled = u64::MAX;
+        let mut stable_polls = 0u32;
+        while self.now() < horizon {
+            let remaining = horizon.duration_since(self.now());
+            let nap = Duration::from(remaining).min(Duration::from_millis(15));
+            std::thread::sleep(nap);
+            if self.quiescent_before(horizon) {
+                let handled = self.handled_count();
+                if handled == last_handled {
+                    stable_polls += 1;
+                    if stable_polls >= 3 {
+                        break;
+                    }
+                } else {
+                    stable_polls = 1;
+                    last_handled = handled;
+                }
+            } else {
+                stable_polls = 0;
+                last_handled = u64::MAX;
+            }
+        }
+        self.now()
     }
 
     /// Wall-clock time since the runtime started, as a [`SimTime`].
@@ -280,6 +563,12 @@ impl ThreadedRuntime {
                     out.insert(id, actor);
                 }
             }
+        }
+        // The control thread exits once every sender is gone (the node
+        // threads have already dropped theirs).
+        drop(self.control_tx);
+        if let Some(handle) = self.control_handle {
+            let _ = handle.join();
         }
         out
     }
@@ -373,31 +662,188 @@ impl Context for ThreadContext<'_> {
     fn trace(&mut self, _label: &str) {}
 }
 
-/// Flushes the sends buffered during one handler: the items are grouped by
+/// Everything a node thread shares with the rest of the runtime.
+struct NodeEnv {
+    /// This node's index (= [`NodeId`] in the topology).
+    idx: usize,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    node_of: Arc<HashMap<ProcessId, usize>>,
+    shared: Arc<Shared>,
+    gate: Option<Arc<LinkGate>>,
+    control_tx: Option<Sender<ControlMsg>>,
+    epoch: Instant,
+    config: ThreadedConfig,
+}
+
+/// Per destination node, the sender-side FIFO state of one link: the latest
+/// scheduled delivery time and whether the link has ever been fault-delayed.
+/// Once a link has carried a delayed message, *all* its subsequent traffic
+/// is serialized through the delay line behind the floor, so deliveries
+/// between a node pair never overtake each other — the threaded counterpart
+/// of the simulator's TCP-like `fifo_floor`, surviving heals.
+#[derive(Clone, Copy)]
+struct LinkFifo {
+    floor: Instant,
+    via_delay_line: bool,
+}
+
+/// Flushes the sends buffered during one handler.  Each send first passes
+/// the link gate (when a fault plane is configured): severed or lossy links
+/// drop it, degraded links divert it through the delay line behind the
+/// per-link FIFO floor.  The surviving immediate items are grouped by
 /// destination node and each node receives a single [`Envelope::Batch`]
 /// whose payloads are refcount clones of the sender's buffers.
 fn flush_outgoing(
     from: ProcessId,
     outgoing: &mut Vec<(ProcessId, Bytes)>,
-    txs: &[Sender<Envelope>],
-    node_of: &HashMap<ProcessId, usize>,
+    env: &NodeEnv,
+    links: &mut [LinkFifo],
 ) {
     if outgoing.is_empty() {
         return;
     }
     // Group per destination node, preserving per-recipient send order.
     let mut batches: Vec<(usize, Vec<(ProcessId, Bytes)>)> = Vec::new();
+    let mut controlled: Vec<(Instant, usize, (ProcessId, Bytes))> = Vec::new();
     for (to, payload) in outgoing.drain(..) {
-        let Some(&node) = node_of.get(&to) else {
-            continue; // unknown destination: dropped, like a severed link
+        env.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
+        env.shared
+            .bytes_sent
+            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        let Some(&node) = env.node_of.get(&to) else {
+            env.shared
+                .dropped_unknown_dest
+                .fetch_add(1, Ordering::Relaxed);
+            continue;
         };
-        match batches.iter_mut().find(|(n, _)| *n == node) {
-            Some((_, items)) => items.push((to, payload)),
-            None => batches.push((node, vec![(to, payload)])),
+        let verdict = match &env.gate {
+            Some(gate) => gate.verdict(env.idx, node, payload.len()),
+            None => Verdict::Deliver,
+        };
+        match verdict {
+            Verdict::Deliver if !links[node].via_delay_line => {
+                match batches.iter_mut().find(|(n, _)| *n == node) {
+                    Some((_, items)) => items.push((to, payload)),
+                    None => batches.push((node, vec![(to, payload)])),
+                }
+            }
+            Verdict::Deliver | Verdict::Delay(_) => {
+                let extra = match verdict {
+                    Verdict::Delay(extra) => {
+                        links[node].via_delay_line = true;
+                        extra
+                    }
+                    _ => Duration::ZERO,
+                };
+                let due = (Instant::now() + extra).max(links[node].floor);
+                links[node].floor = due;
+                controlled.push((due, node, (to, payload)));
+            }
+            Verdict::Drop => {
+                env.shared.dropped_link.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
     for (node, items) in batches {
-        let _ = txs[node].send(Envelope::Batch { from, items });
+        env.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        if env.txs[node].send(Envelope::Batch { from, items }).is_err() {
+            env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+    for (due, node, item) in controlled {
+        env.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        let envelope = Envelope::Batch {
+            from,
+            items: vec![item],
+        };
+        let handed_off = match &env.control_tx {
+            Some(ctl) => ctl
+                .send(ControlMsg::Delayed {
+                    due,
+                    node,
+                    envelope,
+                })
+                .is_ok(),
+            // Unreachable in practice (delays imply a gate, which implies a
+            // control thread), but degrade to immediate delivery over loss.
+            None => env.txs[node].send(envelope).is_ok(),
+        };
+        if !handed_off {
+            env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+}
+
+/// The delay-line / link-schedule thread: applies each scheduled fault at
+/// its wall-clock offset from the epoch and re-injects fault-delayed
+/// deliveries into the destination node's inbox once their extra latency has
+/// elapsed.  Exits when every sender (runtime handle and node threads) is
+/// gone.
+fn control_main(
+    rx: Receiver<ControlMsg>,
+    txs: Arc<Vec<Sender<Envelope>>>,
+    gate: Arc<LinkGate>,
+    schedule: Vec<LinkEvent>,
+    epoch: Instant,
+    shared: Arc<Shared>,
+) {
+    // (due, arrival seq, destination node, envelope); arrival order breaks
+    // due-time ties so same-link deliveries (whose dues the sender's FIFO
+    // floor makes non-decreasing) are released strictly in send order.
+    let mut pending: Vec<(Instant, u64, usize, Envelope)> = Vec::new();
+    let mut next_seq: u64 = 0;
+    let mut next_fault = 0usize;
+    let fault_due = |event: &LinkEvent| epoch + Duration::from_nanos(event.at.as_nanos());
+    loop {
+        let now = Instant::now();
+        while next_fault < schedule.len() && fault_due(&schedule[next_fault]) <= now {
+            let event = &schedule[next_fault];
+            gate.apply(&event.scope, &event.fault);
+            shared.link_faults.fetch_add(1, Ordering::Relaxed);
+            next_fault += 1;
+        }
+        shared.next_fault_due.store(
+            schedule
+                .get(next_fault)
+                .map_or(u64::MAX, |e| e.at.as_nanos()),
+            Ordering::SeqCst,
+        );
+        let mut ready: Vec<(Instant, u64, usize, Envelope)> = Vec::new();
+        let mut i = 0;
+        while i < pending.len() {
+            if pending[i].0 <= now {
+                ready.push(pending.swap_remove(i));
+            } else {
+                i += 1;
+            }
+        }
+        ready.sort_by_key(|entry| (entry.0, entry.1));
+        for (_, _, node, envelope) in ready {
+            if txs[node].send(envelope).is_err() {
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let mut wake: Option<Instant> = pending.iter().map(|entry| entry.0).min();
+        if next_fault < schedule.len() {
+            let due = fault_due(&schedule[next_fault]);
+            wake = Some(wake.map_or(due, |w| w.min(due)));
+        }
+        let received = match wake {
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(Instant::now())),
+        };
+        match received {
+            Ok(ControlMsg::Delayed {
+                due,
+                node,
+                envelope,
+            }) => {
+                next_seq += 1;
+                pending.push((due, next_seq, node, envelope));
+            }
+            Err(RecvTimeoutError::Timeout) => continue,
+            Err(RecvTimeoutError::Disconnected) => break,
+        }
     }
 }
 
@@ -409,12 +855,9 @@ struct NodeActor {
 }
 
 fn node_main(
+    env: NodeEnv,
     actors: Vec<(ProcessId, Box<dyn Actor>, DetRng)>,
     rx: Receiver<Envelope>,
-    txs: Arc<Vec<Sender<Envelope>>>,
-    node_of: Arc<HashMap<ProcessId, usize>>,
-    epoch: Instant,
-    config: ThreadedConfig,
 ) -> NodeActors {
     let mut actors: Vec<NodeActor> = actors
         .into_iter()
@@ -428,18 +871,27 @@ fn node_main(
     let local_index: HashMap<ProcessId, usize> =
         actors.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
     let mut outgoing: Vec<(ProcessId, Bytes)> = Vec::new();
+    let mut links: Vec<LinkFifo> = vec![
+        LinkFifo {
+            floor: env.epoch,
+            via_delay_line: false,
+        };
+        env.txs.len()
+    ];
 
     for a in actors.iter_mut() {
         let mut ctx = ThreadContext {
             me: a.id,
-            epoch,
+            epoch: env.epoch,
             outgoing: &mut outgoing,
             rng: &mut a.rng,
             timers: &mut a.timers,
-            cpu_scale: config.cpu_charge_scale,
+            cpu_scale: env.config.cpu_charge_scale,
         };
         a.actor.on_start(&mut ctx);
-        flush_outgoing(a.id, &mut outgoing, &txs, &node_of);
+        env.shared.handled.fetch_add(1, Ordering::SeqCst);
+        env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
+        flush_outgoing(a.id, &mut outgoing, &env, &mut links);
     }
 
     loop {
@@ -449,21 +901,33 @@ fn node_main(
             for timer in a.timers.due(now) {
                 let mut ctx = ThreadContext {
                     me: a.id,
-                    epoch,
+                    epoch: env.epoch,
                     outgoing: &mut outgoing,
                     rng: &mut a.rng,
                     timers: &mut a.timers,
-                    cpu_scale: config.cpu_charge_scale,
+                    cpu_scale: env.config.cpu_charge_scale,
                 };
                 a.actor.on_timer(&mut ctx, timer);
-                flush_outgoing(a.id, &mut outgoing, &txs, &node_of);
+                env.shared.handled.fetch_add(1, Ordering::SeqCst);
+                env.shared.timers_fired.fetch_add(1, Ordering::Relaxed);
+                env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
+                flush_outgoing(a.id, &mut outgoing, &env, &mut links);
             }
         }
 
-        let wait = actors
-            .iter()
-            .filter_map(|a| a.timers.next_deadline())
-            .min()
+        // Publish the earliest armed deadline for the quiescence probe
+        // (u64::MAX = idle), then wait for traffic or the next timer.
+        let next_deadline = actors.iter().filter_map(|a| a.timers.next_deadline()).min();
+        env.shared.deadlines[env.idx].store(
+            next_deadline.map_or(u64::MAX, |deadline| {
+                deadline
+                    .saturating_duration_since(env.epoch)
+                    .as_nanos()
+                    .min(u64::MAX as u128) as u64
+            }),
+            Ordering::SeqCst,
+        );
+        let wait = next_deadline
             .map(|deadline| deadline.saturating_duration_since(Instant::now()))
             .unwrap_or(Duration::from_millis(50));
 
@@ -471,20 +935,38 @@ fn node_main(
             Ok(Envelope::Batch { from, items }) => {
                 for (to, payload) in items {
                     let Some(&idx) = local_index.get(&to) else {
+                        env.shared
+                            .dropped_unknown_dest
+                            .fetch_add(1, Ordering::Relaxed);
                         continue;
                     };
                     let a = &mut actors[idx];
                     let mut ctx = ThreadContext {
                         me: a.id,
-                        epoch,
+                        epoch: env.epoch,
                         outgoing: &mut outgoing,
                         rng: &mut a.rng,
                         timers: &mut a.timers,
-                        cpu_scale: config.cpu_charge_scale,
+                        cpu_scale: env.config.cpu_charge_scale,
                     };
                     a.actor.on_message(&mut ctx, from, payload);
-                    flush_outgoing(to, &mut outgoing, &txs, &node_of);
+                    env.shared.handled.fetch_add(1, Ordering::SeqCst);
+                    env.shared
+                        .messages_delivered
+                        .fetch_add(1, Ordering::Relaxed);
+                    env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
+                    flush_outgoing(to, &mut outgoing, &env, &mut links);
                 }
+                // Mark this node busy *before* the envelope leaves the
+                // in-flight count: a quiescence probe between the decrement
+                // and the deadline publication at the top of the loop must
+                // never observe "nothing in flight" alongside a stale idle
+                // deadline while a timer armed by this batch awaits
+                // publication.
+                env.shared.deadlines[env.idx].store(0, Ordering::SeqCst);
+                // The envelope is fully processed (and any sends it caused
+                // are already counted) before it stops being in flight.
+                env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             }
             Ok(Envelope::Stop) => break,
             Err(RecvTimeoutError::Timeout) => continue,
@@ -724,6 +1206,278 @@ mod tests {
         let t0 = rt.now();
         std::thread::sleep(Duration::from_millis(2));
         assert!(rt.now() > t0);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn severed_link_drops_real_sends_and_counts_them() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut topology = Topology::default();
+        topology.sever(NodeId(0), NodeId(1));
+        let mut builder = ThreadedBuilder::default().with_topology(topology);
+        // Node 0: a multicaster; node 1: a counter behind the severed link;
+        // node 2: a counter on a healthy link.
+        let caster_node = builder.add_node();
+        let cut_node = builder.add_node();
+        let ok_node = builder.add_node();
+        let a = ProcessId(1);
+        let b = ProcessId(2);
+        let caster = ProcessId(0);
+        builder.add_with_on(
+            caster,
+            caster_node,
+            Box::new(Multicaster { dests: vec![a, b] }),
+        );
+        builder.add_with_on(
+            a,
+            cut_node,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        builder.add_with_on(
+            b,
+            ok_node,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        for _ in 0..5 {
+            rt.send(ProcessId(99), ProcessId(0), b"frame".to_vec())
+                .unwrap();
+        }
+        assert!(wait_for(&shared, 5, 2_000), "healthy link still delivers");
+        // Give the severed sends a moment to (not) arrive.
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(shared.load(Ordering::SeqCst), 5);
+        let stats = rt.net_stats();
+        assert_eq!(stats.dropped_link, 5, "severed sends are accounted");
+        assert_eq!(stats.dropped_unknown_dest, 0);
+        assert_eq!(stats.messages_dropped, 5);
+        let actors = rt.shutdown();
+        assert!(actors.contains_key(&caster));
+    }
+
+    #[test]
+    fn scheduled_sever_takes_effect_mid_run_and_delay_line_delays() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        // Delay the link by 80 ms for the first 200 ms, then sever it.
+        let schedule = LinkSchedule::new()
+            .then(
+                SimTime::ZERO,
+                crate::link::LinkScope::Pair {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+                LinkFault::Delay {
+                    extra: SimDuration::from_millis(80),
+                    jitter: SimDuration::ZERO,
+                },
+            )
+            .then(
+                SimTime::from_millis(200),
+                crate::link::LinkScope::Pair {
+                    a: NodeId(0),
+                    b: NodeId(1),
+                },
+                LinkFault::Sever,
+            );
+        let mut builder = ThreadedBuilder::default().with_link_schedule(schedule);
+        let n0 = builder.add_node();
+        let n1 = builder.add_node();
+        let caster = ProcessId(0);
+        builder.add_with_on(
+            caster,
+            n0,
+            Box::new(Multicaster {
+                dests: vec![ProcessId(1)],
+            }),
+        );
+        builder.add_with_on(
+            ProcessId(1),
+            n1,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        let t0 = Instant::now();
+        rt.send(ProcessId(99), caster, b"early".to_vec()).unwrap();
+        // The delayed delivery arrives, but only after the extra latency.
+        assert!(wait_for(&shared, 1, 2_000));
+        assert!(
+            t0.elapsed() >= Duration::from_millis(80),
+            "delivery must pay the injected delay"
+        );
+        // After the scheduled sever, nothing arrives any more.
+        std::thread::sleep(Duration::from_millis(250).saturating_sub(t0.elapsed()));
+        rt.send(ProcessId(99), caster, b"late".to_vec()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        assert_eq!(shared.load(Ordering::SeqCst), 1, "post-sever send dropped");
+        let stats = rt.net_stats();
+        assert_eq!(stats.link_faults, 2, "both scheduled faults executed");
+        assert_eq!(stats.dropped_link, 1);
+        rt.shutdown();
+    }
+
+    /// Records the first payload byte of every delivery, in arrival order.
+    struct Recorder {
+        order: Vec<u8>,
+        shared: Arc<AtomicUsize>,
+    }
+
+    impl Actor for Recorder {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, payload: Bytes) {
+            self.order.push(payload.as_ref()[0]);
+            self.shared.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Sends a numbered burst to one destination when poked.
+    struct BurstSender {
+        dest: ProcessId,
+        count: u8,
+    }
+
+    impl Actor for BurstSender {
+        fn on_message(&mut self, ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
+            for i in 0..self.count {
+                ctx.send(self.dest, vec![i].into());
+            }
+        }
+    }
+
+    #[test]
+    fn delay_line_preserves_per_link_fifo_even_with_jitter_and_heal() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        // Jittered delay for the first 150 ms, then heal: deliveries before
+        // and after the heal must still arrive in send order (the sender-side
+        // FIFO floor serializes the link through the delay line).
+        let scope = crate::link::LinkScope::Pair {
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        let schedule = LinkSchedule::new()
+            .then(
+                SimTime::ZERO,
+                scope.clone(),
+                LinkFault::Delay {
+                    extra: SimDuration::from_millis(20),
+                    jitter: SimDuration::from_millis(60),
+                },
+            )
+            .then(SimTime::from_millis(150), scope, LinkFault::Heal);
+        let mut builder = ThreadedBuilder::default().with_link_schedule(schedule);
+        let n0 = builder.add_node();
+        let n1 = builder.add_node();
+        let sender = ProcessId(0);
+        let recorder = ProcessId(1);
+        builder.add_with_on(
+            sender,
+            n0,
+            Box::new(BurstSender {
+                dest: recorder,
+                count: 10,
+            }),
+        );
+        builder.add_with_on(
+            recorder,
+            n1,
+            Box::new(Recorder {
+                order: Vec::new(),
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        rt.send(ProcessId(99), sender, b"go".to_vec()).unwrap();
+        assert!(wait_for(&shared, 10, 2_000), "jittered burst arrives");
+        // A second burst after the heal still respects the link's FIFO.
+        std::thread::sleep(Duration::from_millis(200));
+        rt.send(ProcessId(99), sender, b"go".to_vec()).unwrap();
+        assert!(wait_for(&shared, 20, 2_000), "post-heal burst arrives");
+        let rec = rt.shutdown_and_take::<Recorder>(recorder).unwrap();
+        let expected: Vec<u8> = (0..10u8).chain(0..10u8).collect();
+        assert_eq!(
+            rec.order, expected,
+            "per-link deliveries must never overtake each other"
+        );
+    }
+
+    #[test]
+    fn unknown_destination_sends_are_counted() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        // The multicaster addresses one real and one unknown destination.
+        let counter = ProcessId(1);
+        let caster = ProcessId(0);
+        builder.add_with(
+            caster,
+            Box::new(Multicaster {
+                dests: vec![counter, ProcessId(77)],
+            }),
+        );
+        builder.add_with(
+            counter,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        rt.send(ProcessId(99), caster, b"x".to_vec()).unwrap();
+        assert!(wait_for(&shared, 1, 2_000));
+        let stats = rt.net_stats();
+        assert_eq!(stats.dropped_unknown_dest, 1);
+        assert_eq!(stats.messages_dropped, 1);
+        assert!(stats.messages_sent >= 3, "injection + 2 fan-out sends");
+        assert!(stats.messages_delivered >= 2);
+        rt.shutdown();
+    }
+
+    #[test]
+    fn settled_runtime_reports_quiescence_and_early_exit() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        let counter = builder.add(Box::new(Counter {
+            seen: 0,
+            shared: Arc::clone(&shared),
+        }));
+        let rt = builder.start();
+        rt.send(ProcessId(99), counter, b"x".to_vec()).unwrap();
+        assert!(wait_for(&shared, 1, 2_000));
+        // No timers, nothing in flight: a generous horizon returns early.
+        let start = Instant::now();
+        let horizon = rt.now() + SimDuration::from_secs(30);
+        rt.run_until_settled(horizon);
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "settled run must exit well before the 30 s horizon"
+        );
+        assert!(rt.quiescent_before(horizon));
+        rt.shutdown();
+    }
+
+    #[test]
+    fn armed_timer_before_horizon_defeats_quiescence() {
+        struct SlowTimer;
+        impl Actor for SlowTimer {
+            fn on_message(&mut self, _: &mut dyn Context, _: ProcessId, _: Bytes) {}
+            fn on_start(&mut self, ctx: &mut dyn Context) {
+                ctx.set_timer(SimDuration::from_secs(600), TimerId(1));
+            }
+        }
+        let mut builder = ThreadedBuilder::default();
+        builder.add(Box::new(SlowTimer));
+        let rt = builder.start();
+        std::thread::sleep(Duration::from_millis(50));
+        // Timer due at +600 s: quiescent for a 30 s horizon, busy for a
+        // 2000 s one.
+        assert!(rt.quiescent_before(rt.now() + SimDuration::from_secs(30)));
+        assert!(!rt.quiescent_before(rt.now() + SimDuration::from_secs(2000)));
         rt.shutdown();
     }
 }

@@ -14,15 +14,36 @@ pub struct NetStats {
     pub messages_sent: u64,
     /// Messages actually delivered to a destination actor.
     pub messages_delivered: u64,
-    /// Messages dropped by a lossy or severed link, or addressed to an
-    /// unknown process.
+    /// Messages dropped for any reason: the sum of
+    /// [`NetStats::dropped_unknown_dest`] and [`NetStats::dropped_link`].
     pub messages_dropped: u64,
+    /// Messages dropped because the destination process was not registered.
+    pub dropped_unknown_dest: u64,
+    /// Messages dropped by the network fault plane: a severed link, a lossy
+    /// link model or an injected [`crate::link::LinkFault::Loss`].
+    pub dropped_link: u64,
+    /// Scheduled link-fault events executed (one per [`crate::link::LinkEvent`]).
+    pub link_faults: u64,
     /// Total payload bytes handed to the transport.
     pub bytes_sent: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Total events processed (deliveries + timers + start hooks).
     pub events_processed: u64,
+}
+
+impl NetStats {
+    /// Records a drop caused by an unknown destination process.
+    pub fn drop_unknown_dest(&mut self) {
+        self.messages_dropped += 1;
+        self.dropped_unknown_dest += 1;
+    }
+
+    /// Records a drop caused by the link layer (severed/lossy link).
+    pub fn drop_link(&mut self) {
+        self.messages_dropped += 1;
+        self.dropped_link += 1;
+    }
 }
 
 /// One entry of a [`TraceLog`].
@@ -68,6 +89,15 @@ pub enum TraceEvent {
         /// The label text.
         label: String,
     },
+    /// A scheduled link fault took effect (rendered from the
+    /// [`crate::link::LinkEvent`], so fault traces pin the exact fault
+    /// timeline byte-for-byte in the determinism suite).
+    LinkFault {
+        /// When the fault took effect.
+        at: SimTime,
+        /// Human-readable `fault scope at time` rendering of the event.
+        description: String,
+    },
 }
 
 impl TraceEvent {
@@ -77,7 +107,8 @@ impl TraceEvent {
             TraceEvent::Send { at, .. }
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Timer { at, .. }
-            | TraceEvent::Label { at, .. } => *at,
+            | TraceEvent::Label { at, .. }
+            | TraceEvent::LinkFault { at, .. } => *at,
         }
     }
 }

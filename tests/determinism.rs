@@ -7,7 +7,7 @@
 
 use fs_smr_suite::common::time::{SimDuration, SimTime};
 use fs_smr_suite::harness::{
-    NewTopService, Protocol, Running, Scenario, ServiceSpec, SmrKvService, Workload,
+    FaultSchedule, NewTopService, Protocol, Running, Scenario, ServiceSpec, SmrKvService, Workload,
 };
 use fs_smr_suite::simnet::sched::SchedulerKind;
 use fs_smr_suite::simnet::trace::NetStats;
@@ -40,7 +40,7 @@ fn fingerprint(mut run: Running) -> RunFingerprint {
         .map(|log| log.into_iter().map(|(m, s)| (m.0, s)).collect())
         .collect();
     let trace_json = serde_json::to_string(run.trace().expect("tracing enabled")).unwrap();
-    let stats = run.stats().expect("sim stats").clone();
+    let stats = run.stats().expect("sim stats");
     RunFingerprint {
         delivery_logs,
         trace_json,
@@ -157,4 +157,66 @@ fn calendar_and_legacy_heap_schedulers_trace_identically() {
     assert_eq!(newtop_cal.delivery_logs, newtop_leg.delivery_logs);
     assert_eq!(newtop_cal.trace_json, newtop_leg.trace_json);
     assert_eq!(newtop_cal.stats, newtop_leg.stats);
+}
+
+/// The network fault plane is part of the deterministic event schedule: a
+/// scheduled partition-then-heal run must be byte-identical across repeats
+/// *and* across future-event-set schedulers, with the fault timeline and the
+/// induced drops recorded in the trace and the statistics.
+#[test]
+fn scheduled_partition_and_heal_traces_are_byte_identical_across_schedulers() {
+    use fs_smr_suite::common::id::MemberId;
+
+    let build = |scheduler: SchedulerKind| {
+        // Spread the workload so traffic crosses the partition window
+        // (2 s .. 4 s) while member 0 is cut off from members 1 and 2.
+        let workload = Workload::paper_default()
+            .messages(10)
+            .interval(SimDuration::from_millis(400));
+        let faults = FaultSchedule::none()
+            .partition_at(
+                SimTime::from_secs(2),
+                &[MemberId(0)],
+                &[MemberId(1), MemberId(2)],
+            )
+            .heal_at(
+                SimTime::from_secs(4),
+                &[MemberId(0)],
+                &[MemberId(1), MemberId(2)],
+            );
+        run_scenario(
+            Scenario::new(NewTopService::new())
+                .members(3)
+                .protocol(Protocol::FailSignal)
+                .workload(workload)
+                .faults(faults)
+                .scheduler(scheduler),
+        )
+    };
+
+    let calendar_a = build(SchedulerKind::CalendarQueue);
+    let calendar_b = build(SchedulerKind::CalendarQueue);
+    let legacy = build(SchedulerKind::LegacyHeap);
+
+    // The partition actually did something observable.
+    assert_eq!(calendar_a.stats.link_faults, 2, "sever + heal executed");
+    assert!(
+        calendar_a.stats.dropped_link > 0,
+        "traffic crossed the partition window"
+    );
+    assert!(
+        calendar_a.trace_json.contains("LinkFault"),
+        "fault timeline recorded in the trace"
+    );
+
+    // Byte-identical across repeats and across schedulers.
+    assert_eq!(calendar_a.delivery_logs, calendar_b.delivery_logs);
+    assert_eq!(calendar_a.trace_json, calendar_b.trace_json);
+    assert_eq!(calendar_a.stats, calendar_b.stats);
+    assert_eq!(calendar_a.delivery_logs, legacy.delivery_logs);
+    assert_eq!(
+        calendar_a.trace_json, legacy.trace_json,
+        "fault-plane traces must not depend on the scheduler"
+    );
+    assert_eq!(calendar_a.stats, legacy.stats);
 }

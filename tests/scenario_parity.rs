@@ -14,7 +14,8 @@ use std::collections::BTreeSet;
 use fs_smr_suite::common::id::MemberId;
 use fs_smr_suite::common::time::{SimDuration, SimTime};
 use fs_smr_suite::harness::{
-    NewTopService, Protocol, RuntimeKind, Scenario, ServiceSpec, SmrKvService, Workload,
+    FaultSchedule, NewTopService, PairLayout, Protocol, Running, RuntimeKind, Scenario,
+    ServiceSpec, SmrKvService, Workload,
 };
 use fs_smr_suite::newtop::suspector::SuspectorConfig;
 
@@ -34,8 +35,9 @@ fn scenario(
         .seed(7)
 }
 
-/// Runs one scenario on both runtimes and checks the parity contract.
-fn check_parity(make: impl Fn(RuntimeKind) -> Scenario) {
+/// Runs one scenario on both runtimes and checks the parity contract;
+/// returns both (settled) runs for scenario-specific follow-up assertions.
+fn check_parity(make: impl Fn(RuntimeKind) -> Scenario) -> (Running, Running) {
     let mut sim = make(RuntimeKind::Sim).build();
     sim.run_until(SimTime::from_secs(300));
     let sim_logs = sim.delivery_logs();
@@ -61,6 +63,7 @@ fn check_parity(make: impl Fn(RuntimeKind) -> Scenario) {
     let sim_set: BTreeSet<(MemberId, u64)> = sim_logs[0].iter().copied().collect();
     let threaded_set: BTreeSet<(MemberId, u64)> = threaded_logs[0].iter().copied().collect();
     assert_eq!(sim_set, threaded_set, "runtimes delivered different sets");
+    (sim, threaded)
 }
 
 #[test]
@@ -82,4 +85,56 @@ fn fs_newtop_parity() {
 #[test]
 fn fs_smr_parity() {
     check_parity(|runtime| scenario(SmrKvService::new(), Protocol::FailSignal, runtime));
+}
+
+/// Delivery parity under a scheduled lossy link.  Under the full pair
+/// layout, every inter-member message travels four node-disjoint paths
+/// (leader/follower of the source pair × leader/follower of the destination
+/// pair), so a heavily lossy link between two members' primary nodes must be
+/// *masked*: both runtimes still deliver the complete, agreed log — the
+/// fail-signal redundancy absorbing a violated link rather than an incorrect
+/// process.  The check is exactly the clean-run parity contract.
+#[test]
+fn fs_smr_lossy_link_parity() {
+    let (sim, threaded) = check_parity(|runtime| {
+        scenario(SmrKvService::new(), Protocol::FailSignal, runtime)
+            .layout(PairLayout::Full)
+            .faults(FaultSchedule::none().lossy_link(SimTime::ZERO, MemberId(0), MemberId(1), 0.6))
+    });
+    // Both fault planes actually dropped traffic — the full logs above
+    // prove the redundancy masked it, and the accounting proves it happened.
+    let sim_stats = sim.stats().expect("sim stats");
+    let threaded_stats = threaded.stats().expect("threaded stats");
+    assert!(sim_stats.dropped_link > 0, "sim lossy link saw no traffic");
+    assert!(
+        threaded_stats.dropped_link > 0,
+        "threaded lossy link saw no traffic"
+    );
+    assert_eq!(threaded_stats.dropped_unknown_dest, 0);
+}
+
+/// The threaded runtime's quiescence early-exit (per-node idle detection):
+/// a settled scenario returns long before the wall-clock horizon, with the
+/// full delivery log already in place.
+#[test]
+fn threaded_settled_run_finishes_early() {
+    let start = std::time::Instant::now();
+    let mut run = scenario(SmrKvService::new(), Protocol::Crash, RuntimeKind::Threaded).build();
+    // The workload lasts well under a second; the horizon allows thirty.
+    run.run_until(SimTime::from_secs(30));
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < std::time::Duration::from_secs(10),
+        "settled run took {elapsed:?}, should exit well before the 30 s horizon"
+    );
+    let logs = run.delivery_logs();
+    let expected = (MEMBERS as usize) * (MESSAGES as usize);
+    assert_eq!(
+        logs[0].len(),
+        expected,
+        "early exit must not cut work short"
+    );
+    for log in &logs[1..] {
+        assert_eq!(log, &logs[0]);
+    }
 }
