@@ -29,6 +29,10 @@
 //!   simulator; host wall-clock per ordered delivery and per simulated
 //!   event.  **pipeline_large** repeats it at a larger group size, where
 //!   the pending event set is big enough for the calendar queue to matter.
+//!   **pipeline_batched** repeats the 3-member deployment with request
+//!   batching on (`FS_BENCH_HOTPATH_BATCH`, default 8): one ordering round
+//!   and one signed frame cover a whole batch, so deliveries/host-sec must
+//!   rise well above the unbatched row.
 //!
 //! `FS_BENCH_HOTPATH_ITERS` scales the micro-benchmark iteration counts
 //! (default 100 000); `FS_BENCH_HOTPATH_MESSAGES` the per-member pipeline
@@ -37,9 +41,10 @@
 //!
 //! **Regression guard:** when `FS_BENCH_HOTPATH_REF` names a reference
 //! report (normally the committed `results/bench-hotpath.json`), the run
-//! fails (exit 3) if the 3-member pipeline's ordered-deliveries/host-sec
-//! drops more than `FS_BENCH_HOTPATH_MAX_REGRESSION` (default 0.20, i.e.
-//! 20%) below the reference.
+//! fails (exit 3) if the 3-member pipeline's ordered-deliveries/host-sec —
+//! unbatched, or batched when the reference carries that row — drops more
+//! than `FS_BENCH_HOTPATH_MAX_REGRESSION` (default 0.20, i.e. 20%) below
+//! the reference.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -150,6 +155,8 @@ struct ActorLookupRow {
 struct PipelineReport {
     members: u32,
     messages_per_member: u64,
+    /// Requests per ordering round (1 = unbatched).
+    batch_max: u32,
     total_deliveries: u64,
     sim_events: u64,
     host_elapsed_ms: f64,
@@ -169,6 +176,9 @@ struct HotpathReport {
     actor_lookup: Vec<ActorLookupRow>,
     pipeline: PipelineReport,
     pipeline_large: PipelineReport,
+    /// The 3-member pipeline again with request batching on: one ordering
+    /// round (and one signed frame) covers `batch_max` requests.
+    pipeline_batched: PipelineReport,
 }
 
 fn bench_hmac(iters: u64) -> Vec<HmacRow> {
@@ -376,8 +386,14 @@ fn bench_actor_lookup(iters: u64) -> Vec<ActorLookupRow> {
         .collect()
 }
 
-fn bench_pipeline(members: u32, messages_per_member: u64) -> PipelineReport {
-    let traffic = TrafficConfig::paper_default().with_messages(messages_per_member);
+fn bench_pipeline(members: u32, messages_per_member: u64, batch_max: u32) -> PipelineReport {
+    let mut traffic = TrafficConfig::paper_default().with_messages(messages_per_member);
+    if batch_max > 1 {
+        // A generous linger keeps batch close size-driven: every full batch
+        // holds exactly `batch_max` requests, only each member's final
+        // remainder flushes on the timer.
+        traffic = traffic.with_batching(batch_max, fs_common::time::SimDuration::from_secs(1));
+    }
     let params = DeploymentParams::paper(members)
         .with_traffic(traffic)
         .with_seed(2003);
@@ -396,6 +412,7 @@ fn bench_pipeline(members: u32, messages_per_member: u64) -> PipelineReport {
     PipelineReport {
         members,
         messages_per_member,
+        batch_max,
         total_deliveries,
         sim_events,
         host_elapsed_ms: host_secs * 1e3,
@@ -444,12 +461,37 @@ struct ReferenceReport {
     pipeline: ReferencePipeline,
 }
 
-/// Extracts the 3-member pipeline's deliveries/host-sec from a reference
+/// A reference report that also carries the batched-pipeline row.  Reports
+/// written before that row existed parse as plain [`ReferenceReport`]
+/// instead, and the batched guard simply does not fire against them.
+#[derive(Debug, Deserialize)]
+struct ReferenceReportBatched {
+    pipeline: ReferencePipeline,
+    pipeline_batched: ReferencePipeline,
+}
+
+/// The reference throughputs the regression guard compares against.
+#[derive(Debug, Clone, Copy)]
+struct RegressionReference {
+    unbatched: f64,
+    batched: Option<f64>,
+}
+
+/// Extracts the 3-member pipelines' deliveries/host-sec from a reference
 /// report.
-fn reference_deliveries_per_sec(json: &str) -> Option<f64> {
+fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
+    if let Ok(r) = serde_json::from_str::<ReferenceReportBatched>(json) {
+        return Some(RegressionReference {
+            unbatched: r.pipeline.deliveries_per_host_sec,
+            batched: Some(r.pipeline_batched.deliveries_per_host_sec),
+        });
+    }
     serde_json::from_str::<ReferenceReport>(json)
         .ok()
-        .map(|r| r.pipeline.deliveries_per_host_sec)
+        .map(|r| RegressionReference {
+            unbatched: r.pipeline.deliveries_per_host_sec,
+            batched: None,
+        })
 }
 
 /// Loads the regression-guard reference **before any benchmarking runs**:
@@ -458,7 +500,7 @@ fn reference_deliveries_per_sec(json: &str) -> Option<f64> {
 /// the reference number must be captured up front (comparing the fresh
 /// report to itself would make the guard vacuous).  Exits 3 when the
 /// reference is configured but unreadable.
-fn load_regression_reference() -> Option<f64> {
+fn load_regression_reference() -> Option<RegressionReference> {
     let ref_path = std::env::var("FS_BENCH_HOTPATH_REF").ok()?;
     let json = match std::fs::read_to_string(&ref_path) {
         Ok(json) => json,
@@ -476,10 +518,10 @@ fn load_regression_reference() -> Option<f64> {
     }
 }
 
-/// The scheduler regression guard: fails the run when the fresh pipeline
+/// One pipeline row of the regression guard: fails the run when the fresh
 /// throughput drops more than the allowed fraction below the committed
 /// reference captured at start-up.
-fn check_regression(fresh: &PipelineReport, reference: f64) {
+fn check_regression(label: &str, fresh: &PipelineReport, reference: f64) {
     let max_regression = std::env::var("FS_BENCH_HOTPATH_MAX_REGRESSION")
         .ok()
         .and_then(|v| v.parse::<f64>().ok())
@@ -487,8 +529,8 @@ fn check_regression(fresh: &PipelineReport, reference: f64) {
     let floor = reference * (1.0 - max_regression);
     if fresh.deliveries_per_host_sec < floor {
         eprintln!(
-            "regression guard: pipeline throughput {:.0}/s is more than {:.0}% below the \
-             reference {:.0}/s (floor {:.0}/s) — scheduler or receive-path regression",
+            "regression guard [{label}]: pipeline throughput {:.0}/s is more than {:.0}% below \
+             the reference {:.0}/s (floor {:.0}/s) — scheduler or receive-path regression",
             fresh.deliveries_per_host_sec,
             max_regression * 100.0,
             reference,
@@ -497,7 +539,7 @@ fn check_regression(fresh: &PipelineReport, reference: f64) {
         std::process::exit(3);
     }
     eprintln!(
-        "regression guard: {:.0}/s vs reference {:.0}/s (floor {:.0}/s) — ok",
+        "regression guard [{label}]: {:.0}/s vs reference {:.0}/s (floor {:.0}/s) — ok",
         fresh.deliveries_per_host_sec, reference, floor
     );
 }
@@ -519,12 +561,15 @@ fn main() {
     eprintln!("hotpath: scheduler (hold model)...");
     let scheduler = bench_scheduler(iters / 4);
     let actor_lookup = bench_actor_lookup(iters);
+    let batch_max = env_u64("FS_BENCH_HOTPATH_BATCH", 8) as u32;
     eprintln!("hotpath: full FS-NewTOP pipeline ({messages} msgs/member)...");
-    let pipeline = bench_pipeline(3, messages);
+    let pipeline = bench_pipeline(3, messages, 1);
     eprintln!(
         "hotpath: large FS-NewTOP pipeline ({large_members} members, {messages} msgs/member)..."
     );
-    let pipeline_large = bench_pipeline(large_members, messages);
+    let pipeline_large = bench_pipeline(large_members, messages, 1);
+    eprintln!("hotpath: batched FS-NewTOP pipeline (batch {batch_max})...");
+    let pipeline_batched = bench_pipeline(3, messages, batch_max);
 
     println!(
         "{:<16} {:>14} {:>14} {:>9}",
@@ -576,6 +621,15 @@ fn main() {
         pipeline_large.host_elapsed_ms,
         pipeline_large.deliveries_per_host_sec,
     );
+    println!(
+        "pipeline_batched (batch={}): {} deliveries in {:.1} ms host time \
+         ({:.0} deliveries/s, {:.2}x unbatched)",
+        pipeline_batched.batch_max,
+        pipeline_batched.total_deliveries,
+        pipeline_batched.host_elapsed_ms,
+        pipeline_batched.deliveries_per_host_sec,
+        pipeline_batched.deliveries_per_host_sec / pipeline.deliveries_per_host_sec.max(1.0),
+    );
 
     let small_speedup = hmac.first().map(|r| r.speedup).unwrap_or(0.0);
     if small_speedup < 1.5 {
@@ -595,6 +649,7 @@ fn main() {
         actor_lookup,
         pipeline,
         pipeline_large,
+        pipeline_batched,
     };
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -616,6 +671,9 @@ fn main() {
     // the scheduler regression guard against the reference captured at
     // start-up.
     if let Some(reference) = regression_reference {
-        check_regression(&report.pipeline, reference);
+        check_regression("unbatched", &report.pipeline, reference.unbatched);
+        if let Some(batched) = reference.batched {
+            check_regression("batched", &report.pipeline_batched, batched);
+        }
     }
 }

@@ -1,0 +1,261 @@
+//! Open-loop saturation driver: throughput–latency curves for the crash and
+//! fail-signal protocols on both runtimes.
+//!
+//! Each cell of the sweep drives a 3-member NewTOP deployment with an
+//! *open-loop* Poisson arrival process (arrivals keep coming whether or not
+//! earlier requests completed — the load shape that actually exposes
+//! saturation, unlike a closed loop whose offered rate collapses with
+//! latency).  Per offered rate the driver records the delivery-latency
+//! percentiles (p50/p95/p99/p999), the admission-control accounting
+//! (offered/submitted/shed/completed) and the network statistics, then
+//! writes the whole grid to `results/bench-saturation.json`:
+//!
+//! ```text
+//! cells = { crash, fail_signal } × { sim, threaded }
+//! curve = one row per offered rate, to (and past) saturation
+//! ```
+//!
+//! The per-client in-flight bound (admission control) is deliberately
+//! engaged, so past the knee the curves show *shedding* rising instead of
+//! latency growing without bound — the backpressure half of the load plane.
+//!
+//! Note on the simulator cells: the sim charges dispatch and crypto costs to
+//! a per-node CPU pool, so the load generator itself competes with protocol
+//! processing for host CPU (the paper's single-CPU-host world).  Offered
+//! arrivals therefore cannot outrun the host; the in-flight bound is kept
+//! small so the admission gate binds *below* that ceiling and overload shows
+//! up as shed counts rather than as a silently throttled arrival process.
+//!
+//! Env knobs (CI runs everything small):
+//!
+//! * `FS_BENCH_SATURATION_MESSAGES` — offered arrivals per member per rate
+//!   point (default 200);
+//! * `FS_BENCH_SATURATION_RATES` — comma-separated offered rates in
+//!   requests/sec per member (default `25,50,100,200,400,800`);
+//! * `FS_BENCH_SATURATION_THREADED` — set to `0` to skip the threaded cells
+//!   (each threaded point costs real wall-clock seconds);
+//! * `FS_BENCH_SATURATION_BATCH` — request batch size (default 1).
+
+use serde::Serialize;
+
+use fs_bench::report::results_dir;
+use fs_common::time::{SimDuration, SimTime};
+use fs_harness::{Admission, NewTopService, Protocol, RuntimeKind, Scenario, Workload};
+use fs_newtop::suspector::SuspectorConfig;
+
+const MEMBERS: u32 = 3;
+const CLIENTS: u32 = 2;
+const MAX_IN_FLIGHT: u32 = 2;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn env_rates() -> Vec<f64> {
+    std::env::var("FS_BENCH_SATURATION_RATES")
+        .ok()
+        .map(|v| {
+            v.split(',')
+                .filter_map(|r| r.trim().parse::<f64>().ok())
+                .filter(|r| *r > 0.0)
+                .collect()
+        })
+        .filter(|v: &Vec<f64>| !v.is_empty())
+        .unwrap_or_else(|| vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0])
+}
+
+/// One rate point of one cell's curve.
+#[derive(Debug, Serialize)]
+struct RatePoint {
+    /// Offered arrival rate per member, requests/sec.
+    offered_rate_per_member: f64,
+    /// Arrivals offered per member (the configured message budget).
+    offered_per_member: u64,
+    /// Load accounting summed over all members.
+    offered: u64,
+    submitted: u64,
+    shed: u64,
+    completed: u64,
+    /// Completed fraction of offered arrivals (1.0 until the admission gate
+    /// starts shedding past the knee).
+    goodput_ratio: f64,
+    /// Delivery-latency percentiles over every member's own completed
+    /// requests, in milliseconds of the runtime's clock (simulated for the
+    /// sim cells, wall for the threaded cells).
+    latency_ms_p50: f64,
+    latency_ms_p95: f64,
+    latency_ms_p99: f64,
+    latency_ms_p999: f64,
+    latency_ms_max: f64,
+    latency_samples: usize,
+    messages_sent: u64,
+    messages_delivered: u64,
+}
+
+/// One protocol × runtime cell: a full offered-rate sweep.
+#[derive(Debug, Serialize)]
+struct Cell {
+    protocol: String,
+    runtime: String,
+    curve: Vec<RatePoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct SaturationReport {
+    id: String,
+    members: u32,
+    clients_per_member: u32,
+    max_in_flight_per_client: u32,
+    batch_max: u32,
+    cells: Vec<Cell>,
+}
+
+fn ms(d: SimDuration) -> f64 {
+    d.as_nanos() as f64 / 1e6
+}
+
+fn run_point(
+    protocol: Protocol,
+    runtime: RuntimeKind,
+    rate: f64,
+    messages: u64,
+    batch_max: u32,
+) -> RatePoint {
+    let interval = SimDuration::from_nanos((1e9 / rate).max(1.0) as u64);
+    let workload = Workload::paper_default()
+        .messages(messages)
+        .interval(interval)
+        .poisson()
+        .clients(CLIENTS)
+        .max_in_flight(MAX_IN_FLIGHT)
+        .admission(Admission::Shed)
+        .batch_max(batch_max)
+        .batch_linger(SimDuration::from_millis(2));
+    let mut run = Scenario::new(NewTopService::new().suspector(SuspectorConfig::disabled()))
+        .members(MEMBERS)
+        .protocol(protocol)
+        .runtime(runtime)
+        .workload(workload)
+        .seed(2003)
+        .build();
+    // The offered window is messages × mean interval; leave generous settling
+    // room past it (the sim skips idle time, the threaded runtime exits early
+    // at quiescence).
+    let offered_window = interval * messages;
+    let horizon = match runtime {
+        RuntimeKind::Sim => SimTime::from_secs(3600),
+        RuntimeKind::Threaded => SimTime::ZERO + offered_window + SimDuration::from_secs(4),
+    };
+    run.run_until(horizon);
+
+    let load = run.load_stats();
+    let stats = run.stats();
+    let summary = run.latency_summary();
+    let (p50, p95, p99, p999, max, samples) = match &summary {
+        Some(s) => (
+            ms(s.p50),
+            ms(s.p95),
+            ms(s.p99),
+            ms(s.p999),
+            ms(s.max),
+            s.count,
+        ),
+        None => (0.0, 0.0, 0.0, 0.0, 0.0, 0),
+    };
+    RatePoint {
+        offered_rate_per_member: rate,
+        offered_per_member: messages,
+        offered: load.offered,
+        submitted: load.submitted,
+        shed: load.shed,
+        completed: load.completed,
+        goodput_ratio: load.completed as f64 / (load.offered.max(1)) as f64,
+        latency_ms_p50: p50,
+        latency_ms_p95: p95,
+        latency_ms_p99: p99,
+        latency_ms_p999: p999,
+        latency_ms_max: max,
+        latency_samples: samples,
+        messages_sent: stats.messages_sent,
+        messages_delivered: stats.messages_delivered,
+    }
+}
+
+fn main() {
+    let messages = env_u64("FS_BENCH_SATURATION_MESSAGES", 200);
+    let batch_max = env_u64("FS_BENCH_SATURATION_BATCH", 1) as u32;
+    let threaded = env_u64("FS_BENCH_SATURATION_THREADED", 1) != 0;
+    let rates = env_rates();
+
+    let mut runtimes = vec![RuntimeKind::Sim];
+    if threaded {
+        runtimes.push(RuntimeKind::Threaded);
+    }
+
+    let mut cells = Vec::new();
+    for protocol in [Protocol::Crash, Protocol::FailSignal] {
+        for &runtime in &runtimes {
+            let protocol_name = match protocol {
+                Protocol::Crash => "crash",
+                Protocol::FailSignal => "fail_signal",
+            };
+            let runtime_name = match runtime {
+                RuntimeKind::Sim => "sim",
+                RuntimeKind::Threaded => "threaded",
+            };
+            eprintln!(
+                "saturation: {protocol_name}/{runtime_name} ({} rates)...",
+                rates.len()
+            );
+            let curve: Vec<RatePoint> = rates
+                .iter()
+                .map(|&rate| {
+                    let point = run_point(protocol, runtime, rate, messages, batch_max);
+                    eprintln!(
+                        "  rate {:>6.0}/s  p50 {:>8.2} ms  p99 {:>8.2} ms  p999 {:>8.2} ms  \
+                         shed {:>4}  completed {}/{}",
+                        rate,
+                        point.latency_ms_p50,
+                        point.latency_ms_p99,
+                        point.latency_ms_p999,
+                        point.shed,
+                        point.completed,
+                        point.offered,
+                    );
+                    point
+                })
+                .collect();
+            cells.push(Cell {
+                protocol: protocol_name.to_string(),
+                runtime: runtime_name.to_string(),
+                curve,
+            });
+        }
+    }
+
+    let report = SaturationReport {
+        id: "bench-saturation".to_string(),
+        members: MEMBERS,
+        clients_per_member: CLIENTS,
+        max_in_flight_per_client: MAX_IN_FLIGHT,
+        batch_max,
+        cells,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create results dir: {e}");
+        std::process::exit(1);
+    }
+    let path = dir.join("bench-saturation.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

@@ -200,6 +200,14 @@ impl DeploymentParams {
             messages: self.traffic.messages,
             interval: self.traffic.interval,
             start_delay: self.traffic.start_delay,
+            arrival: self.traffic.arrival,
+            arrival_seed: self.traffic.arrival_seed,
+            clients: self.traffic.clients,
+            max_in_flight: self.traffic.max_in_flight,
+            admission: self.traffic.admission,
+            batch_max: self.traffic.batch_max,
+            batch_linger: self.traffic.batch_linger,
+            ..Workload::paper_default()
         };
         Scenario::new(service)
             .members(self.members)

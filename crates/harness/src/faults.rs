@@ -58,7 +58,7 @@ pub struct FaultEntry {
 /// violation the pair's own timeouts are calibrated against.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MemberLinkScope {
-    /// The link between two members' primary nodes.
+    /// The link between two members' primary nodes, both directions.
     Pair(MemberId, MemberId),
     /// Every link crossing the cut between the two member sets.
     Split {
@@ -66,6 +66,17 @@ pub enum MemberLinkScope {
         left: Vec<MemberId>,
         /// Members on the other side.
         right: Vec<MemberId>,
+    },
+    /// Only the `from` → `to` direction between two members' primary nodes —
+    /// an *asymmetric* fault: `from`'s messages to `to` are affected while
+    /// `to` can still reach `from`.  This is the shape of a half-broken NIC
+    /// or an asymmetric route, and the hardest case for suspicion logic:
+    /// `to` stops hearing from `from` but `from` still hears everyone.
+    OneWay {
+        /// The member whose outbound direction is faulted.
+        from: MemberId,
+        /// The member that stops receiving from `from`.
+        to: MemberId,
     },
 }
 
@@ -81,6 +92,10 @@ impl MemberLinkScope {
             MemberLinkScope::Split { left, right } => LinkScope::Split {
                 left: left.iter().map(node).collect(),
                 right: right.iter().map(node).collect(),
+            },
+            MemberLinkScope::OneWay { from, to } => LinkScope::OneWay {
+                from: node(from),
+                to: node(to),
             },
         }
     }
@@ -225,6 +240,33 @@ impl FaultSchedule {
         )
     }
 
+    /// Severs only the `from` → `to` direction between two members at `at`:
+    /// `from`'s messages stop reaching `to` while the reverse direction keeps
+    /// flowing.  Heal with a [`MemberLinkScope::OneWay`] `Heal` entry via
+    /// [`FaultSchedule::link_fault`].
+    #[must_use]
+    pub fn sever_one_way(self, at: SimTime, from: MemberId, to: MemberId) -> Self {
+        self.link_fault(at, MemberLinkScope::OneWay { from, to }, LinkFault::Sever)
+    }
+
+    /// Makes only the `from` → `to` direction drop each message with
+    /// `probability` from `at` on — the asymmetric sibling of
+    /// [`FaultSchedule::lossy_link`].
+    #[must_use]
+    pub fn lossy_link_one_way(
+        self,
+        at: SimTime,
+        from: MemberId,
+        to: MemberId,
+        probability: f64,
+    ) -> Self {
+        self.link_fault(
+            at,
+            MemberLinkScope::OneWay { from, to },
+            LinkFault::Loss { probability },
+        )
+    }
+
     /// Adds a link fault with an explicit scope and fault value (the general
     /// form behind the named helpers; accepts the full
     /// [`LinkFault`] vocabulary, including `Throttle`).
@@ -345,5 +387,34 @@ mod tests {
             "member i maps to node i"
         );
         assert_eq!(ordered[3].fault, LinkFault::Heal);
+    }
+
+    #[test]
+    fn one_way_entries_compile_to_directed_scopes() {
+        use fs_common::id::NodeId;
+        use fs_common::time::SimTime;
+        use fs_simnet::link::LinkScope;
+
+        let schedule = FaultSchedule::none()
+            .sever_one_way(SimTime::from_secs(2), MemberId(0), MemberId(1))
+            .lossy_link_one_way(SimTime::from_secs(3), MemberId(2), MemberId(0), 0.5);
+        let compiled = schedule.compile_link_schedule();
+        let ordered = compiled.in_order();
+        assert_eq!(
+            ordered[0].scope,
+            LinkScope::OneWay {
+                from: NodeId(0),
+                to: NodeId(1),
+            }
+        );
+        assert_eq!(ordered[0].fault, LinkFault::Sever);
+        assert_eq!(
+            ordered[1].scope,
+            LinkScope::OneWay {
+                from: NodeId(2),
+                to: NodeId(0),
+            }
+        );
+        assert_eq!(ordered[1].fault, LinkFault::Loss { probability: 0.5 });
     }
 }

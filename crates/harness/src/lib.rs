@@ -48,4 +48,4 @@ pub use failsignal::group::PairLayout;
 pub use faults::{FaultEntry, FaultSchedule, FaultTarget, LinkFaultEntry, MemberLinkScope};
 pub use scenario::{MemberProcs, Protocol, Running, RuntimeKind, Scenario};
 pub use service::{NewTopService, PlainHost, ServiceSpec, SmrDriver, SmrKvService};
-pub use workload::Workload;
+pub use workload::{Admission, Arrival, LoadStats, Workload};

@@ -251,13 +251,15 @@ impl Scenario {
                 };
                 let fs_service = self.service.fs_service();
                 let service = &*self.service;
-                let workload = &self.workload;
+                let workload = self.workload;
                 let faults = &self.faults;
                 build_fs_group(
                     host,
                     &params,
                     fs_service.as_ref(),
-                    |member, interceptor| service.driver(member, interceptor, workload),
+                    |member, interceptor| {
+                        service.driver(member, interceptor, &workload.for_member(member))
+                    },
                     |member, role, actor| match faults.for_wrapper(member, role) {
                         Some(entry) => {
                             Box::new(FaultyActor::new(actor, entry.plan.clone(), entry.seed))
@@ -299,7 +301,11 @@ impl Scenario {
                     host.place(
                         app_pid(i),
                         node,
-                        self.service.driver(MemberId(i), mw_pid(i), &self.workload),
+                        self.service.driver(
+                            MemberId(i),
+                            mw_pid(i),
+                            &self.workload.for_member(MemberId(i)),
+                        ),
                     );
                     members.push(MemberProcs {
                         member: MemberId(i),
@@ -322,7 +328,13 @@ impl Scenario {
     /// protocol does not deploy (wrapper targets under [`Protocol::Crash`],
     /// middleware targets under [`Protocol::FailSignal`]) — a mis-targeted
     /// campaign would otherwise run fault-free and pass vacuously.
-    pub fn build(self) -> Running {
+    pub fn build(mut self) -> Running {
+        // Stamp the arrival-process seed from the scenario seed so open-loop
+        // runs are reproducible per seed without extra configuration (each
+        // member then derives its own independent stream from this value).
+        if self.workload.arrival_seed == 0 {
+            self.workload.arrival_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        }
         for entry in self.faults.entries() {
             assert!(
                 FaultSchedule::target_applies(entry.target, self.protocol == Protocol::FailSignal),
@@ -463,15 +475,57 @@ impl Running {
     /// deliveries, drops (split into unknown-destination and link-fault
     /// drops) and executed link-fault events.  On the threaded runtime the
     /// counters are sampled live while running and frozen at
-    /// [`Running::settle`] time.
-    pub fn stats(&self) -> Option<NetStats> {
+    /// [`Running::settle`] time.  Infallible: every cell of the scenario
+    /// matrix reports statistics.
+    pub fn stats(&self) -> NetStats {
         if let Some(sim) = self.sim.as_ref() {
-            return Some(sim.stats().clone());
+            return sim.stats().clone();
         }
         if let Some(rt) = self.threaded.as_ref() {
-            return Some(rt.net_stats());
+            return rt.net_stats();
         }
-        self.collected_stats.clone()
+        self.collected_stats
+            .clone()
+            .expect("threaded stats are frozen at settle time")
+    }
+
+    /// The merged ordering-latency recorder of every member's driver — the
+    /// source of the p50/p99/p999 figures.  On the threaded runtime this
+    /// shuts the runtime down first.
+    pub fn latencies(&mut self) -> fs_simnet::trace::LatencyRecorder {
+        self.settle();
+        let mut merged = fs_simnet::trace::LatencyRecorder::new();
+        for i in 0..self.members.len() {
+            let pid = self.members[i].app;
+            if let Some(driver) = self.actor_ref(pid) {
+                if let Some(rec) = self.service.latencies_of(driver) {
+                    merged.merge(&rec);
+                }
+            }
+        }
+        merged
+    }
+
+    /// The merged latency summary (p50/p99/p999) across all member drivers,
+    /// `None` when no latency samples were recorded.
+    pub fn latency_summary(&mut self) -> Option<fs_simnet::trace::LatencySummary> {
+        self.latencies().summary()
+    }
+
+    /// The merged open-loop admission counters of every member's driver.
+    /// On the threaded runtime this shuts the runtime down first.
+    pub fn load_stats(&mut self) -> crate::workload::LoadStats {
+        self.settle();
+        let mut merged = crate::workload::LoadStats::default();
+        for i in 0..self.members.len() {
+            let pid = self.members[i].app;
+            if let Some(driver) = self.actor_ref(pid) {
+                if let Some(stats) = self.service.load_stats_of(driver) {
+                    merged.merge(&stats);
+                }
+            }
+        }
+        merged
     }
 
     /// Direct access to the underlying simulator, for link surgery and other
@@ -597,7 +651,7 @@ mod tests {
         run.run_until(SimTime::from_secs(300));
         agree(&mut run, 12);
         assert!(!run.fail_signalled());
-        assert!(run.stats().is_some_and(|s| s.messages_sent > 0));
+        assert!(run.stats().messages_sent > 0);
     }
 
     #[test]
@@ -644,7 +698,7 @@ mod tests {
                 .workload(Workload::quick(3))
                 .build();
             run.run_until(SimTime::from_secs(300));
-            (run.delivery_logs(), run.stats().expect("sim stats"))
+            (run.delivery_logs(), run.stats())
         };
         let (logs_a, stats_a) = build(7);
         let (logs_b, stats_b) = build(7);

@@ -23,6 +23,7 @@ use failsignal::config::RouteTable;
 use failsignal::service::FsService;
 use fs_common::codec::Wire;
 use fs_common::id::{MemberId, ProcessId};
+use fs_common::rng::DetRng;
 use fs_common::time::SimTime;
 use fs_common::Bytes;
 use fs_newtop::app::{AppProcess, TrafficConfig};
@@ -31,9 +32,10 @@ use fs_newtop::message::{ControlInput, ServiceKind};
 use fs_newtop::nso::{AddressBook, NsoActor};
 use fs_newtop::suspector::SuspectorConfig;
 use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::load::{AdmissionGate, ArrivalPacer, LoadStats};
 use fs_simnet::trace::LatencyRecorder;
 use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput};
-use fs_smr::sequenced::{SequencedKv, SmrDeliver, SmrRequest};
+use fs_smr::sequenced::{SequencedKv, SmrClientMsg, SmrDeliverEntry, SmrRequest, SmrUpcall};
 
 use crate::workload::Workload;
 
@@ -69,6 +71,20 @@ pub trait ServiceSpec: Send {
     /// Reads the `(origin, seq)` delivery log out of a driver actor created
     /// by [`ServiceSpec::driver`] (`None` if the actor is of the wrong type).
     fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>>;
+
+    /// Reads the ordering-latency recorder out of a driver actor (`None` if
+    /// the actor is of the wrong type).
+    fn latencies_of(&self, driver: &dyn Actor) -> Option<LatencyRecorder> {
+        let _ = driver;
+        None
+    }
+
+    /// Reads the open-loop admission counters out of a driver actor (`None`
+    /// if the actor is of the wrong type).
+    fn load_stats_of(&self, driver: &dyn Actor) -> Option<LoadStats> {
+        let _ = driver;
+        None
+    }
 }
 
 impl ServiceSpec for Box<dyn ServiceSpec> {
@@ -97,6 +113,12 @@ impl ServiceSpec for Box<dyn ServiceSpec> {
     }
     fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
         self.as_ref().delivery_log_of(driver)
+    }
+    fn latencies_of(&self, driver: &dyn Actor) -> Option<LatencyRecorder> {
+        self.as_ref().latencies_of(driver)
+    }
+    fn load_stats_of(&self, driver: &dyn Actor) -> Option<LoadStats> {
+        self.as_ref().load_stats_of(driver)
     }
 }
 
@@ -208,6 +230,13 @@ impl ServiceSpec for NewTopService {
             messages: workload.messages,
             interval: workload.interval,
             start_delay: workload.start_delay,
+            arrival: workload.arrival,
+            arrival_seed: workload.arrival_seed,
+            clients: workload.clients,
+            max_in_flight: workload.max_in_flight,
+            admission: workload.admission,
+            batch_max: workload.batch_max,
+            batch_linger: workload.batch_linger,
         };
         Box::new(AppProcess::new(member, middleware, traffic))
     }
@@ -216,6 +245,17 @@ impl ServiceSpec for NewTopService {
         let any: &dyn Any = driver;
         any.downcast_ref::<AppProcess>()
             .map(|app| app.delivery_log().to_vec())
+    }
+
+    fn latencies_of(&self, driver: &dyn Actor) -> Option<LatencyRecorder> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<AppProcess>()
+            .map(|app| app.latencies().clone())
+    }
+
+    fn load_stats_of(&self, driver: &dyn Actor) -> Option<LoadStats> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<AppProcess>().map(|app| app.load_stats())
     }
 }
 
@@ -295,6 +335,17 @@ impl ServiceSpec for SmrKvService {
         any.downcast_ref::<SmrDriver>()
             .map(|d| d.delivery_log().to_vec())
     }
+
+    fn latencies_of(&self, driver: &dyn Actor) -> Option<LatencyRecorder> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<SmrDriver>()
+            .map(|d| d.latencies().clone())
+    }
+
+    fn load_stats_of(&self, driver: &dyn Actor) -> Option<LoadStats> {
+        let any: &dyn Any = driver;
+        any.downcast_ref::<SmrDriver>().map(|d| d.load_stats())
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -359,15 +410,29 @@ impl Actor for PlainHost {
 /// Timer used by [`SmrDriver`] to pace its workload.
 const TIMER_SEND: TimerId = TimerId(200);
 
-/// The workload driver of the sequenced-KV service: submits `Put` commands
-/// at the configured cadence and records the `(origin, seq)` delivery log
-/// and the ordering latency of its own commands.
+/// Timer closing an open [`SmrDriver`] batch after the configured linger.
+const TIMER_FLUSH: TimerId = TimerId(201);
+
+/// The workload driver of the sequenced-KV service: offers `Put` commands
+/// through the configured arrival process and admission gate, batches them
+/// per the workload's batching policy, and records the `(origin, seq)`
+/// delivery log and the ordering latency of its own commands.
 pub struct SmrDriver {
     member: MemberId,
     middleware: ProcessId,
     workload: Workload,
+    pacer: ArrivalPacer,
+    gate: AdmissionGate,
+    /// Arrivals generated so far (admitted or not).
+    offered: u64,
     sent: u64,
     sent_at: BTreeMap<u64, SimTime>,
+    /// The logical client each in-flight command was submitted for.
+    client_of: BTreeMap<u64, u32>,
+    /// The open batch: encoded commands with consecutive sequence numbers
+    /// starting at `batch_first_seq`.
+    batch: Vec<Bytes>,
+    batch_first_seq: u64,
     latencies: LatencyRecorder,
     delivery_log: Vec<(MemberId, u64)>,
     last_delivery: Option<SimTime>,
@@ -386,12 +451,19 @@ impl std::fmt::Debug for SmrDriver {
 impl SmrDriver {
     /// Creates a driver for `member`, submitting through `middleware`.
     pub fn new(member: MemberId, middleware: ProcessId, workload: Workload) -> Self {
+        let rng = DetRng::new(workload.arrival_seed).derive(u64::from(member.0));
         Self {
             member,
             middleware,
+            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, rng),
+            gate: AdmissionGate::new(workload.clients, workload.max_in_flight, workload.admission),
             workload,
+            offered: 0,
             sent: 0,
             sent_at: BTreeMap::new(),
+            client_of: BTreeMap::new(),
+            batch: Vec::new(),
+            batch_first_seq: 0,
             latencies: LatencyRecorder::new(),
             delivery_log: Vec::new(),
             last_delivery: None,
@@ -418,10 +490,29 @@ impl SmrDriver {
         self.last_delivery
     }
 
-    fn submit_next(&mut self, ctx: &mut dyn Context) {
-        if self.sent >= self.workload.messages {
+    /// The admission counters of this driver's gate.
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// One tick of the arrival process: offer a command to the admission
+    /// gate, buffer it if admitted, and re-arm the arrival timer.
+    fn next_arrival(&mut self, ctx: &mut dyn Context) {
+        if self.offered >= self.workload.messages {
             return;
         }
+        self.offered += 1;
+        if let Some(client) = self.gate.arrive() {
+            self.enqueue(ctx, client);
+        }
+        if self.offered < self.workload.messages {
+            ctx.set_timer(self.pacer.next_gap(), TIMER_SEND);
+        }
+    }
+
+    /// Buffers one admitted command into the open batch, flushing when the
+    /// batch is full (a fresh batch arms the linger timer instead).
+    fn enqueue(&mut self, ctx: &mut dyn Context, client: u32) {
         let seq = self.sent;
         self.sent += 1;
         let mut value = vec![0xa5u8; self.workload.payload_size];
@@ -433,14 +524,53 @@ impl SmrDriver {
             key: format!("m{}-{}", self.member.0, seq),
             value,
         };
-        let request = SmrRequest {
-            seq,
-            command: command.to_wire(),
-        };
         self.sent_at.insert(seq, ctx.now());
-        ctx.send(self.middleware, request.to_wire());
-        if self.sent < self.workload.messages {
-            ctx.set_timer(self.workload.interval, TIMER_SEND);
+        self.client_of.insert(seq, client);
+        if self.batch.is_empty() {
+            self.batch_first_seq = seq;
+        }
+        self.batch.push(command.to_wire());
+        if self.batch.len() as u32 >= self.workload.batch_max {
+            ctx.cancel_timer(TIMER_FLUSH);
+            self.flush(ctx);
+        } else if self.batch.len() == 1 {
+            ctx.set_timer(self.workload.batch_linger, TIMER_FLUSH);
+        }
+    }
+
+    /// Submits the open batch as one client frame (one ordering round).
+    fn flush(&mut self, ctx: &mut dyn Context) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let frame = if self.batch.len() == 1 {
+            SmrClientMsg::Request(SmrRequest {
+                seq: self.batch_first_seq,
+                command: self.batch.pop().expect("one buffered command"),
+            })
+        } else {
+            SmrClientMsg::Batch {
+                first_seq: self.batch_first_seq,
+                commands: std::mem::take(&mut self.batch),
+            }
+        };
+        ctx.send(self.middleware, frame.to_wire());
+    }
+
+    /// Accounts one applied command from a delivery upcall.
+    fn deliver_entry(&mut self, ctx: &mut dyn Context, now: SimTime, entry: &SmrDeliverEntry) {
+        self.delivery_log.push((entry.origin, entry.seq));
+        if entry.origin != self.member {
+            return;
+        }
+        if let Some(sent_at) = self.sent_at.remove(&entry.seq) {
+            self.latencies.record_span(sent_at, now);
+            if let Some(client) = self.client_of.remove(&entry.seq) {
+                if self.gate.complete(client) {
+                    // The completion hands its slot to a blocked arrival.
+                    self.enqueue(ctx, client);
+                }
+            }
         }
     }
 }
@@ -454,7 +584,9 @@ impl Actor for SmrDriver {
 
     fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
         if timer == TIMER_SEND {
-            self.submit_next(ctx);
+            self.next_arrival(ctx);
+        } else if timer == TIMER_FLUSH {
+            self.flush(ctx);
         }
     }
 
@@ -462,15 +594,24 @@ impl Actor for SmrDriver {
         if from != self.middleware {
             return;
         }
-        let Ok(delivery) = SmrDeliver::from_wire(&payload) else {
+        let Ok(upcall) = SmrUpcall::from_wire(&payload) else {
             return;
         };
-        self.delivery_log.push((delivery.origin, delivery.seq));
         let now = ctx.now();
         self.last_delivery = Some(now);
-        if delivery.origin == self.member {
-            if let Some(sent_at) = self.sent_at.remove(&delivery.seq) {
-                self.latencies.record_span(sent_at, now);
+        match upcall {
+            SmrUpcall::Deliver(delivery) => {
+                let entry = SmrDeliverEntry {
+                    origin: delivery.origin,
+                    seq: delivery.seq,
+                    response: delivery.response,
+                };
+                self.deliver_entry(ctx, now, &entry);
+            }
+            SmrUpcall::Batch(batch) => {
+                for entry in &batch.entries {
+                    self.deliver_entry(ctx, now, entry);
+                }
             }
         }
     }
@@ -530,13 +671,16 @@ mod tests {
         assert_eq!(ctx.sent_to(ProcessId(9)).len(), 2);
 
         // A delivery of its own first command records a latency sample.
-        let request = SmrRequest::from_wire(&ctx.sent[0].payload).unwrap();
-        let upcall = SmrDeliver {
+        let SmrClientMsg::Request(request) = SmrClientMsg::from_wire(&ctx.sent[0].payload).unwrap()
+        else {
+            panic!("unbatched workloads submit single requests");
+        };
+        let upcall = SmrUpcall::Deliver(fs_smr::sequenced::SmrDeliver {
             global: 0,
             origin: MemberId(1),
             seq: request.seq,
             response: Bytes::from(&b"ok"[..]),
-        };
+        });
         driver.on_message(&mut ctx, ProcessId(9), upcall.to_wire());
         assert_eq!(driver.delivery_log(), &[(MemberId(1), 0)]);
         assert_eq!(driver.latencies().len(), 1);
@@ -558,14 +702,14 @@ mod tests {
         // and applied immediately.
         let mut host = spec.crash_middleware(MemberId(0), &group, &peers, ProcessId(2));
         let mut ctx = TestContext::new(ProcessId(0));
-        let request = SmrRequest {
+        let request = SmrClientMsg::Request(SmrRequest {
             seq: 0,
             command: fs_smr::command::KvCommand::Put {
                 key: "k".into(),
                 value: vec![1],
             }
             .to_wire(),
-        };
+        });
         host.on_message(&mut ctx, ProcessId(2), request.to_wire());
         assert_eq!(ctx.sent_to(ProcessId(3)).len(), 1, "Ordered multicast");
         assert_eq!(ctx.sent_to(ProcessId(2)).len(), 1, "local delivery upcall");

@@ -3,21 +3,50 @@
 //! A [`Workload`] describes *how much* traffic each member generates and at
 //! what cadence, independently of which service orders it and which runtime
 //! carries it — the knobs of the paper's §4 experiments (message count,
-//! payload size, send interval) without any service-specific vocabulary.
+//! payload size, send interval) plus the open-loop load plane: the arrival
+//! process ([`Arrival::Paced`] or [`Arrival::Poisson`]), the logical client
+//! population with its bounded in-flight admission control
+//! ([`Admission::Shed`] or [`Admission::Block`]), and the request batching
+//! policy (close a batch at `batch_max` requests or after `batch_linger`,
+//! whichever comes first).
 
+use fs_common::id::MemberId;
 use fs_common::time::SimDuration;
+
+pub use fs_simnet::load::{Admission, Arrival, LoadStats};
 
 /// A per-member traffic pattern.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Workload {
     /// Payload size in bytes (the paper uses 3 bytes for "0k", up to 10 kB).
     pub payload_size: usize,
-    /// How many messages each member submits in total.
+    /// How many requests each sending member offers in total (under
+    /// admission control, offered requests may be shed before submission).
     pub messages: u64,
-    /// Interval between consecutive submissions of one member.
+    /// Mean interval between consecutive arrivals of one member.
     pub interval: SimDuration,
     /// Delay before the first submission (lets the deployment settle).
     pub start_delay: SimDuration,
+    /// The arrival process generating request arrivals at `interval`.
+    pub arrival: Arrival,
+    /// Seed for the arrival process RNG; 0 means "derive from the scenario
+    /// seed", which the scenario builder stamps before deployment.
+    pub arrival_seed: u64,
+    /// How many of the group's members generate traffic (0 = all of them).
+    /// `senders: 1` gives the classic single-writer load shape.
+    pub senders: u32,
+    /// Logical clients per sending member; arrivals are assigned round-robin.
+    pub clients: u32,
+    /// Bound on submitted-but-uncompleted requests per client (0 = none).
+    pub max_in_flight: u32,
+    /// What happens to an arrival whose client is at `max_in_flight`.
+    pub admission: Admission,
+    /// Requests per batch: a batch closes when it holds `batch_max` requests
+    /// (1 = batching off, every request is its own ordering round).
+    pub batch_max: u32,
+    /// Time policy of the batch close: an open batch is flushed this long
+    /// after its first request even if it never fills.
+    pub batch_linger: SimDuration,
 }
 
 impl Default for Workload {
@@ -35,6 +64,14 @@ impl Workload {
             messages: 1000,
             interval: SimDuration::from_millis(40),
             start_delay: SimDuration::from_millis(10),
+            arrival: Arrival::Paced,
+            arrival_seed: 0,
+            senders: 0,
+            clients: 1,
+            max_in_flight: 0,
+            admission: Admission::Shed,
+            batch_max: 1,
+            batch_linger: SimDuration::from_millis(1),
         }
     }
 
@@ -75,6 +112,82 @@ impl Workload {
         self.start_delay = start_delay;
         self
     }
+
+    /// Returns a copy with a different arrival process.
+    #[must_use]
+    pub fn arrival(mut self, arrival: Arrival) -> Self {
+        self.arrival = arrival;
+        self
+    }
+
+    /// Returns a copy with Poisson arrivals (open-loop, exponential gaps
+    /// with mean [`Workload::interval`]).
+    #[must_use]
+    pub fn poisson(self) -> Self {
+        self.arrival(Arrival::Poisson)
+    }
+
+    /// Returns a copy with an explicit arrival-process seed (default 0
+    /// derives it from the scenario seed).
+    #[must_use]
+    pub fn arrival_seed(mut self, arrival_seed: u64) -> Self {
+        self.arrival_seed = arrival_seed;
+        self
+    }
+
+    /// Returns a copy where only the first `senders` members generate
+    /// traffic (0 = all members send).
+    #[must_use]
+    pub fn senders(mut self, senders: u32) -> Self {
+        self.senders = senders;
+        self
+    }
+
+    /// Returns a copy with a different logical client population.
+    #[must_use]
+    pub fn clients(mut self, clients: u32) -> Self {
+        self.clients = clients;
+        self
+    }
+
+    /// Returns a copy with a per-client in-flight bound (0 = unbounded).
+    #[must_use]
+    pub fn max_in_flight(mut self, max_in_flight: u32) -> Self {
+        self.max_in_flight = max_in_flight;
+        self
+    }
+
+    /// Returns a copy with a different admission (overload) policy.
+    #[must_use]
+    pub fn admission(mut self, admission: Admission) -> Self {
+        self.admission = admission;
+        self
+    }
+
+    /// Returns a copy batching up to `batch_max` requests per ordering round
+    /// (1 = off).
+    #[must_use]
+    pub fn batch_max(mut self, batch_max: u32) -> Self {
+        self.batch_max = batch_max.max(1);
+        self
+    }
+
+    /// Returns a copy with a different batch linger (time-based batch close).
+    #[must_use]
+    pub fn batch_linger(mut self, batch_linger: SimDuration) -> Self {
+        self.batch_linger = batch_linger;
+        self
+    }
+
+    /// The workload as seen by one member: members beyond
+    /// [`Workload::senders`] (when set) generate no traffic.
+    #[must_use]
+    pub fn for_member(mut self, member: MemberId) -> Self {
+        if self.senders > 0 && member.0 >= self.senders {
+            self.messages = 0;
+        }
+        self
+    }
 }
 
 #[cfg(test)]
@@ -92,5 +205,39 @@ mod tests {
         assert_eq!(w.interval, SimDuration::from_millis(7));
         assert_eq!(w.start_delay, SimDuration::from_millis(1));
         assert_eq!(Workload::default(), Workload::paper_default());
+    }
+
+    #[test]
+    fn load_plane_builders_compose() {
+        let w = Workload::quick(5)
+            .poisson()
+            .arrival_seed(9)
+            .senders(1)
+            .clients(4)
+            .max_in_flight(2)
+            .admission(Admission::Block)
+            .batch_max(8)
+            .batch_linger(SimDuration::from_micros(500));
+        assert_eq!(w.arrival, Arrival::Poisson);
+        assert_eq!(w.arrival_seed, 9);
+        assert_eq!(w.senders, 1);
+        assert_eq!(w.clients, 4);
+        assert_eq!(w.max_in_flight, 2);
+        assert_eq!(w.admission, Admission::Block);
+        assert_eq!(w.batch_max, 8);
+        assert_eq!(w.batch_linger, SimDuration::from_micros(500));
+        // batch_max 0 is clamped to "off", not "never close".
+        assert_eq!(Workload::quick(1).batch_max(0).batch_max, 1);
+    }
+
+    #[test]
+    fn for_member_silences_non_senders() {
+        let w = Workload::quick(5).senders(1);
+        assert_eq!(w.for_member(MemberId(0)).messages, 5);
+        assert_eq!(w.for_member(MemberId(1)).messages, 0);
+        assert_eq!(w.for_member(MemberId(2)).messages, 0);
+        // senders = 0 means everyone sends.
+        let all = Workload::quick(5);
+        assert_eq!(all.for_member(MemberId(2)).messages, 5);
     }
 }

@@ -15,9 +15,11 @@ use std::collections::BTreeMap;
 
 use fs_common::codec::{Decoder, Encoder};
 use fs_common::id::{MemberId, ProcessId};
+use fs_common::rng::DetRng;
 use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::load::{Admission, AdmissionGate, Arrival, ArrivalPacer, LoadStats};
 use fs_simnet::trace::LatencyRecorder;
 
 use crate::invocation::InvocationService;
@@ -26,6 +28,9 @@ use crate::message::{ServiceKind, Upcall};
 /// Timer used to pace the workload.
 pub const TIMER_SEND: TimerId = TimerId(100);
 
+/// Timer closing an open request batch after the configured linger.
+pub const TIMER_FLUSH: TimerId = TimerId(101);
+
 /// Workload configuration for one application process.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TrafficConfig {
@@ -33,12 +38,29 @@ pub struct TrafficConfig {
     pub service: ServiceKind,
     /// Payload size in bytes (the paper uses 3 bytes for "0k" and up to 10 kB).
     pub payload_size: usize,
-    /// How many messages to multicast in total.
+    /// How many request arrivals to generate in total (under admission
+    /// control some may be shed before submission).
     pub messages: u64,
-    /// Interval between consecutive multicasts.
+    /// Mean interval between consecutive arrivals.
     pub interval: SimDuration,
-    /// Delay before the first multicast (lets the deployment settle).
+    /// Delay before the first arrival (lets the deployment settle).
     pub start_delay: SimDuration,
+    /// The arrival process: fixed-rate or open-loop Poisson.
+    pub arrival: Arrival,
+    /// Seed of the arrival-process RNG (each member derives its own stream).
+    pub arrival_seed: u64,
+    /// Logical clients of this application; arrivals go round-robin.
+    pub clients: u32,
+    /// Per-client bound on submitted-but-undelivered requests (0 = none).
+    pub max_in_flight: u32,
+    /// What happens to an arrival whose client is at `max_in_flight`.
+    pub admission: Admission,
+    /// Requests per multicast batch (1 = batching off).  When batching is on,
+    /// the multicast payload carries a counted list of application payloads
+    /// and every receiver expands it back into per-request deliveries.
+    pub batch_max: u32,
+    /// An open batch is flushed this long after its first request.
+    pub batch_linger: SimDuration,
 }
 
 impl TrafficConfig {
@@ -51,6 +73,13 @@ impl TrafficConfig {
             messages: 1000,
             interval: SimDuration::from_millis(40),
             start_delay: SimDuration::from_millis(10),
+            arrival: Arrival::Paced,
+            arrival_seed: 0,
+            clients: 1,
+            max_in_flight: 0,
+            admission: Admission::Shed,
+            batch_max: 1,
+            batch_linger: SimDuration::from_millis(1),
         }
     }
 
@@ -77,6 +106,28 @@ impl TrafficConfig {
         self.service = service;
         self
     }
+
+    /// Returns a copy with a different arrival process.
+    pub fn with_arrival(mut self, arrival: Arrival, arrival_seed: u64) -> Self {
+        self.arrival = arrival;
+        self.arrival_seed = arrival_seed;
+        self
+    }
+
+    /// Returns a copy with an admission-control bound.
+    pub fn with_admission(mut self, clients: u32, max_in_flight: u32, policy: Admission) -> Self {
+        self.clients = clients;
+        self.max_in_flight = max_in_flight;
+        self.admission = policy;
+        self
+    }
+
+    /// Returns a copy batching up to `batch_max` requests per multicast.
+    pub fn with_batching(mut self, batch_max: u32, batch_linger: SimDuration) -> Self {
+        self.batch_max = batch_max.max(1);
+        self.batch_linger = batch_linger;
+        self
+    }
 }
 
 /// Builds the application payload: the sender's member id and application
@@ -100,14 +151,45 @@ pub fn parse_payload(bytes: &[u8]) -> Option<(MemberId, u64)> {
     Some((member, seq))
 }
 
+/// Packs several application payloads into one batched multicast payload:
+/// a `u32` count followed by length-prefixed items.
+pub fn build_batch_payload(items: &[Vec<u8>]) -> Vec<u8> {
+    let total: usize = items.iter().map(|i| 4 + i.len()).sum();
+    let mut enc = Encoder::with_capacity(4 + total);
+    enc.put_u32(items.len() as u32);
+    for item in items {
+        enc.put_bytes(item);
+    }
+    enc.finish_vec()
+}
+
+/// Expands a batched multicast payload built by [`build_batch_payload`].
+pub fn parse_batch_payload(bytes: &[u8]) -> Option<Vec<Bytes>> {
+    let mut dec = Decoder::new(bytes);
+    let count = dec.get_u32().ok()?;
+    let mut items = Vec::with_capacity(count as usize);
+    for _ in 0..count {
+        items.push(dec.get_bytes_shared().ok()?);
+    }
+    Some(items)
+}
+
 /// The application process / workload generator.
 pub struct AppProcess {
     member: MemberId,
     middleware: ProcessId,
     config: TrafficConfig,
     invocation: InvocationService,
+    pacer: ArrivalPacer,
+    gate: AdmissionGate,
+    /// Arrivals generated so far (admitted or not).
+    offered: u64,
     sent: u64,
     sent_at: BTreeMap<u64, SimTime>,
+    /// The logical client each in-flight request was submitted for.
+    client_of: BTreeMap<u64, u32>,
+    /// The open batch: `(seq, payload)` of buffered requests.
+    batch: Vec<(u64, Vec<u8>)>,
     latencies: LatencyRecorder,
     delivered_total: u64,
     delivered_own: u64,
@@ -131,13 +213,19 @@ impl AppProcess {
     /// Creates an application process for `member`, talking to the local
     /// middleware process `middleware`, generating the given workload.
     pub fn new(member: MemberId, middleware: ProcessId, config: TrafficConfig) -> Self {
+        let rng = DetRng::new(config.arrival_seed).derive(u64::from(member.0));
         Self {
             member,
             middleware,
-            config,
             invocation: InvocationService::new(),
+            pacer: ArrivalPacer::with_rng(config.arrival, config.interval, rng),
+            gate: AdmissionGate::new(config.clients, config.max_in_flight, config.admission),
+            config,
+            offered: 0,
             sent: 0,
             sent_at: BTreeMap::new(),
+            client_of: BTreeMap::new(),
+            batch: Vec::new(),
             latencies: LatencyRecorder::new(),
             delivered_total: 0,
             delivered_own: 0,
@@ -195,18 +283,77 @@ impl AppProcess {
         &self.delivery_log
     }
 
-    fn send_next(&mut self, ctx: &mut dyn Context) {
-        if self.sent >= self.config.messages {
+    /// The admission counters of this generator's gate.
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// One tick of the arrival process: offer a request to the admission
+    /// gate, buffer it if admitted, and re-arm the arrival timer.
+    fn next_arrival(&mut self, ctx: &mut dyn Context) {
+        if self.offered >= self.config.messages {
             return;
         }
+        self.offered += 1;
+        if let Some(client) = self.gate.arrive() {
+            self.enqueue(ctx, client);
+        }
+        if self.offered < self.config.messages {
+            ctx.set_timer(self.pacer.next_gap(), TIMER_SEND);
+        }
+    }
+
+    /// Buffers one admitted request into the open batch, flushing when the
+    /// batch is full (a fresh batch arms the linger timer instead).
+    fn enqueue(&mut self, ctx: &mut dyn Context, client: u32) {
         let seq = self.sent;
         self.sent += 1;
         let payload = build_payload(self.member, seq, self.config.payload_size);
-        let request = self.invocation.marshal(self.config.service, payload);
         self.sent_at.insert(seq, ctx.now());
+        self.client_of.insert(seq, client);
+        self.batch.push((seq, payload));
+        if self.batch.len() as u32 >= self.config.batch_max {
+            ctx.cancel_timer(TIMER_FLUSH);
+            self.flush(ctx);
+        } else if self.batch.len() == 1 {
+            ctx.set_timer(self.config.batch_linger, TIMER_FLUSH);
+        }
+    }
+
+    /// Multicasts the open batch as one GC submission.
+    fn flush(&mut self, ctx: &mut dyn Context) {
+        if self.batch.is_empty() {
+            return;
+        }
+        let payload = if self.config.batch_max == 1 {
+            self.batch.pop().expect("one buffered request").1
+        } else {
+            let items: Vec<Vec<u8>> = self.batch.drain(..).map(|(_, p)| p).collect();
+            build_batch_payload(&items)
+        };
+        let request = self.invocation.marshal(self.config.service, payload);
         ctx.send(self.middleware, request);
-        if self.sent < self.config.messages {
-            ctx.set_timer(self.config.interval, TIMER_SEND);
+    }
+
+    /// Accounts one delivered application payload (a whole delivery in
+    /// unbatched mode, one expanded item in batched mode).
+    fn deliver_item(&mut self, ctx: &mut dyn Context, now: SimTime, item: &[u8]) {
+        let Some((member, seq)) = parse_payload(item) else {
+            return;
+        };
+        self.delivery_log.push((member, seq));
+        if member != self.member {
+            return;
+        }
+        self.delivered_own += 1;
+        if let Some(sent_at) = self.sent_at.remove(&seq) {
+            self.latencies.record_span(sent_at, now);
+            if let Some(client) = self.client_of.remove(&seq) {
+                if self.gate.complete(client) {
+                    // The completion hands its slot to a blocked arrival.
+                    self.enqueue(ctx, client);
+                }
+            }
         }
     }
 }
@@ -220,7 +367,9 @@ impl Actor for AppProcess {
 
     fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
         if timer == TIMER_SEND {
-            self.send_next(ctx);
+            self.next_arrival(ctx);
+        } else if timer == TIMER_FLUSH {
+            self.flush(ctx);
         }
     }
 
@@ -231,15 +380,30 @@ impl Actor for AppProcess {
         match self.invocation.unmarshal(&payload) {
             Ok(Upcall::Deliver(delivery)) => {
                 self.delivered_total += 1;
-                self.delivery_log.push((delivery.origin, delivery.seq));
                 let now = ctx.now();
                 self.first_delivery.get_or_insert(now);
                 self.last_delivery = Some(now);
-                if let Some((member, seq)) = parse_payload(&delivery.payload) {
-                    if member == self.member {
-                        self.delivered_own += 1;
-                        if let Some(sent_at) = self.sent_at.remove(&seq) {
-                            self.latencies.record_span(sent_at, now);
+                if self.config.batch_max > 1 {
+                    // Batched payloads expand into per-request deliveries;
+                    // the total count reflects requests, not multicasts.
+                    let items = parse_batch_payload(&delivery.payload).unwrap_or_default();
+                    self.delivered_total += (items.len() as u64).saturating_sub(1);
+                    for item in items {
+                        self.deliver_item(ctx, now, &item);
+                    }
+                } else {
+                    self.delivery_log.push((delivery.origin, delivery.seq));
+                    if let Some((member, seq)) = parse_payload(&delivery.payload) {
+                        if member == self.member {
+                            self.delivered_own += 1;
+                            if let Some(sent_at) = self.sent_at.remove(&seq) {
+                                self.latencies.record_span(sent_at, now);
+                                if let Some(client) = self.client_of.remove(&seq) {
+                                    if self.gate.complete(client) {
+                                        self.enqueue(ctx, client);
+                                    }
+                                }
+                            }
                         }
                     }
                 }
@@ -344,6 +508,108 @@ mod tests {
         });
         app.on_message(&mut ctx, ProcessId(5), view.to_wire());
         assert_eq!(app.views_seen(), &[2]);
+    }
+
+    #[test]
+    fn batch_payload_round_trip() {
+        let items = vec![
+            build_payload(MemberId(0), 0, 3),
+            build_payload(MemberId(0), 1, 3),
+        ];
+        let packed = build_batch_payload(&items);
+        let unpacked = parse_batch_payload(&packed).unwrap();
+        assert_eq!(unpacked.len(), 2);
+        assert_eq!(&unpacked[0][..], &items[0][..]);
+        assert_eq!(&unpacked[1][..], &items[1][..]);
+        assert!(parse_batch_payload(&[7]).is_none());
+    }
+
+    #[test]
+    fn full_batch_flushes_in_one_multicast() {
+        let cfg = config(4).with_batching(2, SimDuration::from_millis(1));
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), cfg);
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        // First request opens a batch: nothing multicast yet.
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 0);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        // Second request fills the batch: one multicast for two requests.
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 1);
+        assert_eq!(app.sent(), 2);
+
+        // The batched delivery expands into two per-request deliveries.
+        let delivered = Upcall::Deliver(AppDeliver {
+            origin: MemberId(0),
+            seq: 0,
+            order: 0,
+            service: ServiceKind::SymmetricTotal,
+            payload: build_batch_payload(&[
+                build_payload(MemberId(0), 0, 3),
+                build_payload(MemberId(0), 1, 3),
+            ]),
+        });
+        app.on_message(&mut ctx, ProcessId(5), delivered.to_wire());
+        assert_eq!(app.delivered_total(), 2);
+        assert_eq!(app.delivered_own(), 2);
+        assert_eq!(app.latencies().len(), 2);
+        assert_eq!(app.delivery_log(), &[(MemberId(0), 0), (MemberId(0), 1)]);
+    }
+
+    #[test]
+    fn lingering_batch_flushes_on_timer() {
+        let cfg = config(4).with_batching(8, SimDuration::from_micros(200));
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), cfg);
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 0, "batch still open");
+        app.on_timer(&mut ctx, TIMER_FLUSH);
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 1, "linger closed it");
+        app.on_timer(&mut ctx, TIMER_FLUSH);
+        assert_eq!(ctx.sent_to(ProcessId(5)).len(), 1, "empty flush is a no-op");
+    }
+
+    #[test]
+    fn admission_gate_sheds_over_the_bound() {
+        let cfg = config(3).with_admission(1, 1, Admission::Shed);
+        let mut app = AppProcess::new(MemberId(0), ProcessId(5), cfg);
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        // Only the first arrival was submitted; the rest were shed.
+        assert_eq!(app.sent(), 1);
+        let stats = app.load_stats();
+        assert_eq!((stats.offered, stats.submitted, stats.shed), (3, 1, 2));
+
+        // Its delivery completes the request and frees the slot.
+        let own = Upcall::Deliver(AppDeliver {
+            origin: MemberId(0),
+            seq: 0,
+            order: 0,
+            service: ServiceKind::SymmetricTotal,
+            payload: build_payload(MemberId(0), 0, 3),
+        });
+        app.on_message(&mut ctx, ProcessId(5), own.to_wire());
+        assert_eq!(app.load_stats().completed, 1);
+    }
+
+    #[test]
+    fn poisson_arrivals_rearm_with_varying_gaps() {
+        let cfg = config(3).with_arrival(Arrival::Poisson, 11);
+        let mut app = AppProcess::new(MemberId(2), ProcessId(5), cfg);
+        let mut ctx = TestContext::new(ProcessId(1));
+        app.on_start(&mut ctx);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        app.on_timer(&mut ctx, TIMER_SEND);
+        assert_eq!(app.sent(), 2);
+        // start_delay + two pacer gaps; the pacer gaps differ from the fixed
+        // interval and (almost surely) from each other.
+        let gaps: Vec<_> = ctx.timers_set.iter().map(|(d, _)| *d).collect();
+        assert_eq!(gaps.len(), 3);
+        assert_ne!(gaps[1], gaps[2]);
     }
 
     #[test]

@@ -258,11 +258,24 @@ impl GcMachine {
                     self.deliver_up(dels, &mut outputs);
                 }
                 ServiceKind::Reliable => {
-                    let (relay, del) = self.reliable.on_data(origin, seq, payload);
-                    if let Some(relay) = relay {
+                    let receipt = self.reliable.on_data(origin, seq, payload);
+                    // Any gap this receipt revealed is NACKed back to the
+                    // peer whose message exposed it — that peer provably
+                    // processed a later message from the same origin, so it
+                    // either retains the missing ones or has NACKed them
+                    // itself.
+                    for missing in receipt.missing {
+                        let nack = GcMessage::Nack {
+                            origin,
+                            seq: missing,
+                            from: self.member,
+                        };
+                        outputs.push(MachineOutput::to_peer(from, nack.to_wire()));
+                    }
+                    if let Some(relay) = receipt.relay {
                         self.multicast_to_view(&relay, &mut outputs);
                     }
-                    if let Some(del) = del {
+                    if let Some(del) = receipt.deliver {
                         self.deliver_up(vec![del], &mut outputs);
                     }
                 }
@@ -311,6 +324,15 @@ impl GcMachine {
             GcMessage::Suspect { suspect, .. } => {
                 let _ = from;
                 self.apply_suspicion(suspect, false, &mut outputs);
+            }
+            GcMessage::Nack {
+                origin,
+                seq,
+                from: requester,
+            } => {
+                if let Some(data) = self.reliable.on_nack(origin, seq) {
+                    outputs.push(MachineOutput::to_peer(requester, data.to_wire()));
+                }
             }
         }
         outputs
@@ -389,9 +411,12 @@ mod tests {
     use super::*;
 
     /// Runs a full group of GC machines with immediate, in-order message
-    /// delivery between them (an idealised network).
+    /// delivery between them (an idealised network).  Members listed in
+    /// `drop_to` silently lose every message addressed to them — a stand-in
+    /// for a one-way-severed network during the faulted window.
     pub(crate) struct GcHarness {
         pub machines: Vec<GcMachine>,
+        pub drop_to: Vec<MemberId>,
     }
 
     impl GcHarness {
@@ -403,7 +428,10 @@ mod tests {
                     GcMachine::new(GcConfig::new(*m, group.clone()).with_costs(GcCosts::free()))
                 })
                 .collect();
-            Self { machines }
+            Self {
+                machines,
+                drop_to: Vec::new(),
+            }
         }
 
         fn index_of(&self, m: MemberId) -> usize {
@@ -420,6 +448,9 @@ mod tests {
             while let Some((src, output)) = queue.pop() {
                 match output.dest {
                     Endpoint::Peer(dest) => {
+                        if self.drop_to.contains(&dest) {
+                            continue; // lost in flight
+                        }
                         let idx = self.index_of(dest);
                         let input = MachineInput::from_peer(src, output.bytes);
                         let more = self.machines[idx].handle(&input);
@@ -429,7 +460,7 @@ mod tests {
                         let members: Vec<MemberId> =
                             self.machines.iter().map(|m| m.member()).collect();
                         for dest in members {
-                            if dest == src {
+                            if dest == src || self.drop_to.contains(&dest) {
                                 continue;
                             }
                             let idx = self.index_of(dest);
@@ -531,6 +562,50 @@ mod tests {
             assert_eq!(reliable.len(), 1, "member {m}");
             assert_eq!(reliable[0].payload, b"news");
         }
+    }
+
+    /// The NACK/retransmit regression: member 1 loses *every* copy of a
+    /// reliable multicast — the direct copy and all flood relays — so
+    /// relaying alone can never recover it.  The origin's next multicast
+    /// exposes the per-origin sequence gap; member 1 NACKs it back and the
+    /// retransmission closes the gap.  Without the NACK layer this test
+    /// fails: member 1 ends the run having delivered only one message.
+    #[test]
+    fn reliable_multicast_recovers_fully_lost_message_via_nack() {
+        let mut h = GcHarness::new(3);
+        // Window 1: everything addressed to member 1 is lost.
+        h.drop_to = vec![MemberId(1)];
+        h.app_multicast(0, ServiceKind::Reliable, b"lost");
+        // Window 2: the network heals; later traffic flows normally.
+        h.drop_to.clear();
+        h.app_multicast(0, ServiceKind::Reliable, b"heals");
+
+        for m in 0..3 {
+            let idx = h.index_of(MemberId(m));
+            let mut payloads: Vec<&[u8]> = h.machines[idx]
+                .delivered()
+                .iter()
+                .filter(|d| d.service == ServiceKind::Reliable)
+                .map(|d| d.payload.as_slice())
+                .collect();
+            payloads.sort();
+            assert_eq!(
+                payloads,
+                vec![b"heals".as_slice(), b"lost".as_slice()],
+                "member {m} must deliver both messages"
+            );
+        }
+        // The recovery actually went through the NACK path.
+        let idx1 = h.index_of(MemberId(1));
+        assert_eq!(h.machines[idx1].message_counts().get("nack"), None);
+        assert!(
+            *h.machines[h.index_of(MemberId(0))]
+                .message_counts()
+                .get("nack")
+                .unwrap_or(&0)
+                > 0,
+            "origin must have answered a NACK"
+        );
     }
 
     #[test]

@@ -268,6 +268,20 @@ pub enum GcMessage {
         /// The member announcing the suspicion.
         from: MemberId,
     },
+    /// A negative acknowledgement: `from` noticed a gap in `origin`'s
+    /// reliable-multicast sequence and asks for `(origin, seq)` to be
+    /// retransmitted.  Sent point-to-point to a peer believed to hold the
+    /// message (the peer whose out-of-order data revealed the gap); the
+    /// receiver answers with a retransmitted [`GcMessage::Data`] if it still
+    /// retains the payload.
+    Nack {
+        /// The origin of the missing message.
+        origin: MemberId,
+        /// The missing per-origin sequence number.
+        seq: u64,
+        /// The member requesting retransmission.
+        from: MemberId,
+    },
 }
 
 impl GcMessage {
@@ -280,6 +294,7 @@ impl GcMessage {
             GcMessage::Ping { .. } => "ping",
             GcMessage::Pong { .. } => "pong",
             GcMessage::Suspect { .. } => "suspect",
+            GcMessage::Nack { .. } => "nack",
         }
     }
 }
@@ -345,6 +360,12 @@ impl Wire for GcMessage {
                 enc.put_member(*suspect);
                 enc.put_member(*from);
             }
+            GcMessage::Nack { origin, seq, from } => {
+                enc.put_u8(6);
+                enc.put_member(*origin);
+                enc.put_u64(*seq);
+                enc.put_member(*from);
+            }
         }
     }
 
@@ -400,6 +421,11 @@ impl Wire for GcMessage {
                 suspect: dec.get_member()?,
                 from: dec.get_member()?,
             }),
+            6 => Ok(GcMessage::Nack {
+                origin: dec.get_member()?,
+                seq: dec.get_u64()?,
+                from: dec.get_member()?,
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -413,6 +439,7 @@ impl Wire for GcMessage {
             GcMessage::Order { .. } => 4 + 8 + 4 + 8,
             GcMessage::Ping { .. } | GcMessage::Pong { .. } => 4 + 8,
             GcMessage::Suspect { .. } => 4 + 4,
+            GcMessage::Nack { .. } => 4 + 8 + 4,
         }
     }
 }
@@ -526,6 +553,11 @@ mod tests {
                 suspect: MemberId(2),
                 from: MemberId(0),
             },
+            GcMessage::Nack {
+                origin: MemberId(1),
+                seq: 4,
+                from: MemberId(2),
+            },
         ];
         for m in messages {
             assert_eq!(
@@ -575,6 +607,12 @@ mod tests {
             .kind(),
             GcMessage::Suspect {
                 suspect: MemberId(0),
+                from: MemberId(0),
+            }
+            .kind(),
+            GcMessage::Nack {
+                origin: MemberId(0),
+                seq: 0,
                 from: MemberId(0),
             }
             .kind(),

@@ -61,6 +61,7 @@
 
 pub mod actor;
 pub mod link;
+pub mod load;
 pub mod node;
 pub mod sched;
 pub mod sim;
@@ -69,8 +70,11 @@ pub mod trace;
 
 pub use actor::{Actor, Context, Outgoing, TestContext, TimerId};
 pub use link::{LinkDegrade, LinkEvent, LinkFault, LinkModel, LinkSchedule, LinkScope, Topology};
+pub use load::{Admission, AdmissionGate, Arrival, ArrivalPacer, LoadStats};
 pub use node::{NodeConfig, NodeState};
 pub use sched::{CalendarQueue, EventQueue, ScheduledEvent, SchedulerKind};
 pub use sim::Simulation;
 pub use threaded::{ThreadedBuilder, ThreadedConfig, ThreadedRuntime};
-pub use trace::{LatencyRecorder, LatencySummary, NetStats, TraceEvent, TraceLog};
+pub use trace::{
+    LatencyHistogram, LatencyRecorder, LatencySummary, NetStats, TraceEvent, TraceLog,
+};

@@ -192,11 +192,13 @@ impl fmt::Display for LinkFault {
     }
 }
 
-/// Which links a [`LinkFault`] applies to.  Links are bidirectional: a scope
-/// covering `(a, b)` also covers `(b, a)`.
+/// Which links a [`LinkFault`] applies to.  `Pair` and `Split` scopes are
+/// bidirectional — covering `(a, b)` also covers `(b, a)` — while `OneWay`
+/// targets a single direction only, modelling asymmetric faults (a NIC that
+/// can send but not receive, an asymmetric route, a congested uplink).
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum LinkScope {
-    /// The single link between two nodes.
+    /// The single link between two nodes, both directions.
     Pair {
         /// One endpoint.
         a: NodeId,
@@ -211,16 +213,41 @@ pub enum LinkScope {
         /// Nodes on the other side.
         right: Vec<NodeId>,
     },
+    /// Only the `from` → `to` direction of one link; the reverse direction
+    /// keeps flowing.
+    OneWay {
+        /// The sending side of the faulted direction.
+        from: NodeId,
+        /// The receiving side of the faulted direction.
+        to: NodeId,
+    },
 }
 
 impl LinkScope {
-    /// The node pairs the scope covers, in deterministic order.
+    /// The node pairs the scope covers, in deterministic order (one entry per
+    /// undirected link; [`LinkScope::OneWay`] contributes its single directed
+    /// edge).
     pub fn pairs(&self) -> Vec<(NodeId, NodeId)> {
         match self {
             LinkScope::Pair { a, b } => vec![(*a, *b)],
             LinkScope::Split { left, right } => left
                 .iter()
                 .flat_map(|&a| right.iter().map(move |&b| (a, b)))
+                .collect(),
+            LinkScope::OneWay { from, to } => vec![(*from, *to)],
+        }
+    }
+
+    /// The *directed* edges the scope covers: bidirectional scopes expand
+    /// each pair to both directions, `OneWay` stays a single edge.  This is
+    /// the form [`Topology::apply_fault`] consumes.
+    pub fn directed_pairs(&self) -> Vec<(NodeId, NodeId)> {
+        match self {
+            LinkScope::OneWay { from, to } => vec![(*from, *to)],
+            _ => self
+                .pairs()
+                .into_iter()
+                .flat_map(|(a, b)| [(a, b), (b, a)])
                 .collect(),
         }
     }
@@ -233,6 +260,7 @@ impl fmt::Display for LinkScope {
             LinkScope::Split { left, right } => {
                 write!(f, "{left:?}|{right:?}")
             }
+            LinkScope::OneWay { from, to } => write!(f, "{from}->{to}"),
         }
     }
 }
@@ -346,6 +374,12 @@ impl LinkDegrade {
 /// The deployment topology: which link model connects each pair of nodes,
 /// plus the current state of the network fault plane (severed links and
 /// degradation overlays).
+///
+/// Link *models* are undirected — `link(a, b)` equals `link(b, a)` — but the
+/// fault plane is kept per *direction*, so a [`LinkScope::OneWay`] fault can
+/// sever or degrade `a → b` while `b → a` keeps flowing.  Bidirectional
+/// mutators ([`Topology::sever`], [`Topology::set_degrade`], …) simply write
+/// both directions.
 #[derive(Debug, Clone)]
 pub struct Topology {
     default_link: LinkModel,
@@ -399,12 +433,26 @@ impl Topology {
     /// messages are dropped until [`Topology::heal`] is called.  Used by the
     /// partition experiments.
     pub fn sever(&mut self, a: NodeId, b: NodeId) {
-        self.severed.insert(ordered(a, b));
+        self.sever_one_way(a, b);
+        self.sever_one_way(b, a);
     }
 
-    /// Restores connectivity between `a` and `b`.
+    /// Severs only the `from` → `to` direction: messages from `from` to `to`
+    /// are dropped while the reverse direction keeps flowing.  The asymmetric
+    /// form behind [`LinkScope::OneWay`] severs.
+    pub fn sever_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.severed.insert((from, to));
+    }
+
+    /// Restores connectivity between `a` and `b` (both directions).
     pub fn heal(&mut self, a: NodeId, b: NodeId) {
-        self.severed.remove(&ordered(a, b));
+        self.heal_one_way(a, b);
+        self.heal_one_way(b, a);
+    }
+
+    /// Restores only the `from` → `to` direction.
+    pub fn heal_one_way(&mut self, from: NodeId, to: NodeId) {
+        self.severed.remove(&(from, to));
     }
 
     /// Severs every link between a node in `left` and a node in `right`.
@@ -425,62 +473,69 @@ impl Topology {
         }
     }
 
-    /// Returns true when the link between `a` and `b` is currently severed.
+    /// Returns true when the `a` → `b` direction is currently severed.
+    /// Bidirectional severs mark both directions, so the argument order only
+    /// matters after a one-way sever.
     pub fn is_severed(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && self.severed.contains(&ordered(a, b))
+        a != b && self.severed.contains(&(a, b))
     }
 
-    /// The degradation overlay currently applied to the link between `a` and
-    /// `b` (the clear overlay when the link is healthy or `a == b`).
+    /// The degradation overlay currently applied to the `a` → `b` direction
+    /// (the clear overlay when the direction is healthy or `a == b`).
     pub fn degrade_of(&self, a: NodeId, b: NodeId) -> LinkDegrade {
         if a == b {
             return LinkDegrade::default();
         }
-        self.degraded
-            .get(&ordered(a, b))
-            .copied()
-            .unwrap_or_default()
+        self.degraded.get(&(a, b)).copied().unwrap_or_default()
     }
 
-    /// Merges `degrade` into the overlay of the link between `a` and `b`
-    /// (replacing the fields it sets; a clear result removes the entry).
+    /// Replaces the overlay of the link between `a` and `b` in both
+    /// directions (a clear overlay removes the entries).
     pub fn set_degrade(&mut self, a: NodeId, b: NodeId, degrade: LinkDegrade) {
+        self.set_degrade_one_way(a, b, degrade);
+        self.set_degrade_one_way(b, a, degrade);
+    }
+
+    /// Replaces the overlay of only the `from` → `to` direction (a clear
+    /// overlay removes the entry).
+    pub fn set_degrade_one_way(&mut self, from: NodeId, to: NodeId, degrade: LinkDegrade) {
         if degrade.is_clear() {
-            self.degraded.remove(&ordered(a, b));
+            self.degraded.remove(&(from, to));
         } else {
-            self.degraded.insert(ordered(a, b), degrade);
+            self.degraded.insert((from, to), degrade);
         }
     }
 
-    /// Applies one fault of the [`LinkFault`] vocabulary to every link in
-    /// `scope` — the single mutation entry point both runtimes execute
-    /// scheduled faults through.
+    /// Applies one fault of the [`LinkFault`] vocabulary to every directed
+    /// edge in `scope` — the single mutation entry point both runtimes
+    /// execute scheduled faults through.  Bidirectional scopes expand to both
+    /// directions; [`LinkScope::OneWay`] touches exactly one.
     pub fn apply_fault(&mut self, scope: &LinkScope, fault: &LinkFault) {
-        for (a, b) in scope.pairs() {
-            if a == b {
+        for (from, to) in scope.directed_pairs() {
+            if from == to {
                 continue; // same-node delivery is never faulted
             }
             match *fault {
-                LinkFault::Sever => self.sever(a, b),
+                LinkFault::Sever => self.sever_one_way(from, to),
                 LinkFault::Heal => {
-                    self.heal(a, b);
-                    self.degraded.remove(&ordered(a, b));
+                    self.heal_one_way(from, to);
+                    self.degraded.remove(&(from, to));
                 }
                 LinkFault::Loss { probability } => {
-                    let mut d = self.degrade_of(a, b);
+                    let mut d = self.degrade_of(from, to);
                     d.loss = probability.clamp(0.0, 1.0);
-                    self.set_degrade(a, b, d);
+                    self.set_degrade_one_way(from, to, d);
                 }
                 LinkFault::Delay { extra, jitter } => {
-                    let mut d = self.degrade_of(a, b);
+                    let mut d = self.degrade_of(from, to);
                     d.extra_delay = extra;
                     d.jitter = jitter;
-                    self.set_degrade(a, b, d);
+                    self.set_degrade_one_way(from, to, d);
                 }
                 LinkFault::Throttle { bandwidth_bps } => {
-                    let mut d = self.degrade_of(a, b);
+                    let mut d = self.degrade_of(from, to);
                     d.bandwidth_cap_bps = bandwidth_bps;
-                    self.set_degrade(a, b, d);
+                    self.set_degrade_one_way(from, to, d);
                 }
             }
         }
@@ -781,6 +836,111 @@ mod tests {
             &LinkFault::Sever,
         );
         assert_eq!(topo.fault_verdict(NodeId(0), NodeId(1), 10, &mut r), None);
+    }
+
+    #[test]
+    fn one_way_sever_drops_only_the_faulted_direction() {
+        let mut topo = Topology::default();
+        let mut r = rng();
+        let scope = LinkScope::OneWay {
+            from: NodeId(0),
+            to: NodeId(1),
+        };
+        topo.apply_fault(&scope, &LinkFault::Sever);
+        // The faulted direction drops on both the sim path and the threaded
+        // overlay; the reverse direction is untouched on both.
+        assert!(topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(!topo.is_severed(NodeId(1), NodeId(0)));
+        assert_eq!(topo.delay(NodeId(0), NodeId(1), 10, &mut r), None);
+        assert!(topo.delay(NodeId(1), NodeId(0), 10, &mut r).is_some());
+        assert_eq!(topo.fault_verdict(NodeId(0), NodeId(1), 10, &mut r), None);
+        assert_eq!(
+            topo.fault_verdict(NodeId(1), NodeId(0), 10, &mut r),
+            Some(SimDuration::ZERO)
+        );
+        // A one-way heal restores exactly that direction.
+        topo.apply_fault(&scope, &LinkFault::Heal);
+        assert!(!topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(!topo.has_faults());
+    }
+
+    #[test]
+    fn one_way_degradation_is_directional() {
+        let mut topo = Topology::default();
+        let mut r = rng();
+        topo.apply_fault(
+            &LinkScope::OneWay {
+                from: NodeId(2),
+                to: NodeId(0),
+            },
+            &LinkFault::Delay {
+                extra: SimDuration::from_millis(7),
+                jitter: SimDuration::ZERO,
+            },
+        );
+        assert_eq!(
+            topo.fault_verdict(NodeId(2), NodeId(0), 10, &mut r),
+            Some(SimDuration::from_millis(7))
+        );
+        assert_eq!(
+            topo.fault_verdict(NodeId(0), NodeId(2), 10, &mut r),
+            Some(SimDuration::ZERO),
+            "reverse direction stays clear"
+        );
+        // Loss at p=1 in one direction only.
+        topo.apply_fault(
+            &LinkScope::OneWay {
+                from: NodeId(0),
+                to: NodeId(2),
+            },
+            &LinkFault::Loss { probability: 1.0 },
+        );
+        assert_eq!(topo.delay(NodeId(0), NodeId(2), 10, &mut r), None);
+        assert!(
+            topo.delay(NodeId(2), NodeId(0), 10, &mut r).is_some(),
+            "delayed but not lossy in the 2->0 direction"
+        );
+    }
+
+    #[test]
+    fn bidirectional_sever_still_covers_both_directions() {
+        // The pre-existing contract: Pair/Split scopes write both directions,
+        // so a directional store changes nothing for them.
+        let mut topo = Topology::default();
+        topo.apply_fault(
+            &LinkScope::Pair {
+                a: NodeId(0),
+                b: NodeId(1),
+            },
+            &LinkFault::Sever,
+        );
+        assert!(topo.is_severed(NodeId(0), NodeId(1)));
+        assert!(topo.is_severed(NodeId(1), NodeId(0)));
+    }
+
+    #[test]
+    fn one_way_scope_shape_and_display() {
+        let scope = LinkScope::OneWay {
+            from: NodeId(3),
+            to: NodeId(1),
+        };
+        assert_eq!(scope.pairs(), vec![(NodeId(3), NodeId(1))]);
+        assert_eq!(scope.directed_pairs(), vec![(NodeId(3), NodeId(1))]);
+        let pair = LinkScope::Pair {
+            a: NodeId(0),
+            b: NodeId(1),
+        };
+        assert_eq!(
+            pair.directed_pairs(),
+            vec![(NodeId(0), NodeId(1)), (NodeId(1), NodeId(0))]
+        );
+        let text = LinkEvent {
+            at: SimTime::from_secs(2),
+            scope,
+            fault: LinkFault::Sever,
+        }
+        .to_string();
+        assert!(text.contains("NodeId(3)->NodeId(1)"), "{text}");
     }
 
     #[test]

@@ -202,6 +202,18 @@ impl LatencyRecorder {
         &self.samples
     }
 
+    /// The exact nearest-rank percentile of the samples: the smallest sample
+    /// such that at least `p` (in `[0, 1]`) of the samples are `<=` it.
+    /// Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        Some(nearest_rank(&sorted, p))
+    }
+
     /// Summarises the samples; returns `None` when empty.
     pub fn summary(&self) -> Option<LatencySummary> {
         if self.samples.is_empty() {
@@ -211,27 +223,38 @@ impl LatencyRecorder {
         sorted.sort_unstable();
         let n = sorted.len();
         let total: u128 = sorted.iter().map(|d| d.as_nanos() as u128).sum();
-        let pct = |p: f64| -> SimDuration {
-            // Nearest-rank percentile: the smallest sample such that at least
-            // p of the samples are <= it.
-            let rank = (p * n as f64).ceil() as usize;
-            sorted[rank.clamp(1, n) - 1]
-        };
         Some(LatencySummary {
             count: n,
             mean: SimDuration::from_nanos((total / n as u128) as u64),
             min: sorted[0],
-            p50: pct(0.50),
-            p95: pct(0.95),
-            p99: pct(0.99),
+            p50: nearest_rank(&sorted, 0.50),
+            p95: nearest_rank(&sorted, 0.95),
+            p99: nearest_rank(&sorted, 0.99),
+            p999: nearest_rank(&sorted, 0.999),
             max: sorted[n - 1],
         })
+    }
+
+    /// Folds the samples into a constant-memory [`LatencyHistogram`].
+    pub fn histogram(&self) -> LatencyHistogram {
+        let mut h = LatencyHistogram::new();
+        for s in &self.samples {
+            h.record(*s);
+        }
+        h
     }
 
     /// Merges another recorder's samples into this one.
     pub fn merge(&mut self, other: &LatencyRecorder) {
         self.samples.extend_from_slice(&other.samples);
     }
+}
+
+/// Nearest-rank percentile over an already sorted, non-empty slice.
+fn nearest_rank(sorted: &[SimDuration], p: f64) -> SimDuration {
+    let n = sorted.len();
+    let rank = (p * n as f64).ceil() as usize;
+    sorted[rank.clamp(1, n) - 1]
 }
 
 /// Summary statistics over a set of latency samples.
@@ -249,8 +272,137 @@ pub struct LatencySummary {
     pub p95: SimDuration,
     /// 99th percentile.
     pub p99: SimDuration,
+    /// 99.9th percentile.
+    pub p999: SimDuration,
     /// Maximum sample.
     pub max: SimDuration,
+}
+
+/// A constant-memory latency histogram with geometric buckets.
+///
+/// Buckets grow by a factor of `2^(1/8)` (eight sub-buckets per octave), so a
+/// reported percentile is within ~9 % of the exact sample value while the
+/// whole histogram stays a few hundred counters regardless of how many
+/// samples an open-loop saturation run produces.  Histograms merge cheaply
+/// across members and across runs; [`LatencyRecorder`] keeps every sample and
+/// is exact, this trades exactness for bounded memory.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    /// `buckets[i]` counts samples whose nanosecond value falls in bucket
+    /// `i`; bucket boundaries follow [`LatencyHistogram::bucket_index`].
+    buckets: BTreeMap<u32, u64>,
+    count: u64,
+    total_nanos: u64,
+    min: Option<SimDuration>,
+    max: Option<SimDuration>,
+}
+
+/// Mantissa bits kept per sample: values below `2^MANTISSA_BITS` ns get exact
+/// buckets; above that the relative bucket width is `2^-MANTISSA_BITS`
+/// (≈ 0.4 %).
+const MANTISSA_BITS: u32 = 8;
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(nanos: u64) -> u32 {
+        if nanos < (1 << MANTISSA_BITS) {
+            return nanos as u32;
+        }
+        let e = 63 - nanos.leading_zeros();
+        let frac = ((nanos >> (e - MANTISSA_BITS)) as u32) & ((1 << MANTISSA_BITS) - 1);
+        ((e - MANTISSA_BITS + 1) << MANTISSA_BITS) + frac
+    }
+
+    /// The inclusive upper bound of bucket `index`, used as its
+    /// representative value (so reported percentiles never under-state).
+    fn bucket_value(index: u32) -> u64 {
+        if index < (1 << MANTISSA_BITS) {
+            return u64::from(index);
+        }
+        let e = (index >> MANTISSA_BITS) + MANTISSA_BITS - 1;
+        let frac = u64::from(index) & ((1 << MANTISSA_BITS) - 1);
+        ((((1 << MANTISSA_BITS) | frac) + 1) << (e - MANTISSA_BITS)) - 1
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, sample: SimDuration) {
+        let nanos = sample.as_nanos();
+        *self.buckets.entry(Self::bucket_index(nanos)).or_insert(0) += 1;
+        self.count += 1;
+        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
+        self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
+    }
+
+    /// Number of samples recorded.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Returns true when no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Merges another histogram into this one.
+    pub fn merge(&mut self, other: &LatencyHistogram) {
+        for (b, c) in &other.buckets {
+            *self.buckets.entry(*b).or_insert(0) += c;
+        }
+        self.count += other.count;
+        self.total_nanos = self.total_nanos.saturating_add(other.total_nanos);
+        self.min = match (self.min, other.min) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.max = match (self.max, other.max) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
+    }
+
+    /// The nearest-rank percentile, reported as the representative value of
+    /// the bucket holding that rank (within one bucket width of the exact
+    /// sample).  Returns `None` when empty.
+    pub fn percentile(&self, p: f64) -> Option<SimDuration> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((p * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0;
+        for (b, c) in &self.buckets {
+            seen += c;
+            if seen >= rank {
+                let v = Self::bucket_value(*b);
+                // Clamp to the observed extremes so single-sample and
+                // boundary buckets never report outside [min, max].
+                let v = SimDuration::from_nanos(v);
+                return Some(v.clamp(self.min?, self.max?));
+            }
+        }
+        self.max
+    }
+
+    /// Summarises the histogram; returns `None` when empty.
+    pub fn summary(&self) -> Option<LatencySummary> {
+        if self.count == 0 {
+            return None;
+        }
+        Some(LatencySummary {
+            count: self.count as usize,
+            mean: SimDuration::from_nanos(self.total_nanos / self.count),
+            min: self.min?,
+            p50: self.percentile(0.50)?,
+            p95: self.percentile(0.95)?,
+            p99: self.percentile(0.99)?,
+            p999: self.percentile(0.999)?,
+            max: self.max?,
+        })
+    }
 }
 
 /// Per-process message counters, useful for asserting protocol message
@@ -358,7 +510,85 @@ mod tests {
         assert_eq!(s.max, SimDuration::from_millis(100));
         assert_eq!(s.p50, SimDuration::from_millis(50));
         assert_eq!(s.p95, SimDuration::from_millis(95));
+        assert_eq!(s.p99, SimDuration::from_millis(99));
+        assert_eq!(s.p999, SimDuration::from_millis(100));
         assert!(s.mean > SimDuration::from_millis(49) && s.mean < SimDuration::from_millis(52));
+        assert_eq!(rec.percentile(0.50), Some(SimDuration::from_millis(50)));
+        assert_eq!(rec.percentile(0.999), Some(SimDuration::from_millis(100)));
+        assert_eq!(LatencyRecorder::new().percentile(0.5), None);
+    }
+
+    #[test]
+    fn latency_summary_single_sample() {
+        let mut rec = LatencyRecorder::new();
+        rec.record(SimDuration::from_micros(123));
+        let s = rec.summary().unwrap();
+        let x = SimDuration::from_micros(123);
+        assert_eq!((s.min, s.p50, s.p99, s.p999, s.max), (x, x, x, x, x));
+    }
+
+    #[test]
+    fn histogram_buckets_round_trip() {
+        // Every sample must land in a bucket whose representative value is
+        // >= the sample and within the documented relative width.
+        for nanos in (0u64..2000).chain([4_095, 4_096, 1 << 20, (1 << 40) + 12_345]) {
+            let idx = LatencyHistogram::bucket_index(nanos);
+            let high = LatencyHistogram::bucket_value(idx);
+            assert!(high >= nanos, "bucket high {high} < sample {nanos}");
+            let width_bound = (nanos >> MANTISSA_BITS).max(1);
+            assert!(
+                high - nanos < width_bound + 1,
+                "bucket high {high} too far above sample {nanos}"
+            );
+        }
+    }
+
+    #[test]
+    fn histogram_percentiles_track_recorder() {
+        let mut rec = LatencyRecorder::new();
+        let mut hist = LatencyHistogram::new();
+        assert!(hist.summary().is_none());
+        assert!(hist.percentile(0.5).is_none());
+        for i in 1..=1000u64 {
+            rec.record(SimDuration::from_micros(i));
+        }
+        let mut halves = (LatencyHistogram::new(), LatencyHistogram::new());
+        for (k, s) in rec.samples().iter().enumerate() {
+            if k % 2 == 0 {
+                halves.0.record(*s);
+            } else {
+                halves.1.record(*s);
+            }
+        }
+        hist.merge(&halves.0);
+        hist.merge(&halves.1);
+        assert_eq!(hist.len(), 1000);
+        let exact = rec.summary().unwrap();
+        let approx = hist.summary().unwrap();
+        assert_eq!(approx.count, exact.count);
+        assert_eq!(approx.min, exact.min);
+        assert_eq!(approx.max, exact.max);
+        for (a, e) in [
+            (approx.p50, exact.p50),
+            (approx.p99, exact.p99),
+            (approx.p999, exact.p999),
+        ] {
+            let (a, e) = (a.as_nanos() as f64, e.as_nanos() as f64);
+            assert!(a >= e, "histogram percentile {a} under-states exact {e}");
+            assert!(a <= e * 1.01, "histogram percentile {a} too far above {e}");
+        }
+    }
+
+    #[test]
+    fn histogram_single_sample_is_exact() {
+        let mut hist = LatencyHistogram::new();
+        hist.record(SimDuration::from_nanos(123_457));
+        let s = hist.summary().unwrap();
+        // One sample: the observed-extreme clamp makes every statistic exact.
+        assert_eq!(s.min, s.max);
+        assert_eq!(s.p50, s.max);
+        assert_eq!(s.p999, s.max);
+        assert_eq!(s.max, SimDuration::from_nanos(123_457));
     }
 
     #[test]

@@ -40,5 +40,8 @@ pub use client::ReplicatedClient;
 pub use command::{AppStateMachine, AuctionHouse, KvStore, RequestId};
 pub use machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
 pub use replica::{Replica, Request, Response};
-pub use sequenced::{SequencedKv, SmrDeliver, SmrPeerMsg, SmrRequest};
+pub use sequenced::{
+    SequencedKv, SmrClientMsg, SmrDeliver, SmrDeliverBatch, SmrDeliverEntry, SmrOrderedEntry,
+    SmrPeerMsg, SmrRequest, SmrUpcall,
+};
 pub use voter::{MajorityVoter, VoteOutcome};

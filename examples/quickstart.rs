@@ -85,7 +85,7 @@ fn main() {
     println!(
         "\nfail-signal overhead on this run: {:+.0}% mean latency, {} vs {} middleware messages",
         (fs_latency.mean.as_millis_f64() / nt_latency.mean.as_millis_f64() - 1.0) * 100.0,
-        fs.stats().expect("sim stats").messages_sent,
-        newtop.stats().expect("sim stats").messages_sent,
+        fs.stats().messages_sent,
+        newtop.stats().messages_sent,
     );
 }

@@ -48,6 +48,13 @@ fn main() {
                         "members diverged in {service_name}/{protocol:?}/{runtime:?}"
                     );
                     assert_eq!(logs[0].len() as u64, 3 * messages, "incomplete delivery");
+                    // Every cell reports network statistics — the stats
+                    // contract is uniform across the whole matrix.
+                    let stats = run.stats();
+                    assert!(
+                        stats.messages_sent > 0 && stats.messages_delivered > 0,
+                        "missing stats in {service_name}/{protocol:?}/{runtime:?}"
+                    );
                     println!(
                         "{:<9} {:<11} {:<9} {:<13} {:>10}  ok",
                         run.service_name(),

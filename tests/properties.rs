@@ -392,7 +392,56 @@ proptest! {
         check(&GcMessage::Ping { from: MemberId(member), nonce: seq });
         check(&GcMessage::Pong { from: MemberId(member), nonce: seq });
         check(&GcMessage::Suspect { suspect: MemberId(member), from: MemberId(member + 1) });
+        check(&GcMessage::Nack { origin: MemberId(member), seq, from: MemberId(member + 1) });
         check(&newtop_msg::ControlInput::Suspect(MemberId(member)));
+
+        // smr sequenced frames: the batched client/peer/upcall shapes added
+        // with the load plane are held to the same freeze.
+        {
+            use fs_smr_suite::smr::sequenced::{
+                SmrClientMsg, SmrDeliver, SmrDeliverBatch, SmrDeliverEntry, SmrOrderedEntry,
+                SmrPeerMsg, SmrRequest, SmrUpcall,
+            };
+            let command = Bytes::from(payload.clone());
+            let commands: Vec<Bytes> = (0..n_members).map(|_| command.clone()).collect();
+            check(&SmrClientMsg::Request(SmrRequest { seq, command: command.clone() }));
+            check(&SmrClientMsg::Batch { first_seq: seq, commands: commands.clone() });
+            check(&SmrPeerMsg::Submit { origin: MemberId(member), seq, command: command.clone() });
+            check(&SmrPeerMsg::Ordered {
+                global: seq,
+                origin: MemberId(member),
+                seq,
+                command: command.clone(),
+            });
+            check(&SmrPeerMsg::SubmitBatch {
+                origin: MemberId(member),
+                first_seq: seq,
+                commands,
+            });
+            check(&SmrPeerMsg::OrderedBatch {
+                first_global: seq,
+                origin: MemberId(member),
+                entries: (0..n_members as u64)
+                    .map(|i| SmrOrderedEntry { seq: seq.wrapping_add(i), command: command.clone() })
+                    .collect(),
+            });
+            check(&SmrUpcall::Deliver(SmrDeliver {
+                global: seq,
+                origin: MemberId(member),
+                seq,
+                response: command.clone(),
+            }));
+            check(&SmrUpcall::Batch(SmrDeliverBatch {
+                first_global: seq,
+                entries: (0..n_members as u64)
+                    .map(|i| SmrDeliverEntry {
+                        origin: MemberId(member),
+                        seq: seq.wrapping_add(i),
+                        response: command.clone(),
+                    })
+                    .collect(),
+            }));
+        }
 
         // failsignal::message
         let shared_payload = Bytes::from(payload.clone());
@@ -560,7 +609,7 @@ proptest! {
 /// network, returning each member's `(origin, seq)` delivery order and its
 /// state digest.
 fn run_sequenced_group(members: u32, commands: &[(u32, Vec<u8>)]) -> Vec<(Vec<(u32, u64)>, u64)> {
-    use fs_smr_suite::smr::sequenced::{SequencedKv, SmrRequest};
+    use fs_smr_suite::smr::sequenced::{SequencedKv, SmrClientMsg, SmrRequest};
 
     let group: Vec<MemberId> = (0..members).map(MemberId).collect();
     let mut machines: Vec<SequencedKv> = group
@@ -573,14 +622,14 @@ fn run_sequenced_group(members: u32, commands: &[(u32, Vec<u8>)]) -> Vec<(Vec<(u
         let sender = sender % members;
         let seq = next_seq[sender as usize];
         next_seq[sender as usize] += 1;
-        let request = SmrRequest {
+        let request = SmrClientMsg::Request(SmrRequest {
             seq,
             command: KvCommand::Put {
                 key: format!("m{sender}-{seq}"),
                 value: value.clone(),
             }
             .to_wire(),
-        };
+        });
         let outputs = machines[sender as usize].handle(&MachineInput::from_app(request.to_wire()));
         queue.extend(outputs.into_iter().map(|o| (MemberId(sender), o)));
         // Drain to quiescence after every command (in-order network).
@@ -645,7 +694,7 @@ proptest! {
     fn sequenced_kv_machine_determinism(
         commands in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..24), 1..20),
     ) {
-        use fs_smr_suite::smr::sequenced::{SequencedKv, SmrPeerMsg, SmrRequest};
+        use fs_smr_suite::smr::sequenced::{SequencedKv, SmrClientMsg, SmrPeerMsg, SmrRequest};
         use fs_smr_suite::smr::machine::check_determinism;
 
         let group = vec![MemberId(0), MemberId(1)];
@@ -655,7 +704,9 @@ proptest! {
             .map(|(i, value)| {
                 let command = KvCommand::Put { key: format!("k{i}"), value: value.clone() }.to_wire();
                 if i % 2 == 0 {
-                    MachineInput::from_app(SmrRequest { seq: i as u64, command }.to_wire())
+                    MachineInput::from_app(
+                        SmrClientMsg::Request(SmrRequest { seq: i as u64, command }).to_wire(),
+                    )
                 } else {
                     MachineInput::from_peer(
                         MemberId(1),
@@ -668,5 +719,126 @@ proptest! {
             || SequencedKv::new(MemberId(0), group.clone()),
             &inputs
         ));
+    }
+}
+
+/// Exact nearest-rank percentile over raw samples — the oracle the
+/// constant-memory histogram is checked against.
+fn naive_percentile(samples: &[SimDuration], p: f64) -> Option<SimDuration> {
+    if samples.is_empty() {
+        return None;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_unstable();
+    let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    Some(sorted[rank - 1])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The geometric-bucket latency histogram must agree with the exact
+    /// sorted-rank oracle at every percentile, up to one bucket width: the
+    /// reported value never under-states the exact nearest-rank sample and
+    /// overshoots it by at most the bucket's relative width (2^-8), while
+    /// staying clamped to the observed [min, max].  Splitting the samples
+    /// across two histograms and merging must report identically.
+    #[test]
+    fn histogram_percentiles_match_sorted_rank_oracle(
+        nanos in proptest::collection::vec(0u64..5_000_000_000, 0..300),
+        p_mille in 0u32..1001,
+        split in 0usize..301,
+    ) {
+        use fs_smr_suite::simnet::trace::{LatencyHistogram, LatencyRecorder};
+
+        let samples: Vec<SimDuration> =
+            nanos.iter().map(|n| SimDuration::from_nanos(*n)).collect();
+        let p = f64::from(p_mille) / 1000.0;
+
+        let mut recorder = LatencyRecorder::new();
+        let mut hist = LatencyHistogram::new();
+        for s in &samples {
+            recorder.record(*s);
+            hist.record(*s);
+        }
+
+        let exact = naive_percentile(&samples, p);
+        // The recorder keeps every sample: it must be *exactly* the oracle.
+        prop_assert_eq!(recorder.percentile(p), exact);
+
+        match exact {
+            None => {
+                prop_assert!(hist.percentile(p).is_none());
+                prop_assert!(hist.summary().is_none());
+                prop_assert!(recorder.summary().is_none());
+            }
+            Some(exact) => {
+                let approx = hist.percentile(p).expect("non-empty histogram");
+                prop_assert!(
+                    approx >= exact,
+                    "histogram must not under-state: {approx:?} < {exact:?}"
+                );
+                let bound = exact.as_nanos() + exact.as_nanos() / 256 + 1;
+                prop_assert!(
+                    approx.as_nanos() <= bound,
+                    "histogram overshoot: {approx:?} vs exact {exact:?}"
+                );
+                let lo = *samples.iter().min().unwrap();
+                let hi = *samples.iter().max().unwrap();
+                prop_assert!(approx >= lo && approx <= hi, "clamped to [min, max]");
+
+                // The summary quotes the same estimator at the named points,
+                // and its extremes are exact.
+                let summary = hist.summary().unwrap();
+                prop_assert_eq!(summary.count, samples.len());
+                prop_assert_eq!(summary.min, lo);
+                prop_assert_eq!(summary.max, hi);
+                prop_assert_eq!(Some(summary.p50), hist.percentile(0.50));
+                prop_assert_eq!(Some(summary.p999), hist.percentile(0.999));
+
+                // The exact recorder summary equals the oracle at the named
+                // percentiles.
+                let exact_summary = recorder.summary().unwrap();
+                prop_assert_eq!(Some(exact_summary.p50), naive_percentile(&samples, 0.50));
+                prop_assert_eq!(Some(exact_summary.p95), naive_percentile(&samples, 0.95));
+                prop_assert_eq!(Some(exact_summary.p99), naive_percentile(&samples, 0.99));
+                prop_assert_eq!(Some(exact_summary.p999), naive_percentile(&samples, 0.999));
+
+                // Merge invariance: recording a prefix and a suffix into two
+                // histograms and merging reports the same percentile.
+                let cut = split.min(samples.len());
+                let mut left = LatencyHistogram::new();
+                let mut right = LatencyHistogram::new();
+                for s in &samples[..cut] {
+                    left.record(*s);
+                }
+                for s in &samples[cut..] {
+                    right.record(*s);
+                }
+                left.merge(&right);
+                prop_assert_eq!(left.percentile(p), Some(approx));
+            }
+        }
+    }
+
+    /// A single-sample distribution reports that sample at every percentile,
+    /// from both the exact recorder and the histogram.
+    #[test]
+    fn single_sample_percentiles_are_that_sample(
+        nanos in 0u64..5_000_000_000,
+        p_mille in 0u32..1001,
+    ) {
+        use fs_smr_suite::simnet::trace::{LatencyHistogram, LatencyRecorder};
+
+        let sample = SimDuration::from_nanos(nanos);
+        let p = f64::from(p_mille) / 1000.0;
+        let mut recorder = LatencyRecorder::new();
+        recorder.record(sample);
+        let mut hist = LatencyHistogram::new();
+        hist.record(sample);
+        prop_assert_eq!(recorder.percentile(p), Some(sample));
+        prop_assert_eq!(hist.percentile(p), Some(sample));
+        let summary = hist.summary().unwrap();
+        prop_assert_eq!((summary.min, summary.p50, summary.max), (sample, sample, sample));
     }
 }

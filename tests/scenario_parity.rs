@@ -103,14 +103,38 @@ fn fs_smr_lossy_link_parity() {
     });
     // Both fault planes actually dropped traffic — the full logs above
     // prove the redundancy masked it, and the accounting proves it happened.
-    let sim_stats = sim.stats().expect("sim stats");
-    let threaded_stats = threaded.stats().expect("threaded stats");
+    let sim_stats = sim.stats();
+    let threaded_stats = threaded.stats();
     assert!(sim_stats.dropped_link > 0, "sim lossy link saw no traffic");
     assert!(
         threaded_stats.dropped_link > 0,
         "threaded lossy link saw no traffic"
     );
     assert_eq!(threaded_stats.dropped_unknown_dest, 0);
+}
+
+/// Delivery parity under an *asymmetric* fault: the member-0 → member-1
+/// primary-node direction drops every message while the reverse direction
+/// stays healthy — the half-broken-NIC shape.  Under the full pair layout
+/// the redundancy again masks the fault, and the drop accounting proves the
+/// one-way scope actually bit on both runtimes.
+#[test]
+fn fs_smr_one_way_sever_parity() {
+    let (sim, threaded) = check_parity(|runtime| {
+        scenario(SmrKvService::new(), Protocol::FailSignal, runtime)
+            .layout(PairLayout::Full)
+            .faults(FaultSchedule::none().sever_one_way(SimTime::ZERO, MemberId(0), MemberId(1)))
+    });
+    let sim_stats = sim.stats();
+    let threaded_stats = threaded.stats();
+    assert!(
+        sim_stats.dropped_link > 0,
+        "sim one-way sever saw no traffic"
+    );
+    assert!(
+        threaded_stats.dropped_link > 0,
+        "threaded one-way sever saw no traffic"
+    );
 }
 
 /// The threaded runtime's quiescence early-exit (per-node idle detection):
