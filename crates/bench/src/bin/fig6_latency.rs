@@ -1,22 +1,31 @@
 //! Regenerates Figure 6: ordering latency vs group size (2-10 members,
-//! 3-byte messages, symmetric total order), NewTOP vs FS-NewTOP.
+//! 3-byte messages, symmetric total order), NewTOP vs FS-NewTOP — plus the
+//! graceful-degradation variant of the same sweep under mild link loss and
+//! delay (skip it with `FS_BENCH_DEGRADED=0`).
 
-use fs_bench::experiment::{figure6, ExperimentConfig};
+use fs_bench::experiment::{figure6, figure6_degraded, ExperimentConfig};
 use fs_bench::report::write_figure_json;
 
 fn main() {
     let config = ExperimentConfig::default();
+    let degraded = std::env::var("FS_BENCH_DEGRADED").map_or(true, |v| v.trim() != "0");
     eprintln!(
         "regenerating figure 6 ({} messages/member)...",
         config.messages_per_member
     );
-    let figure = figure6(&config);
-    println!(
-        "{}",
-        figure.to_table(|m| m.mean_latency_ms, "mean ordering latency, ms")
-    );
-    match write_figure_json(&figure) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write JSON results: {e}"),
+    let mut figures = vec![figure6(&config)];
+    if degraded {
+        eprintln!("regenerating the degraded-links variant...");
+        figures.push(figure6_degraded(&config));
+    }
+    for figure in &figures {
+        println!(
+            "{}",
+            figure.to_table(|m| m.mean_latency_ms, "mean ordering latency, ms")
+        );
+        match write_figure_json(figure) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write JSON results: {e}"),
+        }
     }
 }

@@ -1,22 +1,31 @@
 //! Regenerates Figure 7: throughput vs group size (2-15 members, 3-byte
-//! messages), NewTOP vs FS-NewTOP.
+//! messages), NewTOP vs FS-NewTOP — plus the graceful-degradation variant
+//! of the same sweep under mild link loss and delay (skip it with
+//! `FS_BENCH_DEGRADED=0`).
 
-use fs_bench::experiment::{figure7, ExperimentConfig};
+use fs_bench::experiment::{figure7, figure7_degraded, ExperimentConfig};
 use fs_bench::report::write_figure_json;
 
 fn main() {
     let config = ExperimentConfig::default();
+    let degraded = std::env::var("FS_BENCH_DEGRADED").map_or(true, |v| v.trim() != "0");
     eprintln!(
         "regenerating figure 7 ({} messages/member)...",
         config.messages_per_member
     );
-    let figure = figure7(&config);
-    println!(
-        "{}",
-        figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second")
-    );
-    match write_figure_json(&figure) {
-        Ok(path) => eprintln!("wrote {}", path.display()),
-        Err(e) => eprintln!("could not write JSON results: {e}"),
+    let mut figures = vec![figure7(&config)];
+    if degraded {
+        eprintln!("regenerating the degraded-links variant...");
+        figures.push(figure7_degraded(&config));
+    }
+    for figure in &figures {
+        println!(
+            "{}",
+            figure.to_table(|m| m.throughput_msgs_per_sec, "ordered messages per second")
+        );
+        match write_figure_json(figure) {
+            Ok(path) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write JSON results: {e}"),
+        }
     }
 }

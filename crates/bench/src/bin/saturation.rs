@@ -34,13 +34,21 @@
 //!   requests/sec per member (default `25,50,100,200,400,800`);
 //! * `FS_BENCH_SATURATION_THREADED` — set to `0` to skip the threaded cells
 //!   (each threaded point costs real wall-clock seconds);
-//! * `FS_BENCH_SATURATION_BATCH` — request batch size (default 1).
+//! * `FS_BENCH_SATURATION_BATCH` — request batch size (default 1);
+//! * `FS_BENCH_SATURATION_FAULTS` — a fault schedule applied to every rate
+//!   point, scaled to the offered window: `none` (default), `restart`
+//!   (member 2 crashes a quarter into the window and recovers at the half —
+//!   the degraded-mode knee of the recovery plane), `loss` (1 % loss on
+//!   every inter-member link) or `slow` (+2 ms one-way delay everywhere).
 
 use serde::Serialize;
 
 use fs_bench::report::results_dir;
+use fs_common::id::MemberId;
 use fs_common::time::{SimDuration, SimTime};
-use fs_harness::{Admission, NewTopService, Protocol, RuntimeKind, Scenario, Workload};
+use fs_harness::{
+    Admission, FaultSchedule, NewTopService, Protocol, RuntimeKind, Scenario, Workload,
+};
 use fs_newtop::suspector::SuspectorConfig;
 
 const MEMBERS: u32 = 3;
@@ -52,6 +60,46 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(default)
+}
+
+/// The fault schedule selected by `FS_BENCH_SATURATION_FAULTS`, scaled to
+/// one rate point's offered window so the fault always lands mid-load.
+fn fault_schedule(mode: &str, offered_window: SimDuration) -> FaultSchedule {
+    let onset = SimTime::ZERO + offered_window / 4;
+    match mode {
+        "none" => FaultSchedule::none(),
+        "restart" => FaultSchedule::none()
+            .crash_member_at(onset, MemberId(MEMBERS - 1))
+            .recover_member_at(SimTime::ZERO + offered_window / 2, MemberId(MEMBERS - 1)),
+        "loss" => {
+            let mut faults = FaultSchedule::none();
+            for a in 0..MEMBERS {
+                for b in (a + 1)..MEMBERS {
+                    faults = faults.lossy_link(onset, MemberId(a), MemberId(b), 0.01);
+                }
+            }
+            faults
+        }
+        "slow" => {
+            let mut faults = FaultSchedule::none();
+            for a in 0..MEMBERS {
+                for b in (a + 1)..MEMBERS {
+                    faults = faults.slow_link(
+                        onset,
+                        MemberId(a),
+                        MemberId(b),
+                        SimDuration::from_millis(2),
+                        SimDuration::ZERO,
+                    );
+                }
+            }
+            faults
+        }
+        other => {
+            eprintln!("unknown FS_BENCH_SATURATION_FAULTS mode `{other}`");
+            std::process::exit(2);
+        }
+    }
 }
 
 fn env_rates() -> Vec<f64> {
@@ -93,6 +141,10 @@ struct RatePoint {
     latency_samples: usize,
     messages_sent: u64,
     messages_delivered: u64,
+    /// Messages dropped by the link fault plane (0 without a fault mode).
+    dropped_link: u64,
+    /// Messages dropped on a crashed process (0 without the `restart` mode).
+    dropped_down: u64,
 }
 
 /// One protocol × runtime cell: a full offered-rate sweep.
@@ -110,6 +162,9 @@ struct SaturationReport {
     clients_per_member: u32,
     max_in_flight_per_client: u32,
     batch_max: u32,
+    /// The fault mode every rate point ran under (`none`, `restart`, `loss`
+    /// or `slow`).
+    faults: String,
     cells: Vec<Cell>,
 }
 
@@ -123,6 +178,7 @@ fn run_point(
     rate: f64,
     messages: u64,
     batch_max: u32,
+    fault_mode: &str,
 ) -> RatePoint {
     let interval = SimDuration::from_nanos((1e9 / rate).max(1.0) as u64);
     let workload = Workload::paper_default()
@@ -134,17 +190,19 @@ fn run_point(
         .admission(Admission::Shed)
         .batch_max(batch_max)
         .batch_linger(SimDuration::from_millis(2));
+    // The offered window is messages × mean interval; the fault schedule is
+    // scaled to it, and the threaded horizon leaves generous settling room
+    // past it (the sim skips idle time, the threaded runtime exits early at
+    // quiescence).
+    let offered_window = interval * messages;
     let mut run = Scenario::new(NewTopService::new().suspector(SuspectorConfig::disabled()))
         .members(MEMBERS)
         .protocol(protocol)
         .runtime(runtime)
         .workload(workload)
+        .faults(fault_schedule(fault_mode, offered_window))
         .seed(2003)
         .build();
-    // The offered window is messages × mean interval; leave generous settling
-    // room past it (the sim skips idle time, the threaded runtime exits early
-    // at quiescence).
-    let offered_window = interval * messages;
     let horizon = match runtime {
         RuntimeKind::Sim => SimTime::from_secs(3600),
         RuntimeKind::Threaded => SimTime::ZERO + offered_window + SimDuration::from_secs(4),
@@ -181,6 +239,8 @@ fn run_point(
         latency_samples: samples,
         messages_sent: stats.messages_sent,
         messages_delivered: stats.messages_delivered,
+        dropped_link: stats.dropped_link,
+        dropped_down: stats.dropped_down,
     }
 }
 
@@ -188,6 +248,8 @@ fn main() {
     let messages = env_u64("FS_BENCH_SATURATION_MESSAGES", 200);
     let batch_max = env_u64("FS_BENCH_SATURATION_BATCH", 1) as u32;
     let threaded = env_u64("FS_BENCH_SATURATION_THREADED", 1) != 0;
+    let fault_mode =
+        std::env::var("FS_BENCH_SATURATION_FAULTS").unwrap_or_else(|_| "none".to_string());
     let rates = env_rates();
 
     let mut runtimes = vec![RuntimeKind::Sim];
@@ -207,13 +269,14 @@ fn main() {
                 RuntimeKind::Threaded => "threaded",
             };
             eprintln!(
-                "saturation: {protocol_name}/{runtime_name} ({} rates)...",
+                "saturation: {protocol_name}/{runtime_name} ({} rates, faults {fault_mode})...",
                 rates.len()
             );
             let curve: Vec<RatePoint> = rates
                 .iter()
                 .map(|&rate| {
-                    let point = run_point(protocol, runtime, rate, messages, batch_max);
+                    let point =
+                        run_point(protocol, runtime, rate, messages, batch_max, &fault_mode);
                     eprintln!(
                         "  rate {:>6.0}/s  p50 {:>8.2} ms  p99 {:>8.2} ms  p999 {:>8.2} ms  \
                          shed {:>4}  completed {}/{}",
@@ -242,6 +305,7 @@ fn main() {
         clients_per_member: CLIENTS,
         max_in_flight_per_client: MAX_IN_FLIGHT,
         batch_max,
+        faults: fault_mode,
         cells,
     };
     let dir = results_dir();

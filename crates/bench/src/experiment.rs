@@ -15,7 +15,10 @@ use fs_newtop::app::TrafficConfig;
 use fs_newtop::suspector::SuspectorConfig;
 use fs_newtop_bft::deployment::DeploymentParams;
 
-use crate::measure::{measure, RunMetrics, System};
+use fs_common::id::MemberId;
+use fs_harness::FaultSchedule;
+
+use crate::measure::{measure, measure_with_faults, RunMetrics, System};
 
 /// Common knobs of an experiment sweep.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -152,11 +155,24 @@ fn sweep(
     points: impl Iterator<Item = (u64, u32, usize)>,
     config: &ExperimentConfig,
 ) -> Figure {
+    sweep_with_faults(id, title, x_label, points, config, |_| {
+        FaultSchedule::none()
+    })
+}
+
+fn sweep_with_faults(
+    id: &str,
+    title: &str,
+    x_label: &str,
+    points: impl Iterator<Item = (u64, u32, usize)>,
+    config: &ExperimentConfig,
+    faults: impl Fn(u32) -> FaultSchedule,
+) -> Figure {
     let mut rows = Vec::new();
     for (x, members, payload) in points {
         let params = params_for(members, payload, config);
         for system in [System::NewTop, System::FsNewTop] {
-            let metrics = measure(system, &params);
+            let metrics = measure_with_faults(system, &params, faults(members));
             eprintln!(
                 "  [{id}] x={x} {}: latency {:.1} ms, throughput {:.1} msg/s, complete={}",
                 system.label(),
@@ -195,6 +211,60 @@ pub fn figure7(config: &ExperimentConfig) -> Figure {
         "members",
         (2..=15u32).map(|n| (u64::from(n), n, 3)),
         config,
+    )
+}
+
+/// Mild, uniform link degradation: every inter-member link loses 0.5 % of
+/// its messages and gains 1 ms of jittered one-way delay shortly after the
+/// workload starts.  Small enough that neither suspicion timeouts nor the
+/// FS pairs' δ are threatened — the graceful-degradation regime, as opposed
+/// to the A2-violation regime of `examples/a2_violation.rs`.
+fn mild_degradation(members: u32) -> FaultSchedule {
+    let onset = SimTime::from_millis(200);
+    let mut faults = FaultSchedule::none();
+    for a in 0..members {
+        for b in (a + 1)..members {
+            faults = faults
+                .lossy_link(onset, MemberId(a), MemberId(b), 0.005)
+                .slow_link(
+                    onset,
+                    MemberId(a),
+                    MemberId(b),
+                    SimDuration::from_millis(1),
+                    SimDuration::from_micros(500),
+                );
+        }
+    }
+    faults
+}
+
+/// The graceful-degradation variant of Figure 6: the same latency sweep run
+/// under `mild_degradation` on every link.  Latency rises for both
+/// systems, and the delivered fraction (`RunMetrics::total_deliveries` vs
+/// `RunMetrics::expected_deliveries`) records what the loss cost — with no
+/// fail-signals and no false suspicions, since the degradation stays well
+/// inside the timing assumptions.
+pub fn figure6_degraded(config: &ExperimentConfig) -> Figure {
+    sweep_with_faults(
+        "figure-6-degraded",
+        "Ordering latency vs group size under mild link loss and delay",
+        "members",
+        (2..=10u32).map(|n| (u64::from(n), n, 3)),
+        config,
+        mild_degradation,
+    )
+}
+
+/// The graceful-degradation variant of Figure 7 (throughput sweep under
+/// `mild_degradation`).
+pub fn figure7_degraded(config: &ExperimentConfig) -> Figure {
+    sweep_with_faults(
+        "figure-7-degraded",
+        "Throughput vs group size under mild link loss and delay",
+        "members",
+        (2..=15u32).map(|n| (u64::from(n), n, 3)),
+        config,
+        mild_degradation,
     )
 }
 

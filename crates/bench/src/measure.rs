@@ -3,7 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use fs_common::time::{SimDuration, SimTime};
-use fs_harness::Protocol;
+use fs_harness::{FaultSchedule, Protocol};
 use fs_newtop::app::AppProcess;
 use fs_newtop_bft::deployment::{Deployment, DeploymentParams};
 use fs_newtop_bft::interceptor::FsInterceptor;
@@ -144,13 +144,25 @@ pub fn run_deployment(
 
 /// Builds and measures one system at the given parameters.
 pub fn measure(system: System, params: &DeploymentParams) -> RunMetrics {
+    measure_with_faults(system, params, FaultSchedule::none())
+}
+
+/// [`measure`], with a fault schedule applied through the scenario harness —
+/// the graceful-degradation variants of the figures run their sweeps under
+/// mild link loss and delay this way.
+pub fn measure_with_faults(
+    system: System,
+    params: &DeploymentParams,
+    faults: FaultSchedule,
+) -> RunMetrics {
     // Allow generous simulated time: the workload itself lasts
     // messages × interval, plus drain time for queued work.
     let workload = params.traffic.interval * params.traffic.messages
         + SimDuration::from_secs(120)
         + params.traffic.start_delay;
     let horizon = SimTime::ZERO + workload * 10;
-    let deployment = Deployment::from_running(params.scenario(system.protocol()).build());
+    let deployment =
+        Deployment::from_running(params.scenario(system.protocol()).faults(faults).build());
     run_deployment(deployment, params, system, horizon)
 }
 

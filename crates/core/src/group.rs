@@ -13,6 +13,23 @@
 //! There is **no service-specific code** on this path: FS-NewTOP and FS-SMR
 //! are produced by the same lines, differing only in the
 //! [`FsService`] values passed in.
+//!
+//! # Lifecycle-plane interplay
+//!
+//! The runtimes' process lifecycle plane (scheduled crash / recover /
+//! replace) composes with FS groups under one restriction: FS wrapper
+//! processes support **warm restarts only** (crash followed by recover).  A
+//! warm restart keeps the wrapper's signing key, its per-source sequence
+//! state and the comparison pools in memory, and the wrapper's recovery hook
+//! re-arms the lost deadlines.  A *cold* replacement of a wrapper is not
+//! supported: under assumption A1 the signing keys are provisioned before
+//! the run and every peer holds per-`(fs, output_seq)` dedup state tied to
+//! the original incarnation — a fresh wrapper could neither prove the old
+//! identity nor resynchronise the pair protocol.  Recovery scenarios
+//! therefore restart FS members warm (the service state inside the pair
+//! catches up through the service's own state-transfer path), while cold
+//! replacement is exercised on the crash-tolerant middleware deployment,
+//! which carries no signing state.
 
 use std::sync::Arc;
 

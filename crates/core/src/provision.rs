@@ -441,6 +441,52 @@ mod tests {
     }
 
     #[test]
+    fn recovery_rearms_pending_comparison_deadlines() {
+        let mut pair = Pair::new();
+        let wire = FsoInbound::Raw(b"in-flight".to_vec().into()).to_wire();
+        pair.leader.on_message(&mut pair.leader_ctx, CLIENT, wire);
+        assert_eq!(pair.leader_ctx.timers_set.len(), 1);
+        // A warm restart loses the armed deadline (the runtime drops every
+        // timer of a downed process), so the wrapper re-arms one per pending
+        // comparison on recovery — the entry still gets an outcome.
+        pair.leader_ctx.timers_set.clear();
+        pair.leader.on_recover(&mut pair.leader_ctx);
+        let rearmed: Vec<TimerId> = pair.leader_ctx.timers_set.iter().map(|(_, t)| *t).collect();
+        assert_eq!(rearmed.len(), 1);
+        for t in rearmed {
+            pair.leader.on_timer(&mut pair.leader_ctx, t);
+        }
+        assert!(
+            pair.leader.has_failed(),
+            "an unanswered re-armed deadline must still fail-signal"
+        );
+        // A wrapper that already fail-signalled stays silent on recovery.
+        pair.leader_ctx.timers_set.clear();
+        pair.leader.on_recover(&mut pair.leader_ctx);
+        assert!(pair.leader_ctx.timers_set.is_empty());
+    }
+
+    #[test]
+    fn recovery_rearms_the_follower_ordering_deadline() {
+        let mut pair = Pair::new();
+        let wire = FsoInbound::Raw(b"unordered".to_vec().into()).to_wire();
+        pair.follower
+            .on_message(&mut pair.follower_ctx, CLIENT, wire);
+        assert_eq!(pair.follower_ctx.timers_set.len(), 1);
+        pair.follower_ctx.timers_set.clear();
+        pair.follower.on_recover(&mut pair.follower_ctx);
+        let rearmed: Vec<TimerId> = pair
+            .follower_ctx
+            .timers_set
+            .iter()
+            .map(|(_, t)| *t)
+            .collect();
+        assert_eq!(rearmed.len(), 1, "the t2 ordering deadline is re-armed");
+        pair.follower.on_timer(&mut pair.follower_ctx, rearmed[0]);
+        assert!(pair.follower.has_failed());
+    }
+
+    #[test]
     fn failed_wrapper_replies_with_fail_signal() {
         let mut pair = Pair::new();
         let wire = FsoInbound::Raw(b"x".to_vec().into()).to_wire();

@@ -610,6 +610,45 @@ impl Actor for FsoActor {
         }
     }
 
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        if self.failed {
+            return;
+        }
+        // A warm restart loses every armed timer while the comparison and
+        // ordering pools survive in memory.  Re-arm a fresh deadline for each
+        // pending entry so an outcome is still guaranteed: either the partner
+        // answers within the (restarted) window or the wrapper fail-signals.
+        // The deadlines use the workload-independent base timeouts — the
+        // per-input processing and signing charges were already paid before
+        // the crash.
+        self.timers.clear();
+        let pending_outputs: Vec<u64> = self.icmp.keys().copied().collect();
+        for output_seq in pending_outputs {
+            let timer = self.alloc_timer(TimerPurpose::OutputCompare(output_seq));
+            let timeout = if self.config.is_leader() {
+                self.config
+                    .timing
+                    .leader_compare_timeout(SimDuration::ZERO, SimDuration::ZERO)
+            } else {
+                self.config
+                    .timing
+                    .follower_compare_timeout(SimDuration::ZERO, SimDuration::ZERO)
+            };
+            ctx.set_timer(timeout, timer);
+            if let Some(entry) = self.icmp.get_mut(&output_seq) {
+                entry.timer = timer;
+            }
+        }
+        let pending_inputs: Vec<Digest> = self.irmp.keys().copied().collect();
+        for digest in pending_inputs {
+            let timer = self.alloc_timer(TimerPurpose::InputOrdering(digest));
+            ctx.set_timer(self.config.timing.delta * 2, timer);
+            if let Some(entry) = self.irmp.get_mut(&digest) {
+                entry.timer = timer;
+            }
+        }
+    }
+
     fn name(&self) -> String {
         format!("fso-{}-{}", self.config.fs.0, self.config.role)
     }

@@ -85,6 +85,10 @@ pub struct InjectionStats {
     pub duplicated: u64,
     /// Garbage messages emitted.
     pub babbled: u64,
+    /// Times the fault plan was disarmed by [`FaultyActor::revive`] (at most
+    /// one until the plan is re-armed; revivals via the lifecycle plane's
+    /// `on_recover` are counted here too).
+    pub revived: u64,
 }
 
 /// Wraps a victim actor and applies a [`FaultPlan`] to its behaviour.
@@ -92,6 +96,9 @@ pub struct FaultyActor {
     inner: Box<dyn Actor>,
     plan: FaultPlan,
     handled: u64,
+    /// True after [`FaultyActor::revive`]: the plan is disarmed and the
+    /// victim behaves cleanly again until [`FaultyActor::rearm`].
+    revived: bool,
     rng: DetRng,
     stats: InjectionStats,
 }
@@ -112,6 +119,7 @@ impl FaultyActor {
             inner,
             plan,
             handled: 0,
+            revived: false,
             rng: DetRng::new(seed),
             stats: InjectionStats::default(),
         }
@@ -122,8 +130,30 @@ impl FaultyActor {
         self.stats
     }
 
+    /// Disarms the fault plan: from the next event on the victim behaves
+    /// cleanly again, resuming from whatever state it retained.  This is
+    /// what makes an injected [`FaultKind::Crash`] resumable rather than a
+    /// permanent dead-end — a crashed victim that is revived starts
+    /// processing (and answering) again, and the surrounding protocol's
+    /// recovery machinery has something real to catch up.  Idempotent until
+    /// [`FaultyActor::rearm`]; counted in [`InjectionStats::revived`].
+    /// Called automatically when the lifecycle plane warm-restarts the
+    /// victim (see [`Actor::on_recover`]).
+    pub fn revive(&mut self) {
+        if !self.revived {
+            self.revived = true;
+            self.stats.revived += 1;
+        }
+    }
+
+    /// Re-arms a previously revived plan (the activation threshold still
+    /// applies, counted from the start of the run).
+    pub fn rearm(&mut self) {
+        self.revived = false;
+    }
+
     fn active(&self) -> bool {
-        self.handled >= self.plan.activate_after
+        !self.revived && self.handled >= self.plan.activate_after
     }
 }
 
@@ -237,6 +267,13 @@ impl Actor for FaultyActor {
         self.inner.on_message(&mut faulty, from, payload);
     }
 
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        // A warm restart revives a crash-injected victim: the injected
+        // plan is disarmed and the inner actor resynchronises.
+        self.revive();
+        self.inner.on_recover(ctx);
+    }
+
     fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
         let active = self.active();
         if active && self.plan.kind == FaultKind::Crash {
@@ -339,6 +376,52 @@ mod tests {
         assert_eq!(ctx.sent_to(ProcessId(9)).len(), 3);
         assert_eq!(actor.stats().babbled, 3);
         assert!(actor.name().starts_with("faulty("));
+    }
+
+    #[test]
+    fn revive_makes_a_crash_resumable() {
+        let mut actor = FaultyActor::new(Box::new(Echo), FaultPlan::after(2, FaultKind::Crash), 7);
+        let mut ctx = TestContext::new(ProcessId(0));
+        for i in 0..4u8 {
+            actor.on_message(&mut ctx, ProcessId(1), vec![i; 4].into());
+        }
+        assert_eq!(ctx.sent.len(), 2, "crashed after two clean events");
+        actor.revive();
+        actor.revive(); // idempotent
+        actor.on_message(&mut ctx, ProcessId(1), vec![9; 4].into());
+        assert_eq!(ctx.sent.len(), 3, "revived victim answers again");
+        assert_eq!(actor.stats().revived, 1);
+        actor.rearm();
+        actor.on_message(&mut ctx, ProcessId(1), vec![10; 4].into());
+        assert_eq!(ctx.sent.len(), 3, "re-armed crash swallows again");
+    }
+
+    #[test]
+    fn on_recover_revives_the_victim() {
+        /// Records whether its own on_recover hook ran.
+        struct Recoverable {
+            recovered: bool,
+        }
+        impl Actor for Recoverable {
+            fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
+                ctx.send(from, payload);
+            }
+            fn on_recover(&mut self, _ctx: &mut dyn Context) {
+                self.recovered = true;
+            }
+        }
+        let mut actor = FaultyActor::new(
+            Box::new(Recoverable { recovered: false }),
+            FaultPlan::immediate(FaultKind::Crash),
+            7,
+        );
+        let mut ctx = TestContext::new(ProcessId(0));
+        actor.on_message(&mut ctx, ProcessId(1), vec![1].into());
+        assert!(ctx.sent.is_empty());
+        actor.on_recover(&mut ctx);
+        actor.on_message(&mut ctx, ProcessId(1), vec![2].into());
+        assert_eq!(ctx.sent.len(), 1, "recovered victim processes again");
+        assert_eq!(actor.stats().revived, 1);
     }
 
     #[test]

@@ -14,6 +14,15 @@
 //! payload, models the paper's fs2 property — spontaneous fail-signal
 //! emission).
 //!
+//! An injected [`FaultKind::Crash`] is **resumable**: while active the
+//! victim neither processes nor answers, but [`FaultyActor::revive`]
+//! disarms the plan so the victim resumes from its retained state (counted
+//! in [`InjectionStats::revived`]; [`FaultyActor::rearm`] re-arms it).  The
+//! lifecycle plane's warm restart calls the revive hook automatically via
+//! `on_recover`, so a crash-injected member scheduled to recover really
+//! does come back — the substrate of the recovery and rolling-restart
+//! scenarios.
+//!
 //! ## Example
 //!
 //! ```

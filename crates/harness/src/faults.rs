@@ -9,6 +9,19 @@
 //!   *members*, expressed in member terms ([`MemberLinkScope`]) and compiled
 //!   to a node-level [`fs_simnet::link::LinkSchedule`] at build time.
 //!
+//! A [`FaultSchedule`] declares three kinds of misbehaviour — the third is
+//! the recovery plane:
+//!
+//! * **member lifecycle events** — scheduled crash / recover / replace of a
+//!   whole member ([`MemberFate`]), compiled at build time to process-level
+//!   [`fs_simnet::lifecycle::LifecycleSchedule`] events over the member's
+//!   *own* processes (its driver plus its interceptor and wrapper pair under
+//!   the fail-signal protocol, its driver plus its middleware under the
+//!   crash protocol).  `crash_member_at` takes the member down mid-run;
+//!   `recover_member_at` restarts it warm (state intact, catch-up protocol
+//!   kicked by the driver); `replace_member_at` installs a cold replacement
+//!   that must rebuild its state by state transfer.
+//!
 //! Both kinds apply identically on the simulator and on the threaded
 //! runtime, and to any service.  Link faults are how the paper's assumption
 //! **A2** (timely links between correct processes) is violated on demand:
@@ -101,6 +114,37 @@ impl MemberLinkScope {
     }
 }
 
+/// What happens to a member at one scheduled recovery-plane event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemberFate {
+    /// Every process of the member goes down: deliveries to them are
+    /// dropped and their armed timers are lost.
+    Crash,
+    /// The member's processes restart warm — in-memory state intact,
+    /// [`fs_simnet::actor::Actor::on_recover`] runs so they re-arm timers
+    /// and (for services that implement one) start their catch-up protocol.
+    Recover,
+    /// The member comes back as a cold replacement with none of the old
+    /// state.  Under the crash protocol this installs a fresh middleware
+    /// and a fresh rejoining driver; under the fail-signal protocol it
+    /// compiles to a warm [`MemberFate::Recover`] — an FS pair cannot be
+    /// replaced cold, because assumption **A1** pre-provisions its keys and
+    /// the peers' replay guards pin its message sequence (see
+    /// [`failsignal::group`]).
+    Replace,
+}
+
+/// One planned member-lifecycle event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemberLifecycleEntry {
+    /// When the event takes effect.
+    pub at: SimTime,
+    /// The affected member.
+    pub member: MemberId,
+    /// What happens to it.
+    pub fate: MemberFate,
+}
+
 /// One planned link fault, in member terms.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LinkFaultEntry {
@@ -117,6 +161,7 @@ pub struct LinkFaultEntry {
 pub struct FaultSchedule {
     entries: Vec<FaultEntry>,
     link_entries: Vec<LinkFaultEntry>,
+    lifecycle_entries: Vec<MemberLifecycleEntry>,
 }
 
 impl FaultSchedule {
@@ -175,7 +220,47 @@ impl FaultSchedule {
 
     /// True when nothing is injected.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty() && self.link_entries.is_empty()
+        self.entries.is_empty() && self.link_entries.is_empty() && self.lifecycle_entries.is_empty()
+    }
+
+    // -- the recovery plane ---------------------------------------------------
+
+    /// Crashes every process of `member` at `at`: deliveries to them are
+    /// dropped and their timers lost until a later
+    /// [`FaultSchedule::recover_member_at`] or
+    /// [`FaultSchedule::replace_member_at`].
+    #[must_use]
+    pub fn crash_member_at(self, at: SimTime, member: MemberId) -> Self {
+        self.member_lifecycle(at, member, MemberFate::Crash)
+    }
+
+    /// Restarts `member` warm at `at`: its processes keep their in-memory
+    /// state, re-arm their timers and run their catch-up protocol to fill
+    /// whatever the downtime lost.
+    #[must_use]
+    pub fn recover_member_at(self, at: SimTime, member: MemberId) -> Self {
+        self.member_lifecycle(at, member, MemberFate::Recover)
+    }
+
+    /// Replaces `member` cold at `at`; see [`MemberFate::Replace`] for the
+    /// per-protocol semantics (a fail-signal deployment downgrades this to a
+    /// warm restart).
+    #[must_use]
+    pub fn replace_member_at(self, at: SimTime, member: MemberId) -> Self {
+        self.member_lifecycle(at, member, MemberFate::Replace)
+    }
+
+    /// Adds a member-lifecycle event with an explicit fate.
+    #[must_use]
+    pub fn member_lifecycle(mut self, at: SimTime, member: MemberId, fate: MemberFate) -> Self {
+        self.lifecycle_entries
+            .push(MemberLifecycleEntry { at, member, fate });
+        self
+    }
+
+    /// The planned member-lifecycle events, in insertion order.
+    pub fn lifecycle_entries(&self) -> &[MemberLifecycleEntry] {
+        &self.lifecycle_entries
     }
 
     // -- the link-fault plane -------------------------------------------------
@@ -334,6 +419,33 @@ mod tests {
         assert!(schedule.for_middleware(MemberId(2)).is_some());
         assert!(schedule.for_middleware(MemberId(1)).is_none());
         assert!(FaultSchedule::none().is_empty());
+    }
+
+    #[test]
+    fn lifecycle_entries_are_recorded_in_order() {
+        let schedule = FaultSchedule::none()
+            .crash_member_at(SimTime::from_secs(10), MemberId(1))
+            .recover_member_at(SimTime::from_secs(20), MemberId(1))
+            .replace_member_at(SimTime::from_secs(30), MemberId(2));
+        assert!(
+            !schedule.is_empty(),
+            "lifecycle-only schedules are not empty"
+        );
+        assert!(schedule.entries().is_empty());
+        assert!(schedule.link_entries().is_empty());
+        let entries = schedule.lifecycle_entries();
+        assert_eq!(entries.len(), 3);
+        assert_eq!(
+            entries[0],
+            MemberLifecycleEntry {
+                at: SimTime::from_secs(10),
+                member: MemberId(1),
+                fate: MemberFate::Crash,
+            }
+        );
+        assert_eq!(entries[1].fate, MemberFate::Recover);
+        assert_eq!(entries[2].fate, MemberFate::Replace);
+        assert_eq!(entries[2].member, MemberId(2));
     }
 
     #[test]

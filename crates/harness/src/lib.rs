@@ -15,7 +15,7 @@
 //! | service | [`ServiceSpec`] | [`NewTopService`] (the paper's GC), [`SmrKvService`] (sequenced replicated KV) |
 //! | runtime | [`RuntimeKind`] | discrete-event simulator, real threads |
 //! | workload | [`Workload`] | messages × payload × cadence |
-//! | faults | [`FaultSchedule`] | any [`fs_faults::FaultKind`] against any wrapper or middleware, plus timed link faults (partition/heal, loss, delay, throttle) between members |
+//! | faults | [`FaultSchedule`] | any [`fs_faults::FaultKind`] against any wrapper or middleware, timed link faults (partition/heal, loss, delay, throttle) between members, and scheduled member crash / recover / replace events (the recovery plane) |
 //! | protocol | [`Protocol`] | crash-tolerant native, fail-signal lifted |
 //! | topology | [`fs_simnet::link::Topology`] via [`Scenario::topology`] / [`Scenario::link_model`] | the paper's 100 Mb/s LAN by default |
 //!
@@ -45,7 +45,10 @@ pub mod service;
 pub mod workload;
 
 pub use failsignal::group::PairLayout;
-pub use faults::{FaultEntry, FaultSchedule, FaultTarget, LinkFaultEntry, MemberLinkScope};
+pub use faults::{
+    FaultEntry, FaultSchedule, FaultTarget, LinkFaultEntry, MemberFate, MemberLifecycleEntry,
+    MemberLinkScope,
+};
 pub use scenario::{MemberProcs, Protocol, Running, RuntimeKind, Scenario};
 pub use service::{NewTopService, PlainHost, ServiceSpec, SmrDriver, SmrKvService};
 pub use workload::{Admission, Arrival, LoadStats, Workload};

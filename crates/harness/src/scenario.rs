@@ -26,12 +26,14 @@ use std::collections::{BTreeMap, HashMap};
 
 use failsignal::group::{build_fs_group, FsGroupParams, GroupHost, PairLayout};
 use failsignal::interceptor::FsInterceptor;
+use failsignal::wrapper::FsoActor;
 use fs_common::config::TimingAssumptions;
 use fs_common::id::{MemberId, ProcessId};
 use fs_common::time::{SimDuration, SimTime};
 use fs_crypto::cost::CryptoCostModel;
 use fs_faults::FaultyActor;
 use fs_simnet::actor::Actor;
+use fs_simnet::lifecycle::{LifecycleSchedule, ProcessFate};
 use fs_simnet::link::{LinkModel, Topology};
 use fs_simnet::node::NodeConfig;
 use fs_simnet::sched::SchedulerKind;
@@ -39,8 +41,8 @@ use fs_simnet::sim::Simulation;
 use fs_simnet::threaded::{ThreadedBuilder, ThreadedConfig, ThreadedRuntime};
 use fs_simnet::trace::{NetStats, TraceLog};
 
-use crate::faults::FaultSchedule;
-use crate::service::ServiceSpec;
+use crate::faults::{FaultSchedule, MemberFate};
+use crate::service::{PlainHost, ServiceSpec};
 use crate::workload::Workload;
 
 /// The fault-tolerance protocol axis.
@@ -320,6 +322,90 @@ impl Scenario {
         }
     }
 
+    /// The member's own processes under the current protocol, in
+    /// take-down order (driver first, infrastructure last).  Under the
+    /// collapsed fail-signal layout a member's *node* also hosts a
+    /// neighbour's follower wrapper, so lifecycle events deliberately target
+    /// processes, never whole nodes — crashing the neighbour's follower
+    /// would fail-signal a perfectly healthy member.
+    fn member_pids(procs: &MemberProcs) -> Vec<ProcessId> {
+        let mut pids = vec![procs.app, procs.middleware, procs.leader, procs.follower];
+        pids.dedup();
+        pids
+    }
+
+    /// Compiles the member-lifecycle entries of the fault schedule to the
+    /// process-level schedule both runtimes execute.
+    ///
+    /// * `Crash` takes down every process of the member.
+    /// * `Recover` brings them back warm, infrastructure first so the
+    ///   driver's rejoin message finds its middleware up.
+    /// * `Replace` under [`Protocol::Crash`] installs a fresh middleware and
+    ///   a fresh rejoining driver (no state: the service's catch-up protocol
+    ///   must rebuild it); under [`Protocol::FailSignal`] it compiles to a
+    ///   warm `Recover` — an FS pair cannot be replaced cold, because
+    ///   assumption A1 pre-provisions its keys and the peers' replay guards
+    ///   pin its message sequence (see [`failsignal::group`]).
+    fn compile_lifecycle(&self, members: &[MemberProcs]) -> LifecycleSchedule {
+        let mut schedule = LifecycleSchedule::new();
+        for entry in self.faults.lifecycle_entries() {
+            let procs = members
+                .iter()
+                .find(|p| p.member == entry.member)
+                .unwrap_or_else(|| {
+                    panic!(
+                        "lifecycle schedule targets member {}, which the group does not deploy",
+                        entry.member
+                    )
+                });
+            match entry.fate {
+                MemberFate::Crash => {
+                    for pid in Self::member_pids(procs) {
+                        schedule.push(entry.at, pid, ProcessFate::Crash);
+                    }
+                }
+                MemberFate::Recover => {
+                    for pid in Self::member_pids(procs).into_iter().rev() {
+                        schedule.push(entry.at, pid, ProcessFate::Recover);
+                    }
+                }
+                MemberFate::Replace => match self.protocol {
+                    Protocol::FailSignal => {
+                        for pid in Self::member_pids(procs).into_iter().rev() {
+                            schedule.push(entry.at, pid, ProcessFate::Recover);
+                        }
+                    }
+                    Protocol::Crash => {
+                        let group: Vec<MemberId> = members.iter().map(|p| p.member).collect();
+                        let peers: BTreeMap<MemberId, ProcessId> = members
+                            .iter()
+                            .filter(|p| p.member != entry.member)
+                            .map(|p| (p.member, p.middleware))
+                            .collect();
+                        let middleware =
+                            self.service
+                                .crash_middleware(entry.member, &group, &peers, procs.app);
+                        schedule.push(entry.at, procs.middleware, ProcessFate::Replace(middleware));
+                        // The replacement incarnation observes rather than
+                        // drives load: its predecessor's per-member sequence
+                        // numbers are pinned by the sequencer's at-most-once
+                        // guard, so a fresh stream starting at zero would be
+                        // silently deduplicated.
+                        let mut workload = self.workload.for_member(entry.member);
+                        workload.messages = 0;
+                        let driver = self.service.replacement_driver(
+                            entry.member,
+                            procs.middleware,
+                            &workload,
+                        );
+                        schedule.push(entry.at, procs.app, ProcessFate::Replace(driver));
+                    }
+                },
+            }
+        }
+        schedule
+    }
+
     /// Builds and starts the scenario, returning the uniform running handle.
     ///
     /// # Panics
@@ -327,7 +413,8 @@ impl Scenario {
     /// Panics when the fault schedule targets processes the selected
     /// protocol does not deploy (wrapper targets under [`Protocol::Crash`],
     /// middleware targets under [`Protocol::FailSignal`]) — a mis-targeted
-    /// campaign would otherwise run fault-free and pass vacuously.
+    /// campaign would otherwise run fault-free and pass vacuously — or when
+    /// a member-lifecycle entry names a member outside the group.
     pub fn build(mut self) -> Running {
         // Stamp the arrival-process seed from the scenario seed so open-loop
         // runs are reproducible per seed without extra configuration (each
@@ -354,6 +441,7 @@ impl Scenario {
                 let mut sim = Simulation::with_scheduler(self.seed, topology, self.scheduler);
                 let members = self.assemble(&mut sim);
                 sim.apply_link_schedule(&link_schedule);
+                sim.apply_lifecycle_schedule(self.compile_lifecycle(&members));
                 Running {
                     service: self.service,
                     protocol: self.protocol,
@@ -373,6 +461,7 @@ impl Scenario {
                 .with_topology(topology)
                 .with_link_schedule(link_schedule);
                 let members = self.assemble(&mut builder);
+                builder = builder.with_lifecycle_schedule(self.compile_lifecycle(&members));
                 Running {
                     service: self.service,
                     protocol: self.protocol,
@@ -596,6 +685,45 @@ impl Running {
             .collect()
     }
 
+    /// Member `i`'s service machine, when the deployment exposes one: the
+    /// machine hosted by the member's [`PlainHost`] under [`Protocol::Crash`],
+    /// the leader replica of its FS pair under [`Protocol::FailSignal`].
+    /// `None` when the process is wrapped by a fault injector or is of
+    /// another shape.  On the threaded runtime this shuts the runtime down
+    /// first.
+    fn machine_of(&mut self, i: u32) -> Option<&dyn fs_smr::machine::DeterministicMachine> {
+        self.settle();
+        let procs = *self.members.get(i as usize)?;
+        match self.protocol {
+            Protocol::Crash => {
+                let any: &dyn std::any::Any = self.actor_ref(procs.middleware)?;
+                Some(any.downcast_ref::<PlainHost>()?.machine())
+            }
+            Protocol::FailSignal => {
+                let any: &dyn std::any::Any = self.actor_ref(procs.leader)?;
+                Some(any.downcast_ref::<FsoActor>()?.machine())
+            }
+        }
+    }
+
+    /// Member `i`'s **machine-level** committed delivery log, the recovery
+    /// plane's convergence probe.  Unlike [`Running::delivery_log`] (what the
+    /// member's *driver* saw as upcalls) this reads the ordered log the
+    /// service machine itself holds — which state transfer rebuilds on a
+    /// recovered or replaced member, so after catch-up it is identical
+    /// across all live members even though the rejoiner's driver never saw
+    /// the missed upcalls.  `None` when the service machine keeps no such
+    /// log or cannot be inspected.
+    pub fn machine_log(&mut self, i: u32) -> Option<Vec<(MemberId, u64)>> {
+        self.machine_of(i)?.delivered_log()
+    }
+
+    /// A digest of member `i`'s machine-level application state (see
+    /// [`Running::machine_log`]); `None` when the machine exposes none.
+    pub fn machine_digest(&mut self, i: u32) -> Option<u64> {
+        self.machine_of(i)?.app_digest()
+    }
+
     /// Member `i`'s interceptor (fail-signal protocol only).
     pub fn interceptor(&mut self, i: u32) -> Option<&FsInterceptor> {
         if self.protocol != Protocol::FailSignal {
@@ -687,6 +815,101 @@ mod tests {
             .build();
         run.run_until(SimTime::from_secs(300));
         agree(&mut run, 12);
+    }
+
+    #[test]
+    fn crash_recover_member_converges_after_catch_up() {
+        use crate::service::SmrDriver;
+        // Member 1 crashes mid-run and recovers warm: the ordering rounds it
+        // missed while down must be filled by state transfer, after which
+        // every machine-level log and store digest agrees.
+        let faults = FaultSchedule::none()
+            .crash_member_at(SimTime::from_millis(300), MemberId(1))
+            .recover_member_at(SimTime::from_millis(600), MemberId(1));
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(3)
+            .protocol(Protocol::Crash)
+            .workload(Workload::quick(30))
+            .faults(faults)
+            .build();
+        run.run_until(SimTime::from_secs(600));
+        let reference = run.machine_log(0).expect("machine log");
+        assert!(reference.len() > 30, "survivors kept ordering under load");
+        for i in 1..3 {
+            assert_eq!(run.machine_log(i).unwrap(), reference, "member {i}");
+            assert_eq!(run.machine_digest(i), run.machine_digest(0));
+        }
+        // The recovered member measured its rejoin round-trip, and every
+        // member observed the rejoin's view transition.
+        let rejoined = run.app::<SmrDriver>(1).expect("driver");
+        assert!(rejoined.rejoin_latency().is_some());
+        for i in 0..3 {
+            assert!(!run.app::<SmrDriver>(i).unwrap().views().is_empty());
+        }
+    }
+
+    #[test]
+    fn cold_replacement_member_converges_via_state_transfer() {
+        use crate::service::SmrDriver;
+        // Member 2 is killed and replaced by a cold incarnation with no
+        // state at all: only the snapshot path can make it converge.
+        let faults = FaultSchedule::none()
+            .crash_member_at(SimTime::from_millis(300), MemberId(2))
+            .replace_member_at(SimTime::from_millis(700), MemberId(2));
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(3)
+            .protocol(Protocol::Crash)
+            .workload(Workload::quick(25))
+            .faults(faults)
+            .build();
+        run.run_until(SimTime::from_secs(600));
+        let reference = run.machine_log(0).expect("machine log");
+        assert!(!reference.is_empty());
+        assert_eq!(run.machine_log(2).unwrap(), reference);
+        assert_eq!(run.machine_digest(2), run.machine_digest(0));
+        // The replacement incarnation observes rather than drives load, and
+        // its rejoin completed.
+        let replacement = run.app::<SmrDriver>(2).expect("driver");
+        assert_eq!(replacement.sent(), 0);
+        assert!(replacement.rejoin_latency().is_some());
+    }
+
+    #[test]
+    fn fs_member_recovers_warm_and_converges() {
+        // Under the fail-signal protocol the whole member — driver,
+        // interceptor, both wrappers — goes down and comes back warm; the
+        // duplicated machines then run the same catch-up protocol through
+        // the signed wrapper path.
+        let faults = FaultSchedule::none()
+            .crash_member_at(SimTime::from_millis(400), MemberId(1))
+            .recover_member_at(SimTime::from_millis(900), MemberId(1));
+        let mut run = Scenario::new(SmrKvService::new())
+            .members(3)
+            .protocol(Protocol::FailSignal)
+            .workload(Workload::quick(20))
+            .faults(faults)
+            .build();
+        run.run_until(SimTime::from_secs(3600));
+        assert!(
+            !run.fail_signalled(),
+            "a clean crash/recover must not trip the pair's own fail-signal"
+        );
+        let reference = run.machine_log(0).expect("leader machine log");
+        assert!(!reference.is_empty());
+        for i in 1..3 {
+            assert_eq!(run.machine_log(i).unwrap(), reference, "member {i}");
+            assert_eq!(run.machine_digest(i), run.machine_digest(0));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "which the group does not deploy")]
+    fn lifecycle_targeting_unknown_member_panics() {
+        let faults = FaultSchedule::none().crash_member_at(SimTime::from_secs(1), MemberId(9));
+        let _ = Scenario::new(SmrKvService::new())
+            .members(3)
+            .faults(faults)
+            .build();
     }
 
     #[test]

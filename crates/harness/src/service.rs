@@ -24,7 +24,7 @@ use failsignal::service::FsService;
 use fs_common::codec::Wire;
 use fs_common::id::{MemberId, ProcessId};
 use fs_common::rng::DetRng;
-use fs_common::time::SimTime;
+use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 use fs_newtop::app::{AppProcess, TrafficConfig};
 use fs_newtop::gc::{GcConfig, GcCosts, GcMachine};
@@ -68,6 +68,19 @@ pub trait ServiceSpec: Send {
         workload: &Workload,
     ) -> Box<dyn Actor>;
 
+    /// The driver installed when the recovery plane *replaces* a member
+    /// cold.  The default is an ordinary [`ServiceSpec::driver`];
+    /// implementations whose machine has a catch-up protocol should return
+    /// a driver that announces the rejoin to its middleware on start.
+    fn replacement_driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        self.driver(member, middleware, workload)
+    }
+
     /// Reads the `(origin, seq)` delivery log out of a driver actor created
     /// by [`ServiceSpec::driver`] (`None` if the actor is of the wrong type).
     fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>>;
@@ -110,6 +123,15 @@ impl ServiceSpec for Box<dyn ServiceSpec> {
         workload: &Workload,
     ) -> Box<dyn Actor> {
         self.as_ref().driver(member, middleware, workload)
+    }
+    fn replacement_driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        self.as_ref()
+            .replacement_driver(member, middleware, workload)
     }
     fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
         self.as_ref().delivery_log_of(driver)
@@ -330,6 +352,15 @@ impl ServiceSpec for SmrKvService {
         Box::new(SmrDriver::new(member, middleware, *workload))
     }
 
+    fn replacement_driver(
+        &self,
+        member: MemberId,
+        middleware: ProcessId,
+        workload: &Workload,
+    ) -> Box<dyn Actor> {
+        Box::new(SmrDriver::new(member, middleware, *workload).rejoining())
+    }
+
     fn delivery_log_of(&self, driver: &dyn Actor) -> Option<Vec<(MemberId, u64)>> {
         let any: &dyn Any = driver;
         any.downcast_ref::<SmrDriver>()
@@ -386,6 +417,12 @@ impl PlainHost {
             routes,
         }
     }
+
+    /// The hosted machine, for state inspection (the recovery plane's
+    /// convergence probes read its delivered log and state digest here).
+    pub fn machine(&self) -> &dyn DeterministicMachine {
+        self.machine.as_ref()
+    }
 }
 
 impl Actor for PlainHost {
@@ -436,6 +473,16 @@ pub struct SmrDriver {
     latencies: LatencyRecorder,
     delivery_log: Vec<(MemberId, u64)>,
     last_delivery: Option<SimTime>,
+    /// True for a cold-replacement incarnation: announce the rejoin on
+    /// start so the fresh machine runs its catch-up protocol.
+    rejoin_on_start: bool,
+    /// When the last `Recover` was sent, pending its view upcall.
+    recover_sent_at: Option<SimTime>,
+    /// Observed view installs, as `(global slot, view id)` pairs.
+    views: Vec<(u64, u64)>,
+    /// Time from the last `Recover` to the view install that re-admitted
+    /// this member — the driver-observed recovery time.
+    rejoin_latency: Option<SimDuration>,
 }
 
 impl std::fmt::Debug for SmrDriver {
@@ -467,7 +514,20 @@ impl SmrDriver {
             latencies: LatencyRecorder::new(),
             delivery_log: Vec::new(),
             last_delivery: None,
+            rejoin_on_start: false,
+            recover_sent_at: None,
+            views: Vec::new(),
+            rejoin_latency: None,
         }
+    }
+
+    /// Marks this driver as a cold replacement: on start it sends
+    /// [`SmrClientMsg::Recover`] so the fresh machine fetches the state it
+    /// never had and announces its rejoin to the sequencer.
+    #[must_use]
+    pub fn rejoining(mut self) -> Self {
+        self.rejoin_on_start = true;
+        self
     }
 
     /// The `(origin, seq)` pairs delivered so far, in delivery order.
@@ -493,6 +553,18 @@ impl SmrDriver {
     /// The admission counters of this driver's gate.
     pub fn load_stats(&self) -> LoadStats {
         self.gate.stats()
+    }
+
+    /// The view installs this driver observed, as `(global slot, view id)`
+    /// pairs in delivery order.
+    pub fn views(&self) -> &[(u64, u64)] {
+        &self.views
+    }
+
+    /// Time from this driver's last `Recover` to the view install that
+    /// re-admitted its member — `None` until a rejoin completed.
+    pub fn rejoin_latency(&self) -> Option<SimDuration> {
+        self.rejoin_latency
     }
 
     /// One tick of the arrival process: offer a command to the admission
@@ -577,9 +649,38 @@ impl SmrDriver {
 
 impl Actor for SmrDriver {
     fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.rejoin_on_start {
+            self.recover_sent_at = Some(ctx.now());
+            ctx.send(self.middleware, SmrClientMsg::Recover.to_wire());
+        }
         if self.workload.messages > 0 {
             ctx.set_timer(self.workload.start_delay, TIMER_SEND);
         }
+    }
+
+    fn on_recover(&mut self, ctx: &mut dyn Context) {
+        // A warm restart: state survives but timers did not, and any
+        // deliveries that raced the downtime are gone for good — state
+        // transfer rebuilds the machine's log, not the upcall stream.
+        // Abandon the in-flight window so the admission gate's slots do not
+        // leak (late deliveries of abandoned commands are simply not
+        // latency-sampled), re-arm pacing, and kick the machine's catch-up
+        // protocol.
+        if !self.batch.is_empty() {
+            ctx.set_timer(self.workload.batch_linger, TIMER_FLUSH);
+        }
+        self.sent_at.clear();
+        let stranded: Vec<u32> = std::mem::take(&mut self.client_of).into_values().collect();
+        for client in stranded {
+            if self.gate.complete(client) {
+                self.enqueue(ctx, client);
+            }
+        }
+        if self.offered < self.workload.messages {
+            ctx.set_timer(self.pacer.next_gap(), TIMER_SEND);
+        }
+        self.recover_sent_at = Some(ctx.now());
+        ctx.send(self.middleware, SmrClientMsg::Recover.to_wire());
     }
 
     fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
@@ -611,6 +712,17 @@ impl Actor for SmrDriver {
             SmrUpcall::Batch(batch) => {
                 for entry in &batch.entries {
                     self.deliver_entry(ctx, now, entry);
+                }
+            }
+            SmrUpcall::View(install) => {
+                self.views.push((install.global, install.view.id));
+                // On the rejoining member, its own view install doubles as
+                // the catch-up-complete signal (the transition applies only
+                // after the whole history before it).
+                if install.view.contains(self.member) {
+                    if let Some(sent) = self.recover_sent_at.take() {
+                        self.rejoin_latency = Some(now.duration_since(sent));
+                    }
                 }
             }
         }

@@ -2,10 +2,14 @@
 //!
 //! NewTOP is a *partitionable* system: processes that suspect a member
 //! install a new view excluding it, without any merge protocol (§3).  Views
-//! only ever shrink in this implementation, which is exactly the behaviour
-//! the paper relies on when it warns that false suspicions "split groups"
-//! and reduce fault-tolerance potential — the effect the fail-signal
-//! suspector eliminates.
+//! shrink under suspicion, which is exactly the behaviour the paper relies
+//! on when it warns that false suspicions "split groups" and reduce
+//! fault-tolerance potential — the effect the fail-signal suspector
+//! eliminates.  The one growth path is explicit readmission
+//! ([`MembershipState::readmit`]): the recovery plane announces that a
+//! previously excluded member came back up, and the view re-admits it under
+//! a fresh view number (a deliberate reconfiguration, not a partition
+//! merge).
 
 use std::collections::BTreeSet;
 
@@ -74,6 +78,20 @@ impl View {
         })
     }
 
+    /// Installs a successor view that re-admits `added`.  Returns `None`
+    /// when `added` is already a member (no change).
+    pub fn with(&self, added: MemberId) -> Option<View> {
+        if self.members.contains(&added) {
+            return None;
+        }
+        let mut members = self.members.clone();
+        members.insert(added);
+        Some(View {
+            id: self.id + 1,
+            members,
+        })
+    }
+
     /// The deliverable form of this view.
     pub fn to_deliver(&self) -> ViewDeliver {
         ViewDeliver {
@@ -129,6 +147,22 @@ impl MembershipState {
             return None;
         }
         match self.view.without(member) {
+            Some(next) => {
+                self.view = next.clone();
+                Some(next)
+            }
+            None => None,
+        }
+    }
+
+    /// Clears a suspicion and re-admits `member` to the view — the recovery
+    /// plane's rejoin path.  If the member had been excluded, the successor
+    /// view including it again is installed and returned for delivery.
+    /// Unlike suspicion-driven shrinking this is an explicit, scheduled
+    /// reconfiguration, so it may grow the view.
+    pub fn readmit(&mut self, member: MemberId) -> Option<View> {
+        self.suspected.remove(&member);
+        match self.view.with(member) {
             Some(next) => {
                 self.view = next.clone();
                 Some(next)
@@ -223,6 +257,25 @@ mod tests {
         m.suspect(MemberId(2));
         assert!(m.is_singleton());
         assert_eq!(m.view().len(), 1);
+    }
+
+    #[test]
+    fn readmit_reverses_a_suspicion_exclusion() {
+        let mut m = MembershipState::new(MemberId(0), group(3));
+        m.suspect(MemberId(2));
+        assert!(!m.view().contains(MemberId(2)));
+        assert_eq!(m.view().id, 1);
+        let v2 = m.readmit(MemberId(2)).unwrap();
+        assert_eq!(v2.id, 2);
+        assert!(m.view().contains(MemberId(2)));
+        assert!(!m.suspected().contains(&MemberId(2)));
+        // Re-suspecting after readmission excludes it again (fresh view).
+        let v3 = m.suspect(MemberId(2)).unwrap();
+        assert_eq!(v3.id, 3);
+        // Readmitting a current member changes nothing.
+        let mut fresh = MembershipState::new(MemberId(0), group(3));
+        assert!(fresh.readmit(MemberId(1)).is_none());
+        assert_eq!(fresh.view().id, 0);
     }
 
     #[test]

@@ -107,6 +107,16 @@ pub trait Actor: Any + Send {
     /// Called when a timer armed by this actor fires.
     fn on_timer(&mut self, _ctx: &mut dyn Context, _timer: TimerId) {}
 
+    /// Called when the lifecycle plane brings this actor back up after a
+    /// scheduled crash (see the runtimes' `crash_at`/`recover_at` events).
+    /// The actor's in-memory state survives the outage, but every message
+    /// and timer that would have arrived while it was down was dropped —
+    /// implementations typically re-arm their periodic timers here and kick
+    /// off whatever resynchronisation their protocol provides.  Not called
+    /// for cold replacements, which are fresh actors started via
+    /// [`Actor::on_start`].
+    fn on_recover(&mut self, _ctx: &mut dyn Context) {}
+
     /// A short human-readable name used in traces.
     fn name(&self) -> String {
         "actor".to_string()

@@ -17,6 +17,14 @@
 //! simulator and gates the real channel sends of the threaded runtime — the
 //! vehicle for the paper's A2-violation experiments.
 //!
+//! They likewise share a **process lifecycle plane**: a
+//! [`lifecycle::LifecycleSchedule`] of timed crash / recover / replace
+//! events takes processes down, warm-restarts them (running
+//! [`actor::Actor::on_recover`]) or cold-replaces them with fresh actors,
+//! again as deterministic simulator events and control-thread-driven actions
+//! on the threaded runtime — the vehicle for rolling-restart and
+//! reconfiguration experiments.
+//!
 //! ## Example: two actors on a simulated LAN
 //!
 //! ```
@@ -60,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod actor;
+pub mod lifecycle;
 pub mod link;
 pub mod load;
 pub mod node;
@@ -69,6 +78,7 @@ pub mod threaded;
 pub mod trace;
 
 pub use actor::{Actor, Context, Outgoing, TestContext, TimerId};
+pub use lifecycle::{LifecycleEvent, LifecycleSchedule, ProcessFate};
 pub use link::{LinkDegrade, LinkEvent, LinkFault, LinkModel, LinkSchedule, LinkScope, Topology};
 pub use load::{Admission, AdmissionGate, Arrival, ArrivalPacer, LoadStats};
 pub use node::{NodeConfig, NodeState};

@@ -67,6 +67,34 @@ enum EventKind {
     LinkFault {
         index: u32,
     },
+    /// A scheduled process lifecycle event takes effect; the payload lives
+    /// in the simulation's `lifecycle` table (replacements carry a fresh
+    /// `Box<dyn Actor>`, which has no `Clone`/`Eq`, so the queue stores only
+    /// the index).
+    Lifecycle {
+        index: u32,
+    },
+}
+
+/// The action a scheduled lifecycle event performs on its process.
+enum LifecycleAction {
+    /// Take the process down: subsequent deliveries are dropped and its
+    /// armed timers are lost, as in a real process crash.
+    Down,
+    /// Bring the process back up with its in-memory state intact (a warm
+    /// restart); [`Actor::on_recover`] runs so it can re-arm timers and
+    /// resynchronise.
+    Up,
+    /// Replace the process with a fresh actor under the same identity (a
+    /// cold replacement); [`Actor::on_start`] runs on the new incarnation.
+    /// The box is `take`n when the event executes.
+    Replace(Option<Box<dyn Actor>>),
+}
+
+/// One entry of the simulation's lifecycle side table.
+struct LifecycleEvent {
+    process: ProcessId,
+    action: LifecycleAction,
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -98,6 +126,9 @@ struct ActorSlot {
     /// Dense index into the simulation's node table.
     node: u32,
     rng: DetRng,
+    /// False between a scheduled crash and the matching recover/replace:
+    /// deliveries are dropped (and counted) and timers suppressed while down.
+    up: bool,
     timer_generation: BTreeMap<TimerId, u64>,
     /// Per-destination-slot FIFO floor: the latest scheduled delivery time
     /// towards that slot.  Deliveries between a pair never overtake each
@@ -164,6 +195,8 @@ pub struct Simulation {
     topology: Topology,
     /// Scheduled link faults, addressed by `EventKind::LinkFault::index`.
     link_events: Vec<LinkEvent>,
+    /// Scheduled lifecycle events, addressed by `EventKind::Lifecycle::index`.
+    lifecycle: Vec<LifecycleEvent>,
     rng: DetRng,
     stats: NetStats,
     trace: Option<TraceLog>,
@@ -222,6 +255,7 @@ impl Simulation {
             nodes: Vec::new(),
             topology,
             link_events: Vec::new(),
+            lifecycle: Vec::new(),
             rng: DetRng::new(seed),
             stats: NetStats::default(),
             trace: None,
@@ -312,6 +346,7 @@ impl Simulation {
             actor,
             node: node.0,
             rng,
+            up: true,
             timer_generation: BTreeMap::new(),
             fifo_floor: Vec::new(),
             counters: ProcessCount::default(),
@@ -416,6 +451,68 @@ impl Simulation {
     pub fn apply_link_schedule(&mut self, schedule: &LinkSchedule) {
         for event in schedule.in_order() {
             self.schedule_link_fault(event.at, event.scope, event.fault);
+        }
+    }
+
+    fn schedule_lifecycle(&mut self, at: SimTime, process: ProcessId, action: LifecycleAction) {
+        let index = self.lifecycle.len() as u32;
+        self.lifecycle.push(LifecycleEvent { process, action });
+        let event = QueuedEvent {
+            at: at.max(self.clock),
+            seq: self.next_seq(),
+            kind: EventKind::Lifecycle { index },
+        };
+        self.queue.push(event);
+    }
+
+    /// Schedules `process` to crash at absolute simulated time `at` (clamped
+    /// to now): from that instant deliveries to it are dropped (counted in
+    /// [`NetStats::dropped_down`]), its armed timers are lost, and its
+    /// handlers stop running until a matching [`Simulation::schedule_recover`]
+    /// or [`Simulation::schedule_replace`].  Like a scheduled link fault,
+    /// the crash executes as an ordinary deterministic event and is recorded
+    /// in the trace.
+    pub fn schedule_crash(&mut self, at: SimTime, process: ProcessId) {
+        self.schedule_lifecycle(at, process, LifecycleAction::Down);
+    }
+
+    /// Schedules `process` to come back up at `at` with its in-memory state
+    /// intact (a warm restart).  [`Actor::on_recover`] runs on the
+    /// transition; everything sent to the process while it was down is gone.
+    pub fn schedule_recover(&mut self, at: SimTime, process: ProcessId) {
+        self.schedule_lifecycle(at, process, LifecycleAction::Up);
+    }
+
+    /// Schedules a cold replacement of `process` at `at`: the fresh `actor`
+    /// takes over the same process identifier with none of the old
+    /// incarnation's state, and its [`Actor::on_start`] runs.  The
+    /// replacement draws a fresh deterministic RNG stream.
+    pub fn schedule_replace(&mut self, at: SimTime, process: ProcessId, actor: Box<dyn Actor>) {
+        self.schedule_lifecycle(at, process, LifecycleAction::Replace(Some(actor)));
+    }
+
+    /// Whether `process` is currently up (false between a scheduled crash
+    /// and the matching recover/replace).  `None` if never spawned.
+    pub fn is_up(&self, process: ProcessId) -> Option<bool> {
+        self.slot_of(process).map(|s| self.actors[s].up)
+    }
+
+    /// Schedules every event of `schedule`, in time order — the lifecycle
+    /// counterpart of [`Simulation::apply_link_schedule`].  Consumes the
+    /// schedule because replacement events carry their fresh actors.
+    pub fn apply_lifecycle_schedule(&mut self, schedule: crate::lifecycle::LifecycleSchedule) {
+        for event in schedule.in_order() {
+            match event.fate {
+                crate::lifecycle::ProcessFate::Crash => {
+                    self.schedule_crash(event.at, event.process)
+                }
+                crate::lifecycle::ProcessFate::Recover => {
+                    self.schedule_recover(event.at, event.process)
+                }
+                crate::lifecycle::ProcessFate::Replace(actor) => {
+                    self.schedule_replace(event.at, event.process, actor)
+                }
+            }
         }
     }
 
@@ -524,6 +621,10 @@ impl Simulation {
                         }
                     }
                 };
+                if !self.actors[slot].up {
+                    self.stats.drop_down();
+                    return;
+                }
                 self.stats.messages_delivered += 1;
                 self.actors[slot].counters.received += 1;
                 self.run_handler(event.at, slot, HandlerKind::Message { from, payload });
@@ -544,6 +645,11 @@ impl Simulation {
                     // firing was scheduled.
                     return;
                 }
+                if !self.actors[slot].up {
+                    // A down process fires no timers (its generations were
+                    // bumped at crash time; this is a defensive second gate).
+                    return;
+                }
                 self.stats.timers_fired += 1;
                 self.run_handler(event.at, slot, HandlerKind::Timer { timer });
             }
@@ -558,6 +664,74 @@ impl Simulation {
                         description: link_event.to_string(),
                     });
                 }
+            }
+            EventKind::Lifecycle { index } => {
+                self.run_lifecycle(event.at, index as usize);
+            }
+        }
+    }
+
+    fn run_lifecycle(&mut self, at: SimTime, index: usize) {
+        let process = self.lifecycle[index].process;
+        let Some(slot_idx) = self.slot_of(process) else {
+            return;
+        };
+        self.stats.lifecycle_events += 1;
+        // Resolve the action first (taking a replacement's box) so the side
+        // table borrow ends before any handler runs.
+        enum Resolved {
+            Down,
+            Up,
+            Replace(Option<Box<dyn Actor>>),
+        }
+        let resolved = match &mut self.lifecycle[index].action {
+            LifecycleAction::Down => Resolved::Down,
+            LifecycleAction::Up => Resolved::Up,
+            LifecycleAction::Replace(actor) => Resolved::Replace(actor.take()),
+        };
+        let description = match &resolved {
+            Resolved::Down => "crash",
+            Resolved::Up => "recover",
+            Resolved::Replace(_) => "replace",
+        };
+        if let Some(trace) = &mut self.trace {
+            trace.push(TraceEvent::Lifecycle {
+                at,
+                process,
+                description: description.to_string(),
+            });
+        }
+        match resolved {
+            Resolved::Down => {
+                let slot = &mut self.actors[slot_idx];
+                slot.up = false;
+                // A crashed process loses its armed timers: bump every
+                // generation so pending firings go stale.
+                for g in slot.timer_generation.values_mut() {
+                    *g += 1;
+                }
+            }
+            Resolved::Up => {
+                if !self.actors[slot_idx].up {
+                    self.actors[slot_idx].up = true;
+                    self.run_handler(at, slot_idx, HandlerKind::Recover);
+                }
+            }
+            Resolved::Replace(actor) => {
+                let Some(fresh) = actor else { return };
+                let slot = &mut self.actors[slot_idx];
+                slot.actor = fresh;
+                slot.up = true;
+                for g in slot.timer_generation.values_mut() {
+                    *g += 1;
+                }
+                // A fresh deterministic RNG stream for the new incarnation,
+                // distinct from the original spawn's and from any earlier
+                // replacement under the same id.
+                slot.rng = self
+                    .rng
+                    .derive(0x5eed_1000 + u64::from(process.0) + ((index as u64 + 1) << 32));
+                self.run_handler(at, slot_idx, HandlerKind::Start);
             }
         }
     }
@@ -595,6 +769,7 @@ impl Simulation {
 
         match kind {
             HandlerKind::Start => slot.actor.on_start(&mut ctx),
+            HandlerKind::Recover => slot.actor.on_recover(&mut ctx),
             HandlerKind::Message { from, payload } => {
                 slot.actor.on_message(&mut ctx, from, payload)
             }
@@ -721,6 +896,7 @@ impl Simulation {
 
 enum HandlerKind {
     Start,
+    Recover,
     Message { from: ProcessId, payload: Bytes },
     Timer { timer: TimerId },
 }
@@ -1076,6 +1252,128 @@ mod tests {
             .filter(|e| matches!(e, TraceEvent::LinkFault { .. }))
             .count();
         assert_eq!(fault_records, 2, "both fault events recorded in the trace");
+    }
+
+    /// Counts deliveries, recoveries and timer firings; arms a periodic
+    /// timer so crash-time timer loss is observable.
+    struct Lifeline {
+        received: usize,
+        recovered: usize,
+        timer_fired: usize,
+    }
+
+    impl Actor for Lifeline {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
+        }
+        fn on_recover(&mut self, ctx: &mut dyn Context) {
+            self.recovered += 1;
+            ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
+        }
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
+            self.received += 1;
+        }
+        fn on_timer(&mut self, ctx: &mut dyn Context, _timer: TimerId) {
+            self.timer_fired += 1;
+            ctx.set_timer(SimDuration::from_millis(10), TimerId(1));
+        }
+    }
+
+    #[test]
+    fn crash_then_recover_drops_in_between_and_runs_on_recover() {
+        let mut sim = ideal_sim();
+        sim.enable_trace();
+        let n0 = sim.add_node(NodeConfig::ideal());
+        let n1 = sim.add_node(NodeConfig::ideal());
+        let target = sim.spawn(
+            n0,
+            Box::new(Lifeline {
+                received: 0,
+                recovered: 0,
+                timer_fired: 0,
+            }),
+        );
+        sim.spawn(
+            n1,
+            Box::new(Pacer {
+                dest: target,
+                interval: SimDuration::from_millis(10),
+                count: 10,
+                sent: 0,
+                replies: 0,
+            }),
+        );
+        // Down between t = 25 ms and t = 65 ms: messages 3..=6 are dropped.
+        sim.schedule_crash(SimTime::from_millis(25), target);
+        sim.schedule_recover(SimTime::from_millis(65), target);
+        sim.run_until(SimTime::from_secs(1));
+
+        let l = sim.actor::<Lifeline>(target).unwrap();
+        assert_eq!(l.recovered, 1, "on_recover ran once");
+        assert_eq!(l.received, 6, "four deliveries were dropped while down");
+        assert_eq!(sim.stats().dropped_down, 4);
+        assert_eq!(sim.stats().lifecycle_events, 2);
+        assert_eq!(sim.is_up(target), Some(true));
+        // The periodic timer kept firing before the crash and after
+        // recovery, but never in between.
+        let fired_window = sim.stats().timers_fired;
+        assert!(fired_window > 0);
+        let lifecycle_records = sim
+            .trace()
+            .unwrap()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, TraceEvent::Lifecycle { .. }))
+            .count();
+        assert_eq!(lifecycle_records, 2);
+    }
+
+    #[test]
+    fn crash_loses_armed_timers_until_recover_rearms() {
+        let mut sim = ideal_sim();
+        let n0 = sim.add_node(NodeConfig::ideal());
+        let target = sim.spawn(
+            n0,
+            Box::new(Lifeline {
+                received: 0,
+                recovered: 0,
+                timer_fired: 0,
+            }),
+        );
+        sim.schedule_crash(SimTime::from_millis(35), target);
+        // While down between 35 and 200 ms nothing fires; on_recover re-arms.
+        sim.schedule_recover(SimTime::from_millis(200), target);
+        sim.run_until(SimTime::from_millis(245));
+        let l = sim.actor::<Lifeline>(target).unwrap();
+        // Fired at 10, 20, 30 ms; then down; then ~210, 220, 230, 240 ms.
+        assert_eq!(l.timer_fired, 7);
+    }
+
+    #[test]
+    fn replace_installs_a_fresh_actor_under_the_same_id() {
+        let mut sim = ideal_sim();
+        let n0 = sim.add_node(NodeConfig::ideal());
+        let n1 = sim.add_node(NodeConfig::ideal());
+        let target = sim.spawn(n0, Box::new(Echo::new()));
+        sim.spawn(
+            n1,
+            Box::new(Pacer {
+                dest: target,
+                interval: SimDuration::from_millis(10),
+                count: 8,
+                sent: 0,
+                replies: 0,
+            }),
+        );
+        sim.schedule_crash(SimTime::from_millis(25), target);
+        sim.schedule_replace(SimTime::from_millis(55), target, Box::new(Echo::new()));
+        sim.run_until(SimTime::from_secs(1));
+        let e = sim.actor::<Echo>(target).unwrap();
+        // Messages 1-2 hit the old incarnation (state gone), 3-5 dropped
+        // while down, 6-8 hit the replacement.
+        assert_eq!(e.received.len(), 3, "replacement starts from empty state");
+        assert_eq!(sim.stats().dropped_down, 3);
+        assert_eq!(sim.is_up(target), Some(true));
     }
 
     #[test]

@@ -34,6 +34,17 @@
 //! schedule drives both runtimes.  Only the fault overlay applies — base
 //! link-model latencies stay simulated-only, since real channel transport
 //! already has a cost.
+//!
+//! ## The process lifecycle plane
+//!
+//! A [`crate::lifecycle::LifecycleSchedule`] passed to
+//! [`ThreadedBuilder::with_lifecycle_schedule`] is executed by the same
+//! control thread at the events' wall-clock offsets from start: a crash
+//! takes the process down on its node thread (deliveries dropped and
+//! counted, armed timers lost), a recover brings it back warm (running
+//! [`Actor::on_recover`]), a replace installs the scheduled fresh actor cold
+//! (running its [`Actor::on_start`]) — mirroring the simulator's
+//! deterministic execution of the same schedule.
 
 use std::collections::{BinaryHeap, HashMap};
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
@@ -49,6 +60,7 @@ use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 
 use crate::actor::{Actor, Context, TimerId};
+use crate::lifecycle::{LifecycleSchedule, ProcessFate};
 use crate::link::{LinkEvent, LinkFault, LinkSchedule, LinkScope, Topology};
 use crate::trace::NetStats;
 
@@ -63,7 +75,21 @@ enum Envelope {
         from: ProcessId,
         items: Vec<(ProcessId, Bytes)>,
     },
+    /// A scheduled lifecycle action for one actor hosted on this node,
+    /// injected by the control thread at the scheduled offset.
+    Lifecycle {
+        process: ProcessId,
+        action: NodeLifecycle,
+    },
     Stop,
+}
+
+/// A lifecycle action as shipped to the hosting node thread (replacements
+/// carry the fresh actor and its pre-derived deterministic RNG).
+enum NodeLifecycle {
+    Down,
+    Up,
+    Replace(Box<dyn Actor>, DetRng),
 }
 
 /// Messages to the control thread (delay line + link-schedule executor).
@@ -84,7 +110,9 @@ struct Shared {
     messages_delivered: AtomicU64,
     dropped_unknown_dest: AtomicU64,
     dropped_link: AtomicU64,
+    dropped_down: AtomicU64,
     link_faults: AtomicU64,
+    lifecycle_events: AtomicU64,
     bytes_sent: AtomicU64,
     timers_fired: AtomicU64,
     events_processed: AtomicU64,
@@ -119,13 +147,16 @@ impl Shared {
     fn snapshot(&self) -> NetStats {
         let unknown = self.dropped_unknown_dest.load(Ordering::Relaxed);
         let link = self.dropped_link.load(Ordering::Relaxed);
+        let down = self.dropped_down.load(Ordering::Relaxed);
         NetStats {
             messages_sent: self.messages_sent.load(Ordering::Relaxed),
             messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
-            messages_dropped: unknown + link,
+            messages_dropped: unknown + link + down,
             dropped_unknown_dest: unknown,
             dropped_link: link,
+            dropped_down: down,
             link_faults: self.link_faults.load(Ordering::Relaxed),
+            lifecycle_events: self.lifecycle_events.load(Ordering::Relaxed),
             bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
             timers_fired: self.timers_fired.load(Ordering::Relaxed),
             events_processed: self.events_processed.load(Ordering::Relaxed),
@@ -209,6 +240,9 @@ pub struct ThreadedBuilder {
     topology: Topology,
     /// Timed link faults, applied at their wall-clock offsets from start.
     schedule: LinkSchedule,
+    /// Timed process lifecycle events (crash/recover/replace), likewise
+    /// applied at their wall-clock offsets from start.
+    lifecycle: LifecycleSchedule,
 }
 
 impl std::fmt::Debug for ThreadedBuilder {
@@ -235,6 +269,7 @@ impl ThreadedBuilder {
             next: 0,
             topology: Topology::default(),
             schedule: LinkSchedule::new(),
+            lifecycle: LifecycleSchedule::new(),
         }
     }
 
@@ -256,6 +291,16 @@ impl ThreadedBuilder {
     #[must_use]
     pub fn with_link_schedule(mut self, schedule: LinkSchedule) -> Self {
         self.schedule = schedule;
+        self
+    }
+
+    /// Schedules timed process lifecycle events (crash / recover / replace),
+    /// applied by the control thread at their offsets from the runtime's
+    /// start (1 simulated second = 1 wall-clock second), mirroring the
+    /// simulator's deterministic execution of the same schedule.
+    #[must_use]
+    pub fn with_lifecycle_schedule(mut self, lifecycle: LifecycleSchedule) -> Self {
+        self.lifecycle = lifecycle;
         self
     }
 
@@ -340,30 +385,62 @@ impl ThreadedBuilder {
         let shared = Arc::new(Shared::with_nodes(self.nodes.len()));
         let root_rng = DetRng::new(self.config.seed);
 
-        // The fault plane only materialises when it can actually do
-        // something; fault-free runs keep the zero-overhead send path.
+        // The lifecycle plane: resolve each scheduled event to its hosting
+        // node up front; replacements pre-derive their RNG stream with the
+        // same salt formula the simulator uses for its replacements.
+        let mut lifecycle: std::collections::VecDeque<TimedLifecycle> =
+            std::collections::VecDeque::new();
+        for (k, event) in self.lifecycle.in_order().into_iter().enumerate() {
+            let Some(&node) = node_of.get(&event.process) else {
+                continue;
+            };
+            let action = match event.fate {
+                ProcessFate::Crash => NodeLifecycle::Down,
+                ProcessFate::Recover => NodeLifecycle::Up,
+                ProcessFate::Replace(actor) => {
+                    let rng = root_rng
+                        .derive(0x5eed_1000 + u64::from(event.process.0) + ((k as u64 + 1) << 32));
+                    NodeLifecycle::Replace(actor, rng)
+                }
+            };
+            lifecycle.push_back(TimedLifecycle {
+                at: event.at,
+                node,
+                process: event.process,
+                action,
+            });
+        }
+
+        // The fault and lifecycle planes only materialise when they can
+        // actually do something; plain runs keep the zero-overhead send path
+        // and spawn no control thread.
         let gate = (self.topology.has_faults() || !self.schedule.is_empty())
             .then(|| Arc::new(LinkGate::new(self.topology, self.config.seed)));
-        let (control_tx, control_handle) = match &gate {
-            Some(gate) => {
-                let (ctl_tx, ctl_rx) = unbounded();
-                let gate = Arc::clone(gate);
-                let txs = Arc::clone(&txs);
-                let shared = Arc::clone(&shared);
-                let schedule = self.schedule.in_order();
-                // Publish the first pending fault before anything can probe
-                // for quiescence (the control thread keeps this up to date).
-                shared.next_fault_due.store(
-                    schedule.first().map_or(u64::MAX, |e| e.at.as_nanos()),
-                    Ordering::SeqCst,
-                );
-                let handle = std::thread::Builder::new()
-                    .name("simnet-linkctl".into())
-                    .spawn(move || control_main(ctl_rx, txs, gate, schedule, epoch, shared))
-                    .expect("spawn link control thread");
-                (Some(ctl_tx), Some(handle))
-            }
-            None => (None, None),
+        let (control_tx, control_handle) = if gate.is_some() || !lifecycle.is_empty() {
+            let (ctl_tx, ctl_rx) = unbounded();
+            let gate = gate.clone();
+            let ctl_txs = Arc::clone(&txs);
+            let ctl_shared = Arc::clone(&shared);
+            let schedule = self.schedule.in_order();
+            // Publish the first pending fault/lifecycle event before
+            // anything can probe for quiescence (the control thread keeps
+            // this up to date).
+            let first_fault = schedule.first().map_or(u64::MAX, |e| e.at.as_nanos());
+            let first_lifecycle = lifecycle.front().map_or(u64::MAX, |e| e.at.as_nanos());
+            shared
+                .next_fault_due
+                .store(first_fault.min(first_lifecycle), Ordering::SeqCst);
+            let handle = std::thread::Builder::new()
+                .name("simnet-linkctl".into())
+                .spawn(move || {
+                    control_main(
+                        ctl_rx, ctl_txs, gate, schedule, lifecycle, epoch, ctl_shared,
+                    )
+                })
+                .expect("spawn link control thread");
+            (Some(ctl_tx), Some(handle))
+        } else {
+            (None, None)
         };
 
         let mut handles = Vec::new();
@@ -774,16 +851,27 @@ fn flush_outgoing(
     }
 }
 
-/// The delay-line / link-schedule thread: applies each scheduled fault at
-/// its wall-clock offset from the epoch and re-injects fault-delayed
-/// deliveries into the destination node's inbox once their extra latency has
-/// elapsed.  Exits when every sender (runtime handle and node threads) is
-/// gone.
+/// One lifecycle event resolved to its hosting node, ready for the control
+/// thread to ship at its offset.
+struct TimedLifecycle {
+    at: SimTime,
+    node: usize,
+    process: ProcessId,
+    action: NodeLifecycle,
+}
+
+/// The delay-line / link-schedule / lifecycle thread: applies each scheduled
+/// link fault at its wall-clock offset from the epoch, ships scheduled
+/// process lifecycle events to their hosting node threads, and re-injects
+/// fault-delayed deliveries into the destination node's inbox once their
+/// extra latency has elapsed.  Exits when every sender (runtime handle and
+/// node threads) is gone.
 fn control_main(
     rx: Receiver<ControlMsg>,
     txs: Arc<Vec<Sender<Envelope>>>,
-    gate: Arc<LinkGate>,
+    gate: Option<Arc<LinkGate>>,
     schedule: Vec<LinkEvent>,
+    mut lifecycle: std::collections::VecDeque<TimedLifecycle>,
     epoch: Instant,
     shared: Arc<Shared>,
 ) {
@@ -794,20 +882,41 @@ fn control_main(
     let mut next_seq: u64 = 0;
     let mut next_fault = 0usize;
     let fault_due = |event: &LinkEvent| epoch + Duration::from_nanos(event.at.as_nanos());
+    let lifecycle_due = |event: &TimedLifecycle| epoch + Duration::from_nanos(event.at.as_nanos());
     loop {
         let now = Instant::now();
         while next_fault < schedule.len() && fault_due(&schedule[next_fault]) <= now {
             let event = &schedule[next_fault];
-            gate.apply(&event.scope, &event.fault);
+            if let Some(gate) = &gate {
+                gate.apply(&event.scope, &event.fault);
+            }
             shared.link_faults.fetch_add(1, Ordering::Relaxed);
             next_fault += 1;
         }
-        shared.next_fault_due.store(
-            schedule
-                .get(next_fault)
-                .map_or(u64::MAX, |e| e.at.as_nanos()),
-            Ordering::SeqCst,
-        );
+        while lifecycle
+            .front()
+            .is_some_and(|event| lifecycle_due(event) <= now)
+        {
+            let event = lifecycle.pop_front().expect("front checked");
+            shared.lifecycle_events.fetch_add(1, Ordering::Relaxed);
+            // Counted in flight like any envelope so the quiescence probe
+            // never settles between hand-off and processing.
+            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            let envelope = Envelope::Lifecycle {
+                process: event.process,
+                action: event.action,
+            };
+            if txs[event.node].send(envelope).is_err() {
+                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+        let next_link_fault = schedule
+            .get(next_fault)
+            .map_or(u64::MAX, |e| e.at.as_nanos());
+        let next_lifecycle = lifecycle.front().map_or(u64::MAX, |e| e.at.as_nanos());
+        shared
+            .next_fault_due
+            .store(next_link_fault.min(next_lifecycle), Ordering::SeqCst);
         let mut ready: Vec<(Instant, u64, usize, Envelope)> = Vec::new();
         let mut i = 0;
         while i < pending.len() {
@@ -826,6 +935,10 @@ fn control_main(
         let mut wake: Option<Instant> = pending.iter().map(|entry| entry.0).min();
         if next_fault < schedule.len() {
             let due = fault_due(&schedule[next_fault]);
+            wake = Some(wake.map_or(due, |w| w.min(due)));
+        }
+        if let Some(event) = lifecycle.front() {
+            let due = lifecycle_due(event);
             wake = Some(wake.map_or(due, |w| w.min(due)));
         }
         let received = match wake {
@@ -852,6 +965,9 @@ struct NodeActor {
     actor: Box<dyn Actor>,
     rng: DetRng,
     timers: TimerState,
+    /// False between a scheduled crash and the matching recover/replace:
+    /// deliveries are dropped (and counted) and timers suppressed.
+    up: bool,
 }
 
 fn node_main(
@@ -866,6 +982,7 @@ fn node_main(
             actor,
             rng,
             timers: TimerState::default(),
+            up: true,
         })
         .collect();
     let local_index: HashMap<ProcessId, usize> =
@@ -898,6 +1015,11 @@ fn node_main(
         // Fire any due timers first, across all hosted actors.
         let now = Instant::now();
         for a in actors.iter_mut() {
+            if !a.up {
+                // A down actor's timers were cleared at crash time; this is
+                // a defensive second gate.
+                continue;
+            }
             for timer in a.timers.due(now) {
                 let mut ctx = ThreadContext {
                     me: a.id,
@@ -941,6 +1063,10 @@ fn node_main(
                         continue;
                     };
                     let a = &mut actors[idx];
+                    if !a.up {
+                        env.shared.dropped_down.fetch_add(1, Ordering::Relaxed);
+                        continue;
+                    }
                     let mut ctx = ThreadContext {
                         me: a.id,
                         epoch: env.epoch,
@@ -966,6 +1092,57 @@ fn node_main(
                 env.shared.deadlines[env.idx].store(0, Ordering::SeqCst);
                 // The envelope is fully processed (and any sends it caused
                 // are already counted) before it stops being in flight.
+                env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            }
+            Ok(Envelope::Lifecycle { process, action }) => {
+                if let Some(&idx) = local_index.get(&process) {
+                    let a = &mut actors[idx];
+                    match action {
+                        NodeLifecycle::Down => {
+                            a.up = false;
+                            // A crashed process loses its armed timers.
+                            a.timers = TimerState::default();
+                        }
+                        NodeLifecycle::Up => {
+                            if !a.up {
+                                a.up = true;
+                                let mut ctx = ThreadContext {
+                                    me: a.id,
+                                    epoch: env.epoch,
+                                    outgoing: &mut outgoing,
+                                    rng: &mut a.rng,
+                                    timers: &mut a.timers,
+                                    cpu_scale: env.config.cpu_charge_scale,
+                                };
+                                a.actor.on_recover(&mut ctx);
+                                env.shared.handled.fetch_add(1, Ordering::SeqCst);
+                                env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
+                                flush_outgoing(process, &mut outgoing, &env, &mut links);
+                            }
+                        }
+                        NodeLifecycle::Replace(fresh, rng) => {
+                            a.actor = fresh;
+                            a.rng = rng;
+                            a.timers = TimerState::default();
+                            a.up = true;
+                            let mut ctx = ThreadContext {
+                                me: a.id,
+                                epoch: env.epoch,
+                                outgoing: &mut outgoing,
+                                rng: &mut a.rng,
+                                timers: &mut a.timers,
+                                cpu_scale: env.config.cpu_charge_scale,
+                            };
+                            a.actor.on_start(&mut ctx);
+                            env.shared.handled.fetch_add(1, Ordering::SeqCst);
+                            env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
+                            flush_outgoing(process, &mut outgoing, &env, &mut links);
+                        }
+                    }
+                }
+                // Same ordering discipline as a processed batch: mark busy
+                // before leaving the in-flight count.
+                env.shared.deadlines[env.idx].store(0, Ordering::SeqCst);
                 env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
             }
             Ok(Envelope::Stop) => break,
@@ -1436,6 +1613,107 @@ mod tests {
         assert!(stats.messages_sent >= 3, "injection + 2 fan-out sends");
         assert!(stats.messages_delivered >= 2);
         rt.shutdown();
+    }
+
+    /// Counts deliveries and recoveries via shared atomics so the test can
+    /// observe lifecycle transitions without shutting the runtime down.
+    struct LifeCounter {
+        seen: usize,
+        shared: Arc<AtomicUsize>,
+        recoveries: Arc<AtomicUsize>,
+    }
+
+    impl Actor for LifeCounter {
+        fn on_message(&mut self, _ctx: &mut dyn Context, _from: ProcessId, _payload: Bytes) {
+            self.seen += 1;
+            self.shared.fetch_add(1, Ordering::SeqCst);
+        }
+        fn on_recover(&mut self, _ctx: &mut dyn Context) {
+            self.recoveries.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn scheduled_crash_recover_drops_and_runs_on_recover() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let recoveries = Arc::new(AtomicUsize::new(0));
+        let target = ProcessId(0);
+        let lifecycle = LifecycleSchedule::new()
+            .crash_at(SimTime::from_millis(40), target)
+            .recover_at(SimTime::from_millis(160), target);
+        let mut builder = ThreadedBuilder::default().with_lifecycle_schedule(lifecycle);
+        builder.add_with(
+            target,
+            Box::new(LifeCounter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+                recoveries: Arc::clone(&recoveries),
+            }),
+        );
+        let rt = builder.start();
+        rt.send(ProcessId(99), target, b"before".to_vec()).unwrap();
+        assert!(wait_for(&shared, 1, 2_000), "pre-crash delivery arrives");
+        // While down, deliveries are dropped and counted.
+        std::thread::sleep(Duration::from_millis(80));
+        rt.send(ProcessId(99), target, b"during".to_vec()).unwrap();
+        std::thread::sleep(Duration::from_millis(40));
+        assert_eq!(
+            shared.load(Ordering::SeqCst),
+            1,
+            "down process gets nothing"
+        );
+        // After the scheduled recover, on_recover ran and traffic flows.
+        assert!(wait_for(&recoveries, 1, 2_000), "on_recover ran");
+        rt.send(ProcessId(99), target, b"after".to_vec()).unwrap();
+        assert!(wait_for(&shared, 2, 2_000), "post-recover delivery arrives");
+        let stats = rt.net_stats();
+        assert_eq!(stats.dropped_down, 1);
+        assert_eq!(stats.lifecycle_events, 2);
+        assert_eq!(stats.messages_dropped, 1);
+        let actor = rt.shutdown_and_take::<LifeCounter>(target).unwrap();
+        assert_eq!(actor.seen, 2, "state survived the warm restart");
+    }
+
+    #[test]
+    fn scheduled_replace_installs_fresh_actor() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let recoveries = Arc::new(AtomicUsize::new(0));
+        let target = ProcessId(3);
+        let lifecycle = LifecycleSchedule::new()
+            .crash_at(SimTime::from_millis(30), target)
+            .replace_at(
+                SimTime::from_millis(90),
+                target,
+                Box::new(LifeCounter {
+                    seen: 0,
+                    shared: Arc::clone(&shared),
+                    recoveries: Arc::clone(&recoveries),
+                }),
+            );
+        let mut builder = ThreadedBuilder::default().with_lifecycle_schedule(lifecycle);
+        builder.add_with(
+            target,
+            Box::new(LifeCounter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+                recoveries: Arc::clone(&recoveries),
+            }),
+        );
+        let rt = builder.start();
+        rt.send(ProcessId(99), target, b"old".to_vec()).unwrap();
+        assert!(wait_for(&shared, 1, 2_000));
+        std::thread::sleep(Duration::from_millis(150));
+        rt.send(ProcessId(99), target, b"new".to_vec()).unwrap();
+        assert!(wait_for(&shared, 2, 2_000), "replacement receives traffic");
+        assert_eq!(
+            recoveries.load(Ordering::SeqCst),
+            0,
+            "cold start, not recover"
+        );
+        let stats = rt.net_stats();
+        assert_eq!(stats.lifecycle_events, 2);
+        let actor = rt.shutdown_and_take::<LifeCounter>(target).unwrap();
+        assert_eq!(actor.seen, 1, "replacement started from empty state");
     }
 
     #[test]

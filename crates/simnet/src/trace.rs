@@ -15,7 +15,8 @@ pub struct NetStats {
     /// Messages actually delivered to a destination actor.
     pub messages_delivered: u64,
     /// Messages dropped for any reason: the sum of
-    /// [`NetStats::dropped_unknown_dest`] and [`NetStats::dropped_link`].
+    /// [`NetStats::dropped_unknown_dest`], [`NetStats::dropped_link`] and
+    /// [`NetStats::dropped_down`].
     pub messages_dropped: u64,
     /// Messages dropped because the destination process was not registered.
     pub dropped_unknown_dest: u64,
@@ -24,6 +25,11 @@ pub struct NetStats {
     pub dropped_link: u64,
     /// Scheduled link-fault events executed (one per [`crate::link::LinkEvent`]).
     pub link_faults: u64,
+    /// Messages dropped because the destination process was down (between a
+    /// scheduled crash and the matching recover/replace lifecycle event).
+    pub dropped_down: u64,
+    /// Scheduled process lifecycle events executed (crash, recover, replace).
+    pub lifecycle_events: u64,
     /// Total payload bytes handed to the transport.
     pub bytes_sent: u64,
     /// Timer events fired.
@@ -43,6 +49,12 @@ impl NetStats {
     pub fn drop_link(&mut self) {
         self.messages_dropped += 1;
         self.dropped_link += 1;
+    }
+
+    /// Records a drop caused by the destination process being down.
+    pub fn drop_down(&mut self) {
+        self.messages_dropped += 1;
+        self.dropped_down += 1;
     }
 }
 
@@ -98,6 +110,17 @@ pub enum TraceEvent {
         /// Human-readable `fault scope at time` rendering of the event.
         description: String,
     },
+    /// A scheduled process lifecycle event took effect (crash, recover or
+    /// replace), so recovery timelines pin byte-for-byte in the
+    /// determinism suite just like link faults do.
+    Lifecycle {
+        /// When the event took effect.
+        at: SimTime,
+        /// The affected process.
+        process: ProcessId,
+        /// Human-readable description (`crash`, `recover`, `replace`).
+        description: String,
+    },
 }
 
 impl TraceEvent {
@@ -108,7 +131,8 @@ impl TraceEvent {
             | TraceEvent::Deliver { at, .. }
             | TraceEvent::Timer { at, .. }
             | TraceEvent::Label { at, .. }
-            | TraceEvent::LinkFault { at, .. } => *at,
+            | TraceEvent::LinkFault { at, .. }
+            | TraceEvent::Lifecycle { at, .. } => *at,
         }
     }
 }

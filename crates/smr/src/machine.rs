@@ -129,6 +129,20 @@ pub trait DeterministicMachine: Send + 'static {
     fn name(&self) -> String {
         "machine".to_string()
     }
+
+    /// The machine's committed `(origin, seq)` delivery log, when it keeps
+    /// one — the runtime-agnostic convergence probe of the recovery plane.
+    /// The default exposes none.
+    fn delivered_log(&self) -> Option<Vec<(MemberId, u64)>> {
+        None
+    }
+
+    /// A digest of the machine's application state, when it exposes one —
+    /// used alongside [`DeterministicMachine::delivered_log`] to check that
+    /// a recovered or replaced member converged with the survivors.
+    fn app_digest(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Drives two instances of the same machine with the same inputs and checks

@@ -45,6 +45,95 @@ use fs_common::Bytes;
 use crate::command::{AppStateMachine, KvStore};
 use crate::machine::{DeterministicMachine, Endpoint, MachineInput, MachineOutput};
 
+/// A versioned membership view of the SMR group.
+///
+/// The member list is ordered; the first entry is the sequencer.  Every view
+/// transition is itself an ordered entry in the global command stream (a
+/// [`SmrPeerMsg::ViewChange`] record), so all replicas install view `id + 1`
+/// at exactly the same point of the delivery order — the survivors *agree*
+/// on when a member rejoined, not merely observe it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GroupView {
+    /// Monotonically increasing view number; the initial view is 0.
+    pub id: u64,
+    /// The members of this view, in group order (first entry sequences).
+    pub members: Vec<MemberId>,
+}
+
+impl GroupView {
+    /// The initial view (id 0) over `members`.
+    pub fn initial(members: Vec<MemberId>) -> Self {
+        Self { id: 0, members }
+    }
+
+    /// The member acting as sequencer in this view.
+    pub fn sequencer(&self) -> MemberId {
+        *self
+            .members
+            .first()
+            .expect("a view needs at least one member")
+    }
+
+    /// True when `member` belongs to this view.
+    pub fn contains(&self, member: MemberId) -> bool {
+        self.members.contains(&member)
+    }
+
+    /// The successor view after `member` (re)joins: the id is bumped and the
+    /// member appended if absent.  A rejoin of a current member keeps the
+    /// member list and still bumps the id — the new view number marks the
+    /// agreed rejoin epoch.
+    pub fn joined(&self, member: MemberId) -> Self {
+        let mut members = self.members.clone();
+        if !members.contains(&member) {
+            members.push(member);
+        }
+        Self {
+            id: self.id + 1,
+            members,
+        }
+    }
+}
+
+impl Wire for GroupView {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.id);
+        enc.put_u32(self.members.len() as u32);
+        for member in &self.members {
+            enc.put_member(*member);
+        }
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        let id = dec.get_u64()?;
+        let len = dec.get_u32()?;
+        let mut members = Vec::with_capacity(len.min(4096) as usize);
+        for _ in 0..len {
+            members.push(dec.get_member()?);
+        }
+        Ok(Self { id, members })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + 4 + 4 * self.members.len()
+    }
+}
+
+fn put_pairs(enc: &mut Encoder, pairs: &[(MemberId, u64)]) {
+    enc.put_u32(pairs.len() as u32);
+    for (member, seq) in pairs {
+        enc.put_member(*member);
+        enc.put_u64(*seq);
+    }
+}
+
+fn get_pairs(dec: &mut Decoder<'_>) -> Result<Vec<(MemberId, u64)>, CodecError> {
+    let len = dec.get_u32()?;
+    let mut pairs = Vec::with_capacity(len.min(4096) as usize);
+    for _ in 0..len {
+        pairs.push((dec.get_member()?, dec.get_u64()?));
+    }
+    Ok(pairs)
+}
+
 /// A client command as submitted by the local application: the client's own
 /// sequence number plus the encoded [`crate::command::KvCommand`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +174,10 @@ pub enum SmrClientMsg {
         /// The encoded application commands, in sequence order.
         commands: Vec<Bytes>,
     },
+    /// The local process came back up (warm restart or cold replacement):
+    /// fetch missed state from the peers and announce the rejoin to the
+    /// sequencer so it is ordered as a view transition.
+    Recover,
 }
 
 impl Wire for SmrClientMsg {
@@ -102,6 +195,7 @@ impl Wire for SmrClientMsg {
                 enc.put_u64(*first_seq);
                 commands.encode(enc);
             }
+            SmrClientMsg::Recover => enc.put_u8(2),
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -111,6 +205,7 @@ impl Wire for SmrClientMsg {
                 first_seq: dec.get_u64()?,
                 commands: Vec::<Bytes>::decode(dec)?,
             }),
+            2 => Ok(SmrClientMsg::Recover),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -118,6 +213,7 @@ impl Wire for SmrClientMsg {
         match self {
             SmrClientMsg::Request(request) => 1 + request.encoded_len(),
             SmrClientMsg::Batch { commands, .. } => 1 + 8 + commands.encoded_len(),
+            SmrClientMsg::Recover => 1,
         }
     }
 }
@@ -211,6 +307,36 @@ impl Wire for SmrDeliverBatch {
     }
 }
 
+/// An installed view transition, raised to the local application at the
+/// exact delivery-order position the transition was sequenced at.
+///
+/// On a member that just rejoined, its own view upcall doubles as the
+/// catch-up-complete signal: applying the transition at `global` implies the
+/// whole history up to `global` has been applied.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SmrViewInstall {
+    /// The global order index the transition occupies.
+    pub global: u64,
+    /// The installed view.
+    pub view: GroupView,
+}
+
+impl Wire for SmrViewInstall {
+    fn encode(&self, enc: &mut Encoder) {
+        enc.put_u64(self.global);
+        self.view.encode(enc);
+    }
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            global: dec.get_u64()?,
+            view: GroupView::decode(dec)?,
+        })
+    }
+    fn encoded_len(&self) -> usize {
+        8 + self.view.encoded_len()
+    }
+}
+
 /// The frame a service machine sends up to its local application: one
 /// delivery, or one frame covering a whole applied batch.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -219,6 +345,8 @@ pub enum SmrUpcall {
     Deliver(SmrDeliver),
     /// Several commands applied back to back by one machine step.
     Batch(SmrDeliverBatch),
+    /// A membership view transition was applied at its global order slot.
+    View(SmrViewInstall),
 }
 
 impl Wire for SmrUpcall {
@@ -232,12 +360,17 @@ impl Wire for SmrUpcall {
                 enc.put_u8(1);
                 batch.encode(enc);
             }
+            SmrUpcall::View(install) => {
+                enc.put_u8(2);
+                install.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
             0 => Ok(SmrUpcall::Deliver(SmrDeliver::decode(dec)?)),
             1 => Ok(SmrUpcall::Batch(SmrDeliverBatch::decode(dec)?)),
+            2 => Ok(SmrUpcall::View(SmrViewInstall::decode(dec)?)),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -245,6 +378,7 @@ impl Wire for SmrUpcall {
         1 + match self {
             SmrUpcall::Deliver(deliver) => deliver.encoded_len(),
             SmrUpcall::Batch(batch) => batch.encoded_len(),
+            SmrUpcall::View(install) => install.encoded_len(),
         }
     }
 }
@@ -317,6 +451,51 @@ pub enum SmrPeerMsg {
         /// The ordered commands with their per-member sequence numbers.
         entries: Vec<SmrOrderedEntry>,
     },
+    /// A recovering member asking a peer for its applied state.  **Any**
+    /// member can serve this (state transfer does not depend on the
+    /// sequencer being up); peers always answer so the requester leaves
+    /// recovery even when it missed nothing.
+    CatchUpRequest {
+        /// The recovering member.
+        member: MemberId,
+        /// The requester's current view number.
+        view_id: u64,
+        /// The requester's applied-prefix frontier (`next_apply`).
+        have_applied: u64,
+    },
+    /// A full state-transfer snapshot answering a [`SmrPeerMsg::CatchUpRequest`].
+    Snapshot {
+        /// The responder's installed view.
+        view: GroupView,
+        /// The responder's *assignment frontier*: one past the highest
+        /// global index it knows to be assigned (applied or still buffered).
+        /// A recovering sequencer resumes ordering above the maximum
+        /// frontier it hears, so it never re-assigns a used index.
+        next_global: u64,
+        /// The responder's applied-prefix frontier.
+        next_apply: u64,
+        /// The responder's at-most-once guard (`(origin, seq)` pairs ordered
+        /// so far), so a recovering sequencer keeps filtering duplicates.
+        ordered_seq: Vec<(MemberId, u64)>,
+        /// The encoded [`KvStore`] snapshot.
+        store: Bytes,
+        /// The full delivery log up to `next_apply`.
+        delivered: Vec<(MemberId, u64)>,
+    },
+    /// A recovered member announcing itself to the sequencer, which orders
+    /// the rejoin as a [`SmrPeerMsg::ViewChange`] entry.
+    Rejoin {
+        /// The rejoining member.
+        member: MemberId,
+    },
+    /// A view transition multicast by the sequencer with its own global
+    /// order index — a config-change command in the ordered stream.
+    ViewChange {
+        /// The global order index the transition occupies.
+        global: u64,
+        /// The successor view to install at that point.
+        view: GroupView,
+    },
 }
 
 impl Wire for SmrPeerMsg {
@@ -364,6 +543,41 @@ impl Wire for SmrPeerMsg {
                 enc.put_member(*origin);
                 entries.encode(enc);
             }
+            SmrPeerMsg::CatchUpRequest {
+                member,
+                view_id,
+                have_applied,
+            } => {
+                enc.put_u8(4);
+                enc.put_member(*member);
+                enc.put_u64(*view_id);
+                enc.put_u64(*have_applied);
+            }
+            SmrPeerMsg::Snapshot {
+                view,
+                next_global,
+                next_apply,
+                ordered_seq,
+                store,
+                delivered,
+            } => {
+                enc.put_u8(5);
+                view.encode(enc);
+                enc.put_u64(*next_global);
+                enc.put_u64(*next_apply);
+                put_pairs(enc, ordered_seq);
+                enc.put_bytes(store);
+                put_pairs(enc, delivered);
+            }
+            SmrPeerMsg::Rejoin { member } => {
+                enc.put_u8(6);
+                enc.put_member(*member);
+            }
+            SmrPeerMsg::ViewChange { global, view } => {
+                enc.put_u8(7);
+                enc.put_u64(*global);
+                view.encode(enc);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -389,6 +603,26 @@ impl Wire for SmrPeerMsg {
                 origin: dec.get_member()?,
                 entries: Vec::<SmrOrderedEntry>::decode(dec)?,
             }),
+            4 => Ok(SmrPeerMsg::CatchUpRequest {
+                member: dec.get_member()?,
+                view_id: dec.get_u64()?,
+                have_applied: dec.get_u64()?,
+            }),
+            5 => Ok(SmrPeerMsg::Snapshot {
+                view: GroupView::decode(dec)?,
+                next_global: dec.get_u64()?,
+                next_apply: dec.get_u64()?,
+                ordered_seq: get_pairs(dec)?,
+                store: dec.get_bytes_shared()?,
+                delivered: get_pairs(dec)?,
+            }),
+            6 => Ok(SmrPeerMsg::Rejoin {
+                member: dec.get_member()?,
+            }),
+            7 => Ok(SmrPeerMsg::ViewChange {
+                global: dec.get_u64()?,
+                view: GroupView::decode(dec)?,
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -398,6 +632,23 @@ impl Wire for SmrPeerMsg {
             SmrPeerMsg::Ordered { command, .. } => 1 + 8 + 4 + 8 + 4 + command.len(),
             SmrPeerMsg::SubmitBatch { commands, .. } => 1 + 4 + 8 + commands.encoded_len(),
             SmrPeerMsg::OrderedBatch { entries, .. } => 1 + 8 + 4 + entries.encoded_len(),
+            SmrPeerMsg::CatchUpRequest { .. } => 1 + 4 + 8 + 8,
+            SmrPeerMsg::Snapshot {
+                view,
+                ordered_seq,
+                store,
+                delivered,
+                ..
+            } => {
+                1 + view.encoded_len()
+                    + 8
+                    + 8
+                    + (4 + 12 * ordered_seq.len())
+                    + (4 + store.len())
+                    + (4 + 12 * delivered.len())
+            }
+            SmrPeerMsg::Rejoin { .. } => 1 + 4,
+            SmrPeerMsg::ViewChange { view, .. } => 1 + 8 + view.encoded_len(),
         }
     }
 }
@@ -411,37 +662,68 @@ impl Wire for SmrPeerMsg {
 #[derive(Debug, Clone)]
 pub struct SequencedKv {
     member: MemberId,
-    group: Vec<MemberId>,
-    sequencer: MemberId,
+    /// The currently installed membership view (first member sequences).
+    view: GroupView,
     /// Next global index the sequencer will assign.
     next_global: u64,
     /// Next global index this replica will apply.
     next_apply: u64,
     /// Ordered records received ahead of `next_apply`.
-    pending: BTreeMap<u64, (MemberId, u64, Bytes)>,
+    pending: BTreeMap<u64, Pending>,
     /// Every `(origin, seq)` ordered so far (sequencer-side at-most-once
     /// guard; a set rather than a high-water mark so that submissions
     /// arriving out of order are still each ordered exactly once).
     ordered_seq: std::collections::BTreeSet<(MemberId, u64)>,
     store: KvStore,
     delivered: Vec<(MemberId, u64)>,
+    /// True between a [`SmrClientMsg::Recover`] and the first
+    /// [`SmrPeerMsg::Snapshot`] reply.  While set, a recovering *sequencer*
+    /// must not assign global indices (a cold replacement would restart the
+    /// numbering at zero); submissions are parked in `backlog` instead.
+    recovering: bool,
+    /// Work parked while `recovering`, ordered once recovery completes.
+    backlog: Vec<Backlog>,
+}
+
+/// An entry buffered at a global order slot ahead of `next_apply`.
+#[derive(Debug, Clone)]
+enum Pending {
+    /// An ordinary ordered command.
+    Cmd {
+        origin: MemberId,
+        seq: u64,
+        command: Bytes,
+    },
+    /// A view transition occupying the slot.
+    View(GroupView),
+}
+
+/// Sequencer work parked while recovering.
+#[derive(Debug, Clone)]
+enum Backlog {
+    Cmd {
+        origin: MemberId,
+        seq: u64,
+        command: Bytes,
+    },
+    Join(MemberId),
 }
 
 impl SequencedKv {
     /// Creates the machine replica of `member` in `group`.  Member 0 of the
     /// group (its first entry) acts as the sequencer.
     pub fn new(member: MemberId, group: Vec<MemberId>) -> Self {
-        let sequencer = *group.first().expect("a group needs at least one member");
         Self {
             member,
-            group,
-            sequencer,
+            view: GroupView::initial(group),
             next_global: 0,
             next_apply: 0,
             pending: BTreeMap::new(),
             ordered_seq: std::collections::BTreeSet::new(),
             store: KvStore::new(),
             delivered: Vec::new(),
+            recovering: false,
+            backlog: Vec::new(),
         }
     }
 
@@ -450,14 +732,24 @@ impl SequencedKv {
         self.member
     }
 
-    /// The group membership this replica was configured with.
+    /// The group membership of the currently installed view.
     pub fn group(&self) -> &[MemberId] {
-        &self.group
+        &self.view.members
     }
 
-    /// True when this replica is the group's sequencer.
+    /// The currently installed membership view.
+    pub fn view(&self) -> &GroupView {
+        &self.view
+    }
+
+    /// True when this replica is the current view's sequencer.
     pub fn is_sequencer(&self) -> bool {
-        self.member == self.sequencer
+        self.member == self.view.sequencer()
+    }
+
+    /// True while this replica waits for a state-transfer snapshot.
+    pub fn is_recovering(&self) -> bool {
+        self.recovering
     }
 
     /// The `(origin, seq)` pairs applied so far, in global order.
@@ -471,9 +763,19 @@ impl SequencedKv {
     }
 
     /// Sequencer-side ordering: assigns the next global index and returns the
-    /// multicast record plus the local delivery.
+    /// multicast record plus the local delivery.  While recovering, the
+    /// submission is parked instead — a sequencer must re-learn the
+    /// assignment frontier before it hands out indices.
     fn order(&mut self, origin: MemberId, seq: u64, command: Bytes) -> Vec<MachineOutput> {
         debug_assert!(self.is_sequencer());
+        if self.recovering {
+            self.backlog.push(Backlog::Cmd {
+                origin,
+                seq,
+                command,
+            });
+            return Vec::new();
+        }
         if !self.ordered_seq.insert((origin, seq)) {
             return Vec::new();
         }
@@ -486,7 +788,14 @@ impl SequencedKv {
             command: command.clone(),
         };
         let mut out = vec![MachineOutput::broadcast(record.to_wire())];
-        self.pending.insert(global, (origin, seq, command));
+        self.pending.insert(
+            global,
+            Pending::Cmd {
+                origin,
+                seq,
+                command,
+            },
+        );
         out.extend(self.apply_ready());
         out
     }
@@ -501,6 +810,16 @@ impl SequencedKv {
         commands: Vec<Bytes>,
     ) -> Vec<MachineOutput> {
         debug_assert!(self.is_sequencer());
+        if self.recovering {
+            for (i, command) in commands.into_iter().enumerate() {
+                self.backlog.push(Backlog::Cmd {
+                    origin,
+                    seq: first_seq + i as u64,
+                    command,
+                });
+            }
+            return Vec::new();
+        }
         let mut fresh = Vec::new();
         for (i, command) in commands.into_iter().enumerate() {
             let seq = first_seq + i as u64;
@@ -516,7 +835,11 @@ impl SequencedKv {
         for (i, entry) in fresh.iter().enumerate() {
             self.pending.insert(
                 first_global + i as u64,
-                (origin, entry.seq, entry.command.clone()),
+                Pending::Cmd {
+                    origin,
+                    seq: entry.seq,
+                    command: entry.command.clone(),
+                },
             );
         }
         let record = SmrPeerMsg::OrderedBatch {
@@ -529,28 +852,199 @@ impl SequencedKv {
         out
     }
 
-    /// Applies every pending record whose global index is next in line.
-    /// Everything applied by one machine step goes up in **one** frame: a
-    /// single [`SmrUpcall::Deliver`], or one [`SmrUpcall::Batch`] when a
-    /// batch (or a closed gap) applies several commands back to back.
-    fn apply_ready(&mut self) -> Vec<MachineOutput> {
-        let first_global = self.next_apply;
-        let mut entries = Vec::new();
-        while let Some((origin, seq, command)) = self.pending.remove(&self.next_apply) {
-            self.next_apply += 1;
-            let response = self.store.apply(&command);
-            self.delivered.push((origin, seq));
-            entries.push(SmrDeliverEntry {
-                origin,
-                seq,
-                response,
-            });
+    /// Sequencer-side ordering of a member rejoin: builds the successor view
+    /// and multicasts it as a [`SmrPeerMsg::ViewChange`] occupying its own
+    /// global order slot, so every replica installs it at the same point.
+    fn order_join(&mut self, member: MemberId) -> Vec<MachineOutput> {
+        debug_assert!(self.is_sequencer());
+        if self.recovering {
+            self.backlog.push(Backlog::Join(member));
+            return Vec::new();
         }
+        let view = self.view.joined(member);
+        let global = self.next_global;
+        self.next_global += 1;
+        let record = SmrPeerMsg::ViewChange {
+            global,
+            view: view.clone(),
+        };
+        let mut out = vec![MachineOutput::broadcast(record.to_wire())];
+        self.pending.insert(global, Pending::View(view));
+        out.extend(self.apply_ready());
+        out
+    }
+
+    /// One past the highest global index this replica knows to be assigned,
+    /// counting both applied entries and records still buffered in `pending`.
+    fn assign_frontier(&self) -> u64 {
+        let buffered = self.pending.keys().next_back().map_or(0, |g| g + 1);
+        self.next_global.max(self.next_apply).max(buffered)
+    }
+
+    /// The state-transfer reply describing this replica's applied state.
+    fn snapshot_msg(&self) -> SmrPeerMsg {
+        SmrPeerMsg::Snapshot {
+            view: self.view.clone(),
+            next_global: self.assign_frontier(),
+            next_apply: self.next_apply,
+            ordered_seq: self.ordered_seq.iter().copied().collect(),
+            store: self.store.snapshot(),
+            delivered: self.delivered.clone(),
+        }
+    }
+
+    /// Entry point for [`SmrClientMsg::Recover`]: ask every peer for its
+    /// state and announce the rejoin so it is sequenced as a view change.
+    fn start_recovery(&mut self) -> Vec<MachineOutput> {
+        if self.view.members.len() < 2 {
+            // A singleton group has nobody to catch up from (and nothing to
+            // miss: with its only member down, nothing was ordered).
+            return Vec::new();
+        }
+        self.recovering = true;
+        let request = SmrPeerMsg::CatchUpRequest {
+            member: self.member,
+            view_id: self.view.id,
+            have_applied: self.next_apply,
+        };
+        let mut out = vec![MachineOutput::broadcast(request.to_wire())];
+        if self.is_sequencer() {
+            // Our own rejoin is ordered once the snapshot restores the
+            // assignment frontier.
+            self.backlog.push(Backlog::Join(self.member));
+        } else {
+            let rejoin = SmrPeerMsg::Rejoin {
+                member: self.member,
+            };
+            out.push(MachineOutput::to_peer(
+                self.view.sequencer(),
+                rejoin.to_wire(),
+            ));
+        }
+        out
+    }
+
+    /// Installs a state-transfer snapshot if it is ahead of this replica,
+    /// then resumes any parked sequencer work.  Every snapshot — installed
+    /// or not — raises the assignment frontier, so a recovered sequencer
+    /// never re-assigns a global index a peer has already seen.
+    #[allow(clippy::too_many_arguments)]
+    fn install_snapshot(
+        &mut self,
+        view: GroupView,
+        next_global: u64,
+        next_apply: u64,
+        ordered_seq: Vec<(MemberId, u64)>,
+        store: Bytes,
+        delivered: Vec<(MemberId, u64)>,
+    ) -> Vec<MachineOutput> {
+        let was_recovering = self.recovering;
+        self.recovering = false;
+        self.next_global = self.next_global.max(next_global);
+        let mut out = Vec::new();
+        if next_apply > self.next_apply || view.id > self.view.id {
+            match KvStore::restore(&store) {
+                Ok(restored) => {
+                    self.store = restored;
+                    self.view = view;
+                    self.next_apply = next_apply;
+                    self.ordered_seq = ordered_seq.into_iter().collect();
+                    self.delivered = delivered;
+                    // Anything buffered below the installed frontier is
+                    // already covered by the snapshot — including, possibly,
+                    // the ViewChange record of our own rejoin.  Announce the
+                    // installed view so the local application always gets
+                    // its catch-up-complete signal, even when the snapshot
+                    // swallowed the transition slot.
+                    self.pending = self.pending.split_off(&self.next_apply);
+                    if was_recovering {
+                        let install = SmrViewInstall {
+                            global: self.next_apply,
+                            view: self.view.clone(),
+                        };
+                        out.push(MachineOutput::to_app(SmrUpcall::View(install).to_wire()));
+                    }
+                }
+                // A malformed snapshot is ignored; another reply will serve.
+                Err(_) => self.recovering = was_recovering,
+            }
+        }
+        out.extend(self.apply_ready());
+        if was_recovering && !self.recovering {
+            out.extend(self.drain_backlog());
+        }
+        out
+    }
+
+    /// Orders everything parked while recovering, in arrival order.
+    fn drain_backlog(&mut self) -> Vec<MachineOutput> {
+        let parked = std::mem::take(&mut self.backlog);
+        let mut out = Vec::new();
+        for item in parked {
+            match item {
+                Backlog::Cmd {
+                    origin,
+                    seq,
+                    command,
+                } => out.extend(self.order(origin, seq, command)),
+                Backlog::Join(member) => out.extend(self.order_join(member)),
+            }
+        }
+        out
+    }
+
+    /// Applies every pending record whose global index is next in line.
+    /// Runs of plain commands applied by one machine step go up in **one**
+    /// frame — a single [`SmrUpcall::Deliver`], or one [`SmrUpcall::Batch`]
+    /// when a batch (or a closed gap) applies several commands back to back;
+    /// a view transition in the run closes the current frame, installs the
+    /// view and raises its own [`SmrUpcall::View`] at the exact slot.
+    fn apply_ready(&mut self) -> Vec<MachineOutput> {
+        let mut out = Vec::new();
+        let mut first_global = self.next_apply;
+        let mut entries: Vec<SmrDeliverEntry> = Vec::new();
+        while let Some(pending) = self.pending.remove(&self.next_apply) {
+            let global = self.next_apply;
+            self.next_apply += 1;
+            match pending {
+                Pending::Cmd {
+                    origin,
+                    seq,
+                    command,
+                } => {
+                    let response = self.store.apply(&command);
+                    self.delivered.push((origin, seq));
+                    entries.push(SmrDeliverEntry {
+                        origin,
+                        seq,
+                        response,
+                    });
+                }
+                Pending::View(view) => {
+                    Self::flush_frame(&mut out, first_global, &mut entries);
+                    self.view = view.clone();
+                    out.push(MachineOutput::to_app(
+                        SmrUpcall::View(SmrViewInstall { global, view }).to_wire(),
+                    ));
+                    first_global = self.next_apply;
+                }
+            }
+        }
+        Self::flush_frame(&mut out, first_global, &mut entries);
+        out
+    }
+
+    /// Closes a run of applied commands into one upcall frame.
+    fn flush_frame(
+        out: &mut Vec<MachineOutput>,
+        first_global: u64,
+        entries: &mut Vec<SmrDeliverEntry>,
+    ) {
         match entries.len() {
-            0 => Vec::new(),
+            0 => {}
             1 => {
                 let entry = entries.pop().expect("one entry");
-                vec![MachineOutput::to_app(
+                out.push(MachineOutput::to_app(
                     SmrUpcall::Deliver(SmrDeliver {
                         global: first_global,
                         origin: entry.origin,
@@ -558,15 +1052,15 @@ impl SequencedKv {
                         response: entry.response,
                     })
                     .to_wire(),
-                )]
+                ));
             }
-            _ => vec![MachineOutput::to_app(
+            _ => out.push(MachineOutput::to_app(
                 SmrUpcall::Batch(SmrDeliverBatch {
                     first_global,
-                    entries,
+                    entries: std::mem::take(entries),
                 })
                 .to_wire(),
-            )],
+            )),
         }
     }
 }
@@ -588,7 +1082,10 @@ impl DeterministicMachine for SequencedKv {
                                 seq: request.seq,
                                 command: request.command,
                             };
-                            vec![MachineOutput::to_peer(self.sequencer, submit.to_wire())]
+                            vec![MachineOutput::to_peer(
+                                self.view.sequencer(),
+                                submit.to_wire(),
+                            )]
                         }
                     }
                     SmrClientMsg::Batch {
@@ -603,9 +1100,13 @@ impl DeterministicMachine for SequencedKv {
                                 first_seq,
                                 commands,
                             };
-                            vec![MachineOutput::to_peer(self.sequencer, submit.to_wire())]
+                            vec![MachineOutput::to_peer(
+                                self.view.sequencer(),
+                                submit.to_wire(),
+                            )]
                         }
                     }
+                    SmrClientMsg::Recover => self.start_recovery(),
                 }
             }
             Endpoint::Peer(_) => match SmrPeerMsg::from_wire(&input.bytes) {
@@ -626,7 +1127,14 @@ impl DeterministicMachine for SequencedKv {
                     command,
                 }) if !self.is_sequencer() => {
                     if global >= self.next_apply {
-                        self.pending.insert(global, (origin, seq, command));
+                        self.pending.insert(
+                            global,
+                            Pending::Cmd {
+                                origin,
+                                seq,
+                                command,
+                            },
+                        );
                     }
                     self.apply_ready()
                 }
@@ -638,9 +1146,46 @@ impl DeterministicMachine for SequencedKv {
                     for (i, entry) in entries.into_iter().enumerate() {
                         let global = first_global + i as u64;
                         if global >= self.next_apply {
-                            self.pending
-                                .insert(global, (origin, entry.seq, entry.command));
+                            self.pending.insert(
+                                global,
+                                Pending::Cmd {
+                                    origin,
+                                    seq: entry.seq,
+                                    command: entry.command,
+                                },
+                            );
                         }
+                    }
+                    self.apply_ready()
+                }
+                Ok(SmrPeerMsg::CatchUpRequest { member, .. }) if member != self.member => {
+                    // Any member serves state transfer; the reply is sent
+                    // unconditionally so the requester always leaves
+                    // recovery, even when it missed nothing.
+                    vec![MachineOutput::to_peer(
+                        member,
+                        self.snapshot_msg().to_wire(),
+                    )]
+                }
+                Ok(SmrPeerMsg::Snapshot {
+                    view,
+                    next_global,
+                    next_apply,
+                    ordered_seq,
+                    store,
+                    delivered,
+                }) => self.install_snapshot(
+                    view,
+                    next_global,
+                    next_apply,
+                    ordered_seq,
+                    store,
+                    delivered,
+                ),
+                Ok(SmrPeerMsg::Rejoin { member }) if self.is_sequencer() => self.order_join(member),
+                Ok(SmrPeerMsg::ViewChange { global, view }) if !self.is_sequencer() => {
+                    if global >= self.next_apply {
+                        self.pending.insert(global, Pending::View(view));
                     }
                     self.apply_ready()
                 }
@@ -658,6 +1203,14 @@ impl DeterministicMachine for SequencedKv {
 
     fn name(&self) -> String {
         format!("smr-kv-{}", self.member.0)
+    }
+
+    fn delivered_log(&self) -> Option<Vec<(MemberId, u64)>> {
+        Some(self.delivered.clone())
+    }
+
+    fn app_digest(&self) -> Option<u64> {
+        Some(self.state_digest())
     }
 }
 
@@ -1022,6 +1575,191 @@ mod tests {
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(1), run(4), "batching must not change what is applied");
+    }
+
+    /// Submits `seqs` commands from each member and routes to quiescence.
+    fn run_load(machines: &mut [SequencedKv], seqs: std::ops::Range<u64>) {
+        let n = machines.len() as u32;
+        let mut queue = Vec::new();
+        for seq in seqs {
+            for m in 0..n {
+                let out =
+                    machines[m as usize].handle(&MachineInput::from_app(put(MemberId(m), seq)));
+                queue.extend(out.into_iter().map(|o| (MemberId(m), o)));
+            }
+        }
+        run_to_quiescence(machines, queue);
+    }
+
+    #[test]
+    fn cold_replacement_catches_up_via_snapshot() {
+        let mut machines: Vec<SequencedKv> = group(3)
+            .into_iter()
+            .map(|m| SequencedKv::new(m, group(3)))
+            .collect();
+        run_load(&mut machines, 0..4);
+        assert_eq!(machines[2].delivered().len(), 12);
+
+        // Member 2 is replaced by a fresh, empty replica: without state
+        // transfer it would diverge forever.
+        machines[2] = SequencedKv::new(MemberId(2), group(3));
+        assert!(machines[2].delivered().is_empty());
+        let out = machines[2].handle(&MachineInput::from_app(SmrClientMsg::Recover.to_wire()));
+        assert!(machines[2].is_recovering());
+        run_to_quiescence(
+            &mut machines,
+            out.into_iter().map(|o| (MemberId(2), o)).collect(),
+        );
+
+        assert!(!machines[2].is_recovering());
+        assert_eq!(machines[2].delivered(), machines[0].delivered());
+        assert_eq!(machines[2].state_digest(), machines[0].state_digest());
+        // The rejoin was ordered as a view transition everybody installed.
+        for m in &machines {
+            assert_eq!(m.view().id, 1, "{:?}", m.member());
+            assert_eq!(m.view(), machines[0].view());
+        }
+
+        // The group keeps working, and the rejoined member keeps up.
+        run_load(&mut machines, 4..6);
+        assert_eq!(machines[2].delivered(), machines[0].delivered());
+        assert_eq!(machines[2].state_digest(), machines[0].state_digest());
+    }
+
+    #[test]
+    fn replacement_sequencer_orders_only_after_catch_up() {
+        let mut machines: Vec<SequencedKv> = group(3)
+            .into_iter()
+            .map(|m| SequencedKv::new(m, group(3)))
+            .collect();
+        run_load(&mut machines, 0..3);
+        let old_len = machines[1].delivered().len();
+        assert_eq!(old_len, 9);
+
+        // The sequencer itself is replaced cold.  A fresh sequencer that
+        // ordered immediately would restart the numbering at global 0 and
+        // collide with the existing history.
+        machines[0] = SequencedKv::new(MemberId(0), group(3));
+        let recovery = machines[0].handle(&MachineInput::from_app(SmrClientMsg::Recover.to_wire()));
+
+        // A submission arriving mid-recovery is parked, not ordered.
+        let submit = SmrPeerMsg::Submit {
+            origin: MemberId(1),
+            seq: 100,
+            command: put_command(MemberId(1), 100),
+        };
+        assert!(machines[0]
+            .handle(&MachineInput::from_peer(MemberId(1), submit.to_wire()))
+            .is_empty());
+
+        run_to_quiescence(
+            &mut machines,
+            recovery.into_iter().map(|o| (MemberId(0), o)).collect(),
+        );
+
+        // After catch-up the parked work was ordered above the old history:
+        // everyone has the 9 old commands, the rejoin view change, and the
+        // parked submission — in the same order, with the same state.
+        assert!(!machines[0].is_recovering());
+        assert_eq!(machines[0].delivered().len(), old_len + 1);
+        assert_eq!(machines[0].delivered().last(), Some(&(MemberId(1), 100)));
+        for m in &machines[1..] {
+            assert_eq!(m.delivered(), machines[0].delivered());
+            assert_eq!(m.state_digest(), machines[0].state_digest());
+            assert_eq!(m.view().id, 1);
+        }
+    }
+
+    #[test]
+    fn warm_recovery_without_missed_state_still_rejoins() {
+        let mut machines: Vec<SequencedKv> = group(3)
+            .into_iter()
+            .map(|m| SequencedKv::new(m, group(3)))
+            .collect();
+        run_load(&mut machines, 0..2);
+        // Member 1 recovers warm with its state intact; the catch-up replies
+        // carry nothing new but still clear the recovery flag, and the
+        // rejoin still bumps the view.
+        let out = machines[1].handle(&MachineInput::from_app(SmrClientMsg::Recover.to_wire()));
+        run_to_quiescence(
+            &mut machines,
+            out.into_iter().map(|o| (MemberId(1), o)).collect(),
+        );
+        assert!(!machines[1].is_recovering());
+        for m in &machines {
+            assert_eq!(m.view().id, 1);
+            assert_eq!(m.delivered(), machines[0].delivered());
+        }
+    }
+
+    #[test]
+    fn singleton_group_recover_is_a_no_op() {
+        let mut m = SequencedKv::new(MemberId(0), group(1));
+        assert!(m
+            .handle(&MachineInput::from_app(SmrClientMsg::Recover.to_wire()))
+            .is_empty());
+        assert!(!m.is_recovering());
+    }
+
+    #[test]
+    fn recovery_wire_round_trips() {
+        let recover = SmrClientMsg::Recover;
+        assert_eq!(
+            SmrClientMsg::from_wire(&recover.to_wire()).unwrap(),
+            recover
+        );
+        assert_eq!(recover.encoded_len(), recover.to_wire().len());
+        let view = GroupView {
+            id: 3,
+            members: vec![MemberId(0), MemberId(1), MemberId(2)],
+        };
+        assert_eq!(GroupView::from_wire(&view.to_wire()).unwrap(), view);
+        assert_eq!(view.encoded_len(), view.to_wire().len());
+        for msg in [
+            SmrPeerMsg::CatchUpRequest {
+                member: MemberId(2),
+                view_id: 1,
+                have_applied: 5,
+            },
+            SmrPeerMsg::Snapshot {
+                view: view.clone(),
+                next_global: 9,
+                next_apply: 8,
+                ordered_seq: vec![(MemberId(0), 1), (MemberId(1), 2)],
+                store: KvStore::new().snapshot(),
+                delivered: vec![(MemberId(0), 1)],
+            },
+            SmrPeerMsg::Rejoin {
+                member: MemberId(1),
+            },
+            SmrPeerMsg::ViewChange {
+                global: 12,
+                view: view.clone(),
+            },
+        ] {
+            assert_eq!(SmrPeerMsg::from_wire(&msg.to_wire()).unwrap(), msg);
+            assert_eq!(msg.encoded_len(), msg.to_wire().len());
+        }
+        let upcall = SmrUpcall::View(SmrViewInstall { global: 12, view });
+        assert_eq!(SmrUpcall::from_wire(&upcall.to_wire()).unwrap(), upcall);
+        assert_eq!(upcall.encoded_len(), upcall.to_wire().len());
+    }
+
+    #[test]
+    fn view_semantics() {
+        let v = GroupView::initial(group(3));
+        assert_eq!(v.id, 0);
+        assert_eq!(v.sequencer(), MemberId(0));
+        assert!(v.contains(MemberId(2)));
+        assert!(!v.contains(MemberId(3)));
+        // Rejoin of a current member bumps the id, keeps the members.
+        let rejoined = v.joined(MemberId(2));
+        assert_eq!(rejoined.id, 1);
+        assert_eq!(rejoined.members, v.members);
+        // A genuinely new member is appended (never displacing the sequencer).
+        let grown = v.joined(MemberId(3));
+        assert_eq!(grown.members.len(), 4);
+        assert_eq!(grown.sequencer(), MemberId(0));
     }
 
     #[test]

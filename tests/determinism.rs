@@ -278,6 +278,64 @@ fn poisson_open_loop_runs_are_byte_identical() {
     );
 }
 
+/// The recovery plane is part of the deterministic event schedule too: a
+/// crash → recover → catch-up run (a member of the sequenced-KV group is
+/// down under load, rejoins, and converges by state transfer) must be
+/// byte-identical across repeats *and* across future-event-set schedulers,
+/// with the lifecycle timeline recorded in the trace and the statistics.
+#[test]
+fn crash_recover_catch_up_traces_are_byte_identical_across_schedulers() {
+    use fs_smr_suite::common::id::MemberId;
+
+    let build = |scheduler: SchedulerKind| {
+        // Spread the workload so traffic crosses member 1's outage window
+        // (300 ms .. 800 ms) and keeps flowing after the rejoin.
+        let workload = Workload::paper_default()
+            .messages(20)
+            .interval(SimDuration::from_millis(60));
+        let faults = FaultSchedule::none()
+            .crash_member_at(SimTime::from_millis(300), MemberId(1))
+            .recover_member_at(SimTime::from_millis(800), MemberId(1));
+        run_scenario(
+            Scenario::new(SmrKvService::new())
+                .members(3)
+                .protocol(Protocol::Crash)
+                .workload(workload)
+                .faults(faults)
+                .scheduler(scheduler),
+        )
+    };
+
+    let calendar_a = build(SchedulerKind::CalendarQueue);
+    let calendar_b = build(SchedulerKind::CalendarQueue);
+    let legacy = build(SchedulerKind::LegacyHeap);
+
+    // The outage and the rejoin actually happened.
+    assert!(
+        calendar_a.stats.lifecycle_events >= 2,
+        "crash + recover executed"
+    );
+    assert!(
+        calendar_a.stats.dropped_down > 0,
+        "traffic crossed the outage window"
+    );
+    assert!(
+        calendar_a.trace_json.contains("Lifecycle"),
+        "lifecycle timeline recorded in the trace"
+    );
+
+    // Byte-identical across repeats and across schedulers.
+    assert_eq!(calendar_a.delivery_logs, calendar_b.delivery_logs);
+    assert_eq!(calendar_a.trace_json, calendar_b.trace_json);
+    assert_eq!(calendar_a.stats, calendar_b.stats);
+    assert_eq!(calendar_a.delivery_logs, legacy.delivery_logs);
+    assert_eq!(
+        calendar_a.trace_json, legacy.trace_json,
+        "recovery-plane traces must not depend on the scheduler"
+    );
+    assert_eq!(calendar_a.stats, legacy.stats);
+}
+
 /// Batching is a framing optimisation, not a semantic change: with a single
 /// sender, a batched run and an unbatched run of either service apply the
 /// identical command sequence (every member, same delivery log).

@@ -15,7 +15,7 @@ use fs_smr_suite::common::id::MemberId;
 use fs_smr_suite::common::time::{SimDuration, SimTime};
 use fs_smr_suite::harness::{
     FaultSchedule, NewTopService, PairLayout, Protocol, Running, RuntimeKind, Scenario,
-    ServiceSpec, SmrKvService, Workload,
+    ServiceSpec, SmrDriver, SmrKvService, Workload,
 };
 use fs_smr_suite::newtop::suspector::SuspectorConfig;
 
@@ -134,6 +134,102 @@ fn fs_smr_one_way_sever_parity() {
     assert!(
         threaded_stats.dropped_link > 0,
         "threaded one-way sever saw no traffic"
+    );
+}
+
+/// Rolling-restart parity: the same staggered crash → recover schedule
+/// (members 1 and 2 restart in turn under load) runs on both runtimes, and
+/// on each of them every member — including the two that rejoined by state
+/// transfer — converges to the identical committed log and KV digest.
+///
+/// Messages in flight across an outage are dropped, and the two runtimes
+/// drop different ones (real clocks vs simulated), so the cross-runtime
+/// contract here is the convergence contract itself rather than delivery-set
+/// equality: both runtimes execute the full lifecycle plan, keep committing,
+/// and the rejoined members observe their own view re-installation.
+#[test]
+fn rolling_restart_parity() {
+    let make = |runtime| {
+        let faults = FaultSchedule::none()
+            .crash_member_at(SimTime::from_millis(200), MemberId(1))
+            .recover_member_at(SimTime::from_millis(500), MemberId(1))
+            .crash_member_at(SimTime::from_millis(800), MemberId(2))
+            .recover_member_at(SimTime::from_millis(1_100), MemberId(2));
+        Scenario::new(SmrKvService::new())
+            .members(MEMBERS)
+            .protocol(Protocol::Crash)
+            .runtime(runtime)
+            .workload(Workload::quick(30).interval(SimDuration::from_millis(50)))
+            .faults(faults)
+            .seed(7)
+    };
+
+    for runtime in [RuntimeKind::Sim, RuntimeKind::Threaded] {
+        let mut run = make(runtime).build();
+        run.run_until(match runtime {
+            RuntimeKind::Sim => SimTime::from_secs(300),
+            RuntimeKind::Threaded => SimTime::from_secs(10),
+        });
+
+        let stats = run.stats();
+        assert_eq!(
+            stats.lifecycle_events, 8,
+            "{runtime:?}: 2 members × (crash + recover) × 2 processes"
+        );
+
+        let reference = run.machine_log(0).expect("member 0 exposes its log");
+        assert!(
+            !reference.is_empty(),
+            "{runtime:?}: the group kept committing"
+        );
+        let digest = run.machine_digest(0);
+        for i in 1..MEMBERS {
+            assert_eq!(
+                run.machine_log(i).as_ref(),
+                Some(&reference),
+                "{runtime:?}: member {i} diverged after the rolling restart"
+            );
+            assert_eq!(run.machine_digest(i), digest);
+        }
+        for i in [1, 2] {
+            let driver = run.app::<SmrDriver>(i).expect("driver present");
+            assert!(
+                driver.rejoin_latency().is_some(),
+                "{runtime:?}: member {i} never observed its rejoin"
+            );
+        }
+    }
+}
+
+/// Replacement-member convergence regression: the sequencer's crashed peer
+/// is replaced by a *cold* process (fresh middleware, observer driver) that
+/// must converge purely by snapshot state transfer — no replay-from-zero,
+/// no sends of its own.
+#[test]
+fn cold_replacement_member_converges() {
+    let faults = FaultSchedule::none()
+        .crash_member_at(SimTime::from_millis(250), MemberId(1))
+        .replace_member_at(SimTime::from_millis(600), MemberId(1));
+    let mut run = Scenario::new(SmrKvService::new())
+        .members(MEMBERS)
+        .protocol(Protocol::Crash)
+        .workload(Workload::quick(25).interval(SimDuration::from_millis(40)))
+        .faults(faults)
+        .seed(7)
+        .build();
+    run.run_until(SimTime::from_secs(300));
+
+    let reference = run.machine_log(0).expect("member 0 exposes its log");
+    assert!(!reference.is_empty());
+    for i in 1..MEMBERS {
+        assert_eq!(run.machine_log(i).as_ref(), Some(&reference));
+        assert_eq!(run.machine_digest(i), run.machine_digest(0));
+    }
+    let replacement = run.app::<SmrDriver>(1).expect("replacement driver present");
+    assert_eq!(replacement.sent(), 0, "the replacement is an observer");
+    assert!(
+        replacement.rejoin_latency().is_some(),
+        "the replacement observed the view that readmitted its member slot"
     );
 }
 
