@@ -10,8 +10,13 @@
 //!
 //! * **hmac** — one-shot `HmacSha256::mac` (re-expands the RFC 2104 key
 //!   schedule per message) vs the cached [`HmacKey`] state that
-//!   `SigningKey` now holds.  The cached path must stay measurably faster
-//!   (≥ 1.5× on small payloads).
+//!   `SigningKey` now holds (≥ 1.5× on small payloads), plus a per-backend
+//!   sweep: cached-key MAC throughput (MB/s) on the scalar and multi-block
+//!   compress backends, and the SIMD shared-schedule batch path's per-MAC
+//!   cost at batch 8.
+//! * **verify_batch** — `Signature::verify_batch_uncached` across an
+//!   authenticator vector (one message, n MACs, shared inner schedule):
+//!   per-MAC nanoseconds must fall as the batch grows.
 //! * **encode** — `Wire::to_wire` (one sized allocation, refcount-shared
 //!   `Bytes`) vs the legacy `Wire::to_wire_vec` growth-from-zero path, on
 //!   the candidate frames the wrapper pair exchanges.
@@ -61,8 +66,9 @@ use fs_common::id::{FsId, ProcessId};
 use fs_common::rng::DetRng;
 use fs_common::time::SimTime;
 use fs_common::Bytes;
-use fs_crypto::hmac::{HmacKey, HmacSha256};
+use fs_crypto::hmac::{HmacKey, HmacSha256, MacSchedule};
 use fs_crypto::keys::{provision, SignerId};
+use fs_crypto::sha256::CompressBackend;
 use fs_crypto::sig::Signature;
 use fs_harness::Protocol;
 use fs_newtop::app::TrafficConfig;
@@ -104,10 +110,33 @@ fn scaled_iters(base: u64, payload: usize) -> u64 {
 struct HmacRow {
     payload_bytes: usize,
     one_shot_ns: f64,
+    /// Cached-key MAC on the process's active (default) backend — the same
+    /// field older reports carried, so trajectories stay comparable.
     cached_key_ns: f64,
     /// one_shot_ns / cached_key_ns — the win from precomputing the key
     /// schedule once per signer.
     speedup: f64,
+    /// Cached-key MAC pinned to the scalar (oracle) backend.
+    scalar_ns: f64,
+    /// Cached-key MAC pinned to the multi-block backend.
+    multiblock_ns: f64,
+    /// Per-MAC cost of the SIMD shared-schedule batch path at batch 8
+    /// (one message, 8 keys).
+    simd_batch8_per_mac_ns: f64,
+    scalar_mb_per_s: f64,
+    multiblock_mb_per_s: f64,
+    simd_batch8_mb_per_s: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct VerifyBatchRow {
+    payload_bytes: usize,
+    /// Authenticators verified per call (one message, `batch` MACs).
+    batch: usize,
+    total_ns: f64,
+    /// total_ns / batch — must fall as the batch grows (schedule sharing +
+    /// lane-parallel rounds).
+    per_mac_ns: f64,
 }
 
 #[derive(Debug, Serialize)]
@@ -170,6 +199,7 @@ struct HotpathReport {
     id: String,
     iterations: u64,
     hmac: Vec<HmacRow>,
+    verify_batch: Vec<VerifyBatchRow>,
     encode: Vec<EncodeRow>,
     sign_verify: Vec<SignVerifyRow>,
     scheduler: Vec<SchedulerRow>,
@@ -184,6 +214,13 @@ struct HotpathReport {
 fn bench_hmac(iters: u64) -> Vec<HmacRow> {
     let key_bytes = [0xa5u8; 32];
     let cached = HmacKey::new(&key_bytes);
+    let scalar_key = HmacKey::new_with_backend(CompressBackend::Scalar, &key_bytes);
+    let multiblock_key = HmacKey::new_with_backend(CompressBackend::MultiBlock, &key_bytes);
+    let batch_keys: Vec<HmacKey> = (0..8u8)
+        .map(|i| HmacKey::new_with_backend(CompressBackend::Simd, &[0xa5 ^ i; 32]))
+        .collect();
+    let batch_refs: Vec<&HmacKey> = batch_keys.iter().collect();
+    let mb_per_s = |size: usize, ns: f64| size as f64 * 1e3 / ns;
     PAYLOAD_SIZES
         .iter()
         .map(|&size| {
@@ -195,14 +232,66 @@ fn bench_hmac(iters: u64) -> Vec<HmacRow> {
             let cached_key_ns = time_ns_per_op(n, || {
                 black_box(cached.mac(black_box(&msg)));
             });
+            let scalar_ns = time_ns_per_op(n, || {
+                black_box(scalar_key.mac(black_box(&msg)));
+            });
+            let multiblock_ns = time_ns_per_op(n, || {
+                black_box(multiblock_key.mac(black_box(&msg)));
+            });
+            // The batch path amortizes one schedule expansion over 8 keys
+            // and runs their rounds lane-parallel; report per-MAC cost.
+            let simd_batch8_per_mac_ns = time_ns_per_op(n, || {
+                let schedule =
+                    MacSchedule::new_with_backend(CompressBackend::Simd, black_box(&msg));
+                black_box(schedule.mac_batch(black_box(&batch_refs)));
+            }) / batch_refs.len() as f64;
             HmacRow {
                 payload_bytes: size,
                 one_shot_ns,
                 cached_key_ns,
                 speedup: one_shot_ns / cached_key_ns,
+                scalar_ns,
+                multiblock_ns,
+                simd_batch8_per_mac_ns,
+                scalar_mb_per_s: mb_per_s(size, scalar_ns),
+                multiblock_mb_per_s: mb_per_s(size, multiblock_ns),
+                simd_batch8_mb_per_s: mb_per_s(size, simd_batch8_per_mac_ns),
             }
         })
         .collect()
+}
+
+/// Measures `Signature::verify_batch_uncached` across an authenticator
+/// vector: `batch` distinct signers over the same payload.  Uncached, so the
+/// memo cannot flatten the curve; what should flatten it is schedule sharing
+/// plus lane-parallel rounds.
+fn bench_verify_batch(iters: u64) -> Vec<VerifyBatchRow> {
+    let mut rng = DetRng::new(17);
+    let signers: Vec<ProcessId> = (0..16).map(ProcessId).collect();
+    let (keys, dir) = provision(signers.clone(), &mut rng);
+    let mut rows = Vec::new();
+    for &size in &[1024usize, 10240] {
+        let msg: Vec<u8> = (0..size).map(|i| (i % 251) as u8).collect();
+        let sigs: Vec<Signature> = signers
+            .iter()
+            .map(|p| Signature::sign(&keys[&SignerId(*p)], &msg))
+            .collect();
+        for &batch in &[1usize, 2, 4, 8, 16] {
+            let refs: Vec<&Signature> = sigs[..batch].iter().collect();
+            let n = scaled_iters(iters, size * batch);
+            let total_ns = time_ns_per_op(n, || {
+                Signature::verify_batch_uncached(black_box(&refs), &dir, black_box(&msg))
+                    .expect("valid batch");
+            });
+            rows.push(VerifyBatchRow {
+                payload_bytes: size,
+                batch,
+                total_ns,
+                per_mac_ns: total_ns / batch as f64,
+            });
+        }
+    }
+    rows
 }
 
 fn bench_encode(iters: u64) -> Vec<EncodeRow> {
@@ -470,20 +559,54 @@ struct ReferenceReportBatched {
     pipeline_batched: ReferencePipeline,
 }
 
-/// The reference throughputs the regression guard compares against.
+/// The verify-batch subset of a reference row the guard needs.
+#[derive(Debug, Deserialize)]
+struct ReferenceVerifyBatchRow {
+    payload_bytes: usize,
+    batch: usize,
+    per_mac_ns: f64,
+}
+
+/// A reference report that also carries the batched-verification sweep.
+/// Older references without it fall back to the layers below, and the
+/// verify-batch guard simply does not fire against them.
+#[derive(Debug, Deserialize)]
+struct ReferenceReportVerifyBatch {
+    pipeline: ReferencePipeline,
+    pipeline_batched: ReferencePipeline,
+    verify_batch: Vec<ReferenceVerifyBatchRow>,
+}
+
+/// The reference numbers the regression guard compares against.
 #[derive(Debug, Clone, Copy)]
 struct RegressionReference {
     unbatched: f64,
     batched: Option<f64>,
+    /// `(payload_bytes, batch, per_mac_ns)` of the largest-batch,
+    /// largest-payload batched-verification row.
+    verify_batch: Option<(usize, usize, f64)>,
 }
 
-/// Extracts the 3-member pipelines' deliveries/host-sec from a reference
-/// report.
+/// Extracts the guard references from a reference report, newest layout
+/// first — every older layout still parses, it just arms fewer guards.
 fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
+    if let Ok(r) = serde_json::from_str::<ReferenceReportVerifyBatch>(json) {
+        let vb = r
+            .verify_batch
+            .iter()
+            .max_by_key(|row| (row.payload_bytes, row.batch))
+            .map(|row| (row.payload_bytes, row.batch, row.per_mac_ns));
+        return Some(RegressionReference {
+            unbatched: r.pipeline.deliveries_per_host_sec,
+            batched: Some(r.pipeline_batched.deliveries_per_host_sec),
+            verify_batch: vb,
+        });
+    }
     if let Ok(r) = serde_json::from_str::<ReferenceReportBatched>(json) {
         return Some(RegressionReference {
             unbatched: r.pipeline.deliveries_per_host_sec,
             batched: Some(r.pipeline_batched.deliveries_per_host_sec),
+            verify_batch: None,
         });
     }
     serde_json::from_str::<ReferenceReport>(json)
@@ -491,6 +614,7 @@ fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
         .map(|r| RegressionReference {
             unbatched: r.pipeline.deliveries_per_host_sec,
             batched: None,
+            verify_batch: None,
         })
 }
 
@@ -554,6 +678,8 @@ fn main() {
 
     eprintln!("hotpath: hmac ({iters} base iters)...");
     let hmac = bench_hmac(iters);
+    eprintln!("hotpath: batched signature verification...");
+    let verify_batch = bench_verify_batch(iters / 4);
     eprintln!("hotpath: encode...");
     let encode = bench_encode(iters);
     eprintln!("hotpath: sign/verify...");
@@ -579,6 +705,29 @@ fn main() {
         println!(
             "{:<16} {:>14.0} {:>14.0} {:>8.2}x",
             row.payload_bytes, row.one_shot_ns, row.cached_key_ns, row.speedup
+        );
+    }
+    println!(
+        "\n{:<16} {:>13} {:>13} {:>16}",
+        "hmac backends", "scalar MB/s", "multi MB/s", "simd-b8 MB/s"
+    );
+    for row in &hmac {
+        println!(
+            "{:<16} {:>13.0} {:>13.0} {:>16.0}",
+            row.payload_bytes,
+            row.scalar_mb_per_s,
+            row.multiblock_mb_per_s,
+            row.simd_batch8_mb_per_s
+        );
+    }
+    println!(
+        "\n{:<16} {:>6} {:>14} {:>14}",
+        "verify payload", "batch", "total ns", "per-MAC ns"
+    );
+    for row in &verify_batch {
+        println!(
+            "{:<16} {:>6} {:>14.0} {:>14.0}",
+            row.payload_bytes, row.batch, row.total_ns, row.per_mac_ns
         );
     }
     println!(
@@ -643,6 +792,7 @@ fn main() {
         id: "bench-hotpath".to_string(),
         iterations: iters,
         hmac,
+        verify_batch,
         encode,
         sign_verify,
         scheduler,
@@ -675,5 +825,51 @@ fn main() {
         if let Some(batched) = reference.batched {
             check_regression("batched", &report.pipeline_batched, batched);
         }
+        if let Some((payload, batch, ref_per_mac_ns)) = reference.verify_batch {
+            check_verify_batch_regression(&report.verify_batch, payload, batch, ref_per_mac_ns);
+        }
     }
+}
+
+/// The time-domain guard for batched verification: the per-MAC cost of the
+/// reference's largest (payload, batch) row must not climb more than the
+/// allowed fraction *above* the committed reference (inverse of the
+/// throughput guards: here smaller is better).
+fn check_verify_batch_regression(
+    fresh: &[VerifyBatchRow],
+    payload: usize,
+    batch: usize,
+    reference_ns: f64,
+) {
+    let Some(row) = fresh
+        .iter()
+        .find(|r| r.payload_bytes == payload && r.batch == batch)
+    else {
+        eprintln!(
+            "regression guard [verify_batch]: fresh report lacks the \
+             ({payload} B, batch {batch}) row the reference carries"
+        );
+        std::process::exit(3);
+    };
+    let max_regression = std::env::var("FS_BENCH_HOTPATH_MAX_REGRESSION")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or(0.20);
+    let ceiling = reference_ns * (1.0 + max_regression);
+    if row.per_mac_ns > ceiling {
+        eprintln!(
+            "regression guard [verify_batch]: {payload} B batch-{batch} per-MAC cost \
+             {:.0} ns is more than {:.0}% above the reference {:.0} ns (ceiling {:.0} ns) \
+             — batch-verify or backend regression",
+            row.per_mac_ns,
+            max_regression * 100.0,
+            reference_ns,
+            ceiling,
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "regression guard [verify_batch]: {:.0} ns/MAC vs reference {:.0} ns (ceiling {:.0} ns) — ok",
+        row.per_mac_ns, reference_ns, ceiling
+    );
 }

@@ -15,7 +15,7 @@ use fs_common::id::{FsId, MemberId};
 use fs_common::{Bytes, SignatureError};
 use fs_crypto::keys::{KeyDirectory, SignerId, SigningKey};
 use fs_crypto::sha256::Digest;
-use fs_crypto::sig::Signature;
+use fs_crypto::sig::{verify_cosign_pair, verify_cosign_pair_uncached, Signature};
 use fs_smr::machine::Endpoint;
 
 /// Encodes a logical endpoint (defined in `fs-smr`) onto the wire.
@@ -339,10 +339,7 @@ impl FsOutput {
         pair: (SignerId, SignerId),
     ) -> Result<(), SignatureError> {
         self.check_signer_pair(pair)?;
-        self.first.verify_uncached(directory, content_bytes)?;
-        self.second
-            .verify_uncached(directory, &co_signing_bytes(content_bytes, &self.first))?;
-        Ok(())
+        verify_cosign_pair_uncached(directory, content_bytes, &self.first, &self.second)
     }
 
     /// Like [`FsOutput::verify`], but takes the content's signing bytes
@@ -358,10 +355,10 @@ impl FsOutput {
         pair: (SignerId, SignerId),
     ) -> Result<(), SignatureError> {
         self.check_signer_pair(pair)?;
-        self.first.verify(directory, content_bytes)?;
-        self.second
-            .verify(directory, &co_signing_bytes(content_bytes, &self.first))?;
-        Ok(())
+        // Both MACs share the content's message schedule (the co-signature
+        // differs only in a 36-byte suffix), and each memo composes as
+        // before: a hit answers without touching the schedule.
+        verify_cosign_pair(directory, content_bytes, &self.first, &self.second)
     }
 
     /// True when this output is the process's fail-signal.

@@ -17,7 +17,12 @@ use fs_common::time::SimDuration;
 /// node.
 ///
 /// Costs are affine in the message size: a fixed per-operation cost plus a
-/// per-byte hashing cost.
+/// per-byte hashing cost plus an optional per-64-byte-block term
+/// (`base + per_byte * len + per_block * ceil(len / 64)`).  The per-block
+/// term models compress-function-granular implementations — a real SHA-256
+/// pays per block compressed, not per byte — so backend ablations can charge
+/// scalar vs SIMD hashing honestly.  It defaults to zero in every stock
+/// model, which keeps all historical simulated timings byte-identical.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CryptoCostModel {
     /// Fixed cost of producing a signature (the RSA private-key operation in
@@ -29,6 +34,9 @@ pub struct CryptoCostModel {
     /// Additional cost per byte hashed (applies to both signing and
     /// verification, covering the MD5/SHA pass over the message).
     pub hash_per_byte: SimDuration,
+    /// Additional cost per 64-byte compression block, charged for
+    /// `ceil(len / 64)` blocks per hash pass.  Zero in all stock models.
+    pub hash_per_block: SimDuration,
 }
 
 impl CryptoCostModel {
@@ -43,6 +51,7 @@ impl CryptoCostModel {
             sign_fixed: SimDuration::from_micros(1_500),
             verify_fixed: SimDuration::from_micros(200),
             hash_per_byte: SimDuration::from_nanos(40),
+            hash_per_block: SimDuration::ZERO,
         }
     }
 
@@ -52,6 +61,7 @@ impl CryptoCostModel {
             sign_fixed: SimDuration::ZERO,
             verify_fixed: SimDuration::ZERO,
             hash_per_byte: SimDuration::ZERO,
+            hash_per_block: SimDuration::ZERO,
         }
     }
 
@@ -62,23 +72,52 @@ impl CryptoCostModel {
             sign_fixed: SimDuration::from_micros(1),
             verify_fixed: SimDuration::from_micros(1),
             hash_per_byte: SimDuration::from_nanos(1),
+            hash_per_block: SimDuration::ZERO,
         }
+    }
+
+    /// A model charging at compression-block granularity, calibrated to the
+    /// measured scalar backend (`results/bench-hotpath.json`: ~200 MB/s ⇒
+    /// ~300 ns per 64-byte block): no per-byte term, a fixed microsecond,
+    /// and the whole payload-dependent cost on the block term.
+    pub fn scalar_sha256() -> Self {
+        Self {
+            sign_fixed: SimDuration::from_micros(1),
+            verify_fixed: SimDuration::from_micros(1),
+            hash_per_byte: SimDuration::ZERO,
+            hash_per_block: SimDuration::from_nanos(300),
+        }
+    }
+
+    /// [`CryptoCostModel::scalar_sha256`] with the per-block cost scaled to
+    /// the lane-parallel SIMD backend's measured amortized throughput.
+    pub fn simd_sha256() -> Self {
+        Self {
+            hash_per_block: SimDuration::from_nanos(100),
+            ..Self::scalar_sha256()
+        }
+    }
+
+    /// The payload-dependent hashing cost over `len` bytes:
+    /// `per_byte * len + per_block * ceil(len / 64)`.
+    fn hash_cost(&self, len: usize) -> SimDuration {
+        self.hash_per_byte * len as u64 + self.hash_per_block * len.div_ceil(64) as u64
     }
 
     /// CPU time to sign a message of `len` bytes.
     pub fn sign_cost(&self, len: usize) -> SimDuration {
-        self.sign_fixed + self.hash_per_byte * len as u64
+        self.sign_fixed + self.hash_cost(len)
     }
 
     /// CPU time to verify one signature over a message of `len` bytes.
     pub fn verify_cost(&self, len: usize) -> SimDuration {
-        self.verify_fixed + self.hash_per_byte * len as u64
+        self.verify_fixed + self.hash_cost(len)
     }
 
     /// CPU time to verify a double-signed message of `len` bytes (two
     /// signature verifications, one hash pass shared).
     pub fn verify_double_cost(&self, len: usize) -> SimDuration {
-        self.verify_fixed * 2 + self.hash_per_byte * len as u64
+        self.verify_fixed * 2 + self.hash_cost(len)
     }
 }
 
@@ -132,5 +171,54 @@ mod tests {
         let m = CryptoCostModel::modern_hmac();
         let old = CryptoCostModel::era_2003();
         assert!(m.sign_cost(1024) < old.sign_cost(1024));
+    }
+
+    /// The stock models must keep a zero block term and produce exactly the
+    /// pre-block-term affine costs, so every historical simulated timing is
+    /// byte-identical (the determinism suite depends on this).
+    #[test]
+    fn stock_models_charge_exactly_the_legacy_affine_costs() {
+        for m in [
+            CryptoCostModel::era_2003(),
+            CryptoCostModel::free(),
+            CryptoCostModel::modern_hmac(),
+        ] {
+            assert_eq!(m.hash_per_block, SimDuration::ZERO);
+            for len in [0usize, 3, 64, 65, 1024, 10_240] {
+                assert_eq!(
+                    m.sign_cost(len),
+                    m.sign_fixed + m.hash_per_byte * len as u64
+                );
+                assert_eq!(
+                    m.verify_cost(len),
+                    m.verify_fixed + m.hash_per_byte * len as u64
+                );
+                assert_eq!(
+                    m.verify_double_cost(len),
+                    m.verify_fixed * 2 + m.hash_per_byte * len as u64
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn block_term_charges_ceil_len_over_64() {
+        let m = CryptoCostModel::scalar_sha256();
+        // Zero-length messages hash zero blocks.
+        assert_eq!(m.verify_cost(0), m.verify_fixed);
+        // 1..=64 bytes all occupy one block.
+        assert_eq!(m.verify_cost(1), m.verify_cost(64));
+        assert_eq!(m.verify_cost(64), m.verify_fixed + m.hash_per_block);
+        // The 65th byte starts a second block.
+        assert_eq!(m.verify_cost(65), m.verify_fixed + m.hash_per_block * 2);
+        assert_eq!(m.sign_cost(10_240), m.sign_fixed + m.hash_per_block * 160);
+    }
+
+    #[test]
+    fn simd_model_is_cheaper_per_block_than_scalar() {
+        let scalar = CryptoCostModel::scalar_sha256();
+        let simd = CryptoCostModel::simd_sha256();
+        assert!(simd.verify_cost(10_240) < scalar.verify_cost(10_240));
+        assert_eq!(simd.verify_fixed, scalar.verify_fixed);
     }
 }

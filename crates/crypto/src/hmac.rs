@@ -8,7 +8,11 @@
 //! provides in the simulated setting where verifiers obtain verification keys
 //! from a trusted [`crate::keys::KeyDirectory`].
 
-use crate::sha256::{ct_eq, Digest, Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256::{
+    compress_with_schedule, ct_eq, expand_schedule, state_to_digest, CompressBackend, Digest,
+    Sha256, BLOCK_LEN, DIGEST_LEN,
+};
+use crate::simd;
 
 /// The length of an HMAC-SHA-256 tag in bytes.
 pub const TAG_LEN: usize = DIGEST_LEN;
@@ -48,9 +52,15 @@ impl HmacKey {
     ///
     /// Keys longer than the block size are hashed first, per RFC 2104.
     pub fn new(key: &[u8]) -> Self {
+        Self::new_with_backend(CompressBackend::active(), key)
+    }
+
+    /// [`HmacKey::new`] with the per-message hashing pinned to an explicit
+    /// backend (differential tests and per-backend benchmarks).
+    pub fn new_with_backend(backend: CompressBackend, key: &[u8]) -> Self {
         let mut key_block = [0u8; BLOCK_LEN];
         if key.len() > BLOCK_LEN {
-            let digest = Sha256::digest(key);
+            let digest = Sha256::digest_with_backend(backend, key);
             key_block[..DIGEST_LEN].copy_from_slice(digest.as_bytes());
         } else {
             key_block[..key.len()].copy_from_slice(key);
@@ -63,9 +73,9 @@ impl HmacKey {
             outer_key[i] = key_block[i] ^ 0x5c;
         }
 
-        let mut inner = Sha256::new();
+        let mut inner = Sha256::new_with_backend(backend);
         inner.update(&inner_key);
-        let mut outer = Sha256::new();
+        let mut outer = Sha256::new_with_backend(backend);
         outer.update(&outer_key);
         Self { inner, outer }
     }
@@ -90,6 +100,31 @@ impl HmacKey {
         ct_eq(self.mac(data).as_bytes(), tag)
     }
 
+    /// Computes the tags of `message` under every key in `keys` in one pass
+    /// (one message schedule expansion shared across the whole batch).
+    ///
+    /// `result[i]` is the tag under `keys[i]`; equivalent to — and on the
+    /// SIMD backend several times faster than — calling
+    /// [`HmacKey::mac`] per key.
+    pub fn mac_batch(keys: &[&HmacKey], message: &[u8]) -> Vec<Digest> {
+        MacSchedule::new(message).mac_batch(keys)
+    }
+
+    /// Verifies `tags[i]` over `message` under `keys[i]` for every index in
+    /// constant time, sharing the message schedule across the batch.
+    ///
+    /// Per-index verdicts: `result[i]` reports on input `i` only; a bad tag
+    /// at one index never masks a good one elsewhere.  `keys` and `tags`
+    /// must have equal length.
+    pub fn verify_batch(keys: &[&HmacKey], message: &[u8], tags: &[&[u8]]) -> Vec<bool> {
+        assert_eq!(keys.len(), tags.len(), "one tag per key");
+        Self::mac_batch(keys, message)
+            .iter()
+            .zip(tags)
+            .map(|(expected, tag)| ct_eq(expected.as_bytes(), tag))
+            .collect()
+    }
+
     /// A 64-bit fingerprint identifying this key (derived from the
     /// precomputed inner state, so no extra hashing).  Two distinct keys
     /// collide with negligible probability; the signature layer uses this to
@@ -98,6 +133,201 @@ impl HmacKey {
     pub fn fingerprint(&self) -> u64 {
         self.inner.state_fingerprint()
     }
+}
+
+/// A message's precomputed inner-hash schedules, reusable across HMAC keys.
+///
+/// The SHA-256 message schedule depends only on the block bytes — never on
+/// the chaining state — and the HMAC inner hash absorbs the message at a
+/// block-aligned offset (right after the ipad block).  Both facts together
+/// mean the *entire* inner-hash schedule for one message (full blocks and
+/// the padded tail) is identical for every key, so it can be expanded once
+/// and replayed against each key's precomputed inner state.  Schedule
+/// expansion is roughly a third of the compress work; on the SIMD backend
+/// the remaining per-key rounds also run 4/8 keys lane-parallel, which is
+/// where the batch-verify speedup in `results/bench-hotpath.json` comes
+/// from.
+///
+/// # Examples
+///
+/// ```
+/// use fs_crypto::hmac::{HmacKey, MacSchedule};
+///
+/// let keys: Vec<HmacKey> = (0..3).map(|i| HmacKey::new(&[i as u8; 16])).collect();
+/// let refs: Vec<&HmacKey> = keys.iter().collect();
+/// let schedule = MacSchedule::new(b"one message, n authenticators");
+/// let tags = schedule.mac_batch(&refs);
+/// for (key, tag) in keys.iter().zip(&tags) {
+///     assert_eq!(*tag, key.mac(b"one message, n authenticators"));
+/// }
+/// ```
+pub struct MacSchedule<'m> {
+    message: &'m [u8],
+    backend: CompressBackend,
+    /// Expanded schedules for every post-ipad inner-hash block: the full
+    /// message blocks, then the padded tail block(s).  Empty on the scalar
+    /// backend, which takes the original per-key path untouched.
+    schedules: Vec<[u32; 64]>,
+    /// How many leading entries of `schedules` cover full message blocks
+    /// (the prefix that [`MacSchedule::mac_with_suffix`] can reuse).
+    full_blocks: usize,
+}
+
+impl<'m> MacSchedule<'m> {
+    /// Expands the inner-hash schedule for `message` on the process's active
+    /// backend.
+    pub fn new(message: &'m [u8]) -> Self {
+        Self::new_with_backend(CompressBackend::active(), message)
+    }
+
+    /// [`MacSchedule::new`] pinned to an explicit backend.
+    pub fn new_with_backend(backend: CompressBackend, message: &'m [u8]) -> Self {
+        if backend == CompressBackend::Scalar {
+            // Oracle mode: no precompute; every MAC takes the original
+            // incremental per-key path.
+            return Self {
+                message,
+                backend,
+                schedules: Vec::new(),
+                full_blocks: 0,
+            };
+        }
+        let len = message.len();
+        let full = len - len % BLOCK_LEN;
+        let rem = len - full;
+        let tail_total = if rem + 1 + 8 <= BLOCK_LEN {
+            BLOCK_LEN
+        } else {
+            2 * BLOCK_LEN
+        };
+        let mut schedules = Vec::with_capacity(full / BLOCK_LEN + tail_total / BLOCK_LEN);
+        for block in message[..full].chunks_exact(BLOCK_LEN) {
+            schedules.push(expand_schedule(block));
+        }
+        let full_blocks = schedules.len();
+        // The inner hash has already absorbed the 64-byte ipad block, so its
+        // total length — and therefore the padding — covers 64 + len bytes.
+        let bit_len = ((BLOCK_LEN + len) as u64).wrapping_mul(8);
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        tail[..rem].copy_from_slice(&message[full..]);
+        tail[rem] = 0x80;
+        tail[tail_total - 8..tail_total].copy_from_slice(&bit_len.to_be_bytes());
+        for block in tail[..tail_total].chunks_exact(BLOCK_LEN) {
+            schedules.push(expand_schedule(block));
+        }
+        Self {
+            message,
+            backend,
+            schedules,
+            full_blocks,
+        }
+    }
+
+    /// The message this schedule was expanded for.
+    pub fn message(&self) -> &'m [u8] {
+        self.message
+    }
+
+    /// Computes the tag under one key, replaying the precomputed schedules
+    /// against the key's inner state.
+    pub fn mac(&self, key: &HmacKey) -> Digest {
+        if self.backend == CompressBackend::Scalar {
+            return key.mac(self.message);
+        }
+        let mut state = key.inner.state();
+        for w in &self.schedules {
+            compress_with_schedule(&mut state, w);
+        }
+        outer_finalize(key, &state_to_digest(&state))
+    }
+
+    /// Computes the tag under every key, lane-parallel on the SIMD backend.
+    ///
+    /// `result[i]` is the tag under `keys[i]`.
+    pub fn mac_batch(&self, keys: &[&HmacKey]) -> Vec<Digest> {
+        if self.backend != CompressBackend::Simd {
+            return keys.iter().map(|k| self.mac(k)).collect();
+        }
+        let mut out = Vec::with_capacity(keys.len());
+        let mut rest = keys;
+        while rest.len() >= 8 {
+            out.extend(self.mac_lanes::<8>(rest));
+            rest = &rest[8..];
+        }
+        if rest.len() >= 4 {
+            out.extend(self.mac_lanes::<4>(rest));
+            rest = &rest[4..];
+        }
+        for key in rest {
+            out.push(self.mac(key));
+        }
+        out
+    }
+
+    /// Computes the tag under one key for `message ++ suffix`, reusing the
+    /// precomputed schedules for the message's full blocks.
+    ///
+    /// This is the co-signature shape: the second signature of a
+    /// double-signed output covers the content bytes plus a fixed 36-byte
+    /// suffix naming the first signer, so all full content blocks are shared
+    /// with the first signature's verification.
+    pub fn mac_with_suffix(&self, key: &HmacKey, suffix: &[u8]) -> Digest {
+        if self.backend == CompressBackend::Scalar {
+            let mut h = key.hasher();
+            h.update(self.message);
+            h.update(suffix);
+            return h.finalize();
+        }
+        let mut state = key.inner.state();
+        for w in &self.schedules[..self.full_blocks] {
+            compress_with_schedule(&mut state, w);
+        }
+        let full = self.full_blocks * BLOCK_LEN;
+        let mut h = Sha256::resume(state, (BLOCK_LEN + full) as u64, self.backend);
+        h.update(&self.message[full..]);
+        h.update(suffix);
+        outer_finalize(key, &h.finalize())
+    }
+
+    /// One lane-parallel group: shared schedule into `N` per-key inner
+    /// states, then `N` per-key outer finalizations in one wide pass.
+    fn mac_lanes<const N: usize>(&self, keys: &[&HmacKey]) -> [Digest; N] {
+        let mut states: [[u32; 8]; N] = core::array::from_fn(|l| keys[l].inner.state());
+        for w in &self.schedules {
+            simd::compress_wide_shared(&mut states, w);
+        }
+        let blocks: [[u8; BLOCK_LEN]; N] =
+            core::array::from_fn(|l| outer_tail_block(&state_to_digest(&states[l])));
+        let mut outer_states: [[u32; 8]; N] = core::array::from_fn(|l| keys[l].outer.state());
+        simd::compress_wide(
+            &mut outer_states,
+            core::array::from_fn(|l| blocks[l].as_slice()),
+        );
+        core::array::from_fn(|l| state_to_digest(&outer_states[l]))
+    }
+}
+
+/// The single final block of the HMAC outer hash: the 32-byte inner digest,
+/// the 0x80 terminator, and the 768-bit total length (64-byte opad block +
+/// 32-byte digest).
+#[inline]
+fn outer_tail_block(inner_digest: &Digest) -> [u8; BLOCK_LEN] {
+    let mut block = [0u8; BLOCK_LEN];
+    block[..DIGEST_LEN].copy_from_slice(inner_digest.as_bytes());
+    block[DIGEST_LEN] = 0x80;
+    let bit_len = ((BLOCK_LEN + DIGEST_LEN) as u64).wrapping_mul(8);
+    block[BLOCK_LEN - 8..].copy_from_slice(&bit_len.to_be_bytes());
+    block
+}
+
+/// Finishes an HMAC from a computed inner digest: one compression of the
+/// outer tail block from the key's precomputed opad state.
+#[inline]
+fn outer_finalize(key: &HmacKey, inner_digest: &Digest) -> Digest {
+    let mut state = key.outer.state();
+    let w = expand_schedule(&outer_tail_block(inner_digest));
+    compress_with_schedule(&mut state, &w);
+    state_to_digest(&state)
 }
 
 /// An HMAC-SHA-256 keyed hasher.
@@ -309,5 +539,66 @@ mod tests {
         tag[0] ^= 1;
         assert!(!key.verify(b"m", &tag));
         assert!(!key.verify(b"m", &tag[..16]));
+    }
+
+    #[test]
+    fn mac_batch_matches_per_key_on_every_backend() {
+        // 11 keys exercises the 8-lane, 4-lane (via the 3 leftovers → no,
+        // 11 = 8 + 3 singles) and scalar-remainder grouping.
+        let keys: Vec<HmacKey> = (0..11u8).map(|i| HmacKey::new(&[i + 1; 20])).collect();
+        let refs: Vec<&HmacKey> = keys.iter().collect();
+        for len in [0usize, 3, 55, 56, 63, 64, 65, 127, 128, 129, 1000] {
+            let msg: Vec<u8> = (0..len).map(|x| (x % 251) as u8).collect();
+            for backend in [
+                CompressBackend::Scalar,
+                CompressBackend::MultiBlock,
+                CompressBackend::Simd,
+            ] {
+                let schedule = MacSchedule::new_with_backend(backend, &msg);
+                let tags = schedule.mac_batch(&refs);
+                assert_eq!(tags.len(), keys.len());
+                for (key, tag) in keys.iter().zip(&tags) {
+                    assert_eq!(*tag, key.mac(&msg), "len {len}, backend {backend:?}");
+                }
+                assert_eq!(schedule.mac(&keys[0]), keys[0].mac(&msg));
+            }
+        }
+    }
+
+    #[test]
+    fn mac_with_suffix_matches_concatenation() {
+        let key = HmacKey::new(b"cosign-key");
+        let suffix = [0xa5u8; 36];
+        for len in [0usize, 5, 63, 64, 65, 200, 1000] {
+            let msg: Vec<u8> = (0..len).map(|x| (x % 251) as u8).collect();
+            let mut concat = msg.clone();
+            concat.extend_from_slice(&suffix);
+            let expected = key.mac(&concat);
+            for backend in [
+                CompressBackend::Scalar,
+                CompressBackend::MultiBlock,
+                CompressBackend::Simd,
+            ] {
+                let schedule = MacSchedule::new_with_backend(backend, &msg);
+                assert_eq!(
+                    schedule.mac_with_suffix(&key, &suffix),
+                    expected,
+                    "len {len}, backend {backend:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn verify_batch_reports_per_index() {
+        let keys: Vec<HmacKey> = (0..6u8).map(|i| HmacKey::new(&[i + 10; 16])).collect();
+        let refs: Vec<&HmacKey> = keys.iter().collect();
+        let msg = b"per-index verdicts";
+        let mut tags: Vec<Digest> = HmacKey::mac_batch(&refs, msg);
+        tags[2].0[0] ^= 1;
+        tags[5].0[31] ^= 0x80;
+        let tag_refs: Vec<&[u8]> = tags.iter().map(|t| t.as_bytes().as_slice()).collect();
+        let verdicts = HmacKey::verify_batch(&refs, msg, &tag_refs);
+        assert_eq!(verdicts, [true, true, false, true, true, false]);
     }
 }

@@ -11,6 +11,38 @@
 //! authenticators provide in the simulated/threaded deployments where
 //! verification keys are distributed through a trusted directory at start-up.
 //!
+//! ## Compression backends
+//!
+//! SHA-256 compression is pluggable behind [`sha256::CompressBackend`]:
+//! `Scalar` (the original path, kept as the differential oracle),
+//! `MultiBlock` (whole-run compression with no per-block state churn), and
+//! `Simd` (the default: multi-block sequential hashing plus portable
+//! lane-parallel 4-way/8-way compression for the batch APIs — see
+//! [`simd`]).  Select process-wide with the `FS_CRYPTO_BACKEND` environment
+//! variable (`scalar` | `multiblock` | `simd`) or per call site with the
+//! `*_with_backend` constructors.  All backends compute the identical
+//! function, so backend choice can affect host wall-clock only — never a
+//! simulated clock, trace, or digest.
+//!
+//! ## Batch verification contract
+//!
+//! One frame carries one message and *n* authenticators, so the batch APIs
+//! share the message schedule across keys and differ only in verdict shape:
+//!
+//! * **Per-index verdicts:** [`hmac::HmacKey::mac_batch`] and
+//!   [`hmac::HmacKey::verify_batch`] return one entry per input
+//!   (`Vec<Digest>` / `Vec<bool>`); index `i` always reports on input `i`.
+//! * **All-or-nothing:** [`sig::Signature::verify_batch`] and
+//!   [`sig::DoubleSigned::verify_batch`] return `Ok(())` only when *every*
+//!   authenticator in the batch verifies, and otherwise the error for the
+//!   lowest-indexed failing entry — byte-for-byte the same error the
+//!   sequential `verify` loop would have produced first, so callers can
+//!   switch between the two without changing failure handling.
+//!
+//! Both compose with the host-side verify memos: a memo hit is answered
+//! before any batch schedule is assembled, so re-verification of an
+//! already-seen authenticator stays O(memo lookup) in a batch too.
+//!
 //! ## Example
 //!
 //! ```
@@ -33,7 +65,10 @@
 //!     .expect("valid FS output");
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the one sanctioned exception is the
+// feature-probed AVX2 recompilation of the portable lane code in
+// [`simd`], which carries a scoped `allow` and no intrinsics.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cost;
@@ -41,9 +76,10 @@ pub mod hmac;
 pub mod keys;
 pub mod sha256;
 pub mod sig;
+pub mod simd;
 
 pub use cost::CryptoCostModel;
-pub use hmac::{HmacKey, HmacSha256};
+pub use hmac::{HmacKey, HmacSha256, MacSchedule};
 pub use keys::{provision, KeyDirectory, SignerId, SigningKey, VerifyingKey};
-pub use sha256::{Digest, Sha256};
+pub use sha256::{CompressBackend, Digest, Sha256};
 pub use sig::{DoubleSigned, Signature, SingleSigned};

@@ -1,20 +1,43 @@
-//! SHA-256, implemented from scratch (FIPS 180-4).
+//! SHA-256, implemented from scratch (FIPS 180-4), with pluggable
+//! compression backends.
 //!
 //! The suite never links an external cryptography crate; message digests and
 //! the keyed authenticators built on top of them ([`crate::hmac`]) are
 //! implemented here and validated against the standard test vectors
 //! (RFC 6234 / NIST).
+//!
+//! ## Backends
+//!
+//! Three [`CompressBackend`]s produce byte-identical digests:
+//!
+//! * [`CompressBackend::Scalar`] — the original one-block-at-a-time path,
+//!   kept as the differential oracle (`FS_CRYPTO_BACKEND=scalar` forces it
+//!   process-wide, which is how CI keeps it tested);
+//! * [`CompressBackend::MultiBlock`] — compresses whole block runs straight
+//!   from the input slice: the chaining state lives in registers across the
+//!   run and no per-block copy into the hasher's buffer happens;
+//! * [`CompressBackend::Simd`] — the multi-block path for sequential
+//!   hashing, plus lane-parallel compression (portable 4-way/8-way `u32`
+//!   lanes, see [`crate::simd`]) for the batch APIs
+//!   ([`Sha256::digest_batch`], [`crate::hmac::MacSchedule`]) that hash
+//!   several independent streams in one pass.
+//!
+//! Because every backend computes the same function, backend selection can
+//! never change a simulation result — only host wall-clock.
 
 use core::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
 
 use serde::{Deserialize, Serialize};
+
+use crate::simd;
 
 /// The size of a SHA-256 digest in bytes.
 pub const DIGEST_LEN: usize = 32;
 /// The internal block size of SHA-256 in bytes.
 pub const BLOCK_LEN: usize = 64;
 
-const K: [u32; 64] = [
+pub(crate) const K: [u32; 64] = [
     0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1, 0x923f82a4, 0xab1c5ed5,
     0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3, 0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174,
     0xe49b69c1, 0xefbe4786, 0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
@@ -28,6 +51,173 @@ const K: [u32; 64] = [
 const H0: [u32; 8] = [
     0x6a09e667, 0xbb67ae85, 0x3c6ef372, 0xa54ff53a, 0x510e527f, 0x9b05688c, 0x1f83d9ab, 0x5be0cd19,
 ];
+
+/// Which SHA-256 compression implementation the process uses.
+///
+/// All backends compute the identical function (the differential suite in
+/// `tests/backends.rs` proves byte-identity on boundary vectors and random
+/// inputs), so the choice only affects host wall-clock — never simulated
+/// clocks, traces or digests.
+///
+/// Selection: the first call to [`CompressBackend::active`] reads the
+/// `FS_CRYPTO_BACKEND` environment variable (`scalar`, `multiblock`,
+/// `simd`); unrecognised or absent values default to [`CompressBackend::Simd`].
+/// Tests and benchmarks can override per hasher
+/// ([`Sha256::new_with_backend`]) or process-wide
+/// ([`CompressBackend::set_process_default`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CompressBackend {
+    /// One block at a time through the hasher's internal buffer — the
+    /// original implementation, kept as the differential oracle.
+    Scalar,
+    /// Whole block runs compressed straight from the input slice; the
+    /// chaining state stays in locals across the run.
+    MultiBlock,
+    /// [`CompressBackend::MultiBlock`] for sequential hashing plus portable
+    /// lane-parallel (4-way/8-way) compression for the batch APIs.
+    Simd,
+}
+
+/// Process-wide backend override: 0 = unset (read the environment on first
+/// use), otherwise `backend as u8 + 1`.
+static ACTIVE_BACKEND: AtomicU8 = AtomicU8::new(0);
+
+impl CompressBackend {
+    /// Parses a backend name as accepted by `FS_CRYPTO_BACKEND`.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "scalar" => Some(Self::Scalar),
+            "multiblock" | "multi-block" | "multi_block" => Some(Self::MultiBlock),
+            "simd" => Some(Self::Simd),
+            _ => None,
+        }
+    }
+
+    /// The backend newly constructed hashers use.
+    ///
+    /// Resolved once per process from `FS_CRYPTO_BACKEND` (default
+    /// [`CompressBackend::Simd`]); subsequently a single atomic load.
+    pub fn active() -> Self {
+        match ACTIVE_BACKEND.load(Ordering::Relaxed) {
+            0 => {
+                let resolved = std::env::var("FS_CRYPTO_BACKEND")
+                    .ok()
+                    .and_then(|v| Self::parse(&v))
+                    .unwrap_or(Self::Simd);
+                ACTIVE_BACKEND.store(resolved.encode(), Ordering::Relaxed);
+                resolved
+            }
+            v => Self::decode(v),
+        }
+    }
+
+    /// Overrides the process-wide default backend.
+    ///
+    /// Intended for differential tests and benchmarks that compare backends
+    /// inside one process; deployments select via `FS_CRYPTO_BACKEND`
+    /// instead.  Only affects hashers (and [`crate::hmac::HmacKey`]s)
+    /// constructed after the call.
+    pub fn set_process_default(backend: Self) {
+        ACTIVE_BACKEND.store(backend.encode(), Ordering::Relaxed);
+    }
+
+    fn encode(self) -> u8 {
+        match self {
+            Self::Scalar => 1,
+            Self::MultiBlock => 2,
+            Self::Simd => 3,
+        }
+    }
+
+    fn decode(v: u8) -> Self {
+        match v {
+            1 => Self::Scalar,
+            2 => Self::MultiBlock,
+            _ => Self::Simd,
+        }
+    }
+}
+
+/// Expands one 64-byte block into the 64-entry message schedule (FIPS 180-4
+/// §6.2.2 step 1).  The schedule depends only on the block bytes — not on
+/// the chaining state — which is what the shared-schedule batch-MAC path
+/// exploits: one expansion serves every key verifying the same message.
+#[inline]
+pub(crate) fn expand_schedule(block: &[u8]) -> [u32; 64] {
+    debug_assert_eq!(block.len(), BLOCK_LEN);
+    let mut w = [0u32; 64];
+    for (wi, chunk) in w.iter_mut().zip(block.chunks_exact(4)) {
+        *wi = u32::from_be_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+    }
+    for i in 16..64 {
+        let s0 = w[i - 15].rotate_right(7) ^ w[i - 15].rotate_right(18) ^ (w[i - 15] >> 3);
+        let s1 = w[i - 2].rotate_right(17) ^ w[i - 2].rotate_right(19) ^ (w[i - 2] >> 10);
+        w[i] = w[i - 16]
+            .wrapping_add(s0)
+            .wrapping_add(w[i - 7])
+            .wrapping_add(s1);
+    }
+    w
+}
+
+/// Runs the 64 compression rounds with an already-expanded message schedule
+/// and folds the result into `state` (FIPS 180-4 §6.2.2 steps 2–4).
+#[inline]
+pub(crate) fn compress_with_schedule(state: &mut [u32; 8], w: &[u32; 64]) {
+    let [mut a, mut b, mut c, mut d, mut e, mut f, mut g, mut h] = *state;
+    for i in 0..64 {
+        let s1 = e.rotate_right(6) ^ e.rotate_right(11) ^ e.rotate_right(25);
+        let ch = (e & f) ^ ((!e) & g);
+        let temp1 = h
+            .wrapping_add(s1)
+            .wrapping_add(ch)
+            .wrapping_add(K[i])
+            .wrapping_add(w[i]);
+        let s0 = a.rotate_right(2) ^ a.rotate_right(13) ^ a.rotate_right(22);
+        let maj = (a & b) ^ (a & c) ^ (b & c);
+        let temp2 = s0.wrapping_add(maj);
+        h = g;
+        g = f;
+        f = e;
+        e = d.wrapping_add(temp1);
+        d = c;
+        c = b;
+        b = a;
+        a = temp1.wrapping_add(temp2);
+    }
+    state[0] = state[0].wrapping_add(a);
+    state[1] = state[1].wrapping_add(b);
+    state[2] = state[2].wrapping_add(c);
+    state[3] = state[3].wrapping_add(d);
+    state[4] = state[4].wrapping_add(e);
+    state[5] = state[5].wrapping_add(f);
+    state[6] = state[6].wrapping_add(g);
+    state[7] = state[7].wrapping_add(h);
+}
+
+/// Compresses a whole run of blocks (`data.len()` must be a multiple of 64)
+/// straight from the input slice: the chaining state is loaded into locals
+/// once per run instead of once per block, and no bytes are copied into an
+/// intermediate block buffer.
+pub(crate) fn compress_blocks(state: &mut [u32; 8], data: &[u8]) {
+    debug_assert_eq!(data.len() % BLOCK_LEN, 0);
+    let mut s = *state;
+    for block in data.chunks_exact(BLOCK_LEN) {
+        let w = expand_schedule(block);
+        compress_with_schedule(&mut s, &w);
+    }
+    *state = s;
+}
+
+/// Converts a chaining state to the big-endian digest bytes.
+#[inline]
+pub(crate) fn state_to_digest(state: &[u32; 8]) -> Digest {
+    let mut out = [0u8; DIGEST_LEN];
+    for (chunk, word) in out.chunks_exact_mut(4).zip(state.iter()) {
+        chunk.copy_from_slice(&word.to_be_bytes());
+    }
+    Digest(out)
+}
 
 /// A SHA-256 digest.
 #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
@@ -133,6 +323,7 @@ pub struct Sha256 {
     buffer: [u8; BLOCK_LEN],
     buffer_len: usize,
     total_len: u64,
+    backend: CompressBackend,
 }
 
 impl Default for Sha256 {
@@ -142,21 +333,128 @@ impl Default for Sha256 {
 }
 
 impl Sha256 {
-    /// Creates a fresh hasher.
+    /// Creates a fresh hasher using the process's active backend.
     pub fn new() -> Self {
+        Self::new_with_backend(CompressBackend::active())
+    }
+
+    /// Creates a fresh hasher pinned to an explicit backend (differential
+    /// tests and benchmarks; deployments use [`Sha256::new`]).
+    pub fn new_with_backend(backend: CompressBackend) -> Self {
         Self {
             state: H0,
             buffer: [0u8; BLOCK_LEN],
             buffer_len: 0,
             total_len: 0,
+            backend,
         }
+    }
+
+    /// Resumes a hasher from a saved chaining state after `bytes_absorbed`
+    /// block-aligned bytes (used by the shared-schedule MAC path to continue
+    /// an inner hash past its precomputed prefix).
+    pub(crate) fn resume(state: [u32; 8], bytes_absorbed: u64, backend: CompressBackend) -> Self {
+        debug_assert_eq!(bytes_absorbed % BLOCK_LEN as u64, 0);
+        Self {
+            state,
+            buffer: [0u8; BLOCK_LEN],
+            buffer_len: 0,
+            total_len: bytes_absorbed,
+            backend,
+        }
+    }
+
+    /// The current chaining state (only meaningful at a block boundary).
+    pub(crate) fn state(&self) -> [u32; 8] {
+        self.state
     }
 
     /// Convenience one-shot digest.
     pub fn digest(data: &[u8]) -> Digest {
-        let mut h = Self::new();
-        h.update(data);
-        h.finalize()
+        Self::digest_with_backend(CompressBackend::active(), data)
+    }
+
+    /// One-shot digest on an explicit backend.
+    ///
+    /// On the multi-block and SIMD backends this path never touches a
+    /// hasher: full blocks compress straight from `data` and only the final
+    /// padded block(s) are assembled on the stack — no per-block buffer
+    /// copies and no final state copy/reset.
+    pub fn digest_with_backend(backend: CompressBackend, data: &[u8]) -> Digest {
+        if backend == CompressBackend::Scalar {
+            // The oracle path stays exactly the original incremental code.
+            let mut h = Self::new_with_backend(backend);
+            h.update(data);
+            return h.finalize();
+        }
+        let mut state = H0;
+        let full = data.len() - data.len() % BLOCK_LEN;
+        compress_blocks(&mut state, &data[..full]);
+        let mut tail = [0u8; 2 * BLOCK_LEN];
+        let rem = data.len() - full;
+        tail[..rem].copy_from_slice(&data[full..]);
+        tail[rem] = 0x80;
+        let total = if rem + 1 + 8 <= BLOCK_LEN {
+            BLOCK_LEN
+        } else {
+            2 * BLOCK_LEN
+        };
+        let bit_len = (data.len() as u64).wrapping_mul(8);
+        tail[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+        compress_blocks(&mut state, &tail[..total]);
+        state_to_digest(&state)
+    }
+
+    /// Hashes `messages.len()` independent messages in one pass.
+    ///
+    /// On the SIMD backend, equal-length messages are grouped into 8-way
+    /// (then 4-way) lanes whose message schedules are expanded lane-wise and
+    /// compressed together; other backends hash sequentially.  Output order
+    /// matches input order and every digest equals
+    /// [`Sha256::digest`] of the same message on any backend.
+    pub fn digest_batch(messages: &[&[u8]]) -> Vec<Digest> {
+        Self::digest_batch_with_backend(CompressBackend::active(), messages)
+    }
+
+    /// [`Sha256::digest_batch`] on an explicit backend.
+    pub fn digest_batch_with_backend(backend: CompressBackend, messages: &[&[u8]]) -> Vec<Digest> {
+        if backend != CompressBackend::Simd {
+            return messages
+                .iter()
+                .map(|m| Self::digest_with_backend(backend, m))
+                .collect();
+        }
+        let mut out = vec![Digest([0u8; DIGEST_LEN]); messages.len()];
+        // Lane-parallel compression requires every lane to run the same
+        // block count, so group the batch by message length.
+        let mut by_len: std::collections::BTreeMap<usize, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        for (i, m) in messages.iter().enumerate() {
+            by_len.entry(m.len()).or_default().push(i);
+        }
+        for idxs in by_len.values() {
+            let mut rest: &[usize] = idxs;
+            while rest.len() >= 8 {
+                let digests =
+                    digest_equal_len_wide::<8>(core::array::from_fn(|l| messages[rest[l]]));
+                for (l, &i) in rest[..8].iter().enumerate() {
+                    out[i] = digests[l];
+                }
+                rest = &rest[8..];
+            }
+            if rest.len() >= 4 {
+                let digests =
+                    digest_equal_len_wide::<4>(core::array::from_fn(|l| messages[rest[l]]));
+                for (l, &i) in rest[..4].iter().enumerate() {
+                    out[i] = digests[l];
+                }
+                rest = &rest[4..];
+            }
+            for &i in rest {
+                out[i] = Self::digest_with_backend(CompressBackend::Simd, messages[i]);
+            }
+        }
+        out
     }
 
     /// Feeds more data to the hasher.
@@ -174,11 +472,19 @@ impl Sha256 {
                 self.buffer_len = 0;
             }
         }
-        while data.len() >= BLOCK_LEN {
-            let mut block = [0u8; BLOCK_LEN];
-            block.copy_from_slice(&data[..BLOCK_LEN]);
-            self.compress(&block);
-            data = &data[BLOCK_LEN..];
+        if self.backend == CompressBackend::Scalar {
+            while data.len() >= BLOCK_LEN {
+                let mut block = [0u8; BLOCK_LEN];
+                block.copy_from_slice(&data[..BLOCK_LEN]);
+                self.compress(&block);
+                data = &data[BLOCK_LEN..];
+            }
+        } else {
+            let full = data.len() - data.len() % BLOCK_LEN;
+            if full > 0 {
+                compress_blocks(&mut self.state, &data[..full]);
+                data = &data[full..];
+            }
         }
         if !data.is_empty() {
             self.buffer[..data.len()].copy_from_slice(data);
@@ -202,17 +508,16 @@ impl Sha256 {
             2 * BLOCK_LEN
         };
         tail[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
-        let (first, second) = tail.split_at(BLOCK_LEN);
-        self.compress(first.try_into().expect("block sized"));
-        if total == 2 * BLOCK_LEN {
-            self.compress(second.try_into().expect("block sized"));
+        if self.backend == CompressBackend::Scalar {
+            let (first, second) = tail.split_at(BLOCK_LEN);
+            self.compress(first.try_into().expect("block sized"));
+            if total == 2 * BLOCK_LEN {
+                self.compress(second.try_into().expect("block sized"));
+            }
+        } else {
+            compress_blocks(&mut self.state, &tail[..total]);
         }
-
-        let mut out = [0u8; DIGEST_LEN];
-        for (i, word) in self.state.iter().enumerate() {
-            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_be_bytes());
-        }
-        Digest(out)
+        state_to_digest(&self.state)
     }
 
     /// A 64-bit fingerprint of the current chaining state, used by the
@@ -267,6 +572,47 @@ impl Sha256 {
         self.state[6] = self.state[6].wrapping_add(g);
         self.state[7] = self.state[7].wrapping_add(h);
     }
+}
+
+/// Hashes `N` equal-length messages lane-parallel (message schedules
+/// expanded lane-wise, one set of 64 rounds for all `N` chains).
+fn digest_equal_len_wide<const N: usize>(messages: [&[u8]; N]) -> [Digest; N] {
+    let len = messages[0].len();
+    debug_assert!(messages.iter().all(|m| m.len() == len));
+    let mut states = [H0; N];
+    let full = len - len % BLOCK_LEN;
+    let mut off = 0;
+    while off < full {
+        simd::compress_wide(
+            &mut states,
+            core::array::from_fn(|l| &messages[l][off..off + BLOCK_LEN]),
+        );
+        off += BLOCK_LEN;
+    }
+    // Equal lengths mean every lane pads to the same block count, so the
+    // tails stay lane-parallel too.
+    let rem = len - full;
+    let total = if rem + 1 + 8 <= BLOCK_LEN {
+        BLOCK_LEN
+    } else {
+        2 * BLOCK_LEN
+    };
+    let bit_len = (len as u64).wrapping_mul(8);
+    let mut tails = [[0u8; 2 * BLOCK_LEN]; N];
+    for (l, tail) in tails.iter_mut().enumerate() {
+        tail[..rem].copy_from_slice(&messages[l][full..]);
+        tail[rem] = 0x80;
+        tail[total - 8..total].copy_from_slice(&bit_len.to_be_bytes());
+    }
+    let mut t = 0;
+    while t < total {
+        simd::compress_wide(
+            &mut states,
+            core::array::from_fn(|l| &tails[l][t..t + BLOCK_LEN]),
+        );
+        t += BLOCK_LEN;
+    }
+    core::array::from_fn(|l| state_to_digest(&states[l]))
 }
 
 /// Constant-time equality comparison of two byte slices.

@@ -21,8 +21,9 @@ use serde::{Deserialize, Serialize};
 
 use fs_common::SignatureError;
 
+use crate::hmac::{HmacKey, MacSchedule};
 use crate::keys::{KeyDirectory, SignerId, SigningKey};
-use crate::sha256::Digest;
+use crate::sha256::{ct_eq, Digest};
 
 /// Upper bound on the host-side verification memo entry count; reaching it
 /// clears the memo (the working set of in-flight messages is far smaller).
@@ -47,13 +48,46 @@ impl VerifyMemoStore {
             .is_some_and(|cached| cached.as_slice() == message)
     }
 
+    /// [`VerifyMemoStore::matches`] against the logical concatenation of
+    /// `parts`, compared piecewise so probing for a suffixed message (the
+    /// co-signature shape) never allocates the concatenation.
+    fn matches_parts(&self, key: &(SignerId, u64, Digest), parts: &[&[u8]]) -> bool {
+        let Some(cached) = self.map.get(key) else {
+            return false;
+        };
+        let total: usize = parts.iter().map(|p| p.len()).sum();
+        if cached.len() != total {
+            return false;
+        }
+        let mut off = 0;
+        for part in parts {
+            if &cached[off..off + part.len()] != *part {
+                return false;
+            }
+            off += part.len();
+        }
+        true
+    }
+
     fn insert(&mut self, key: (SignerId, u64, Digest), message: &[u8]) {
+        self.insert_owned(key, message.to_vec());
+    }
+
+    fn insert_parts(&mut self, key: (SignerId, u64, Digest), parts: &[&[u8]]) {
+        let mut message = Vec::with_capacity(parts.iter().map(|p| p.len()).sum());
+        for part in parts {
+            message.extend_from_slice(part);
+        }
+        self.insert_owned(key, message);
+    }
+
+    fn insert_owned(&mut self, key: (SignerId, u64, Digest), message: Vec<u8>) {
         if self.map.len() >= VERIFY_MEMO_MAX || self.bytes >= VERIFY_MEMO_MAX_BYTES {
             self.map.clear();
             self.bytes = 0;
         }
         self.bytes += message.len();
-        if let Some(old) = self.map.insert(key, message.to_vec()) {
+        if let Some(old) = self.map.insert(key, message) {
             self.bytes -= old.len();
         }
     }
@@ -161,6 +195,225 @@ impl Signature {
             Err(SignatureError::Invalid)
         }
     }
+
+    /// Verifies every signature in `sigs` over the same `message` — the
+    /// authenticator-vector shape: one message, *n* MACs — sharing the inner
+    /// message schedule across the batch and running the per-key rounds
+    /// lane-parallel on the SIMD backend.
+    ///
+    /// All-or-nothing contract: returns `Ok(())` only when every signature
+    /// verifies, and otherwise exactly the error a sequential
+    /// [`Signature::verify`] loop would have produced first.  Memo hits are
+    /// answered before any batch work is assembled, and a fully successful
+    /// batch seeds the memo like the sequential path would.
+    ///
+    /// # Errors
+    ///
+    /// See [`Signature::verify`].
+    pub fn verify_batch(
+        sigs: &[&Signature],
+        directory: &KeyDirectory,
+        message: &[u8],
+    ) -> Result<(), SignatureError> {
+        // Resolve keys and probe the memo in index order.  A lookup failure
+        // stops resolution (the sequential loop never looks past it), but
+        // lower-indexed misses must still be verified first: an Invalid
+        // among them takes precedence over the lookup error.
+        let mut miss_sigs: Vec<&Signature> = Vec::new();
+        let mut miss_keys: Vec<&HmacKey> = Vec::new();
+        let mut lookup_err = None;
+        for sig in sigs {
+            match directory.lookup(sig.signer) {
+                Err(e) => {
+                    lookup_err = Some(e);
+                    break;
+                }
+                Ok(key) => {
+                    let memo_key = (sig.signer, key.hmac().fingerprint(), sig.tag);
+                    let hit = VERIFY_MEMO.with(|memo| memo.borrow().matches(&memo_key, message));
+                    if !hit {
+                        miss_sigs.push(sig);
+                        miss_keys.push(key.hmac());
+                    }
+                }
+            }
+        }
+        if !miss_sigs.is_empty() {
+            let expected = HmacKey::mac_batch(&miss_keys, message);
+            for (sig, tag) in miss_sigs.iter().zip(&expected) {
+                if !ct_eq(tag.as_bytes(), sig.tag.as_bytes()) {
+                    return Err(SignatureError::Invalid);
+                }
+            }
+            VERIFY_MEMO.with(|memo| {
+                let mut memo = memo.borrow_mut();
+                for (sig, key) in miss_sigs.iter().zip(&miss_keys) {
+                    memo.insert((sig.signer, key.fingerprint(), sig.tag), message);
+                }
+            });
+        }
+        match lookup_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// [`Signature::verify_batch`] bypassing the host-side memo — the
+    /// benchmark's view of the true batched verification cost.
+    ///
+    /// # Errors
+    ///
+    /// See [`Signature::verify`].
+    pub fn verify_batch_uncached(
+        sigs: &[&Signature],
+        directory: &KeyDirectory,
+        message: &[u8],
+    ) -> Result<(), SignatureError> {
+        let mut keys: Vec<&HmacKey> = Vec::with_capacity(sigs.len());
+        let mut lookup_err = None;
+        for sig in sigs {
+            match directory.lookup(sig.signer) {
+                Err(e) => {
+                    lookup_err = Some(e);
+                    break;
+                }
+                Ok(key) => keys.push(key.hmac()),
+            }
+        }
+        let expected = HmacKey::mac_batch(&keys, message);
+        for (sig, tag) in sigs.iter().zip(&expected) {
+            if !ct_eq(tag.as_bytes(), sig.tag.as_bytes()) {
+                return Err(SignatureError::Invalid);
+            }
+        }
+        match lookup_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+}
+
+/// The fixed 36-byte suffix the second (counter-) signature covers in
+/// addition to the content bytes: the first signer's id (little-endian) and
+/// the first signature's tag.  Must stay byte-identical to the tail of
+/// [`co_sign_bytes`].
+fn cosign_suffix(first: &Signature) -> [u8; 36] {
+    let mut suffix = [0u8; 36];
+    suffix[..4].copy_from_slice(&(first.signer.0).0.to_le_bytes());
+    suffix[4..].copy_from_slice(first.tag.as_bytes());
+    suffix
+}
+
+/// A [`MacSchedule`] built only when a memo miss actually needs it, then
+/// shared by every subsequent MAC over the same content bytes.
+struct LazyMacSchedule<'m> {
+    message: &'m [u8],
+    schedule: Option<MacSchedule<'m>>,
+}
+
+impl<'m> LazyMacSchedule<'m> {
+    fn new(message: &'m [u8]) -> Self {
+        Self {
+            message,
+            schedule: None,
+        }
+    }
+
+    fn get(&mut self) -> &MacSchedule<'m> {
+        self.schedule
+            .get_or_insert_with(|| MacSchedule::new(self.message))
+    }
+}
+
+/// Verifies a co-signed pair of signatures over `content_bytes` — the first
+/// over the content itself, the second over the content plus the
+/// `cosign_suffix` naming the first — sharing the content's message
+/// schedule between the two MAC computations (all full content blocks are
+/// common to both).
+///
+/// Verification order, memo behaviour and error precedence are identical to
+/// verifying the two signatures sequentially with [`Signature::verify`]:
+/// first signer lookup, first signature, second signer lookup, second
+/// signature.
+///
+/// # Errors
+///
+/// See [`Signature::verify`].
+pub fn verify_cosign_pair(
+    directory: &KeyDirectory,
+    content_bytes: &[u8],
+    first: &Signature,
+    second: &Signature,
+) -> Result<(), SignatureError> {
+    let mut schedule = LazyMacSchedule::new(content_bytes);
+    verify_cosign_pair_with(directory, &mut schedule, first, second)
+}
+
+/// [`verify_cosign_pair`] over a caller-held schedule, so a batch of pairs
+/// over the same content shares one schedule (see
+/// [`DoubleSigned::verify_batch`]).
+fn verify_cosign_pair_with(
+    directory: &KeyDirectory,
+    schedule: &mut LazyMacSchedule<'_>,
+    first: &Signature,
+    second: &Signature,
+) -> Result<(), SignatureError> {
+    let content_bytes = schedule.message;
+    let key1 = directory.lookup(first.signer)?;
+    let memo1 = (first.signer, key1.hmac().fingerprint(), first.tag);
+    let hit1 = VERIFY_MEMO.with(|memo| memo.borrow().matches(&memo1, content_bytes));
+    if !hit1 {
+        let tag = schedule.get().mac(key1.hmac());
+        if !ct_eq(tag.as_bytes(), first.tag.as_bytes()) {
+            return Err(SignatureError::Invalid);
+        }
+        VERIFY_MEMO.with(|memo| memo.borrow_mut().insert(memo1, content_bytes));
+    }
+    let key2 = directory.lookup(second.signer)?;
+    let suffix = cosign_suffix(first);
+    let memo2 = (second.signer, key2.hmac().fingerprint(), second.tag);
+    let hit2 = VERIFY_MEMO.with(|memo| {
+        memo.borrow()
+            .matches_parts(&memo2, &[content_bytes, &suffix])
+    });
+    if !hit2 {
+        let tag = schedule.get().mac_with_suffix(key2.hmac(), &suffix);
+        if !ct_eq(tag.as_bytes(), second.tag.as_bytes()) {
+            return Err(SignatureError::Invalid);
+        }
+        VERIFY_MEMO.with(|memo| {
+            memo.borrow_mut()
+                .insert_parts(memo2, &[content_bytes, &suffix])
+        });
+    }
+    Ok(())
+}
+
+/// [`verify_cosign_pair`] bypassing the host-side memo (benchmark path).
+///
+/// # Errors
+///
+/// See [`Signature::verify`].
+pub fn verify_cosign_pair_uncached(
+    directory: &KeyDirectory,
+    content_bytes: &[u8],
+    first: &Signature,
+    second: &Signature,
+) -> Result<(), SignatureError> {
+    let schedule = MacSchedule::new(content_bytes);
+    let key1 = directory.lookup(first.signer)?;
+    if !ct_eq(schedule.mac(key1.hmac()).as_bytes(), first.tag.as_bytes()) {
+        return Err(SignatureError::Invalid);
+    }
+    let key2 = directory.lookup(second.signer)?;
+    let suffix = cosign_suffix(first);
+    if !ct_eq(
+        schedule.mac_with_suffix(key2.hmac(), &suffix).as_bytes(),
+        second.tag.as_bytes(),
+    ) {
+        return Err(SignatureError::Invalid);
+    }
+    Ok(())
 }
 
 /// A message carrying exactly one signature — the form exchanged *between*
@@ -226,10 +479,9 @@ pub struct DoubleSigned<T> {
 }
 
 fn co_sign_bytes(content_bytes: &[u8], first: &Signature) -> Vec<u8> {
-    let mut buf = Vec::with_capacity(content_bytes.len() + 4 + 32);
+    let mut buf = Vec::with_capacity(content_bytes.len() + 36);
     buf.extend_from_slice(content_bytes);
-    buf.extend_from_slice(&(first.signer.0).0.to_le_bytes());
-    buf.extend_from_slice(first.tag.as_bytes());
+    buf.extend_from_slice(&cosign_suffix(first));
     buf
 }
 
@@ -259,6 +511,40 @@ impl<T> DoubleSigned<T> {
         content_bytes: &[u8],
         expected_pair: (SignerId, SignerId),
     ) -> Result<(), SignatureError> {
+        self.check_pair(expected_pair)?;
+        verify_cosign_pair(directory, content_bytes, &self.first, &self.second)
+    }
+
+    /// Verifies every double-signed message in `items` over the same
+    /// `content_bytes` against the same expected pair, sharing the content's
+    /// message schedule across the whole batch (each item adds only its two
+    /// per-key finalizations).
+    ///
+    /// All-or-nothing contract: `Ok(())` only when every item verifies,
+    /// otherwise the error a sequential [`DoubleSigned::verify`] loop would
+    /// have produced first.  Memo hits short-circuit per signature exactly
+    /// as in the sequential path.
+    ///
+    /// # Errors
+    ///
+    /// See [`DoubleSigned::verify`].
+    pub fn verify_batch(
+        items: &[&DoubleSigned<T>],
+        directory: &KeyDirectory,
+        content_bytes: &[u8],
+        expected_pair: (SignerId, SignerId),
+    ) -> Result<(), SignatureError> {
+        let mut schedule = LazyMacSchedule::new(content_bytes);
+        for item in items {
+            item.check_pair(expected_pair)?;
+            verify_cosign_pair_with(directory, &mut schedule, &item.first, &item.second)?;
+        }
+        Ok(())
+    }
+
+    /// The structural half of [`DoubleSigned::verify`]: distinct signers,
+    /// both members of `expected_pair` (in either order).
+    fn check_pair(&self, expected_pair: (SignerId, SignerId)) -> Result<(), SignatureError> {
         if self.first.signer == self.second.signer {
             return Err(SignatureError::DuplicateSigner);
         }
@@ -268,9 +554,6 @@ impl<T> DoubleSigned<T> {
         if !pair_ok {
             return Err(SignatureError::MissingCoSignature);
         }
-        self.first.verify(directory, content_bytes)?;
-        self.second
-            .verify(directory, &co_sign_bytes(content_bytes, &self.first))?;
         Ok(())
     }
 
@@ -440,6 +723,123 @@ mod tests {
             second: Signature::sign(&b, &bytes),
         };
         assert!(fake.verify(&dir, &bytes, (a.signer, b.signer)).is_err());
+    }
+
+    #[test]
+    fn verify_batch_matches_sequential_verdicts() {
+        let (a, b, c, dir) = setup();
+        let msg = b"authenticator vector message".to_vec();
+        let sigs: Vec<Signature> = [&a, &b, &c]
+            .iter()
+            .map(|k| Signature::sign(k, &msg))
+            .collect();
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        assert!(Signature::verify_batch(&refs, &dir, &msg).is_ok());
+        assert!(Signature::verify_batch_uncached(&refs, &dir, &msg).is_ok());
+
+        // A tampered tag anywhere fails the whole batch with Invalid.
+        let mut bad = sigs.clone();
+        bad[1].tag = crate::sha256::Sha256::digest(b"forged");
+        let bad_refs: Vec<&Signature> = bad.iter().collect();
+        assert_eq!(
+            Signature::verify_batch(&bad_refs, &dir, &msg).unwrap_err(),
+            SignatureError::Invalid
+        );
+        assert_eq!(
+            Signature::verify_batch_uncached(&bad_refs, &dir, &msg).unwrap_err(),
+            SignatureError::Invalid
+        );
+
+        // Lower-indexed Invalid outranks a later unknown signer, exactly as
+        // the sequential loop would report.
+        let mut mixed = bad.clone();
+        mixed[2].signer = SignerId(ProcessId(99));
+        let mixed_refs: Vec<&Signature> = mixed.iter().collect();
+        assert_eq!(
+            Signature::verify_batch(&mixed_refs, &dir, &msg).unwrap_err(),
+            SignatureError::Invalid
+        );
+
+        // With every earlier signature valid, the unknown signer surfaces.
+        let mut unknown = sigs.clone();
+        unknown[2].signer = SignerId(ProcessId(99));
+        let unknown_refs: Vec<&Signature> = unknown.iter().collect();
+        assert_eq!(
+            Signature::verify_batch(&unknown_refs, &dir, &msg).unwrap_err(),
+            SignatureError::UnknownSigner
+        );
+        assert_eq!(
+            Signature::verify_batch_uncached(&unknown_refs, &dir, &msg).unwrap_err(),
+            SignatureError::UnknownSigner
+        );
+    }
+
+    #[test]
+    fn verify_batch_spans_many_keys() {
+        // Enough signers to exercise the 8-lane + 4-lane + remainder split
+        // below the signature layer.
+        let mut rng = DetRng::new(7);
+        let procs: Vec<ProcessId> = (0..13).map(ProcessId).collect();
+        let (keys, dir) = crate::keys::provision(procs.clone(), &mut rng);
+        let msg: Vec<u8> = (0..1500u32).map(|x| (x % 251) as u8).collect();
+        let sigs: Vec<Signature> = procs
+            .iter()
+            .map(|p| Signature::sign(&keys[&SignerId(*p)], &msg))
+            .collect();
+        let refs: Vec<&Signature> = sigs.iter().collect();
+        // Uncached exercises the full batch computation regardless of the
+        // memo seeded by signing.
+        assert!(Signature::verify_batch_uncached(&refs, &dir, &msg).is_ok());
+        assert!(Signature::verify_batch(&refs, &dir, &msg).is_ok());
+    }
+
+    #[test]
+    fn cosign_pair_verify_matches_plain_verify() {
+        let (a, b, _, dir) = setup();
+        let bytes: Vec<u8> = (0..300u16).map(|x| (x % 251) as u8).collect();
+        let double = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &b);
+        assert!(verify_cosign_pair(&dir, &bytes, &double.first, &double.second).is_ok());
+        assert!(verify_cosign_pair_uncached(&dir, &bytes, &double.first, &double.second).is_ok());
+        // The uncached path agrees with the sequential uncached checks.
+        assert!(double.first.verify_uncached(&dir, &bytes).is_ok());
+        assert!(double
+            .second
+            .verify_uncached(&dir, &co_sign_bytes(&bytes, &double.first))
+            .is_ok());
+        // Tampering with either signature is caught.
+        let mut bad = double.clone();
+        bad.second.tag = crate::sha256::Sha256::digest(b"forged");
+        assert_eq!(
+            verify_cosign_pair_uncached(&dir, &bytes, &bad.first, &bad.second).unwrap_err(),
+            SignatureError::Invalid
+        );
+    }
+
+    #[test]
+    fn double_signed_verify_batch() {
+        let (a, b, _, dir) = setup();
+        let bytes = b"one frame, many authenticator pairs".to_vec();
+        let pair = (a.signer, b.signer);
+        // Two distinct valid items over the same content (opposite signing
+        // orders, as the paper notes the two valid copies carry).
+        let d1 = SingleSigned::new((), &bytes, &a).counter_sign(&bytes, &b);
+        let d2 = SingleSigned::new((), &bytes, &b).counter_sign(&bytes, &a);
+        assert!(DoubleSigned::verify_batch(&[&d1, &d2], &dir, &bytes, pair).is_ok());
+        let mut bad = d2.clone();
+        bad.second.tag = crate::sha256::Sha256::digest(b"forged");
+        assert_eq!(
+            DoubleSigned::verify_batch(&[&d1, &bad], &dir, &bytes, pair).unwrap_err(),
+            SignatureError::Invalid
+        );
+        let dup = DoubleSigned {
+            content: (),
+            first: d1.first.clone(),
+            second: d1.first.clone(),
+        };
+        assert_eq!(
+            DoubleSigned::verify_batch(&[&dup, &d1], &dir, &bytes, pair).unwrap_err(),
+            SignatureError::DuplicateSigner
+        );
     }
 
     #[test]
