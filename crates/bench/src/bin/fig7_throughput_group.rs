@@ -3,12 +3,13 @@
 //! of the same sweep under mild link loss and delay (skip it with
 //! `FS_BENCH_DEGRADED=0`).
 
+use fs_bench::env::env_flag;
 use fs_bench::experiment::{figure7, figure7_degraded, ExperimentConfig};
 use fs_bench::report::write_figure_json;
 
 fn main() {
     let config = ExperimentConfig::default();
-    let degraded = std::env::var("FS_BENCH_DEGRADED").map_or(true, |v| v.trim() != "0");
+    let degraded = env_flag("FS_BENCH_DEGRADED", true);
     eprintln!(
         "regenerating figure 7 ({} messages/member)...",
         config.messages_per_member

@@ -60,6 +60,7 @@ use std::collections::BTreeMap;
 
 use failsignal::message::{signing_bytes, FsContent, FsOutput, FsoInbound, PairMessage};
 use failsignal::receiver::FsReceiver;
+use fs_bench::env::{env_f64, env_u64};
 use fs_bench::report::results_dir;
 use fs_common::codec::Wire;
 use fs_common::id::{FsId, ProcessId};
@@ -79,13 +80,6 @@ use fs_smr::machine::Endpoint;
 /// Payload sizes exercised by the micro sections: the paper's "0k" 3-byte
 /// message, a cache-line-ish frame, 1 kB and the paper's 10 kB maximum.
 const PAYLOAD_SIZES: [usize; 4] = [3, 64, 1024, 10240];
-
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
 
 /// Times `op` over `iters` iterations (after a 1/10 warm-up) and returns
 /// mean nanoseconds per iteration.
@@ -646,10 +640,7 @@ fn load_regression_reference() -> Option<RegressionReference> {
 /// throughput drops more than the allowed fraction below the committed
 /// reference captured at start-up.
 fn check_regression(label: &str, fresh: &PipelineReport, reference: f64) {
-    let max_regression = std::env::var("FS_BENCH_HOTPATH_MAX_REGRESSION")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.20);
+    let max_regression = env_f64("FS_BENCH_HOTPATH_MAX_REGRESSION", 0.20);
     let floor = reference * (1.0 - max_regression);
     if fresh.deliveries_per_host_sec < floor {
         eprintln!(
@@ -851,10 +842,7 @@ fn check_verify_batch_regression(
         );
         std::process::exit(3);
     };
-    let max_regression = std::env::var("FS_BENCH_HOTPATH_MAX_REGRESSION")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .unwrap_or(0.20);
+    let max_regression = env_f64("FS_BENCH_HOTPATH_MAX_REGRESSION", 0.20);
     let ceiling = reference_ns * (1.0 + max_regression);
     if row.per_mac_ns > ceiling {
         eprintln!(

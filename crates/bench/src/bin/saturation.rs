@@ -43,6 +43,7 @@
 
 use serde::Serialize;
 
+use fs_bench::env::{env_choice, env_f64_list, env_flag, env_u64};
 use fs_bench::report::results_dir;
 use fs_common::id::MemberId;
 use fs_common::time::{SimDuration, SimTime};
@@ -55,15 +56,12 @@ const MEMBERS: u32 = 3;
 const CLIENTS: u32 = 2;
 const MAX_IN_FLIGHT: u32 = 2;
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
+/// The fault modes `FS_BENCH_SATURATION_FAULTS` accepts.
+const FAULT_MODES: [&str; 4] = ["none", "restart", "loss", "slow"];
 
 /// The fault schedule selected by `FS_BENCH_SATURATION_FAULTS`, scaled to
 /// one rate point's offered window so the fault always lands mid-load.
+/// The mode string is validated in `main` before any point runs.
 fn fault_schedule(mode: &str, offered_window: SimDuration) -> FaultSchedule {
     let onset = SimTime::ZERO + offered_window / 4;
     match mode {
@@ -95,24 +93,8 @@ fn fault_schedule(mode: &str, offered_window: SimDuration) -> FaultSchedule {
             }
             faults
         }
-        other => {
-            eprintln!("unknown FS_BENCH_SATURATION_FAULTS mode `{other}`");
-            std::process::exit(2);
-        }
+        other => unreachable!("mode `{other}` validated against FAULT_MODES at start-up"),
     }
-}
-
-fn env_rates() -> Vec<f64> {
-    std::env::var("FS_BENCH_SATURATION_RATES")
-        .ok()
-        .map(|v| {
-            v.split(',')
-                .filter_map(|r| r.trim().parse::<f64>().ok())
-                .filter(|r| *r > 0.0)
-                .collect()
-        })
-        .filter(|v: &Vec<f64>| !v.is_empty())
-        .unwrap_or_else(|| vec![25.0, 50.0, 100.0, 200.0, 400.0, 800.0])
 }
 
 /// One rate point of one cell's curve.
@@ -247,10 +229,13 @@ fn run_point(
 fn main() {
     let messages = env_u64("FS_BENCH_SATURATION_MESSAGES", 200);
     let batch_max = env_u64("FS_BENCH_SATURATION_BATCH", 1) as u32;
-    let threaded = env_u64("FS_BENCH_SATURATION_THREADED", 1) != 0;
-    let fault_mode =
-        std::env::var("FS_BENCH_SATURATION_FAULTS").unwrap_or_else(|_| "none".to_string());
-    let rates = env_rates();
+    let threaded = env_flag("FS_BENCH_SATURATION_THREADED", true);
+    // Validated up front: an unknown mode aborts before any point runs.
+    let fault_mode = env_choice("FS_BENCH_SATURATION_FAULTS", "none", &FAULT_MODES);
+    let rates = env_f64_list(
+        "FS_BENCH_SATURATION_RATES",
+        &[25.0, 50.0, 100.0, 200.0, 400.0, 800.0],
+    );
 
     let mut runtimes = vec![RuntimeKind::Sim];
     if threaded {

@@ -1,0 +1,364 @@
+//! Shard-scaling driver: aggregate throughput vs shard count for the
+//! sharded cluster layer (`fs_harness::cluster`).
+//!
+//! The paper prices the crash → authenticated-Byzantine lift for one
+//! replicated group; this sweep measures how that per-group cost composes
+//! at deployment scale.  Each cell deploys `shards` independent
+//! `SequencedKv` groups on one runtime behind one client router, offers a
+//! *fixed per-shard* open-loop Poisson rate (so the aggregate offered rate
+//! grows linearly with the shard count), and records the aggregate rate of
+//! *ordered deliveries* — completed commands × group size, since every
+//! completed command was sequenced and applied at every member of its
+//! shard — per host-second (simulated seconds on the sim cells, wall
+//! seconds on the threaded cells).  Because every shard owns its own
+//! sequencer and nodes, aggregate throughput should rise near-linearly
+//! until per-shard capacity, not a shared resource, binds.
+//!
+//! The whole grid goes to `results/bench-scaling.json`:
+//!
+//! ```text
+//! cells = { crash, fail_signal } × { sim, threaded }
+//! curve = one row per shard count (default 1, 2, 4, 8, 16)
+//! ```
+//!
+//! Env knobs (strictly parsed: a set-but-malformed knob aborts, exit 2):
+//!
+//! * `FS_BENCH_SCALING_MESSAGES` — offered commands per shard (default 400);
+//! * `FS_BENCH_SCALING_SHARDS` — comma-separated shard counts (default
+//!   `1,2,4,8,16`);
+//! * `FS_BENCH_SCALING_RATE` — offered rate per shard, commands/sec
+//!   (default 200);
+//! * `FS_BENCH_SCALING_MEMBERS` — members per shard (default 3);
+//! * `FS_BENCH_SCALING_BATCH` — request batch size (default 8);
+//! * `FS_BENCH_SCALING_THREADED` — `0` skips the threaded cells;
+//! * `FS_BENCH_SCALING_REF` — path to a committed reference report: each
+//!   fresh (protocol, runtime, shards) row must stay within
+//!   `FS_BENCH_SCALING_MAX_REGRESSION` (default 0.20) of the reference
+//!   throughput, else the driver exits 3.
+
+use serde::{Deserialize, Serialize};
+
+use fs_bench::env::{env_f64, env_flag, env_u64, env_u64_list};
+use fs_bench::report::results_dir;
+use fs_common::time::{SimDuration, SimTime};
+use fs_harness::{Cluster, Protocol, RuntimeKind, Workload};
+
+fn protocol_name(protocol: Protocol) -> &'static str {
+    match protocol {
+        Protocol::Crash => "crash",
+        Protocol::FailSignal => "fail_signal",
+    }
+}
+
+fn runtime_name(runtime: RuntimeKind) -> &'static str {
+    match runtime {
+        RuntimeKind::Sim => "sim",
+        RuntimeKind::Threaded => "threaded",
+    }
+}
+
+fn ms(d: SimDuration) -> f64 {
+    d.as_nanos() as f64 / 1e6
+}
+
+/// One shard count of one cell's curve.
+#[derive(Debug, Serialize)]
+struct ShardPoint {
+    shards: u32,
+    /// Commands offered across the cluster (per-shard budget × shards).
+    offered: u64,
+    /// Commands routed, completed, and still in flight at the horizon.
+    submitted: u64,
+    completed: u64,
+    in_flight: u64,
+    /// Host-seconds between the first routed command and the last
+    /// completion.
+    elapsed_host_sec: f64,
+    /// Aggregate ordered deliveries (completed × members per shard) per
+    /// host-second — the scaling-curve metric.
+    deliveries_per_host_sec: f64,
+    /// Completed commands per host-second.
+    completed_per_host_sec: f64,
+    /// Load balance across shards: the smallest and largest per-shard
+    /// completion counts.
+    min_shard_completed: u64,
+    max_shard_completed: u64,
+    /// End-to-end ordering latency over every completed command.
+    latency_ms_p50: f64,
+    latency_ms_p99: f64,
+    latency_samples: usize,
+}
+
+/// One protocol × runtime cell: a full shard-count sweep.
+#[derive(Debug, Serialize)]
+struct Cell {
+    protocol: String,
+    runtime: String,
+    /// Throughput of the largest shard count over the single-shard
+    /// baseline.
+    speedup_max_over_one: f64,
+    curve: Vec<ShardPoint>,
+}
+
+#[derive(Debug, Serialize)]
+struct ScalingReport {
+    id: String,
+    members_per_shard: u32,
+    messages_per_shard: u64,
+    rate_per_shard: f64,
+    batch_max: u32,
+    cells: Vec<Cell>,
+}
+
+fn run_point(
+    protocol: Protocol,
+    runtime: RuntimeKind,
+    shards: u32,
+    members: u32,
+    per_shard_messages: u64,
+    per_shard_rate: f64,
+    batch_max: u32,
+) -> ShardPoint {
+    // Fixed per-shard offered rate: the aggregate arrival gap shrinks as
+    // the shard count grows.
+    let aggregate_rate = per_shard_rate * f64::from(shards);
+    let interval = SimDuration::from_nanos((1e9 / aggregate_rate).max(1.0) as u64);
+    let messages = per_shard_messages * u64::from(shards);
+    let workload = Workload::paper_default()
+        .messages(messages)
+        .interval(interval)
+        .poisson()
+        .batch_max(batch_max)
+        .batch_linger(SimDuration::from_millis(2));
+    let mut cluster = Cluster::new(shards, members)
+        .protocol(protocol)
+        .runtime(runtime)
+        .workload(workload)
+        .seed(2003)
+        .build();
+    // The offered window is independent of the shard count (per-shard
+    // budget ÷ per-shard rate); the threaded horizon adds settling room and
+    // the sim one is effectively "until quiescent".
+    let offered_window = interval * messages;
+    let horizon = match runtime {
+        RuntimeKind::Sim => SimTime::from_secs(3600),
+        RuntimeKind::Threaded => SimTime::ZERO + offered_window + SimDuration::from_secs(4),
+    };
+    cluster.run_until(horizon);
+
+    let summary = cluster.latency_summary();
+    let (p50, p99, samples) = match &summary {
+        Some(s) => (ms(s.p50), ms(s.p99), s.count),
+        None => (0.0, 0.0, 0),
+    };
+    let loads = cluster.shard_loads();
+    let completed = cluster.completed();
+    let router = cluster.router();
+    let submitted = router.submitted();
+    let elapsed = match (router.first_submit_at(), router.last_done_at()) {
+        (Some(first), Some(last)) if last > first => {
+            last.duration_since(first).as_nanos() as f64 / 1e9
+        }
+        _ => 0.0,
+    };
+    let per_sec = |n: u64| {
+        if elapsed > 0.0 {
+            n as f64 / elapsed
+        } else {
+            0.0
+        }
+    };
+    ShardPoint {
+        shards,
+        offered: router.offered(),
+        submitted,
+        completed,
+        in_flight: submitted - completed,
+        elapsed_host_sec: elapsed,
+        deliveries_per_host_sec: per_sec(completed * u64::from(members)),
+        completed_per_host_sec: per_sec(completed),
+        min_shard_completed: loads.iter().map(|l| l.completed).min().unwrap_or(0),
+        max_shard_completed: loads.iter().map(|l| l.completed).max().unwrap_or(0),
+        latency_ms_p50: p50,
+        latency_ms_p99: p99,
+        latency_samples: samples,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Regression guard (same pattern as the hotpath bench: the committed
+// reference is captured before this run overwrites the report file).
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Deserialize)]
+struct ReferencePoint {
+    shards: u32,
+    deliveries_per_host_sec: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct ReferenceCell {
+    protocol: String,
+    runtime: String,
+    curve: Vec<ReferencePoint>,
+}
+
+#[derive(Debug, Deserialize)]
+struct ReferenceReport {
+    cells: Vec<ReferenceCell>,
+}
+
+/// Loads the committed reference when `FS_BENCH_SCALING_REF` is set.
+/// Exits 3 when the reference is configured but unreadable — a missing
+/// reference would make the guard vacuous.
+fn load_reference() -> Option<ReferenceReport> {
+    let ref_path = std::env::var("FS_BENCH_SCALING_REF").ok()?;
+    let json = match std::fs::read_to_string(&ref_path) {
+        Ok(json) => json,
+        Err(e) => {
+            eprintln!("regression guard: cannot read {ref_path}: {e}");
+            std::process::exit(3);
+        }
+    };
+    match serde_json::from_str(&json) {
+        Ok(report) => Some(report),
+        Err(e) => {
+            eprintln!("regression guard: cannot parse {ref_path}: {e}");
+            std::process::exit(3);
+        }
+    }
+}
+
+/// Fails (exit 3) when any fresh (protocol, runtime, shards) row falls more
+/// than the allowed fraction below its reference throughput.  Reference
+/// rows with no fresh counterpart (and vice versa) guard nothing.
+fn check_regression(reference: &ReferenceReport, cells: &[Cell], max_regression: f64) {
+    let mut breaches = 0u32;
+    for ref_cell in &reference.cells {
+        let Some(cell) = cells
+            .iter()
+            .find(|c| c.protocol == ref_cell.protocol && c.runtime == ref_cell.runtime)
+        else {
+            continue;
+        };
+        for ref_point in &ref_cell.curve {
+            let Some(point) = cell.curve.iter().find(|p| p.shards == ref_point.shards) else {
+                continue;
+            };
+            let floor = ref_point.deliveries_per_host_sec * (1.0 - max_regression);
+            if point.deliveries_per_host_sec < floor {
+                eprintln!(
+                    "regression guard [{}/{} shards={}]: {:.0} deliveries/host-sec is more than \
+                     {:.0}% below the reference {:.0}",
+                    cell.protocol,
+                    cell.runtime,
+                    ref_point.shards,
+                    point.deliveries_per_host_sec,
+                    max_regression * 100.0,
+                    ref_point.deliveries_per_host_sec,
+                );
+                breaches += 1;
+            }
+        }
+    }
+    if breaches > 0 {
+        eprintln!("regression guard: {breaches} row(s) regressed");
+        std::process::exit(3);
+    }
+    eprintln!("regression guard: ok");
+}
+
+fn main() {
+    let per_shard_messages = env_u64("FS_BENCH_SCALING_MESSAGES", 400);
+    let shard_counts = env_u64_list("FS_BENCH_SCALING_SHARDS", &[1, 2, 4, 8, 16]);
+    let per_shard_rate = env_f64("FS_BENCH_SCALING_RATE", 200.0);
+    let members = env_u64("FS_BENCH_SCALING_MEMBERS", 3) as u32;
+    let batch_max = env_u64("FS_BENCH_SCALING_BATCH", 8) as u32;
+    let threaded = env_flag("FS_BENCH_SCALING_THREADED", true);
+    let max_regression = env_f64("FS_BENCH_SCALING_MAX_REGRESSION", 0.20);
+    // Capture the reference before this run overwrites the report file.
+    let reference = load_reference();
+
+    let mut runtimes = vec![RuntimeKind::Sim];
+    if threaded {
+        runtimes.push(RuntimeKind::Threaded);
+    }
+
+    let mut cells = Vec::new();
+    for protocol in [Protocol::Crash, Protocol::FailSignal] {
+        for &runtime in &runtimes {
+            eprintln!(
+                "scaling: {}/{} ({} shard counts, {per_shard_rate}/s per shard)...",
+                protocol_name(protocol),
+                runtime_name(runtime),
+                shard_counts.len(),
+            );
+            let curve: Vec<ShardPoint> = shard_counts
+                .iter()
+                .map(|&shards| {
+                    let point = run_point(
+                        protocol,
+                        runtime,
+                        shards as u32,
+                        members,
+                        per_shard_messages,
+                        per_shard_rate,
+                        batch_max,
+                    );
+                    eprintln!(
+                        "  shards {:>3}  {:>9.0} deliveries/host-sec  p50 {:>7.2} ms  \
+                         p99 {:>7.2} ms  completed {}/{}",
+                        shards,
+                        point.deliveries_per_host_sec,
+                        point.latency_ms_p50,
+                        point.latency_ms_p99,
+                        point.completed,
+                        point.offered,
+                    );
+                    point
+                })
+                .collect();
+            let baseline = curve
+                .first()
+                .map(|p| p.deliveries_per_host_sec)
+                .unwrap_or(0.0);
+            let peak = curve
+                .last()
+                .map(|p| p.deliveries_per_host_sec)
+                .unwrap_or(0.0);
+            cells.push(Cell {
+                protocol: protocol_name(protocol).to_string(),
+                runtime: runtime_name(runtime).to_string(),
+                speedup_max_over_one: if baseline > 0.0 { peak / baseline } else { 0.0 },
+                curve,
+            });
+        }
+    }
+
+    if let Some(reference) = &reference {
+        check_regression(reference, &cells, max_regression);
+    }
+
+    let report = ScalingReport {
+        id: "bench-scaling".to_string(),
+        members_per_shard: members,
+        messages_per_shard: per_shard_messages,
+        rate_per_shard: per_shard_rate,
+        batch_max,
+        cells,
+    };
+    let dir = results_dir();
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!("could not create results dir: {e}");
+        std::process::exit(1);
+    }
+    let path = dir.join("bench-scaling.json");
+    let json = serde_json::to_string_pretty(&report).expect("report serialises");
+    match std::fs::write(&path, json) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => {
+            eprintln!("could not write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}

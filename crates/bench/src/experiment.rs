@@ -45,10 +45,7 @@ impl Default for ExperimentConfig {
 /// Number of messages per member used by the figure binaries; override with
 /// the `FS_BENCH_MESSAGES` environment variable (the paper uses 1000).
 pub fn default_messages() -> u64 {
-    std::env::var("FS_BENCH_MESSAGES")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(150)
+    crate::env::env_u64("FS_BENCH_MESSAGES", 150)
 }
 
 fn params_for(members: u32, payload: usize, config: &ExperimentConfig) -> DeploymentParams {

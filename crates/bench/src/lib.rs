@@ -28,6 +28,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod env;
 pub mod experiment;
 pub mod measure;
 pub mod report;

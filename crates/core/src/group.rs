@@ -115,6 +115,10 @@ pub struct FsGroupParams {
     pub crypto_costs: CryptoCostModel,
     /// Seed for key provisioning.
     pub seed: u64,
+    /// Offset added to every process identifier of the group, so several
+    /// independent groups (cluster shards) can coexist on one runtime
+    /// without identifier collisions.  `0` for a standalone group.
+    pub pid_base: u32,
 }
 
 /// The process identities of one wrapped member.
@@ -142,8 +146,10 @@ pub struct FsMemberProcs<N> {
 /// wrapper actor before placement — the identity function for clean runs,
 /// or a fault injector for fault-injection campaigns.
 ///
-/// Process identifiers follow the fixed scheme `app = 4i`,
-/// `interceptor = 4i + 1`, `leader = 4i + 2`, `follower = 4i + 3`.
+/// Process identifiers follow the fixed scheme `app = base + 4i`,
+/// `interceptor = base + 4i + 1`, `leader = base + 4i + 2`,
+/// `follower = base + 4i + 3`, where `base` is
+/// [`FsGroupParams::pid_base`] (0 for a standalone group).
 pub fn build_fs_group<H: GroupHost>(
     host: &mut H,
     params: &FsGroupParams,
@@ -155,10 +161,11 @@ pub fn build_fs_group<H: GroupHost>(
     assert!(n >= 1, "a group needs at least one member");
     let group: Vec<MemberId> = (0..n).map(MemberId).collect();
 
-    let app_pid = |i: u32| ProcessId(4 * i);
-    let icp_pid = |i: u32| ProcessId(4 * i + 1);
-    let leader_pid = |i: u32| ProcessId(4 * i + 2);
-    let follower_pid = |i: u32| ProcessId(4 * i + 3);
+    let base = params.pid_base;
+    let app_pid = move |i: u32| ProcessId(base + 4 * i);
+    let icp_pid = move |i: u32| ProcessId(base + 4 * i + 1);
+    let leader_pid = move |i: u32| ProcessId(base + 4 * i + 2);
+    let follower_pid = move |i: u32| ProcessId(base + 4 * i + 3);
 
     // Provision signing keys for every wrapper process (start-up step, A1/A5).
     let mut key_rng = DetRng::new(params.seed ^ 0x5157_3a11);
@@ -322,6 +329,7 @@ mod tests {
             timing: TimingAssumptions::default(),
             crypto_costs: CryptoCostModel::free(),
             seed: 11,
+            pid_base: 0,
         }
     }
 
@@ -352,6 +360,39 @@ mod tests {
                 .actor::<FsInterceptor>(handle.interceptor)
                 .expect("interceptor");
             assert!(!icp.local_fail_signalled());
+        }
+    }
+
+    #[test]
+    fn pid_base_offsets_every_process() {
+        let mut sim = Simulation::with_topology(7, Topology::new(LinkModel::lan_100mbps()));
+        let mut p = params(2, PairLayout::Collapsed);
+        p.pid_base = 1024;
+        let members = build_fs_group(
+            &mut sim,
+            &p,
+            &EchoService,
+            |_, middleware| {
+                Box::new(PingDriver {
+                    middleware,
+                    to_send: 2,
+                    sent: 0,
+                    echoes: 0,
+                })
+            },
+            |_, _, actor| actor,
+        );
+        for (i, m) in members.iter().enumerate() {
+            let i = i as u32;
+            assert_eq!(m.app, ProcessId(1024 + 4 * i));
+            assert_eq!(m.interceptor, ProcessId(1024 + 4 * i + 1));
+            assert_eq!(m.leader, ProcessId(1024 + 4 * i + 2));
+            assert_eq!(m.follower, ProcessId(1024 + 4 * i + 3));
+        }
+        sim.run_until(SimTime::from_secs(30));
+        for handle in &members {
+            let driver = sim.actor::<PingDriver>(handle.app).expect("driver");
+            assert_eq!(driver.echoes, 2, "member {} echoes", handle.member);
         }
     }
 

@@ -1,0 +1,1210 @@
+//! The sharded multi-group **cluster** layer: many independent FS/crash
+//! groups (shards) side by side on one runtime, a key partitioner, and a
+//! client-side router that drives open-loop load across all of them.
+//!
+//! The paper prices the crash → authenticated-Byzantine lift for a *single*
+//! replicated group; this module composes that per-group cost model into
+//! system-level throughput.  A [`Cluster`] builder instantiates `N`
+//! independent [`SequencedKv`](fs_smr::sequenced::SequencedKv) groups on one
+//! runtime (simulator or threaded), each assembled by the exact same
+//! [`Scenario`] machinery as a standalone run — same pid scheme (offset per
+//! shard), same fault plane, same protocols.  A [`ClusterRouter`] actor
+//! admits an open-loop arrival stream (the PR 6 admission machinery), keys
+//! every command, routes it to the owning shard via the [`Partitioner`],
+//! and measures end-to-end ordering latency per shard.
+//!
+//! # Routing semantics
+//!
+//! Each command is a keyed `Put` on exactly one shard: the router submits
+//! it to the shard's entry driver (member 0's workload driver), which
+//! orders it through that shard's sequencer and echoes a completion when
+//! the *ordered* entry is applied locally.  Commands never span shards, so
+//! a shard's crash stalls only the keys it owns: the router's in-flight
+//! count for that shard grows while every other shard keeps serving — the
+//! deployment-scale availability argument, observable in
+//! [`RunningCluster::shard_load`].
+//!
+//! # Snapshot consistency contract
+//!
+//! [`Cluster::snapshot_at`] makes the router fan one sequenced
+//! [`KvCommand::Frontier`](fs_smr::command::KvCommand::Frontier) read to
+//! every shard and assemble the responses into a [`ClusterSnapshot`].  Each
+//! shard's [`ShardFrontier`] is a *consistent cut of that shard's ordered
+//! history* — the read rides the ordered stream, so it reflects exactly the
+//! commands sequenced before it and none after.  Across shards the snapshot
+//! is a vector of such cuts taken at slightly different instants, not a
+//! global serialization point: keys on different shards may reflect
+//! different wall-clock moments, but every per-shard view is internally
+//! exact and reproducible from its `(applied, digest)` pair.
+
+use std::collections::BTreeMap;
+
+use fs_common::codec::{Decoder, Encoder, Wire};
+use fs_common::error::CodecError;
+use fs_common::id::{MemberId, ProcessId};
+use fs_common::rng::DetRng;
+use fs_common::time::SimTime;
+use fs_common::Bytes;
+use fs_simnet::actor::{Actor, Context, TimerId};
+use fs_simnet::lifecycle::LifecycleSchedule;
+use fs_simnet::link::{LinkModel, LinkSchedule, Topology};
+use fs_simnet::load::{AdmissionGate, ArrivalPacer, LoadStats};
+use fs_simnet::node::NodeConfig;
+use fs_simnet::sched::SchedulerKind;
+use fs_simnet::sim::Simulation;
+use fs_simnet::threaded::{ThreadedBuilder, ThreadedConfig};
+use fs_simnet::trace::{LatencyRecorder, LatencySummary, NetStats, TraceLog};
+
+use crate::faults::FaultSchedule;
+use crate::scenario::{MemberProcs, Protocol, RuntimeKind, RuntimeSlot, Scenario};
+use crate::service::SmrKvService;
+use crate::workload::Workload;
+
+/// The router's fixed process identifier (shard pids start at
+/// [`PID_STRIDE`], so 0 is never a shard process).
+pub const ROUTER_PID: ProcessId = ProcessId(0);
+
+/// Process-identifier stride between shards: shard `s` owns the pid block
+/// `[(s + 1) * PID_STRIDE, (s + 2) * PID_STRIDE)`.  At 4 pids per
+/// fail-signal member this caps a shard at 256 members — far beyond the
+/// `2f + 1` groups the paper considers.
+pub const PID_STRIDE: u32 = 1024;
+
+/// Timer driving the router's arrival process.
+const TIMER_ARRIVAL: TimerId = TimerId(300);
+
+/// Timer firing the scheduled multi-shard snapshot read.
+const TIMER_SNAPSHOT: TimerId = TimerId(301);
+
+// ---------------------------------------------------------------------------
+// Partitioner
+// ---------------------------------------------------------------------------
+
+/// A deterministic key → shard map over `SequencedKv` string keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Partitioner {
+    /// FNV-1a hash of the key, modulo the shard count.
+    Hash {
+        /// Number of shards keys are spread over.
+        shards: u32,
+    },
+    /// Ordered key ranges: a key belongs to the first bound it sorts below;
+    /// keys at or above every bound go to the last shard
+    /// (`bounds.len() + 1` shards in total).
+    KeyRange {
+        /// The ascending range boundaries.
+        bounds: Vec<String>,
+    },
+}
+
+impl Partitioner {
+    /// Hash partitioning over `shards` shards.
+    pub fn hash(shards: u32) -> Self {
+        assert!(shards >= 1, "a cluster needs at least one shard");
+        Partitioner::Hash { shards }
+    }
+
+    /// Range partitioning with the given ascending bounds
+    /// (`bounds.len() + 1` shards).
+    pub fn key_range(bounds: Vec<String>) -> Self {
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "range bounds must be strictly ascending"
+        );
+        Partitioner::KeyRange { bounds }
+    }
+
+    /// The number of shards this partitioner spreads keys over.
+    pub fn shards(&self) -> u32 {
+        match self {
+            Partitioner::Hash { shards } => *shards,
+            Partitioner::KeyRange { bounds } => bounds.len() as u32 + 1,
+        }
+    }
+
+    /// The shard owning `key`.  Pure and total: the same key always maps to
+    /// the same shard, so tests can pin assignments byte-for-byte.
+    pub fn shard_of(&self, key: &str) -> u32 {
+        match self {
+            Partitioner::Hash { shards } => {
+                let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+                for b in key.as_bytes() {
+                    acc = (acc ^ u64::from(*b)).wrapping_mul(0x100_0000_01b3);
+                }
+                (acc % u64::from(*shards)) as u32
+            }
+            Partitioner::KeyRange { bounds } => {
+                bounds.partition_point(|b| b.as_str() <= key) as u32
+            }
+        }
+    }
+
+    /// The stable key → shard assignment for a whole key set, in input
+    /// order — the inspection surface the determinism tests pin.
+    pub fn assignment(&self, keys: &[String]) -> Vec<(String, u32)> {
+        keys.iter().map(|k| (k.clone(), self.shard_of(k))).collect()
+    }
+}
+
+/// The deterministic key stream the router draws from: key `i` of a run
+/// with arrival seed `s` is `router_keys(s, i + 1)[i]`, on every runtime
+/// and scheduler.  Exposed so tests can predict shard assignments without
+/// running anything.
+pub fn router_keys(arrival_seed: u64, count: usize) -> Vec<String> {
+    let mut rng = DetRng::new(arrival_seed ^ 0x6b65_7973); // "keys"
+    (0..count)
+        .map(|_| format!("k{:016x}", rng.next_u64_raw()))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Router <-> shard-driver wire protocol
+// ---------------------------------------------------------------------------
+
+/// The wire protocol between the cluster router and each shard's entry
+/// driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClusterMsg {
+    /// Router → driver: submit a keyed write on this shard.
+    Submit {
+        /// The router's own sequence number, echoed back on completion.
+        router_seq: u64,
+        /// The key (already partitioned to this shard).
+        key: String,
+        /// The value payload.
+        value: Vec<u8>,
+    },
+    /// Driver → router: the routed command was ordered and applied.
+    Done {
+        /// The router sequence number of the completed command.
+        router_seq: u64,
+    },
+    /// Router → driver: submit a sequenced frontier read for snapshot `req`.
+    SnapRead {
+        /// The snapshot request identifier.
+        req: u64,
+    },
+    /// Driver → router: the shard's frontier at the sequenced read point.
+    SnapResp {
+        /// The snapshot request identifier.
+        req: u64,
+        /// Commands applied at the read point (the read itself included).
+        applied: u64,
+        /// Keys stored at the read point.
+        keys: u64,
+        /// State digest at the read point.
+        digest: u64,
+    },
+}
+
+impl Wire for ClusterMsg {
+    fn encode(&self, enc: &mut Encoder) {
+        match self {
+            ClusterMsg::Submit {
+                router_seq,
+                key,
+                value,
+            } => {
+                enc.put_u8(0);
+                enc.put_u64(*router_seq);
+                enc.put_str(key);
+                enc.put_bytes(value);
+            }
+            ClusterMsg::Done { router_seq } => {
+                enc.put_u8(1);
+                enc.put_u64(*router_seq);
+            }
+            ClusterMsg::SnapRead { req } => {
+                enc.put_u8(2);
+                enc.put_u64(*req);
+            }
+            ClusterMsg::SnapResp {
+                req,
+                applied,
+                keys,
+                digest,
+            } => {
+                enc.put_u8(3);
+                enc.put_u64(*req);
+                enc.put_u64(*applied);
+                enc.put_u64(*keys);
+                enc.put_u64(*digest);
+            }
+        }
+    }
+
+    fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
+        match dec.get_u8()? {
+            0 => Ok(ClusterMsg::Submit {
+                router_seq: dec.get_u64()?,
+                key: dec.get_str()?.to_owned(),
+                value: dec.get_bytes_owned()?,
+            }),
+            1 => Ok(ClusterMsg::Done {
+                router_seq: dec.get_u64()?,
+            }),
+            2 => Ok(ClusterMsg::SnapRead {
+                req: dec.get_u64()?,
+            }),
+            3 => Ok(ClusterMsg::SnapResp {
+                req: dec.get_u64()?,
+                applied: dec.get_u64()?,
+                keys: dec.get_u64()?,
+                digest: dec.get_u64()?,
+            }),
+            t => Err(CodecError::UnknownTag(t)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot types
+// ---------------------------------------------------------------------------
+
+/// One shard's contribution to a [`ClusterSnapshot`]: a consistent cut of
+/// that shard's ordered history (see the module-level contract).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardFrontier {
+    /// The shard index.
+    pub shard: u32,
+    /// Commands applied at the sequenced read point.
+    pub applied: u64,
+    /// Keys stored at the read point.
+    pub keys: u64,
+    /// State digest at the read point.
+    pub digest: u64,
+}
+
+/// A completed multi-shard read snapshot: one [`ShardFrontier`] per shard,
+/// in shard order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterSnapshot {
+    /// When the router fanned the frontier reads out.
+    pub requested_at: SimTime,
+    /// When the last shard's frontier arrived.
+    pub completed_at: SimTime,
+    /// Every shard's frontier, indexed by shard.
+    pub shards: Vec<ShardFrontier>,
+}
+
+// ---------------------------------------------------------------------------
+// Router actor
+// ---------------------------------------------------------------------------
+
+/// Per-shard router-side load tracking.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardLoad {
+    /// Commands routed to the shard.
+    pub submitted: u64,
+    /// Completions received back from the shard.
+    pub completed: u64,
+}
+
+impl ShardLoad {
+    /// Commands submitted but not (yet) completed — grows without bound
+    /// while the shard is down, which is exactly the observable the
+    /// fault-isolation scenarios assert on.
+    pub fn in_flight(&self) -> u64 {
+        self.submitted - self.completed
+    }
+}
+
+/// The client-side router: admits the open-loop arrival stream, keys and
+/// routes each command to its shard's entry driver, and tracks per-shard
+/// in-flight windows and end-to-end ordering latency.
+pub struct ClusterRouter {
+    workload: Workload,
+    partitioner: Partitioner,
+    /// Shard → entry driver (member 0's workload driver).
+    entries: Vec<ProcessId>,
+    /// Reverse map: entry driver → shard, for classifying completions.
+    shard_of_entry: BTreeMap<ProcessId, u32>,
+    pacer: ArrivalPacer,
+    gate: AdmissionGate,
+    key_rng: DetRng,
+    offered: u64,
+    next_seq: u64,
+    sent_at: BTreeMap<u64, SimTime>,
+    shard_of_seq: BTreeMap<u64, u32>,
+    client_of: BTreeMap<u64, u32>,
+    loads: Vec<ShardLoad>,
+    latencies: LatencyRecorder,
+    shard_latencies: Vec<LatencyRecorder>,
+    first_submit_at: Option<SimTime>,
+    last_done_at: Option<SimTime>,
+    snapshot_at: Option<SimTime>,
+    next_snap_req: u64,
+    snap_requested_at: BTreeMap<u64, SimTime>,
+    snap_pending: BTreeMap<u64, BTreeMap<u32, ShardFrontier>>,
+    snapshots: Vec<ClusterSnapshot>,
+}
+
+impl std::fmt::Debug for ClusterRouter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterRouter")
+            .field("shards", &self.entries.len())
+            .field("offered", &self.offered)
+            .field("submitted", &self.next_seq)
+            .finish()
+    }
+}
+
+impl ClusterRouter {
+    /// Creates a router over the given per-shard entry drivers.
+    fn new(
+        workload: Workload,
+        partitioner: Partitioner,
+        entries: Vec<ProcessId>,
+        snapshot_at: Option<SimTime>,
+    ) -> Self {
+        let shards = entries.len();
+        let pacer_rng = DetRng::new(workload.arrival_seed).derive(0x7075_7465); // "route"
+        let shard_of_entry = entries
+            .iter()
+            .enumerate()
+            .map(|(s, &pid)| (pid, s as u32))
+            .collect();
+        Self {
+            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, pacer_rng),
+            gate: AdmissionGate::new(workload.clients, workload.max_in_flight, workload.admission),
+            key_rng: DetRng::new(workload.arrival_seed ^ 0x6b65_7973),
+            workload,
+            partitioner,
+            entries,
+            shard_of_entry,
+            offered: 0,
+            next_seq: 0,
+            sent_at: BTreeMap::new(),
+            shard_of_seq: BTreeMap::new(),
+            client_of: BTreeMap::new(),
+            loads: vec![ShardLoad::default(); shards],
+            latencies: LatencyRecorder::new(),
+            shard_latencies: vec![LatencyRecorder::new(); shards],
+            first_submit_at: None,
+            last_done_at: None,
+            snapshot_at,
+            next_snap_req: 0,
+            snap_requested_at: BTreeMap::new(),
+            snap_pending: BTreeMap::new(),
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Arrivals generated so far (admitted or not).
+    pub fn offered(&self) -> u64 {
+        self.offered
+    }
+
+    /// Commands routed so far, across all shards.
+    pub fn submitted(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Completions received so far, across all shards.
+    pub fn completed(&self) -> u64 {
+        self.loads.iter().map(|l| l.completed).sum()
+    }
+
+    /// Per-shard submitted/completed counters, indexed by shard.
+    pub fn shard_loads(&self) -> &[ShardLoad] {
+        &self.loads
+    }
+
+    /// End-to-end ordering latencies across every shard.
+    pub fn latencies(&self) -> &LatencyRecorder {
+        &self.latencies
+    }
+
+    /// End-to-end ordering latencies of one shard.
+    pub fn shard_latencies(&self, shard: u32) -> Option<&LatencyRecorder> {
+        self.shard_latencies.get(shard as usize)
+    }
+
+    /// The admission counters of the router's gate.
+    pub fn load_stats(&self) -> LoadStats {
+        self.gate.stats()
+    }
+
+    /// When the first command was routed, if any.
+    pub fn first_submit_at(&self) -> Option<SimTime> {
+        self.first_submit_at
+    }
+
+    /// When the last completion arrived, if any.
+    pub fn last_done_at(&self) -> Option<SimTime> {
+        self.last_done_at
+    }
+
+    /// The completed multi-shard snapshots, in completion order.
+    pub fn snapshots(&self) -> &[ClusterSnapshot] {
+        &self.snapshots
+    }
+
+    /// One tick of the arrival process, mirroring `SmrDriver::next_arrival`.
+    fn next_arrival(&mut self, ctx: &mut dyn Context) {
+        if self.offered >= self.workload.messages {
+            return;
+        }
+        self.offered += 1;
+        if let Some(client) = self.gate.arrive() {
+            self.submit(ctx, client);
+        }
+        if self.offered < self.workload.messages {
+            ctx.set_timer(self.pacer.next_gap(), TIMER_ARRIVAL);
+        }
+    }
+
+    /// Keys, routes and tracks one admitted command.
+    fn submit(&mut self, ctx: &mut dyn Context, client: u32) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        let key = format!("k{:016x}", self.key_rng.next_u64_raw());
+        let shard = self.partitioner.shard_of(&key);
+        let mut value = vec![0xa5u8; self.workload.payload_size];
+        value
+            .iter_mut()
+            .zip(seq.to_le_bytes())
+            .for_each(|(v, b)| *v = b);
+        let now = ctx.now();
+        self.first_submit_at.get_or_insert(now);
+        self.sent_at.insert(seq, now);
+        self.shard_of_seq.insert(seq, shard);
+        self.client_of.insert(seq, client);
+        self.loads[shard as usize].submitted += 1;
+        ctx.send(
+            self.entries[shard as usize],
+            ClusterMsg::Submit {
+                router_seq: seq,
+                key,
+                value,
+            }
+            .to_wire(),
+        );
+    }
+
+    /// Fans one sequenced frontier read to every shard.
+    fn fan_snapshot(&mut self, ctx: &mut dyn Context) {
+        let req = self.next_snap_req;
+        self.next_snap_req += 1;
+        self.snap_requested_at.insert(req, ctx.now());
+        self.snap_pending.insert(req, BTreeMap::new());
+        for &entry in &self.entries {
+            ctx.send(entry, ClusterMsg::SnapRead { req }.to_wire());
+        }
+    }
+
+    /// Accounts one completion echoed back by shard `shard`.
+    fn on_done(&mut self, ctx: &mut dyn Context, shard: u32, router_seq: u64) {
+        let Some(sent) = self.sent_at.remove(&router_seq) else {
+            return; // duplicate or unknown completion
+        };
+        let now = ctx.now();
+        self.last_done_at = Some(now);
+        self.shard_of_seq.remove(&router_seq);
+        self.loads[shard as usize].completed += 1;
+        self.latencies.record_span(sent, now);
+        self.shard_latencies[shard as usize].record_span(sent, now);
+        if let Some(client) = self.client_of.remove(&router_seq) {
+            if self.gate.complete(client) {
+                // The completion hands its slot to a blocked arrival.
+                self.submit(ctx, client);
+            }
+        }
+    }
+}
+
+impl Actor for ClusterRouter {
+    fn on_start(&mut self, ctx: &mut dyn Context) {
+        if self.workload.messages > 0 {
+            ctx.set_timer(self.workload.start_delay, TIMER_ARRIVAL);
+        }
+        if let Some(at) = self.snapshot_at {
+            ctx.set_timer(at.duration_since(ctx.now()), TIMER_SNAPSHOT);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
+        if timer == TIMER_ARRIVAL {
+            self.next_arrival(ctx);
+        } else if timer == TIMER_SNAPSHOT {
+            self.fan_snapshot(ctx);
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
+        let Some(&shard) = self.shard_of_entry.get(&from) else {
+            return; // not a shard entry: dropped
+        };
+        match ClusterMsg::from_wire(&payload) {
+            Ok(ClusterMsg::Done { router_seq }) => self.on_done(ctx, shard, router_seq),
+            Ok(ClusterMsg::SnapResp {
+                req,
+                applied,
+                keys,
+                digest,
+            }) => {
+                let frontier = ShardFrontier {
+                    shard,
+                    applied,
+                    keys,
+                    digest,
+                };
+                if let Some(pending) = self.snap_pending.get_mut(&req) {
+                    pending.insert(shard, frontier);
+                    if pending.len() == self.entries.len() {
+                        let pending = self.snap_pending.remove(&req).expect("pending");
+                        let requested_at = self
+                            .snap_requested_at
+                            .remove(&req)
+                            .expect("snapshot request time");
+                        self.snapshots.push(ClusterSnapshot {
+                            requested_at,
+                            completed_at: ctx.now(),
+                            shards: pending.into_values().collect(),
+                        });
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("cluster-router({})", self.entries.len())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Cluster builder
+// ---------------------------------------------------------------------------
+
+/// A typed builder for a sharded cluster: `shards` independent
+/// [`SmrKvService`] groups on one runtime, driven by one [`ClusterRouter`].
+pub struct Cluster {
+    shards: u32,
+    members_per_shard: u32,
+    runtime: RuntimeKind,
+    protocol: Protocol,
+    partitioner: Option<Partitioner>,
+    workload: Workload,
+    shard_faults: BTreeMap<u32, FaultSchedule>,
+    node: NodeConfig,
+    router_node: NodeConfig,
+    seed: u64,
+    scheduler: SchedulerKind,
+    topology: Option<Topology>,
+    snapshot_at: Option<SimTime>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("shards", &self.shards)
+            .field("members_per_shard", &self.members_per_shard)
+            .field("runtime", &self.runtime)
+            .field("protocol", &self.protocol)
+            .finish()
+    }
+}
+
+impl Cluster {
+    /// Starts a cluster of `shards` groups of `members_per_shard` members
+    /// each, with hash partitioning, the paper's defaults on every other
+    /// axis, and an idealised (cost-free) router node so the load generator
+    /// never caps the scaling curve.
+    pub fn new(shards: u32, members_per_shard: u32) -> Self {
+        assert!(shards >= 1, "a cluster needs at least one shard");
+        assert!(members_per_shard >= 1, "a shard needs at least one member");
+        Self {
+            shards,
+            members_per_shard,
+            runtime: RuntimeKind::Sim,
+            protocol: Protocol::Crash,
+            partitioner: None,
+            workload: Workload::paper_default(),
+            shard_faults: BTreeMap::new(),
+            node: NodeConfig::era_2003(),
+            router_node: NodeConfig::ideal(),
+            seed: 2003,
+            scheduler: SchedulerKind::default(),
+            topology: None,
+            snapshot_at: None,
+        }
+    }
+
+    /// Selects the runtime.
+    #[must_use]
+    pub fn runtime(mut self, runtime: RuntimeKind) -> Self {
+        self.runtime = runtime;
+        self
+    }
+
+    /// Selects the fault-tolerance protocol every shard runs.
+    #[must_use]
+    pub fn protocol(mut self, protocol: Protocol) -> Self {
+        self.protocol = protocol;
+        self
+    }
+
+    /// Sets the partitioner (default: hash over the shard count).
+    ///
+    /// # Panics
+    ///
+    /// At build time, when the partitioner's shard count differs from the
+    /// cluster's.
+    #[must_use]
+    pub fn partitioner(mut self, partitioner: Partitioner) -> Self {
+        self.partitioner = Some(partitioner);
+        self
+    }
+
+    /// Sets the router-level workload: `messages` is the *cluster-wide*
+    /// offered command count and `interval` the aggregate arrival gap
+    /// (shards then share that stream per the partitioner).
+    #[must_use]
+    pub fn workload(mut self, workload: Workload) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets shard `shard`'s fault schedule (member indices are local to the
+    /// shard).  Other shards stay fault-free — the isolation scenarios
+    /// crash one shard's sequencer while the rest keep serving.
+    #[must_use]
+    pub fn shard_faults(mut self, shard: u32, faults: FaultSchedule) -> Self {
+        self.shard_faults.insert(shard, faults);
+        self
+    }
+
+    /// Sets the per-node configuration of every shard node.
+    #[must_use]
+    pub fn node_config(mut self, node: NodeConfig) -> Self {
+        self.node = node;
+        self
+    }
+
+    /// Sets the router node's configuration (default
+    /// [`NodeConfig::ideal`]).
+    #[must_use]
+    pub fn router_node_config(mut self, node: NodeConfig) -> Self {
+        self.router_node = node;
+        self
+    }
+
+    /// Sets the deterministic seed.
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Selects the simulator's future-event-set scheduler.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Sets the deployment topology explicitly (default: the paper's
+    /// lightly loaded 100 Mb/s LAN between every pair of nodes).  Node 0 is
+    /// the router; shard `s`'s members start at node `1 + s * k` where `k`
+    /// is the shard's node footprint.
+    #[must_use]
+    pub fn topology(mut self, topology: Topology) -> Self {
+        self.topology = Some(topology);
+        self
+    }
+
+    /// Schedules one multi-shard read snapshot at `at` (see the
+    /// module-level consistency contract).
+    #[must_use]
+    pub fn snapshot_at(mut self, at: SimTime) -> Self {
+        self.snapshot_at = Some(at);
+        self
+    }
+
+    /// Nodes one shard occupies under the current protocol and layout.
+    fn nodes_per_shard(&self) -> u32 {
+        match self.protocol {
+            // Collapsed FS layout: one node per member (the scenario
+            // default; the cluster layer does not expose the Full layout).
+            Protocol::FailSignal => self.members_per_shard,
+            Protocol::Crash => self.members_per_shard,
+        }
+    }
+
+    /// The shard-local [`Scenario`] used to assemble shard `shard`.
+    fn shard_scenario(&self, shard: u32) -> Scenario {
+        // Shard drivers generate no load of their own (messages = 0): every
+        // command arrives from the router.  Batch policy and payload shape
+        // still come from the cluster workload.
+        let mut shard_workload = self.workload;
+        shard_workload.messages = 0;
+        shard_workload.router = Some(ROUTER_PID);
+        Scenario::new(SmrKvService::new())
+            .members(self.members_per_shard)
+            .protocol(self.protocol)
+            .workload(shard_workload)
+            .faults(
+                self.shard_faults
+                    .get(&shard)
+                    .cloned()
+                    .unwrap_or_else(FaultSchedule::none),
+            )
+            .node_config(self.node)
+            // Independent key-provisioning and fault streams per shard.
+            .seed(self.seed ^ (u64::from(shard).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+    }
+
+    /// Builds and starts the cluster, returning the running handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the partitioner's shard count differs from the
+    /// cluster's, or when a shard's fault schedule targets processes its
+    /// protocol does not deploy.
+    pub fn build(mut self) -> RunningCluster {
+        if self.workload.arrival_seed == 0 {
+            self.workload.arrival_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
+        }
+        let partitioner = self
+            .partitioner
+            .clone()
+            .unwrap_or_else(|| Partitioner::hash(self.shards));
+        assert_eq!(
+            partitioner.shards(),
+            self.shards,
+            "partitioner covers {} shards but the cluster deploys {}",
+            partitioner.shards(),
+            self.shards,
+        );
+        for (shard, faults) in &self.shard_faults {
+            assert!(
+                *shard < self.shards,
+                "fault schedule targets shard {shard}, which the cluster does not deploy"
+            );
+            for entry in faults.entries() {
+                assert!(
+                    FaultSchedule::target_applies(
+                        entry.target,
+                        self.protocol == Protocol::FailSignal
+                    ),
+                    "shard {shard} fault schedule targets {:?}, which the {:?} protocol does not deploy",
+                    entry.target,
+                    self.protocol,
+                );
+            }
+        }
+
+        let topology = self
+            .topology
+            .clone()
+            .unwrap_or_else(|| Topology::new(LinkModel::lan_100mbps()));
+        let nodes_per_shard = self.nodes_per_shard();
+        let scenarios: Vec<Scenario> = (0..self.shards).map(|s| self.shard_scenario(s)).collect();
+
+        let mut link_schedule = LinkSchedule::new();
+        let mut lifecycle = LifecycleSchedule::new();
+        let mut shard_members: Vec<Vec<MemberProcs>> = Vec::new();
+
+        let slot = match self.runtime {
+            RuntimeKind::Sim => {
+                let mut sim = Simulation::with_scheduler(self.seed, topology, self.scheduler);
+                let router_node = sim.add_node(self.router_node);
+                for (s, scenario) in scenarios.iter().enumerate() {
+                    let node_base = 1 + s as u32 * nodes_per_shard;
+                    debug_assert_eq!(sim.node_count() as u32, node_base);
+                    let members = scenario.assemble_at(&mut sim, pid_base(s as u32));
+                    for event in scenario
+                        .fault_schedule()
+                        .compile_link_schedule_with_base(node_base)
+                        .in_order()
+                    {
+                        link_schedule.push(event);
+                    }
+                    lifecycle.extend(scenario.compile_lifecycle(&members));
+                    shard_members.push(members);
+                }
+                let router = self.make_router(&partitioner, &shard_members);
+                sim.spawn_with(ROUTER_PID, router_node, Box::new(router));
+                sim.apply_link_schedule(&link_schedule);
+                sim.apply_lifecycle_schedule(lifecycle);
+                RuntimeSlot::from_sim(sim)
+            }
+            RuntimeKind::Threaded => {
+                let mut builder = ThreadedBuilder::new(ThreadedConfig {
+                    cpu_charge_scale: 0.0,
+                    seed: self.seed,
+                })
+                .with_topology(topology);
+                let router_node = builder.add_node();
+                for (s, scenario) in scenarios.iter().enumerate() {
+                    let node_base = 1 + s as u32 * nodes_per_shard;
+                    let members = scenario.assemble_at(&mut builder, pid_base(s as u32));
+                    for event in scenario
+                        .fault_schedule()
+                        .compile_link_schedule_with_base(node_base)
+                        .in_order()
+                    {
+                        link_schedule.push(event);
+                    }
+                    lifecycle.extend(scenario.compile_lifecycle(&members));
+                    shard_members.push(members);
+                }
+                let router = self.make_router(&partitioner, &shard_members);
+                builder.add_with_on(ROUTER_PID, router_node, Box::new(router));
+                builder = builder
+                    .with_link_schedule(link_schedule)
+                    .with_lifecycle_schedule(lifecycle);
+                RuntimeSlot::from_threaded(builder.start())
+            }
+        };
+
+        RunningCluster {
+            protocol: self.protocol,
+            runtime: self.runtime,
+            partitioner,
+            shard_members,
+            nodes_per_shard,
+            slot,
+        }
+    }
+
+    /// Builds the router over each shard's entry driver.
+    fn make_router(
+        &self,
+        partitioner: &Partitioner,
+        shard_members: &[Vec<MemberProcs>],
+    ) -> ClusterRouter {
+        let entries: Vec<ProcessId> = shard_members.iter().map(|members| members[0].app).collect();
+        ClusterRouter::new(
+            self.workload,
+            partitioner.clone(),
+            entries,
+            self.snapshot_at,
+        )
+    }
+}
+
+/// The pid block base of shard `s`.
+fn pid_base(s: u32) -> u32 {
+    (s + 1) * PID_STRIDE
+}
+
+// ---------------------------------------------------------------------------
+// Running handle
+// ---------------------------------------------------------------------------
+
+/// A deployed, runnable cluster: the sharded counterpart of
+/// [`crate::Running`], sharing its internal `RuntimeSlot`
+/// drive/settle/inspect machinery.
+pub struct RunningCluster {
+    protocol: Protocol,
+    runtime: RuntimeKind,
+    partitioner: Partitioner,
+    shard_members: Vec<Vec<MemberProcs>>,
+    nodes_per_shard: u32,
+    slot: RuntimeSlot,
+}
+
+impl std::fmt::Debug for RunningCluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RunningCluster")
+            .field("shards", &self.shard_members.len())
+            .field("protocol", &self.protocol)
+            .field("runtime", &self.runtime)
+            .finish()
+    }
+}
+
+impl RunningCluster {
+    /// Number of shards deployed.
+    pub fn shards(&self) -> u32 {
+        self.shard_members.len() as u32
+    }
+
+    /// The protocol every shard runs.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// The runtime the cluster runs on.
+    pub fn runtime_kind(&self) -> RuntimeKind {
+        self.runtime
+    }
+
+    /// The key → shard map this cluster routes by.
+    pub fn partitioner(&self) -> &Partitioner {
+        &self.partitioner
+    }
+
+    /// Shard `shard`'s member handles, in member order.
+    pub fn shard_procs(&self, shard: u32) -> Option<&[MemberProcs]> {
+        self.shard_members.get(shard as usize).map(Vec::as_slice)
+    }
+
+    /// Drives the cluster until `horizon` and returns the reached time
+    /// (same semantics as [`crate::Running::run_until`]).
+    pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        self.slot.run_until(horizon)
+    }
+
+    /// Enables event tracing (simulator only).  Call before
+    /// [`RunningCluster::run_until`].
+    pub fn enable_trace(&mut self) {
+        self.slot.enable_trace();
+    }
+
+    /// The recorded trace, when tracing was enabled on the simulator.
+    pub fn trace(&self) -> Option<&TraceLog> {
+        self.slot.trace()
+    }
+
+    /// The runtime-wide aggregate network statistics (both runtimes).
+    pub fn stats(&self) -> NetStats {
+        self.slot.stats()
+    }
+
+    /// Shard `shard`'s share of the network counters, derived from the
+    /// per-process counters (simulator only: the threaded runtime keeps
+    /// node-level atomics, not per-process tallies).  Only the send /
+    /// delivery / byte counters are attributable per process; the
+    /// runtime-global fields stay zero.
+    pub fn shard_net(&self, shard: u32) -> Option<NetStats> {
+        let sim = self.slot.sim()?;
+        let members = self.shard_members.get(shard as usize)?;
+        let counters = sim.counters();
+        let base = pid_base(shard);
+        let span = match self.protocol {
+            Protocol::Crash => 2 * members.len() as u32,
+            Protocol::FailSignal => 4 * members.len() as u32,
+        };
+        let mut stats = NetStats::default();
+        for pid in base..base + span {
+            let c = counters.of(ProcessId(pid));
+            stats.messages_sent += c.sent;
+            stats.messages_delivered += c.received;
+            stats.bytes_sent += c.bytes_sent;
+        }
+        Some(stats)
+    }
+
+    /// Every shard's [`RunningCluster::shard_net`] folded through
+    /// [`NetStats::merge`] — the cluster-level aggregation path (simulator
+    /// only).  Router traffic is not included, so the merged send count is
+    /// a lower bound on [`RunningCluster::stats`].
+    pub fn shards_net_merged(&self) -> Option<NetStats> {
+        let mut merged = NetStats::default();
+        for s in 0..self.shards() {
+            merged.merge(&self.shard_net(s)?);
+        }
+        Some(merged)
+    }
+
+    /// Shuts down the threaded runtime (if any) and collects its actors
+    /// for inspection.  Idempotent; a no-op on the simulator.
+    pub fn settle(&mut self) {
+        self.slot.settle();
+    }
+
+    /// The router actor, for load/latency/snapshot inspection.  On the
+    /// threaded runtime this shuts the runtime down first.
+    pub fn router(&mut self) -> &ClusterRouter {
+        let any: &dyn std::any::Any = self
+            .slot
+            .actor_dyn(ROUTER_PID)
+            .expect("cluster router exists");
+        any.downcast_ref::<ClusterRouter>()
+            .expect("ROUTER_PID hosts the cluster router")
+    }
+
+    /// Per-shard submitted/completed counters, indexed by shard.
+    pub fn shard_loads(&mut self) -> Vec<ShardLoad> {
+        self.router().shard_loads().to_vec()
+    }
+
+    /// Shard `shard`'s router-side load counters.
+    pub fn shard_load(&mut self, shard: u32) -> Option<ShardLoad> {
+        self.router().shard_loads().get(shard as usize).copied()
+    }
+
+    /// Completions received across every shard.
+    pub fn completed(&mut self) -> u64 {
+        self.router().completed()
+    }
+
+    /// The aggregated end-to-end latency summary across every shard,
+    /// `None` when nothing completed.
+    pub fn latency_summary(&mut self) -> Option<LatencySummary> {
+        self.router().latencies().summary()
+    }
+
+    /// Shard `shard`'s end-to-end latency summary, `None` when the shard
+    /// completed nothing.
+    pub fn shard_latency_summary(&mut self, shard: u32) -> Option<LatencySummary> {
+        self.router().shard_latencies(shard)?.summary()
+    }
+
+    /// The router's admission counters.
+    pub fn load_stats(&mut self) -> LoadStats {
+        self.router().load_stats()
+    }
+
+    /// The completed multi-shard snapshots, in completion order.
+    pub fn snapshots(&mut self) -> Vec<ClusterSnapshot> {
+        self.router().snapshots().to_vec()
+    }
+
+    /// Member `member` of shard `shard`'s machine-level state digest (see
+    /// [`crate::Running::machine_digest`]).
+    pub fn machine_digest(&mut self, shard: u32, member: u32) -> Option<u64> {
+        let procs = *self
+            .shard_members
+            .get(shard as usize)?
+            .get(member as usize)?;
+        self.slot.machine_at(self.protocol, &procs)?.app_digest()
+    }
+
+    /// Member `member` of shard `shard`'s machine-level delivery log (see
+    /// [`crate::Running::machine_log`]).
+    pub fn machine_log(&mut self, shard: u32, member: u32) -> Option<Vec<(MemberId, u64)>> {
+        let procs = *self
+            .shard_members
+            .get(shard as usize)?
+            .get(member as usize)?;
+        self.slot.machine_at(self.protocol, &procs)?.delivered_log()
+    }
+
+    /// The node footprint of one shard (the router occupies node 0; shard
+    /// `s` starts at node `1 + s * nodes_per_shard`).
+    pub fn nodes_per_shard(&self) -> u32 {
+        self.nodes_per_shard
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fs_common::time::SimDuration;
+
+    #[test]
+    fn cluster_msg_round_trips() {
+        let msgs = vec![
+            ClusterMsg::Submit {
+                router_seq: 7,
+                key: "k01".into(),
+                value: vec![1, 2, 3],
+            },
+            ClusterMsg::Done { router_seq: 7 },
+            ClusterMsg::SnapRead { req: 3 },
+            ClusterMsg::SnapResp {
+                req: 3,
+                applied: 10,
+                keys: 4,
+                digest: 0xfeed,
+            },
+        ];
+        for m in msgs {
+            assert_eq!(ClusterMsg::from_wire(&m.to_wire()).unwrap(), m);
+        }
+        assert!(ClusterMsg::from_wire(&[0xff]).is_err());
+    }
+
+    #[test]
+    fn hash_partitioner_is_stable_and_covers_all_shards() {
+        let p = Partitioner::hash(4);
+        assert_eq!(p.shards(), 4);
+        let keys = router_keys(42, 256);
+        let assignment = p.assignment(&keys);
+        // Stable: recomputing gives the identical assignment.
+        assert_eq!(p.assignment(&keys), assignment);
+        // Covering: 256 uniform keys hit all 4 shards.
+        let mut seen = [false; 4];
+        for (_, s) in &assignment {
+            assert!(*s < 4);
+            seen[*s as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all shards own keys");
+    }
+
+    #[test]
+    fn key_range_partitioner_respects_bounds() {
+        let p = Partitioner::key_range(vec!["g".into(), "p".into()]);
+        assert_eq!(p.shards(), 3);
+        assert_eq!(p.shard_of("apple"), 0);
+        assert_eq!(p.shard_of("g"), 1, "a key equal to a bound sorts above it");
+        assert_eq!(p.shard_of("mango"), 1);
+        assert_eq!(p.shard_of("zebra"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly ascending")]
+    fn key_range_rejects_unsorted_bounds() {
+        let _ = Partitioner::key_range(vec!["p".into(), "g".into()]);
+    }
+
+    #[test]
+    fn router_key_stream_is_deterministic() {
+        assert_eq!(router_keys(9, 8), router_keys(9, 8));
+        assert_ne!(router_keys(9, 8), router_keys(10, 8));
+        // The stream is a prefix-stable sequence.
+        assert_eq!(router_keys(9, 4), router_keys(9, 8)[..4].to_vec());
+    }
+
+    #[test]
+    fn two_shard_cluster_completes_and_isolates_keys() {
+        let mut cluster = Cluster::new(2, 3)
+            .workload(Workload::quick(20).interval(SimDuration::from_millis(10)))
+            .seed(7)
+            .build();
+        cluster.run_until(SimTime::from_secs(300));
+        assert_eq!(cluster.completed(), 20, "every routed command completed");
+        let loads = cluster.shard_loads();
+        assert_eq!(loads.iter().map(|l| l.submitted).sum::<u64>(), 20);
+        assert!(loads.iter().all(|l| l.in_flight() == 0));
+        // Both shards made progress and their machines agree internally.
+        for s in 0..2 {
+            assert!(loads[s as usize].completed > 0, "shard {s} served keys");
+            let d0 = cluster.machine_digest(s, 0).expect("digest");
+            for m in 1..3 {
+                assert_eq!(
+                    cluster.machine_digest(s, m),
+                    Some(d0),
+                    "shard {s} member {m}"
+                );
+            }
+        }
+        // Shards hold different keys: digests differ.
+        assert_ne!(
+            cluster.machine_digest(0, 0),
+            cluster.machine_digest(1, 0),
+            "different key sets yield different state"
+        );
+        assert!(cluster.latency_summary().is_some());
+        let stats = cluster.stats();
+        assert!(stats.messages_sent > 0);
+        let merged = cluster.shards_net_merged().expect("sim counters");
+        assert!(merged.messages_sent > 0);
+        assert!(merged.messages_sent <= stats.messages_sent);
+    }
+
+    #[test]
+    fn snapshot_assembles_one_frontier_per_shard() {
+        let mut cluster = Cluster::new(2, 3)
+            .workload(Workload::quick(10).interval(SimDuration::from_millis(5)))
+            .seed(11)
+            .snapshot_at(SimTime::from_secs(2))
+            .build();
+        cluster.run_until(SimTime::from_secs(300));
+        let snapshots = cluster.snapshots();
+        assert_eq!(snapshots.len(), 1);
+        let snap = &snapshots[0];
+        assert_eq!(snap.shards.len(), 2);
+        assert!(snap.completed_at >= snap.requested_at);
+        for (s, frontier) in snap.shards.iter().enumerate() {
+            assert_eq!(frontier.shard, s as u32);
+            // The frontier read itself is applied, so applied >= 1.
+            assert!(frontier.applied >= 1, "shard {s} frontier applied");
+        }
+    }
+}

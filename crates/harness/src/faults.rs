@@ -94,9 +94,11 @@ pub enum MemberLinkScope {
 }
 
 impl MemberLinkScope {
-    /// The node-level scope this member scope compiles to.
-    fn to_link_scope(&self) -> LinkScope {
-        let node = |m: &MemberId| NodeId(m.0);
+    /// The node-level scope this member scope compiles to, with member `i`
+    /// mapping to node `node_base + i` (a standalone scenario uses base 0;
+    /// a cluster shard passes the base of its node block).
+    fn to_link_scope(&self, node_base: u32) -> LinkScope {
+        let node = move |m: &MemberId| NodeId(node_base + m.0);
         match self {
             MemberLinkScope::Pair(a, b) => LinkScope::Pair {
                 a: node(a),
@@ -370,9 +372,20 @@ impl FaultSchedule {
     /// execute (member `i` → node `i`, the primary-node invariant of the
     /// scenario assemblers).
     pub fn compile_link_schedule(&self) -> LinkSchedule {
+        self.compile_link_schedule_with_base(0)
+    }
+
+    /// Like [`FaultSchedule::compile_link_schedule`], but mapping member `i`
+    /// to node `node_base + i` — used by the cluster layer, where each
+    /// shard's members occupy a contiguous node block starting at its base.
+    pub fn compile_link_schedule_with_base(&self, node_base: u32) -> LinkSchedule {
         let mut schedule = LinkSchedule::new();
         for entry in &self.link_entries {
-            schedule = schedule.then(entry.at, entry.scope.to_link_scope(), entry.fault.clone());
+            schedule = schedule.then(
+                entry.at,
+                entry.scope.to_link_scope(node_base),
+                entry.fault.clone(),
+            );
         }
         schedule
     }
@@ -499,6 +512,25 @@ mod tests {
             "member i maps to node i"
         );
         assert_eq!(ordered[3].fault, LinkFault::Heal);
+    }
+
+    #[test]
+    fn link_entries_compile_with_node_base() {
+        use fs_common::id::NodeId;
+        use fs_common::time::SimTime;
+        use fs_simnet::link::LinkScope;
+
+        let schedule =
+            FaultSchedule::none().sever_one_way(SimTime::from_secs(1), MemberId(0), MemberId(2));
+        let ordered = schedule.compile_link_schedule_with_base(5).in_order();
+        assert_eq!(
+            ordered[0].scope,
+            LinkScope::OneWay {
+                from: NodeId(5),
+                to: NodeId(7),
+            },
+            "member i maps to node base + i"
+        );
     }
 
     #[test]

@@ -39,11 +39,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod faults;
 pub mod scenario;
 pub mod service;
 pub mod workload;
 
+pub use cluster::{
+    Cluster, ClusterMsg, ClusterRouter, ClusterSnapshot, Partitioner, RunningCluster,
+    ShardFrontier, ShardLoad,
+};
 pub use failsignal::group::PairLayout;
 pub use faults::{
     FaultEntry, FaultSchedule, FaultTarget, LinkFaultEntry, MemberFate, MemberLifecycleEntry,

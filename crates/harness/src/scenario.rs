@@ -241,6 +241,25 @@ impl Scenario {
 
     /// Assembles the scenario on `host` and returns the member handles.
     fn assemble<H: GroupHost>(&self, host: &mut H) -> Vec<MemberProcs> {
+        self.assemble_at(host, 0)
+    }
+
+    /// The scenario's fault schedule (used by the cluster layer to compile
+    /// per-shard link faults against the shard's node base).
+    pub(crate) fn fault_schedule(&self) -> &FaultSchedule {
+        &self.faults
+    }
+
+    /// Assembles the scenario on `host` with every process identifier
+    /// offset by `pid_base`, so several scenarios (cluster shards) can
+    /// share one runtime without identifier collisions.  Nodes are created
+    /// in the same order as the standalone assembly, so within the shard
+    /// member `i`'s primary node is the `i`-th node this call creates.
+    pub(crate) fn assemble_at<H: GroupHost>(
+        &self,
+        host: &mut H,
+        pid_base: u32,
+    ) -> Vec<MemberProcs> {
         match self.protocol {
             Protocol::FailSignal => {
                 let params = FsGroupParams {
@@ -250,6 +269,7 @@ impl Scenario {
                     timing: self.timing,
                     crypto_costs: self.crypto_costs,
                     seed: self.seed,
+                    pid_base,
                 };
                 let fs_service = self.service.fs_service();
                 let service = &*self.service;
@@ -283,8 +303,8 @@ impl Scenario {
                 let n = self.members;
                 assert!(n >= 1, "a group needs at least one member");
                 let group: Vec<MemberId> = (0..n).map(MemberId).collect();
-                let app_pid = |i: u32| ProcessId(2 * i);
-                let mw_pid = |i: u32| ProcessId(2 * i + 1);
+                let app_pid = |i: u32| ProcessId(pid_base + 2 * i);
+                let mw_pid = |i: u32| ProcessId(pid_base + 2 * i + 1);
                 let mut members = Vec::new();
                 for i in 0..n {
                     let node = host.add_host_node(&self.node);
@@ -346,7 +366,7 @@ impl Scenario {
     ///   warm `Recover` — an FS pair cannot be replaced cold, because
     ///   assumption A1 pre-provisions its keys and the peers' replay guards
     ///   pin its message sequence (see [`failsignal::group`]).
-    fn compile_lifecycle(&self, members: &[MemberProcs]) -> LifecycleSchedule {
+    pub(crate) fn compile_lifecycle(&self, members: &[MemberProcs]) -> LifecycleSchedule {
         let mut schedule = LifecycleSchedule::new();
         for entry in self.faults.lifecycle_entries() {
             let procs = members
@@ -447,10 +467,7 @@ impl Scenario {
                     protocol: self.protocol,
                     runtime: RuntimeKind::Sim,
                     members,
-                    sim: Some(sim),
-                    threaded: None,
-                    collected: HashMap::new(),
-                    collected_stats: None,
+                    slot: RuntimeSlot::from_sim(sim),
                 }
             }
             RuntimeKind::Threaded => {
@@ -467,11 +484,137 @@ impl Scenario {
                     protocol: self.protocol,
                     runtime: RuntimeKind::Threaded,
                     members,
-                    sim: None,
-                    threaded: Some(builder.start()),
-                    collected: HashMap::new(),
-                    collected_stats: None,
+                    slot: RuntimeSlot::from_threaded(builder.start()),
                 }
+            }
+        }
+    }
+}
+
+/// The runtime-holding half of a running deployment: either a simulator or
+/// a started threaded runtime, plus the actors and statistics collected at
+/// settle time.  [`Running`] and the cluster layer's `RunningCluster` both
+/// contain exactly one slot, so driving, settling, statistics and actor
+/// inspection share this one code path.
+pub(crate) struct RuntimeSlot {
+    sim: Option<Simulation>,
+    threaded: Option<ThreadedRuntime>,
+    collected: HashMap<ProcessId, Box<dyn Actor>>,
+    /// The threaded runtime's final statistics, captured at settle time so
+    /// [`RuntimeSlot::stats`] keeps working after shutdown.
+    collected_stats: Option<NetStats>,
+}
+
+impl RuntimeSlot {
+    pub(crate) fn from_sim(sim: Simulation) -> Self {
+        Self {
+            sim: Some(sim),
+            threaded: None,
+            collected: HashMap::new(),
+            collected_stats: None,
+        }
+    }
+
+    pub(crate) fn from_threaded(rt: ThreadedRuntime) -> Self {
+        Self {
+            sim: None,
+            threaded: Some(rt),
+            collected: HashMap::new(),
+            collected_stats: None,
+        }
+    }
+
+    /// Drives the runtime until `horizon` and returns the reached time.
+    pub(crate) fn run_until(&mut self, horizon: SimTime) -> SimTime {
+        if let Some(sim) = self.sim.as_mut() {
+            return sim.run_until(horizon);
+        }
+        if let Some(rt) = self.threaded.as_ref() {
+            return rt.run_until_settled(horizon);
+        }
+        horizon
+    }
+
+    /// Enables event tracing (simulator only).
+    pub(crate) fn enable_trace(&mut self) {
+        if let Some(sim) = self.sim.as_mut() {
+            sim.enable_trace();
+        }
+    }
+
+    /// The recorded trace, when tracing was enabled on the simulator.
+    pub(crate) fn trace(&self) -> Option<&TraceLog> {
+        self.sim.as_ref().and_then(|s| s.trace())
+    }
+
+    /// The runtime-wide network statistics; infallible on both runtimes.
+    pub(crate) fn stats(&self) -> NetStats {
+        if let Some(sim) = self.sim.as_ref() {
+            return sim.stats().clone();
+        }
+        if let Some(rt) = self.threaded.as_ref() {
+            return rt.net_stats();
+        }
+        self.collected_stats
+            .clone()
+            .expect("threaded stats are frozen at settle time")
+    }
+
+    /// Shuts down the threaded runtime (if any) and collects its actors for
+    /// inspection.  Idempotent; a no-op on the simulator.
+    pub(crate) fn settle(&mut self) {
+        if let Some(rt) = self.threaded.take() {
+            self.collected_stats = Some(rt.net_stats());
+            self.collected = rt.shutdown();
+        }
+    }
+
+    /// The actor registered under `process`, as a trait object.  Call
+    /// [`RuntimeSlot::settle`] first on the threaded runtime.
+    pub(crate) fn actor_ref(&self, process: ProcessId) -> Option<&dyn Actor> {
+        if let Some(sim) = self.sim.as_ref() {
+            return sim.actor_dyn(process);
+        }
+        self.collected.get(&process).map(|b| b.as_ref())
+    }
+
+    /// [`RuntimeSlot::settle`] followed by [`RuntimeSlot::actor_ref`].
+    pub(crate) fn actor_dyn(&mut self, process: ProcessId) -> Option<&dyn Actor> {
+        self.settle();
+        self.actor_ref(process)
+    }
+
+    pub(crate) fn sim(&self) -> Option<&Simulation> {
+        self.sim.as_ref()
+    }
+
+    pub(crate) fn sim_mut(&mut self) -> Option<&mut Simulation> {
+        self.sim.as_mut()
+    }
+
+    pub(crate) fn into_sim(self) -> Option<Simulation> {
+        self.sim
+    }
+
+    /// The service machine of the member described by `procs`, when the
+    /// deployment exposes one: the machine hosted by its [`PlainHost`]
+    /// under [`Protocol::Crash`], the leader replica of its FS pair under
+    /// [`Protocol::FailSignal`].  `None` when the process is wrapped by a
+    /// fault injector or is of another shape.
+    pub(crate) fn machine_at(
+        &mut self,
+        protocol: Protocol,
+        procs: &MemberProcs,
+    ) -> Option<&dyn fs_smr::machine::DeterministicMachine> {
+        self.settle();
+        match protocol {
+            Protocol::Crash => {
+                let any: &dyn std::any::Any = self.actor_ref(procs.middleware)?;
+                Some(any.downcast_ref::<PlainHost>()?.machine())
+            }
+            Protocol::FailSignal => {
+                let any: &dyn std::any::Any = self.actor_ref(procs.leader)?;
+                Some(any.downcast_ref::<FsoActor>()?.machine())
             }
         }
     }
@@ -490,12 +633,7 @@ pub struct Running {
     protocol: Protocol,
     runtime: RuntimeKind,
     members: Vec<MemberProcs>,
-    sim: Option<Simulation>,
-    threaded: Option<ThreadedRuntime>,
-    collected: HashMap<ProcessId, Box<dyn Actor>>,
-    /// The threaded runtime's final statistics, captured at settle time so
-    /// [`Running::stats`] keeps working after shutdown.
-    collected_stats: Option<NetStats>,
+    slot: RuntimeSlot,
 }
 
 impl std::fmt::Debug for Running {
@@ -538,26 +676,18 @@ impl Running {
     /// has settled — nothing in flight and no timer due before the horizon
     /// (see [`ThreadedRuntime::run_until_settled`]).
     pub fn run_until(&mut self, horizon: SimTime) -> SimTime {
-        if let Some(sim) = self.sim.as_mut() {
-            return sim.run_until(horizon);
-        }
-        if let Some(rt) = self.threaded.as_ref() {
-            return rt.run_until_settled(horizon);
-        }
-        horizon
+        self.slot.run_until(horizon)
     }
 
     /// Enables event tracing (simulator only; a no-op on the threaded
     /// runtime).  Call before [`Running::run_until`].
     pub fn enable_trace(&mut self) {
-        if let Some(sim) = self.sim.as_mut() {
-            sim.enable_trace();
-        }
+        self.slot.enable_trace();
     }
 
     /// The recorded trace, when tracing was enabled on the simulator.
     pub fn trace(&self) -> Option<&TraceLog> {
-        self.sim.as_ref().and_then(|s| s.trace())
+        self.slot.trace()
     }
 
     /// The aggregate network statistics, on either runtime: sends,
@@ -567,15 +697,7 @@ impl Running {
     /// [`Running::settle`] time.  Infallible: every cell of the scenario
     /// matrix reports statistics.
     pub fn stats(&self) -> NetStats {
-        if let Some(sim) = self.sim.as_ref() {
-            return sim.stats().clone();
-        }
-        if let Some(rt) = self.threaded.as_ref() {
-            return rt.net_stats();
-        }
-        self.collected_stats
-            .clone()
-            .expect("threaded stats are frozen at settle time")
+        self.slot.stats()
     }
 
     /// The merged ordering-latency recorder of every member's driver — the
@@ -620,36 +742,29 @@ impl Running {
     /// Direct access to the underlying simulator, for link surgery and other
     /// scenario-specific interventions (`None` on the threaded runtime).
     pub fn sim(&self) -> Option<&Simulation> {
-        self.sim.as_ref()
+        self.slot.sim()
     }
 
     /// Mutable variant of [`Running::sim`].
     pub fn sim_mut(&mut self) -> Option<&mut Simulation> {
-        self.sim.as_mut()
+        self.slot.sim_mut()
     }
 
     /// Shuts down the threaded runtime (if any) and collects its actors for
     /// inspection.  Idempotent; a no-op on the simulator.
     pub fn settle(&mut self) {
-        if let Some(rt) = self.threaded.take() {
-            self.collected_stats = Some(rt.net_stats());
-            self.collected = rt.shutdown();
-        }
+        self.slot.settle();
     }
 
     /// The actor registered under `process`, as a trait object.  Call
     /// [`Running::settle`] first on the threaded runtime.
     fn actor_ref(&self, process: ProcessId) -> Option<&dyn Actor> {
-        if let Some(sim) = self.sim.as_ref() {
-            return sim.actor_dyn(process);
-        }
-        self.collected.get(&process).map(|b| b.as_ref())
+        self.slot.actor_ref(process)
     }
 
     /// [`Running::settle`] followed by [`Running::actor_ref`].
     fn actor_dyn(&mut self, process: ProcessId) -> Option<&dyn Actor> {
-        self.settle();
-        self.actor_ref(process)
+        self.slot.actor_dyn(process)
     }
 
     /// Downcasts member `i`'s application / workload-driver actor.
@@ -692,18 +807,8 @@ impl Running {
     /// another shape.  On the threaded runtime this shuts the runtime down
     /// first.
     fn machine_of(&mut self, i: u32) -> Option<&dyn fs_smr::machine::DeterministicMachine> {
-        self.settle();
         let procs = *self.members.get(i as usize)?;
-        match self.protocol {
-            Protocol::Crash => {
-                let any: &dyn std::any::Any = self.actor_ref(procs.middleware)?;
-                Some(any.downcast_ref::<PlainHost>()?.machine())
-            }
-            Protocol::FailSignal => {
-                let any: &dyn std::any::Any = self.actor_ref(procs.leader)?;
-                Some(any.downcast_ref::<FsoActor>()?.machine())
-            }
-        }
+        self.slot.machine_at(self.protocol, &procs)
     }
 
     /// Member `i`'s **machine-level** committed delivery log, the recovery
@@ -750,7 +855,7 @@ impl Running {
     /// handles (used by the legacy deployment forwards).  `None` on the
     /// threaded runtime.
     pub fn into_sim(self) -> Option<(Simulation, Vec<MemberProcs>)> {
-        Some((self.sim?, self.members))
+        Some((self.slot.into_sim()?, self.members))
     }
 }
 

@@ -37,6 +37,7 @@ use fs_simnet::trace::LatencyRecorder;
 use fs_smr::machine::{DeterministicMachine, Endpoint, MachineInput};
 use fs_smr::sequenced::{SequencedKv, SmrClientMsg, SmrDeliverEntry, SmrRequest, SmrUpcall};
 
+use crate::cluster::ClusterMsg;
 use crate::workload::Workload;
 
 /// A deployable service: everything the scenario builder needs to assemble
@@ -483,6 +484,12 @@ pub struct SmrDriver {
     /// Time from the last `Recover` to the view install that re-admitted
     /// this member — the driver-observed recovery time.
     rejoin_latency: Option<SimDuration>,
+    /// Router bookkeeping (cluster deployments): local sequence → the
+    /// router's own sequence number, echoed back on ordered delivery.
+    routed_of_seq: BTreeMap<u64, u64>,
+    /// Local sequence → snapshot request id, for in-flight frontier reads
+    /// fanned out by the cluster router.
+    snap_of_seq: BTreeMap<u64, u64>,
 }
 
 impl std::fmt::Debug for SmrDriver {
@@ -518,6 +525,8 @@ impl SmrDriver {
             recover_sent_at: None,
             views: Vec::new(),
             rejoin_latency: None,
+            routed_of_seq: BTreeMap::new(),
+            snap_of_seq: BTreeMap::new(),
         }
     }
 
@@ -598,15 +607,48 @@ impl SmrDriver {
         };
         self.sent_at.insert(seq, ctx.now());
         self.client_of.insert(seq, client);
+        self.push_command(ctx, seq, command.to_wire());
+    }
+
+    /// Buffers one already-sequenced command into the open batch, flushing
+    /// when the batch is full (a fresh batch arms the linger timer instead).
+    /// Shared by locally generated load and router-submitted commands.
+    fn push_command(&mut self, ctx: &mut dyn Context, seq: u64, command: Bytes) {
         if self.batch.is_empty() {
             self.batch_first_seq = seq;
         }
-        self.batch.push(command.to_wire());
+        self.batch.push(command);
         if self.batch.len() as u32 >= self.workload.batch_max {
             ctx.cancel_timer(TIMER_FLUSH);
             self.flush(ctx);
         } else if self.batch.len() == 1 {
             ctx.set_timer(self.workload.batch_linger, TIMER_FLUSH);
+        }
+    }
+
+    /// Handles one message from the cluster router: a keyed command to
+    /// submit on this shard, or a frontier read for a multi-shard snapshot.
+    /// Malformed frames are dropped, like any other unparseable input.
+    fn on_router_msg(&mut self, ctx: &mut dyn Context, payload: &[u8]) {
+        match ClusterMsg::from_wire(payload) {
+            Ok(ClusterMsg::Submit {
+                router_seq,
+                key,
+                value,
+            }) => {
+                let seq = self.sent;
+                self.sent += 1;
+                self.routed_of_seq.insert(seq, router_seq);
+                let command = fs_smr::command::KvCommand::Put { key, value };
+                self.push_command(ctx, seq, command.to_wire());
+            }
+            Ok(ClusterMsg::SnapRead { req }) => {
+                let seq = self.sent;
+                self.sent += 1;
+                self.snap_of_seq.insert(seq, req);
+                self.push_command(ctx, seq, fs_smr::command::KvCommand::Frontier.to_wire());
+            }
+            _ => {}
         }
     }
 
@@ -634,6 +676,32 @@ impl SmrDriver {
         self.delivery_log.push((entry.origin, entry.seq));
         if entry.origin != self.member {
             return;
+        }
+        if let Some(router) = self.workload.router {
+            if let Some(router_seq) = self.routed_of_seq.remove(&entry.seq) {
+                ctx.send(router, ClusterMsg::Done { router_seq }.to_wire());
+                return;
+            }
+            if let Some(req) = self.snap_of_seq.remove(&entry.seq) {
+                if let Ok(fs_smr::command::KvResponse::Frontier {
+                    applied,
+                    keys,
+                    digest,
+                }) = fs_smr::command::KvResponse::from_wire(&entry.response)
+                {
+                    ctx.send(
+                        router,
+                        ClusterMsg::SnapResp {
+                            req,
+                            applied,
+                            keys,
+                            digest,
+                        }
+                        .to_wire(),
+                    );
+                }
+                return;
+            }
         }
         if let Some(sent_at) = self.sent_at.remove(&entry.seq) {
             self.latencies.record_span(sent_at, now);
@@ -692,6 +760,10 @@ impl Actor for SmrDriver {
     }
 
     fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, payload: Bytes) {
+        if self.workload.router == Some(from) {
+            self.on_router_msg(ctx, &payload);
+            return;
+        }
         if from != self.middleware {
             return;
         }

@@ -10,7 +10,7 @@
 //! policy (close a batch at `batch_max` requests or after `batch_linger`,
 //! whichever comes first).
 
-use fs_common::id::MemberId;
+use fs_common::id::{MemberId, ProcessId};
 use fs_common::time::SimDuration;
 
 pub use fs_simnet::load::{Admission, Arrival, LoadStats};
@@ -47,6 +47,12 @@ pub struct Workload {
     /// Time policy of the batch close: an open batch is flushed this long
     /// after its first request even if it never fills.
     pub batch_linger: SimDuration,
+    /// When set, the member's driver also accepts routed commands from this
+    /// cluster-router process (see `fs_harness::cluster`): the router sends
+    /// it keyed commands and receives a completion echo per ordered
+    /// delivery.  `None` (the default) keeps the driver closed to external
+    /// submitters.
+    pub router: Option<ProcessId>,
 }
 
 impl Default for Workload {
@@ -72,6 +78,7 @@ impl Workload {
             admission: Admission::Shed,
             batch_max: 1,
             batch_linger: SimDuration::from_millis(1),
+            router: None,
         }
     }
 
@@ -176,6 +183,14 @@ impl Workload {
     #[must_use]
     pub fn batch_linger(mut self, batch_linger: SimDuration) -> Self {
         self.batch_linger = batch_linger;
+        self
+    }
+
+    /// Returns a copy that accepts routed commands from the given
+    /// cluster-router process (see `fs_harness::cluster`).
+    #[must_use]
+    pub fn router(mut self, router: ProcessId) -> Self {
+        self.router = Some(router);
         self
     }
 

@@ -96,6 +96,13 @@ impl LifecycleSchedule {
         self.events.push(LifecycleEvent { at, process, fate });
     }
 
+    /// Moves every event of `other` into this schedule.  Used to compose
+    /// per-shard schedules into one runtime-wide schedule; relative order of
+    /// same-instant events follows the extension order.
+    pub fn extend(&mut self, other: LifecycleSchedule) {
+        self.events.extend(other.events);
+    }
+
     /// True when no events are scheduled.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()
@@ -142,6 +149,20 @@ mod tests {
         assert!(matches!(ordered[2].fate, ProcessFate::Replace(_)));
         assert_eq!(format!("{:?}", ProcessFate::Crash), "Crash");
         assert!(format!("{:?}", ordered[2].fate).contains("Replace"));
+    }
+
+    #[test]
+    fn extend_moves_events_preserving_tie_order() {
+        let mut a = LifecycleSchedule::new().crash_at(SimTime::from_secs(1), ProcessId(1));
+        let b = LifecycleSchedule::new()
+            .recover_at(SimTime::from_secs(1), ProcessId(1))
+            .replace_at(SimTime::from_secs(2), ProcessId(2), Box::new(Nop));
+        a.extend(b);
+        assert_eq!(a.len(), 3);
+        let ordered = a.in_order();
+        assert!(matches!(ordered[0].fate, ProcessFate::Crash));
+        assert!(matches!(ordered[1].fate, ProcessFate::Recover));
+        assert!(matches!(ordered[2].fate, ProcessFate::Replace(_)));
     }
 
     #[test]

@@ -56,6 +56,25 @@ impl NetStats {
         self.messages_dropped += 1;
         self.dropped_down += 1;
     }
+
+    /// Adds another counter set into this one, field by field.
+    ///
+    /// This is the single aggregation path shared by `Running::stats` and the
+    /// cluster layer's per-shard roll-up, so a new counter added to
+    /// `NetStats` only needs its merge rule stated once.
+    pub fn merge(&mut self, other: &NetStats) {
+        self.messages_sent += other.messages_sent;
+        self.messages_delivered += other.messages_delivered;
+        self.messages_dropped += other.messages_dropped;
+        self.dropped_unknown_dest += other.dropped_unknown_dest;
+        self.dropped_link += other.dropped_link;
+        self.link_faults += other.link_faults;
+        self.dropped_down += other.dropped_down;
+        self.lifecycle_events += other.lifecycle_events;
+        self.bytes_sent += other.bytes_sent;
+        self.timers_fired += other.timers_fired;
+        self.events_processed += other.events_processed;
+    }
 }
 
 /// One entry of a [`TraceLog`].
@@ -493,6 +512,41 @@ mod tests {
         let s = NetStats::default();
         assert_eq!(s.messages_sent, 0);
         assert_eq!(s.events_processed, 0);
+    }
+
+    #[test]
+    fn stats_merge_adds_every_field() {
+        let mut a = NetStats {
+            messages_sent: 1,
+            messages_delivered: 2,
+            messages_dropped: 3,
+            dropped_unknown_dest: 1,
+            dropped_link: 1,
+            link_faults: 4,
+            dropped_down: 1,
+            lifecycle_events: 5,
+            bytes_sent: 6,
+            timers_fired: 7,
+            events_processed: 8,
+        };
+        let b = a.clone();
+        a.merge(&b);
+        assert_eq!(
+            a,
+            NetStats {
+                messages_sent: 2,
+                messages_delivered: 4,
+                messages_dropped: 6,
+                dropped_unknown_dest: 2,
+                dropped_link: 2,
+                link_faults: 8,
+                dropped_down: 2,
+                lifecycle_events: 10,
+                bytes_sent: 12,
+                timers_fired: 14,
+                events_processed: 16,
+            }
+        );
     }
 
     #[test]

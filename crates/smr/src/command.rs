@@ -65,6 +65,12 @@ pub enum KvCommand {
         /// The key to remove.
         key: String,
     },
+    /// Read the store's frontier — applied-command count, key count and
+    /// state digest — as one ordered command.  Because it rides the ordered
+    /// stream like any other command, the frontier it reports is a
+    /// consistent cut of that shard's history; the cluster router fans one
+    /// `Frontier` to every shard to assemble a multi-shard snapshot.
+    Frontier,
 }
 
 impl Wire for KvCommand {
@@ -83,6 +89,7 @@ impl Wire for KvCommand {
                 enc.put_u8(2);
                 enc.put_str(key);
             }
+            KvCommand::Frontier => enc.put_u8(3),
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
@@ -97,6 +104,7 @@ impl Wire for KvCommand {
             2 => Ok(KvCommand::Delete {
                 key: dec.get_str()?.to_owned(),
             }),
+            3 => Ok(KvCommand::Frontier),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -109,6 +117,16 @@ pub enum KvResponse {
     Ok,
     /// The value found by a `Get` (empty for a missing key).
     Value(Option<Vec<u8>>),
+    /// The store frontier reported by a [`KvCommand::Frontier`] read.
+    Frontier {
+        /// Commands applied when the read was sequenced (the frontier read
+        /// itself counts, so this is always ≥ 1).
+        applied: u64,
+        /// Keys stored at that point.
+        keys: u64,
+        /// [`KvStore::state_digest`]-style digest of the store at that point.
+        digest: u64,
+    },
 }
 
 impl Wire for KvResponse {
@@ -119,12 +137,27 @@ impl Wire for KvResponse {
                 enc.put_u8(1);
                 v.encode(enc);
             }
+            KvResponse::Frontier {
+                applied,
+                keys,
+                digest,
+            } => {
+                enc.put_u8(2);
+                enc.put_u64(*applied);
+                enc.put_u64(*keys);
+                enc.put_u64(*digest);
+            }
         }
     }
     fn decode(dec: &mut Decoder<'_>) -> Result<Self, CodecError> {
         match dec.get_u8()? {
             0 => Ok(KvResponse::Ok),
             1 => Ok(KvResponse::Value(Option::<Vec<u8>>::decode(dec)?)),
+            2 => Ok(KvResponse::Frontier {
+                applied: dec.get_u64()?,
+                keys: dec.get_u64()?,
+                digest: dec.get_u64()?,
+            }),
             t => Err(CodecError::UnknownTag(t)),
         }
     }
@@ -220,6 +253,11 @@ impl AppStateMachine for KvStore {
                 self.map.remove(&key);
                 KvResponse::Ok
             }
+            Ok(KvCommand::Frontier) => KvResponse::Frontier {
+                applied: self.applied,
+                keys: self.map.len() as u64,
+                digest: self.state_digest(),
+            },
             Err(_) => KvResponse::Value(None),
         };
         response.to_wire()
@@ -464,9 +502,44 @@ mod tests {
             },
             KvCommand::Get { key: "a".into() },
             KvCommand::Delete { key: "b".into() },
+            KvCommand::Frontier,
         ];
         for c in cmds {
             assert_eq!(KvCommand::from_wire(&c.to_wire()).unwrap(), c);
+        }
+        let r = KvResponse::Frontier {
+            applied: 7,
+            keys: 3,
+            digest: 0xdead_beef,
+        };
+        assert_eq!(KvResponse::from_wire(&r.to_wire()).unwrap(), r);
+    }
+
+    #[test]
+    fn kv_frontier_reports_consistent_cut() {
+        let mut kv = KvStore::new();
+        for i in 0..3u8 {
+            kv.apply(
+                &KvCommand::Put {
+                    key: format!("k{i}"),
+                    value: vec![i],
+                }
+                .to_wire(),
+            );
+        }
+        let r = kv.apply(&KvCommand::Frontier.to_wire());
+        match KvResponse::from_wire(&r).unwrap() {
+            KvResponse::Frontier {
+                applied,
+                keys,
+                digest,
+            } => {
+                // The frontier read is itself the 4th applied command.
+                assert_eq!(applied, 4);
+                assert_eq!(keys, 3);
+                assert_eq!(digest, kv.state_digest());
+            }
+            other => panic!("expected frontier, got {other:?}"),
         }
     }
 
