@@ -38,18 +38,29 @@
 //!   batching on (`FS_BENCH_HOTPATH_BATCH`, default 8): one ordering round
 //!   and one signed frame cover a whole batch, so deliveries/host-sec must
 //!   rise well above the unbatched row.
+//! * **send_contention** — the threaded runtime's cross-node send path
+//!   under contention: ping/echo actor pairs on distinct nodes hammer
+//!   bidirectional sends concurrently, ungated (fault-free fast path, the
+//!   link gate is never materialised) and gated (a harmless scheduled heal
+//!   forces every send through the snapshot-published link gate).  The
+//!   ungated/gated delta prices the gate itself, and the gate row's
+//!   gate-wait p99 bounds the per-send snapshot-revalidation cost.
 //!
 //! `FS_BENCH_HOTPATH_ITERS` scales the micro-benchmark iteration counts
 //! (default 100 000); `FS_BENCH_HOTPATH_MESSAGES` the per-member pipeline
 //! message count (default 100); `FS_BENCH_HOTPATH_LARGE_MEMBERS` the large
-//! pipeline's group size (default 9).  CI runs everything small.
+//! pipeline's group size (default 9); `FS_BENCH_HOTPATH_CONTENTION_PAIRS`
+//! and `FS_BENCH_HOTPATH_CONTENTION_ROUNDS` size the contention section
+//! (default 4 pairs × 1 000 round trips).  CI runs everything small.
 //!
 //! **Regression guard:** when `FS_BENCH_HOTPATH_REF` names a reference
 //! report (normally the committed `results/bench-hotpath.json`), the run
 //! fails (exit 3) if the 3-member pipeline's ordered-deliveries/host-sec —
 //! unbatched, or batched when the reference carries that row — drops more
 //! than `FS_BENCH_HOTPATH_MAX_REGRESSION` (default 0.20, i.e. 20%) below
-//! the reference.
+//! the reference.  References that carry the `send_contention` section also
+//! arm a guard on the gated row's sends/host-sec, so a contended-send-path
+//! regression fails the run the same way.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -63,7 +74,7 @@ use failsignal::receiver::FsReceiver;
 use fs_bench::env::{env_f64, env_u64};
 use fs_bench::report::results_dir;
 use fs_common::codec::Wire;
-use fs_common::id::{FsId, ProcessId};
+use fs_common::id::{FsId, NodeId, ProcessId};
 use fs_common::rng::DetRng;
 use fs_common::time::SimTime;
 use fs_common::Bytes;
@@ -75,6 +86,9 @@ use fs_harness::Protocol;
 use fs_newtop::app::TrafficConfig;
 use fs_newtop_bft::deployment::{Deployment, DeploymentParams};
 use fs_simnet::sched::{EventQueue, ScheduledEvent, SchedulerKind};
+use fs_simnet::{
+    Actor, Context, LinkFault, LinkSchedule, LinkScope, ThreadedBuilder, ThreadedConfig,
+};
 use fs_smr::machine::Endpoint;
 
 /// Payload sizes exercised by the micro sections: the paper's "0k" 3-byte
@@ -189,6 +203,23 @@ struct PipelineReport {
 }
 
 #[derive(Debug, Serialize)]
+struct ContentionRow {
+    /// Whether the snapshot-published link gate sat on the send path.
+    gated: bool,
+    node_pairs: u32,
+    rounds_per_pair: u64,
+    /// Cross-node sends actually performed (every send here crosses nodes).
+    cross_node_sends: u64,
+    host_elapsed_ms: f64,
+    /// The contended-send-path metric: cross-node sends per host-second
+    /// aggregated over all pairs.
+    sends_per_host_sec: f64,
+    /// p99 of the per-send gate-snapshot revalidation (0 on the ungated
+    /// row, where no gate exists to wait on).
+    gate_wait_p99_ns: u64,
+}
+
+#[derive(Debug, Serialize)]
 struct HotpathReport {
     id: String,
     iterations: u64,
@@ -203,6 +234,9 @@ struct HotpathReport {
     /// The 3-member pipeline again with request batching on: one ordering
     /// round (and one signed frame) covers `batch_max` requests.
     pipeline_batched: PipelineReport,
+    /// The threaded cross-node send path under contention, ungated then
+    /// gated (see the module docs).
+    send_contention: Vec<ContentionRow>,
 }
 
 fn bench_hmac(iters: u64) -> Vec<HmacRow> {
@@ -505,6 +539,87 @@ fn bench_pipeline(members: u32, messages_per_member: u64, batch_max: u32) -> Pip
     }
 }
 
+/// Hammers the threaded runtime's cross-node send path: `pairs` ping/echo
+/// actor pairs, each pair on its own two nodes, exchange `rounds` round
+/// trips concurrently.  Fault-free deployments never materialise the link
+/// gate, so the `gated` variant schedules a harmless heal on an unused node
+/// pair — that alone forces every cross-node send through the
+/// snapshot-published gate, without perturbing any live link.
+fn bench_send_contention(pairs: u32, rounds: u64, gated: bool) -> ContentionRow {
+    struct Contender {
+        peer: Option<ProcessId>,
+        rounds_left: u64,
+    }
+    impl Actor for Contender {
+        fn on_start(&mut self, ctx: &mut dyn Context) {
+            if let Some(peer) = self.peer {
+                ctx.send(peer, b"ping"[..].into());
+            }
+        }
+        fn on_message(&mut self, ctx: &mut dyn Context, from: ProcessId, _payload: Bytes) {
+            if self.rounds_left > 0 {
+                self.rounds_left -= 1;
+                ctx.send(from, b"pong"[..].into());
+            }
+        }
+    }
+
+    let mut builder = ThreadedBuilder::new(ThreadedConfig::default());
+    if gated {
+        builder = builder.with_link_schedule(LinkSchedule::new().then(
+            SimTime::ZERO,
+            LinkScope::Pair {
+                a: NodeId(2 * pairs),
+                b: NodeId(2 * pairs + 1),
+            },
+            LinkFault::Heal,
+        ));
+    }
+    for _ in 0..pairs {
+        let node_a = builder.add_node();
+        let node_b = builder.add_node();
+        let a_id = builder.next_process_id();
+        let b_id = ProcessId(a_id.0 + 1);
+        builder.add_on(
+            node_a,
+            Box::new(Contender {
+                peer: Some(b_id),
+                rounds_left: rounds,
+            }),
+        );
+        builder.add_on(
+            node_b,
+            Box::new(Contender {
+                peer: None,
+                rounds_left: rounds,
+            }),
+        );
+    }
+
+    let start = Instant::now();
+    let rt = builder.start();
+    rt.run_until_settled(SimTime::from_secs(120));
+    let host_elapsed = start.elapsed();
+    let stats = rt.net_stats();
+    rt.shutdown();
+
+    let sends = stats.messages_sent;
+    assert!(
+        sends >= 2 * u64::from(pairs) * rounds,
+        "every scheduled round trip must have run before settling"
+    );
+    let host_secs = host_elapsed.as_secs_f64().max(f64::EPSILON);
+    ContentionRow {
+        gated,
+        node_pairs: pairs,
+        rounds_per_pair: rounds,
+        cross_node_sends: sends,
+        host_elapsed_ms: host_secs * 1e3,
+        sends_per_host_sec: sends as f64 / host_secs,
+        gate_wait_p99_ns: stats.gate_wait.percentile(0.99).map_or(0, |d| d.as_nanos()),
+    }
+}
+
 /// Sanity-check the FS-NewTOP pipeline end to end before trusting the
 /// numbers: every member must see every message, double-signed and verified.
 fn check_pipeline_correctness() {
@@ -571,6 +686,24 @@ struct ReferenceReportVerifyBatch {
     verify_batch: Vec<ReferenceVerifyBatchRow>,
 }
 
+/// The contention subset of a reference row the guard needs.
+#[derive(Debug, Deserialize)]
+struct ReferenceContentionRow {
+    gated: bool,
+    sends_per_host_sec: f64,
+}
+
+/// A reference report that also carries the threaded send-contention rows.
+/// Older references without them fall back to the layers below, and the
+/// contention guard simply does not fire against them.
+#[derive(Debug, Deserialize)]
+struct ReferenceReportContention {
+    pipeline: ReferencePipeline,
+    pipeline_batched: ReferencePipeline,
+    verify_batch: Vec<ReferenceVerifyBatchRow>,
+    send_contention: Vec<ReferenceContentionRow>,
+}
+
 /// The reference numbers the regression guard compares against.
 #[derive(Debug, Clone, Copy)]
 struct RegressionReference {
@@ -579,11 +712,30 @@ struct RegressionReference {
     /// `(payload_bytes, batch, per_mac_ns)` of the largest-batch,
     /// largest-payload batched-verification row.
     verify_batch: Option<(usize, usize, f64)>,
+    /// Gated-row sends/host-sec of the send-contention section.
+    contention_gated: Option<f64>,
 }
 
 /// Extracts the guard references from a reference report, newest layout
 /// first — every older layout still parses, it just arms fewer guards.
 fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
+    if let Ok(r) = serde_json::from_str::<ReferenceReportContention>(json) {
+        let vb = r
+            .verify_batch
+            .iter()
+            .max_by_key(|row| (row.payload_bytes, row.batch))
+            .map(|row| (row.payload_bytes, row.batch, row.per_mac_ns));
+        return Some(RegressionReference {
+            unbatched: r.pipeline.deliveries_per_host_sec,
+            batched: Some(r.pipeline_batched.deliveries_per_host_sec),
+            verify_batch: vb,
+            contention_gated: r
+                .send_contention
+                .iter()
+                .find(|row| row.gated)
+                .map(|row| row.sends_per_host_sec),
+        });
+    }
     if let Ok(r) = serde_json::from_str::<ReferenceReportVerifyBatch>(json) {
         let vb = r
             .verify_batch
@@ -594,6 +746,7 @@ fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
             unbatched: r.pipeline.deliveries_per_host_sec,
             batched: Some(r.pipeline_batched.deliveries_per_host_sec),
             verify_batch: vb,
+            contention_gated: None,
         });
     }
     if let Ok(r) = serde_json::from_str::<ReferenceReportBatched>(json) {
@@ -601,6 +754,7 @@ fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
             unbatched: r.pipeline.deliveries_per_host_sec,
             batched: Some(r.pipeline_batched.deliveries_per_host_sec),
             verify_batch: None,
+            contention_gated: None,
         });
     }
     serde_json::from_str::<ReferenceReport>(json)
@@ -609,6 +763,7 @@ fn reference_deliveries_per_sec(json: &str) -> Option<RegressionReference> {
             unbatched: r.pipeline.deliveries_per_host_sec,
             batched: None,
             verify_batch: None,
+            contention_gated: None,
         })
 }
 
@@ -687,6 +842,16 @@ fn main() {
     let pipeline_large = bench_pipeline(large_members, messages, 1);
     eprintln!("hotpath: batched FS-NewTOP pipeline (batch {batch_max})...");
     let pipeline_batched = bench_pipeline(3, messages, batch_max);
+    let contention_pairs = env_u64("FS_BENCH_HOTPATH_CONTENTION_PAIRS", 4) as u32;
+    let contention_rounds = env_u64("FS_BENCH_HOTPATH_CONTENTION_ROUNDS", 1_000);
+    eprintln!(
+        "hotpath: threaded send contention ({contention_pairs} pairs \u{d7} \
+         {contention_rounds} rounds)..."
+    );
+    let send_contention = vec![
+        bench_send_contention(contention_pairs, contention_rounds, false),
+        bench_send_contention(contention_pairs, contention_rounds, true),
+    ];
 
     println!(
         "{:<16} {:>14} {:>14} {:>9}",
@@ -770,6 +935,18 @@ fn main() {
         pipeline_batched.deliveries_per_host_sec,
         pipeline_batched.deliveries_per_host_sec / pipeline.deliveries_per_host_sec.max(1.0),
     );
+    for row in &send_contention {
+        println!(
+            "send_contention ({}, {} pairs): {} cross-node sends in {:.1} ms \
+             ({:.0} sends/s, gate-wait p99 {} ns)",
+            if row.gated { "gated" } else { "ungated" },
+            row.node_pairs,
+            row.cross_node_sends,
+            row.host_elapsed_ms,
+            row.sends_per_host_sec,
+            row.gate_wait_p99_ns,
+        );
+    }
 
     let small_speedup = hmac.first().map(|r| r.speedup).unwrap_or(0.0);
     if small_speedup < 1.5 {
@@ -791,6 +968,7 @@ fn main() {
         pipeline,
         pipeline_large,
         pipeline_batched,
+        send_contention,
     };
     let dir = results_dir();
     if let Err(e) = std::fs::create_dir_all(&dir) {
@@ -818,6 +996,9 @@ fn main() {
         }
         if let Some((payload, batch, ref_per_mac_ns)) = reference.verify_batch {
             check_verify_batch_regression(&report.verify_batch, payload, batch, ref_per_mac_ns);
+        }
+        if let Some(gated_ref) = reference.contention_gated {
+            check_contention_regression(&report.send_contention, gated_ref);
         }
     }
 }
@@ -859,5 +1040,34 @@ fn check_verify_batch_regression(
     eprintln!(
         "regression guard [verify_batch]: {:.0} ns/MAC vs reference {:.0} ns (ceiling {:.0} ns) — ok",
         row.per_mac_ns, reference_ns, ceiling
+    );
+}
+
+/// The contended-send-path guard: the gated row's sends/host-sec must not
+/// fall more than the allowed fraction below the committed reference — a
+/// drop here means the snapshot gate (or the node wakeup path under it)
+/// got more expensive under contention.
+fn check_contention_regression(fresh: &[ContentionRow], reference: f64) {
+    let Some(row) = fresh.iter().find(|r| r.gated) else {
+        eprintln!("regression guard [send_contention]: fresh report lacks the gated row");
+        std::process::exit(3);
+    };
+    let max_regression = env_f64("FS_BENCH_HOTPATH_MAX_REGRESSION", 0.20);
+    let floor = reference * (1.0 - max_regression);
+    if row.sends_per_host_sec < floor {
+        eprintln!(
+            "regression guard [send_contention]: gated send path moved {:.0} sends/s, more \
+             than {:.0}% below the reference {:.0}/s (floor {:.0}/s) — link-gate or \
+             send-path contention regression",
+            row.sends_per_host_sec,
+            max_regression * 100.0,
+            reference,
+            floor,
+        );
+        std::process::exit(3);
+    }
+    eprintln!(
+        "regression guard [send_contention]: {:.0} sends/s vs reference {:.0}/s (floor {:.0}/s) — ok",
+        row.sends_per_host_sec, reference, floor
     );
 }

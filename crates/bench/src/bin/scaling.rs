@@ -18,14 +18,14 @@
 //!
 //! ```text
 //! cells = { crash, fail_signal } × { sim, threaded }
-//! curve = one row per shard count (default 1, 2, 4, 8, 16)
+//! curve = one row per shard count (default 1, 2, 4, 8, 16, 24, 32)
 //! ```
 //!
 //! Env knobs (strictly parsed: a set-but-malformed knob aborts, exit 2):
 //!
 //! * `FS_BENCH_SCALING_MESSAGES` — offered commands per shard (default 400);
 //! * `FS_BENCH_SCALING_SHARDS` — comma-separated shard counts (default
-//!   `1,2,4,8,16`);
+//!   `1,2,4,8,16,24,32`);
 //! * `FS_BENCH_SCALING_RATE` — offered rate per shard, commands/sec
 //!   (default 200);
 //! * `FS_BENCH_SCALING_MEMBERS` — members per shard (default 3);
@@ -270,7 +270,7 @@ fn check_regression(reference: &ReferenceReport, cells: &[Cell], max_regression:
 
 fn main() {
     let per_shard_messages = env_u64("FS_BENCH_SCALING_MESSAGES", 400);
-    let shard_counts = env_u64_list("FS_BENCH_SCALING_SHARDS", &[1, 2, 4, 8, 16]);
+    let shard_counts = env_u64_list("FS_BENCH_SCALING_SHARDS", &[1, 2, 4, 8, 16, 24, 32]);
     let per_shard_rate = env_f64("FS_BENCH_SCALING_RATE", 200.0);
     let members = env_u64("FS_BENCH_SCALING_MEMBERS", 3) as u32;
     let batch_max = env_u64("FS_BENCH_SCALING_BATCH", 8) as u32;

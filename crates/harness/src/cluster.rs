@@ -24,6 +24,19 @@
 //! deployment-scale availability argument, observable in
 //! [`RunningCluster::shard_load`].
 //!
+//! # Retry and expiry
+//!
+//! By default a command stranded by a shard outage stays in flight forever
+//! (the fault-isolation observable above).  Arming
+//! [`Cluster::command_deadline`] turns that into availability: the router
+//! sweeps its pending window every half-deadline, resubmits overdue
+//! commands (same router sequence number — the entry driver deduplicates,
+//! and a keyed `Put` is idempotent anyway) up to
+//! [`Cluster::max_retries`] times, then expires them, freeing the issuing
+//! client's admission slot.  [`ShardLoad`] accounts the outcome per shard
+//! (`retried`/`expired`), and `in_flight()` drains to zero even when the
+//! shard never comes back.
+//!
 //! # Snapshot consistency contract
 //!
 //! [`Cluster::snapshot_at`] makes the router fan one sequenced
@@ -43,7 +56,7 @@ use fs_common::codec::{Decoder, Encoder, Wire};
 use fs_common::error::CodecError;
 use fs_common::id::{MemberId, ProcessId};
 use fs_common::rng::DetRng;
-use fs_common::time::SimTime;
+use fs_common::time::{SimDuration, SimTime};
 use fs_common::Bytes;
 use fs_simnet::actor::{Actor, Context, TimerId};
 use fs_simnet::lifecycle::LifecycleSchedule;
@@ -75,6 +88,9 @@ const TIMER_ARRIVAL: TimerId = TimerId(300);
 
 /// Timer firing the scheduled multi-shard snapshot read.
 const TIMER_SNAPSHOT: TimerId = TimerId(301);
+/// Router retry sweep: scans the in-flight window for commands past their
+/// deadline (armed only when a command deadline is configured).
+const TIMER_RETRY: TimerId = TimerId(302);
 
 // ---------------------------------------------------------------------------
 // Partitioner
@@ -298,15 +314,33 @@ pub struct ShardLoad {
     pub submitted: u64,
     /// Completions received back from the shard.
     pub completed: u64,
+    /// Deadline-triggered resubmissions of still-pending commands (counted
+    /// per resubmission, not per command; zero unless the cluster sets a
+    /// command deadline).
+    pub retried: u64,
+    /// Commands abandoned after exhausting their retry budget.
+    pub expired: u64,
 }
 
 impl ShardLoad {
-    /// Commands submitted but not (yet) completed — grows without bound
-    /// while the shard is down, which is exactly the observable the
-    /// fault-isolation scenarios assert on.
+    /// Commands submitted but neither completed nor expired.  Without a
+    /// command deadline this grows without bound while the shard is down —
+    /// exactly the observable the fault-isolation scenarios assert on; with
+    /// one, expiry returns the window to zero and the loss shows up in
+    /// [`ShardLoad::expired`] instead.
     pub fn in_flight(&self) -> u64 {
-        self.submitted - self.completed
+        self.submitted - self.completed - self.expired
     }
+}
+
+/// A routed command awaiting completion, kept for deadline-triggered
+/// resubmission (only when the cluster configures a command deadline).
+#[derive(Debug, Clone)]
+struct PendingCommand {
+    key: String,
+    value: Vec<u8>,
+    attempts: u32,
+    due: SimTime,
 }
 
 /// The client-side router: admits the open-loop arrival stream, keys and
@@ -327,6 +361,11 @@ pub struct ClusterRouter {
     sent_at: BTreeMap<u64, SimTime>,
     shard_of_seq: BTreeMap<u64, u32>,
     client_of: BTreeMap<u64, u32>,
+    /// Per-command deadline and retry budget; `None` disables the retry
+    /// plane entirely (no pending copies, no sweep timer).
+    retry: Option<(SimDuration, u32)>,
+    /// In-flight commands kept for resubmission, by router sequence.
+    pending: BTreeMap<u64, PendingCommand>,
     loads: Vec<ShardLoad>,
     latencies: LatencyRecorder,
     shard_latencies: Vec<LatencyRecorder>,
@@ -356,6 +395,7 @@ impl ClusterRouter {
         partitioner: Partitioner,
         entries: Vec<ProcessId>,
         snapshot_at: Option<SimTime>,
+        retry: Option<(SimDuration, u32)>,
     ) -> Self {
         let shards = entries.len();
         let pacer_rng = DetRng::new(workload.arrival_seed).derive(0x7075_7465); // "route"
@@ -365,7 +405,8 @@ impl ClusterRouter {
             .map(|(s, &pid)| (pid, s as u32))
             .collect();
         Self {
-            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, pacer_rng),
+            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, pacer_rng)
+                .anchored(workload.drift_free_pacing),
             gate: AdmissionGate::new(workload.clients, workload.max_in_flight, workload.admission),
             key_rng: DetRng::new(workload.arrival_seed ^ 0x6b65_7973),
             workload,
@@ -377,6 +418,8 @@ impl ClusterRouter {
             sent_at: BTreeMap::new(),
             shard_of_seq: BTreeMap::new(),
             client_of: BTreeMap::new(),
+            retry,
+            pending: BTreeMap::new(),
             loads: vec![ShardLoad::default(); shards],
             latencies: LatencyRecorder::new(),
             shard_latencies: vec![LatencyRecorder::new(); shards],
@@ -450,7 +493,7 @@ impl ClusterRouter {
             self.submit(ctx, client);
         }
         if self.offered < self.workload.messages {
-            ctx.set_timer(self.pacer.next_gap(), TIMER_ARRIVAL);
+            ctx.set_timer(self.pacer.next_gap_from(ctx.now()), TIMER_ARRIVAL);
         }
     }
 
@@ -471,6 +514,17 @@ impl ClusterRouter {
         self.shard_of_seq.insert(seq, shard);
         self.client_of.insert(seq, client);
         self.loads[shard as usize].submitted += 1;
+        if let Some((deadline, _)) = self.retry {
+            self.pending.insert(
+                seq,
+                PendingCommand {
+                    key: key.clone(),
+                    value: value.clone(),
+                    attempts: 0,
+                    due: now.saturating_add(deadline),
+                },
+            );
+        }
         ctx.send(
             self.entries[shard as usize],
             ClusterMsg::Submit {
@@ -480,6 +534,56 @@ impl ClusterRouter {
             }
             .to_wire(),
         );
+    }
+
+    /// Scans the in-flight window for commands past their deadline:
+    /// resubmits those with retry budget left (same router sequence — the
+    /// shard-side driver deduplicates, and a keyed `Put` is idempotent
+    /// anyway) and expires the rest, freeing their client slots.
+    fn sweep_deadlines(&mut self, ctx: &mut dyn Context) {
+        let Some((deadline, max_retries)) = self.retry else {
+            return;
+        };
+        let now = ctx.now();
+        let due: Vec<u64> = self
+            .pending
+            .iter()
+            .filter(|(_, p)| p.due <= now)
+            .map(|(&seq, _)| seq)
+            .collect();
+        for seq in due {
+            let shard = self.shard_of_seq[&seq] as usize;
+            let entry = self.pending.get_mut(&seq).expect("swept seq is pending");
+            if entry.attempts < max_retries {
+                entry.attempts += 1;
+                entry.due = now.saturating_add(deadline);
+                self.loads[shard].retried += 1;
+                ctx.send(
+                    self.entries[shard],
+                    ClusterMsg::Submit {
+                        router_seq: seq,
+                        key: entry.key.clone(),
+                        value: entry.value.clone(),
+                    }
+                    .to_wire(),
+                );
+            } else {
+                self.pending.remove(&seq);
+                self.sent_at.remove(&seq);
+                self.shard_of_seq.remove(&seq);
+                self.loads[shard].expired += 1;
+                if let Some(client) = self.client_of.remove(&seq) {
+                    if self.gate.complete(client) {
+                        self.submit(ctx, client);
+                    }
+                }
+            }
+        }
+        // Keep sweeping while anything can still enter or leave the window;
+        // going quiet once the run has drained lets the runtimes settle.
+        if !self.pending.is_empty() || self.offered < self.workload.messages {
+            ctx.set_timer(deadline / 2, TIMER_RETRY);
+        }
     }
 
     /// Fans one sequenced frontier read to every shard.
@@ -501,6 +605,7 @@ impl ClusterRouter {
         let now = ctx.now();
         self.last_done_at = Some(now);
         self.shard_of_seq.remove(&router_seq);
+        self.pending.remove(&router_seq);
         self.loads[shard as usize].completed += 1;
         self.latencies.record_span(sent, now);
         self.shard_latencies[shard as usize].record_span(sent, now);
@@ -517,6 +622,12 @@ impl Actor for ClusterRouter {
     fn on_start(&mut self, ctx: &mut dyn Context) {
         if self.workload.messages > 0 {
             ctx.set_timer(self.workload.start_delay, TIMER_ARRIVAL);
+            if let Some((deadline, _)) = self.retry {
+                ctx.set_timer(
+                    self.workload.start_delay.saturating_add(deadline),
+                    TIMER_RETRY,
+                );
+            }
         }
         if let Some(at) = self.snapshot_at {
             ctx.set_timer(at.duration_since(ctx.now()), TIMER_SNAPSHOT);
@@ -526,6 +637,8 @@ impl Actor for ClusterRouter {
     fn on_timer(&mut self, ctx: &mut dyn Context, timer: TimerId) {
         if timer == TIMER_ARRIVAL {
             self.next_arrival(ctx);
+        } else if timer == TIMER_RETRY {
+            self.sweep_deadlines(ctx);
         } else if timer == TIMER_SNAPSHOT {
             self.fan_snapshot(ctx);
         }
@@ -594,6 +707,8 @@ pub struct Cluster {
     scheduler: SchedulerKind,
     topology: Option<Topology>,
     snapshot_at: Option<SimTime>,
+    command_deadline: Option<SimDuration>,
+    max_retries: u32,
 }
 
 impl std::fmt::Debug for Cluster {
@@ -629,7 +744,31 @@ impl Cluster {
             scheduler: SchedulerKind::default(),
             topology: None,
             snapshot_at: None,
+            command_deadline: None,
+            max_retries: 2,
         }
+    }
+
+    /// Sets a per-command deadline on the router: a routed command that has
+    /// not completed within this budget is resubmitted (up to
+    /// [`Cluster::max_retries`] times, same router sequence — the shard-side
+    /// driver deduplicates) and then abandoned, surfacing as
+    /// [`ShardLoad::retried`] / [`ShardLoad::expired`].  Off by default:
+    /// without a deadline, commands stranded by a shard outage pin
+    /// [`ShardLoad::in_flight`] forever, which is the fault-isolation
+    /// observable the no-retry scenarios assert on.
+    #[must_use]
+    pub fn command_deadline(mut self, deadline: SimDuration) -> Self {
+        self.command_deadline = Some(deadline);
+        self
+    }
+
+    /// Bounds the resubmissions per command under
+    /// [`Cluster::command_deadline`] (default 2).
+    #[must_use]
+    pub fn max_retries(mut self, max_retries: u32) -> Self {
+        self.max_retries = max_retries;
+        self
     }
 
     /// Selects the runtime.
@@ -767,6 +906,11 @@ impl Cluster {
         if self.workload.arrival_seed == 0 {
             self.workload.arrival_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
         }
+        // Threaded deployments pace against the absolute arrival plan (see
+        // `Workload::drift_free_pacing`); the simulator keeps relative pacing.
+        if self.runtime == RuntimeKind::Threaded {
+            self.workload.drift_free_pacing = true;
+        }
         let partitioner = self
             .partitioner
             .clone()
@@ -882,6 +1026,7 @@ impl Cluster {
             partitioner.clone(),
             entries,
             self.snapshot_at,
+            self.command_deadline.map(|d| (d, self.max_retries)),
         )
     }
 }
@@ -965,14 +1110,26 @@ impl RunningCluster {
         self.slot.stats()
     }
 
-    /// Shard `shard`'s share of the network counters, derived from the
-    /// per-process counters (simulator only: the threaded runtime keeps
-    /// node-level atomics, not per-process tallies).  Only the send /
-    /// delivery / byte counters are attributable per process; the
-    /// runtime-global fields stay zero.
+    /// Shard `shard`'s share of the network counters.
+    ///
+    /// On the simulator this is derived from the per-process counters, so
+    /// only the send / delivery / byte fields are attributable and the
+    /// runtime-global fields stay zero.  On the threaded runtime it folds
+    /// the shard's per-node stat cells (every full counter, including
+    /// `busy_ns` and the send-path `gate_wait` histogram), since shard `s`
+    /// owns the contiguous node range after the router's node 0.
     pub fn shard_net(&self, shard: u32) -> Option<NetStats> {
-        let sim = self.slot.sim()?;
         let members = self.shard_members.get(shard as usize)?;
+        if let Some(nodes) = self.slot.node_stats() {
+            let base = (1 + shard * self.nodes_per_shard) as usize;
+            let span = self.nodes_per_shard as usize;
+            let mut stats = NetStats::default();
+            for node in nodes.get(base..base + span)? {
+                stats.merge(node);
+            }
+            return Some(stats);
+        }
+        let sim = self.slot.sim()?;
         let counters = sim.counters();
         let base = pid_base(shard);
         let span = match self.protocol {
@@ -1085,7 +1242,6 @@ impl RunningCluster {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use fs_common::time::SimDuration;
 
     #[test]
     fn cluster_msg_round_trips() {

@@ -442,6 +442,12 @@ impl Scenario {
         if self.workload.arrival_seed == 0 {
             self.workload.arrival_seed = self.seed ^ 0x9E37_79B9_7F4A_7C15;
         }
+        // Threaded deployments pace against the absolute arrival plan so OS
+        // wakeup lateness cannot accumulate into offered-rate drift; the
+        // simulator keeps relative pacing (its handler latency is modeled).
+        if self.runtime == RuntimeKind::Threaded {
+            self.workload.drift_free_pacing = true;
+        }
         for entry in self.faults.entries() {
             assert!(
                 FaultSchedule::target_applies(entry.target, self.protocol == Protocol::FailSignal),
@@ -503,6 +509,9 @@ pub(crate) struct RuntimeSlot {
     /// The threaded runtime's final statistics, captured at settle time so
     /// [`RuntimeSlot::stats`] keeps working after shutdown.
     collected_stats: Option<NetStats>,
+    /// The threaded runtime's per-node statistics, captured at settle time
+    /// so [`RuntimeSlot::node_stats`] keeps working after shutdown.
+    collected_node_stats: Option<Vec<NetStats>>,
 }
 
 impl RuntimeSlot {
@@ -512,6 +521,7 @@ impl RuntimeSlot {
             threaded: None,
             collected: HashMap::new(),
             collected_stats: None,
+            collected_node_stats: None,
         }
     }
 
@@ -521,6 +531,7 @@ impl RuntimeSlot {
             threaded: Some(rt),
             collected: HashMap::new(),
             collected_stats: None,
+            collected_node_stats: None,
         }
     }
 
@@ -560,11 +571,31 @@ impl RuntimeSlot {
             .expect("threaded stats are frozen at settle time")
     }
 
+    /// The threaded runtime's per-node counter cells (`None` on the
+    /// simulator, which attributes per process instead — see
+    /// `Simulation::counters`).  Node indices follow the deployment order
+    /// of `ThreadedBuilder::add_node`.
+    pub(crate) fn node_stats(&self) -> Option<Vec<NetStats>> {
+        if let Some(rt) = self.threaded.as_ref() {
+            return Some(
+                (0..rt.node_count())
+                    .map(|node| rt.node_net_stats(node))
+                    .collect(),
+            );
+        }
+        self.collected_node_stats.clone()
+    }
+
     /// Shuts down the threaded runtime (if any) and collects its actors for
     /// inspection.  Idempotent; a no-op on the simulator.
     pub(crate) fn settle(&mut self) {
         if let Some(rt) = self.threaded.take() {
             self.collected_stats = Some(rt.net_stats());
+            self.collected_node_stats = Some(
+                (0..rt.node_count())
+                    .map(|node| rt.node_net_stats(node))
+                    .collect(),
+            );
             self.collected = rt.shutdown();
         }
     }

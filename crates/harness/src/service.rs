@@ -17,7 +17,7 @@
 //! NewTOP-specific code.
 
 use std::any::Any;
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 use failsignal::config::RouteTable;
 use failsignal::service::FsService;
@@ -487,6 +487,10 @@ pub struct SmrDriver {
     /// Router bookkeeping (cluster deployments): local sequence → the
     /// router's own sequence number, echoed back on ordered delivery.
     routed_of_seq: BTreeMap<u64, u64>,
+    /// Router sequences already accepted, so a deadline-triggered resubmit
+    /// of a command that is still in the ordering pipeline (or already
+    /// applied) is not submitted twice.
+    routed_seen: BTreeSet<u64>,
     /// Local sequence → snapshot request id, for in-flight frontier reads
     /// fanned out by the cluster router.
     snap_of_seq: BTreeMap<u64, u64>,
@@ -509,7 +513,8 @@ impl SmrDriver {
         Self {
             member,
             middleware,
-            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, rng),
+            pacer: ArrivalPacer::with_rng(workload.arrival, workload.interval, rng)
+                .anchored(workload.drift_free_pacing),
             gate: AdmissionGate::new(workload.clients, workload.max_in_flight, workload.admission),
             workload,
             offered: 0,
@@ -526,6 +531,7 @@ impl SmrDriver {
             views: Vec::new(),
             rejoin_latency: None,
             routed_of_seq: BTreeMap::new(),
+            routed_seen: BTreeSet::new(),
             snap_of_seq: BTreeMap::new(),
         }
     }
@@ -587,7 +593,7 @@ impl SmrDriver {
             self.enqueue(ctx, client);
         }
         if self.offered < self.workload.messages {
-            ctx.set_timer(self.pacer.next_gap(), TIMER_SEND);
+            ctx.set_timer(self.pacer.next_gap_from(ctx.now()), TIMER_SEND);
         }
     }
 
@@ -636,6 +642,13 @@ impl SmrDriver {
                 key,
                 value,
             }) => {
+                if !self.routed_seen.insert(router_seq) {
+                    // A router retry of a command this incarnation already
+                    // accepted: the original is still in the pipeline (its
+                    // completion echo will go out when it orders), so a
+                    // second submission would only double-apply.
+                    return;
+                }
                 let seq = self.sent;
                 self.sent += 1;
                 self.routed_of_seq.insert(seq, router_seq);
@@ -745,7 +758,10 @@ impl Actor for SmrDriver {
             }
         }
         if self.offered < self.workload.messages {
-            ctx.set_timer(self.pacer.next_gap(), TIMER_SEND);
+            // The downtime is not made up for: re-anchor the pacing plan at
+            // the recovery instant instead of bursting the missed arrivals.
+            self.pacer.resync();
+            ctx.set_timer(self.pacer.next_gap_from(ctx.now()), TIMER_SEND);
         }
         self.recover_sent_at = Some(ctx.now());
         ctx.send(self.middleware, SmrClientMsg::Recover.to_wire());

@@ -53,6 +53,13 @@ pub struct Workload {
     /// delivery.  `None` (the default) keeps the driver closed to external
     /// submitters.
     pub router: Option<ProcessId>,
+    /// Drift-free pacing: re-arm arrival timers against the absolute planned
+    /// timeline instead of the handler's (possibly late) clock.  The scenario
+    /// and cluster builders switch this on for threaded deployments, where
+    /// late OS wakeups would otherwise accumulate into offered-rate drift; it
+    /// must stay off on the simulator, whose handler-latency model is part of
+    /// the deterministic schedule.
+    pub drift_free_pacing: bool,
 }
 
 impl Default for Workload {
@@ -79,6 +86,7 @@ impl Workload {
             batch_max: 1,
             batch_linger: SimDuration::from_millis(1),
             router: None,
+            drift_free_pacing: false,
         }
     }
 
@@ -191,6 +199,15 @@ impl Workload {
     #[must_use]
     pub fn router(mut self, router: ProcessId) -> Self {
         self.router = Some(router);
+        self
+    }
+
+    /// Returns a copy with drift-free (plan-anchored) arrival pacing on or
+    /// off.  The scenario and cluster builders stamp this per runtime; see
+    /// the field docs.
+    #[must_use]
+    pub fn drift_free_pacing(mut self, drift_free_pacing: bool) -> Self {
+        self.drift_free_pacing = drift_free_pacing;
         self
     }
 

@@ -21,7 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use fs_common::rng::DetRng;
-use fs_common::time::SimDuration;
+use fs_common::time::{SimDuration, SimTime};
 
 /// The arrival process of an open-loop load generator.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -55,6 +55,16 @@ pub struct ArrivalPacer {
     arrival: Arrival,
     interval: SimDuration,
     rng: DetRng,
+    /// Whether [`ArrivalPacer::next_gap_from`] measures against the absolute
+    /// planned timeline (drift-free pacing, for the threaded runtime) or
+    /// degrades to plain [`ArrivalPacer::next_gap`] (for the simulator, whose
+    /// deterministic handler-latency model must stay untouched).
+    anchored: bool,
+    /// Absolute planned time of the next arrival, once pacing has started.
+    /// Tracking the plan (instead of re-arming relative to a handler's
+    /// possibly-late `now`) keeps late timer wakeups on the threaded runtime
+    /// from accumulating into offered-rate drift.
+    planned: Option<SimTime>,
 }
 
 impl ArrivalPacer {
@@ -72,7 +82,22 @@ impl ArrivalPacer {
             arrival,
             interval,
             rng,
+            anchored: false,
+            planned: None,
         }
+    }
+
+    /// Returns a copy with drift-free pacing enabled or disabled.
+    ///
+    /// Enable it for drivers deployed on the threaded runtime, where timer
+    /// wakeups are real OS wakeups that land late by scheduling noise; leave
+    /// it off (the default) on the simulator, where handler latency is part
+    /// of the deterministic model and "correcting" for it would change the
+    /// simulated schedule.
+    #[must_use]
+    pub fn anchored(mut self, anchored: bool) -> Self {
+        self.anchored = anchored;
+        self
     }
 
     /// The gap between the previous arrival and the next one.
@@ -87,6 +112,34 @@ impl ArrivalPacer {
                 SimDuration::from_nanos((gap as u64).max(1))
             }
         }
+    }
+
+    /// The timer duration until the next arrival.
+    ///
+    /// When [`ArrivalPacer::anchored`] pacing is on, the duration is measured
+    /// against the absolute planned timeline anchored at the first call's
+    /// `now`: a late wakeup shortens the *next* gap instead of pushing the
+    /// whole remaining schedule back, so the offered rate holds under the
+    /// threaded runtime's real-clock wakeup noise.  When off, this is exactly
+    /// [`ArrivalPacer::next_gap`] and `now` is ignored.
+    pub fn next_gap_from(&mut self, now: SimTime) -> SimDuration {
+        let gap = self.next_gap();
+        if !self.anchored {
+            return gap;
+        }
+        let due = self.planned.unwrap_or(now).saturating_add(gap);
+        self.planned = Some(due);
+        due.duration_since(now)
+    }
+
+    /// Drops the planned timeline, re-anchoring the next
+    /// [`ArrivalPacer::next_gap_from`] at its `now`.
+    ///
+    /// Call after a gap in pacing that should *not* be made up for — e.g. a
+    /// member recovering from a crash — so the backlog of missed planned
+    /// arrivals is not released as a burst.
+    pub fn resync(&mut self) {
+        self.planned = None;
     }
 }
 
@@ -208,6 +261,29 @@ mod tests {
         let mut p = ArrivalPacer::new(Arrival::Paced, SimDuration::from_millis(5), 1);
         assert_eq!(p.next_gap(), SimDuration::from_millis(5));
         assert_eq!(p.next_gap(), SimDuration::from_millis(5));
+    }
+
+    #[test]
+    fn anchored_pacer_compensates_late_wakeups() {
+        let interval = SimDuration::from_millis(5);
+        let mut p = ArrivalPacer::new(Arrival::Paced, interval, 1).anchored(true);
+        // First call anchors the plan at `now`: full gap.
+        assert_eq!(p.next_gap_from(SimTime::ZERO), interval);
+        // The wakeup lands 2 ms late (at 7 ms against a 5 ms plan): the next
+        // arrival is still planned for 10 ms, so only 3 ms remain.
+        let late = SimTime::ZERO.saturating_add(SimDuration::from_millis(7));
+        assert_eq!(p.next_gap_from(late), SimDuration::from_millis(3));
+        // A wakeup *past* the planned time saturates to a zero gap rather
+        // than going negative.
+        let very_late = SimTime::ZERO.saturating_add(SimDuration::from_millis(40));
+        assert_eq!(p.next_gap_from(very_late), SimDuration::ZERO);
+        // resync() drops the plan: the backlog is forgotten, not burst out.
+        p.resync();
+        assert_eq!(p.next_gap_from(very_late), interval);
+        // Unanchored (the default), `now` is ignored entirely.
+        let mut plain = ArrivalPacer::new(Arrival::Paced, interval, 1);
+        assert_eq!(plain.next_gap_from(SimTime::ZERO), interval);
+        assert_eq!(plain.next_gap_from(late), interval);
     }
 
     #[test]

@@ -21,6 +21,48 @@
 //! configured to busy-wait a fraction of the charge when realistic pacing is
 //! wanted.
 //!
+//! ## The contention-free send path
+//!
+//! The cross-node hot path shares **no locks and no contended cache lines**
+//! between node threads:
+//!
+//! - **Snapshot-published link gate.**  The fault topology lives in an
+//!   immutable [`Topology`] snapshot behind an `Arc`, republished whole by
+//!   the control thread each time a scheduled [`LinkFault`] is applied.
+//!   Publication bumps a version counter (release store); each sender keeps
+//!   a private clone of the latest `Arc` and revalidates it with a single
+//!   acquire load per flush, re-cloning only when the version moved.  The
+//!   verdict path therefore takes **no lock**, and every send in one flush
+//!   is judged against one consistent snapshot — a verdict can never observe
+//!   a half-applied schedule entry, and lock poisoning is impossible by
+//!   construction.  Loss and jitter draws come from a per-sender-node
+//!   deterministic RNG stream (derived from the seed and the node index), so
+//!   senders never share RNG state either.
+//! - **Per-node stat cells.**  Every counter lives in a cache-line-padded
+//!   per-node cell ([`ThreadedRuntime::node_net_stats`] exposes them);
+//!   [`ThreadedRuntime::net_stats`] folds the cells into one [`NetStats`] on
+//!   demand.  A node thread only ever writes its own cell, so counters never
+//!   bounce between cores.  The cells also carry `busy_ns` (wall-clock time
+//!   inside handlers) and a `gate_wait` histogram (time to revalidate the
+//!   gate snapshot), making send-path contention directly observable.
+//! - **Sender-local delay wheels.**  Fault-delayed frames wait in a timer
+//!   wheel owned by the *sending* node's thread instead of funnelling
+//!   through one global delay line: each thread re-injects its own due
+//!   frames, in `(due, seq)` order, so delayed traffic on one link never
+//!   serializes behind another link's.  Per-link FIFO floors are sender-local
+//!   state, preserving the simulator's TCP-like in-order contract across
+//!   heals.
+//!
+//! Quiescence is tracked by a per-cell `enqueued`/`processed` balance: an
+//! envelope is counted `enqueued` (by its sender) before it is handed to an
+//! inbox or delay wheel and `processed` (by its receiver) only after its
+//! handlers and their flushes complete, so "every cell drained" is the exact
+//! condition `Σ processed == Σ enqueued`, read processed-before-enqueued so
+//! a racing probe can only over-estimate the backlog, never settle early.
+//! [`ThreadedRuntime::run_until_settled`] parks on a condvar that node
+//! threads signal when they observe the whole deployment quiescent, instead
+//! of sleep-polling.
+//!
 //! ## The network fault plane
 //!
 //! The runtime shares the simulator's [`Topology`] fault vocabulary: a
@@ -28,12 +70,12 @@
 //! passed to [`ThreadedBuilder::with_topology`] /
 //! [`ThreadedBuilder::with_link_schedule`] gates every cross-node send.
 //! Severed and lossy links drop the real crossbeam message; delay faults
-//! divert it through a delay line that re-injects it after the configured
-//! extra latency.  Node index `i` corresponds to [`NodeId`]`(i)` in the
-//! topology, matching the simulator's sequential node numbering, so the same
-//! schedule drives both runtimes.  Only the fault overlay applies — base
-//! link-model latencies stay simulated-only, since real channel transport
-//! already has a cost.
+//! divert it through the sender's delay wheel that re-injects it after the
+//! configured extra latency.  Node index `i` corresponds to [`NodeId`]`(i)`
+//! in the topology, matching the simulator's sequential node numbering, so
+//! the same schedule drives both runtimes.  Only the fault overlay applies —
+//! base link-model latencies stay simulated-only, since real channel
+//! transport already has a cost.
 //!
 //! ## The process lifecycle plane
 //!
@@ -46,9 +88,9 @@
 //! (running its [`Actor::on_start`]) — mirroring the simulator's
 //! deterministic execution of the same schedule.
 
-use std::collections::{BinaryHeap, HashMap};
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -67,6 +109,21 @@ use crate::trace::NetStats;
 /// What a node thread hands back at shutdown: its actors in registration
 /// order.
 type NodeActors = Vec<(ProcessId, Box<dyn Actor>)>;
+
+/// How many envelopes one wake-up drains before re-publishing deadlines and
+/// checking timers again.  Draining greedily amortises the per-wake loop
+/// overhead (timer scan, deadline publication, clock reads) over a whole
+/// backlog instead of paying it per message.
+const BURST_MAX: usize = 64;
+
+/// Locks a mutex, recovering the guard from a poisoned lock: every critical
+/// section here is a handful of pointer/counter writes that cannot leave the
+/// state torn, so a panicking peer must not cascade.
+fn lock_unpoisoned<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
 
 enum Envelope {
     /// A batch of deliveries from one sender to recipients on this node,
@@ -92,20 +149,22 @@ enum NodeLifecycle {
     Replace(Box<dyn Actor>, DetRng),
 }
 
-/// Messages to the control thread (delay line + link-schedule executor).
-enum ControlMsg {
-    /// A fault-delayed delivery to re-inject into `node`'s inbox at `due`.
-    Delayed {
-        due: Instant,
-        node: usize,
-        envelope: Envelope,
-    },
-}
+/// Number of power-of-two gate-wait buckets per stat cell (bucket `i` covers
+/// `[2^i, 2^(i+1))` nanoseconds; the top bucket absorbs the tail).
+const GATE_WAIT_BUCKETS: usize = 32;
 
-/// Counters and quiescence probes shared by every node thread, the control
-/// thread and the runtime handle.
-#[derive(Debug, Default)]
-struct Shared {
+/// One node's (or the external injector's) statistics, padded to its own
+/// cache lines so a node thread's counter updates never contend with another
+/// core.  Everything except the quiescence balance is maintained with
+/// relaxed ordering and batched per flush/burst.
+#[repr(align(128))]
+struct StatCell {
+    /// Envelopes this cell's owner has handed to an inbox or delay wheel.
+    enqueued: AtomicU64,
+    /// Envelopes fully processed on this cell's node (handlers + flushes
+    /// done).  `Σ processed == Σ enqueued` across all cells means no
+    /// envelope is in flight anywhere.
+    processed: AtomicU64,
     messages_sent: AtomicU64,
     messages_delivered: AtomicU64,
     dropped_unknown_dest: AtomicU64,
@@ -115,61 +174,202 @@ struct Shared {
     lifecycle_events: AtomicU64,
     bytes_sent: AtomicU64,
     timers_fired: AtomicU64,
+    /// Handler invocations (messages + timers + start/recover hooks); also
+    /// the probe's activity counter for settle confirmation.
     events_processed: AtomicU64,
-    /// Envelopes handed to a node inbox (or the delay line) and not yet
-    /// processed.  Zero means no message can arrive without a timer firing
-    /// first.
-    in_flight: AtomicI64,
-    /// Total handler invocations (messages + timers + start hooks); used by
-    /// the quiescence poll to confirm nothing ran between two probes.
-    handled: AtomicU64,
-    /// When the next not-yet-executed scheduled link fault takes effect, as
-    /// nanoseconds since the runtime epoch (`u64::MAX` when the schedule has
-    /// drained or none was configured).  Keeps the quiescence probe from
-    /// declaring a run settled while scheduled faults are still pending, so
-    /// frozen statistics match what the simulator would record.
-    next_fault_due: AtomicU64,
+    /// Wall-clock nanoseconds spent running handlers on this node.
+    busy_ns: AtomicU64,
+    /// Power-of-two histogram of gate-snapshot revalidation times.
+    gate_wait: [AtomicU64; GATE_WAIT_BUCKETS],
+}
+
+impl StatCell {
+    fn new() -> Self {
+        Self {
+            enqueued: AtomicU64::new(0),
+            processed: AtomicU64::new(0),
+            messages_sent: AtomicU64::new(0),
+            messages_delivered: AtomicU64::new(0),
+            dropped_unknown_dest: AtomicU64::new(0),
+            dropped_link: AtomicU64::new(0),
+            dropped_down: AtomicU64::new(0),
+            link_faults: AtomicU64::new(0),
+            lifecycle_events: AtomicU64::new(0),
+            bytes_sent: AtomicU64::new(0),
+            timers_fired: AtomicU64::new(0),
+            events_processed: AtomicU64::new(0),
+            busy_ns: AtomicU64::new(0),
+            gate_wait: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    fn record_gate_wait(&self, nanos: u64) {
+        let bucket = (63 - (nanos | 1).leading_zeros() as usize).min(GATE_WAIT_BUCKETS - 1);
+        self.gate_wait[bucket].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Folds this cell into `stats` (the per-node → aggregate reduction).
+    fn fold_into(&self, stats: &mut NetStats) {
+        let unknown = self.dropped_unknown_dest.load(Ordering::Relaxed);
+        let link = self.dropped_link.load(Ordering::Relaxed);
+        let down = self.dropped_down.load(Ordering::Relaxed);
+        stats.messages_sent += self.messages_sent.load(Ordering::Relaxed);
+        stats.messages_delivered += self.messages_delivered.load(Ordering::Relaxed);
+        stats.messages_dropped += unknown + link + down;
+        stats.dropped_unknown_dest += unknown;
+        stats.dropped_link += link;
+        stats.dropped_down += down;
+        stats.link_faults += self.link_faults.load(Ordering::Relaxed);
+        stats.lifecycle_events += self.lifecycle_events.load(Ordering::Relaxed);
+        stats.bytes_sent += self.bytes_sent.load(Ordering::Relaxed);
+        stats.timers_fired += self.timers_fired.load(Ordering::Relaxed);
+        stats.events_processed += self.events_processed.load(Ordering::Relaxed);
+        stats.busy_ns += self.busy_ns.load(Ordering::Relaxed);
+        for (bucket, counter) in self.gate_wait.iter().enumerate() {
+            let count = counter.load(Ordering::Relaxed);
+            if count > 0 {
+                stats
+                    .gate_wait
+                    .record_n(SimDuration::from_nanos(1u64 << bucket), count);
+            }
+        }
+    }
+}
+
+/// Counters and quiescence probes shared by every node thread, the control
+/// thread and the runtime handle.  All mutable state is split into per-node
+/// [`StatCell`]s (plus one trailing cell for external injection and the
+/// control thread) so the hot path never writes a shared cache line.
+struct Shared {
+    /// One cell per node, plus a trailing cell owned by the runtime handle
+    /// ([`ThreadedRuntime::send`]) and the control thread.
+    cells: Vec<StatCell>,
     /// Per node: the earliest armed-timer deadline, as nanoseconds since the
     /// runtime epoch.  `u64::MAX` means no timer is armed; `0` means the
-    /// node thread has not published yet (treated as busy).
+    /// node thread is busy (or has not published yet).
     deadlines: Vec<AtomicU64>,
+    /// When the next not-yet-executed scheduled link fault or lifecycle
+    /// event takes effect, as nanoseconds since the runtime epoch
+    /// (`u64::MAX` when the schedule has drained or none was configured).
+    /// Keeps the quiescence probe from declaring a run settled while
+    /// scheduled faults are still pending, so frozen statistics match what
+    /// the simulator would record.
+    next_fault_due: AtomicU64,
+    /// The horizon (nanoseconds since epoch) a settler is currently waiting
+    /// on, `0` when nobody is settling.  Node threads going idle probe the
+    /// deployment against it and signal `settle_cv` when quiescent.
+    watch_horizon: AtomicU64,
+    settle_lock: Mutex<()>,
+    settle_cv: Condvar,
 }
 
 impl Shared {
     fn with_nodes(nodes: usize) -> Self {
         Self {
-            next_fault_due: AtomicU64::new(u64::MAX),
+            cells: (0..=nodes).map(|_| StatCell::new()).collect(),
             deadlines: (0..nodes).map(|_| AtomicU64::new(0)).collect(),
-            ..Self::default()
+            next_fault_due: AtomicU64::new(u64::MAX),
+            watch_horizon: AtomicU64::new(0),
+            settle_lock: Mutex::new(()),
+            settle_cv: Condvar::new(),
         }
     }
 
+    /// The trailing cell charged for external injection and control-thread
+    /// activity.
+    fn external(&self) -> &StatCell {
+        self.cells.last().expect("at least the external cell")
+    }
+
+    fn cell(&self, node: usize) -> &StatCell {
+        &self.cells[node]
+    }
+
     fn snapshot(&self) -> NetStats {
-        let unknown = self.dropped_unknown_dest.load(Ordering::Relaxed);
-        let link = self.dropped_link.load(Ordering::Relaxed);
-        let down = self.dropped_down.load(Ordering::Relaxed);
-        NetStats {
-            messages_sent: self.messages_sent.load(Ordering::Relaxed),
-            messages_delivered: self.messages_delivered.load(Ordering::Relaxed),
-            messages_dropped: unknown + link + down,
-            dropped_unknown_dest: unknown,
-            dropped_link: link,
-            dropped_down: down,
-            link_faults: self.link_faults.load(Ordering::Relaxed),
-            lifecycle_events: self.lifecycle_events.load(Ordering::Relaxed),
-            bytes_sent: self.bytes_sent.load(Ordering::Relaxed),
-            timers_fired: self.timers_fired.load(Ordering::Relaxed),
-            events_processed: self.events_processed.load(Ordering::Relaxed),
+        let mut stats = NetStats::default();
+        for cell in &self.cells {
+            cell.fold_into(&mut stats);
+        }
+        stats
+    }
+
+    /// True when no envelope is in flight anywhere: every enqueue was
+    /// matched by a completed processing.  Processed sums are read *before*
+    /// enqueued sums: an envelope's `enqueued` increment happens-before its
+    /// `processed` increment, so any concurrent traffic can only make the
+    /// balance read as busy, never as falsely drained.
+    fn balance_drained(&self) -> bool {
+        let processed: u64 = self
+            .cells
+            .iter()
+            .map(|cell| cell.processed.load(Ordering::SeqCst))
+            .sum();
+        let enqueued: u64 = self
+            .cells
+            .iter()
+            .map(|cell| cell.enqueued.load(Ordering::SeqCst))
+            .sum();
+        processed == enqueued
+    }
+
+    /// The authoritative quiescence probe: balance first (see
+    /// [`Shared::balance_drained`] for the ordering argument), then pending
+    /// scheduled faults, then published deadlines.  Deadlines are read
+    /// *after* the balance so a node that just drained an envelope is either
+    /// still marked busy (`0`) or has already republished the timers that
+    /// envelope armed.
+    fn probe(&self, horizon_nanos: u64) -> bool {
+        if !self.balance_drained() {
+            return false;
+        }
+        if self.next_fault_due.load(Ordering::SeqCst) <= horizon_nanos {
+            return false;
+        }
+        self.deadlines.iter().all(|deadline| {
+            let at = deadline.load(Ordering::SeqCst);
+            at != 0 && at > horizon_nanos
+        })
+    }
+
+    /// The node-thread-side settle check: cheap bail-outs first (one load
+    /// usually suffices under active load), full probe only near quiescence.
+    /// A spurious signal just costs the settler one re-probe.
+    fn probe_and_signal(&self) {
+        let horizon = self.watch_horizon.load(Ordering::Relaxed);
+        if horizon == 0 {
+            return;
+        }
+        for deadline in &self.deadlines {
+            let at = deadline.load(Ordering::Relaxed);
+            if at == 0 || at <= horizon {
+                return;
+            }
+        }
+        if self.probe(horizon) {
+            let _guard = lock_unpoisoned(&self.settle_lock);
+            self.settle_cv.notify_all();
         }
     }
 }
 
-/// The shared topology gate consulted on every cross-node send.  One mutex
-/// guards the topology and the deterministic RNG used for loss/jitter draws;
-/// it is uncontended in fault-free runs because the gate only exists when a
-/// topology or schedule was actually configured.
+/// The link gate consulted on every cross-node send: an immutable
+/// [`Topology`] snapshot republished whole on each applied fault.  Senders
+/// revalidate their private snapshot clone with one acquire load of
+/// `version`; the verdict path never takes the lock (the mutex only
+/// serialises the rare republication against snapshot re-clones).
 struct LinkGate {
-    state: Mutex<(Topology, DetRng)>,
+    /// Bumped after each published snapshot; the sender-side staleness
+    /// check.
+    version: AtomicU64,
+    /// The current `(version, snapshot)` pair.  Only the control thread
+    /// writes; senders lock briefly to re-clone after a version change.
+    published: Mutex<(u64, Arc<Topology>)>,
+}
+
+/// A sender's private handle onto the latest published snapshot.
+struct GateCache {
+    version: u64,
+    topology: Arc<Topology>,
 }
 
 /// What the gate decided for one cross-node send.
@@ -180,28 +380,65 @@ enum Verdict {
 }
 
 impl LinkGate {
-    fn new(topology: Topology, seed: u64) -> Self {
+    fn new(topology: Topology) -> Self {
         Self {
-            state: Mutex::new((topology, DetRng::new(seed ^ 0x11f7_9a7e))),
+            version: AtomicU64::new(1),
+            published: Mutex::new((1, Arc::new(topology))),
         }
     }
 
-    fn verdict(&self, from: usize, to: usize, size: usize) -> Verdict {
+    /// A fresh snapshot handle for one sender thread.
+    fn cache(&self) -> GateCache {
+        let guard = lock_unpoisoned(&self.published);
+        GateCache {
+            version: guard.0,
+            topology: Arc::clone(&guard.1),
+        }
+    }
+
+    /// Revalidates `cache` against the latest publication: one acquire load
+    /// when nothing changed, a brief lock + `Arc` clone when it did.
+    fn refresh(&self, cache: &mut GateCache) {
+        if self.version.load(Ordering::Acquire) == cache.version {
+            return;
+        }
+        let guard = lock_unpoisoned(&self.published);
+        cache.version = guard.0;
+        cache.topology = Arc::clone(&guard.1);
+    }
+
+    /// Applies one fault and publishes the successor snapshot: clone, mutate
+    /// the clone, swap it in, then bump the version (release) so senders
+    /// notice.  Readers holding the previous `Arc` keep a consistent
+    /// pre-fault view; nobody can observe a half-applied scope.
+    fn apply(&self, scope: &LinkScope, fault: &LinkFault) {
+        let mut guard = lock_unpoisoned(&self.published);
+        let mut next = Topology::clone(&guard.1);
+        next.apply_fault(scope, fault);
+        guard.0 += 1;
+        guard.1 = Arc::new(next);
+        self.version.store(guard.0, Ordering::Release);
+    }
+
+    #[cfg(test)]
+    fn published_version(&self) -> u64 {
+        lock_unpoisoned(&self.published).0
+    }
+}
+
+impl GateCache {
+    fn verdict(&self, from: usize, to: usize, size: usize, rng: &mut DetRng) -> Verdict {
         if from == to {
             return Verdict::Deliver; // same-node delivery is never faulted
         }
-        let mut guard = self.state.lock().expect("link gate poisoned");
-        let (topology, rng) = &mut *guard;
-        match topology.fault_verdict(NodeId(from as u32), NodeId(to as u32), size, rng) {
+        match self
+            .topology
+            .fault_verdict(NodeId(from as u32), NodeId(to as u32), size, rng)
+        {
             None => Verdict::Drop,
             Some(extra) if extra.is_zero() => Verdict::Deliver,
             Some(extra) => Verdict::Delay(Duration::from(extra)),
         }
-    }
-
-    fn apply(&self, scope: &LinkScope, fault: &LinkFault) {
-        let mut guard = self.state.lock().expect("link gate poisoned");
-        guard.0.apply_fault(scope, fault);
     }
 }
 
@@ -365,8 +602,9 @@ impl ThreadedBuilder {
     ///
     /// When a fault plane is configured (a topology with initial faults or a
     /// non-empty link schedule), a control thread is started alongside the
-    /// node threads: it applies scheduled faults at their offsets and
-    /// re-injects fault-delayed deliveries.
+    /// node threads: it applies scheduled faults at their offsets by
+    /// publishing successor topology snapshots and ships scheduled lifecycle
+    /// events to their hosting nodes.
     pub fn start(self) -> ThreadedRuntime {
         let epoch = Instant::now();
         let mut node_of: HashMap<ProcessId, usize> = HashMap::new();
@@ -388,8 +626,7 @@ impl ThreadedBuilder {
         // The lifecycle plane: resolve each scheduled event to its hosting
         // node up front; replacements pre-derive their RNG stream with the
         // same salt formula the simulator uses for its replacements.
-        let mut lifecycle: std::collections::VecDeque<TimedLifecycle> =
-            std::collections::VecDeque::new();
+        let mut lifecycle: VecDeque<TimedLifecycle> = VecDeque::new();
         for (k, event) in self.lifecycle.in_order().into_iter().enumerate() {
             let Some(&node) = node_of.get(&event.process) else {
                 continue;
@@ -415,9 +652,9 @@ impl ThreadedBuilder {
         // actually do something; plain runs keep the zero-overhead send path
         // and spawn no control thread.
         let gate = (self.topology.has_faults() || !self.schedule.is_empty())
-            .then(|| Arc::new(LinkGate::new(self.topology, self.config.seed)));
-        let (control_tx, control_handle) = if gate.is_some() || !lifecycle.is_empty() {
-            let (ctl_tx, ctl_rx) = unbounded();
+            .then(|| Arc::new(LinkGate::new(self.topology)));
+        let (control_stop, control_handle) = if gate.is_some() || !lifecycle.is_empty() {
+            let (stop_tx, stop_rx) = unbounded();
             let gate = gate.clone();
             let ctl_txs = Arc::clone(&txs);
             let ctl_shared = Arc::clone(&shared);
@@ -434,11 +671,11 @@ impl ThreadedBuilder {
                 .name("simnet-linkctl".into())
                 .spawn(move || {
                     control_main(
-                        ctl_rx, ctl_txs, gate, schedule, lifecycle, epoch, ctl_shared,
+                        stop_rx, ctl_txs, gate, schedule, lifecycle, epoch, ctl_shared,
                     )
                 })
                 .expect("spawn link control thread");
-            (Some(ctl_tx), Some(handle))
+            (Some(stop_tx), Some(handle))
         } else {
             (None, None)
         };
@@ -451,7 +688,6 @@ impl ThreadedBuilder {
             let node_of = Arc::clone(&node_of);
             let shared = Arc::clone(&shared);
             let gate = gate.clone();
-            let control_tx = control_tx.clone();
             let actors: Vec<(ProcessId, Box<dyn Actor>, DetRng)> = actors
                 .into_iter()
                 .map(|(id, actor)| {
@@ -470,7 +706,6 @@ impl ThreadedBuilder {
                             node_of,
                             shared,
                             gate,
-                            control_tx,
                             epoch,
                             config,
                         },
@@ -488,7 +723,7 @@ impl ThreadedBuilder {
             handles,
             epoch,
             shared,
-            control_tx,
+            control_stop,
             control_handle,
         }
     }
@@ -501,7 +736,7 @@ pub struct ThreadedRuntime {
     handles: Vec<JoinHandle<NodeActors>>,
     epoch: Instant,
     shared: Arc<Shared>,
-    control_tx: Option<Sender<ControlMsg>>,
+    control_stop: Option<Sender<()>>,
     control_handle: Option<JoinHandle<()>>,
 }
 
@@ -516,6 +751,8 @@ impl std::fmt::Debug for ThreadedRuntime {
 
 impl ThreadedRuntime {
     /// Injects a message into the running system, as if sent by `from`.
+    /// External injection is charged to a dedicated stat cell, not to any
+    /// node's.
     ///
     /// # Errors
     ///
@@ -533,84 +770,120 @@ impl ThreadedRuntime {
             .get(&to)
             .ok_or(fs_common::Error::UnknownProcess(to))?;
         let payload = payload.into();
-        self.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .bytes_sent
+        let cell = self.shared.external();
+        cell.messages_sent.fetch_add(1, Ordering::Relaxed);
+        cell.bytes_sent
             .fetch_add(payload.len() as u64, Ordering::Relaxed);
-        self.shared.in_flight.fetch_add(1, Ordering::SeqCst);
+        cell.enqueued.fetch_add(1, Ordering::SeqCst);
         self.txs[node]
             .send(Envelope::Batch {
                 from,
                 items: vec![(to, payload)],
             })
             .map_err(|_| {
-                self.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                cell.processed.fetch_add(1, Ordering::SeqCst);
                 fs_common::Error::Disconnected(to)
             })
     }
 
     /// The aggregate network statistics so far: sends, deliveries, drops
-    /// (split into unknown-destination and link-fault drops) and executed
-    /// link-fault events — the threaded counterpart of
-    /// [`crate::sim::Simulation::stats`].
+    /// (split into unknown-destination and link-fault drops), executed
+    /// link-fault events, handler busy time and the gate-wait histogram —
+    /// the threaded counterpart of [`crate::sim::Simulation::stats`], folded
+    /// from the per-node cells on demand.
     pub fn net_stats(&self) -> NetStats {
         self.shared.snapshot()
     }
 
-    /// True when the runtime is quiescent with respect to `horizon`: no
-    /// message is in flight (inboxes and the delay line are empty), no armed
-    /// timer is due before `horizon`, and no scheduled link fault is still
-    /// pending before it — nothing can happen until then.
+    /// The number of nodes (worker threads) in this deployment.
+    pub fn node_count(&self) -> usize {
+        self.shared.deadlines.len()
+    }
+
+    /// One node's own statistics: sends are charged to the sending node,
+    /// deliveries to the receiving node, so per-node views sum (together
+    /// with the external-injection cell) to [`ThreadedRuntime::net_stats`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node >= self.node_count()`.
+    pub fn node_net_stats(&self, node: usize) -> NetStats {
+        assert!(node < self.node_count(), "node {node} out of range");
+        let mut stats = NetStats::default();
+        self.shared.cell(node).fold_into(&mut stats);
+        stats
+    }
+
+    /// True when the runtime is quiescent with respect to `horizon`: every
+    /// enqueued envelope (inboxes and delay wheels) has been processed, no
+    /// armed timer is due before `horizon`, and no scheduled link fault is
+    /// still pending before it — nothing can happen until then.
     ///
     /// A single probe can race an in-progress handler; callers confirm by
     /// sampling [`ThreadedRuntime::handled_count`] across consecutive probes
     /// (see [`ThreadedRuntime::run_until_settled`]).
     pub fn quiescent_before(&self, horizon: SimTime) -> bool {
-        if self.shared.in_flight.load(Ordering::SeqCst) != 0 {
-            return false;
-        }
-        let horizon_nanos = horizon.as_nanos();
-        if self.shared.next_fault_due.load(Ordering::SeqCst) <= horizon_nanos {
-            return false;
-        }
-        self.shared.deadlines.iter().all(|deadline| {
-            let at = deadline.load(Ordering::SeqCst);
-            at != 0 && at > horizon_nanos
-        })
+        self.shared.probe(horizon.as_nanos())
     }
 
     /// Total handler invocations so far (messages, timers and start hooks).
     pub fn handled_count(&self) -> u64 {
-        self.shared.handled.load(Ordering::SeqCst)
+        self.shared
+            .cells
+            .iter()
+            .map(|cell| cell.events_processed.load(Ordering::SeqCst))
+            .sum()
     }
 
     /// Sleeps until the wall clock reaches `horizon`, returning early once
-    /// the deployment has settled: no in-flight messages and no timers due
-    /// before the horizon, confirmed over several consecutive polls.
-    /// Returns the reached time.
+    /// the deployment has settled: nothing in flight and no timers due
+    /// before the horizon, confirmed over several consecutive probes.
+    /// Parked on a condvar that node threads signal when they observe the
+    /// deployment quiescent, so settling is detected within a couple of
+    /// milliseconds instead of a fixed polling cadence.  Returns the reached
+    /// time.
     pub fn run_until_settled(&self, horizon: SimTime) -> SimTime {
+        let horizon_nanos = horizon.as_nanos();
+        self.shared
+            .watch_horizon
+            .store(horizon_nanos, Ordering::SeqCst);
         let mut last_handled = u64::MAX;
-        let mut stable_polls = 0u32;
+        let mut stable_probes = 0u32;
+        let mut guard = lock_unpoisoned(&self.shared.settle_lock);
         while self.now() < horizon {
-            let remaining = horizon.duration_since(self.now());
-            let nap = Duration::from(remaining).min(Duration::from_millis(15));
-            std::thread::sleep(nap);
-            if self.quiescent_before(horizon) {
+            if self.shared.probe(horizon_nanos) {
                 let handled = self.handled_count();
                 if handled == last_handled {
-                    stable_polls += 1;
-                    if stable_polls >= 3 {
+                    stable_probes += 1;
+                    if stable_probes >= 3 {
                         break;
                     }
                 } else {
-                    stable_polls = 1;
+                    stable_probes = 1;
                     last_handled = handled;
                 }
             } else {
-                stable_polls = 0;
+                stable_probes = 0;
                 last_handled = u64::MAX;
             }
+            // Short confirmation naps once quiescent; otherwise wait for a
+            // node's settle signal (with a timeout backstop — a missed
+            // signal only costs one period).
+            let nap = if stable_probes > 0 {
+                Duration::from_millis(2)
+            } else {
+                Duration::from_millis(15)
+            };
+            let remaining = Duration::from(horizon.duration_since(self.now()));
+            let (reacquired, _) = self
+                .shared
+                .settle_cv
+                .wait_timeout(guard, nap.min(remaining))
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            guard = reacquired;
         }
+        drop(guard);
+        self.shared.watch_horizon.store(0, Ordering::SeqCst);
         self.now()
     }
 
@@ -641,9 +914,9 @@ impl ThreadedRuntime {
                 }
             }
         }
-        // The control thread exits once every sender is gone (the node
-        // threads have already dropped theirs).
-        drop(self.control_tx);
+        // Dropping the stop channel wakes the control thread (if it has not
+        // already drained its schedules and exited).
+        drop(self.control_stop);
         if let Some(handle) = self.control_handle {
             let _ = handle.join();
         }
@@ -747,7 +1020,6 @@ struct NodeEnv {
     node_of: Arc<HashMap<ProcessId, usize>>,
     shared: Arc<Shared>,
     gate: Option<Arc<LinkGate>>,
-    control_tx: Option<Sender<ControlMsg>>,
     epoch: Instant,
     config: ThreadedConfig,
 }
@@ -755,46 +1027,154 @@ struct NodeEnv {
 /// Per destination node, the sender-side FIFO state of one link: the latest
 /// scheduled delivery time and whether the link has ever been fault-delayed.
 /// Once a link has carried a delayed message, *all* its subsequent traffic
-/// is serialized through the delay line behind the floor, so deliveries
-/// between a node pair never overtake each other — the threaded counterpart
-/// of the simulator's TCP-like `fifo_floor`, surviving heals.
+/// is serialized through the sender's delay wheel behind the floor, so
+/// deliveries between a node pair never overtake each other — the threaded
+/// counterpart of the simulator's TCP-like `fifo_floor`, surviving heals.
 #[derive(Clone, Copy)]
 struct LinkFifo {
     floor: Instant,
     via_delay_line: bool,
 }
 
-/// Flushes the sends buffered during one handler.  Each send first passes
-/// the link gate (when a fault plane is configured): severed or lossy links
-/// drop it, degraded links divert it through the delay line behind the
-/// per-link FIFO floor.  The surviving immediate items are grouped by
+/// One fault-delayed frame waiting in a sender's delay wheel, ordered by
+/// `(due, seq)` so same-link frames (whose dues the FIFO floor makes
+/// non-decreasing) release strictly in send order.
+struct WheelEntry {
+    due: Instant,
+    seq: u64,
+    node: usize,
+    from: ProcessId,
+    to: ProcessId,
+    payload: Bytes,
+}
+
+impl PartialEq for WheelEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for WheelEntry {}
+impl PartialOrd for WheelEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for WheelEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// All of a node thread's sender-side mutable state: per-link FIFO floors,
+/// the private gate snapshot, the node's deterministic fault-draw RNG, the
+/// delay wheel for its own fault-delayed frames, and flush scratch space.
+struct SenderLocal {
+    links: Vec<LinkFifo>,
+    cache: Option<GateCache>,
+    rng: DetRng,
+    wheel: BinaryHeap<std::cmp::Reverse<WheelEntry>>,
+    wheel_seq: u64,
+    /// Flush scratch: per-destination-node batches, drained every flush
+    /// (the outer vector's capacity is retained across flushes).
+    batches: Vec<(usize, Vec<(ProcessId, Bytes)>)>,
+}
+
+impl SenderLocal {
+    fn new(env: &NodeEnv) -> Self {
+        Self {
+            links: vec![
+                LinkFifo {
+                    floor: env.epoch,
+                    via_delay_line: false,
+                };
+                env.txs.len()
+            ],
+            cache: env.gate.as_ref().map(|gate| gate.cache()),
+            rng: DetRng::new(env.config.seed ^ 0x11f7_9a7e).derive(env.idx as u64),
+            wheel: BinaryHeap::new(),
+            wheel_seq: 0,
+            batches: Vec::new(),
+        }
+    }
+
+    /// Re-injects every due delayed frame into its destination's inbox, in
+    /// `(due, seq)` order (the heap's order).
+    fn release_due(&mut self, now: Instant, env: &NodeEnv) {
+        while self
+            .wheel
+            .peek()
+            .is_some_and(|std::cmp::Reverse(entry)| entry.due <= now)
+        {
+            let std::cmp::Reverse(entry) = self.wheel.pop().expect("peeked entry");
+            let envelope = Envelope::Batch {
+                from: entry.from,
+                items: vec![(entry.to, entry.payload)],
+            };
+            if env.txs[entry.node].send(envelope).is_err() {
+                // The destination is gone (shutdown): cancel the enqueue so
+                // the balance stays exact.
+                env.shared
+                    .cell(env.idx)
+                    .processed
+                    .fetch_add(1, Ordering::SeqCst);
+            }
+        }
+    }
+
+    fn next_due(&self) -> Option<Instant> {
+        self.wheel.peek().map(|std::cmp::Reverse(entry)| entry.due)
+    }
+}
+
+/// Flushes the sends buffered during one handler.  When a fault plane is
+/// configured, the sender's gate snapshot is revalidated once (one acquire
+/// load; a lock + `Arc` clone only after a republication) and every send in
+/// the flush is judged against that one snapshot: severed or lossy links
+/// drop it, degraded links divert it into the sender's delay wheel behind
+/// the per-link FIFO floor.  The surviving immediate items are grouped by
 /// destination node and each node receives a single [`Envelope::Batch`]
-/// whose payloads are refcount clones of the sender's buffers.
+/// whose payloads are refcount clones of the sender's buffers.  Counters are
+/// accumulated locally and published with one relaxed add each per flush.
 fn flush_outgoing(
     from: ProcessId,
     outgoing: &mut Vec<(ProcessId, Bytes)>,
     env: &NodeEnv,
-    links: &mut [LinkFifo],
+    local: &mut SenderLocal,
 ) {
     if outgoing.is_empty() {
         return;
     }
-    // Group per destination node, preserving per-recipient send order.
-    let mut batches: Vec<(usize, Vec<(ProcessId, Bytes)>)> = Vec::new();
-    let mut controlled: Vec<(Instant, usize, (ProcessId, Bytes))> = Vec::new();
+    let cell = env.shared.cell(env.idx);
+    if let Some(gate) = &env.gate {
+        let refresh_start = Instant::now();
+        match &mut local.cache {
+            Some(cache) => gate.refresh(cache),
+            None => local.cache = Some(gate.cache()),
+        }
+        cell.record_gate_wait(refresh_start.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+    }
+    let SenderLocal {
+        links,
+        cache,
+        rng,
+        wheel,
+        wheel_seq,
+        batches,
+    } = local;
+    let mut sent = 0u64;
+    let mut bytes = 0u64;
+    let mut unknown = 0u64;
+    let mut dropped = 0u64;
+    let mut flush_now: Option<Instant> = None;
     for (to, payload) in outgoing.drain(..) {
-        env.shared.messages_sent.fetch_add(1, Ordering::Relaxed);
-        env.shared
-            .bytes_sent
-            .fetch_add(payload.len() as u64, Ordering::Relaxed);
+        sent += 1;
+        bytes += payload.len() as u64;
         let Some(&node) = env.node_of.get(&to) else {
-            env.shared
-                .dropped_unknown_dest
-                .fetch_add(1, Ordering::Relaxed);
+            unknown += 1;
             continue;
         };
-        let verdict = match &env.gate {
-            Some(gate) => gate.verdict(env.idx, node, payload.len()),
+        let verdict = match cache {
+            Some(cache) => cache.verdict(env.idx, node, payload.len(), rng),
             None => Verdict::Deliver,
         };
         match verdict {
@@ -812,42 +1192,39 @@ fn flush_outgoing(
                     }
                     _ => Duration::ZERO,
                 };
-                let due = (Instant::now() + extra).max(links[node].floor);
+                let now = *flush_now.get_or_insert_with(Instant::now);
+                let due = (now + extra).max(links[node].floor);
                 links[node].floor = due;
-                controlled.push((due, node, (to, payload)));
-            }
-            Verdict::Drop => {
-                env.shared.dropped_link.fetch_add(1, Ordering::Relaxed);
-            }
-        }
-    }
-    for (node, items) in batches {
-        env.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        if env.txs[node].send(Envelope::Batch { from, items }).is_err() {
-            env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-        }
-    }
-    for (due, node, item) in controlled {
-        env.shared.in_flight.fetch_add(1, Ordering::SeqCst);
-        let envelope = Envelope::Batch {
-            from,
-            items: vec![item],
-        };
-        let handed_off = match &env.control_tx {
-            Some(ctl) => ctl
-                .send(ControlMsg::Delayed {
+                *wheel_seq += 1;
+                cell.enqueued.fetch_add(1, Ordering::SeqCst);
+                wheel.push(std::cmp::Reverse(WheelEntry {
                     due,
+                    seq: *wheel_seq,
                     node,
-                    envelope,
-                })
-                .is_ok(),
-            // Unreachable in practice (delays imply a gate, which implies a
-            // control thread), but degrade to immediate delivery over loss.
-            None => env.txs[node].send(envelope).is_ok(),
-        };
-        if !handed_off {
-            env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                    from,
+                    to,
+                    payload,
+                }));
+            }
+            Verdict::Drop => dropped += 1,
         }
+    }
+    for (node, items) in batches.drain(..) {
+        cell.enqueued.fetch_add(1, Ordering::SeqCst);
+        if env.txs[node].send(Envelope::Batch { from, items }).is_err() {
+            cell.processed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+    cell.messages_sent.fetch_add(sent, Ordering::Relaxed);
+    if bytes != 0 {
+        cell.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
+    }
+    if unknown != 0 {
+        cell.dropped_unknown_dest
+            .fetch_add(unknown, Ordering::Relaxed);
+    }
+    if dropped != 0 {
+        cell.dropped_link.fetch_add(dropped, Ordering::Relaxed);
     }
 }
 
@@ -860,29 +1237,26 @@ struct TimedLifecycle {
     action: NodeLifecycle,
 }
 
-/// The delay-line / link-schedule / lifecycle thread: applies each scheduled
-/// link fault at its wall-clock offset from the epoch, ships scheduled
-/// process lifecycle events to their hosting node threads, and re-injects
-/// fault-delayed deliveries into the destination node's inbox once their
-/// extra latency has elapsed.  Exits when every sender (runtime handle and
-/// node threads) is gone.
+/// The link-schedule / lifecycle thread: applies each scheduled link fault
+/// at its wall-clock offset from the epoch by publishing a successor
+/// topology snapshot, and ships scheduled process lifecycle events to their
+/// hosting node threads.  Exits once both schedules have drained, or when
+/// the runtime handle drops the stop channel at shutdown.  (Fault-delayed
+/// frames are re-injected by the *sending* node's own delay wheel — the
+/// control thread is not on the data path.)
 fn control_main(
-    rx: Receiver<ControlMsg>,
+    stop: Receiver<()>,
     txs: Arc<Vec<Sender<Envelope>>>,
     gate: Option<Arc<LinkGate>>,
     schedule: Vec<LinkEvent>,
-    mut lifecycle: std::collections::VecDeque<TimedLifecycle>,
+    mut lifecycle: VecDeque<TimedLifecycle>,
     epoch: Instant,
     shared: Arc<Shared>,
 ) {
-    // (due, arrival seq, destination node, envelope); arrival order breaks
-    // due-time ties so same-link deliveries (whose dues the sender's FIFO
-    // floor makes non-decreasing) are released strictly in send order.
-    let mut pending: Vec<(Instant, u64, usize, Envelope)> = Vec::new();
-    let mut next_seq: u64 = 0;
     let mut next_fault = 0usize;
     let fault_due = |event: &LinkEvent| epoch + Duration::from_nanos(event.at.as_nanos());
     let lifecycle_due = |event: &TimedLifecycle| epoch + Duration::from_nanos(event.at.as_nanos());
+    let cell = shared.external();
     loop {
         let now = Instant::now();
         while next_fault < schedule.len() && fault_due(&schedule[next_fault]) <= now {
@@ -890,7 +1264,7 @@ fn control_main(
             if let Some(gate) = &gate {
                 gate.apply(&event.scope, &event.fault);
             }
-            shared.link_faults.fetch_add(1, Ordering::Relaxed);
+            cell.link_faults.fetch_add(1, Ordering::Relaxed);
             next_fault += 1;
         }
         while lifecycle
@@ -898,16 +1272,16 @@ fn control_main(
             .is_some_and(|event| lifecycle_due(event) <= now)
         {
             let event = lifecycle.pop_front().expect("front checked");
-            shared.lifecycle_events.fetch_add(1, Ordering::Relaxed);
-            // Counted in flight like any envelope so the quiescence probe
+            cell.lifecycle_events.fetch_add(1, Ordering::Relaxed);
+            // Counted enqueued like any envelope so the quiescence probe
             // never settles between hand-off and processing.
-            shared.in_flight.fetch_add(1, Ordering::SeqCst);
+            cell.enqueued.fetch_add(1, Ordering::SeqCst);
             let envelope = Envelope::Lifecycle {
                 process: event.process,
                 action: event.action,
             };
             if txs[event.node].send(envelope).is_err() {
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                cell.processed.fetch_add(1, Ordering::SeqCst);
             }
         }
         let next_link_fault = schedule
@@ -917,45 +1291,21 @@ fn control_main(
         shared
             .next_fault_due
             .store(next_link_fault.min(next_lifecycle), Ordering::SeqCst);
-        let mut ready: Vec<(Instant, u64, usize, Envelope)> = Vec::new();
-        let mut i = 0;
-        while i < pending.len() {
-            if pending[i].0 <= now {
-                ready.push(pending.swap_remove(i));
-            } else {
-                i += 1;
-            }
-        }
-        ready.sort_by_key(|entry| (entry.0, entry.1));
-        for (_, _, node, envelope) in ready {
-            if txs[node].send(envelope).is_err() {
-                shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-        }
-        let mut wake: Option<Instant> = pending.iter().map(|entry| entry.0).min();
+        let mut wake: Option<Instant> = None;
         if next_fault < schedule.len() {
-            let due = fault_due(&schedule[next_fault]);
-            wake = Some(wake.map_or(due, |w| w.min(due)));
+            wake = Some(fault_due(&schedule[next_fault]));
         }
         if let Some(event) = lifecycle.front() {
             let due = lifecycle_due(event);
             wake = Some(wake.map_or(due, |w| w.min(due)));
         }
-        let received = match wake {
-            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
-            Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(Instant::now())),
+        // Both schedules drained: nothing left to do, ever.
+        let Some(deadline) = wake else {
+            break;
         };
-        match received {
-            Ok(ControlMsg::Delayed {
-                due,
-                node,
-                envelope,
-            }) => {
-                next_seq += 1;
-                pending.push((due, next_seq, node, envelope));
-            }
+        match stop.recv_timeout(deadline.saturating_duration_since(Instant::now())) {
             Err(RecvTimeoutError::Timeout) => continue,
-            Err(RecvTimeoutError::Disconnected) => break,
+            Ok(()) | Err(RecvTimeoutError::Disconnected) => break,
         }
     }
 }
@@ -968,6 +1318,114 @@ struct NodeActor {
     /// False between a scheduled crash and the matching recover/replace:
     /// deliveries are dropped (and counted) and timers suppressed.
     up: bool,
+}
+
+/// Processes one envelope to completion (handlers plus the flushes they
+/// cause), then counts it `processed`.  Returns true when the envelope was a
+/// stop request.
+fn process_envelope(
+    envelope: Envelope,
+    env: &NodeEnv,
+    actors: &mut [NodeActor],
+    local_index: &HashMap<ProcessId, usize>,
+    outgoing: &mut Vec<(ProcessId, Bytes)>,
+    local: &mut SenderLocal,
+) -> bool {
+    let cell = env.shared.cell(env.idx);
+    match envelope {
+        Envelope::Batch { from, items } => {
+            let mut delivered = 0u64;
+            let mut unknown = 0u64;
+            let mut down = 0u64;
+            for (to, payload) in items {
+                let Some(&idx) = local_index.get(&to) else {
+                    unknown += 1;
+                    continue;
+                };
+                let a = &mut actors[idx];
+                if !a.up {
+                    down += 1;
+                    continue;
+                }
+                let mut ctx = ThreadContext {
+                    me: a.id,
+                    epoch: env.epoch,
+                    outgoing,
+                    rng: &mut a.rng,
+                    timers: &mut a.timers,
+                    cpu_scale: env.config.cpu_charge_scale,
+                };
+                a.actor.on_message(&mut ctx, from, payload);
+                delivered += 1;
+                flush_outgoing(to, outgoing, env, local);
+            }
+            if delivered != 0 {
+                cell.messages_delivered
+                    .fetch_add(delivered, Ordering::Relaxed);
+                cell.events_processed
+                    .fetch_add(delivered, Ordering::Relaxed);
+            }
+            if unknown != 0 {
+                cell.dropped_unknown_dest
+                    .fetch_add(unknown, Ordering::Relaxed);
+            }
+            if down != 0 {
+                cell.dropped_down.fetch_add(down, Ordering::Relaxed);
+            }
+            // The envelope is fully processed (and any sends it caused are
+            // already counted) before it stops balancing its enqueue.
+            cell.processed.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+        Envelope::Lifecycle { process, action } => {
+            if let Some(&idx) = local_index.get(&process) {
+                let a = &mut actors[idx];
+                match action {
+                    NodeLifecycle::Down => {
+                        a.up = false;
+                        // A crashed process loses its armed timers.
+                        a.timers = TimerState::default();
+                    }
+                    NodeLifecycle::Up => {
+                        if !a.up {
+                            a.up = true;
+                            let mut ctx = ThreadContext {
+                                me: a.id,
+                                epoch: env.epoch,
+                                outgoing,
+                                rng: &mut a.rng,
+                                timers: &mut a.timers,
+                                cpu_scale: env.config.cpu_charge_scale,
+                            };
+                            a.actor.on_recover(&mut ctx);
+                            cell.events_processed.fetch_add(1, Ordering::Relaxed);
+                            flush_outgoing(process, outgoing, env, local);
+                        }
+                    }
+                    NodeLifecycle::Replace(fresh, rng) => {
+                        a.actor = fresh;
+                        a.rng = rng;
+                        a.timers = TimerState::default();
+                        a.up = true;
+                        let mut ctx = ThreadContext {
+                            me: a.id,
+                            epoch: env.epoch,
+                            outgoing,
+                            rng: &mut a.rng,
+                            timers: &mut a.timers,
+                            cpu_scale: env.config.cpu_charge_scale,
+                        };
+                        a.actor.on_start(&mut ctx);
+                        cell.events_processed.fetch_add(1, Ordering::Relaxed);
+                        flush_outgoing(process, outgoing, env, local);
+                    }
+                }
+            }
+            cell.processed.fetch_add(1, Ordering::SeqCst);
+            false
+        }
+        Envelope::Stop => true,
+    }
 }
 
 fn node_main(
@@ -988,32 +1446,37 @@ fn node_main(
     let local_index: HashMap<ProcessId, usize> =
         actors.iter().enumerate().map(|(i, a)| (a.id, i)).collect();
     let mut outgoing: Vec<(ProcessId, Bytes)> = Vec::new();
-    let mut links: Vec<LinkFifo> = vec![
-        LinkFifo {
-            floor: env.epoch,
-            via_delay_line: false,
-        };
-        env.txs.len()
-    ];
+    let mut local = SenderLocal::new(&env);
 
-    for a in actors.iter_mut() {
-        let mut ctx = ThreadContext {
-            me: a.id,
-            epoch: env.epoch,
-            outgoing: &mut outgoing,
-            rng: &mut a.rng,
-            timers: &mut a.timers,
-            cpu_scale: env.config.cpu_charge_scale,
-        };
-        a.actor.on_start(&mut ctx);
-        env.shared.handled.fetch_add(1, Ordering::SeqCst);
-        env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
-        flush_outgoing(a.id, &mut outgoing, &env, &mut links);
+    if !actors.is_empty() {
+        let start = Instant::now();
+        for a in actors.iter_mut() {
+            let mut ctx = ThreadContext {
+                me: a.id,
+                epoch: env.epoch,
+                outgoing: &mut outgoing,
+                rng: &mut a.rng,
+                timers: &mut a.timers,
+                cpu_scale: env.config.cpu_charge_scale,
+            };
+            a.actor.on_start(&mut ctx);
+            flush_outgoing(a.id, &mut outgoing, &env, &mut local);
+        }
+        let cell = env.shared.cell(env.idx);
+        cell.events_processed
+            .fetch_add(actors.len() as u64, Ordering::Relaxed);
+        cell.busy_ns.fetch_add(
+            start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
     }
 
     loop {
-        // Fire any due timers first, across all hosted actors.
+        // Re-inject due delayed frames, then fire due timers, across all
+        // hosted actors.
         let now = Instant::now();
+        local.release_due(now, &env);
+        let mut fired = 0u64;
         for a in actors.iter_mut() {
             if !a.up {
                 // A down actor's timers were cleared at crash time; this is
@@ -1030,15 +1493,23 @@ fn node_main(
                     cpu_scale: env.config.cpu_charge_scale,
                 };
                 a.actor.on_timer(&mut ctx, timer);
-                env.shared.handled.fetch_add(1, Ordering::SeqCst);
-                env.shared.timers_fired.fetch_add(1, Ordering::Relaxed);
-                env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
-                flush_outgoing(a.id, &mut outgoing, &env, &mut links);
+                fired += 1;
+                flush_outgoing(a.id, &mut outgoing, &env, &mut local);
             }
+        }
+        if fired != 0 {
+            let cell = env.shared.cell(env.idx);
+            cell.timers_fired.fetch_add(fired, Ordering::Relaxed);
+            cell.events_processed.fetch_add(fired, Ordering::Relaxed);
+            cell.busy_ns.fetch_add(
+                now.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                Ordering::Relaxed,
+            );
         }
 
         // Publish the earliest armed deadline for the quiescence probe
-        // (u64::MAX = idle), then wait for traffic or the next timer.
+        // (u64::MAX = idle), signal any settler that might now be done, then
+        // wait for traffic, the next timer, or the next delayed frame.
         let next_deadline = actors.iter().filter_map(|a| a.timers.next_deadline()).min();
         env.shared.deadlines[env.idx].store(
             next_deadline.map_or(u64::MAX, |deadline| {
@@ -1049,103 +1520,55 @@ fn node_main(
             }),
             Ordering::SeqCst,
         );
-        let wait = next_deadline
-            .map(|deadline| deadline.saturating_duration_since(Instant::now()))
-            .unwrap_or(Duration::from_millis(50));
+        env.shared.probe_and_signal();
 
-        match rx.recv_timeout(wait) {
-            Ok(Envelope::Batch { from, items }) => {
-                for (to, payload) in items {
-                    let Some(&idx) = local_index.get(&to) else {
-                        env.shared
-                            .dropped_unknown_dest
-                            .fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    };
-                    let a = &mut actors[idx];
-                    if !a.up {
-                        env.shared.dropped_down.fetch_add(1, Ordering::Relaxed);
-                        continue;
-                    }
-                    let mut ctx = ThreadContext {
-                        me: a.id,
-                        epoch: env.epoch,
-                        outgoing: &mut outgoing,
-                        rng: &mut a.rng,
-                        timers: &mut a.timers,
-                        cpu_scale: env.config.cpu_charge_scale,
-                    };
-                    a.actor.on_message(&mut ctx, from, payload);
-                    env.shared.handled.fetch_add(1, Ordering::SeqCst);
-                    env.shared
-                        .messages_delivered
-                        .fetch_add(1, Ordering::Relaxed);
-                    env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
-                    flush_outgoing(to, &mut outgoing, &env, &mut links);
-                }
-                // Mark this node busy *before* the envelope leaves the
-                // in-flight count: a quiescence probe between the decrement
-                // and the deadline publication at the top of the loop must
-                // never observe "nothing in flight" alongside a stale idle
-                // deadline while a timer armed by this batch awaits
-                // publication.
+        let wake = match (next_deadline, local.next_due()) {
+            (None, None) => None,
+            (a, b) => a.into_iter().chain(b).min(),
+        };
+        let received = match wake {
+            // Nothing armed: anything that can happen arrives via the inbox,
+            // so block indefinitely instead of waking to poll.
+            None => rx.recv().map_err(|_| RecvTimeoutError::Disconnected),
+            Some(deadline) => rx.recv_timeout(deadline.saturating_duration_since(Instant::now())),
+        };
+        match received {
+            Ok(first) => {
+                // Mark this node busy *before* processing: a probe must
+                // never observe a drained balance alongside a stale idle
+                // deadline while a timer armed by this burst awaits
+                // publication at the top of the loop.
                 env.shared.deadlines[env.idx].store(0, Ordering::SeqCst);
-                // The envelope is fully processed (and any sends it caused
-                // are already counted) before it stops being in flight.
-                env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
-            }
-            Ok(Envelope::Lifecycle { process, action }) => {
-                if let Some(&idx) = local_index.get(&process) {
-                    let a = &mut actors[idx];
-                    match action {
-                        NodeLifecycle::Down => {
-                            a.up = false;
-                            // A crashed process loses its armed timers.
-                            a.timers = TimerState::default();
-                        }
-                        NodeLifecycle::Up => {
-                            if !a.up {
-                                a.up = true;
-                                let mut ctx = ThreadContext {
-                                    me: a.id,
-                                    epoch: env.epoch,
-                                    outgoing: &mut outgoing,
-                                    rng: &mut a.rng,
-                                    timers: &mut a.timers,
-                                    cpu_scale: env.config.cpu_charge_scale,
-                                };
-                                a.actor.on_recover(&mut ctx);
-                                env.shared.handled.fetch_add(1, Ordering::SeqCst);
-                                env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
-                                flush_outgoing(process, &mut outgoing, &env, &mut links);
-                            }
-                        }
-                        NodeLifecycle::Replace(fresh, rng) => {
-                            a.actor = fresh;
-                            a.rng = rng;
-                            a.timers = TimerState::default();
-                            a.up = true;
-                            let mut ctx = ThreadContext {
-                                me: a.id,
-                                epoch: env.epoch,
-                                outgoing: &mut outgoing,
-                                rng: &mut a.rng,
-                                timers: &mut a.timers,
-                                cpu_scale: env.config.cpu_charge_scale,
-                            };
-                            a.actor.on_start(&mut ctx);
-                            env.shared.handled.fetch_add(1, Ordering::SeqCst);
-                            env.shared.events_processed.fetch_add(1, Ordering::Relaxed);
-                            flush_outgoing(process, &mut outgoing, &env, &mut links);
-                        }
+                let burst_start = Instant::now();
+                let mut stop = false;
+                let mut burst = 0usize;
+                let mut next = Some(first);
+                while let Some(envelope) = next.take() {
+                    if process_envelope(
+                        envelope,
+                        &env,
+                        &mut actors,
+                        &local_index,
+                        &mut outgoing,
+                        &mut local,
+                    ) {
+                        stop = true;
+                        break;
                     }
+                    burst += 1;
+                    if burst >= BURST_MAX {
+                        break;
+                    }
+                    next = rx.try_recv().ok();
                 }
-                // Same ordering discipline as a processed batch: mark busy
-                // before leaving the in-flight count.
-                env.shared.deadlines[env.idx].store(0, Ordering::SeqCst);
-                env.shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+                env.shared.cell(env.idx).busy_ns.fetch_add(
+                    burst_start.elapsed().as_nanos().min(u64::MAX as u128) as u64,
+                    Ordering::Relaxed,
+                );
+                if stop {
+                    break;
+                }
             }
-            Ok(Envelope::Stop) => break,
             Err(RecvTimeoutError::Timeout) => continue,
             Err(RecvTimeoutError::Disconnected) => break,
         }
@@ -1156,7 +1579,7 @@ fn node_main(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 
     struct Counter {
         seen: usize,
@@ -1756,6 +2179,178 @@ mod tests {
         // 2000 s one.
         assert!(rt.quiescent_before(rt.now() + SimDuration::from_secs(30)));
         assert!(!rt.quiescent_before(rt.now() + SimDuration::from_secs(2000)));
+        rt.shutdown();
+    }
+
+    /// The gate-publication contract under races: N reader threads evaluate
+    /// verdicts for every directed edge of a partition scope against one
+    /// snapshot each, while a writer keeps alternating Sever/Heal on the
+    /// whole scope.  A half-applied schedule entry would show up as a mixed
+    /// verdict set (some edges severed, some not) — the snapshot publication
+    /// makes that impossible.
+    #[test]
+    fn gate_snapshot_publication_is_atomic_under_races() {
+        const APPLIES: usize = 2_000;
+        const READERS: usize = 4;
+        let gate = Arc::new(LinkGate::new(Topology::default()));
+        let scope = LinkScope::Split {
+            left: vec![NodeId(0), NodeId(1)],
+            right: vec![NodeId(2), NodeId(3)],
+        };
+        let edges: Vec<(usize, usize)> = vec![(0, 2), (0, 3), (1, 2), (1, 3)];
+        let done = Arc::new(AtomicBool::new(false));
+        let mixed = Arc::new(AtomicUsize::new(0));
+        let observations = Arc::new(AtomicUsize::new(0));
+        let mut readers = Vec::new();
+        for reader in 0..READERS {
+            let gate = Arc::clone(&gate);
+            let done = Arc::clone(&done);
+            let mixed = Arc::clone(&mixed);
+            let observations = Arc::clone(&observations);
+            let edges = edges.clone();
+            readers.push(std::thread::spawn(move || {
+                let mut rng = DetRng::new(0xfeed ^ reader as u64);
+                let mut cache = gate.cache();
+                while !done.load(Ordering::SeqCst) {
+                    gate.refresh(&mut cache);
+                    let drops = edges
+                        .iter()
+                        .filter(|&&(from, to)| {
+                            matches!(cache.verdict(from, to, 64, &mut rng), Verdict::Drop)
+                        })
+                        .count();
+                    if drops != 0 && drops != edges.len() {
+                        mixed.fetch_add(1, Ordering::SeqCst);
+                    }
+                    observations.fetch_add(1, Ordering::SeqCst);
+                }
+            }));
+        }
+        for k in 0..APPLIES {
+            let fault = if k % 2 == 0 {
+                LinkFault::Sever
+            } else {
+                LinkFault::Heal
+            };
+            gate.apply(&scope, &fault);
+        }
+        done.store(true, Ordering::SeqCst);
+        for handle in readers {
+            handle.join().unwrap();
+        }
+        assert_eq!(
+            mixed.load(Ordering::SeqCst),
+            0,
+            "no verdict set may straddle a half-applied schedule entry"
+        );
+        assert!(observations.load(Ordering::SeqCst) > 0);
+        assert_eq!(
+            gate.published_version(),
+            1 + APPLIES as u64,
+            "every apply published exactly one snapshot"
+        );
+        // The writer ended on a Heal: a fresh snapshot delivers everywhere.
+        let mut cache = gate.cache();
+        gate.refresh(&mut cache);
+        let mut rng = DetRng::new(1);
+        for (from, to) in edges {
+            assert!(matches!(
+                cache.verdict(from, to, 64, &mut rng),
+                Verdict::Deliver
+            ));
+        }
+    }
+
+    /// Per-node stat cells: sends are charged to the sending node,
+    /// deliveries to the receiving node, and the per-node views (plus the
+    /// external-injection cell) fold into the aggregate.
+    #[test]
+    fn per_node_stat_cells_fold_into_the_aggregate() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut builder = ThreadedBuilder::default();
+        let caster = ProcessId(0);
+        let counter = ProcessId(1);
+        builder.add_with(
+            caster,
+            Box::new(Multicaster {
+                dests: vec![counter],
+            }),
+        );
+        builder.add_with(
+            counter,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        assert_eq!(rt.node_count(), 2);
+        for _ in 0..8 {
+            rt.send(ProcessId(99), caster, b"frame".to_vec()).unwrap();
+        }
+        assert!(wait_for(&shared, 8, 2_000));
+        let caster_stats = rt.node_net_stats(0);
+        let counter_stats = rt.node_net_stats(1);
+        let total = rt.net_stats();
+        assert_eq!(
+            caster_stats.messages_sent, 8,
+            "fan-out sends charge the sending node"
+        );
+        assert_eq!(caster_stats.messages_delivered, 8);
+        assert_eq!(
+            counter_stats.messages_delivered, 8,
+            "deliveries charge the receiving node"
+        );
+        assert_eq!(counter_stats.messages_sent, 0);
+        // node cells + the external injection cell = the aggregate.
+        assert_eq!(
+            caster_stats.messages_sent + counter_stats.messages_sent + 8,
+            total.messages_sent
+        );
+        assert_eq!(
+            caster_stats.messages_delivered + counter_stats.messages_delivered,
+            total.messages_delivered
+        );
+        assert!(
+            total.busy_ns > 0,
+            "handler time accumulates into the folded busy_ns"
+        );
+        rt.shutdown();
+    }
+
+    /// With a fault plane configured, every flush revalidates the gate
+    /// snapshot and records the wait — the send-path contention observable.
+    #[test]
+    fn gate_wait_histogram_fills_when_a_gate_is_configured() {
+        let shared = Arc::new(AtomicUsize::new(0));
+        let mut topology = Topology::default();
+        topology.sever(NodeId(5), NodeId(6)); // unrelated pair, forces a gate
+        let mut builder = ThreadedBuilder::default().with_topology(topology);
+        let caster = ProcessId(0);
+        let counter = ProcessId(1);
+        builder.add_with(
+            caster,
+            Box::new(Multicaster {
+                dests: vec![counter],
+            }),
+        );
+        builder.add_with(
+            counter,
+            Box::new(Counter {
+                seen: 0,
+                shared: Arc::clone(&shared),
+            }),
+        );
+        let rt = builder.start();
+        for _ in 0..4 {
+            rt.send(ProcessId(99), caster, b"frame".to_vec()).unwrap();
+        }
+        assert!(wait_for(&shared, 4, 2_000));
+        let stats = rt.net_stats();
+        assert!(
+            stats.gate_wait.len() >= 4,
+            "each gated flush records one snapshot revalidation"
+        );
         rt.shutdown();
     }
 }

@@ -36,6 +36,15 @@ pub struct NetStats {
     pub timers_fired: u64,
     /// Total events processed (deliveries + timers + start hooks).
     pub events_processed: u64,
+    /// Wall-clock nanoseconds spent inside handlers (threaded runtime only;
+    /// the simulator leaves this zero — its handlers execute in zero
+    /// wall-clock time by construction).
+    pub busy_ns: u64,
+    /// Time spent acquiring the link-gate snapshot on the send path
+    /// (threaded runtime only, and only when a fault plane is configured).
+    /// A contended gate shows up here instead of having to be inferred from
+    /// a throughput regression.
+    pub gate_wait: LatencyHistogram,
 }
 
 impl NetStats {
@@ -74,6 +83,8 @@ impl NetStats {
         self.bytes_sent += other.bytes_sent;
         self.timers_fired += other.timers_fired;
         self.events_processed += other.events_processed;
+        self.busy_ns += other.busy_ns;
+        self.gate_wait.merge(&other.gate_wait);
     }
 }
 
@@ -373,10 +384,20 @@ impl LatencyHistogram {
 
     /// Records one latency sample.
     pub fn record(&mut self, sample: SimDuration) {
+        self.record_n(sample, 1);
+    }
+
+    /// Records `n` identical latency samples at once — the folding path for
+    /// runtimes that pre-bucket samples in fixed atomic counters and only
+    /// materialise a histogram on snapshot.
+    pub fn record_n(&mut self, sample: SimDuration, n: u64) {
+        if n == 0 {
+            return;
+        }
         let nanos = sample.as_nanos();
-        *self.buckets.entry(Self::bucket_index(nanos)).or_insert(0) += 1;
-        self.count += 1;
-        self.total_nanos = self.total_nanos.saturating_add(nanos);
+        *self.buckets.entry(Self::bucket_index(nanos)).or_insert(0) += n;
+        self.count += n;
+        self.total_nanos = self.total_nanos.saturating_add(nanos.saturating_mul(n));
         self.min = Some(self.min.map_or(sample, |m| m.min(sample)));
         self.max = Some(self.max.map_or(sample, |m| m.max(sample)));
     }
@@ -516,6 +537,8 @@ mod tests {
 
     #[test]
     fn stats_merge_adds_every_field() {
+        let mut gate_wait = LatencyHistogram::new();
+        gate_wait.record(SimDuration::from_micros(3));
         let mut a = NetStats {
             messages_sent: 1,
             messages_delivered: 2,
@@ -528,9 +551,13 @@ mod tests {
             bytes_sent: 6,
             timers_fired: 7,
             events_processed: 8,
+            busy_ns: 9,
+            gate_wait: gate_wait.clone(),
         };
         let b = a.clone();
         a.merge(&b);
+        let mut merged_wait = gate_wait.clone();
+        merged_wait.merge(&gate_wait);
         assert_eq!(
             a,
             NetStats {
@@ -545,8 +572,23 @@ mod tests {
                 bytes_sent: 12,
                 timers_fired: 14,
                 events_processed: 16,
+                busy_ns: 18,
+                gate_wait: merged_wait,
             }
         );
+    }
+
+    #[test]
+    fn histogram_record_n_matches_repeated_record() {
+        let mut bulk = LatencyHistogram::new();
+        bulk.record_n(SimDuration::from_micros(7), 5);
+        bulk.record_n(SimDuration::from_millis(2), 0);
+        let mut single = LatencyHistogram::new();
+        for _ in 0..5 {
+            single.record(SimDuration::from_micros(7));
+        }
+        assert_eq!(bulk, single);
+        assert_eq!(bulk.len(), 5);
     }
 
     #[test]

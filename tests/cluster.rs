@@ -225,3 +225,176 @@ fn key_range_cluster_snapshot_and_stats() {
     }
     assert!(cluster.latency_summary().is_some());
 }
+
+fn restart_cluster_16(runtime: RuntimeKind, protocol: Protocol) -> RunningCluster {
+    // Shard 5's sequencer (member 0 also hosts the entry driver) crashes a
+    // quarter into the ~800 ms offered window and recovers past the half.
+    let faults = FaultSchedule::none()
+        .crash_member_at(SimTime::from_millis(200), MemberId(0))
+        .recover_member_at(SimTime::from_millis(500), MemberId(0));
+    Cluster::new(16, 3)
+        .runtime(runtime)
+        .protocol(protocol)
+        .workload(poisson_workload(2 * MESSAGES))
+        .shard_faults(5, faults)
+        .seed(SEED)
+        .build()
+}
+
+/// Sim-vs-threaded parity at 16 shards under Poisson load with one shard
+/// restarting mid-run — the scale cell of the scaling benchmark, exercising
+/// the threaded runtime's contention-free send path (per-node stat cells,
+/// snapshot-published link gate) against the simulator's reference run.
+fn sixteen_shard_parity(protocol: Protocol) {
+    let mut sim = restart_cluster_16(RuntimeKind::Sim, protocol);
+    sim.run_until(SimTime::from_secs(300));
+    let mut threaded = restart_cluster_16(RuntimeKind::Threaded, protocol);
+    threaded.run_until(SimTime::from_secs(8));
+
+    // The restart fired on both runtimes: one member's processes crashed
+    // and recovered (process count per member depends on the protocol).
+    let lifecycle = sim.stats().lifecycle_events;
+    assert!(lifecycle >= 4, "crash+recover compile to process events");
+    assert_eq!(threaded.stats().lifecycle_events, lifecycle);
+
+    // Identical deterministic key stream ⇒ identical per-shard routing.
+    let sim_loads = sim.shard_loads();
+    let threaded_loads = threaded.shard_loads();
+    assert_eq!(
+        sim_loads.iter().map(|l| l.submitted).sum::<u64>(),
+        2 * MESSAGES
+    );
+    assert_eq!(
+        sim_loads.iter().map(|l| l.submitted).collect::<Vec<_>>(),
+        threaded_loads
+            .iter()
+            .map(|l| l.submitted)
+            .collect::<Vec<_>>(),
+    );
+
+    // Healthy shards: fully served on both runtimes, members in exact
+    // agreement, and state equal runtime-to-runtime.
+    for shard in (0..16u32).filter(|&s| s != 5) {
+        for (label, loads) in [("sim", &sim_loads), ("threaded", &threaded_loads)] {
+            assert_eq!(
+                loads[shard as usize].in_flight(),
+                0,
+                "{label}: healthy shard {shard} completed everything"
+            );
+        }
+        let digest = sim.machine_digest(shard, 0).expect("sim digest");
+        for member in 0..3 {
+            assert_eq!(sim.machine_digest(shard, member), Some(digest));
+            assert_eq!(
+                threaded.machine_digest(shard, member),
+                Some(digest),
+                "shard {shard} member {member}: runtimes must converge"
+            );
+        }
+    }
+
+    // The restarted shard stays internally consistent per runtime.
+    for cluster in [&mut sim, &mut threaded] {
+        let d0 = cluster.machine_digest(5, 0).expect("restarted digest");
+        for member in 1..3 {
+            assert_eq!(cluster.machine_digest(5, member), Some(d0));
+        }
+    }
+
+    // The threaded runtime attributes network counters per shard: every
+    // shard moved traffic, and the folded cells stay within the runtime
+    // aggregate (the router's node and external injections are excluded).
+    let total = threaded.stats();
+    let mut folded = 0;
+    for shard in 0..16 {
+        let net = threaded.shard_net(shard).expect("threaded shard cells");
+        assert!(net.messages_sent > 0, "shard {shard} sent nothing?");
+        assert!(net.busy_ns > 0, "shard {shard} recorded no handler time?");
+        folded += net.messages_sent;
+    }
+    assert!(folded <= total.messages_sent);
+}
+
+#[test]
+fn sixteen_shard_parity_with_one_shard_restarting_crash() {
+    sixteen_shard_parity(Protocol::Crash);
+}
+
+#[test]
+fn sixteen_shard_parity_with_one_shard_restarting_fail_signal() {
+    sixteen_shard_parity(Protocol::FailSignal);
+}
+
+/// With a command deadline, a transient shard outage turns stranded
+/// commands into bounded retries instead of a forever-pinned in-flight
+/// window: after the shard recovers, retries drain the window to zero and
+/// every offered command is accounted as completed or expired.
+#[test]
+fn command_deadline_retries_drain_the_outage_window() {
+    let faults = FaultSchedule::none()
+        .crash_member_at(SimTime::from_millis(100), MemberId(0))
+        .recover_member_at(SimTime::from_millis(250), MemberId(0));
+    let mut cluster = Cluster::new(2, 3)
+        .workload(poisson_workload(MESSAGES))
+        .shard_faults(1, faults)
+        .command_deadline(SimDuration::from_millis(60))
+        .max_retries(3)
+        .seed(SEED)
+        .build();
+    cluster.run_until(SimTime::from_secs(600));
+
+    let loads = cluster.shard_loads();
+    let submitted: u64 = loads.iter().map(|l| l.submitted).sum();
+    let completed: u64 = loads.iter().map(|l| l.completed).sum();
+    let expired: u64 = loads.iter().map(|l| l.expired).sum();
+    assert_eq!(submitted, MESSAGES);
+    assert_eq!(
+        completed + expired,
+        submitted,
+        "every command ends accounted: completed or expired, none stranded"
+    );
+    assert!(
+        loads.iter().all(|l| l.in_flight() == 0),
+        "the deadline plane drains the in-flight window"
+    );
+    assert!(
+        loads[1].retried > 0,
+        "the outage window must have triggered resubmissions"
+    );
+    // The healthy shard never came close to the deadline.
+    assert_eq!(loads[0].retried, 0);
+    assert_eq!(loads[0].expired, 0);
+    // The restarted shard still converged internally.
+    let d0 = cluster.machine_digest(1, 0).expect("digest");
+    for member in 1..3 {
+        assert_eq!(cluster.machine_digest(1, member), Some(d0));
+    }
+}
+
+/// A permanent shard outage with a deadline: the retry budget runs out and
+/// the stranded commands expire, freeing their admission slots — the
+/// availability counterpart of the fault-isolation observable.
+#[test]
+fn command_deadline_expires_commands_lost_to_a_dead_shard() {
+    let faults = FaultSchedule::none().crash_member_at(SimTime::from_millis(100), MemberId(0));
+    let mut cluster = Cluster::new(2, 3)
+        .workload(poisson_workload(MESSAGES))
+        .shard_faults(1, faults)
+        .command_deadline(SimDuration::from_millis(50))
+        .max_retries(1)
+        .seed(SEED)
+        .build();
+    cluster.run_until(SimTime::from_secs(600));
+
+    let loads = cluster.shard_loads();
+    assert!(loads[1].expired > 0, "dead-shard commands must expire");
+    assert!(
+        loads.iter().all(|l| l.in_flight() == 0),
+        "expiry returns the window to zero even though the shard is gone"
+    );
+    assert_eq!(
+        loads.iter().map(|l| l.completed + l.expired).sum::<u64>(),
+        MESSAGES
+    );
+    assert_eq!(loads[0].expired, 0, "the healthy shard lost nothing");
+}
